@@ -1,0 +1,226 @@
+// Package repro's root benchmark harness: one benchmark per paper figure /
+// worked example (regenerating it end to end), plus scaling benchmarks for
+// the numerical kernels the measures are built on. Run with:
+//
+//	go test -bench=. -benchmem
+package repro
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"testing"
+
+	"repro/hetero"
+	"repro/internal/core"
+	"repro/internal/etcmat"
+	"repro/internal/experiments"
+	"repro/internal/gen"
+	"repro/internal/linalg"
+	"repro/internal/matrix"
+	"repro/internal/sched"
+	"repro/internal/sinkhorn"
+)
+
+// benchExperiment runs a paper experiment end to end, rendering to a
+// discarded writer so the benchmark covers the full regeneration path.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tables, err := e.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, tb := range tables {
+			if err := tb.Render(io.Discard); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkFig1(b *testing.B) { benchExperiment(b, "FIG1") }
+func BenchmarkFig2(b *testing.B) { benchExperiment(b, "FIG2") }
+func BenchmarkFig3(b *testing.B) { benchExperiment(b, "FIG3") }
+func BenchmarkFig4(b *testing.B) { benchExperiment(b, "FIG4") }
+func BenchmarkFig5(b *testing.B) { benchExperiment(b, "FIG5") }
+func BenchmarkFig6(b *testing.B) { benchExperiment(b, "FIG6") }
+func BenchmarkFig7(b *testing.B) { benchExperiment(b, "FIG7") }
+func BenchmarkFig8(b *testing.B) { benchExperiment(b, "FIG8") }
+func BenchmarkEq10(b *testing.B) { benchExperiment(b, "EQ10") }
+func BenchmarkEx1(b *testing.B)  { benchExperiment(b, "EX1") }
+func BenchmarkEx2(b *testing.B)  { benchExperiment(b, "EX2") }
+func BenchmarkEx3(b *testing.B)  { benchExperiment(b, "EX3") }
+func BenchmarkEx4(b *testing.B)  { benchExperiment(b, "EX4") }
+func BenchmarkEx5(b *testing.B)  { benchExperiment(b, "EX5") }
+func BenchmarkEx6(b *testing.B)  { benchExperiment(b, "EX6") }
+func BenchmarkEx7(b *testing.B)  { benchExperiment(b, "EX7") }
+func BenchmarkEx8(b *testing.B)  { benchExperiment(b, "EX8") }
+func BenchmarkEx9(b *testing.B)  { benchExperiment(b, "EX9") }
+func BenchmarkEx10(b *testing.B) { benchExperiment(b, "EX10") }
+func BenchmarkEx11(b *testing.B) { benchExperiment(b, "EX11") }
+func BenchmarkEx12(b *testing.B) { benchExperiment(b, "EX12") }
+func BenchmarkEx13(b *testing.B) { benchExperiment(b, "EX13") }
+
+// randomECS builds a positive t x m ECS matrix.
+func randomECS(rng *rand.Rand, t, m int) *matrix.Dense {
+	a := matrix.New(t, m)
+	for i := range a.RawData() {
+		a.RawData()[i] = 0.1 + rng.Float64()*10
+	}
+	return a
+}
+
+// BenchmarkSinkhorn measures the standardization iteration (Theorem 1) at
+// ETC-matrix scales from the paper's (12x5) up to large simulation studies.
+func BenchmarkSinkhorn(b *testing.B) {
+	for _, dims := range [][2]int{{12, 5}, {64, 16}, {256, 64}, {1024, 128}} {
+		b.Run(fmt.Sprintf("%dx%d", dims[0], dims[1]), func(b *testing.B) {
+			a := randomECS(rand.New(rand.NewSource(1)), dims[0], dims[1])
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sinkhorn.Standardize(a); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSVD compares the two from-scratch SVD implementations.
+func BenchmarkSVD(b *testing.B) {
+	for _, dims := range [][2]int{{12, 5}, {64, 16}, {128, 64}} {
+		a := randomECS(rand.New(rand.NewSource(2)), dims[0], dims[1])
+		b.Run(fmt.Sprintf("GolubReinsch/%dx%d", dims[0], dims[1]), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := linalg.SVDGolubReinsch(a); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("Jacobi/%dx%d", dims[0], dims[1]), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				linalg.SVDJacobi(a)
+			}
+		})
+	}
+}
+
+// BenchmarkTMA measures the full affinity pipeline (standardize + SVD).
+func BenchmarkTMA(b *testing.B) {
+	for _, dims := range [][2]int{{12, 5}, {64, 16}, {256, 64}} {
+		b.Run(fmt.Sprintf("%dx%d", dims[0], dims[1]), func(b *testing.B) {
+			env, err := etcmat.NewFromECS(randomECS(rand.New(rand.NewSource(3)), dims[0], dims[1]))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.TMA(env); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCharacterize measures the one-call profile on the SPEC datasets.
+func BenchmarkCharacterize(b *testing.B) {
+	for _, c := range []struct {
+		name string
+		env  *hetero.Env
+	}{
+		{"CINT", hetero.SPECCINT2006Rate()},
+		{"CFP", hetero.SPECCFP2006Rate()},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p := hetero.Characterize(c.env)
+				if p.TMAErr != nil {
+					b.Fatal(p.TMAErr)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGenerators measures the three environment generators.
+func BenchmarkGenerators(b *testing.B) {
+	b.Run("RangeBased/64x16", func(b *testing.B) {
+		rng := rand.New(rand.NewSource(4))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := gen.RangeBased(64, 16, 100, 10, rng); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("CVB/64x16", func(b *testing.B) {
+		rng := rand.New(rand.NewSource(5))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := gen.CVB(64, 16, 0.6, 0.3, 500, rng); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Targeted/16x8", func(b *testing.B) {
+		rng := rand.New(rand.NewSource(6))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := gen.Targeted(gen.Target{Tasks: 16, Machines: 8, MPH: 0.7, TDH: 0.8, TMA: 0.3}, rng); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkHeuristics measures the mapping heuristics on a 200-task,
+// 16-machine instance.
+func BenchmarkHeuristics(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	env, err := etcmat.NewFromECS(randomECS(rng, 20, 16))
+	if err != nil {
+		b.Fatal(err)
+	}
+	in, err := sched.UniformWorkload(env, 10, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, h := range sched.All() {
+		b.Run(h.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := h.Map(in); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMatrixMul anchors the raw kernel cost underneath everything.
+func BenchmarkMatrixMul(b *testing.B) {
+	for _, n := range []int{16, 64, 128} {
+		b.Run(fmt.Sprintf("%dx%d", n, n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(8))
+			x := randomECS(rng, n, n)
+			y := randomECS(rng, n, n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				matrix.Mul(x, y)
+			}
+		})
+	}
+}

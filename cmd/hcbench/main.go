@@ -1,0 +1,71 @@
+// Command hcbench regenerates every figure and worked example of the
+// reproduced paper, plus the extension studies. With no arguments it runs
+// the full suite; otherwise it runs the experiments named on the command
+// line (FIG1..FIG8, EQ10, EX1..EX3).
+//
+// Usage:
+//
+//	hcbench [-list] [experiment ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list available experiments and exit")
+	md := flag.Bool("md", false, "render tables as GitHub-flavored markdown")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: hcbench [-list] [-md] [experiment ...]\n\n")
+		fmt.Fprintf(os.Stderr, "Regenerates the paper's figures and the extension studies.\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-5s %s\n", e.ID, e.Desc)
+		}
+		return
+	}
+
+	selected := experiments.All()
+	if args := flag.Args(); len(args) > 0 {
+		selected = selected[:0]
+		for _, id := range args {
+			e, ok := experiments.ByID(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "hcbench: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	failed := false
+	for _, e := range selected {
+		tables, err := e.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hcbench: %s: %v\n", e.ID, err)
+			failed = true
+			continue
+		}
+		for _, tb := range tables {
+			render := tb.Render
+			if *md {
+				render = tb.RenderMarkdown
+			}
+			if err := render(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "hcbench: %s: render: %v\n", e.ID, err)
+				failed = true
+			}
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

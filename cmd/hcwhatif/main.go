@@ -1,0 +1,138 @@
+// Command hcwhatif runs what-if studies on an ETC environment: how do the
+// heterogeneity measures move when each task type or machine is removed?
+// This is one of the applications the reproduced paper motivates its
+// measures with.
+//
+// Usage:
+//
+//	hcwhatif [file.csv]       # leave-one-out over tasks and machines
+//	hcwhatif -spec cint       # run on the built-in SPEC-derived datasets
+//
+// Reads standard input when no file or -spec is given.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+
+	"repro/hetero"
+)
+
+func main() {
+	specName := flag.String("spec", "", "use a built-in dataset: cint or cfp")
+	sens := flag.Int("sens", 0, "also print the N most influential task-machine pairings per measure")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: hcwhatif [-spec cint|cfp] [-sens N] [file.csv]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	var env *hetero.Env
+	switch {
+	case *specName == "cint":
+		env = hetero.SPECCINT2006Rate()
+	case *specName == "cfp":
+		env = hetero.SPECCFP2006Rate()
+	case *specName != "":
+		fmt.Fprintf(os.Stderr, "hcwhatif: unknown dataset %q\n", *specName)
+		os.Exit(2)
+	default:
+		var in io.Reader = os.Stdin
+		if flag.NArg() == 1 {
+			f, err := os.Open(flag.Arg(0))
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			in = f
+		}
+		var err error
+		env, err = hetero.ReadETCCSV(in)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	base, deltas := hetero.LeaveOneOut(env)
+	fmt.Printf("baseline (%d tasks x %d machines): MPH=%.4f TDH=%.4f TMA=%s\n\n",
+		base.Tasks, base.Machines, base.MPH, base.TDH, tmaStr(base))
+
+	for _, kind := range []string{"machine", "task"} {
+		fmt.Printf("remove %s:\n", kind)
+		for _, d := range deltas {
+			if d.Kind != kind {
+				continue
+			}
+			if d.Err != nil {
+				fmt.Printf("  %-20s (cannot remove: %v)\n", d.Name, d.Err)
+				continue
+			}
+			dtma := "n/a"
+			if !math.IsNaN(d.DTMA) {
+				dtma = fmt.Sprintf("%+.4f", d.DTMA)
+			}
+			fmt.Printf("  %-20s MPH %+.4f  TDH %+.4f  TMA %s\n", d.Name, d.DMPH, d.DTDH, dtma)
+		}
+		fmt.Println()
+	}
+
+	if *sens > 0 {
+		printSensitivities(env, *sens)
+	}
+}
+
+// printSensitivities lists the N largest-magnitude entrywise gradients of
+// each measure.
+func printSensitivities(env *hetero.Env, n int) {
+	s, err := hetero.Sensitivities(env, 0)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hcwhatif: sensitivities: %v\n", err)
+		return
+	}
+	tasks, machines := env.TaskNames(), env.MachineNames()
+	type entry struct {
+		task, machine string
+		value         float64
+	}
+	top := func(m *hetero.Matrix) []entry {
+		var all []entry
+		for i := 0; i < m.Rows(); i++ {
+			for j := 0; j < m.Cols(); j++ {
+				all = append(all, entry{tasks[i], machines[j], m.At(i, j)})
+			}
+		}
+		sort.Slice(all, func(a, b int) bool {
+			return math.Abs(all[a].value) > math.Abs(all[b].value)
+		})
+		if len(all) > n {
+			all = all[:n]
+		}
+		return all
+	}
+	for _, block := range []struct {
+		name string
+		m    *hetero.Matrix
+	}{{"MPH", s.DMPH}, {"TDH", s.DTDH}, {"TMA", s.DTMA}} {
+		fmt.Printf("most influential pairings for %s (d measure / d log ECS):\n", block.name)
+		for _, e := range top(block.m) {
+			fmt.Printf("  %-18s on %-6s %+.5f\n", e.task, e.machine, e.value)
+		}
+		fmt.Println()
+	}
+}
+
+func tmaStr(p *hetero.Profile) string {
+	if p.TMAErr != nil {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.4f", p.TMA)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "hcwhatif: %v\n", err)
+	os.Exit(1)
+}

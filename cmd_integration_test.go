@@ -1,0 +1,185 @@
+package repro
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTools compiles every command once per test binary into a temp dir and
+// returns the path of the requested tool.
+func buildTools(t *testing.T) map[string]string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("skipping CLI integration in -short mode")
+	}
+	dir := t.TempDir()
+	tools := map[string]string{}
+	for _, name := range []string{"hcmeasure", "hcgen", "hcwhatif", "hcbench"} {
+		out := filepath.Join(dir, name)
+		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+name)
+		cmd.Env = os.Environ()
+		if msg, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", name, err, msg)
+		}
+		tools[name] = out
+	}
+	return tools
+}
+
+func run(t *testing.T, bin string, stdin string, args ...string) (string, string, error) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	if stdin != "" {
+		cmd.Stdin = strings.NewReader(stdin)
+	}
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	err := cmd.Run()
+	return out.String(), errb.String(), err
+}
+
+func TestCLIPipeline(t *testing.T) {
+	tools := buildTools(t)
+	csv := "task,m1,m2\ngcc,10,20\nmcf,30,15\n"
+
+	t.Run("hcmeasure text", func(t *testing.T) {
+		out, _, err := run(t, tools["hcmeasure"], csv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, want := range []string{"MPH", "TDH", "TMA", "2 task types x 2 machines"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("output missing %q:\n%s", want, out)
+			}
+		}
+	})
+
+	t.Run("hcmeasure json", func(t *testing.T) {
+		out, _, err := run(t, tools["hcmeasure"], csv, "-json")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, want := range []string{`"mph"`, `"tma"`, `"machines": 2`} {
+			if !strings.Contains(out, want) {
+				t.Errorf("json missing %q:\n%s", want, out)
+			}
+		}
+	})
+
+	t.Run("hcmeasure groups", func(t *testing.T) {
+		blockCSV := "task,m1,m2,m3,m4\nA,1,1,10,10\nB,1,1,12,11\nC,9,10,1,1\nD,11,10,1,1\n"
+		out, _, err := run(t, tools["hcmeasure"], blockCSV, "-groups", "2")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(out, "affinity groups (k=2):") {
+			t.Errorf("missing group report:\n%s", out)
+		}
+		if !strings.Contains(out, "[m1 m2]") && !strings.Contains(out, "[m3 m4]") {
+			t.Errorf("block machines not grouped:\n%s", out)
+		}
+	})
+
+	t.Run("hcwhatif sensitivities", func(t *testing.T) {
+		out, errOut, err := run(t, tools["hcwhatif"], csv, "-sens", "2")
+		if err != nil {
+			t.Fatalf("%v\n%s", err, errOut)
+		}
+		if !strings.Contains(out, "most influential pairings for TMA") {
+			t.Errorf("missing sensitivity report:\n%s", out)
+		}
+	})
+
+	t.Run("hcmeasure rejects bad csv", func(t *testing.T) {
+		_, errOut, err := run(t, tools["hcmeasure"], "garbage")
+		if err == nil {
+			t.Errorf("bad CSV accepted; stderr: %s", errOut)
+		}
+	})
+
+	t.Run("hcgen into hcmeasure", func(t *testing.T) {
+		genOut, genErr, err := run(t, tools["hcgen"], "",
+			"-method", "targeted", "-tasks", "8", "-machines", "4",
+			"-mph", "0.7", "-tdh", "0.8", "-tma", "0.15", "-report")
+		if err != nil {
+			t.Fatalf("%v\n%s", err, genErr)
+		}
+		if !strings.Contains(genErr, "achieved: MPH=0.7000") {
+			t.Errorf("missing achieved report: %s", genErr)
+		}
+		out, _, err := run(t, tools["hcmeasure"], genOut, "-json")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(out, `"mph": 0.6999`) && !strings.Contains(out, `"mph": 0.7`) {
+			t.Errorf("round-trip lost the MPH target:\n%s", out)
+		}
+	})
+
+	t.Run("hcgen range and cvb", func(t *testing.T) {
+		for _, method := range []string{"range", "cvb"} {
+			out, errOut, err := run(t, tools["hcgen"], "", "-method", method, "-tasks", "4", "-machines", "3")
+			if err != nil {
+				t.Fatalf("%s: %v\n%s", method, err, errOut)
+			}
+			if !strings.HasPrefix(out, "task,m1,m2,m3") {
+				t.Errorf("%s: unexpected CSV header: %q", method, strings.SplitN(out, "\n", 2)[0])
+			}
+		}
+	})
+
+	t.Run("hcgen unknown method", func(t *testing.T) {
+		if _, _, err := run(t, tools["hcgen"], "", "-method", "nope"); err == nil {
+			t.Error("unknown method accepted")
+		}
+	})
+
+	t.Run("hcwhatif spec", func(t *testing.T) {
+		out, errOut, err := run(t, tools["hcwhatif"], "", "-spec", "cint")
+		if err != nil {
+			t.Fatalf("%v\n%s", err, errOut)
+		}
+		for _, want := range []string{"baseline", "remove machine:", "remove task:", "471.omnetpp"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("output missing %q", want)
+			}
+		}
+	})
+
+	t.Run("hcbench list and select", func(t *testing.T) {
+		out, _, err := run(t, tools["hcbench"], "", "-list")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, id := range []string{"FIG1", "FIG8", "EQ10", "EX9"} {
+			if !strings.Contains(out, id) {
+				t.Errorf("-list missing %s", id)
+			}
+		}
+		out, _, err = run(t, tools["hcbench"], "", "FIG2")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(out, "0.50 (0.50)") {
+			t.Errorf("FIG2 output wrong:\n%s", out)
+		}
+		if _, _, err := run(t, tools["hcbench"], "", "NOPE"); err == nil {
+			t.Error("unknown experiment accepted")
+		}
+	})
+
+	t.Run("hcbench markdown", func(t *testing.T) {
+		out, _, err := run(t, tools["hcbench"], "", "-md", "FIG5")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(out, "| m1 |") {
+			t.Errorf("markdown output wrong:\n%s", out)
+		}
+	})
+}

@@ -1,0 +1,76 @@
+// gensweep demonstrates the paper's ETC-generation application: produce
+// simulation environments that span the entire heterogeneity range, with the
+// three measures dialed independently, and verify the requested profiles are
+// achieved. It also contrasts the classic range-based and CVB generators,
+// whose measures can only be controlled indirectly.
+//
+// Run with:
+//
+//	go run ./examples/gensweep
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/hetero"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(11))
+
+	fmt.Println("targeted generator: requested vs achieved (12 tasks x 6 machines)")
+	fmt.Printf("%8s %8s %8s | %8s %8s %8s\n", "reqMPH", "reqTDH", "reqTMA", "MPH", "TDH", "TMA")
+	for _, mph := range []float64{0.25, 0.75} {
+		for _, tma := range []float64{0.0, 0.2, 0.5} {
+			g, err := hetero.Generate(hetero.GenerateTarget{
+				Tasks: 12, Machines: 6, MPH: mph, TDH: 0.6, TMA: tma,
+			}, rng)
+			if err != nil {
+				log.Fatal(err)
+			}
+			p := g.Achieved
+			fmt.Printf("%8.2f %8.2f %8.2f | %8.4f %8.4f %8.4f\n", mph, 0.6, tma, p.MPH, p.TDH, p.TMA)
+		}
+	}
+	fmt.Println()
+
+	fmt.Println("classic generators: measures emerge from distribution parameters")
+	fmt.Printf("%-34s %8s %8s %8s\n", "generator", "MPH", "TDH", "TMA")
+	for _, c := range []struct {
+		name         string
+		rTask, rMach float64
+	}{
+		{"range-based R_task=10   R_mach=2", 10, 2},
+		{"range-based R_task=100  R_mach=10", 100, 10},
+		{"range-based R_task=3000 R_mach=100", 3000, 100},
+	} {
+		env, err := hetero.GenerateRangeBased(12, 6, c.rTask, c.rMach, rng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p := hetero.Characterize(env)
+		fmt.Printf("%-34s %8.4f %8.4f %8.4f\n", c.name, p.MPH, p.TDH, p.TMA)
+	}
+	for _, c := range []struct {
+		name         string
+		vTask, vMach float64
+	}{
+		{"CVB V_task=0.1 V_mach=0.1", 0.1, 0.1},
+		{"CVB V_task=0.6 V_mach=0.3", 0.6, 0.3},
+		{"CVB V_task=1.5 V_mach=0.9", 1.5, 0.9},
+	} {
+		env, err := hetero.GenerateCVB(12, 6, c.vTask, c.vMach, 500, rng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p := hetero.Characterize(env)
+		fmt.Printf("%-34s %8.4f %8.4f %8.4f\n", c.name, p.MPH, p.TDH, p.TMA)
+	}
+	fmt.Println()
+	fmt.Println("The classic generators move all three measures at once as their ranges")
+	fmt.Println("widen — none of them can dial MPH, TDH and TMA independently. The")
+	fmt.Println("targeted generator can, which is exactly the gap the paper's measures")
+	fmt.Println("were designed to close.")
+}

@@ -1,0 +1,74 @@
+// heuristicselection demonstrates the paper's motivating application of
+// "selecting appropriate heuristics based on heterogeneity": the best
+// mapping heuristic for a workload depends on where the environment sits in
+// (MPH, TMA) space. Low-affinity environments are forgiving; high-affinity,
+// performance-heterogeneous environments punish load-blind mappers.
+//
+// Run with:
+//
+//	go run ./examples/heuristicselection
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/hetero"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+	type scenario struct {
+		name          string
+		mph, tdh, tma float64
+	}
+	scenarios := []scenario{
+		{"homogeneous cluster", 0.95, 0.9, 0.02},
+		{"mixed-speed cluster", 0.45, 0.9, 0.05},
+		{"accelerator pool", 0.45, 0.7, 0.55},
+	}
+	heuristics := hetero.Heuristics()
+
+	fmt.Printf("%-22s", "scenario")
+	for _, h := range heuristics {
+		fmt.Printf(" %10s", h.Name())
+	}
+	fmt.Println()
+
+	for _, sc := range scenarios {
+		g, err := hetero.Generate(hetero.GenerateTarget{
+			Tasks: 10, Machines: 6, MPH: sc.mph, TDH: sc.tdh, TMA: sc.tma,
+		}, rng)
+		if err != nil {
+			log.Fatalf("%s: %v", sc.name, err)
+		}
+		in, err := hetero.Workload(g.Env, 10, rng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		schedules, err := hetero.RunHeuristics(in, heuristics)
+		if err != nil {
+			log.Fatal(err)
+		}
+		best := schedules[0].Makespan
+		bestName := schedules[0].Heuristic
+		for _, s := range schedules[1:] {
+			if s.Makespan < best {
+				best, bestName = s.Makespan, s.Heuristic
+			}
+		}
+		fmt.Printf("%-22s", sc.name)
+		for _, s := range schedules {
+			fmt.Printf(" %10.2f", s.Makespan/best)
+		}
+		fmt.Println()
+		fmt.Printf("  -> measured MPH=%.2f TMA=%.2f; best heuristic: %s\n",
+			g.Achieved.MPH, g.Achieved.TMA, bestName)
+	}
+	fmt.Println()
+	fmt.Println("Values are makespans relative to the best heuristic per scenario (1.00 = best).")
+	fmt.Println("Note how MET degrades once machine performances spread out (low MPH) but")
+	fmt.Println("the batch heuristics (Min-Min, Sufferage) stay close to the front, and how")
+	fmt.Println("affinity (high TMA) changes which mapper wins — the measures predict the regime.")
+}

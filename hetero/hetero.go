@@ -1,0 +1,278 @@
+// Package hetero is the public API of this repository: a library for
+// characterizing task-machine affinity and heterogeneity in heterogeneous
+// computing (HC) environments, reproducing
+//
+//	A. M. Al-Qawasmeh, A. A. Maciejewski, R. G. Roberts, H. J. Siegel,
+//	"Characterizing Task-Machine Affinity in Heterogeneous Computing
+//	Environments", IEEE IPDPS 2011.
+//
+// An HC environment is an ETC matrix — entry (i, j) is the estimated time to
+// compute task type i on machine j — or equivalently its reciprocal ECS
+// (speed) matrix. The package computes the paper's three independent
+// heterogeneity measures:
+//
+//   - MPH, machine performance homogeneity: how evenly machine performances
+//     (weighted ECS column sums) are spread;
+//   - TDH, task difficulty homogeneity: how evenly task difficulties
+//     (weighted ECS row sums) are spread;
+//   - TMA, task-machine affinity: how much different task sets prefer
+//     different machine sets, measured as the mean non-maximum singular
+//     value of the Sinkhorn-standardized ECS matrix.
+//
+// and provides the supporting machinery: standard-form normalization,
+// scalability diagnostics, ETC generators (range-based, CVB and
+// measure-targeted), the SPEC-derived example environments of the paper's
+// Section V, and a suite of classic mapping heuristics for heterogeneity-
+// aware scheduling studies.
+//
+// # Quick start
+//
+//	env, err := hetero.FromETC([][]float64{
+//		{10.2, 13.1, 9.5},
+//		{44.0, 12.9, 30.1},
+//	})
+//	if err != nil { ... }
+//	p := hetero.Characterize(env)
+//	fmt.Printf("MPH=%.3f TDH=%.3f TMA=%.3f\n", p.MPH, p.TDH, p.TMA)
+//
+// See the examples directory for runnable programs.
+package hetero
+
+import (
+	"io"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/dynsim"
+	"repro/internal/etcmat"
+	"repro/internal/gen"
+	"repro/internal/matrix"
+	"repro/internal/sched"
+	"repro/internal/sinkhorn"
+	"repro/internal/spec"
+)
+
+// Env is a heterogeneous computing environment: an ETC/ECS matrix with task
+// and machine names and optional weighting factors. Envs are immutable;
+// editing methods return new values.
+type Env = etcmat.Env
+
+// Profile is a full heterogeneity characterization: the three paper measures
+// MPH, TDH and TMA, the comparison measures R, G and COV, the raw machine
+// performance and task difficulty vectors, and standardization diagnostics.
+type Profile = core.Profile
+
+// TMAResult carries the affinity value with its singular values and
+// normalization diagnostics.
+type TMAResult = core.TMAResult
+
+// Matrix is the dense matrix type used for ETC/ECS data.
+type Matrix = matrix.Dense
+
+// FromETC builds an environment from estimated-time-to-compute rows (one row
+// per task type, one column per machine). Use math.Inf(1) for a task type
+// that cannot run on a machine.
+func FromETC(rows [][]float64) (*Env, error) {
+	return etcmat.NewFromETC(matrix.FromRows(rows))
+}
+
+// FromECS builds an environment from estimated-computation-speed rows (the
+// entrywise reciprocal of ETC; 0 marks a task type that cannot run).
+func FromECS(rows [][]float64) (*Env, error) {
+	return etcmat.NewFromECS(matrix.FromRows(rows))
+}
+
+// ReadETCCSV parses an environment from CSV: a header of machine names with
+// a leading task-name column, then one row per task type ("inf" marks an
+// impossible pairing).
+func ReadETCCSV(r io.Reader) (*Env, error) { return etcmat.ReadETCCSV(r) }
+
+// Characterize computes the environment's full heterogeneity profile.
+func Characterize(env *Env) *Profile { return core.Characterize(env) }
+
+// MPH returns the machine performance homogeneity in (0, 1].
+func MPH(env *Env) float64 { return core.MPH(env) }
+
+// TDH returns the task difficulty homogeneity in (0, 1].
+func TDH(env *Env) float64 { return core.TDH(env) }
+
+// TMA returns the task-machine affinity in [0, 1] with diagnostics, or
+// core.ErrNotStandardizable when the ECS matrix cannot be put in standard
+// form (paper Sec. VI).
+func TMA(env *Env) (*TMAResult, error) { return core.TMA(env) }
+
+// MachinePerformances returns the weighted ECS column sums (paper Eq. 4).
+func MachinePerformances(env *Env) []float64 { return core.MachinePerformances(env) }
+
+// Delta is one leave-one-out measure shift; see LeaveOneOut.
+type Delta = core.Delta
+
+// LeaveOneOut computes the measure deltas from removing each machine and
+// each task type in turn — the paper's what-if application as a library call.
+func LeaveOneOut(env *Env) (*Profile, []Delta) { return core.LeaveOneOut(env) }
+
+// Sensitivity holds entrywise gradients of the measures; see Sensitivities.
+type Sensitivity = core.Sensitivity
+
+// Sensitivities computes finite-difference gradients of MPH, TDH and TMA
+// with respect to relative changes of each ECS entry.
+func Sensitivities(env *Env, h float64) (*Sensitivity, error) { return core.Sensitivities(env, h) }
+
+// TaskDifficulties returns the weighted ECS row sums (paper Eq. 6).
+func TaskDifficulties(env *Env) []float64 { return core.TaskDifficulties(env) }
+
+// TMALegacyColumnOnly computes affinity the way the paper's prior work (its
+// ref [2]) did, normalizing columns only. Kept for comparison studies: it is
+// entangled with TDH, which is exactly what the standard-form TMA fixes.
+func TMALegacyColumnOnly(env *Env) float64 { return core.TMALegacyColumnOnly(env) }
+
+// Standardize puts a nonnegative matrix in the paper's standard form (rows
+// summing to √(M/T), columns to √(T/M), largest singular value 1).
+func Standardize(a *Matrix) (*sinkhorn.Result, error) { return sinkhorn.Standardize(a) }
+
+// StandardizeViaTiling standardizes a strictly positive matrix through the
+// paper's Appendix A square-tiling construction; it produces the same
+// standard form as Standardize and exists as an independent cross-check.
+func StandardizeViaTiling(a *Matrix) (*sinkhorn.Result, error) {
+	return sinkhorn.StandardizeViaTiling(a)
+}
+
+// ColumnAngles returns the pairwise angles (radians) between the weighted
+// ECS columns — the geometric view of affinity from the paper's Sec. II-E.
+func ColumnAngles(env *Env) *Matrix { return core.ColumnAngles(env) }
+
+// MeanColumnAngle summarizes ColumnAngles as a single scalar in [0, π/2].
+func MeanColumnAngle(env *Env) float64 { return core.MeanColumnAngle(env) }
+
+// AffinityGroups is a task/machine specialization partition; see
+// FindAffinityGroups.
+type AffinityGroups = core.AffinityGroups
+
+// FindAffinityGroups clusters tasks and machines into k specialization
+// groups using the singular vectors of the standard-form ECS matrix — it
+// recovers the structure TMA measures the strength of.
+func FindAffinityGroups(env *Env, k int, seed int64) (*AffinityGroups, error) {
+	return core.FindAffinityGroups(env, k, seed)
+}
+
+// GenerateTarget requests an environment with given measures; see Generate.
+type GenerateTarget = gen.Target
+
+// Generate produces an environment whose MPH and TDH match the target
+// exactly and whose TMA matches within tolerance — the "span the entire
+// range of heterogeneities" application from the paper's introduction.
+func Generate(target GenerateTarget, rng *rand.Rand) (*gen.Generated, error) {
+	return gen.Targeted(target, rng)
+}
+
+// GenerateRangeBased produces an ETC environment with the classic
+// range-based method of Ali et al.: ETC(i,j) = U[1,rTask] · U[1,rMach].
+func GenerateRangeBased(tasks, machines int, rTask, rMach float64, rng *rand.Rand) (*Env, error) {
+	return gen.RangeBased(tasks, machines, rTask, rMach, rng)
+}
+
+// GenerateCVB produces an ETC environment with the coefficient-of-variation
+// method of Ali et al. (gamma-distributed task baselines and speeds).
+func GenerateCVB(tasks, machines int, vTask, vMach, muTask float64, rng *rand.Rand) (*Env, error) {
+	return gen.CVB(tasks, machines, vTask, vMach, muTask, rng)
+}
+
+// Consistency is the Braun et al. ETC taxonomy (consistent, semi-consistent,
+// inconsistent), which TMA quantifies.
+type Consistency = gen.Consistency
+
+// Consistency classes for WithConsistency.
+const (
+	Inconsistent   = gen.Inconsistent
+	Consistent     = gen.Consistent
+	SemiConsistent = gen.SemiConsistent
+)
+
+// WithConsistency rearranges an environment's ETC rows into the requested
+// consistency class without changing the per-task value distributions.
+func WithConsistency(env *Env, c Consistency) (*Env, error) { return gen.WithConsistency(env, c) }
+
+// IsConsistent reports whether every task type ranks the machines
+// identically.
+func IsConsistent(env *Env) bool { return gen.IsConsistent(env) }
+
+// SPECCINT2006Rate returns the paper's Section V integer-suite environment
+// (12 task types x 5 machines), synthesized and calibrated to the published
+// measures (TDH 0.90, MPH 0.82, TMA 0.07). See DESIGN.md for the
+// substitution rationale.
+func SPECCINT2006Rate() *Env { return spec.CINT2006Rate() }
+
+// SPECCFP2006Rate returns the paper's Section V floating-point-suite
+// environment (17 task types x 5 machines; TDH 0.91, MPH 0.83, TMA above the
+// integer suite's).
+func SPECCFP2006Rate() *Env { return spec.CFP2006Rate() }
+
+// Schedule is a mapping produced by a heuristic, with makespan and flowtime.
+type Schedule = sched.Schedule
+
+// Heuristic is a static independent-task mapping algorithm.
+type Heuristic = sched.Heuristic
+
+// Heuristics returns the fast mapping-heuristic suite (OLB, MET, MCT,
+// KPB, Min-Min, Max-Min, Sufferage, Duplex).
+func Heuristics() []Heuristic { return sched.All() }
+
+// SearchHeuristics returns the search-based mappers (genetic algorithm and
+// simulated annealing, both seeded with Min-Min) with default parameters and
+// the given seed.
+func SearchHeuristics(seed int64) []Heuristic {
+	return []Heuristic{sched.GA{Seed: seed}, sched.SA{Seed: seed}}
+}
+
+// Workload expands an environment into a task-instance mapping problem with
+// perType instances of every task type, shuffled by rng if non-nil.
+func Workload(env *Env, perType int, rng *rand.Rand) (*sched.Instance, error) {
+	return sched.UniformWorkload(env, perType, rng)
+}
+
+// RunHeuristics maps the instance with every heuristic (All if hs is nil).
+func RunHeuristics(in *sched.Instance, hs []Heuristic) ([]*Schedule, error) {
+	return sched.RunAll(in, hs)
+}
+
+// Robustness is the estimation-error tolerance of a schedule; see
+// RobustnessRadius.
+type Robustness = sched.Robustness
+
+// RobustnessRadius computes how much collective ETC estimation error a
+// schedule absorbs before its makespan exceeds tau times the estimate
+// (the FePIA-style robustness radius of the paper's research group).
+func RobustnessRadius(in *sched.Instance, s *Schedule, tau float64) (*Robustness, error) {
+	return sched.RobustnessRadius(in, s, tau)
+}
+
+// Arrival is one dynamic task arrival; see Simulate.
+type Arrival = dynsim.Arrival
+
+// DynamicPolicy is an immediate-mode online mapping rule (MCT, MET, OLB,
+// KPB, Random).
+type DynamicPolicy = dynsim.Policy
+
+// DynamicPolicies returns the immediate-mode policy suite for Simulate.
+func DynamicPolicies() []DynamicPolicy { return dynsim.Policies() }
+
+// PoissonWorkload draws n Poisson arrivals at the given rate, with task
+// types drawn proportionally to the environment's task weights.
+func PoissonWorkload(env *Env, n int, rate float64, rng *rand.Rand) (dynsim.Workload, error) {
+	return dynsim.PoissonWorkload(env, n, rate, rng)
+}
+
+// Simulate runs a dynamic workload through an immediate-mode policy
+// (discrete-event, FIFO machine queues) and reports response-time and
+// utilization statistics.
+func Simulate(env *Env, w dynsim.Workload, p DynamicPolicy, rng *rand.Rand) (*dynsim.Result, error) {
+	return dynsim.Simulate(env, w, p, rng)
+}
+
+// SimulateBatch runs the workload in batch mode: arrivals pool until a
+// mapping event every interval time units, then the whole unstarted backlog
+// is (re-)mapped with Min-Min. Batch mode overtakes immediate mode as load
+// grows.
+func SimulateBatch(env *Env, w dynsim.Workload, interval float64, rng *rand.Rand) (*dynsim.BatchResult, error) {
+	return dynsim.SimulateBatch(env, w, interval, rng)
+}

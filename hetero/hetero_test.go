@@ -1,0 +1,127 @@
+package hetero_test
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/hetero"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	env, err := hetero.FromETC([][]float64{
+		{10.2, 13.1, 9.5},
+		{44.0, 12.9, 30.1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := hetero.Characterize(env)
+	if p.TMAErr != nil {
+		t.Fatal(p.TMAErr)
+	}
+	if !(p.MPH > 0 && p.MPH <= 1 && p.TDH > 0 && p.TDH <= 1 && p.TMA >= 0 && p.TMA <= 1) {
+		t.Errorf("profile out of range: %v", p)
+	}
+}
+
+func TestFromECSAndMeasures(t *testing.T) {
+	env, err := hetero.FromECS([][]float64{{1, 1}, {1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := hetero.MPH(env); got != 1 {
+		t.Errorf("MPH = %g, want 1", got)
+	}
+	if got := hetero.TDH(env); got != 1 {
+		t.Errorf("TDH = %g, want 1", got)
+	}
+	r, err := hetero.TMA(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TMA != 0 {
+		t.Errorf("TMA = %g, want 0", r.TMA)
+	}
+}
+
+func TestReadETCCSV(t *testing.T) {
+	env, err := hetero.ReadETCCSV(strings.NewReader("task,m1,m2\ngcc,10,20\nmcf,30,15\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Tasks() != 2 || env.Machines() != 2 {
+		t.Errorf("dims = %dx%d", env.Tasks(), env.Machines())
+	}
+	mp := hetero.MachinePerformances(env)
+	want := 1.0/10 + 1.0/30
+	if math.Abs(mp[0]-want) > 1e-12 {
+		t.Errorf("MP[0] = %g, want %g", mp[0], want)
+	}
+	if td := hetero.TaskDifficulties(env); len(td) != 2 {
+		t.Errorf("TD = %v", td)
+	}
+}
+
+func TestStandardizeFacade(t *testing.T) {
+	env, _ := hetero.FromECS([][]float64{{1, 2}, {3, 4}})
+	res, err := hetero.Standardize(env.ECS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Error("standardization did not converge")
+	}
+}
+
+func TestGenerateFacade(t *testing.T) {
+	g, err := hetero.Generate(hetero.GenerateTarget{
+		Tasks: 8, Machines: 4, MPH: 0.7, TDH: 0.8, TMA: 0.2,
+	}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g.Achieved.MPH-0.7) > 1e-6 {
+		t.Errorf("achieved MPH %g", g.Achieved.MPH)
+	}
+}
+
+func TestGeneratorFacades(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	if _, err := hetero.GenerateRangeBased(5, 3, 10, 10, rng); err != nil {
+		t.Error(err)
+	}
+	if _, err := hetero.GenerateCVB(5, 3, 0.5, 0.5, 100, rng); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSPECFacades(t *testing.T) {
+	if env := hetero.SPECCINT2006Rate(); env.Tasks() != 12 {
+		t.Errorf("CINT tasks = %d", env.Tasks())
+	}
+	if env := hetero.SPECCFP2006Rate(); env.Tasks() != 17 {
+		t.Errorf("CFP tasks = %d", env.Tasks())
+	}
+}
+
+func TestSchedulingFacade(t *testing.T) {
+	env := hetero.SPECCINT2006Rate()
+	in, err := hetero.Workload(env, 3, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	schedules, err := hetero.RunHeuristics(in, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(schedules) != len(hetero.Heuristics()) {
+		t.Errorf("got %d schedules", len(schedules))
+	}
+	for _, s := range schedules {
+		if s.Makespan <= 0 {
+			t.Errorf("%s: makespan %g", s.Heuristic, s.Makespan)
+		}
+	}
+}

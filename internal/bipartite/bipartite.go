@@ -1,0 +1,362 @@
+// Package bipartite implements the combinatorial machinery behind Section VI
+// of the reproduced paper: when can a nonnegative matrix be scaled to have
+// equal row sums and equal column sums?
+//
+// The zero pattern of an ECS matrix is a bipartite graph between task types
+// (rows) and machines (columns). Classic results (Sinkhorn & Knopp;
+// Marshall & Olkin, the paper's ref [20]) tie scalability to this pattern:
+//
+//   - A square nonnegative matrix has *support* iff its bipartite graph has a
+//     perfect matching (some positive diagonal exists).
+//   - It has *total support* iff every nonzero entry lies on some positive
+//     diagonal; entries outside total support are driven to zero by the
+//     Sinkhorn iteration.
+//   - It is *fully indecomposable* iff no row/column permutation exposes a
+//     block-triangular form (Eq. 11 of the paper); full indecomposability is
+//     the paper's sufficient condition for exact scalability.
+//
+// The package provides Hopcroft–Karp maximum matching, Tarjan strongly
+// connected components, and pattern classification built on them.
+package bipartite
+
+import (
+	"fmt"
+
+	"repro/internal/matrix"
+)
+
+// Pattern is the zero/nonzero structure of an R×C nonnegative matrix:
+// adj[i] lists the columns j with a nonzero entry in row i.
+type Pattern struct {
+	R, C int
+	adj  [][]int
+}
+
+// PatternOf extracts the zero pattern of m; entries with absolute value at
+// most tol count as zero.
+func PatternOf(m *matrix.Dense, tol float64) *Pattern {
+	r, c := m.Dims()
+	p := &Pattern{R: r, C: c, adj: make([][]int, r)}
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			v := m.At(i, j)
+			if v > tol || v < -tol {
+				p.adj[i] = append(p.adj[i], j)
+			}
+		}
+	}
+	return p
+}
+
+// NewPattern builds a pattern from explicit row adjacency lists.
+func NewPattern(r, c int, adj [][]int) *Pattern {
+	if len(adj) != r {
+		panic(fmt.Sprintf("bipartite: NewPattern expects %d rows, got %d", r, len(adj)))
+	}
+	p := &Pattern{R: r, C: c, adj: make([][]int, r)}
+	for i, row := range adj {
+		for _, j := range row {
+			if j < 0 || j >= c {
+				panic(fmt.Sprintf("bipartite: NewPattern column %d out of range [0,%d)", j, c))
+			}
+		}
+		p.adj[i] = append([]int(nil), row...)
+	}
+	return p
+}
+
+// Neighbors returns the columns adjacent to row i. The returned slice must
+// not be modified.
+func (p *Pattern) Neighbors(i int) []int { return p.adj[i] }
+
+// Has reports whether entry (i, j) is nonzero in the pattern.
+func (p *Pattern) Has(i, j int) bool {
+	for _, c := range p.adj[i] {
+		if c == j {
+			return true
+		}
+	}
+	return false
+}
+
+// MaxMatching computes a maximum bipartite matching with the Hopcroft–Karp
+// algorithm. It returns the matching size and, for each row, the matched
+// column (or -1).
+func (p *Pattern) MaxMatching() (size int, rowMatch []int) {
+	const inf = int(^uint(0) >> 1)
+	rowMatch = make([]int, p.R)
+	colMatch := make([]int, p.C)
+	for i := range rowMatch {
+		rowMatch[i] = -1
+	}
+	for j := range colMatch {
+		colMatch[j] = -1
+	}
+	dist := make([]int, p.R)
+	queue := make([]int, 0, p.R)
+
+	bfs := func() bool {
+		queue = queue[:0]
+		for i := 0; i < p.R; i++ {
+			if rowMatch[i] == -1 {
+				dist[i] = 0
+				queue = append(queue, i)
+			} else {
+				dist[i] = inf
+			}
+		}
+		found := false
+		for qi := 0; qi < len(queue); qi++ {
+			u := queue[qi]
+			for _, v := range p.adj[u] {
+				w := colMatch[v]
+				if w == -1 {
+					found = true
+				} else if dist[w] == inf {
+					dist[w] = dist[u] + 1
+					queue = append(queue, w)
+				}
+			}
+		}
+		return found
+	}
+	var dfs func(u int) bool
+	dfs = func(u int) bool {
+		for _, v := range p.adj[u] {
+			w := colMatch[v]
+			if w == -1 || (dist[w] == dist[u]+1 && dfs(w)) {
+				rowMatch[u] = v
+				colMatch[v] = u
+				return true
+			}
+		}
+		dist[u] = inf
+		return false
+	}
+	for bfs() {
+		for i := 0; i < p.R; i++ {
+			if rowMatch[i] == -1 && dfs(i) {
+				size++
+			}
+		}
+	}
+	return size, rowMatch
+}
+
+// HasSupport reports whether a *square* pattern has a positive diagonal, i.e.
+// a perfect matching between rows and columns. Panics on non-square input.
+func (p *Pattern) HasSupport() bool {
+	p.requireSquare("HasSupport")
+	size, _ := p.MaxMatching()
+	return size == p.R
+}
+
+// TotalSupport classifies every nonzero entry of a square pattern: entry
+// (i, j) is *totally supported* if it lies on some positive diagonal. It
+// returns whether the whole pattern has total support, plus the set of
+// supported entries (a map keyed by i*C+j). Matrices without total support
+// lose their unsupported entries in the Sinkhorn limit.
+func (p *Pattern) TotalSupport() (all bool, supported map[int]bool) {
+	p.requireSquare("TotalSupport")
+	supported = make(map[int]bool)
+	size, rowMatch := p.MaxMatching()
+	if size != p.R {
+		return false, supported // no support at all
+	}
+	// Build the directed graph on columns: for each nonzero (i, j), add edge
+	// j -> rowMatch[i]. Entry (i, j) lies on a positive diagonal iff j and
+	// rowMatch[i] are in the same strongly connected component (it is then
+	// reachable by an alternating cycle through the matching).
+	g := make([][]int, p.C)
+	for i := 0; i < p.R; i++ {
+		mi := rowMatch[i]
+		for _, j := range p.adj[i] {
+			if j != mi {
+				g[j] = append(g[j], mi)
+			}
+		}
+	}
+	comp := SCC(g)
+	all = true
+	for i := 0; i < p.R; i++ {
+		mi := rowMatch[i]
+		for _, j := range p.adj[i] {
+			if j == mi || comp[j] == comp[mi] {
+				supported[i*p.C+j] = true
+			} else {
+				all = false
+			}
+		}
+	}
+	return all, supported
+}
+
+// FullyIndecomposable reports whether a square pattern is fully
+// indecomposable (Section VI / Eq. 11 of the paper): no permutations P, Q
+// put it in block-lower-triangular form with square diagonal blocks.
+// Equivalently, the pattern has a perfect matching and the directed graph
+// obtained by contracting the matching is a single strongly connected
+// component.
+func (p *Pattern) FullyIndecomposable() bool {
+	p.requireSquare("FullyIndecomposable")
+	if p.R == 0 {
+		return true
+	}
+	if p.R == 1 {
+		return len(p.adj[0]) == 1 // the single entry must be nonzero
+	}
+	size, rowMatch := p.MaxMatching()
+	if size != p.R {
+		return false
+	}
+	g := make([][]int, p.C)
+	for i := 0; i < p.R; i++ {
+		mi := rowMatch[i]
+		for _, j := range p.adj[i] {
+			if j != mi {
+				g[j] = append(g[j], mi)
+			}
+		}
+	}
+	comp := SCC(g)
+	for _, c := range comp {
+		if c != comp[0] {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *Pattern) requireSquare(op string) {
+	if p.R != p.C {
+		panic(fmt.Sprintf("bipartite: %s requires a square pattern, got %dx%d", op, p.R, p.C))
+	}
+}
+
+// Connected reports whether the undirected bipartite graph of the pattern is
+// connected (treating rows and columns as the two vertex classes). An empty
+// pattern is considered connected.
+func (p *Pattern) Connected() bool {
+	n := p.R + p.C
+	if n == 0 {
+		return true
+	}
+	colAdj := make([][]int, p.C)
+	for i := 0; i < p.R; i++ {
+		for _, j := range p.adj[i] {
+			colAdj[j] = append(colAdj[j], i)
+		}
+	}
+	seen := make([]bool, n)
+	stack := []int{0} // start at row 0
+	seen[0] = true
+	count := 0
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		count++
+		if u < p.R {
+			for _, j := range p.adj[u] {
+				if !seen[p.R+j] {
+					seen[p.R+j] = true
+					stack = append(stack, p.R+j)
+				}
+			}
+		} else {
+			for _, i := range colAdj[u-p.R] {
+				if !seen[i] {
+					seen[i] = true
+					stack = append(stack, i)
+				}
+			}
+		}
+	}
+	return count == n
+}
+
+// SCC computes strongly connected components of a directed graph given as
+// adjacency lists, using Tarjan's algorithm (iterative). It returns a
+// component id per vertex; ids are in reverse topological order.
+func SCC(g [][]int) []int {
+	n := len(g)
+	const unvisited = -1
+	index := make([]int, n)
+	low := make([]int, n)
+	comp := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = unvisited
+		comp[i] = unvisited
+	}
+	var (
+		stack    []int
+		nextIdx  int
+		nextComp int
+	)
+	type frame struct{ v, ei int }
+	for root := 0; root < n; root++ {
+		if index[root] != unvisited {
+			continue
+		}
+		callStack := []frame{{root, 0}}
+		index[root] = nextIdx
+		low[root] = nextIdx
+		nextIdx++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(callStack) > 0 {
+			f := &callStack[len(callStack)-1]
+			v := f.v
+			if f.ei < len(g[v]) {
+				w := g[v][f.ei]
+				f.ei++
+				if index[w] == unvisited {
+					index[w] = nextIdx
+					low[w] = nextIdx
+					nextIdx++
+					stack = append(stack, w)
+					onStack[w] = true
+					callStack = append(callStack, frame{w, 0})
+				} else if onStack[w] && index[w] < low[v] {
+					low[v] = index[w]
+				}
+				continue
+			}
+			// All edges of v processed.
+			callStack = callStack[:len(callStack)-1]
+			if len(callStack) > 0 {
+				parent := callStack[len(callStack)-1].v
+				if low[v] < low[parent] {
+					low[parent] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = nextComp
+					if w == v {
+						break
+					}
+				}
+				nextComp++
+			}
+		}
+	}
+	return comp
+}
+
+// ScalableSquare reports whether a square nonnegative matrix can be scaled by
+// positive diagonal matrices to prescribed equal row and column sums. The
+// exact criterion (Sinkhorn & Knopp) is total support; full indecomposability
+// additionally makes the scaling unique and the limit strictly positive on
+// the pattern. The paper's Eq. 10 example fails this test.
+func ScalableSquare(m *matrix.Dense, tol float64) bool {
+	p := PatternOf(m, tol)
+	if p.R != p.C {
+		return false
+	}
+	all, _ := p.TotalSupport()
+	return all
+}

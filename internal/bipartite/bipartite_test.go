@@ -1,0 +1,299 @@
+package bipartite
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+func TestPatternOf(t *testing.T) {
+	m := matrix.FromRows([][]float64{{1, 0}, {0.5, 2}})
+	p := PatternOf(m, 0)
+	if !p.Has(0, 0) || p.Has(0, 1) || !p.Has(1, 0) || !p.Has(1, 1) {
+		t.Errorf("pattern mismatch: %+v", p)
+	}
+}
+
+func TestPatternOfTolerance(t *testing.T) {
+	m := matrix.FromRows([][]float64{{1e-12, 1}})
+	p := PatternOf(m, 1e-9)
+	if p.Has(0, 0) {
+		t.Error("tiny entry should be treated as zero under tol")
+	}
+	if !p.Has(0, 1) {
+		t.Error("large entry dropped")
+	}
+}
+
+func TestNewPatternValidates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewPattern with out-of-range column did not panic")
+		}
+	}()
+	NewPattern(1, 2, [][]int{{5}})
+}
+
+func TestMaxMatchingPerfect(t *testing.T) {
+	// Identity pattern: perfect matching of size 3.
+	p := NewPattern(3, 3, [][]int{{0}, {1}, {2}})
+	size, rm := p.MaxMatching()
+	if size != 3 {
+		t.Fatalf("matching size = %d, want 3", size)
+	}
+	for i, j := range rm {
+		if j != i {
+			t.Errorf("rowMatch[%d] = %d, want %d", i, j, i)
+		}
+	}
+}
+
+func TestMaxMatchingDeficient(t *testing.T) {
+	// Rows 0 and 1 both only connect to column 0.
+	p := NewPattern(2, 2, [][]int{{0}, {0}})
+	size, _ := p.MaxMatching()
+	if size != 1 {
+		t.Errorf("matching size = %d, want 1", size)
+	}
+}
+
+func TestMaxMatchingAugmentingPath(t *testing.T) {
+	// Needs augmentation: greedy row order can trap without Hopcroft-Karp.
+	p := NewPattern(3, 3, [][]int{{0, 1}, {0}, {1, 2}})
+	size, _ := p.MaxMatching()
+	if size != 3 {
+		t.Errorf("matching size = %d, want 3", size)
+	}
+}
+
+func TestMaxMatchingRectangular(t *testing.T) {
+	p := NewPattern(2, 4, [][]int{{0, 1, 2, 3}, {1}})
+	size, rm := p.MaxMatching()
+	if size != 2 {
+		t.Errorf("matching size = %d, want 2", size)
+	}
+	if rm[1] != 1 {
+		t.Errorf("row 1 must match col 1, got %d", rm[1])
+	}
+}
+
+func TestHasSupport(t *testing.T) {
+	full := PatternOf(matrix.Identity(3), 0)
+	if !full.HasSupport() {
+		t.Error("identity must have support")
+	}
+	none := NewPattern(2, 2, [][]int{{0}, {0}})
+	if none.HasSupport() {
+		t.Error("column-deficient pattern must not have support")
+	}
+}
+
+// The paper's Eq. 10 matrix:
+//
+//	0 1 0
+//	1 0 1
+//	0 1 1   (entries shown as nonzero pattern)
+//
+// The paper proves it is decomposable and cannot be normalized. Our
+// construction of the exact matrix: rows {0,1,0},{1,0,1},{0,1,1} — its second
+// row and third column sums are 2 while the others are 1.
+func eq10() *matrix.Dense {
+	return matrix.FromRows([][]float64{
+		{0, 1, 0},
+		{1, 0, 1},
+		{0, 1, 1},
+	})
+}
+
+func TestEq10NotFullyIndecomposable(t *testing.T) {
+	p := PatternOf(eq10(), 0)
+	if p.FullyIndecomposable() {
+		t.Error("Eq. 10 matrix misclassified as fully indecomposable")
+	}
+	if ScalableSquare(eq10(), 0) {
+		t.Error("Eq. 10 matrix misclassified as scalable")
+	}
+}
+
+func TestEq10HasSupportButNotTotal(t *testing.T) {
+	p := PatternOf(eq10(), 0)
+	if !p.HasSupport() {
+		t.Error("Eq. 10 has a positive diagonal: (0,1),(1,0),(2,2)")
+	}
+	all, supported := p.TotalSupport()
+	if all {
+		t.Error("Eq. 10 must not have total support")
+	}
+	// The diagonal (0,1),(1,0),(2,2) is positive, so those entries are
+	// supported.
+	for _, e := range [][2]int{{0, 1}, {1, 0}, {2, 2}} {
+		if !supported[e[0]*3+e[1]] {
+			t.Errorf("entry (%d,%d) lies on a positive diagonal but reported unsupported", e[0], e[1])
+		}
+	}
+}
+
+func TestDiagonalMatrixDecomposableButScalable(t *testing.T) {
+	// The paper notes a positive diagonal matrix is decomposable (it is in
+	// the Eq. 11 block form already) yet trivially scalable. Our
+	// FullyIndecomposable must say false for n >= 2, while total support says
+	// scalable.
+	d := matrix.Diag([]float64{2, 5})
+	p := PatternOf(d, 0)
+	if p.FullyIndecomposable() {
+		t.Error("2x2 diagonal pattern is not fully indecomposable")
+	}
+	if !ScalableSquare(d, 0) {
+		t.Error("positive diagonal matrix is scalable (total support)")
+	}
+}
+
+func TestFullyIndecomposablePositive(t *testing.T) {
+	m := matrix.Constant(3, 3, 1)
+	if !PatternOf(m, 0).FullyIndecomposable() {
+		t.Error("all-positive matrix must be fully indecomposable")
+	}
+}
+
+func TestFullyIndecomposable1x1(t *testing.T) {
+	if !PatternOf(matrix.Constant(1, 1, 3), 0).FullyIndecomposable() {
+		t.Error("positive 1x1 is fully indecomposable")
+	}
+	if PatternOf(matrix.New(1, 1), 0).FullyIndecomposable() {
+		t.Error("zero 1x1 is not fully indecomposable")
+	}
+}
+
+func TestFullyIndecomposableCycle(t *testing.T) {
+	// A single cycle cover: pattern of a circulant with two diagonals is
+	// fully indecomposable.
+	m := matrix.FromRows([][]float64{
+		{1, 1, 0},
+		{0, 1, 1},
+		{1, 0, 1},
+	})
+	if !PatternOf(m, 0).FullyIndecomposable() {
+		t.Error("two-diagonal circulant must be fully indecomposable")
+	}
+}
+
+func TestTotalSupportAllPositive(t *testing.T) {
+	all, supported := PatternOf(matrix.Constant(2, 2, 1), 0).TotalSupport()
+	if !all || len(supported) != 4 {
+		t.Errorf("all-positive 2x2: total support = %v with %d entries", all, len(supported))
+	}
+}
+
+// Fig. 4 matrices A, B, D of the paper have one zero and converge to the
+// standard form of C: the entry off the surviving diagonal is unsupported.
+func TestFig4StylePatternLosesUnsupportedEntry(t *testing.T) {
+	d := matrix.FromRows([][]float64{{10, 0}, {45, 55}})
+	p := PatternOf(d, 0)
+	all, supported := p.TotalSupport()
+	if all {
+		t.Fatal("pattern with a single zero cannot have total support")
+	}
+	if !supported[0*2+0] || !supported[1*2+1] {
+		t.Error("diagonal entries must be supported")
+	}
+	if supported[1*2+0] {
+		t.Error("entry (1,0) lies on no positive diagonal and must be unsupported")
+	}
+}
+
+func TestConnected(t *testing.T) {
+	if !PatternOf(matrix.Constant(2, 3, 1), 0).Connected() {
+		t.Error("complete bipartite pattern must be connected")
+	}
+	// Block diagonal: two components.
+	m := matrix.FromRows([][]float64{{1, 0}, {0, 1}})
+	if PatternOf(m, 0).Connected() {
+		t.Error("block-diagonal pattern must be disconnected")
+	}
+}
+
+func TestSCCSimple(t *testing.T) {
+	// 0 -> 1 -> 2 -> 0 is one SCC; 3 is alone.
+	g := [][]int{{1}, {2}, {0}, {0}}
+	comp := SCC(g)
+	if comp[0] != comp[1] || comp[1] != comp[2] {
+		t.Errorf("cycle not one SCC: %v", comp)
+	}
+	if comp[3] == comp[0] {
+		t.Errorf("vertex 3 merged into cycle: %v", comp)
+	}
+}
+
+func TestSCCChain(t *testing.T) {
+	g := [][]int{{1}, {2}, nil}
+	comp := SCC(g)
+	if comp[0] == comp[1] || comp[1] == comp[2] || comp[0] == comp[2] {
+		t.Errorf("chain should be three SCCs: %v", comp)
+	}
+	// Reverse topological order: sinks get smaller ids.
+	if !(comp[2] < comp[1] && comp[1] < comp[0]) {
+		t.Errorf("SCC ids not in reverse topological order: %v", comp)
+	}
+}
+
+func TestSCCEmptyAndSelfLoop(t *testing.T) {
+	if got := SCC(nil); len(got) != 0 {
+		t.Errorf("SCC(nil) = %v", got)
+	}
+	comp := SCC([][]int{{0}})
+	if len(comp) != 1 || comp[0] != 0 {
+		t.Errorf("self-loop SCC = %v", comp)
+	}
+}
+
+// Randomized consistency: a random permutation pattern always has support and
+// total support; adding a full row of ones keeps support.
+func TestRandomPermutationPatterns(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(8)
+		perm := rng.Perm(n)
+		m := matrix.New(n, n)
+		for i, j := range perm {
+			m.Set(i, j, 1+rng.Float64())
+		}
+		p := PatternOf(m, 0)
+		if !p.HasSupport() {
+			t.Fatalf("permutation pattern lost support: %v", perm)
+		}
+		if all, _ := p.TotalSupport(); !all {
+			t.Fatalf("permutation pattern must have total support: %v", perm)
+		}
+		if n >= 2 && p.FullyIndecomposable() {
+			t.Fatalf("bare permutation pattern (n=%d) must be decomposable", n)
+		}
+	}
+}
+
+// Property: for random square patterns, FullyIndecomposable implies total
+// support implies support.
+func TestIndecomposabilityHierarchy(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(6)
+		m := matrix.New(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if rng.Float64() < 0.5 {
+					m.Set(i, j, 1)
+				}
+			}
+		}
+		p := PatternOf(m, 0)
+		fi := p.FullyIndecomposable()
+		all, _ := p.TotalSupport()
+		sup := p.HasSupport()
+		if fi && !all {
+			t.Fatalf("trial %d: fully indecomposable without total support\n%v", trial, m)
+		}
+		if all && !sup {
+			t.Fatalf("trial %d: total support without support\n%v", trial, m)
+		}
+	}
+}

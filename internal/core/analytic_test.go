@@ -1,0 +1,95 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/etcmat"
+)
+
+// For a positive 2x2 ECS matrix [[a, b], [c, d]] the standard form is the
+// doubly stochastic [[p, 1-p], [1-p, p]] (up to the permutation), diagonal
+// scaling preserves the cross ratio (ad)/(bc) = p²/(1-p)², and the singular
+// values of the standard form are 1 and |2p-1|. Hence the closed form
+//
+//	TMA = |√(ad) − √(bc)| / (√(ad) + √(bc)).
+//
+// This is an analytic end-to-end check of the whole pipeline
+// (standardization + SVD + aggregation) against exact mathematics.
+func TestTMAAnalytic2x2(t *testing.T) {
+	rng := rand.New(rand.NewSource(140))
+	for trial := 0; trial < 200; trial++ {
+		a := 0.05 + rng.Float64()*20
+		b := 0.05 + rng.Float64()*20
+		c := 0.05 + rng.Float64()*20
+		d := 0.05 + rng.Float64()*20
+		env := etcmat.MustFromECS([][]float64{{a, b}, {c, d}})
+		r, err := TMA(env)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		sad, sbc := math.Sqrt(a*d), math.Sqrt(b*c)
+		want := math.Abs(sad-sbc) / (sad + sbc)
+		if math.Abs(r.TMA-want) > 1e-6 {
+			t.Fatalf("trial %d: TMA = %.9f, analytic = %.9f for [[%g %g],[%g %g]]",
+				trial, r.TMA, want, a, b, c, d)
+		}
+	}
+}
+
+// The 2x2 closed form also fixes the standard matrix itself:
+// p = sqrt(ad) / (sqrt(ad) + sqrt(bc)) on the dominant diagonal.
+func TestStandardForm2x2Analytic(t *testing.T) {
+	env := etcmat.MustFromECS([][]float64{{8, 2}, {1, 4}})
+	r, err := TMA(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sad, sbc := math.Sqrt(8.0*4.0), math.Sqrt(2.0*1.0)
+	p := sad / (sad + sbc)
+	if math.Abs(r.Standard.At(0, 0)-p) > 1e-7 {
+		t.Errorf("standard (0,0) = %.9f, want %.9f", r.Standard.At(0, 0), p)
+	}
+	if math.Abs(r.Standard.At(0, 1)-(1-p)) > 1e-7 {
+		t.Errorf("standard (0,1) = %.9f, want %.9f", r.Standard.At(0, 1), 1-p)
+	}
+}
+
+// Characterize on badly scaled but legal input (entries spanning 12 orders
+// of magnitude) must stay finite and in range — numerical hardening.
+func TestCharacterizeExtremeScales(t *testing.T) {
+	env := etcmat.MustFromECS([][]float64{
+		{1e-6, 3e5, 2},
+		{4e-4, 1e6, 7e-2},
+		{9e-5, 6e5, 3e-1},
+	})
+	p := Characterize(env)
+	if p.TMAErr != nil {
+		t.Fatalf("TMA failed on wide dynamic range: %v", p.TMAErr)
+	}
+	for name, v := range map[string]float64{"MPH": p.MPH, "TDH": p.TDH, "TMA": p.TMA} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("%s is not finite: %g", name, v)
+		}
+	}
+	if p.TMA < 0 || p.TMA > 1 || p.MPH <= 0 || p.MPH > 1 || p.TDH <= 0 || p.TDH > 1 {
+		t.Errorf("measures out of range: %+v", p)
+	}
+}
+
+// Near-duplicate singular values (an almost-symmetric specialized
+// environment) must not destabilize TMA.
+func TestTMANearDegenerateSpectrum(t *testing.T) {
+	env := etcmat.MustFromECS([][]float64{
+		{1, 1e-9},
+		{1e-9, 1},
+	})
+	r, err := TMA(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.TMA-1) > 1e-6 {
+		t.Errorf("TMA = %.9f, want ~1 for near-permutation", r.TMA)
+	}
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/etcmat"
+	"repro/internal/matrix"
+)
+
+// Section II-E of the paper motivates TMA geometrically: "column correlation,
+// which is quantified by the angle between the column vectors in the ECS
+// matrix, represents task-machine affinity" — zero pairwise angles mean no
+// affinity, larger angles mean machines rank task types differently. The
+// singular-value formulation is the aggregate the paper settles on; this file
+// provides the underlying pairwise-angle view for diagnostics and for the
+// ablation experiment that correlates the two.
+
+// ColumnAngles returns the M×M symmetric matrix of angles (radians, in
+// [0, π/2]) between the weighted ECS columns of the environment. The
+// diagonal is zero. A machine pair at angle 0 ranks all task types in
+// proportion; a pair at π/2 serves disjoint task sets.
+func ColumnAngles(env *etcmat.Env) *matrix.Dense {
+	w := env.WeightedECS()
+	m := env.Machines()
+	cols := make([][]float64, m)
+	norms := make([]float64, m)
+	for j := 0; j < m; j++ {
+		cols[j] = w.Col(j)
+		norms[j] = matrix.Nrm2(cols[j])
+	}
+	out := matrix.New(m, m)
+	for a := 0; a < m; a++ {
+		for b := a + 1; b < m; b++ {
+			var angle float64
+			if norms[a] == 0 || norms[b] == 0 {
+				angle = math.Pi / 2
+			} else {
+				c := matrix.Dot(cols[a], cols[b]) / (norms[a] * norms[b])
+				// Clamp against rounding before acos.
+				if c > 1 {
+					c = 1
+				}
+				if c < 0 {
+					c = 0
+				}
+				angle = math.Acos(c)
+			}
+			out.Set(a, b, angle)
+			out.Set(b, a, angle)
+		}
+	}
+	return out
+}
+
+// MeanColumnAngle returns the average pairwise column angle (radians), a
+// scalar summary of the Sec. II-E geometric picture. 0 for rank-one
+// environments; grows with affinity. Environments with a single machine have
+// no pairs and return 0.
+func MeanColumnAngle(env *etcmat.Env) float64 {
+	m := env.Machines()
+	if m < 2 {
+		return 0
+	}
+	angles := ColumnAngles(env)
+	sum := 0.0
+	for a := 0; a < m; a++ {
+		for b := a + 1; b < m; b++ {
+			sum += angles.At(a, b)
+		}
+	}
+	return sum / float64(m*(m-1)/2)
+}
+
+// MaxColumnAngle returns the largest pairwise column angle (radians) — the
+// most-specialized machine pair.
+func MaxColumnAngle(env *etcmat.Env) float64 {
+	m := env.Machines()
+	if m < 2 {
+		return 0
+	}
+	angles := ColumnAngles(env)
+	max := 0.0
+	for a := 0; a < m; a++ {
+		for b := a + 1; b < m; b++ {
+			if v := angles.At(a, b); v > max {
+				max = v
+			}
+		}
+	}
+	return max
+}

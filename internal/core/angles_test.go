@@ -1,0 +1,108 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/etcmat"
+	"repro/internal/stats"
+)
+
+// Figure 3's geometric claim (paper Sec. II-E): matrix (a) has all column
+// angles 0, matrix (b) has every pair at a positive angle.
+func TestColumnAnglesFigure3(t *testing.T) {
+	a := etcmat.MustFromECS([][]float64{{1, 1, 1}, {2, 2, 2}, {3, 3, 3}})
+	anglesA := ColumnAngles(a)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if anglesA.At(i, j) > 1e-7 {
+				t.Errorf("(a): angle(%d,%d) = %g, want 0", i, j, anglesA.At(i, j))
+			}
+		}
+	}
+	b := etcmat.MustFromECS([][]float64{{4, 1, 1}, {1, 4, 1}, {1, 1, 4}})
+	anglesB := ColumnAngles(b)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if i != j && anglesB.At(i, j) < 0.1 {
+				t.Errorf("(b): angle(%d,%d) = %g, want clearly positive", i, j, anglesB.At(i, j))
+			}
+		}
+	}
+}
+
+func TestColumnAnglesSymmetricZeroDiagonal(t *testing.T) {
+	rng := rand.New(rand.NewSource(80))
+	env := randomEnv(rng, 6, 5)
+	angles := ColumnAngles(env)
+	for i := 0; i < 5; i++ {
+		if angles.At(i, i) != 0 {
+			t.Errorf("diagonal (%d,%d) = %g", i, i, angles.At(i, i))
+		}
+		for j := 0; j < 5; j++ {
+			if angles.At(i, j) != angles.At(j, i) {
+				t.Errorf("asymmetric at (%d,%d)", i, j)
+			}
+			if angles.At(i, j) < 0 || angles.At(i, j) > math.Pi/2+1e-12 {
+				t.Errorf("angle (%d,%d) = %g outside [0, pi/2]", i, j, angles.At(i, j))
+			}
+		}
+	}
+}
+
+// Orthogonal columns (disjoint task support) are at angle pi/2 — the Fig. 4
+// C pattern.
+func TestColumnAnglesOrthogonal(t *testing.T) {
+	env := etcmat.MustFromECS([][]float64{{1, 0}, {0, 1}})
+	if got := MaxColumnAngle(env); math.Abs(got-math.Pi/2) > 1e-12 {
+		t.Errorf("orthogonal columns angle = %g, want pi/2", got)
+	}
+	if got := MeanColumnAngle(env); math.Abs(got-math.Pi/2) > 1e-12 {
+		t.Errorf("mean angle = %g, want pi/2", got)
+	}
+}
+
+func TestMeanColumnAngleDegenerate(t *testing.T) {
+	env := etcmat.MustFromECS([][]float64{{1}, {2}})
+	if got := MeanColumnAngle(env); got != 0 {
+		t.Errorf("single machine mean angle = %g, want 0", got)
+	}
+	if got := MaxColumnAngle(env); got != 0 {
+		t.Errorf("single machine max angle = %g, want 0", got)
+	}
+}
+
+// The aggregate claim behind TMA: across environments of increasing
+// affinity, TMA and the mean column angle rank environments identically
+// (they are different aggregates of the same geometry).
+func TestTMACorrelatesWithColumnAngles(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	tmas := make([]float64, 0, 8)
+	angles := make([]float64, 0, 8)
+	// Mix a rank-1 base with increasing diagonal dominance.
+	for k := 0; k <= 7; k++ {
+		mix := float64(k) / 7
+		rows := make([][]float64, 6)
+		for i := range rows {
+			rows[i] = make([]float64, 6)
+			for j := range rows[i] {
+				v := (1 - mix) * (1 + 0.01*rng.Float64())
+				if i == j {
+					v += mix * 6
+				}
+				rows[i][j] = v + 1e-9
+			}
+		}
+		env := etcmat.MustFromECS(rows)
+		r, err := TMA(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tmas = append(tmas, r.TMA)
+		angles = append(angles, MeanColumnAngle(env))
+	}
+	if rho := stats.Spearman(tmas, angles); rho < 0.99 {
+		t.Errorf("TMA vs mean column angle Spearman = %g, want rank agreement", rho)
+	}
+}

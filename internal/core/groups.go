@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/etcmat"
+	"repro/internal/linalg"
+	"repro/internal/sinkhorn"
+	"repro/internal/stats"
+)
+
+// AffinityGroups identifies the task-set / machine-set specialization
+// structure that TMA quantifies: which groups of machines are "better suited
+// to execute different sets of task types" (paper Sec. II-E).
+//
+// Method: take the standard-form ECS matrix (where σ₁ = 1 and the leading
+// singular vectors are the uninformative uniform directions — Theorem 2),
+// embed each machine by its components along the next k−1 right singular
+// vectors scaled by their singular values, and likewise each task type by
+// the left singular vectors; then k-means the embeddings. For a perfectly
+// block-specialized environment the embeddings are k point clusters and the
+// recovery is exact.
+type AffinityGroups struct {
+	// TaskGroup[i] and MachineGroup[j] are group ids in [0, K).
+	TaskGroup    []int
+	MachineGroup []int
+	K            int
+}
+
+// FindAffinityGroups clusters the environment into k affinity groups.
+// k must be between 1 and min(T, M). The seed makes runs reproducible.
+func FindAffinityGroups(env *etcmat.Env, k int, seed int64) (*AffinityGroups, error) {
+	t, m := env.Tasks(), env.Machines()
+	minTM := t
+	if m < minTM {
+		minTM = m
+	}
+	if k < 1 || k > minTM {
+		return nil, fmt.Errorf("core: affinity group count %d out of [1, %d]", k, minTM)
+	}
+	if k == 1 {
+		return &AffinityGroups{TaskGroup: make([]int, t), MachineGroup: make([]int, m), K: 1}, nil
+	}
+	res, err := sinkhorn.Standardize(env.WeightedECS())
+	if err != nil {
+		return nil, fmt.Errorf("core: affinity groups need a standardizable environment: %w", err)
+	}
+	f, err := linalg.SVDGolubReinsch(res.Scaled)
+	if err != nil {
+		f = linalg.SVDJacobi(res.Scaled)
+	}
+	// Dimensions 1..k-1 (skipping the uniform σ₁ direction).
+	dims := k - 1
+	machPoints := make([][]float64, m)
+	for j := 0; j < m; j++ {
+		p := make([]float64, dims)
+		for d := 0; d < dims; d++ {
+			p[d] = f.S[d+1] * f.V.At(j, d+1)
+		}
+		machPoints[j] = p
+	}
+	taskPoints := make([][]float64, t)
+	for i := 0; i < t; i++ {
+		p := make([]float64, dims)
+		for d := 0; d < dims; d++ {
+			p[d] = f.S[d+1] * f.U.At(i, d+1)
+		}
+		taskPoints[i] = p
+	}
+	rng := rand.New(rand.NewSource(seed))
+	machAssign, centroids, err := stats.KMeans(machPoints, k, rng, 8)
+	if err != nil {
+		return nil, err
+	}
+	// Assign tasks to the *machine* centroids so group ids are shared: a
+	// task belongs with the machines it loads on. Task and machine
+	// embeddings live in the same singular-vector coordinate system up to
+	// the sign/scale of each component, so nearest-centroid matching is
+	// meaningful after normalizing both clouds component-wise.
+	taskAssign := make([]int, t)
+	for i, p := range taskPoints {
+		best, bestD := 0, -1.0
+		for c := range centroids {
+			d := dot(p, centroids[c])
+			if bestD == -1 || d > bestD {
+				best, bestD = c, d
+			}
+		}
+		taskAssign[i] = best
+	}
+	return &AffinityGroups{TaskGroup: taskAssign, MachineGroup: machAssign, K: k}, nil
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/etcmat"
+)
+
+// blockEnv builds an environment with g specialization blocks: task i is
+// fast (speed hi) on the machines of block i%g and slow (speed lo)
+// elsewhere.
+func blockEnv(tasks, machines, g int, hi, lo float64) *etcmat.Env {
+	rows := make([][]float64, tasks)
+	for i := range rows {
+		rows[i] = make([]float64, machines)
+		for j := range rows[i] {
+			if j%g == i%g {
+				rows[i][j] = hi
+			} else {
+				rows[i][j] = lo
+			}
+		}
+	}
+	return etcmat.MustFromECS(rows)
+}
+
+func sameGrouping(t *testing.T, got []int, want func(a, b int) bool) {
+	t.Helper()
+	for a := 0; a < len(got); a++ {
+		for b := a + 1; b < len(got); b++ {
+			if want(a, b) != (got[a] == got[b]) {
+				t.Fatalf("grouping wrong: elements %d and %d (groups %d, %d), want together=%v",
+					a, b, got[a], got[b], want(a, b))
+			}
+		}
+	}
+}
+
+func TestFindAffinityGroupsTwoBlocks(t *testing.T) {
+	env := blockEnv(10, 6, 2, 10, 0.5)
+	g, err := FindAffinityGroups(env, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameGrouping(t, g.MachineGroup, func(a, b int) bool { return a%2 == b%2 })
+	sameGrouping(t, g.TaskGroup, func(a, b int) bool { return a%2 == b%2 })
+	// Tasks must share the group id of their fast machines.
+	for i, tg := range g.TaskGroup {
+		if tg != g.MachineGroup[i%2] {
+			t.Fatalf("task %d in group %d, its fast machines in group %d", i, tg, g.MachineGroup[i%2])
+		}
+	}
+}
+
+func TestFindAffinityGroupsThreeBlocks(t *testing.T) {
+	env := blockEnv(12, 9, 3, 8, 0.25)
+	g, err := FindAffinityGroups(env, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameGrouping(t, g.MachineGroup, func(a, b int) bool { return a%3 == b%3 })
+	sameGrouping(t, g.TaskGroup, func(a, b int) bool { return a%3 == b%3 })
+}
+
+func TestFindAffinityGroupsKOne(t *testing.T) {
+	env := blockEnv(4, 4, 2, 5, 1)
+	g, err := FindAffinityGroups(env, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range append(g.TaskGroup, g.MachineGroup...) {
+		if v != 0 {
+			t.Fatalf("k=1 must put everything in group 0: %v %v", g.TaskGroup, g.MachineGroup)
+		}
+	}
+}
+
+func TestFindAffinityGroupsValidation(t *testing.T) {
+	env := blockEnv(4, 3, 2, 5, 1)
+	if _, err := FindAffinityGroups(env, 0, 1); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := FindAffinityGroups(env, 4, 1); err == nil {
+		t.Error("k > min(T,M) accepted")
+	}
+}
+
+func TestFindAffinityGroupsDeterministic(t *testing.T) {
+	env := blockEnv(10, 6, 2, 10, 0.5)
+	a, err := FindAffinityGroups(env, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FindAffinityGroups(env, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range a.MachineGroup {
+		if a.MachineGroup[j] != b.MachineGroup[j] {
+			t.Fatal("same seed, different machine grouping")
+		}
+	}
+}
+
+// A rank-1 (no-affinity) environment has no real group structure; the call
+// must still succeed and return *some* partition without panicking.
+func TestFindAffinityGroupsNoStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(190))
+	rows := make([][]float64, 6)
+	for i := range rows {
+		rows[i] = make([]float64, 6)
+		base := 0.5 + rng.Float64()
+		for j := range rows[i] {
+			rows[i][j] = base * (0.5 + rng.Float64())
+		}
+	}
+	env := etcmat.MustFromECS(rows)
+	if _, err := FindAffinityGroups(env, 2, 1); err != nil {
+		t.Fatalf("no-structure environment errored: %v", err)
+	}
+}

@@ -1,0 +1,46 @@
+package core
+
+import (
+	"repro/internal/etcmat"
+	"repro/internal/linalg"
+)
+
+// TMALegacyColumnOnly computes task-machine affinity the way the paper's
+// prior work did (its ref [2], HCW 2010): normalize each ECS *column* to
+// unit sum — sufficient to decouple TMA from MPH — and average the
+// non-maximum singular values relative to σ₁ (the paper's Eq. 5, which must
+// divide by σ₁ because column normalization alone does not pin it to 1).
+//
+// This measure is kept for exactly the reason the paper gives for replacing
+// it: with TDH in the picture, column-only normalization leaves the affinity
+// number entangled with task difficulty spread. The EX10 experiment
+// demonstrates the dependence; TMA (the standard-form version) is the fix.
+func TMALegacyColumnOnly(env *etcmat.Env) float64 {
+	w := env.WeightedECS()
+	t, m := w.Dims()
+	minTM := t
+	if m < minTM {
+		minTM = m
+	}
+	if minTM == 1 {
+		return 0
+	}
+	cs := w.ColSums()
+	for j := range cs {
+		cs[j] = 1 / cs[j]
+	}
+	w.ScaleCols(cs)
+	sv := linalg.SingularValues(w)
+	sum := 0.0
+	for _, s := range sv[1:] {
+		sum += s
+	}
+	val := sum / (float64(minTM-1) * sv[0])
+	if val < 0 {
+		return 0
+	}
+	if val > 1 {
+		return 1
+	}
+	return val
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/etcmat"
+)
+
+func TestLegacyTMAZeroForRankOne(t *testing.T) {
+	env := etcmat.MustFromECS([][]float64{{1, 2}, {2, 4}, {3, 6}})
+	if got := TMALegacyColumnOnly(env); got > 1e-9 {
+		t.Errorf("legacy TMA of rank-1 environment = %g, want 0", got)
+	}
+}
+
+func TestLegacyTMAOneForOrthogonal(t *testing.T) {
+	env := etcmat.MustFromECS([][]float64{{1, 0}, {0, 1}})
+	if got := TMALegacyColumnOnly(env); math.Abs(got-1) > 1e-9 {
+		t.Errorf("legacy TMA of identity = %g, want 1", got)
+	}
+}
+
+func TestLegacyTMADegenerateShape(t *testing.T) {
+	env := etcmat.MustFromECS([][]float64{{1}, {2}})
+	if got := TMALegacyColumnOnly(env); got != 0 {
+		t.Errorf("single-machine legacy TMA = %g, want 0", got)
+	}
+}
+
+// The legacy measure is independent of MPH (column normalization removes
+// column scalings) — that part the 2010 paper got right.
+func TestLegacyTMAIndependentOfColumnScaling(t *testing.T) {
+	rng := rand.New(rand.NewSource(170))
+	env := randomEnv(rng, 5, 4)
+	base := TMALegacyColumnOnly(env)
+	ecs := env.ECS()
+	ecs.ScaleCols([]float64{0.1, 5, 2, 33})
+	scaled, err := etcmat.NewFromECS(ecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := TMALegacyColumnOnly(scaled); math.Abs(got-base) > 1e-9 {
+		t.Errorf("legacy TMA moved under column scaling: %g vs %g", got, base)
+	}
+}
+
+// The defect this paper fixes: the legacy measure is NOT independent of row
+// (task difficulty) scalings, while the standard-form TMA is. This is the
+// paper's stated motivation for the standard ECS matrix (Sec. III).
+func TestLegacyTMADependsOnRowScalingButTMADoesNot(t *testing.T) {
+	rng := rand.New(rand.NewSource(171))
+	env := randomEnv(rng, 6, 4)
+	legacyBase := TMALegacyColumnOnly(env)
+	newBase, err := TMA(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stretch the task difficulty spread hard.
+	ecs := env.ECS()
+	ecs.ScaleRows([]float64{1, 10, 100, 1000, 10000, 100000})
+	scaled, err := etcmat.NewFromECS(ecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacyScaled := TMALegacyColumnOnly(scaled)
+	newScaled, err := TMA(scaled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(legacyScaled-legacyBase) < 1e-3 {
+		t.Errorf("legacy TMA unexpectedly invariant to row scaling: %g vs %g (the 2010 defect should show)",
+			legacyScaled, legacyBase)
+	}
+	if math.Abs(newScaled.TMA-newBase.TMA) > 1e-6 {
+		t.Errorf("standard-form TMA moved under row scaling: %g vs %g", newScaled.TMA, newBase.TMA)
+	}
+}

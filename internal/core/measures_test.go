@@ -1,0 +1,503 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/etcmat"
+	"repro/internal/matrix"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// perfEnv builds a 1-task environment whose machine performances are exactly
+// the given values — the shape of the paper's Figure 2 environments.
+func perfEnv(perfs []float64) *etcmat.Env {
+	return etcmat.MustFromECS([][]float64{perfs})
+}
+
+// Figure 2 of the paper, verbatim: four 5-machine environments and the
+// published values of MPH, R, G and COV for each.
+func TestFigure2PublishedValues(t *testing.T) {
+	cases := []struct {
+		name           string
+		perfs          []float64
+		mph, r, g, cov float64
+		tol            float64
+	}{
+		{"env1", []float64{1, 2, 4, 8, 16}, 0.5, 0.06, 0.5, 0.88, 0.005},
+		{"env2", []float64{1, 1, 1, 1, 16}, 0.77, 0.06, 0.5, 1.5, 0.005},
+		{"env3", []float64{1, 16, 16, 16, 16}, 0.77, 0.06, 0.5, 0.46, 0.005},
+		// MPH(env4) = 0.625 exactly; the paper prints the 2-d.p. rounding
+		// 0.63, so the tolerance is one half-ulp of two decimals.
+		{"env4", []float64{1, 4, 4, 4, 16}, 0.63, 0.06, 0.5, 0.90, 0.0051},
+	}
+	for _, c := range cases {
+		env := perfEnv(c.perfs)
+		if got := MPH(env); !almost(got, c.mph, c.tol) {
+			t.Errorf("%s: MPH = %.4f, want %.2f", c.name, got, c.mph)
+		}
+		if got := RatioR(env); !almost(got, c.r, c.tol) {
+			t.Errorf("%s: R = %.4f, want %.2f", c.name, got, c.r)
+		}
+		if got := GeoMeanG(env); !almost(got, c.g, c.tol) {
+			t.Errorf("%s: G = %.4f, want %.2f", c.name, got, c.g)
+		}
+		if got := COV(env); !almost(got, c.cov, c.tol) {
+			t.Errorf("%s: COV = %.4f, want %.2f", c.name, got, c.cov)
+		}
+	}
+}
+
+// The paper's Figure 2 ordering argument: MPH must rank env1 as most
+// heterogeneous (lowest), env2 and env3 as equally most homogeneous, and
+// env4 in between, while R and G fail to separate any of them.
+func TestFigure2MPHMatchesIntuition(t *testing.T) {
+	mph1 := MPH(perfEnv([]float64{1, 2, 4, 8, 16}))
+	mph2 := MPH(perfEnv([]float64{1, 1, 1, 1, 16}))
+	mph3 := MPH(perfEnv([]float64{1, 16, 16, 16, 16}))
+	mph4 := MPH(perfEnv([]float64{1, 4, 4, 4, 16}))
+	if !(mph1 < mph4 && mph4 < mph2) {
+		t.Errorf("MPH ordering violated: env1 %.3f < env4 %.3f < env2 %.3f expected", mph1, mph4, mph2)
+	}
+	if !almost(mph2, mph3, 1e-12) {
+		t.Errorf("env2 and env3 must have equal MPH: %.4f vs %.4f", mph2, mph3)
+	}
+	r1 := RatioR(perfEnv([]float64{1, 2, 4, 8, 16}))
+	r2 := RatioR(perfEnv([]float64{1, 1, 1, 1, 16}))
+	if !almost(r1, r2, 1e-12) {
+		t.Errorf("R fails intuition by design but must at least be equal here: %.4f vs %.4f", r1, r2)
+	}
+}
+
+// Figure 1 (reconstructed; paper states machine 1's performance is 17): the
+// performance of a machine is its ECS column sum.
+func TestFigure1MachinePerformance(t *testing.T) {
+	env := etcmat.MustFromECS([][]float64{
+		{2, 3, 8},
+		{6, 5, 7},
+		{4, 2, 9},
+		{5, 1, 6},
+	})
+	mp := MachinePerformances(env)
+	if mp[0] != 17 {
+		t.Errorf("MP_1 = %g, want 17 (paper Fig. 1)", mp[0])
+	}
+	if mp[1] != 11 || mp[2] != 30 {
+		t.Errorf("MP = %v, want [17 11 30]", mp)
+	}
+}
+
+// Figure 3 (reconstructed): both matrices have equal column sums (MPH = 1);
+// (a) has proportional columns (no affinity, TMA = 0) while (b) has
+// angle-separated columns (TMA > 0).
+func TestFigure3AffinityContrast(t *testing.T) {
+	a := etcmat.MustFromECS([][]float64{{1, 1, 1}, {2, 2, 2}, {3, 3, 3}})
+	b := etcmat.MustFromECS([][]float64{{4, 1, 1}, {1, 4, 1}, {1, 1, 4}})
+	if got := MPH(a); !almost(got, 1, 1e-12) {
+		t.Errorf("(a) MPH = %g, want 1", got)
+	}
+	if got := MPH(b); !almost(got, 1, 1e-12) {
+		t.Errorf("(b) MPH = %g, want 1", got)
+	}
+	ra, err := TMA(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.TMA > 1e-6 {
+		t.Errorf("(a) TMA = %g, want 0 (proportional columns)", ra.TMA)
+	}
+	rb, err := TMA(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.TMA <= 0.1 {
+		t.Errorf("(b) TMA = %g, want clearly positive", rb.TMA)
+	}
+}
+
+// fig4 returns the eight reconstructed extreme 2x2 matrices of Figure 4.
+// The paper specifies each matrix's qualitative profile exactly:
+// A-D have TMA = 1, E-H have TMA = 0; C,D,G,H have high MPH, A,B,E,F low;
+// A,C,E,G have high TDH, B,D,F,H low.
+func fig4() map[string]*etcmat.Env {
+	return map[string]*etcmat.Env{
+		"A": etcmat.MustFromECS([][]float64{{0, 10}, {1, 9}}),
+		"B": etcmat.MustFromECS([][]float64{{0, 1}, {4, 95}}),
+		"C": etcmat.MustFromECS([][]float64{{1, 0}, {0, 1}}),
+		"D": etcmat.MustFromECS([][]float64{{10, 0}, {45, 55}}),
+		"E": etcmat.MustFromECS([][]float64{{0.1, 9.9}, {0.1, 9.9}}),
+		"F": etcmat.MustFromECS([][]float64{{0.01, 0.99}, {0.99, 98.01}}),
+		"G": etcmat.MustFromECS([][]float64{{1, 1}, {1, 1}}),
+		"H": etcmat.MustFromECS([][]float64{{0.1, 0.1}, {9.9, 9.9}}),
+	}
+}
+
+func TestFigure4ExtremeProfiles(t *testing.T) {
+	highMPH := map[string]bool{"C": true, "D": true, "G": true, "H": true}
+	highTDH := map[string]bool{"A": true, "C": true, "E": true, "G": true}
+	tmaOne := map[string]bool{"A": true, "B": true, "C": true, "D": true}
+	for name, env := range fig4() {
+		p := Characterize(env)
+		if p.TMAErr != nil {
+			t.Fatalf("%s: TMA error: %v", name, p.TMAErr)
+		}
+		if highMPH[name] && p.MPH < 0.9 {
+			t.Errorf("%s: MPH = %.3f, want high (>= 0.9)", name, p.MPH)
+		}
+		if !highMPH[name] && p.MPH > 0.2 {
+			t.Errorf("%s: MPH = %.3f, want low (<= 0.2)", name, p.MPH)
+		}
+		if highTDH[name] && p.TDH < 0.9 {
+			t.Errorf("%s: TDH = %.3f, want high (>= 0.9)", name, p.TDH)
+		}
+		if !highTDH[name] && p.TDH > 0.2 {
+			t.Errorf("%s: TDH = %.3f, want low (<= 0.2)", name, p.TDH)
+		}
+		if tmaOne[name] && !almost(p.TMA, 1, 1e-6) {
+			t.Errorf("%s: TMA = %.6f, want 1", name, p.TMA)
+		}
+		if !tmaOne[name] && p.TMA > 1e-6 {
+			t.Errorf("%s: TMA = %.6g, want 0", name, p.TMA)
+		}
+	}
+}
+
+// The paper: "When the procedure in Equation 9 is applied to matrices A, B,
+// and D they all converge to the standard form of C."
+func TestFigure4ABDConvergeToStandardFormOfC(t *testing.T) {
+	envs := fig4()
+	rc, err := TMA(envs["C"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"A", "B", "D"} {
+		r, err := TMA(envs[name])
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if r.Trimmed == 0 {
+			t.Errorf("%s: expected an unsupported entry to vanish in the limit", name)
+		}
+		// The standard forms agree up to the row/column permutation induced
+		// by the zero pattern: compare sorted singular values and the sorted
+		// entry multiset instead of exact layout.
+		if !matrix.VecEqualTol(r.SingularValues, rc.SingularValues, 1e-6) {
+			t.Errorf("%s: singular values %v != C's %v", name, r.SingularValues, rc.SingularValues)
+		}
+		got := matrix.SortedAscending(r.Standard.RawData())
+		want := matrix.SortedAscending(rc.Standard.RawData())
+		if !matrix.VecEqualTol(got, want, 1e-6) {
+			t.Errorf("%s: standard form entries %v != C's %v", name, got, want)
+		}
+	}
+}
+
+// The C matrix of Figure 4 is already standard and its second singular value
+// is 1 (paper Sec. IV).
+func TestFigure4CAlreadyStandard(t *testing.T) {
+	r, err := TMA(fig4()["C"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(r.SingularValues[1], 1, 1e-9) {
+		t.Errorf("σ2 = %g, want 1", r.SingularValues[1])
+	}
+	if r.Iterations != 1 {
+		t.Errorf("identity should balance immediately, took %d iterations", r.Iterations)
+	}
+}
+
+func TestMPHBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	for trial := 0; trial < 50; trial++ {
+		env := randomEnv(rng, 2+rng.Intn(8), 2+rng.Intn(8))
+		for _, v := range []struct {
+			name string
+			val  float64
+		}{{"MPH", MPH(env)}, {"TDH", TDH(env)}} {
+			if !(v.val > 0 && v.val <= 1+1e-12) {
+				t.Fatalf("trial %d: %s = %g out of (0,1]", trial, v.name, v.val)
+			}
+		}
+	}
+}
+
+func TestTMABounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 25; trial++ {
+		env := randomEnv(rng, 2+rng.Intn(6), 2+rng.Intn(6))
+		r, err := TMA(env)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if r.TMA < 0 || r.TMA > 1 {
+			t.Fatalf("trial %d: TMA = %g out of [0,1]", trial, r.TMA)
+		}
+		if !almost(r.SingularValues[0], 1, 1e-6) {
+			t.Fatalf("trial %d: σ1 = %g, want 1 (Theorem 2)", trial, r.SingularValues[0])
+		}
+	}
+}
+
+// Property 2 of the paper's heterogeneity-measure requirements: no measure
+// changes when the ECS matrix is scaled by a common factor (time units).
+func TestAllMeasuresScaleInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	env := randomEnv(rng, 6, 4)
+	scaled, err := etcmat.NewFromECS(env.ECS().Scale(3600)) // seconds -> hours
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, p2 := Characterize(env), Characterize(scaled)
+	if !almost(p1.MPH, p2.MPH, 1e-9) || !almost(p1.TDH, p2.TDH, 1e-9) || !almost(p1.TMA, p2.TMA, 1e-6) {
+		t.Errorf("measures changed under unit scaling: %v vs %v", p1, p2)
+	}
+	if !almost(p1.RatioR, p2.RatioR, 1e-9) || !almost(p1.GeoMeanG, p2.GeoMeanG, 1e-9) || !almost(p1.COV, p2.COV, 1e-9) {
+		t.Errorf("comparison measures changed under unit scaling")
+	}
+}
+
+// Property 3 (independence): TMA must be unchanged by any positive row or
+// column rescaling of the ECS matrix, because standardization divides such
+// factors out. This is exactly why the paper introduces the standard form.
+func TestTMAIndependentOfRowColumnScalings(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	env := randomEnv(rng, 5, 7)
+	base, err := TMA(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ecs := env.ECS()
+	d1 := make([]float64, 5)
+	d2 := make([]float64, 7)
+	for i := range d1 {
+		d1[i] = 0.2 + rng.Float64()*8
+	}
+	for j := range d2 {
+		d2[j] = 0.2 + rng.Float64()*8
+	}
+	ecs.ScaleRows(d1).ScaleCols(d2)
+	scaledEnv, err := etcmat.NewFromECS(ecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled, err := TMA(scaledEnv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(base.TMA, scaled.TMA, 1e-6) {
+		t.Errorf("TMA changed under diagonal rescaling: %g vs %g — measures not independent", base.TMA, scaled.TMA)
+	}
+	// Meanwhile MPH and TDH do change, demonstrating that the three measures
+	// probe different aspects.
+	if almost(MPH(env), MPH(scaledEnv), 1e-6) && almost(TDH(env), TDH(scaledEnv), 1e-6) {
+		t.Log("note: random scaling accidentally preserved MPH and TDH")
+	}
+}
+
+// Zero affinity iff rank-1 ECS: outer-product environments must give TMA 0.
+func TestTMAZeroForRankOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 10; trial++ {
+		tn, mn := 2+rng.Intn(6), 2+rng.Intn(6)
+		u := make([]float64, tn)
+		v := make([]float64, mn)
+		for i := range u {
+			u[i] = 0.5 + rng.Float64()*4
+		}
+		for j := range v {
+			v[j] = 0.5 + rng.Float64()*4
+		}
+		rows := make([][]float64, tn)
+		for i := range rows {
+			rows[i] = make([]float64, mn)
+			for j := range rows[i] {
+				rows[i][j] = u[i] * v[j]
+			}
+		}
+		r, err := TMA(etcmat.MustFromECS(rows))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.TMA > 1e-6 {
+			t.Errorf("trial %d: rank-1 environment has TMA = %g, want 0", trial, r.TMA)
+		}
+	}
+}
+
+// Maximal affinity: a (scaled) permutation-structured ECS has TMA = 1.
+func TestTMAOneForPermutationStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	n := 5
+	perm := rng.Perm(n)
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = make([]float64, n)
+		rows[i][perm[i]] = 1 + rng.Float64()*9
+	}
+	r, err := TMA(etcmat.MustFromECS(rows))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(r.TMA, 1, 1e-6) {
+		t.Errorf("permutation environment TMA = %g, want 1", r.TMA)
+	}
+}
+
+// Degenerate shapes: one machine or one task type has no affinity dimension.
+func TestTMADegenerateShapes(t *testing.T) {
+	oneMachine := etcmat.MustFromECS([][]float64{{1}, {2}, {3}})
+	r, err := TMA(oneMachine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TMA != 0 {
+		t.Errorf("single-machine TMA = %g, want 0", r.TMA)
+	}
+	if got := MPH(oneMachine); got != 1 {
+		t.Errorf("single-machine MPH = %g, want 1", got)
+	}
+	oneTask := etcmat.MustFromECS([][]float64{{1, 2, 3}})
+	if got := TDH(oneTask); got != 1 {
+		t.Errorf("single-task TDH = %g, want 1", got)
+	}
+}
+
+// Weights enter MP and TD exactly as in Eqs. 4 and 6.
+func TestWeightedPerformancesAndDifficulties(t *testing.T) {
+	env := etcmat.MustFromECS([][]float64{{1, 2}, {3, 4}})
+	env, err := env.WithWeights([]float64{2, 1}, []float64{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MP_j = w_m(j) * sum_i w_t(i) ECS(i,j):
+	// MP_1 = 1*(2*1 + 1*3) = 5 ; MP_2 = 3*(2*2 + 1*4) = 24.
+	mp := MachinePerformances(env)
+	if !matrix.VecEqualTol(mp, []float64{5, 24}, 1e-12) {
+		t.Errorf("weighted MP = %v, want [5 24]", mp)
+	}
+	// TD_i = w_t(i) * sum_j w_m(j) ECS(i,j):
+	// TD_1 = 2*(1*1 + 3*2) = 14 ; TD_2 = 1*(1*3 + 3*4) = 15.
+	td := TaskDifficulties(env)
+	if !matrix.VecEqualTol(td, []float64{14, 15}, 1e-12) {
+		t.Errorf("weighted TD = %v, want [14 15]", td)
+	}
+}
+
+// Weights change the measures (they are part of the environment definition).
+func TestWeightsAffectMeasures(t *testing.T) {
+	env := etcmat.MustFromECS([][]float64{{1, 2}, {3, 4}})
+	weighted, _ := env.WithWeights([]float64{10, 1}, nil)
+	if almost(TDH(env), TDH(weighted), 1e-9) {
+		t.Error("task weights had no effect on TDH")
+	}
+}
+
+func TestCanonicalForm(t *testing.T) {
+	env := etcmat.MustFromECS([][]float64{
+		{5, 1}, // TD = 6
+		{1, 1}, // TD = 2
+	})
+	canon, taskPerm, machPerm := CanonicalForm(env)
+	// Task rows ascending by difficulty: row "TD=2" first.
+	if taskPerm[0] != 1 || taskPerm[1] != 0 {
+		t.Errorf("taskPerm = %v", taskPerm)
+	}
+	// Machine columns ascending by performance: col sums are 6 and 2.
+	if machPerm[0] != 1 || machPerm[1] != 0 {
+		t.Errorf("machPerm = %v", machPerm)
+	}
+	if !matrix.IsSortedAscending(canon.RowSums()) {
+		t.Errorf("canonical row sums not ascending: %v", canon.RowSums())
+	}
+	if !matrix.IsSortedAscending(canon.ColSums()) {
+		t.Errorf("canonical col sums not ascending: %v", canon.ColSums())
+	}
+}
+
+// MPH and TDH are permutation invariant: reordering machines or task types
+// must not change any measure.
+func TestMeasuresPermutationInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	env := randomEnv(rng, 5, 6)
+	permuted, err := env.Subenv([]int{4, 2, 0, 1, 3}, []int{5, 0, 3, 1, 4, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, p2 := Characterize(env), Characterize(permuted)
+	if !almost(p1.MPH, p2.MPH, 1e-12) || !almost(p1.TDH, p2.TDH, 1e-12) || !almost(p1.TMA, p2.TMA, 1e-6) {
+		t.Errorf("measures not permutation invariant:\n%v\n%v", p1, p2)
+	}
+}
+
+func TestCharacterizeProfileFields(t *testing.T) {
+	env := etcmat.MustFromECS([][]float64{{1, 2, 3}, {4, 5, 6}})
+	p := Characterize(env)
+	if p.Tasks != 2 || p.Machines != 3 {
+		t.Errorf("dims = %dx%d", p.Tasks, p.Machines)
+	}
+	if len(p.MachinePerf) != 3 || len(p.TaskDiff) != 2 {
+		t.Errorf("aggregate lengths wrong")
+	}
+	if p.TMAErr != nil {
+		t.Errorf("unexpected TMA error: %v", p.TMAErr)
+	}
+	if p.SinkhornIterations < 1 {
+		t.Errorf("SinkhornIterations = %d", p.SinkhornIterations)
+	}
+	if s := p.String(); s == "" {
+		t.Error("empty Profile string")
+	}
+}
+
+// The Eq. 10 environment: our TMA evaluates the entrywise Sinkhorn limit
+// (the paper leaves TMA for non-scalable matrices as future work; the limit
+// of its own Eq. 9 iteration is the natural extension). The limit is a
+// permutation pattern, so TMA = 1, with two entries trimmed.
+func TestEq10TMAOnEntrywiseLimit(t *testing.T) {
+	env := etcmat.MustFromECS([][]float64{
+		{0, 1, 0},
+		{1, 0, 1},
+		{0, 1, 1},
+	})
+	r, err := TMA(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Trimmed != 2 {
+		t.Errorf("Trimmed = %d, want 2 (entries (1,2) and (2,1))", r.Trimmed)
+	}
+	if !almost(r.TMA, 1, 1e-6) {
+		t.Errorf("TMA = %g, want 1 on the permutation limit", r.TMA)
+	}
+}
+
+// A square environment whose zero pattern has no positive diagonal cannot be
+// standardized at all.
+func TestTMANoSupportErrors(t *testing.T) {
+	env := etcmat.MustFromECS([][]float64{
+		{1, 0, 0},
+		{2, 0, 0},
+		{3, 4, 5},
+	})
+	p := Characterize(env)
+	if p.TMAErr == nil {
+		t.Fatal("expected TMA error for unsupported pattern")
+	}
+	if !math.IsNaN(p.TMA) {
+		t.Errorf("TMA = %g, want NaN", p.TMA)
+	}
+}
+
+func randomEnv(rng *rand.Rand, t, m int) *etcmat.Env {
+	rows := make([][]float64, t)
+	for i := range rows {
+		rows[i] = make([]float64, m)
+		for j := range rows[i] {
+			rows[i][j] = 0.1 + rng.Float64()*10
+		}
+	}
+	return etcmat.MustFromECS(rows)
+}

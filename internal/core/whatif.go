@@ -1,0 +1,140 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/etcmat"
+	"repro/internal/matrix"
+)
+
+// This file implements the paper's what-if application (Sec. I: "what-if
+// studies to identify the effect of adding/removing task types or machines
+// from an HC system on its heterogeneity") as first-class library calls:
+// leave-one-out deltas and entrywise sensitivities.
+
+// Delta is the measure shift caused by one structural edit.
+type Delta struct {
+	// Kind is "task" or "machine"; Index and Name identify what was removed.
+	Kind  string
+	Index int
+	Name  string
+	// MPH, TDH, TMA are the edited environment's measures; DMPH, DTDH, DTMA
+	// are the differences against the baseline. TMA deltas are NaN when
+	// either side is not standardizable.
+	MPH, TDH, TMA    float64
+	DMPH, DTDH, DTMA float64
+	// Err records edits that produce an invalid environment (for example,
+	// removing the only machine a task type can run on).
+	Err error
+}
+
+// LeaveOneOut computes the measure deltas from removing each machine and
+// each task type in turn. Environments with a single task type or machine
+// yield errors for the corresponding edits rather than panicking.
+func LeaveOneOut(env *etcmat.Env) (baseline *Profile, deltas []Delta) {
+	baseline = Characterize(env)
+	for j, name := range env.MachineNames() {
+		d := Delta{Kind: "machine", Index: j, Name: name}
+		edited, err := env.RemoveMachine(j)
+		if err != nil {
+			d.Err = err
+		} else {
+			fillDelta(&d, baseline, Characterize(edited))
+		}
+		deltas = append(deltas, d)
+	}
+	for i, name := range env.TaskNames() {
+		d := Delta{Kind: "task", Index: i, Name: name}
+		edited, err := env.RemoveTask(i)
+		if err != nil {
+			d.Err = err
+		} else {
+			fillDelta(&d, baseline, Characterize(edited))
+		}
+		deltas = append(deltas, d)
+	}
+	return baseline, deltas
+}
+
+func fillDelta(d *Delta, base, p *Profile) {
+	d.MPH, d.TDH, d.TMA = p.MPH, p.TDH, p.TMA
+	d.DMPH = p.MPH - base.MPH
+	d.DTDH = p.TDH - base.TDH
+	if base.TMAErr != nil || p.TMAErr != nil {
+		d.DTMA = math.NaN()
+	} else {
+		d.DTMA = p.TMA - base.TMA
+	}
+}
+
+// Sensitivity holds entrywise finite-difference gradients of the three
+// measures with respect to relative perturbations of the ECS entries:
+// entry (i, j) of DMPH approximates d MPH / d log ECS(i, j) — the measure
+// shift per unit *relative* speed change of task i on machine j. Relative
+// derivatives are the natural scale-free choice here (the measures are
+// invariant to global scaling, so absolute derivatives would mix units).
+type Sensitivity struct {
+	DMPH, DTDH, DTMA *matrix.Dense
+}
+
+// Sensitivities computes central finite-difference gradients with relative
+// step h (default 1e-4 when h <= 0). The environment must be standardizable;
+// the cost is 2·T·M characterizations.
+func Sensitivities(env *etcmat.Env, h float64) (*Sensitivity, error) {
+	if h <= 0 {
+		h = 1e-4
+	}
+	base := Characterize(env)
+	if base.TMAErr != nil {
+		return nil, fmt.Errorf("core: Sensitivities needs a standardizable environment: %w", base.TMAErr)
+	}
+	t, m := env.Tasks(), env.Machines()
+	out := &Sensitivity{
+		DMPH: matrix.New(t, m),
+		DTDH: matrix.New(t, m),
+		DTMA: matrix.New(t, m),
+	}
+	ecs := env.ECS()
+	for i := 0; i < t; i++ {
+		for j := 0; j < m; j++ {
+			v := ecs.At(i, j)
+			if v == 0 {
+				// A zero entry cannot be perturbed multiplicatively; its
+				// sensitivities are reported as zero.
+				continue
+			}
+			up, err := perturbed(env, ecs, i, j, v*(1+h))
+			if err != nil {
+				return nil, err
+			}
+			down, err := perturbed(env, ecs, i, j, v*(1-h))
+			if err != nil {
+				return nil, err
+			}
+			// d/d log v  =  v * d/dv ; central difference over log step 2h.
+			out.DMPH.Set(i, j, (up.MPH-down.MPH)/(2*h))
+			out.DTDH.Set(i, j, (up.TDH-down.TDH)/(2*h))
+			if up.TMAErr != nil || down.TMAErr != nil {
+				out.DTMA.Set(i, j, math.NaN())
+			} else {
+				out.DTMA.Set(i, j, (up.TMA-down.TMA)/(2*h))
+			}
+		}
+	}
+	return out, nil
+}
+
+func perturbed(env *etcmat.Env, ecs *matrix.Dense, i, j int, v float64) (*Profile, error) {
+	mod := ecs.Clone()
+	mod.Set(i, j, v)
+	edited, err := etcmat.NewFromECS(mod)
+	if err != nil {
+		return nil, err
+	}
+	edited, err = edited.WithWeights(env.TaskWeights(), env.MachineWeights())
+	if err != nil {
+		return nil, err
+	}
+	return Characterize(edited), nil
+}

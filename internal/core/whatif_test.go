@@ -1,0 +1,188 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/etcmat"
+)
+
+func TestLeaveOneOutCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(160))
+	env := randomEnv(rng, 4, 3)
+	base, deltas := LeaveOneOut(env)
+	if base == nil || base.TMAErr != nil {
+		t.Fatalf("baseline bad: %v", base)
+	}
+	if len(deltas) != 4+3 {
+		t.Fatalf("got %d deltas, want 7", len(deltas))
+	}
+	machines, tasks := 0, 0
+	for _, d := range deltas {
+		if d.Err != nil {
+			t.Errorf("unexpected edit error for %s %s: %v", d.Kind, d.Name, d.Err)
+			continue
+		}
+		switch d.Kind {
+		case "machine":
+			machines++
+		case "task":
+			tasks++
+		default:
+			t.Errorf("unknown kind %q", d.Kind)
+		}
+		if math.Abs(d.DMPH-(d.MPH-base.MPH)) > 1e-12 {
+			t.Errorf("%s %s: DMPH inconsistent", d.Kind, d.Name)
+		}
+	}
+	if machines != 3 || tasks != 4 {
+		t.Errorf("kinds = %d machines, %d tasks", machines, tasks)
+	}
+}
+
+// Removing one of two identical machines from an otherwise heterogeneous
+// pair must raise MPH to exactly 1... no: with 2 identical and 1 different
+// machine, removing the odd one makes the rest perfectly homogeneous.
+func TestLeaveOneOutHomogenizes(t *testing.T) {
+	env := etcmat.MustFromECS([][]float64{
+		{1, 1, 9},
+		{2, 2, 18},
+	})
+	_, deltas := LeaveOneOut(env)
+	for _, d := range deltas {
+		if d.Kind == "machine" && d.Index == 2 {
+			if math.Abs(d.MPH-1) > 1e-12 {
+				t.Errorf("removing the fast machine should give MPH 1, got %g", d.MPH)
+			}
+		}
+	}
+}
+
+func TestLeaveOneOutSingletonErrors(t *testing.T) {
+	env := etcmat.MustFromECS([][]float64{{1, 2}})
+	_, deltas := LeaveOneOut(env)
+	sawTaskErr := false
+	for _, d := range deltas {
+		if d.Kind == "task" && d.Err != nil {
+			sawTaskErr = true
+		}
+	}
+	if !sawTaskErr {
+		t.Error("removing the only task type should report an error delta")
+	}
+}
+
+// Removing a machine that strands a task type must surface the error, not
+// panic.
+func TestLeaveOneOutStrandedTask(t *testing.T) {
+	env := etcmat.MustFromECS([][]float64{
+		{1, 0},
+		{1, 1},
+	})
+	_, deltas := LeaveOneOut(env)
+	for _, d := range deltas {
+		if d.Kind == "machine" && d.Index == 0 && d.Err == nil {
+			t.Error("removing machine 0 strands task 0 and must error")
+		}
+	}
+}
+
+func TestSensitivitiesShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(161))
+	env := randomEnv(rng, 3, 4)
+	s, err := Sensitivities(env, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, c := s.DMPH.Dims(); r != 3 || c != 4 {
+		t.Errorf("DMPH dims = %dx%d", r, c)
+	}
+	if s.DTMA.HasNaN() {
+		t.Error("unexpected NaN sensitivities on a positive environment")
+	}
+}
+
+// Directional check: the sum of relative sensitivities over all entries is
+// the derivative along a global rescaling, which every measure is invariant
+// to — so each gradient must sum to ~0.
+func TestSensitivitiesGlobalScalingDirectionIsNull(t *testing.T) {
+	rng := rand.New(rand.NewSource(162))
+	env := randomEnv(rng, 4, 4)
+	s, err := Sensitivities(env, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, m := range map[string]float64{
+		"MPH": s.DMPH.Sum(),
+		"TDH": s.DTDH.Sum(),
+		"TMA": s.DTMA.Sum(),
+	} {
+		if math.Abs(m) > 1e-4 {
+			t.Errorf("%s gradient sums to %g along the scaling direction, want ~0", name, m)
+		}
+	}
+}
+
+// Rows of the TMA gradient must also sum to ~0: scaling one task type's row
+// is a diagonal scaling, which TMA is invariant to. Same for columns.
+func TestSensitivitiesTMADiagonalDirectionsNull(t *testing.T) {
+	rng := rand.New(rand.NewSource(163))
+	env := randomEnv(rng, 4, 5)
+	s, err := Sensitivities(env, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rowSum := range s.DTMA.RowSums() {
+		if math.Abs(rowSum) > 1e-4 {
+			t.Errorf("TMA row-%d gradient sum %g, want ~0 (row scaling invariance)", i, rowSum)
+		}
+	}
+	for j, colSum := range s.DTMA.ColSums() {
+		if math.Abs(colSum) > 1e-4 {
+			t.Errorf("TMA col-%d gradient sum %g, want ~0 (column scaling invariance)", j, colSum)
+		}
+	}
+}
+
+// Finite-difference consistency: the gradient must predict the effect of a
+// small single-entry perturbation to first order.
+func TestSensitivitiesPredictPerturbation(t *testing.T) {
+	rng := rand.New(rand.NewSource(164))
+	env := randomEnv(rng, 3, 3)
+	s, err := Sensitivities(env, 1e-5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const eps = 1e-3 // relative bump on entry (1, 2)
+	ecs := env.ECS()
+	ecs.Set(1, 2, ecs.At(1, 2)*(1+eps))
+	bumped, err := etcmat.NewFromECS(ecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	basep := Characterize(env)
+	newp := Characterize(bumped)
+	predicted := basep.MPH + s.DMPH.At(1, 2)*eps
+	if math.Abs(newp.MPH-predicted) > 1e-6 {
+		t.Errorf("MPH: predicted %.8f, actual %.8f", predicted, newp.MPH)
+	}
+	predictedTMA := basep.TMA + s.DTMA.At(1, 2)*eps
+	if math.Abs(newp.TMA-predictedTMA) > 1e-5 {
+		t.Errorf("TMA: predicted %.8f, actual %.8f", predictedTMA, newp.TMA)
+	}
+}
+
+func TestSensitivitiesZeroEntriesSkipped(t *testing.T) {
+	env := etcmat.MustFromECS([][]float64{
+		{1, 0},
+		{1, 1},
+	})
+	s, err := Sensitivities(env, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.DMPH.At(0, 1) != 0 || s.DTDH.At(0, 1) != 0 || s.DTMA.At(0, 1) != 0 {
+		t.Error("zero entry should have zero reported sensitivity")
+	}
+}

@@ -1,0 +1,168 @@
+package dynsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/etcmat"
+)
+
+func TestSimulateBatchValidation(t *testing.T) {
+	env := twoMachineEnv()
+	if _, err := SimulateBatch(env, nil, 1, nil); err == nil {
+		t.Error("empty workload accepted")
+	}
+	if _, err := SimulateBatch(env, Workload{{0, 0}}, 0, nil); err == nil {
+		t.Error("zero interval accepted")
+	}
+	if _, err := SimulateBatch(env, Workload{{0, 9}}, 1, nil); err == nil {
+		t.Error("invalid task type accepted")
+	}
+}
+
+// Hand trace: two specialized tasks arriving together are mapped at one
+// event straight to their fast machines.
+func TestSimulateBatchHandTrace(t *testing.T) {
+	env := twoMachineEnv()
+	w := Workload{{0, 0}, {0, 1}}
+	res, err := SimulateBatch(env, w, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Assignments[0] != 0 || res.Assignments[1] != 1 {
+		t.Errorf("assignments = %v, want [0 1]", res.Assignments)
+	}
+	if res.Makespan != 2 || res.MeanResponse != 2 {
+		t.Errorf("makespan %g response %g, want 2 and 2", res.Makespan, res.MeanResponse)
+	}
+	if res.MappingEvents != 1 {
+		t.Errorf("mapping events = %d, want 1", res.MappingEvents)
+	}
+	if res.Completed != 2 {
+		t.Errorf("completed = %d", res.Completed)
+	}
+}
+
+// Pooling effect: two type-0 tasks at t=0 under batch Min-Min go one per
+// machine only if that lowers completion — here queueing on the fast machine
+// (4) beats the slow machine (10), matching immediate MCT.
+func TestSimulateBatchPoolsMinMin(t *testing.T) {
+	env := twoMachineEnv()
+	res, err := SimulateBatch(env, Workload{{0, 0}, {0, 0}}, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 4 {
+		t.Errorf("makespan = %g, want 4", res.Makespan)
+	}
+}
+
+// The batch advantage: a task mapped but not yet started can be re-mapped
+// when a better later arrival changes the picture. Construct: at t=0 task A
+// (type 0: fast on m1) and task B (type 0) arrive; B is queued behind A on
+// m1. At t=1 (next event), before B starts (A runs till 2), a type-1 task C
+// arrives that wants m2; B may be reconsidered. The key observable is
+// correctness: nothing runs on an impossible machine and every response is
+// consistent.
+func TestSimulateBatchRemapping(t *testing.T) {
+	env := etcmat.MustFromETC([][]float64{
+		{4, 12},
+		{12, 4},
+	})
+	w := Workload{{0, 0}, {0, 0}, {0.5, 1}, {0.5, 1}}
+	res, err := SimulateBatch(env, w, 0.5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 4 {
+		t.Fatalf("completed %d", res.Completed)
+	}
+	if res.MappingEvents < 2 {
+		t.Errorf("expected at least 2 mapping events, got %d", res.MappingEvents)
+	}
+	// Consistency: recompute machine busy time from assignments.
+	etc := env.ETC()
+	busy := make([]float64, 2)
+	for i, j := range res.Assignments {
+		busy[j] += etc.At(w[i].TaskType, j)
+	}
+	for j := range busy {
+		if math.Abs(busy[j]-res.Utilization[j]*res.Makespan) > 1e-9 {
+			t.Errorf("machine %d busy time inconsistent", j)
+		}
+	}
+}
+
+// The classic crossover: under heavy load, batch-mode Min-Min must not lose
+// badly to immediate MCT, and should typically win (better placement of the
+// pooled backlog).
+func TestBatchBeatsImmediateUnderHeavyLoad(t *testing.T) {
+	env := etcmat.MustFromETC([][]float64{
+		{2, 7, 9},
+		{8, 3, 7},
+		{9, 8, 2},
+		{5, 5, 5},
+	})
+	rng := rand.New(rand.NewSource(180))
+	w, err := PoissonWorkload(env, 600, 1.2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imm, err := Simulate(env, w, MCT{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := SimulateBatch(env, w, 2.0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch.MeanResponse > imm.MeanResponse*1.1 {
+		t.Errorf("batch (%g) lost badly to immediate MCT (%g) under heavy load",
+			batch.MeanResponse, imm.MeanResponse)
+	}
+}
+
+// Under light load, immediate mode's zero mapping latency wins or ties:
+// batch adds at most one interval of delay.
+func TestBatchLatencyUnderLightLoad(t *testing.T) {
+	env := twoMachineEnv()
+	rng := rand.New(rand.NewSource(181))
+	w, err := PoissonWorkload(env, 200, 0.02, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imm, err := Simulate(env, w, MCT{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := SimulateBatch(env, w, 5.0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch.MeanResponse < imm.MeanResponse-1e-9 {
+		t.Errorf("batch (%g) should not beat immediate (%g) when queues are empty",
+			batch.MeanResponse, imm.MeanResponse)
+	}
+	// And the penalty is bounded by the mapping interval.
+	if batch.MeanResponse > imm.MeanResponse+5.0 {
+		t.Errorf("batch latency penalty too large: %g vs %g", batch.MeanResponse, imm.MeanResponse)
+	}
+}
+
+func TestBatchRespectsInfEntries(t *testing.T) {
+	env := etcmat.MustFromETC([][]float64{
+		{2, math.Inf(1)},
+		{3, 3},
+	})
+	w := Workload{{0, 0}, {0, 1}, {1, 0}}
+	res, err := SimulateBatch(env, w, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, j := range res.Assignments {
+		if w[i].TaskType == 0 && j != 0 {
+			t.Errorf("arrival %d (type 0) routed to impossible machine %d", i, j)
+		}
+	}
+}

@@ -1,0 +1,280 @@
+// Package dynsim is a discrete-event simulator for *dynamic* (online)
+// task mapping in heterogeneous computing environments — the setting of the
+// immediate-mode heuristics in the HC literature the reproduced paper builds
+// on (its refs [5], [18]: tasks arrive over time and must be mapped as they
+// arrive, machines process their queues in FIFO order).
+//
+// Together with internal/sched (static batch mapping) it completes the
+// substrate for the paper's "select heuristics by heterogeneity"
+// application: the same environment measures (MPH, TDH, TMA) predict which
+// online policy behaves well under load.
+package dynsim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/etcmat"
+	"repro/internal/matrix"
+)
+
+// Arrival is one task instance arriving at Time, executing as task type
+// TaskType of the environment.
+type Arrival struct {
+	Time     float64
+	TaskType int
+}
+
+// Workload is a time-ordered arrival sequence.
+type Workload []Arrival
+
+// Validate checks ordering and task-type bounds against an environment.
+func (w Workload) Validate(env *etcmat.Env) error {
+	prev := math.Inf(-1)
+	for i, a := range w {
+		if a.Time < prev {
+			return fmt.Errorf("dynsim: arrivals out of order at index %d", i)
+		}
+		if a.Time < 0 || math.IsNaN(a.Time) || math.IsInf(a.Time, 0) {
+			return fmt.Errorf("dynsim: invalid arrival time %g at index %d", a.Time, i)
+		}
+		if a.TaskType < 0 || a.TaskType >= env.Tasks() {
+			return fmt.Errorf("dynsim: task type %d out of range at index %d", a.TaskType, i)
+		}
+		prev = a.Time
+	}
+	return nil
+}
+
+// PoissonWorkload draws n arrivals with exponential inter-arrival times at
+// the given rate (arrivals per unit time); task types are drawn
+// proportionally to the environment's task weighting factors — the paper's
+// "number of times that a task type is executed" interpretation (Sec. II-C).
+func PoissonWorkload(env *etcmat.Env, n int, rate float64, rng *rand.Rand) (Workload, error) {
+	if n <= 0 {
+		return nil, errors.New("dynsim: need a positive arrival count")
+	}
+	if rate <= 0 {
+		return nil, fmt.Errorf("dynsim: rate must be positive, got %g", rate)
+	}
+	weights := env.TaskWeights()
+	total := matrix.VecSum(weights)
+	w := make(Workload, n)
+	now := 0.0
+	for i := range w {
+		now += rng.ExpFloat64() / rate
+		// Weighted task-type draw.
+		u := rng.Float64() * total
+		tt := 0
+		for u > weights[tt] && tt < len(weights)-1 {
+			u -= weights[tt]
+			tt++
+		}
+		w[i] = Arrival{Time: now, TaskType: tt}
+	}
+	return w, nil
+}
+
+// Policy is an immediate-mode mapping rule: on each arrival it sees the task
+// type's ETC row and when each machine would start the task (the maximum of
+// now and the machine's queue drain time), and picks a machine. +Inf ETC
+// entries mark machines the task cannot run on; the policy must avoid them.
+type Policy interface {
+	Name() string
+	// Pick returns the chosen machine index.
+	Pick(etcRow []float64, startAt []float64, rng *rand.Rand) int
+}
+
+// MCT maps each arrival to the machine with the minimum completion time —
+// the standard immediate-mode baseline.
+type MCT struct{}
+
+// Name implements Policy.
+func (MCT) Name() string { return "MCT" }
+
+// Pick implements Policy.
+func (MCT) Pick(etcRow, startAt []float64, _ *rand.Rand) int {
+	best, bestCT := -1, math.Inf(1)
+	for j, t := range etcRow {
+		if math.IsInf(t, 1) {
+			continue
+		}
+		if ct := startAt[j] + t; ct < bestCT {
+			best, bestCT = j, ct
+		}
+	}
+	return best
+}
+
+// MET maps each arrival to its fastest machine regardless of queue length.
+type MET struct{}
+
+// Name implements Policy.
+func (MET) Name() string { return "MET" }
+
+// Pick implements Policy.
+func (MET) Pick(etcRow, _ []float64, _ *rand.Rand) int {
+	best := -1
+	for j, t := range etcRow {
+		if math.IsInf(t, 1) {
+			continue
+		}
+		if best == -1 || t < etcRow[best] {
+			best = j
+		}
+	}
+	return best
+}
+
+// OLB maps each arrival to the machine that can start it soonest.
+type OLB struct{}
+
+// Name implements Policy.
+func (OLB) Name() string { return "OLB" }
+
+// Pick implements Policy.
+func (OLB) Pick(etcRow, startAt []float64, _ *rand.Rand) int {
+	best := -1
+	for j, t := range etcRow {
+		if math.IsInf(t, 1) {
+			continue
+		}
+		if best == -1 || startAt[j] < startAt[best] {
+			best = j
+		}
+	}
+	return best
+}
+
+// KPB restricts each arrival to its k-percent fastest machines and applies
+// MCT among them.
+type KPB struct{ Percent float64 }
+
+// Name implements Policy.
+func (k KPB) Name() string { return fmt.Sprintf("KPB(%g%%)", k.Percent) }
+
+// Pick implements Policy.
+func (k KPB) Pick(etcRow, startAt []float64, _ *rand.Rand) int {
+	m := len(etcRow)
+	order := make([]int, 0, m)
+	for j, t := range etcRow {
+		if !math.IsInf(t, 1) {
+			order = append(order, j)
+		}
+	}
+	if len(order) == 0 {
+		return -1
+	}
+	sort.Slice(order, func(a, b int) bool { return etcRow[order[a]] < etcRow[order[b]] })
+	sz := int(math.Round(float64(m) * k.Percent / 100))
+	if sz < 1 {
+		sz = 1
+	}
+	if sz > len(order) {
+		sz = len(order)
+	}
+	best, bestCT := -1, math.Inf(1)
+	for _, j := range order[:sz] {
+		if ct := startAt[j] + etcRow[j]; ct < bestCT {
+			best, bestCT = j, ct
+		}
+	}
+	return best
+}
+
+// Random picks uniformly among runnable machines — the null policy.
+type Random struct{}
+
+// Name implements Policy.
+func (Random) Name() string { return "Random" }
+
+// Pick implements Policy.
+func (Random) Pick(etcRow, _ []float64, rng *rand.Rand) int {
+	var runnable []int
+	for j, t := range etcRow {
+		if !math.IsInf(t, 1) {
+			runnable = append(runnable, j)
+		}
+	}
+	if len(runnable) == 0 {
+		return -1
+	}
+	if rng == nil {
+		return runnable[0]
+	}
+	return runnable[rng.Intn(len(runnable))]
+}
+
+// Policies returns the immediate-mode policy suite.
+func Policies() []Policy {
+	return []Policy{MCT{}, MET{}, OLB{}, KPB{Percent: 20}, Random{}}
+}
+
+// Result aggregates a simulation run.
+type Result struct {
+	Policy string
+	// Completed is the number of tasks executed (== len(workload)).
+	Completed int
+	// Makespan is the time the last task completes.
+	Makespan float64
+	// MeanResponse and MaxResponse are over completion − arrival times.
+	MeanResponse, MaxResponse float64
+	// MeanQueueWait is the mean of start − arrival times.
+	MeanQueueWait float64
+	// Utilization per machine: busy time / makespan.
+	Utilization []float64
+	// Assignments records the machine chosen per arrival.
+	Assignments []int
+}
+
+// Simulate runs the workload through the policy on the environment. Machines
+// execute their assigned tasks in arrival order (FIFO per machine).
+func Simulate(env *etcmat.Env, w Workload, p Policy, rng *rand.Rand) (*Result, error) {
+	if len(w) == 0 {
+		return nil, errors.New("dynsim: empty workload")
+	}
+	if err := w.Validate(env); err != nil {
+		return nil, err
+	}
+	etc := env.ETC()
+	m := env.Machines()
+	freeAt := make([]float64, m)  // queue drain time per machine
+	busy := make([]float64, m)    // accumulated busy time
+	startAt := make([]float64, m) // scratch: earliest start per machine
+	res := &Result{Policy: p.Name(), Assignments: make([]int, len(w))}
+	var sumResp, sumWait float64
+	for i, a := range w {
+		row := etc.Row(a.TaskType)
+		for j := 0; j < m; j++ {
+			startAt[j] = math.Max(a.Time, freeAt[j])
+		}
+		j := p.Pick(row, startAt, rng)
+		if j < 0 || j >= m || math.IsInf(row[j], 1) {
+			return nil, fmt.Errorf("dynsim: policy %s made invalid pick %d for task type %d", p.Name(), j, a.TaskType)
+		}
+		start := startAt[j]
+		finish := start + row[j]
+		freeAt[j] = finish
+		busy[j] += row[j]
+		sumWait += start - a.Time
+		sumResp += finish - a.Time
+		if r := finish - a.Time; r > res.MaxResponse {
+			res.MaxResponse = r
+		}
+		if finish > res.Makespan {
+			res.Makespan = finish
+		}
+		res.Assignments[i] = j
+	}
+	res.Completed = len(w)
+	res.MeanResponse = sumResp / float64(len(w))
+	res.MeanQueueWait = sumWait / float64(len(w))
+	res.Utilization = busy
+	for j := range res.Utilization {
+		res.Utilization[j] /= res.Makespan
+	}
+	return res, nil
+}

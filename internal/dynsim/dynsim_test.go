@@ -1,0 +1,324 @@
+package dynsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/etcmat"
+)
+
+func twoMachineEnv() *etcmat.Env {
+	// Task type 0: 2s on m1, 10s on m2. Task type 1: 10s on m1, 2s on m2.
+	return etcmat.MustFromETC([][]float64{
+		{2, 10},
+		{10, 2},
+	})
+}
+
+func TestWorkloadValidate(t *testing.T) {
+	env := twoMachineEnv()
+	good := Workload{{0, 0}, {1, 1}}
+	if err := good.Validate(env); err != nil {
+		t.Errorf("valid workload rejected: %v", err)
+	}
+	cases := map[string]Workload{
+		"out of order":  {{2, 0}, {1, 0}},
+		"negative time": {{-1, 0}},
+		"bad task type": {{0, 7}},
+		"NaN time":      {{math.NaN(), 0}},
+	}
+	for name, w := range cases {
+		if err := w.Validate(env); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestPoissonWorkloadStatistics(t *testing.T) {
+	env := twoMachineEnv()
+	rng := rand.New(rand.NewSource(130))
+	const (
+		n    = 20000
+		rate = 4.0
+	)
+	w, err := PoissonWorkload(env, n, rate, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w) != n {
+		t.Fatalf("got %d arrivals", len(w))
+	}
+	if err := w.Validate(env); err != nil {
+		t.Fatal(err)
+	}
+	// Mean inter-arrival approx 1/rate.
+	meanGap := w[n-1].Time / float64(n)
+	if math.Abs(meanGap-1/rate) > 0.02/rate {
+		t.Errorf("mean inter-arrival = %g, want about %g", meanGap, 1/rate)
+	}
+	// Unweighted environment: both task types near 50%.
+	count := 0
+	for _, a := range w {
+		count += a.TaskType
+	}
+	frac := float64(count) / n
+	if math.Abs(frac-0.5) > 0.02 {
+		t.Errorf("task type 1 fraction = %g, want about 0.5", frac)
+	}
+}
+
+func TestPoissonWorkloadRespectsWeights(t *testing.T) {
+	env := twoMachineEnv()
+	env, err := env.WithWeights([]float64{3, 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := PoissonWorkload(env, 20000, 1, rand.New(rand.NewSource(131)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	count0 := 0
+	for _, a := range w {
+		if a.TaskType == 0 {
+			count0++
+		}
+	}
+	frac := float64(count0) / float64(len(w))
+	if math.Abs(frac-0.75) > 0.02 {
+		t.Errorf("task type 0 fraction = %g, want about 0.75 (weight 3:1)", frac)
+	}
+}
+
+func TestPoissonWorkloadValidation(t *testing.T) {
+	env := twoMachineEnv()
+	rng := rand.New(rand.NewSource(132))
+	if _, err := PoissonWorkload(env, 0, 1, rng); err == nil {
+		t.Error("zero count accepted")
+	}
+	if _, err := PoissonWorkload(env, 5, 0, rng); err == nil {
+		t.Error("zero rate accepted")
+	}
+}
+
+// Hand-computed trace: two specialized tasks arriving together route to
+// their fast machines under MCT; response times are the raw ETCs.
+func TestSimulateMCTHandTrace(t *testing.T) {
+	env := twoMachineEnv()
+	w := Workload{{0, 0}, {0, 1}}
+	res, err := Simulate(env, w, MCT{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Assignments[0] != 0 || res.Assignments[1] != 1 {
+		t.Errorf("assignments = %v, want [0 1]", res.Assignments)
+	}
+	if res.Makespan != 2 {
+		t.Errorf("makespan = %g, want 2", res.Makespan)
+	}
+	if res.MeanResponse != 2 {
+		t.Errorf("mean response = %g, want 2", res.MeanResponse)
+	}
+	if res.MeanQueueWait != 0 {
+		t.Errorf("mean wait = %g, want 0", res.MeanQueueWait)
+	}
+}
+
+// Queueing trace: two type-0 tasks at t=0. MCT sends the second to the slow
+// machine (completion 10 < queued 2+2=4? no: queued completion is 4 < 10, so
+// both to m1; second waits 2).
+func TestSimulateMCTQueues(t *testing.T) {
+	env := twoMachineEnv()
+	w := Workload{{0, 0}, {0, 0}}
+	res, err := Simulate(env, w, MCT{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Assignments[0] != 0 || res.Assignments[1] != 0 {
+		t.Errorf("assignments = %v, want both on m1 (4 < 10)", res.Assignments)
+	}
+	if res.Makespan != 4 {
+		t.Errorf("makespan = %g, want 4", res.Makespan)
+	}
+	if res.MeanQueueWait != 1 {
+		t.Errorf("mean wait = %g, want 1 (0 and 2)", res.MeanQueueWait)
+	}
+	if res.MaxResponse != 4 {
+		t.Errorf("max response = %g, want 4", res.MaxResponse)
+	}
+}
+
+// OLB starts the second task on the idle slow machine instead.
+func TestSimulateOLBPrefersIdleMachine(t *testing.T) {
+	env := twoMachineEnv()
+	w := Workload{{0, 0}, {0, 0}}
+	res, err := Simulate(env, w, OLB{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Assignments[1] != 1 {
+		t.Errorf("OLB second assignment = %d, want the idle machine 1", res.Assignments[1])
+	}
+	if res.Makespan != 10 {
+		t.Errorf("makespan = %g, want 10", res.Makespan)
+	}
+}
+
+func TestSimulateRespectsInfEntries(t *testing.T) {
+	// Task type 0 can only run on machine 0 (type 1 keeps machine 1 valid).
+	env := etcmat.MustFromETC([][]float64{
+		{2, math.Inf(1)},
+		{3, 3},
+	})
+	w := Workload{{0, 0}, {1, 0}, {2, 0}}
+	for _, p := range Policies() {
+		res, err := Simulate(env, w, p, rand.New(rand.NewSource(1)))
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		for i, j := range res.Assignments {
+			if j != 0 {
+				t.Errorf("%s: arrival %d routed to impossible machine %d", p.Name(), i, j)
+			}
+		}
+	}
+}
+
+func TestSimulateUtilizationBounds(t *testing.T) {
+	env := twoMachineEnv()
+	rng := rand.New(rand.NewSource(133))
+	w, err := PoissonWorkload(env, 500, 0.8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range Policies() {
+		res, err := Simulate(env, w, p, rng)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		if res.Completed != 500 {
+			t.Fatalf("%s: completed %d", p.Name(), res.Completed)
+		}
+		for j, u := range res.Utilization {
+			if u < 0 || u > 1+1e-12 {
+				t.Errorf("%s: utilization[%d] = %g outside [0,1]", p.Name(), j, u)
+			}
+		}
+		if res.MeanResponse <= 0 || res.MaxResponse < res.MeanResponse {
+			t.Errorf("%s: response stats inconsistent: mean %g max %g", p.Name(), res.MeanResponse, res.MaxResponse)
+		}
+		if res.MeanQueueWait < 0 {
+			t.Errorf("%s: negative wait %g", p.Name(), res.MeanQueueWait)
+		}
+	}
+}
+
+// Under light load every response approaches the raw execution time; under
+// heavy load queueing dominates — the basic sanity law of the simulator.
+func TestSimulateLoadScaling(t *testing.T) {
+	env := twoMachineEnv()
+	rng := rand.New(rand.NewSource(134))
+	light, err := PoissonWorkload(env, 400, 0.05, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavy, err := PoissonWorkload(env, 400, 5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lr, err := Simulate(env, light, MCT{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr, err := Simulate(env, heavy, MCT{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lr.MeanResponse > 3 {
+		t.Errorf("light-load mean response %g, want near the 2s execution time", lr.MeanResponse)
+	}
+	if hr.MeanResponse < 5*lr.MeanResponse {
+		t.Errorf("heavy load (%g) should dwarf light load (%g)", hr.MeanResponse, lr.MeanResponse)
+	}
+}
+
+// The heuristic-selection story in dynamic form (paper's application):
+// in a fully specialized (high-TMA) environment, MET's fastest-machine rule
+// is the ideal partition and beats or matches greedy MCT under load; in a
+// no-affinity environment where one machine dominates, MET herd-crashes onto
+// it and MCT wins decisively.
+func TestAffinityDecidesMETvsMCT(t *testing.T) {
+	rng := rand.New(rand.NewSource(135))
+
+	specialized := twoMachineEnv() // TMA-heavy: disjoint preferences
+	w1, err := PoissonWorkload(specialized, 1000, 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mct1, err := Simulate(specialized, w1, MCT{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	met1, err := Simulate(specialized, w1, MET{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met1.MeanResponse > mct1.MeanResponse*1.05 {
+		t.Errorf("specialized env: MET (%g) should match/beat MCT (%g)", met1.MeanResponse, mct1.MeanResponse)
+	}
+
+	// No affinity: machine 1 is uniformly 20%% faster -> MET uses only it.
+	dominated := etcmat.MustFromETC([][]float64{
+		{2, 2.4},
+		{3, 3.6},
+	})
+	w2, err := PoissonWorkload(dominated, 1000, 0.7, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mct2, err := Simulate(dominated, w2, MCT{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	met2, err := Simulate(dominated, w2, MET{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met2.MeanResponse < 2*mct2.MeanResponse {
+		t.Errorf("dominated env: MET (%g) should collapse vs MCT (%g)", met2.MeanResponse, mct2.MeanResponse)
+	}
+	// MET leaves machine 2 idle.
+	if met2.Utilization[1] != 0 {
+		t.Errorf("MET used the slower machine: utilization %v", met2.Utilization)
+	}
+}
+
+func TestSimulateEmptyWorkload(t *testing.T) {
+	if _, err := Simulate(twoMachineEnv(), nil, MCT{}, nil); err == nil {
+		t.Error("empty workload accepted")
+	}
+}
+
+func TestKPBPickSubset(t *testing.T) {
+	// 4 machines; task is fastest on 3 and 1. KPB(50%) considers only those
+	// two; with machine 3 heavily queued it picks machine 1.
+	etcRow := []float64{5, 2, 6, 1}
+	startAt := []float64{0, 0, 0, 100}
+	j := (KPB{Percent: 50}).Pick(etcRow, startAt, nil)
+	if j != 1 {
+		t.Errorf("KPB picked %d, want 1", j)
+	}
+}
+
+func TestRandomPolicyDeterministicWithoutRNG(t *testing.T) {
+	j := (Random{}).Pick([]float64{math.Inf(1), 3, 4}, []float64{0, 0, 0}, nil)
+	if j != 1 {
+		t.Errorf("Random without rng picked %d, want first runnable (1)", j)
+	}
+}
+
+func TestPoliciesSuite(t *testing.T) {
+	if len(Policies()) < 5 {
+		t.Errorf("policy suite too small: %d", len(Policies()))
+	}
+}

@@ -1,0 +1,512 @@
+// Package etcmat models heterogeneous computing (HC) environments the way
+// the reproduced paper does: as an ETC (estimated time to compute) matrix
+// whose entry (i, j) is the time task type i takes on machine j when run
+// alone, or equivalently as its entrywise reciprocal, the ECS (estimated
+// computation speed) matrix (paper Eq. 1).
+//
+// An environment carries task-type and machine names, and the optional
+// weighting factors w_t(i) and w_m(j) that the paper folds into every
+// measure (Eqs. 4 and 6). A task type that cannot run on a machine has
+// ETC = +Inf and ECS = 0. Environments with a task type that runs nowhere,
+// or a machine that runs nothing, are invalid (all-zero ECS row/column,
+// paper Sec. II-B).
+package etcmat
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/matrix"
+)
+
+// Env is an immutable-by-convention heterogeneous computing environment.
+// Mutating methods return a new Env.
+type Env struct {
+	ecs            *matrix.Dense // canonical storage: speeds, zeros allowed
+	taskNames      []string
+	machineNames   []string
+	taskWeights    []float64 // w_t, all positive
+	machineWeights []float64 // w_m, all positive
+}
+
+// ErrInvalid wraps all environment validation failures.
+var ErrInvalid = errors.New("etcmat: invalid environment")
+
+// NewFromECS builds an environment from an ECS (speed) matrix. Entries must
+// be nonnegative and finite; every row and every column must contain at
+// least one positive entry. The matrix is cloned.
+func NewFromECS(ecs *matrix.Dense) (*Env, error) {
+	t, m := ecs.Dims()
+	if t == 0 || m == 0 {
+		return nil, fmt.Errorf("%w: empty matrix", ErrInvalid)
+	}
+	for i := 0; i < t; i++ {
+		for j := 0; j < m; j++ {
+			v := ecs.At(i, j)
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				return nil, fmt.Errorf("%w: ECS(%d,%d) = %g must be finite and nonnegative", ErrInvalid, i, j, v)
+			}
+		}
+	}
+	for i := 0; i < t; i++ {
+		if ecs.RowSum(i) == 0 {
+			return nil, fmt.Errorf("%w: task type %d cannot run on any machine (all-zero ECS row)", ErrInvalid, i)
+		}
+	}
+	for j := 0; j < m; j++ {
+		if ecs.ColSum(j) == 0 {
+			return nil, fmt.Errorf("%w: machine %d cannot run any task type (all-zero ECS column)", ErrInvalid, j)
+		}
+	}
+	return &Env{
+		ecs:            ecs.Clone(),
+		taskNames:      defaultNames("t", t),
+		machineNames:   defaultNames("m", m),
+		taskWeights:    onesVec(t),
+		machineWeights: onesVec(m),
+	}, nil
+}
+
+// NewFromETC builds an environment from an ETC (time) matrix. Entries must be
+// strictly positive or +Inf (cannot run). The ECS form is stored internally
+// (Eq. 1: ECS = 1/ETC, with 1/Inf = 0).
+func NewFromETC(etc *matrix.Dense) (*Env, error) {
+	t, m := etc.Dims()
+	if t == 0 || m == 0 {
+		return nil, fmt.Errorf("%w: empty matrix", ErrInvalid)
+	}
+	ecs := matrix.New(t, m)
+	for i := 0; i < t; i++ {
+		for j := 0; j < m; j++ {
+			v := etc.At(i, j)
+			switch {
+			case math.IsInf(v, 1):
+				ecs.Set(i, j, 0)
+			case math.IsNaN(v) || v <= 0:
+				return nil, fmt.Errorf("%w: ETC(%d,%d) = %g must be positive or +Inf", ErrInvalid, i, j, v)
+			default:
+				ecs.Set(i, j, 1/v)
+			}
+		}
+	}
+	return NewFromECS(ecs)
+}
+
+// MustFromECS is NewFromECS that panics on error; for literals in tests and
+// examples.
+func MustFromECS(rows [][]float64) *Env {
+	e, err := NewFromECS(matrix.FromRows(rows))
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// MustFromETC is NewFromETC that panics on error.
+func MustFromETC(rows [][]float64) *Env {
+	e, err := NewFromETC(matrix.FromRows(rows))
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Tasks returns the number of task types T.
+func (e *Env) Tasks() int { return e.ecs.Rows() }
+
+// Machines returns the number of machines M.
+func (e *Env) Machines() int { return e.ecs.Cols() }
+
+// ECS returns a copy of the ECS (speed) matrix.
+func (e *Env) ECS() *matrix.Dense { return e.ecs.Clone() }
+
+// ETC returns the ETC (time) matrix; zero speeds map to +Inf.
+func (e *Env) ETC() *matrix.Dense {
+	out := e.ecs.Clone()
+	out.Apply(func(i, j int, v float64) float64 {
+		if v == 0 {
+			return math.Inf(1)
+		}
+		return 1 / v
+	})
+	return out
+}
+
+// WeightedECS returns the ECS matrix with entry (i, j) multiplied by
+// w_t(i)·w_m(j) — the matrix every weighted measure is computed from.
+func (e *Env) WeightedECS() *matrix.Dense {
+	out := e.ecs.Clone()
+	out.ScaleRows(e.taskWeights)
+	out.ScaleCols(e.machineWeights)
+	return out
+}
+
+// ECSAt returns ECS(i, j) without copying the matrix.
+func (e *Env) ECSAt(i, j int) float64 { return e.ecs.At(i, j) }
+
+// TaskNames returns a copy of the task type names.
+func (e *Env) TaskNames() []string { return append([]string(nil), e.taskNames...) }
+
+// MachineNames returns a copy of the machine names.
+func (e *Env) MachineNames() []string { return append([]string(nil), e.machineNames...) }
+
+// TaskWeights returns a copy of w_t.
+func (e *Env) TaskWeights() []float64 { return matrix.VecClone(e.taskWeights) }
+
+// MachineWeights returns a copy of w_m.
+func (e *Env) MachineWeights() []float64 { return matrix.VecClone(e.machineWeights) }
+
+// WithTaskNames returns a copy of e with the given task names.
+func (e *Env) WithTaskNames(names []string) (*Env, error) {
+	if len(names) != e.Tasks() {
+		return nil, fmt.Errorf("%w: %d task names for %d task types", ErrInvalid, len(names), e.Tasks())
+	}
+	out := e.clone()
+	copy(out.taskNames, names)
+	return out, nil
+}
+
+// WithMachineNames returns a copy of e with the given machine names.
+func (e *Env) WithMachineNames(names []string) (*Env, error) {
+	if len(names) != e.Machines() {
+		return nil, fmt.Errorf("%w: %d machine names for %d machines", ErrInvalid, len(names), e.Machines())
+	}
+	out := e.clone()
+	copy(out.machineNames, names)
+	return out, nil
+}
+
+// WithWeights returns a copy of e with the given task and machine weighting
+// factors (paper Eqs. 4 and 6). Nil keeps the existing weights. All weights
+// must be strictly positive.
+func (e *Env) WithWeights(taskW, machineW []float64) (*Env, error) {
+	out := e.clone()
+	if taskW != nil {
+		if len(taskW) != e.Tasks() {
+			return nil, fmt.Errorf("%w: %d task weights for %d task types", ErrInvalid, len(taskW), e.Tasks())
+		}
+		if err := checkPositive(taskW, "task weight"); err != nil {
+			return nil, err
+		}
+		copy(out.taskWeights, taskW)
+	}
+	if machineW != nil {
+		if len(machineW) != e.Machines() {
+			return nil, fmt.Errorf("%w: %d machine weights for %d machines", ErrInvalid, len(machineW), e.Machines())
+		}
+		if err := checkPositive(machineW, "machine weight"); err != nil {
+			return nil, err
+		}
+		copy(out.machineWeights, machineW)
+	}
+	return out, nil
+}
+
+func checkPositive(w []float64, what string) error {
+	for i, v := range w {
+		if !(v > 0) || math.IsInf(v, 0) {
+			return fmt.Errorf("%w: %s %d = %g must be positive and finite", ErrInvalid, what, i, v)
+		}
+	}
+	return nil
+}
+
+// TaskIndex returns the index of the named task type, or -1.
+func (e *Env) TaskIndex(name string) int { return indexOf(e.taskNames, name) }
+
+// MachineIndex returns the index of the named machine, or -1.
+func (e *Env) MachineIndex(name string) int { return indexOf(e.machineNames, name) }
+
+func indexOf(names []string, name string) int {
+	for i, n := range names {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Subenv extracts the environment restricted to the given task and machine
+// indices (the paper's Fig. 8 extractions). Validation reapplies: a
+// restriction may strand a task type or machine.
+func (e *Env) Subenv(taskIdx, machineIdx []int) (*Env, error) {
+	sub := e.ecs.Submatrix(taskIdx, machineIdx)
+	out, err := NewFromECS(sub)
+	if err != nil {
+		return nil, err
+	}
+	for i, ti := range taskIdx {
+		out.taskNames[i] = e.taskNames[ti]
+		out.taskWeights[i] = e.taskWeights[ti]
+	}
+	for j, mj := range machineIdx {
+		out.machineNames[j] = e.machineNames[mj]
+		out.machineWeights[j] = e.machineWeights[mj]
+	}
+	return out, nil
+}
+
+// RemoveTask returns e without task type i (a what-if edit).
+func (e *Env) RemoveTask(i int) (*Env, error) {
+	if e.Tasks() == 1 {
+		return nil, fmt.Errorf("%w: cannot remove the last task type", ErrInvalid)
+	}
+	keep := make([]int, 0, e.Tasks()-1)
+	for k := 0; k < e.Tasks(); k++ {
+		if k != i {
+			keep = append(keep, k)
+		}
+	}
+	return e.Subenv(keep, allIndices(e.Machines()))
+}
+
+// RemoveMachine returns e without machine j (a what-if edit).
+func (e *Env) RemoveMachine(j int) (*Env, error) {
+	if e.Machines() == 1 {
+		return nil, fmt.Errorf("%w: cannot remove the last machine", ErrInvalid)
+	}
+	keep := make([]int, 0, e.Machines()-1)
+	for k := 0; k < e.Machines(); k++ {
+		if k != j {
+			keep = append(keep, k)
+		}
+	}
+	return e.Subenv(allIndices(e.Tasks()), keep)
+}
+
+// AddTask returns e extended with a new task type whose ECS row is speeds.
+func (e *Env) AddTask(name string, speeds []float64) (*Env, error) {
+	if len(speeds) != e.Machines() {
+		return nil, fmt.Errorf("%w: AddTask needs %d speeds, got %d", ErrInvalid, e.Machines(), len(speeds))
+	}
+	t, m := e.Tasks(), e.Machines()
+	ecs := matrix.New(t+1, m)
+	for i := 0; i < t; i++ {
+		for j := 0; j < m; j++ {
+			ecs.Set(i, j, e.ecs.At(i, j))
+		}
+	}
+	for j, v := range speeds {
+		ecs.Set(t, j, v)
+	}
+	out, err := NewFromECS(ecs)
+	if err != nil {
+		return nil, err
+	}
+	copy(out.taskNames, e.taskNames)
+	out.taskNames[t] = name
+	copy(out.taskWeights, e.taskWeights)
+	copy(out.machineNames, e.machineNames)
+	copy(out.machineWeights, e.machineWeights)
+	return out, nil
+}
+
+// AddMachine returns e extended with a new machine whose ECS column is
+// speeds.
+func (e *Env) AddMachine(name string, speeds []float64) (*Env, error) {
+	if len(speeds) != e.Tasks() {
+		return nil, fmt.Errorf("%w: AddMachine needs %d speeds, got %d", ErrInvalid, e.Tasks(), len(speeds))
+	}
+	t, m := e.Tasks(), e.Machines()
+	ecs := matrix.New(t, m+1)
+	for i := 0; i < t; i++ {
+		for j := 0; j < m; j++ {
+			ecs.Set(i, j, e.ecs.At(i, j))
+		}
+		ecs.Set(i, m, speeds[i])
+	}
+	out, err := NewFromECS(ecs)
+	if err != nil {
+		return nil, err
+	}
+	copy(out.taskNames, e.taskNames)
+	copy(out.taskWeights, e.taskWeights)
+	copy(out.machineNames, e.machineNames)
+	out.machineNames[m] = name
+	copy(out.machineWeights, e.machineWeights)
+	return out, nil
+}
+
+func (e *Env) clone() *Env {
+	return &Env{
+		ecs:            e.ecs.Clone(),
+		taskNames:      append([]string(nil), e.taskNames...),
+		machineNames:   append([]string(nil), e.machineNames...),
+		taskWeights:    matrix.VecClone(e.taskWeights),
+		machineWeights: matrix.VecClone(e.machineWeights),
+	}
+}
+
+func defaultNames(prefix string, n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("%s%d", prefix, i+1)
+	}
+	return names
+}
+
+func allIndices(n int) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}
+
+func onesVec(n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = 1
+	}
+	return v
+}
+
+// ---- I/O ----
+
+// WriteETCCSV writes the environment as a CSV with a header row of machine
+// names and a leading task-name column. Infinite ETC entries are written as
+// "inf".
+func (e *Env) WriteETCCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{"task"}, e.machineNames...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	etc := e.ETC()
+	for i := 0; i < e.Tasks(); i++ {
+		rec := make([]string, e.Machines()+1)
+		rec[0] = e.taskNames[i]
+		for j := 0; j < e.Machines(); j++ {
+			v := etc.At(i, j)
+			if math.IsInf(v, 1) {
+				rec[j+1] = "inf"
+			} else {
+				rec[j+1] = strconv.FormatFloat(v, 'g', -1, 64)
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadETCCSV parses the format written by WriteETCCSV.
+func ReadETCCSV(r io.Reader) (*Env, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("etcmat: reading CSV: %w", err)
+	}
+	if len(records) < 2 {
+		return nil, fmt.Errorf("%w: CSV needs a header and at least one task row", ErrInvalid)
+	}
+	header := records[0]
+	if len(header) < 2 {
+		return nil, fmt.Errorf("%w: CSV needs at least one machine column", ErrInvalid)
+	}
+	machineNames := header[1:]
+	taskNames := make([]string, 0, len(records)-1)
+	etc := matrix.New(len(records)-1, len(machineNames))
+	for i, rec := range records[1:] {
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("%w: row %d has %d fields, want %d", ErrInvalid, i+2, len(rec), len(header))
+		}
+		taskNames = append(taskNames, rec[0])
+		for j, field := range rec[1:] {
+			field = strings.TrimSpace(field)
+			var v float64
+			if strings.EqualFold(field, "inf") {
+				v = math.Inf(1)
+			} else {
+				v, err = strconv.ParseFloat(field, 64)
+				if err != nil {
+					return nil, fmt.Errorf("%w: row %d col %d: %v", ErrInvalid, i+2, j+2, err)
+				}
+			}
+			etc.Set(i, j, v)
+		}
+	}
+	env, err := NewFromETC(etc)
+	if err != nil {
+		return nil, err
+	}
+	copy(env.taskNames, taskNames)
+	copy(env.machineNames, machineNames)
+	return env, nil
+}
+
+// envJSON is the stable JSON representation of an environment.
+type envJSON struct {
+	TaskNames      []string    `json:"taskNames"`
+	MachineNames   []string    `json:"machineNames"`
+	TaskWeights    []float64   `json:"taskWeights,omitempty"`
+	MachineWeights []float64   `json:"machineWeights,omitempty"`
+	ECS            [][]float64 `json:"ecs"`
+}
+
+// MarshalJSON encodes the environment, storing the ECS form (always finite).
+func (e *Env) MarshalJSON() ([]byte, error) {
+	rows := make([][]float64, e.Tasks())
+	for i := range rows {
+		rows[i] = e.ecs.Row(i)
+	}
+	return json.Marshal(envJSON{
+		TaskNames:      e.taskNames,
+		MachineNames:   e.machineNames,
+		TaskWeights:    e.taskWeights,
+		MachineWeights: e.machineWeights,
+		ECS:            rows,
+	})
+}
+
+// UnmarshalJSON decodes an environment encoded by MarshalJSON.
+func (e *Env) UnmarshalJSON(data []byte) error {
+	var ej envJSON
+	if err := json.Unmarshal(data, &ej); err != nil {
+		return err
+	}
+	if len(ej.ECS) == 0 {
+		return fmt.Errorf("%w: missing or empty ecs matrix", ErrInvalid)
+	}
+	for i, row := range ej.ECS {
+		if len(row) != len(ej.ECS[0]) {
+			return fmt.Errorf("%w: ragged ecs matrix (row 0 has %d entries, row %d has %d)",
+				ErrInvalid, len(ej.ECS[0]), i, len(row))
+		}
+	}
+	env, err := NewFromECS(matrix.FromRows(ej.ECS))
+	if err != nil {
+		return err
+	}
+	if len(ej.TaskNames) == env.Tasks() {
+		copy(env.taskNames, ej.TaskNames)
+	}
+	if len(ej.MachineNames) == env.Machines() {
+		copy(env.machineNames, ej.MachineNames)
+	}
+	if ej.TaskWeights != nil {
+		if env, err = env.WithWeights(ej.TaskWeights, nil); err != nil {
+			return err
+		}
+	}
+	if ej.MachineWeights != nil {
+		if env, err = env.WithWeights(nil, ej.MachineWeights); err != nil {
+			return err
+		}
+	}
+	*e = *env
+	return nil
+}
+
+// String summarizes the environment.
+func (e *Env) String() string {
+	return fmt.Sprintf("Env{%d task types x %d machines}", e.Tasks(), e.Machines())
+}

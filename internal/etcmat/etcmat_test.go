@@ -1,0 +1,340 @@
+package etcmat
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+func TestNewFromECSValid(t *testing.T) {
+	e, err := NewFromECS(matrix.FromRows([][]float64{{1, 2}, {3, 0}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Tasks() != 2 || e.Machines() != 2 {
+		t.Errorf("dims = %dx%d", e.Tasks(), e.Machines())
+	}
+	if e.ECSAt(1, 1) != 0 {
+		t.Errorf("ECS(1,1) = %g, want 0", e.ECSAt(1, 1))
+	}
+}
+
+func TestNewFromECSRejectsZeroRow(t *testing.T) {
+	_, err := NewFromECS(matrix.FromRows([][]float64{{0, 0}, {1, 1}}))
+	if !errors.Is(err, ErrInvalid) {
+		t.Errorf("err = %v, want ErrInvalid", err)
+	}
+}
+
+func TestNewFromECSRejectsZeroCol(t *testing.T) {
+	_, err := NewFromECS(matrix.FromRows([][]float64{{0, 1}, {0, 1}}))
+	if !errors.Is(err, ErrInvalid) {
+		t.Errorf("err = %v, want ErrInvalid", err)
+	}
+}
+
+func TestNewFromECSRejectsNegativeAndNaNAndInf(t *testing.T) {
+	for _, bad := range []float64{-1, math.NaN(), math.Inf(1)} {
+		_, err := NewFromECS(matrix.FromRows([][]float64{{bad, 1}, {1, 1}}))
+		if !errors.Is(err, ErrInvalid) {
+			t.Errorf("value %g: err = %v, want ErrInvalid", bad, err)
+		}
+	}
+}
+
+func TestETCECSReciprocal(t *testing.T) {
+	e := MustFromETC([][]float64{{2, 4}, {5, 10}})
+	ecs := e.ECS()
+	if ecs.At(0, 0) != 0.5 || ecs.At(1, 1) != 0.1 {
+		t.Errorf("ECS = \n%v", ecs)
+	}
+	etc := e.ETC()
+	if etc.At(0, 1) != 4 {
+		t.Errorf("ETC(0,1) = %g, want 4", etc.At(0, 1))
+	}
+}
+
+func TestETCInfMapsToZeroSpeed(t *testing.T) {
+	e := MustFromETC([][]float64{{2, math.Inf(1)}, {5, 10}})
+	if got := e.ECSAt(0, 1); got != 0 {
+		t.Errorf("ECS(0,1) = %g, want 0", got)
+	}
+	if got := e.ETC().At(0, 1); !math.IsInf(got, 1) {
+		t.Errorf("round-trip ETC(0,1) = %g, want +Inf", got)
+	}
+}
+
+func TestNewFromETCRejectsZeroAndNegative(t *testing.T) {
+	for _, bad := range []float64{0, -3, math.NaN(), math.Inf(-1)} {
+		_, err := NewFromETC(matrix.FromRows([][]float64{{bad, 1}, {1, 1}}))
+		if !errors.Is(err, ErrInvalid) {
+			t.Errorf("ETC value %g: err = %v, want ErrInvalid", bad, err)
+		}
+	}
+}
+
+func TestDefaultNamesAndWeights(t *testing.T) {
+	e := MustFromECS([][]float64{{1, 2, 3}, {4, 5, 6}})
+	if got := e.TaskNames(); got[0] != "t1" || got[1] != "t2" {
+		t.Errorf("TaskNames = %v", got)
+	}
+	if got := e.MachineNames(); got[2] != "m3" {
+		t.Errorf("MachineNames = %v", got)
+	}
+	for _, w := range append(e.TaskWeights(), e.MachineWeights()...) {
+		if w != 1 {
+			t.Errorf("default weight = %g, want 1", w)
+		}
+	}
+}
+
+func TestWithNamesValidatesLength(t *testing.T) {
+	e := MustFromECS([][]float64{{1, 2}})
+	if _, err := e.WithTaskNames([]string{"a", "b"}); err == nil {
+		t.Error("wrong task-name count accepted")
+	}
+	if _, err := e.WithMachineNames([]string{"x"}); err == nil {
+		t.Error("wrong machine-name count accepted")
+	}
+	e2, err := e.WithTaskNames([]string{"bzip2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.TaskNames()[0] != "bzip2" {
+		t.Errorf("names not applied: %v", e2.TaskNames())
+	}
+	if e.TaskNames()[0] != "t1" {
+		t.Error("WithTaskNames mutated the receiver")
+	}
+}
+
+func TestWithWeights(t *testing.T) {
+	e := MustFromECS([][]float64{{1, 2}, {3, 4}})
+	e2, err := e.WithWeights([]float64{2, 3}, []float64{0.5, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := e2.WeightedECS()
+	// (0,0): 1 * w_t(0)=2 * w_m(0)=0.5 = 1
+	if got := w.At(0, 0); got != 1 {
+		t.Errorf("weighted (0,0) = %g, want 1", got)
+	}
+	// (1,1): 4 * 3 * 1 = 12
+	if got := w.At(1, 1); got != 12 {
+		t.Errorf("weighted (1,1) = %g, want 12", got)
+	}
+	// Receiver untouched.
+	if e.TaskWeights()[0] != 1 {
+		t.Error("WithWeights mutated the receiver")
+	}
+}
+
+func TestWithWeightsRejectsNonPositive(t *testing.T) {
+	e := MustFromECS([][]float64{{1, 2}})
+	if _, err := e.WithWeights([]float64{0}, nil); err == nil {
+		t.Error("zero task weight accepted")
+	}
+	if _, err := e.WithWeights(nil, []float64{1, -2}); err == nil {
+		t.Error("negative machine weight accepted")
+	}
+	if _, err := e.WithWeights([]float64{1, 1}, nil); err == nil {
+		t.Error("wrong-length task weights accepted")
+	}
+}
+
+func TestIndexLookups(t *testing.T) {
+	e := MustFromECS([][]float64{{1, 2}, {3, 4}})
+	e, _ = e.WithTaskNames([]string{"gcc", "mcf"})
+	e, _ = e.WithMachineNames([]string{"xeon", "sparc"})
+	if got := e.TaskIndex("mcf"); got != 1 {
+		t.Errorf("TaskIndex(mcf) = %d", got)
+	}
+	if got := e.MachineIndex("xeon"); got != 0 {
+		t.Errorf("MachineIndex(xeon) = %d", got)
+	}
+	if got := e.TaskIndex("absent"); got != -1 {
+		t.Errorf("TaskIndex(absent) = %d, want -1", got)
+	}
+}
+
+func TestSubenv(t *testing.T) {
+	e := MustFromECS([][]float64{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}})
+	e, _ = e.WithTaskNames([]string{"a", "b", "c"})
+	sub, err := e.Subenv([]int{2, 0}, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Tasks() != 2 || sub.Machines() != 1 {
+		t.Fatalf("sub dims = %dx%d", sub.Tasks(), sub.Machines())
+	}
+	if sub.ECSAt(0, 0) != 8 || sub.ECSAt(1, 0) != 2 {
+		t.Errorf("sub values wrong: %v", sub.ECS())
+	}
+	if names := sub.TaskNames(); names[0] != "c" || names[1] != "a" {
+		t.Errorf("sub task names = %v", names)
+	}
+}
+
+func TestSubenvValidationReapplies(t *testing.T) {
+	// Restricting to machine 1 strands task 0 (speed 0 there).
+	e := MustFromECS([][]float64{{1, 0}, {1, 1}})
+	if _, err := e.Subenv([]int{0, 1}, []int{1}); !errors.Is(err, ErrInvalid) {
+		t.Errorf("stranded task not rejected: %v", err)
+	}
+}
+
+func TestRemoveTaskAndMachine(t *testing.T) {
+	e := MustFromECS([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	e2, err := e.RemoveTask(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.Tasks() != 2 || e2.ECSAt(1, 0) != 5 {
+		t.Errorf("RemoveTask wrong: %v", e2.ECS())
+	}
+	e3, err := e.RemoveMachine(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e3.Machines() != 1 || e3.ECSAt(2, 0) != 6 {
+		t.Errorf("RemoveMachine wrong: %v", e3.ECS())
+	}
+}
+
+func TestRemoveLastRejected(t *testing.T) {
+	e := MustFromECS([][]float64{{1}})
+	if _, err := e.RemoveTask(0); err == nil {
+		t.Error("removing last task accepted")
+	}
+	if _, err := e.RemoveMachine(0); err == nil {
+		t.Error("removing last machine accepted")
+	}
+}
+
+func TestAddTask(t *testing.T) {
+	e := MustFromECS([][]float64{{1, 2}})
+	e2, err := e.AddTask("new", []float64{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.Tasks() != 2 || e2.ECSAt(1, 1) != 4 {
+		t.Errorf("AddTask wrong: %v", e2.ECS())
+	}
+	if e2.TaskNames()[1] != "new" {
+		t.Errorf("AddTask name = %v", e2.TaskNames())
+	}
+	if _, err := e.AddTask("bad", []float64{1}); err == nil {
+		t.Error("wrong-length AddTask accepted")
+	}
+	if _, err := e.AddTask("zero", []float64{0, 0}); err == nil {
+		t.Error("all-zero AddTask row accepted")
+	}
+}
+
+func TestAddMachine(t *testing.T) {
+	e := MustFromECS([][]float64{{1, 2}, {3, 4}})
+	e2, err := e.AddMachine("gpu", []float64{9, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.Machines() != 3 || e2.ECSAt(1, 2) != 10 {
+		t.Errorf("AddMachine wrong: %v", e2.ECS())
+	}
+	if e2.MachineNames()[2] != "gpu" {
+		t.Errorf("AddMachine name = %v", e2.MachineNames())
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	e := MustFromETC([][]float64{{2, math.Inf(1)}, {5, 10}})
+	e, _ = e.WithTaskNames([]string{"gcc", "mcf"})
+	e, _ = e.WithMachineNames([]string{"xeon", "opteron"})
+	var buf bytes.Buffer
+	if err := e.WriteETCCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadETCCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.EqualTol(back.ECS(), e.ECS(), 1e-12) {
+		t.Errorf("CSV round trip changed ECS:\n%v\nvs\n%v", back.ECS(), e.ECS())
+	}
+	if back.TaskNames()[1] != "mcf" || back.MachineNames()[0] != "xeon" {
+		t.Errorf("CSV round trip lost names: %v / %v", back.TaskNames(), back.MachineNames())
+	}
+}
+
+func TestReadETCCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":       "",
+		"header only": "task,m1\n",
+		"bad number":  "task,m1\na,xyz\n",
+		"no machines": "task\na\n",
+		"zero etc":    "task,m1\na,0\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadETCCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	e := MustFromECS([][]float64{{1, 0}, {2, 3}})
+	e, _ = e.WithTaskNames([]string{"a", "b"})
+	e, _ = e.WithWeights([]float64{2, 1}, []float64{1, 4})
+	data, err := json.Marshal(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Env
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.EqualTol(back.ECS(), e.ECS(), 0) {
+		t.Error("JSON round trip changed ECS")
+	}
+	if back.TaskNames()[0] != "a" {
+		t.Errorf("JSON round trip lost names: %v", back.TaskNames())
+	}
+	if back.TaskWeights()[0] != 2 || back.MachineWeights()[1] != 4 {
+		t.Errorf("JSON round trip lost weights: %v %v", back.TaskWeights(), back.MachineWeights())
+	}
+}
+
+func TestJSONRejectsInvalid(t *testing.T) {
+	cases := map[string]string{
+		"all-zero row": `{"ecs":[[0,0],[1,1]]}`,
+		"ragged rows":  `{"ecs":[[1],[]]}`, // regression: used to panic (found by fuzzing)
+		"empty ecs":    `{"ecs":[]}`,
+		"missing ecs":  `{}`,
+	}
+	for name, in := range cases {
+		var e Env
+		if err := json.Unmarshal([]byte(in), &e); err == nil {
+			t.Errorf("%s: accepted by UnmarshalJSON", name)
+		}
+	}
+}
+
+func TestECSReturnsCopy(t *testing.T) {
+	e := MustFromECS([][]float64{{1, 2}})
+	c := e.ECS()
+	c.Set(0, 0, 99)
+	if e.ECSAt(0, 0) != 1 {
+		t.Error("ECS() exposed internal storage")
+	}
+}
+
+func TestStringer(t *testing.T) {
+	e := MustFromECS([][]float64{{1, 2}})
+	if got := e.String(); !strings.Contains(got, "1 task types x 2 machines") {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,71 @@
+package etcmat
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+// FuzzReadETCCSV asserts the CSV parser never panics and that anything it
+// accepts round-trips losslessly through WriteETCCSV.
+func FuzzReadETCCSV(f *testing.F) {
+	f.Add("task,m1,m2\ngcc,10,20\nmcf,30,15\n")
+	f.Add("task,m1\nonly,inf\n")
+	f.Add("task,m1,m2\na,1,inf\nb,inf,2\n")
+	f.Add("task,m1\n\n")
+	f.Add("task;m1\na;1\n")
+	f.Add("task,m1\na,-5\n")
+	f.Add("task,m1\na,1e309\n")
+	f.Add("\"task\",\"m,1\"\n\"a b\",3\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		env, err := ReadETCCSV(strings.NewReader(in))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		var buf bytes.Buffer
+		if err := env.WriteETCCSV(&buf); err != nil {
+			t.Fatalf("accepted input failed to serialize: %v", err)
+		}
+		back, err := ReadETCCSV(&buf)
+		if err != nil {
+			t.Fatalf("serialized form rejected: %v\ninput: %q\nserialized: %q", err, in, buf.String())
+		}
+		if !matrix.EqualTol(back.ECS(), env.ECS(), 1e-12) {
+			t.Fatalf("round trip changed values for input %q", in)
+		}
+	})
+}
+
+// FuzzUnmarshalJSON asserts the JSON decoder never panics and that accepted
+// environments satisfy the ECS invariants.
+func FuzzUnmarshalJSON(f *testing.F) {
+	valid, _ := json.Marshal(MustFromECS([][]float64{{1, 2}, {3, 0}}))
+	f.Add(string(valid))
+	f.Add(`{"ecs":[[1]]}`)
+	f.Add(`{"ecs":[[0,0]]}`)
+	f.Add(`{"ecs":[[1,2]],"taskWeights":[0]}`)
+	f.Add(`{"ecs":[]}`)
+	f.Add(`{`)
+	f.Add(`null`)
+	f.Fuzz(func(t *testing.T, in string) {
+		var env Env
+		if err := json.Unmarshal([]byte(in), &env); err != nil {
+			return
+		}
+		if env.Tasks() == 0 || env.Machines() == 0 {
+			t.Fatalf("accepted environment with empty dimensions from %q", in)
+		}
+		ecs := env.ECS()
+		if !ecs.NonNegative() {
+			t.Fatalf("accepted negative ECS from %q", in)
+		}
+		for i := 0; i < env.Tasks(); i++ {
+			if ecs.RowSum(i) == 0 {
+				t.Fatalf("accepted all-zero row from %q", in)
+			}
+		}
+	})
+}

@@ -1,0 +1,420 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// Every experiment must run cleanly and produce non-empty, rectangular,
+// renderable tables.
+func TestAllExperimentsRun(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tables, err := e.Run()
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(tables) == 0 {
+				t.Fatalf("%s: no tables", e.ID)
+			}
+			for _, tb := range tables {
+				if tb.Title == "" || len(tb.Header) == 0 || len(tb.Rows) == 0 {
+					t.Errorf("%s: incomplete table %+v", e.ID, tb.Title)
+				}
+				for _, row := range tb.Rows {
+					if len(row) != len(tb.Header) {
+						t.Errorf("%s: ragged row %v vs header %v", e.ID, row, tb.Header)
+					}
+				}
+				var buf bytes.Buffer
+				if err := tb.Render(&buf); err != nil {
+					t.Errorf("%s: render: %v", e.ID, err)
+				}
+				if !strings.Contains(buf.String(), tb.Title) {
+					t.Errorf("%s: render lost the title", e.ID)
+				}
+			}
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("fig2"); !ok {
+		t.Error("case-insensitive lookup failed")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("unknown ID accepted")
+	}
+}
+
+// Figure 2's measured cells must match the paper values embedded in the same
+// cells (format "measured (paper)").
+func TestFig2CellsAgreeWithPaper(t *testing.T) {
+	tables, err := Fig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tables[0].Rows {
+		for _, cell := range row[1:] {
+			parts := strings.SplitN(cell, " (", 2)
+			if len(parts) != 2 {
+				t.Fatalf("cell %q not in 'measured (paper)' form", cell)
+			}
+			measured, err1 := strconv.ParseFloat(parts[0], 64)
+			paper, err2 := strconv.ParseFloat(strings.TrimSuffix(parts[1], ")"), 64)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("cell %q unparsable", cell)
+			}
+			// MPH(env4) = 0.625 exactly: we print the round-half-even 0.62
+			// while the paper prints 0.63, so allow one hundredth.
+			if diff := measured - paper; diff > 0.0101 || diff < -0.0101 {
+				t.Errorf("row %v: measured %.4f vs paper %.4f", row[0], measured, paper)
+			}
+		}
+	}
+}
+
+// EX1's relative makespans must be >= 1 with at least one 1.00 per row (the
+// best heuristic) — a consistency check on the normalization.
+func TestEx1Normalization(t *testing.T) {
+	tables, err := Ex1Heuristics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tables[0].Rows {
+		sawBest := false
+		for _, cell := range row[2:] {
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				t.Fatalf("cell %q unparsable", cell)
+			}
+			if v < 1-1e-9 {
+				t.Errorf("relative makespan %g < 1", v)
+			}
+			if v <= 1.005 {
+				sawBest = true
+			}
+		}
+		if !sawBest {
+			t.Errorf("row %v has no best heuristic at 1.00", row[:2])
+		}
+	}
+}
+
+// EX3 must achieve its MPH/TDH targets essentially exactly and TMA within
+// the generator tolerance.
+func TestEx3Achievement(t *testing.T) {
+	tables, err := Ex3Generator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tables[0].Rows {
+		req := make([]float64, 3)
+		ach := make([]float64, 3)
+		for k := 0; k < 3; k++ {
+			req[k], _ = strconv.ParseFloat(row[k], 64)
+			var err error
+			ach[k], err = strconv.ParseFloat(row[k+3], 64)
+			if err != nil {
+				t.Fatalf("cell %q unparsable", row[k+3])
+			}
+		}
+		if d := ach[0] - req[0]; d > 1e-3 || d < -1e-3 {
+			t.Errorf("MPH requested %.2f achieved %.4f", req[0], ach[0])
+		}
+		if d := ach[1] - req[1]; d > 1e-3 || d < -1e-3 {
+			t.Errorf("TDH requested %.2f achieved %.4f", req[1], ach[1])
+		}
+		if d := ach[2] - req[2]; d > 5e-3 || d < -5e-3 {
+			t.Errorf("TMA requested %.2f achieved %.4f", req[2], ach[2])
+		}
+	}
+}
+
+// EX6's claim: the measures predict scheduling performance. The held-out R²
+// must show genuine signal and MPH must be the dominant (negative) driver.
+func TestEx6PredictiveSignal(t *testing.T) {
+	tables, err := Ex6Prediction()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := map[string]float64{}
+	for _, row := range tables[0].Rows {
+		v, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			t.Fatalf("cell %q unparsable", row[1])
+		}
+		vals[row[0]] = v
+	}
+	if vals["R^2 (held out)"] < 0.5 {
+		t.Errorf("held-out R^2 = %.3f, want real predictive signal (>= 0.5)", vals["R^2 (held out)"])
+	}
+	if vals["corr(MPH, response)"] > -0.5 {
+		t.Errorf("corr(MPH, response) = %.3f, want strongly negative", vals["corr(MPH, response)"])
+	}
+	if vals["coef MPH"] >= 0 {
+		t.Errorf("coef MPH = %.3f, want negative (more homogeneity, less slowdown)", vals["coef MPH"])
+	}
+}
+
+// EX7's claim: TMA orders the consistency classes while TDH stays fixed
+// (per-row multisets are unchanged).
+func TestEx7ConsistencyOrdering(t *testing.T) {
+	tables, err := Ex7Consistency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tables[0].Rows
+	if len(rows) != 3 {
+		t.Fatalf("want 3 classes, got %d", len(rows))
+	}
+	tma := make([]float64, 3)
+	tdh := make([]float64, 3)
+	for i, row := range rows {
+		var err1, err2 error
+		tdh[i], err1 = strconv.ParseFloat(row[2], 64)
+		tma[i], err2 = strconv.ParseFloat(row[3], 64)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("row %v unparsable", row)
+		}
+	}
+	if !(tma[0] < tma[1] && tma[1] < tma[2]) {
+		t.Errorf("TMA not increasing across consistent < semi < inconsistent: %v", tma)
+	}
+	if tdh[0] != tdh[1] || tdh[1] != tdh[2] {
+		t.Errorf("TDH must be identical across classes (same row multisets): %v", tdh)
+	}
+}
+
+// EX8's regime claims: MET herd-crashes in the homogeneous row but ties the
+// best policy in the specialized-equals row; MCT is at 1.00 everywhere.
+func TestEx8RegimeFlip(t *testing.T) {
+	tables, err := Ex8Dynamic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := tables[0]
+	col := map[string]int{}
+	for j, h := range tb.Header {
+		col[h] = j
+	}
+	get := func(row []string, name string) float64 {
+		v, err := strconv.ParseFloat(row[col[name]], 64)
+		if err != nil {
+			t.Fatalf("cell %q unparsable", row[col[name]])
+		}
+		return v
+	}
+	for _, row := range tb.Rows {
+		if get(row, "MCT") > 1.2 {
+			t.Errorf("%s: MCT relative response %.2f, want near 1", row[0], get(row, "MCT"))
+		}
+	}
+	homog, special := tb.Rows[0], tb.Rows[3]
+	if get(homog, "MET") < 5 {
+		t.Errorf("homogeneous row: MET %.2f, want a collapse", get(homog, "MET"))
+	}
+	if get(special, "MET") > 1.2 {
+		t.Errorf("specialized-equals row: MET %.2f, want near-optimal", get(special, "MET"))
+	}
+	if get(special, "OLB") < 5 {
+		t.Errorf("specialized-equals row: OLB %.2f, want a collapse", get(special, "OLB"))
+	}
+}
+
+// EX9: task weights must move TDH, machine weights must move MPH, and both
+// rows must differ from the uniform baseline.
+func TestEx9WeightEffects(t *testing.T) {
+	tables, err := Ex9Weights()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tables[0].Rows
+	if len(rows) != 3 {
+		t.Fatalf("want 3 weightings, got %d", len(rows))
+	}
+	parse := func(r []string, j int) float64 {
+		v, err := strconv.ParseFloat(r[j], 64)
+		if err != nil {
+			t.Fatalf("cell %q unparsable", r[j])
+		}
+		return v
+	}
+	baseMPH, baseTDH := parse(rows[0], 1), parse(rows[0], 2)
+	if parse(rows[1], 2) == baseTDH {
+		t.Error("task-frequency weights did not move TDH")
+	}
+	if parse(rows[2], 1) == baseMPH {
+		t.Error("machine weights did not move MPH")
+	}
+}
+
+// Every experiment must be deterministic: two runs render byte-identically.
+// This guards against accidental use of global RNG or map-iteration order in
+// any experiment.
+func TestExperimentsDeterministic(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			render := func() string {
+				tables, err := e.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				var buf bytes.Buffer
+				for _, tb := range tables {
+					if err := tb.Render(&buf); err != nil {
+						t.Fatal(err)
+					}
+				}
+				return buf.String()
+			}
+			if render() != render() {
+				t.Errorf("%s output is not deterministic", e.ID)
+			}
+		})
+	}
+}
+
+// EX10's claim (the paper's methodological core): the legacy column-only
+// affinity tracks TDH almost perfectly while the standard-form TMA is flat.
+func TestEx10IndependenceContrast(t *testing.T) {
+	tables, err := Ex10Independence()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sweep table: TMA column constant, legacy column strictly increasing
+	// over the first few rows.
+	sweep := tables[0]
+	var tmaVals, legacyVals []float64
+	for _, row := range sweep.Rows {
+		l, err1 := strconv.ParseFloat(row[1], 64)
+		v, err2 := strconv.ParseFloat(row[2], 64)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("row %v unparsable", row)
+		}
+		legacyVals = append(legacyVals, l)
+		tmaVals = append(tmaVals, v)
+	}
+	for i := 1; i < len(tmaVals); i++ {
+		if diff := tmaVals[i] - tmaVals[0]; diff > 0.01 || diff < -0.01 {
+			t.Errorf("standard-form TMA drifted across the TDH sweep: %v", tmaVals)
+			break
+		}
+	}
+	if !(legacyVals[0] < legacyVals[2] && legacyVals[2] < legacyVals[4]) {
+		t.Errorf("legacy affinity did not grow with TDH: %v", legacyVals)
+	}
+	// Correlation table.
+	corr := tables[1]
+	legacyCorr, _ := strconv.ParseFloat(corr.Rows[0][1], 64)
+	tmaCorr, _ := strconv.ParseFloat(corr.Rows[1][1], 64)
+	if legacyCorr < 0.8 {
+		t.Errorf("legacy correlation with TDH = %.3f, want the strong dependence the paper describes", legacyCorr)
+	}
+	if tmaCorr > 0.3 || tmaCorr < -0.3 {
+		t.Errorf("TMA correlation with TDH = %.3f, want near zero", tmaCorr)
+	}
+}
+
+// EX11's crossover: batch/immediate ratio must be near 1 at the lightest
+// load and clearly below 1 at the heaviest.
+func TestEx11Crossover(t *testing.T) {
+	tables, err := Ex11BatchMode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tables[0].Rows
+	first, err1 := strconv.ParseFloat(rows[0][3], 64)
+	last, err2 := strconv.ParseFloat(rows[len(rows)-1][3], 64)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("ratio cells unparsable: %v", rows)
+	}
+	if first < 0.9 || first > 1.3 {
+		t.Errorf("light-load batch/immediate = %.2f, want near 1", first)
+	}
+	if last > 0.85 {
+		t.Errorf("heavy-load batch/immediate = %.2f, want a clear batch win", last)
+	}
+}
+
+// EX13's structure: within every (task, machine) cell, TMA orders the
+// consistency classes; within every (consistency, task) cell, the low
+// machine range has higher MPH.
+func TestEx13BraunStructure(t *testing.T) {
+	tables, err := Ex13BraunClasses()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := map[string][3]float64{} // class -> MPH, TDH, TMA
+	for _, row := range tables[0].Rows {
+		var v [3]float64
+		for k := 0; k < 3; k++ {
+			f, err := strconv.ParseFloat(row[k+1], 64)
+			if err != nil {
+				t.Fatalf("row %v unparsable", row)
+			}
+			v[k] = f
+		}
+		vals[row[0]] = v
+	}
+	for _, task := range []string{"hi-task", "lo-task"} {
+		for _, mach := range []string{"hi-mach", "lo-mach"} {
+			c := vals["consistent "+task+" "+mach][2]
+			s := vals["semi-consistent "+task+" "+mach][2]
+			i := vals["inconsistent "+task+" "+mach][2]
+			if !(c < s && s < i) {
+				t.Errorf("%s %s: TMA not ordered by consistency: %g %g %g", task, mach, c, s, i)
+			}
+		}
+	}
+	for _, cons := range []string{"consistent", "semi-consistent", "inconsistent"} {
+		for _, task := range []string{"hi-task", "lo-task"} {
+			hi := vals[cons+" "+task+" hi-mach"][0]
+			lo := vals[cons+" "+task+" lo-mach"][0]
+			if !(lo > hi) {
+				t.Errorf("%s %s: MPH(lo-mach) %g not above MPH(hi-mach) %g", cons, task, lo, hi)
+			}
+		}
+	}
+}
+
+func TestRenderMarkdown(t *testing.T) {
+	tb := &Table{
+		ID:     "X",
+		Title:  "demo",
+		Notes:  []string{"a note"},
+		Header: []string{"k", "v"},
+		Rows:   [][]string{{"pipe|cell", "1"}},
+	}
+	var buf bytes.Buffer
+	if err := tb.RenderMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"**X: demo**", "*a note*", "| k | v |", "| --- | --- |", `pipe\|cell`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableRenderAlignment(t *testing.T) {
+	tb := &Table{
+		ID:     "X",
+		Title:  "demo",
+		Header: []string{"a", "long-header"},
+		Rows:   [][]string{{"wide-cell-content", "1"}},
+	}
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 3+1 { // title + header + separator + row
+		t.Errorf("got %d lines:\n%s", len(lines), buf.String())
+	}
+}

@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/sched"
+	"repro/internal/spec"
+)
+
+// Ex1Heuristics is the paper's "select heuristics by heterogeneity"
+// application (intro, ref [3]): sweep environments across the TMA and MPH
+// ranges, run the full mapping-heuristic suite on a fixed workload, and
+// report each heuristic's makespan normalized to the best heuristic for that
+// environment. The qualitative shape to expect: MET collapses as machine
+// heterogeneity grows but recovers competitiveness when affinity (TMA) is
+// high (tasks genuinely prefer different machines), while Min-Min/Sufferage
+// stay near the front everywhere.
+func Ex1Heuristics() ([]*Table, error) {
+	rng := rand.New(rand.NewSource(101))
+	heuristics := sched.All()
+	t := &Table{
+		ID:    "EX1",
+		Title: "Relative makespan (heuristic / best) across the heterogeneity space",
+		Notes: []string{
+			"environments from the targeted generator: 12 task types x 6 machines, 8 instances per type",
+			"TDH fixed at 0.8; rows sweep (MPH, TMA)",
+		},
+	}
+	t.Header = []string{"MPH", "TMA"}
+	for _, h := range heuristics {
+		t.Header = append(t.Header, h.Name())
+	}
+	for _, mph := range []float64{0.9, 0.5, 0.2} {
+		for _, tma := range []float64{0.0, 0.3, 0.6} {
+			g, err := gen.Targeted(gen.Target{
+				Tasks: 12, Machines: 6, MPH: mph, TDH: 0.8, TMA: tma,
+			}, rng)
+			if err != nil {
+				return nil, err
+			}
+			in, err := sched.UniformWorkload(g.Env, 8, rng)
+			if err != nil {
+				return nil, err
+			}
+			schedules, err := sched.RunAll(in, heuristics)
+			if err != nil {
+				return nil, err
+			}
+			best := schedules[0].Makespan
+			for _, s := range schedules[1:] {
+				if s.Makespan < best {
+					best = s.Makespan
+				}
+			}
+			row := []string{f2(mph), f2(tma)}
+			for _, s := range schedules {
+				row = append(row, f2(s.Makespan/best))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	return []*Table{t}, nil
+}
+
+// Ex2WhatIf is the paper's what-if application (intro): quantify how each
+// measure moves when a task type or machine is removed from the CINT
+// environment — exactly the "effect of adding/removing task types or
+// machines" study the measures are motivated by.
+func Ex2WhatIf() ([]*Table, error) {
+	env := spec.CINT2006Rate()
+	base, deltas := core.LeaveOneOut(env)
+	if base.TMAErr != nil {
+		return nil, base.TMAErr
+	}
+	t := &Table{
+		ID:    "EX2",
+		Title: "What-if: leave-one-out deltas on SPEC CINT2006Rate",
+		Notes: []string{
+			fmt.Sprintf("baseline: MPH=%s TDH=%s TMA=%s", f4(base.MPH), f4(base.TDH), f4(base.TMA)),
+			"task rows limited to the extreme-difficulty task types",
+		},
+		Header: []string{"removed", "MPH", "dMPH", "TDH", "dTDH", "TMA", "dTMA"},
+	}
+	// Task removals: report the extreme task types only (least and most
+	// difficult) to keep the table readable.
+	td := core.TaskDifficulties(env)
+	minI, maxI := 0, 0
+	for i, v := range td {
+		if v < td[minI] {
+			minI = i
+		}
+		if v > td[maxI] {
+			maxI = i
+		}
+	}
+	for _, d := range deltas {
+		if d.Err != nil {
+			return nil, fmt.Errorf("%s %s: %w", d.Kind, d.Name, d.Err)
+		}
+		if d.Kind == "task" && d.Index != minI && d.Index != maxI {
+			continue
+		}
+		t.Rows = append(t.Rows, []string{
+			d.Kind + " " + d.Name,
+			f4(d.MPH), fmt.Sprintf("%+.4f", d.DMPH),
+			f4(d.TDH), fmt.Sprintf("%+.4f", d.DTDH),
+			f4(d.TMA), fmt.Sprintf("%+.4f", d.DTMA),
+		})
+	}
+	return []*Table{t}, nil
+}
+
+// Ex3Generator is the paper's generation application (intro, ref [2]):
+// request a grid of (MPH, TDH, TMA) targets from the targeted generator and
+// report what was achieved — demonstrating that environments spanning the
+// entire heterogeneity range can be produced, with the three measures moving
+// independently.
+func Ex3Generator() ([]*Table, error) {
+	rng := rand.New(rand.NewSource(102))
+	t := &Table{
+		ID:     "EX3",
+		Title:  "Targeted generator: requested vs achieved (10 task types x 5 machines)",
+		Header: []string{"req MPH", "req TDH", "req TMA", "ach MPH", "ach TDH", "ach TMA"},
+	}
+	for _, mph := range []float64{0.2, 0.6, 0.95} {
+		for _, tdh := range []float64{0.3, 0.9} {
+			for _, tma := range []float64{0.0, 0.25, 0.5} {
+				g, err := gen.Targeted(gen.Target{
+					Tasks: 10, Machines: 5, MPH: mph, TDH: tdh, TMA: tma,
+				}, rng)
+				if err != nil {
+					return nil, err
+				}
+				p := g.Achieved
+				t.Rows = append(t.Rows, []string{
+					f2(mph), f2(tdh), f2(tma), f4(p.MPH), f4(p.TDH), f4(p.TMA),
+				})
+			}
+		}
+	}
+	return []*Table{t}, nil
+}

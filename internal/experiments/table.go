@@ -1,0 +1,169 @@
+// Package experiments regenerates every figure and worked example of the
+// reproduced paper's evaluation, plus the three extension studies listed in
+// DESIGN.md. Each experiment returns one or more Tables; cmd/hcbench renders
+// them, and EXPERIMENTS.md records paper-versus-measured values.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a renderable experiment result: a title, explanatory notes, a
+// header row and data rows.
+type Table struct {
+	ID     string
+	Title  string
+	Notes  []string
+	Header []string
+	Rows   [][]string
+}
+
+// Render writes the table as aligned plain text.
+func (t *Table) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "   %s\n", n); err != nil {
+			return err
+		}
+	}
+	widths := make([]int, len(t.Header))
+	for j, h := range t.Header {
+		widths[j] = len(h)
+	}
+	for _, row := range t.Rows {
+		for j, cell := range row {
+			if j < len(widths) && len(cell) > widths[j] {
+				widths[j] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for j, c := range cells {
+			w := 0
+			if j < len(widths) {
+				w = widths[j]
+			}
+			parts[j] = pad(c, w)
+		}
+		_, err := fmt.Fprintf(w, "   %s\n", strings.TrimRight(strings.Join(parts, "  "), " "))
+		return err
+	}
+	if err := writeRow(t.Header); err != nil {
+		return err
+	}
+	sep := make([]string, len(t.Header))
+	for j := range sep {
+		sep[j] = strings.Repeat("-", widths[j])
+	}
+	if err := writeRow(sep); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// RenderMarkdown writes the table as GitHub-flavored markdown, for pasting
+// into EXPERIMENTS.md or issue reports.
+func (t *Table) RenderMarkdown(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "**%s: %s**\n\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "*%s*\n\n", n); err != nil {
+			return err
+		}
+	}
+	row := func(cells []string) error {
+		escaped := make([]string, len(cells))
+		for i, c := range cells {
+			escaped[i] = strings.ReplaceAll(c, "|", "\\|")
+		}
+		_, err := fmt.Fprintf(w, "| %s |\n", strings.Join(escaped, " | "))
+		return err
+	}
+	if err := row(t.Header); err != nil {
+		return err
+	}
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	if err := row(sep); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if err := row(r); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// f formats a float with 4 decimals for table cells.
+func f4(v float64) string { return fmt.Sprintf("%.4f", v) }
+
+// f2 formats a float with 2 decimals (the paper's reporting precision).
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// Experiment couples an ID with its runner.
+type Experiment struct {
+	ID   string
+	Desc string
+	Run  func() ([]*Table, error)
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"FIG1", "machine performance = ECS column sums", Fig1},
+		{"FIG2", "MPH vs R, G, COV on four contrived environments", Fig2},
+		{"FIG3", "equal machine performance, contrasting affinity", Fig3},
+		{"FIG4", "eight extreme 2x2 environments spanning the measure space", Fig4},
+		{"FIG5", "the five SPEC machines", Fig5},
+		{"FIG6", "SPEC CINT2006Rate measures and convergence", Fig6},
+		{"FIG7", "SPEC CFP2006Rate measures and convergence", Fig7},
+		{"FIG8", "2x2 ETC extractions with contrasting affinity", Fig8},
+		{"EQ10", "a decomposable matrix that cannot be standardized", Eq10},
+		{"EX1", "heuristic selection vs heterogeneity (extension)", Ex1Heuristics},
+		{"EX2", "what-if task/machine removal (extension)", Ex2WhatIf},
+		{"EX3", "targeted generator spans the measure space (extension)", Ex3Generator},
+		{"EX4", "ablations: tiling vs direct, SVD algorithms, normalization order", Ex4Ablation},
+		{"EX5", "search mappers (GA, SA) vs the greedy/batch suite (extension)", Ex5Search},
+		{"EX6", "predicting scheduling performance from the measures (extension)", Ex6Prediction},
+		{"EX7", "ETC consistency classes vs the measures (extension)", Ex7Consistency},
+		{"EX8", "dynamic (online-arrival) policy selection vs heterogeneity (extension)", Ex8Dynamic},
+		{"EX9", "weighting factors reshape the measures (paper Sec. II-C)", Ex9Weights},
+		{"EX10", "independence: column-only affinity (ref [2]) vs standard-form TMA", Ex10Independence},
+		{"EX11", "immediate vs batch dynamic mapping across load (extension)", Ex11BatchMode},
+		{"EX12", "makespan vs robustness trade-off across heuristics (extension)", Ex12Robustness},
+		{"EX13", "the twelve Braun et al. ETC classes in measure space (extension)", Ex13BraunClasses},
+	}
+}
+
+// ByID returns the experiment with the given ID, or false.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if strings.EqualFold(e.ID, id) {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}

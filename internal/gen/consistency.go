@@ -1,0 +1,119 @@
+package gen
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/etcmat"
+	"repro/internal/matrix"
+)
+
+// Consistency is the classic ETC-matrix taxonomy of Braun et al. (the
+// paper's ref [6]). It interacts directly with the paper's TMA measure:
+// a consistent matrix has one global machine ranking (low affinity), an
+// inconsistent matrix lets every task type rank machines its own way (high
+// affinity), and semi-consistent sits between.
+type Consistency int
+
+const (
+	// Inconsistent leaves the generated ETC values as drawn: machine
+	// rankings vary freely across task types.
+	Inconsistent Consistency = iota
+	// Consistent reorders every row so machine 1 is fastest for every task
+	// type, machine 2 second, and so on.
+	Consistent
+	// SemiConsistent imposes the consistent ordering on the even-indexed
+	// machine columns only (Braun et al.'s convention), leaving odd columns
+	// inconsistent.
+	SemiConsistent
+)
+
+// String implements fmt.Stringer.
+func (c Consistency) String() string {
+	switch c {
+	case Inconsistent:
+		return "inconsistent"
+	case Consistent:
+		return "consistent"
+	case SemiConsistent:
+		return "semi-consistent"
+	default:
+		return fmt.Sprintf("Consistency(%d)", int(c))
+	}
+}
+
+// WithConsistency rewrites an environment's ETC matrix into the requested
+// consistency class by per-row reordering of its values (the value
+// *distribution* is untouched — only which machine gets which time changes).
+// Inconsistent returns the environment unchanged.
+func WithConsistency(env *etcmat.Env, c Consistency) (*etcmat.Env, error) {
+	switch c {
+	case Inconsistent:
+		return env, nil
+	case Consistent, SemiConsistent:
+	default:
+		return nil, fmt.Errorf("gen: unknown consistency class %d", int(c))
+	}
+	etc := env.ETC()
+	t, m := etc.Dims()
+	out := matrix.New(t, m)
+	for i := 0; i < t; i++ {
+		row := etc.Row(i)
+		if c == Consistent {
+			sort.Float64s(row)
+			for j := 0; j < m; j++ {
+				out.Set(i, j, row[j])
+			}
+			continue
+		}
+		// Semi-consistent: gather the even-indexed positions, sort those
+		// values, write them back ascending over the even positions; odd
+		// positions keep their drawn values.
+		var evens []float64
+		for j := 0; j < m; j += 2 {
+			evens = append(evens, row[j])
+		}
+		sort.Float64s(evens)
+		k := 0
+		for j := 0; j < m; j++ {
+			if j%2 == 0 {
+				out.Set(i, j, evens[k])
+				k++
+			} else {
+				out.Set(i, j, row[j])
+			}
+		}
+	}
+	res, err := etcmat.NewFromETC(out)
+	if err != nil {
+		return nil, err
+	}
+	if res, err = res.WithTaskNames(env.TaskNames()); err != nil {
+		return nil, err
+	}
+	if res, err = res.WithMachineNames(env.MachineNames()); err != nil {
+		return nil, err
+	}
+	return res.WithWeights(env.TaskWeights(), env.MachineWeights())
+}
+
+// IsConsistent reports whether every task type ranks the machines
+// identically (ties allowed): for all rows, ETC is non-decreasing in the
+// machine order that sorts row 0.
+func IsConsistent(env *etcmat.Env) bool {
+	etc := env.ETC()
+	t, m := etc.Dims()
+	if t == 0 || m < 2 {
+		return true
+	}
+	order := matrix.AscendingPerm(etc.Row(0))
+	for i := 0; i < t; i++ {
+		row := etc.Row(i)
+		for k := 0; k+1 < m; k++ {
+			if row[order[k]] > row[order[k+1]] {
+				return false
+			}
+		}
+	}
+	return true
+}

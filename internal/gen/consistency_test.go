@@ -1,0 +1,135 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/etcmat"
+)
+
+func TestWithConsistencyConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(120))
+	env, err := RangeBased(10, 6, 50, 20, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if IsConsistent(env) {
+		t.Skip("random draw happened to be consistent (vanishingly unlikely)")
+	}
+	cons, err := WithConsistency(env, Consistent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsConsistent(cons) {
+		t.Error("Consistent output fails IsConsistent")
+	}
+	// Each row must be the sorted multiset of the original row.
+	orig, conv := env.ETC(), cons.ETC()
+	for i := 0; i < 10; i++ {
+		a, b := orig.Row(i), conv.Row(i)
+		sort.Float64s(a)
+		for j := range a {
+			if math.Abs(a[j]-b[j]) > 1e-12 {
+				t.Fatalf("row %d not a sorted permutation: %v vs %v", i, a, b)
+			}
+		}
+	}
+}
+
+func TestWithConsistencySemi(t *testing.T) {
+	rng := rand.New(rand.NewSource(121))
+	env, err := RangeBased(8, 6, 50, 20, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	semi, err := WithConsistency(env, SemiConsistent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, conv := env.ETC(), semi.ETC()
+	for i := 0; i < 8; i++ {
+		// Even columns ascending.
+		prev := math.Inf(-1)
+		for j := 0; j < 6; j += 2 {
+			if conv.At(i, j) < prev {
+				t.Fatalf("row %d even columns not ascending", i)
+			}
+			prev = conv.At(i, j)
+		}
+		// Odd columns untouched.
+		for j := 1; j < 6; j += 2 {
+			if conv.At(i, j) != orig.At(i, j) {
+				t.Fatalf("row %d odd column %d changed", i, j)
+			}
+		}
+	}
+}
+
+func TestWithConsistencyInconsistentNoop(t *testing.T) {
+	env := etcmat.MustFromETC([][]float64{{3, 1}, {1, 3}})
+	same, err := WithConsistency(env, Inconsistent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same != env {
+		t.Error("Inconsistent should return the environment unchanged")
+	}
+	if _, err := WithConsistency(env, Consistency(99)); err == nil {
+		t.Error("unknown class accepted")
+	}
+}
+
+func TestIsConsistent(t *testing.T) {
+	if !IsConsistent(etcmat.MustFromETC([][]float64{{1, 2, 3}, {4, 8, 9}})) {
+		t.Error("consistent matrix misclassified")
+	}
+	if IsConsistent(etcmat.MustFromETC([][]float64{{1, 2}, {5, 3}})) {
+		t.Error("inconsistent matrix misclassified")
+	}
+	if !IsConsistent(etcmat.MustFromETC([][]float64{{1, 2}})) {
+		t.Error("single row is trivially consistent")
+	}
+}
+
+func TestConsistencyStrings(t *testing.T) {
+	if Consistent.String() != "consistent" || SemiConsistent.String() != "semi-consistent" ||
+		Inconsistent.String() != "inconsistent" {
+		t.Error("Consistency String() wrong")
+	}
+	if Consistency(42).String() == "" {
+		t.Error("unknown class String() empty")
+	}
+}
+
+// The taxonomy maps onto TMA as the paper's measure predicts: consistent <=
+// semi-consistent <= inconsistent in affinity.
+func TestConsistencyOrdersTMA(t *testing.T) {
+	rng := rand.New(rand.NewSource(122))
+	var tmas [3]float64
+	base, err := RangeBased(16, 8, 100, 20, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, c := range []Consistency{Consistent, SemiConsistent, Inconsistent} {
+		env, err := WithConsistency(base, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := core.TMA(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tmas[k] = r.TMA
+	}
+	if !(tmas[0] <= tmas[1]+1e-9 && tmas[1] <= tmas[2]+1e-9) {
+		t.Errorf("TMA ordering violated: consistent %.4f, semi %.4f, inconsistent %.4f",
+			tmas[0], tmas[1], tmas[2])
+	}
+	if tmas[0] > tmas[2]*0.9 {
+		t.Errorf("consistent (%.4f) should have clearly less affinity than inconsistent (%.4f)",
+			tmas[0], tmas[2])
+	}
+}

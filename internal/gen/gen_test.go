@@ -1,0 +1,222 @@
+package gen
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/etcmat"
+	"repro/internal/stats"
+)
+
+func TestRangeBasedShapeAndBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	env, err := RangeBased(20, 8, 100, 10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Tasks() != 20 || env.Machines() != 8 {
+		t.Fatalf("dims = %dx%d", env.Tasks(), env.Machines())
+	}
+	etc := env.ETC()
+	for i := 0; i < 20; i++ {
+		for j := 0; j < 8; j++ {
+			v := etc.At(i, j)
+			if v < 1 || v > 1000 {
+				t.Fatalf("ETC(%d,%d) = %g outside [1, R_task*R_mach]", i, j, v)
+			}
+		}
+	}
+}
+
+func TestRangeBasedHeterogeneityGrowsWithRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	low, err := RangeBased(30, 10, 2, 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := RangeBased(30, 10, 1000, 1000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wider ranges -> lower homogeneity of machine performances.
+	if core.MPH(high) >= core.MPH(low) {
+		t.Errorf("MPH(high-range) = %g >= MPH(low-range) = %g", core.MPH(high), core.MPH(low))
+	}
+}
+
+func TestRangeBasedValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	if _, err := RangeBased(0, 3, 10, 10, rng); err == nil {
+		t.Error("zero tasks accepted")
+	}
+	if _, err := RangeBased(3, 3, 0.5, 10, rng); err == nil {
+		t.Error("range < 1 accepted")
+	}
+}
+
+func TestCVBMomentsTrackParameters(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	const (
+		vTask, vMach = 0.6, 0.3
+		muTask       = 50.0
+	)
+	env, err := CVB(400, 40, vTask, vMach, muTask, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	etc := env.ETC()
+	// Row-wise COV estimates the machine COV.
+	covs := make([]float64, 0, 400)
+	means := make([]float64, 0, 400)
+	for i := 0; i < 400; i++ {
+		row := etc.Row(i)
+		covs = append(covs, stats.COV(row))
+		means = append(means, stats.Mean(row))
+	}
+	if got := stats.Mean(covs); math.Abs(got-vMach) > 0.05 {
+		t.Errorf("mean row COV = %g, want about %g", got, vMach)
+	}
+	// Task baselines: mean of row means tracks muTask, their COV tracks vTask.
+	if got := stats.Mean(means); math.Abs(got-muTask)/muTask > 0.15 {
+		t.Errorf("mean task time = %g, want about %g", got, muTask)
+	}
+	if got := stats.COV(means); math.Abs(got-vTask) > 0.15 {
+		t.Errorf("COV of task means = %g, want about %g", got, vTask)
+	}
+}
+
+func TestCVBValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(54))
+	if _, err := CVB(3, 3, 0, 0.5, 10, rng); err == nil {
+		t.Error("zero vTask accepted")
+	}
+	if _, err := CVB(3, 0, 0.5, 0.5, 10, rng); err == nil {
+		t.Error("zero machines accepted")
+	}
+}
+
+func TestGeneratorsDeterministicBySeed(t *testing.T) {
+	a, err := RangeBased(5, 5, 10, 10, rand.New(rand.NewSource(99)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RangeBased(5, 5, 10, 10, rand.New(rand.NewSource(99)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ECS().String() != b.ECS().String() {
+		t.Error("same seed produced different environments")
+	}
+}
+
+func TestTargetedHitsProfile(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	cases := []Target{
+		{Tasks: 10, Machines: 6, MPH: 0.8, TDH: 0.9, TMA: 0.1},
+		{Tasks: 8, Machines: 8, MPH: 0.5, TDH: 0.3, TMA: 0.4},
+		{Tasks: 12, Machines: 5, MPH: 0.95, TDH: 0.6, TMA: 0.0},
+		{Tasks: 6, Machines: 6, MPH: 0.3, TDH: 0.95, TMA: 0.7},
+	}
+	for _, target := range cases {
+		g, err := Targeted(target, rng)
+		if err != nil {
+			t.Fatalf("%+v: %v", target, err)
+		}
+		p := g.Achieved
+		if math.Abs(p.MPH-target.MPH) > 1e-6 {
+			t.Errorf("%+v: achieved MPH %.6f", target, p.MPH)
+		}
+		if math.Abs(p.TDH-target.TDH) > 1e-6 {
+			t.Errorf("%+v: achieved TDH %.6f", target, p.TDH)
+		}
+		if math.Abs(p.TMA-target.TMA) > 5e-3 {
+			t.Errorf("%+v: achieved TMA %.4f", target, p.TMA)
+		}
+	}
+}
+
+// The decoupling claim: changing the TMA target must not disturb MPH/TDH.
+func TestTargetedIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(56))
+	for _, tma := range []float64{0, 0.25, 0.5} {
+		g, err := Targeted(Target{Tasks: 9, Machines: 9, MPH: 0.7, TDH: 0.4, TMA: tma}, rng)
+		if err != nil {
+			t.Fatalf("TMA=%g: %v", tma, err)
+		}
+		if math.Abs(g.Achieved.MPH-0.7) > 1e-6 || math.Abs(g.Achieved.TDH-0.4) > 1e-6 {
+			t.Errorf("TMA=%g perturbed MPH/TDH: %v", tma, g.Achieved)
+		}
+	}
+}
+
+func TestTargetedUnreachable(t *testing.T) {
+	rng := rand.New(rand.NewSource(57))
+	// A 3x2 shape caps the wrap core's TMA near 1/sqrt(2) ~ 0.707, so 0.9 is
+	// unreachable.
+	_, err := Targeted(Target{Tasks: 3, Machines: 2, MPH: 0.8, TDH: 0.8, TMA: 0.9}, rng)
+	if !errors.Is(err, ErrUnreachable) {
+		t.Errorf("err = %v, want ErrUnreachable", err)
+	}
+}
+
+func TestTargetedValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(58))
+	bad := []Target{
+		{Tasks: 1, Machines: 5, MPH: 0.5, TDH: 0.5},
+		{Tasks: 5, Machines: 5, MPH: 0, TDH: 0.5},
+		{Tasks: 5, Machines: 5, MPH: 0.5, TDH: 1.5},
+		{Tasks: 5, Machines: 5, MPH: 0.5, TDH: 0.5, TMA: 1},
+	}
+	for _, target := range bad {
+		if _, err := Targeted(target, rng); err == nil {
+			t.Errorf("%+v accepted", target)
+		}
+	}
+}
+
+func TestGeometricProfileRatio(t *testing.T) {
+	p := geometricProfile(5, 0.5)
+	for k := 0; k+1 < len(p); k++ {
+		if math.Abs(p[k]/p[k+1]-0.5) > 1e-12 {
+			t.Fatalf("profile %v has non-constant ratio", p)
+		}
+	}
+	env := etcmat.MustFromECS([][]float64{p})
+	if got := core.MPH(env); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("MPH of geometric profile = %g, want 0.5", got)
+	}
+}
+
+func TestBalanceToTargets(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	a := affinityCore(4, 3, 0.3, rng)
+	rows := []float64{1, 2, 3, 4}
+	cols := []float64{5, 2, 3}
+	w, err := balanceToTargets(a, rows, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range w.RowSums() {
+		if math.Abs(s-rows[i]) > 1e-8 {
+			t.Errorf("row %d sum = %g, want %g", i, s, rows[i])
+		}
+	}
+	for j, s := range w.ColSums() {
+		if math.Abs(s-cols[j]) > 1e-8 {
+			t.Errorf("col %d sum = %g, want %g", j, s, cols[j])
+		}
+	}
+}
+
+func TestBalanceToTargetsInconsistent(t *testing.T) {
+	a := affinityCore(2, 2, 0, nil)
+	if _, err := balanceToTargets(a, []float64{1, 1}, []float64{5, 5}); err == nil {
+		t.Error("inconsistent totals accepted")
+	}
+	if _, err := balanceToTargets(a, []float64{1}, []float64{1, 1}); err == nil {
+		t.Error("wrong-length targets accepted")
+	}
+}

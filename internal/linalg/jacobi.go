@@ -1,0 +1,204 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/matrix"
+)
+
+// Factors holds a singular value decomposition a = U·diag(S)·Vᵀ with the
+// singular values sorted descending. For an m×n input with k = min(m, n),
+// U is m×k, S has length k and V is n×k.
+type Factors struct {
+	U *matrix.Dense
+	S []float64
+	V *matrix.Dense
+}
+
+// Reconstruct returns U·diag(S)·Vᵀ, primarily for tests.
+func (f *Factors) Reconstruct() *matrix.Dense {
+	us := f.U.Clone().ScaleCols(f.S)
+	return matrix.Mul(us, f.V.T())
+}
+
+// SVDJacobi computes the singular value decomposition of a using one-sided
+// (Hestenes) Jacobi rotations. It is slower than Golub–Reinsch but extremely
+// robust and accurate for the small/medium dense matrices this repository
+// manipulates; the two algorithms cross-check each other in tests.
+func SVDJacobi(a *matrix.Dense) *Factors {
+	m, n := a.Dims()
+	if m < n {
+		// One-sided Jacobi wants tall matrices; transpose and swap U/V.
+		f := SVDJacobi(a.T())
+		return &Factors{U: f.V, S: f.S, V: f.U}
+	}
+	w := a.Clone()
+	v := matrix.Identity(n)
+	const (
+		tol       = 1e-14
+		maxSweeps = 60
+	)
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				// Gram entries of the column pair (p, q).
+				var app, aqq, apq float64
+				for i := 0; i < m; i++ {
+					x, y := w.At(i, p), w.At(i, q)
+					app += x * x
+					aqq += y * y
+					apq += x * y
+				}
+				if math.Abs(apq) <= tol*math.Sqrt(app*aqq) || apq == 0 {
+					continue
+				}
+				off++
+				// Jacobi rotation that annihilates the (p,q) Gram entry.
+				tau := (aqq - app) / (2 * apq)
+				var t float64
+				if tau >= 0 {
+					t = 1 / (tau + math.Sqrt(1+tau*tau))
+				} else {
+					t = -1 / (-tau + math.Sqrt(1+tau*tau))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := c * t
+				rotateCols(w, p, q, c, s)
+				rotateCols(v, p, q, c, s)
+			}
+		}
+		if off == 0 {
+			break
+		}
+	}
+	// Singular values are the column norms of the rotated matrix; U's columns
+	// are the normalized columns (zero columns get an arbitrary completion of
+	// zeros, which is fine for value-only consumers and for reconstruction).
+	sv := make([]float64, n)
+	u := matrix.New(m, n)
+	for j := 0; j < n; j++ {
+		col := w.Col(j)
+		norm := matrix.Nrm2(col)
+		sv[j] = norm
+		if norm > 0 {
+			for i := 0; i < m; i++ {
+				u.Set(i, j, col[i]/norm)
+			}
+		}
+	}
+	sortFactorsDescending(u, sv, v)
+	return &Factors{U: u, S: sv, V: v}
+}
+
+// rotateCols applies the plane rotation [c -s; s c] to columns p and q:
+// new_p = c*p - s*q, new_q = s*p + c*q.
+func rotateCols(m *matrix.Dense, p, q int, c, s float64) {
+	rows := m.Rows()
+	for i := 0; i < rows; i++ {
+		x, y := m.At(i, p), m.At(i, q)
+		m.Set(i, p, c*x-s*y)
+		m.Set(i, q, s*x+c*y)
+	}
+}
+
+// sortFactorsDescending reorders the columns of u and v and entries of s so
+// that s is descending.
+func sortFactorsDescending(u *matrix.Dense, s []float64, v *matrix.Dense) {
+	idx := make([]int, len(s))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return s[idx[a]] > s[idx[b]] })
+	sorted := make([]float64, len(s))
+	for i, p := range idx {
+		sorted[i] = s[p]
+	}
+	copy(s, sorted)
+	reorderCols(u, idx)
+	reorderCols(v, idx)
+}
+
+func reorderCols(m *matrix.Dense, idx []int) {
+	if m == nil {
+		return
+	}
+	perm := make([]int, len(idx))
+	copy(perm, idx)
+	tmp := m.PermuteCols(perm)
+	m.CopyFrom(tmp)
+}
+
+// SymEigJacobi computes all eigenvalues and eigenvectors of a symmetric
+// matrix using the cyclic Jacobi method. Eigenvalues are returned descending,
+// with matching eigenvector columns.
+func SymEigJacobi(a *matrix.Dense) (vals []float64, vecs *matrix.Dense) {
+	n, c := a.Dims()
+	if n != c {
+		panic(fmt.Sprintf("linalg: SymEigJacobi requires a square matrix, got %dx%d", n, c))
+	}
+	w := a.Clone()
+	v := matrix.Identity(n)
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				off += w.At(p, q) * w.At(p, q)
+			}
+		}
+		if off <= 1e-30*(1+w.NormFro()*w.NormFro()) {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w.At(p, q)
+				if apq == 0 {
+					continue
+				}
+				app, aqq := w.At(p, p), w.At(q, q)
+				tau := (aqq - app) / (2 * apq)
+				var t float64
+				if tau >= 0 {
+					t = 1 / (tau + math.Sqrt(1+tau*tau))
+				} else {
+					t = -1 / (-tau + math.Sqrt(1+tau*tau))
+				}
+				cth := 1 / math.Sqrt(1+t*t)
+				sth := cth * t
+				// W := Jᵀ W J where J rotates the (p,q) plane.
+				applySymRotation(w, p, q, cth, sth)
+				rotateCols(v, p, q, cth, sth)
+			}
+		}
+	}
+	vals = make([]float64, n)
+	for i := 0; i < n; i++ {
+		vals[i] = w.At(i, i)
+	}
+	sortFactorsDescending(v, vals, nil)
+	return vals, v
+}
+
+// applySymRotation performs W := Jᵀ W J for the rotation J acting on the
+// (p,q) plane with cosine c and sine s, preserving symmetry.
+func applySymRotation(w *matrix.Dense, p, q int, c, s float64) {
+	n := w.Rows()
+	for i := 0; i < n; i++ {
+		if i == p || i == q {
+			continue
+		}
+		wip, wiq := w.At(i, p), w.At(i, q)
+		w.Set(i, p, c*wip-s*wiq)
+		w.Set(p, i, w.At(i, p))
+		w.Set(i, q, s*wip+c*wiq)
+		w.Set(q, i, w.At(i, q))
+	}
+	wpp, wqq, wpq := w.At(p, p), w.At(q, q), w.At(p, q)
+	w.Set(p, p, c*c*wpp-2*s*c*wpq+s*s*wqq)
+	w.Set(q, q, s*s*wpp+2*s*c*wpq+c*c*wqq)
+	w.Set(p, q, 0)
+	w.Set(q, p, 0)
+}

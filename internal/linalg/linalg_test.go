@@ -1,0 +1,310 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+func randMat(rng *rand.Rand, r, c int) *matrix.Dense {
+	m := matrix.New(r, c)
+	for i := range m.RawData() {
+		m.RawData()[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func isOrthonormalCols(t *testing.T, q *matrix.Dense, tol float64) {
+	t.Helper()
+	qtq := matrix.Mul(q.T(), q)
+	n := q.Cols()
+	if !matrix.EqualTol(qtq, matrix.Identity(n), tol) {
+		t.Errorf("columns not orthonormal, QᵀQ deviates by %g", matrix.Sub(qtq, matrix.Identity(n)).MaxAbs())
+	}
+}
+
+func TestQRReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for _, dims := range [][2]int{{3, 3}, {5, 3}, {8, 8}, {10, 4}, {1, 1}} {
+		a := randMat(rng, dims[0], dims[1])
+		q, r := QR(a)
+		if !matrix.EqualTol(matrix.Mul(q, r), a, 1e-12) {
+			t.Errorf("%dx%d: QR != A, diff %g", dims[0], dims[1], matrix.Sub(matrix.Mul(q, r), a).MaxAbs())
+		}
+		isOrthonormalCols(t, q, 1e-12)
+		// R upper triangular.
+		for i := 0; i < r.Rows(); i++ {
+			for j := 0; j < i; j++ {
+				if math.Abs(r.At(i, j)) > 1e-13 {
+					t.Errorf("%dx%d: R[%d,%d] = %g not zero", dims[0], dims[1], i, j, r.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+func TestQRWideMatrixPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("QR of wide matrix did not panic")
+		}
+	}()
+	QR(matrix.New(2, 3))
+}
+
+func TestQRRankDeficient(t *testing.T) {
+	// Column 2 = 2 * column 1.
+	a := matrix.FromRows([][]float64{{1, 2}, {2, 4}, {3, 6}})
+	q, r := QR(a)
+	if !matrix.EqualTol(matrix.Mul(q, r), a, 1e-12) {
+		t.Error("QR reconstruction failed for rank-deficient input")
+	}
+}
+
+func TestRandomOrthogonal(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{1, 2, 5, 12} {
+		q := RandomOrthogonal(n, rng)
+		isOrthonormalCols(t, q, 1e-12)
+	}
+}
+
+func TestSVDJacobiKnown(t *testing.T) {
+	// diag(3, 2) embedded in a rotationless matrix.
+	a := matrix.FromRows([][]float64{{3, 0}, {0, 2}})
+	f := SVDJacobi(a)
+	if !matrix.VecEqualTol(f.S, []float64{3, 2}, 1e-12) {
+		t.Errorf("S = %v, want [3 2]", f.S)
+	}
+}
+
+func TestSVDJacobiRankOne(t *testing.T) {
+	// Outer product: singular values {||u||·||v||, 0}.
+	a := matrix.FromRows([][]float64{{1, 2}, {2, 4}, {3, 6}})
+	f := SVDJacobi(a)
+	want := matrix.Nrm2([]float64{1, 2, 3}) * matrix.Nrm2([]float64{1, 2})
+	if math.Abs(f.S[0]-want) > 1e-12 {
+		t.Errorf("σ1 = %g, want %g", f.S[0], want)
+	}
+	if f.S[1] > 1e-12 {
+		t.Errorf("σ2 = %g, want 0", f.S[1])
+	}
+}
+
+func TestSVDReconstructionBothAlgorithms(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, dims := range [][2]int{{4, 4}, {7, 3}, {3, 7}, {12, 5}, {5, 12}, {1, 4}, {4, 1}, {9, 9}} {
+		a := randMat(rng, dims[0], dims[1])
+		jac := SVDJacobi(a)
+		if !matrix.EqualTol(jac.Reconstruct(), a, 1e-10) {
+			t.Errorf("Jacobi %v: reconstruction off by %g", dims, matrix.Sub(jac.Reconstruct(), a).MaxAbs())
+		}
+		isOrthonormalCols(t, jac.U, 1e-10)
+		isOrthonormalCols(t, jac.V, 1e-10)
+
+		gr, err := SVDGolubReinsch(a)
+		if err != nil {
+			t.Fatalf("Golub-Reinsch %v: %v", dims, err)
+		}
+		if !matrix.EqualTol(gr.Reconstruct(), a, 1e-10) {
+			t.Errorf("Golub-Reinsch %v: reconstruction off by %g", dims, matrix.Sub(gr.Reconstruct(), a).MaxAbs())
+		}
+		isOrthonormalCols(t, gr.U, 1e-10)
+		isOrthonormalCols(t, gr.V, 1e-10)
+
+		// The two algorithms must agree on the singular values.
+		if !matrix.VecEqualTol(jac.S, gr.S, 1e-9*(1+jac.S[0])) {
+			t.Errorf("%v: Jacobi %v vs Golub-Reinsch %v disagree", dims, jac.S, gr.S)
+		}
+	}
+}
+
+func TestSVDSingularValuesDescendingNonNegative(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 40; trial++ {
+		r := 1 + rng.Intn(10)
+		c := 1 + rng.Intn(10)
+		s := SingularValues(randMat(rng, r, c))
+		if len(s) != minInt(r, c) {
+			t.Fatalf("got %d singular values for %dx%d", len(s), r, c)
+		}
+		for i, v := range s {
+			if v < 0 {
+				t.Fatalf("negative singular value %g", v)
+			}
+			if i > 0 && s[i-1] < v-1e-12 {
+				t.Fatalf("singular values not descending: %v", s)
+			}
+		}
+	}
+}
+
+// Property: singular values are invariant under orthogonal transformations.
+func TestSVDOrthogonalInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	a := randMat(rng, 6, 4)
+	q := RandomOrthogonal(6, rng)
+	sA := SingularValues(a)
+	sQA := SingularValues(matrix.Mul(q, a))
+	if !matrix.VecEqualTol(sA, sQA, 1e-10) {
+		t.Errorf("σ(QA) = %v != σ(A) = %v", sQA, sA)
+	}
+}
+
+// Property: sum of squared singular values equals the squared Frobenius norm.
+func TestSVDFrobeniusIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	for trial := 0; trial < 20; trial++ {
+		a := randMat(rng, 3+rng.Intn(6), 3+rng.Intn(6))
+		s := SingularValues(a)
+		ss := 0.0
+		for _, v := range s {
+			ss += v * v
+		}
+		fro := a.NormFro()
+		if math.Abs(ss-fro*fro) > 1e-9*(1+fro*fro) {
+			t.Fatalf("Σσ² = %g != ‖A‖F² = %g", ss, fro*fro)
+		}
+	}
+}
+
+// Property: singular values of A are square roots of eigenvalues of AᵀA,
+// cross-checking the SVDs against the symmetric eigensolver.
+func TestSVDMatchesGramEigenvalues(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	a := randMat(rng, 8, 5)
+	gram := matrix.Mul(a.T(), a)
+	eigs, _ := SymEigJacobi(gram)
+	s := SingularValues(a)
+	for i := range s {
+		ev := eigs[i]
+		if ev < 0 {
+			ev = 0
+		}
+		if math.Abs(s[i]-math.Sqrt(ev)) > 1e-9*(1+s[0]) {
+			t.Errorf("σ%d = %g, sqrt(λ%d) = %g", i, s[i], i, math.Sqrt(ev))
+		}
+	}
+}
+
+func TestSVDConstructedFromFactors(t *testing.T) {
+	// Build A = U diag(s) Vᵀ with known spectrum and recover it.
+	rng := rand.New(rand.NewSource(17))
+	u := RandomOrthogonal(6, rng)
+	v := RandomOrthogonal(6, rng)
+	want := []float64{10, 5, 2, 1, 0.5, 0.1}
+	a := matrix.Mul(u.Clone().ScaleCols(want), v.T())
+	got := SingularValues(a)
+	if !matrix.VecEqualTol(got, want, 1e-9) {
+		t.Errorf("recovered %v, want %v", got, want)
+	}
+}
+
+func TestSVDZeroMatrix(t *testing.T) {
+	s := SingularValues(matrix.New(3, 4))
+	for _, v := range s {
+		if v != 0 {
+			t.Errorf("zero matrix has singular value %g", v)
+		}
+	}
+}
+
+func TestSymEigJacobiKnown(t *testing.T) {
+	// Eigenvalues of [[2,1],[1,2]] are 3 and 1.
+	a := matrix.FromRows([][]float64{{2, 1}, {1, 2}})
+	vals, vecs := SymEigJacobi(a)
+	if !matrix.VecEqualTol(vals, []float64{3, 1}, 1e-12) {
+		t.Errorf("eigenvalues = %v, want [3 1]", vals)
+	}
+	// A v = λ v for each pair.
+	for j := 0; j < 2; j++ {
+		v := vecs.Col(j)
+		av := a.MulVec(v)
+		for i := range av {
+			if math.Abs(av[i]-vals[j]*v[i]) > 1e-12 {
+				t.Errorf("Av != λv for eigenpair %d", j)
+			}
+		}
+	}
+}
+
+func TestSymEigJacobiRandomSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(18))
+	g := randMat(rng, 7, 7)
+	a := matrix.Add(g, g.T()) // symmetric
+	vals, vecs := SymEigJacobi(a)
+	recon := matrix.Mul(vecs.Clone().ScaleCols(vals), vecs.T())
+	if !matrix.EqualTol(recon, a, 1e-10) {
+		t.Errorf("V Λ Vᵀ != A, diff %g", matrix.Sub(recon, a).MaxAbs())
+	}
+	isOrthonormalCols(t, vecs, 1e-11)
+	// Trace equals eigenvalue sum.
+	tr := 0.0
+	for i := 0; i < 7; i++ {
+		tr += a.At(i, i)
+	}
+	if math.Abs(tr-matrix.VecSum(vals)) > 1e-10 {
+		t.Errorf("trace %g != Σλ %g", tr, matrix.VecSum(vals))
+	}
+}
+
+func TestSymEigNonSquarePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("SymEigJacobi on non-square did not panic")
+		}
+	}()
+	SymEigJacobi(matrix.New(2, 3))
+}
+
+func TestRank(t *testing.T) {
+	full := matrix.FromRows([][]float64{{1, 0}, {0, 2}, {0, 0}})
+	if got := Rank(full, 0); got != 2 {
+		t.Errorf("Rank = %d, want 2", got)
+	}
+	r1 := matrix.FromRows([][]float64{{1, 2}, {2, 4}})
+	if got := Rank(r1, 0); got != 1 {
+		t.Errorf("rank-1 matrix: Rank = %d, want 1", got)
+	}
+	if got := Rank(matrix.New(3, 3), 0); got != 0 {
+		t.Errorf("zero matrix: Rank = %d, want 0", got)
+	}
+}
+
+func TestCond2AndNorm2(t *testing.T) {
+	a := matrix.Diag([]float64{4, 2})
+	if got := Cond2(a); math.Abs(got-2) > 1e-12 {
+		t.Errorf("Cond2 = %g, want 2", got)
+	}
+	if got := Norm2(a); math.Abs(got-4) > 1e-12 {
+		t.Errorf("Norm2 = %g, want 4", got)
+	}
+	if got := Cond2(matrix.FromRows([][]float64{{1, 1}, {1, 1}})); !math.IsInf(got, 1) {
+		t.Errorf("Cond2 of singular matrix = %g, want +Inf", got)
+	}
+}
+
+func TestPythag(t *testing.T) {
+	if got := pythag(3, 4); math.Abs(got-5) > 1e-15 {
+		t.Errorf("pythag(3,4) = %g", got)
+	}
+	if got := pythag(0, 0); got != 0 {
+		t.Errorf("pythag(0,0) = %g", got)
+	}
+	big := math.MaxFloat64 / 2
+	if got := pythag(big, big); math.IsInf(got, 0) {
+		t.Error("pythag overflowed")
+	}
+}
+
+func TestFactorsReconstructShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	a := randMat(rng, 3, 5)
+	f := SVDJacobi(a)
+	r, c := f.Reconstruct().Dims()
+	if r != 3 || c != 5 {
+		t.Errorf("Reconstruct dims = (%d,%d), want (3,5)", r, c)
+	}
+}

@@ -1,0 +1,149 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/matrix"
+)
+
+// ErrSingular is returned when a linear system has no unique solution.
+var ErrSingular = errors.New("linalg: matrix is singular to working precision")
+
+// LU holds an LU factorization with partial pivoting: P·A = L·U, stored
+// compactly with the permutation as a row index vector.
+type LU struct {
+	lu   *matrix.Dense
+	perm []int
+	sign float64
+}
+
+// LUDecompose factors a square matrix with partial pivoting.
+func LUDecompose(a *matrix.Dense) (*LU, error) {
+	n, c := a.Dims()
+	if n != c {
+		return nil, fmt.Errorf("linalg: LU requires a square matrix, got %dx%d", n, c)
+	}
+	lu := a.Clone()
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	sign := 1.0
+	for k := 0; k < n; k++ {
+		// Pivot: largest magnitude in column k at/below the diagonal.
+		p := k
+		max := math.Abs(lu.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(lu.At(i, k)); v > max {
+				p, max = i, v
+			}
+		}
+		if max == 0 {
+			return nil, ErrSingular
+		}
+		if p != k {
+			for j := 0; j < n; j++ {
+				tmp := lu.At(k, j)
+				lu.Set(k, j, lu.At(p, j))
+				lu.Set(p, j, tmp)
+			}
+			perm[k], perm[p] = perm[p], perm[k]
+			sign = -sign
+		}
+		piv := lu.At(k, k)
+		for i := k + 1; i < n; i++ {
+			f := lu.At(i, k) / piv
+			lu.Set(i, k, f)
+			for j := k + 1; j < n; j++ {
+				lu.Set(i, j, lu.At(i, j)-f*lu.At(k, j))
+			}
+		}
+	}
+	return &LU{lu: lu, perm: perm, sign: sign}, nil
+}
+
+// Solve solves A·x = b for the factored A.
+func (f *LU) Solve(b []float64) ([]float64, error) {
+	n := f.lu.Rows()
+	if len(b) != n {
+		return nil, fmt.Errorf("linalg: LU.Solve length %d, want %d", len(b), n)
+	}
+	x := make([]float64, n)
+	// Forward substitution with permutation (L has unit diagonal).
+	for i := 0; i < n; i++ {
+		s := b[f.perm[i]]
+		for j := 0; j < i; j++ {
+			s -= f.lu.At(i, j) * x[j]
+		}
+		x[i] = s
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= f.lu.At(i, j) * x[j]
+		}
+		d := f.lu.At(i, i)
+		if d == 0 {
+			return nil, ErrSingular
+		}
+		x[i] = s / d
+	}
+	return x, nil
+}
+
+// Det returns the determinant of the factored matrix.
+func (f *LU) Det() float64 {
+	d := f.sign
+	for i := 0; i < f.lu.Rows(); i++ {
+		d *= f.lu.At(i, i)
+	}
+	return d
+}
+
+// Solve solves the square system A·x = b.
+func Solve(a *matrix.Dense, b []float64) ([]float64, error) {
+	f, err := LUDecompose(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b)
+}
+
+// LeastSquares solves min ‖A·x − b‖₂ for a full-column-rank A (m ≥ n) via
+// the Householder QR factorization: x = R⁻¹ Qᵀ b.
+func LeastSquares(a *matrix.Dense, b []float64) ([]float64, error) {
+	m, n := a.Dims()
+	if len(b) != m {
+		return nil, fmt.Errorf("linalg: LeastSquares rhs length %d, want %d", len(b), m)
+	}
+	if m < n {
+		return nil, fmt.Errorf("linalg: LeastSquares requires rows >= cols, got %dx%d", m, n)
+	}
+	q, r := QR(a)
+	// qtb = Qᵀ b.
+	qtb := make([]float64, n)
+	for j := 0; j < n; j++ {
+		s := 0.0
+		for i := 0; i < m; i++ {
+			s += q.At(i, j) * b[i]
+		}
+		qtb[j] = s
+	}
+	// Back substitution on R.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := qtb[i]
+		for j := i + 1; j < n; j++ {
+			s -= r.At(i, j) * x[j]
+		}
+		d := r.At(i, i)
+		if math.Abs(d) < 1e-12*(1+r.MaxAbs()) {
+			return nil, ErrSingular
+		}
+		x[i] = s / d
+	}
+	return x, nil
+}

@@ -1,0 +1,164 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+func TestSolveKnownSystem(t *testing.T) {
+	a := matrix.FromRows([][]float64{
+		{2, 1, -1},
+		{-3, -1, 2},
+		{-2, 1, 2},
+	})
+	x, err := Solve(a, []float64{8, -11, -3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, -1}
+	if !matrix.VecEqualTol(x, want, 1e-12) {
+		t.Errorf("x = %v, want %v", x, want)
+	}
+}
+
+func TestSolveRandomResidual(t *testing.T) {
+	rng := rand.New(rand.NewSource(110))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(10)
+		a := randMat(rng, n, n)
+		xTrue := make([]float64, n)
+		for i := range xTrue {
+			xTrue[i] = rng.NormFloat64()
+		}
+		b := a.MulVec(xTrue)
+		x, err := Solve(a, b)
+		if err != nil {
+			// Random Gaussian matrices are almost surely nonsingular.
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !matrix.VecEqualTol(x, xTrue, 1e-8*(1+matrix.Nrm2(xTrue))) {
+			t.Fatalf("trial %d: x = %v, want %v", trial, x, xTrue)
+		}
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a := matrix.FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := Solve(a, []float64{1, 2}); !errors.Is(err, ErrSingular) {
+		t.Errorf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestSolveNonSquareRejected(t *testing.T) {
+	if _, err := LUDecompose(matrix.New(2, 3)); err == nil {
+		t.Error("non-square accepted")
+	}
+}
+
+func TestSolveWrongRHSLength(t *testing.T) {
+	f, err := LUDecompose(matrix.Identity(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Solve([]float64{1}); err == nil {
+		t.Error("wrong-length rhs accepted")
+	}
+}
+
+func TestLUDet(t *testing.T) {
+	a := matrix.FromRows([][]float64{{3, 8}, {4, 6}})
+	f, err := LUDecompose(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Det(); math.Abs(got-(-14)) > 1e-12 {
+		t.Errorf("det = %g, want -14", got)
+	}
+	fi, _ := LUDecompose(matrix.Identity(4))
+	if got := fi.Det(); got != 1 {
+		t.Errorf("det(I) = %g", got)
+	}
+}
+
+// LU determinant matches the product of singular values in magnitude.
+func TestLUDetMatchesSVD(t *testing.T) {
+	rng := rand.New(rand.NewSource(111))
+	a := randMat(rng, 5, 5)
+	f, err := LUDecompose(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod := 1.0
+	for _, s := range SingularValues(a) {
+		prod *= s
+	}
+	if math.Abs(math.Abs(f.Det())-prod) > 1e-9*(1+prod) {
+		t.Errorf("|det| = %g, prod sv = %g", math.Abs(f.Det()), prod)
+	}
+}
+
+func TestLeastSquaresExact(t *testing.T) {
+	// Overdetermined but consistent system.
+	a := matrix.FromRows([][]float64{{1, 1}, {1, 2}, {1, 3}})
+	b := []float64{3, 5, 7} // exactly x = (1, 2)
+	x, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.VecEqualTol(x, []float64{1, 2}, 1e-12) {
+		t.Errorf("x = %v, want [1 2]", x)
+	}
+}
+
+func TestLeastSquaresRegression(t *testing.T) {
+	// Fit y = 2 + 3t to noisy data; check residual orthogonality Aᵀr = 0.
+	rng := rand.New(rand.NewSource(112))
+	m := 50
+	a := matrix.New(m, 2)
+	b := make([]float64, m)
+	for i := 0; i < m; i++ {
+		ti := float64(i) / 10
+		a.Set(i, 0, 1)
+		a.Set(i, 1, ti)
+		b[i] = 2 + 3*ti + 0.1*rng.NormFloat64()
+	}
+	x, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-2) > 0.2 || math.Abs(x[1]-3) > 0.1 {
+		t.Errorf("fit = %v, want approx [2 3]", x)
+	}
+	// Normal equations: Aᵀ(Ax − b) = 0.
+	res := a.MulVec(x)
+	for i := range res {
+		res[i] -= b[i]
+	}
+	atr := a.T().MulVec(res)
+	for j, v := range atr {
+		if math.Abs(v) > 1e-8 {
+			t.Errorf("residual not orthogonal to column %d: %g", j, v)
+		}
+	}
+}
+
+func TestLeastSquaresRankDeficient(t *testing.T) {
+	a := matrix.FromRows([][]float64{{1, 2}, {2, 4}, {3, 6}})
+	if _, err := LeastSquares(a, []float64{1, 2, 3}); !errors.Is(err, ErrSingular) {
+		t.Errorf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestLeastSquaresShapeErrors(t *testing.T) {
+	a := matrix.New(2, 3)
+	if _, err := LeastSquares(a, []float64{1, 2}); err == nil {
+		t.Error("underdetermined system accepted")
+	}
+	if _, err := LeastSquares(matrix.Identity(2), []float64{1}); err == nil {
+		t.Error("wrong rhs length accepted")
+	}
+}

@@ -1,0 +1,374 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/matrix"
+)
+
+// ErrNoConvergence is returned by SVDGolubReinsch when the implicit-shift QR
+// iteration on the bidiagonal form fails to converge within its iteration
+// budget. Callers normally fall back to the Jacobi SVD (SingularValues does
+// this automatically).
+var ErrNoConvergence = errors.New("linalg: SVD did not converge")
+
+// SVDGolubReinsch computes the singular value decomposition of a via
+// Householder bidiagonalization followed by implicit-shift QR iterations on
+// the bidiagonal form (the classic Golub–Reinsch algorithm). Factors are
+// sorted descending. For an m×n input with m < n the problem is transposed
+// internally.
+func SVDGolubReinsch(a *matrix.Dense) (*Factors, error) {
+	m, n := a.Dims()
+	if m < n {
+		f, err := SVDGolubReinsch(a.T())
+		if err != nil {
+			return nil, err
+		}
+		return &Factors{U: f.V, S: f.S, V: f.U}, nil
+	}
+	u := a.Clone()
+	w := make([]float64, n)
+	v := matrix.New(n, n)
+	if err := golubReinsch(u, w, v); err != nil {
+		return nil, err
+	}
+	sortFactorsDescending(u, w, v)
+	return &Factors{U: u, S: w, V: v}, nil
+}
+
+// SingularValues returns the singular values of a in descending order,
+// computed with Golub–Reinsch and cross-checked by Jacobi on the rare
+// non-convergence.
+func SingularValues(a *matrix.Dense) []float64 {
+	if f, err := SVDGolubReinsch(a); err == nil {
+		return f.S
+	}
+	return SVDJacobi(a).S
+}
+
+// Rank returns the number of singular values exceeding tol. A non-positive
+// tol selects the conventional default max(m, n)·eps·σ₁.
+func Rank(a *matrix.Dense, tol float64) int {
+	s := SingularValues(a)
+	if len(s) == 0 {
+		return 0
+	}
+	if tol <= 0 {
+		m, n := a.Dims()
+		tol = float64(max(m, n)) * 2.220446049250313e-16 * s[0]
+	}
+	r := 0
+	for _, v := range s {
+		if v > tol {
+			r++
+		}
+	}
+	return r
+}
+
+// Cond2 returns the 2-norm condition number σ₁/σₘᵢₙ, or +Inf for a singular
+// matrix.
+func Cond2(a *matrix.Dense) float64 {
+	s := SingularValues(a)
+	if len(s) == 0 {
+		return math.Inf(1)
+	}
+	smin := s[len(s)-1]
+	if smin == 0 {
+		return math.Inf(1)
+	}
+	return s[0] / smin
+}
+
+// Norm2 returns the spectral norm σ₁ of a.
+func Norm2(a *matrix.Dense) float64 {
+	s := SingularValues(a)
+	if len(s) == 0 {
+		return 0
+	}
+	return s[0]
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// pythag computes sqrt(a²+b²) without destructive underflow or overflow.
+func pythag(a, b float64) float64 {
+	absa, absb := math.Abs(a), math.Abs(b)
+	if absa > absb {
+		r := absb / absa
+		return absa * math.Sqrt(1+r*r)
+	}
+	if absb == 0 {
+		return 0
+	}
+	r := absa / absb
+	return absb * math.Sqrt(1+r*r)
+}
+
+func signOf(a, b float64) float64 {
+	if b >= 0 {
+		return math.Abs(a)
+	}
+	return -math.Abs(a)
+}
+
+// golubReinsch performs the in-place Golub–Reinsch SVD: on entry a holds the
+// m×n matrix (m >= n); on exit a holds U (m×n), w the n singular values and v
+// the n×n right singular vectors (unsorted, possibly unordered signs).
+func golubReinsch(a *matrix.Dense, w []float64, v *matrix.Dense) error {
+	m, n := a.Dims()
+	const eps = 2.220446049250313e-16
+	var (
+		flag             bool
+		i, its, j, jj, k int
+		l, nm            int
+		anorm, c, f, g   float64
+		h, s, scale      float64
+		x, y, z          float64
+	)
+	rv1 := make([]float64, n)
+
+	// Householder reduction to bidiagonal form.
+	g, scale, anorm = 0, 0, 0
+	for i = 0; i < n; i++ {
+		l = i + 2
+		rv1[i] = scale * g
+		g, s, scale = 0, 0, 0
+		if i < m {
+			for k = i; k < m; k++ {
+				scale += math.Abs(a.At(k, i))
+			}
+			if scale != 0 {
+				for k = i; k < m; k++ {
+					a.Set(k, i, a.At(k, i)/scale)
+					s += a.At(k, i) * a.At(k, i)
+				}
+				f = a.At(i, i)
+				g = -signOf(math.Sqrt(s), f)
+				h = f*g - s
+				a.Set(i, i, f-g)
+				for j = l - 1; j < n; j++ {
+					s = 0
+					for k = i; k < m; k++ {
+						s += a.At(k, i) * a.At(k, j)
+					}
+					f = s / h
+					for k = i; k < m; k++ {
+						a.Set(k, j, a.At(k, j)+f*a.At(k, i))
+					}
+				}
+				for k = i; k < m; k++ {
+					a.Set(k, i, a.At(k, i)*scale)
+				}
+			}
+		}
+		w[i] = scale * g
+		g, s, scale = 0, 0, 0
+		if i+1 <= m && i+1 != n {
+			for k = l - 1; k < n; k++ {
+				scale += math.Abs(a.At(i, k))
+			}
+			if scale != 0 {
+				for k = l - 1; k < n; k++ {
+					a.Set(i, k, a.At(i, k)/scale)
+					s += a.At(i, k) * a.At(i, k)
+				}
+				f = a.At(i, l-1)
+				g = -signOf(math.Sqrt(s), f)
+				h = f*g - s
+				a.Set(i, l-1, f-g)
+				for k = l - 1; k < n; k++ {
+					rv1[k] = a.At(i, k) / h
+				}
+				for j = l - 1; j < m; j++ {
+					s = 0
+					for k = l - 1; k < n; k++ {
+						s += a.At(j, k) * a.At(i, k)
+					}
+					for k = l - 1; k < n; k++ {
+						a.Set(j, k, a.At(j, k)+s*rv1[k])
+					}
+				}
+				for k = l - 1; k < n; k++ {
+					a.Set(i, k, a.At(i, k)*scale)
+				}
+			}
+		}
+		anorm = math.Max(anorm, math.Abs(w[i])+math.Abs(rv1[i]))
+	}
+
+	// Accumulation of right-hand transformations.
+	for i = n - 1; i >= 0; i-- {
+		if i < n-1 {
+			if g != 0 {
+				for j = l; j < n; j++ {
+					v.Set(j, i, (a.At(i, j)/a.At(i, l))/g)
+				}
+				for j = l; j < n; j++ {
+					s = 0
+					for k = l; k < n; k++ {
+						s += a.At(i, k) * v.At(k, j)
+					}
+					for k = l; k < n; k++ {
+						v.Set(k, j, v.At(k, j)+s*v.At(k, i))
+					}
+				}
+			}
+			for j = l; j < n; j++ {
+				v.Set(i, j, 0)
+				v.Set(j, i, 0)
+			}
+		}
+		v.Set(i, i, 1)
+		g = rv1[i]
+		l = i
+	}
+
+	// Accumulation of left-hand transformations.
+	for i = minInt(m, n) - 1; i >= 0; i-- {
+		l = i + 1
+		g = w[i]
+		for j = l; j < n; j++ {
+			a.Set(i, j, 0)
+		}
+		if g != 0 {
+			g = 1 / g
+			for j = l; j < n; j++ {
+				s = 0
+				for k = l; k < m; k++ {
+					s += a.At(k, i) * a.At(k, j)
+				}
+				f = (s / a.At(i, i)) * g
+				for k = i; k < m; k++ {
+					a.Set(k, j, a.At(k, j)+f*a.At(k, i))
+				}
+			}
+			for j = i; j < m; j++ {
+				a.Set(j, i, a.At(j, i)*g)
+			}
+		} else {
+			for j = i; j < m; j++ {
+				a.Set(j, i, 0)
+			}
+		}
+		a.Set(i, i, a.At(i, i)+1)
+	}
+
+	// Diagonalization of the bidiagonal form.
+	for k = n - 1; k >= 0; k-- {
+		for its = 0; its < 75; its++ {
+			flag = true
+			for l = k; l >= 0; l-- {
+				nm = l - 1
+				if l == 0 || math.Abs(rv1[l]) <= eps*anorm {
+					flag = false
+					break
+				}
+				if math.Abs(w[nm]) <= eps*anorm {
+					break
+				}
+			}
+			if flag {
+				// Cancellation of rv1[l] when w[l-1] is negligible.
+				c, s = 0, 1
+				for i = l; i < k+1; i++ {
+					f = s * rv1[i]
+					rv1[i] = c * rv1[i]
+					if math.Abs(f) <= eps*anorm {
+						break
+					}
+					g = w[i]
+					h = pythag(f, g)
+					w[i] = h
+					h = 1 / h
+					c = g * h
+					s = -f * h
+					for j = 0; j < m; j++ {
+						y = a.At(j, nm)
+						z = a.At(j, i)
+						a.Set(j, nm, y*c+z*s)
+						a.Set(j, i, z*c-y*s)
+					}
+				}
+			}
+			z = w[k]
+			if l == k {
+				// Convergence; enforce non-negative singular value.
+				if z < 0 {
+					w[k] = -z
+					for j = 0; j < n; j++ {
+						v.Set(j, k, -v.At(j, k))
+					}
+				}
+				break
+			}
+			if its == 74 {
+				return ErrNoConvergence
+			}
+			// Shift from the bottom 2x2 minor.
+			x = w[l]
+			nm = k - 1
+			y = w[nm]
+			g = rv1[nm]
+			h = rv1[k]
+			f = ((y-z)*(y+z) + (g-h)*(g+h)) / (2 * h * y)
+			g = pythag(f, 1)
+			f = ((x-z)*(x+z) + h*((y/(f+signOf(g, f)))-h)) / x
+			c, s = 1, 1
+			// QR transformation.
+			for j = l; j <= nm; j++ {
+				i = j + 1
+				g = rv1[i]
+				y = w[i]
+				h = s * g
+				g = c * g
+				z = pythag(f, h)
+				rv1[j] = z
+				c = f / z
+				s = h / z
+				f = x*c + g*s
+				g = g*c - x*s
+				h = y * s
+				y *= c
+				for jj = 0; jj < n; jj++ {
+					x = v.At(jj, j)
+					z = v.At(jj, i)
+					v.Set(jj, j, x*c+z*s)
+					v.Set(jj, i, z*c-x*s)
+				}
+				z = pythag(f, h)
+				w[j] = z
+				if z != 0 {
+					z = 1 / z
+					c = f * z
+					s = h * z
+				}
+				f = c*g + s*y
+				x = c*y - s*g
+				for jj = 0; jj < m; jj++ {
+					y = a.At(jj, j)
+					z = a.At(jj, i)
+					a.Set(jj, j, y*c+z*s)
+					a.Set(jj, i, z*c-y*s)
+				}
+			}
+			rv1[l] = 0
+			rv1[k] = f
+			w[k] = x
+		}
+	}
+	return nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,103 @@
+package matrix
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Vector helpers shared by the numerical packages. They operate on plain
+// []float64 slices so callers do not have to wrap one-dimensional data.
+
+// Dot returns the dot product of x and y.
+func Dot(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("matrix: Dot length mismatch %d vs %d", len(x), len(y)))
+	}
+	s := 0.0
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+// Nrm2 returns the Euclidean norm of x, guarding against overflow for large
+// components by scaling.
+func Nrm2(x []float64) float64 {
+	scale, ssq := 0.0, 1.0
+	for _, v := range x {
+		if v == 0 {
+			continue
+		}
+		a := math.Abs(v)
+		if scale < a {
+			r := scale / a
+			ssq = 1 + ssq*r*r
+			scale = a
+		} else {
+			r := a / scale
+			ssq += r * r
+		}
+	}
+	return scale * math.Sqrt(ssq)
+}
+
+// VecSum returns the sum of the entries of x.
+func VecSum(x []float64) float64 {
+	s := 0.0
+	for _, v := range x {
+		s += v
+	}
+	return s
+}
+
+// VecScale multiplies every entry of x by s in place.
+func VecScale(x []float64, s float64) {
+	for i := range x {
+		x[i] *= s
+	}
+}
+
+// VecClone returns a copy of x.
+func VecClone(x []float64) []float64 {
+	out := make([]float64, len(x))
+	copy(out, x)
+	return out
+}
+
+// VecEqualTol reports whether x and y have equal length and entries within
+// tol of each other.
+func VecEqualTol(x, y []float64, tol float64) bool {
+	if len(x) != len(y) {
+		return false
+	}
+	for i := range x {
+		if math.Abs(x[i]-y[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// AscendingPerm returns the permutation that sorts x ascending: applying the
+// returned perm p, x[p[0]] <= x[p[1]] <= ... The sort is stable.
+func AscendingPerm(x []float64) []int {
+	p := make([]int, len(x))
+	for i := range p {
+		p[i] = i
+	}
+	sort.SliceStable(p, func(a, b int) bool { return x[p[a]] < x[p[b]] })
+	return p
+}
+
+// SortedAscending returns a sorted copy of x.
+func SortedAscending(x []float64) []float64 {
+	out := VecClone(x)
+	sort.Float64s(out)
+	return out
+}
+
+// IsSortedAscending reports whether x is non-decreasing.
+func IsSortedAscending(x []float64) bool {
+	return sort.Float64sAreSorted(x)
+}

@@ -1,0 +1,120 @@
+package matrix
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDot(t *testing.T) {
+	if got := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); got != 32 {
+		t.Errorf("Dot = %g, want 32", got)
+	}
+}
+
+func TestDotLengthMismatchPanics(t *testing.T) {
+	defer expectPanic(t, "Dot length mismatch")
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestNrm2(t *testing.T) {
+	if got := Nrm2([]float64{3, 4}); math.Abs(got-5) > 1e-15 {
+		t.Errorf("Nrm2([3 4]) = %g, want 5", got)
+	}
+	if got := Nrm2(nil); got != 0 {
+		t.Errorf("Nrm2(nil) = %g, want 0", got)
+	}
+}
+
+// Nrm2 must not overflow for huge components.
+func TestNrm2Overflow(t *testing.T) {
+	big := math.MaxFloat64 / 2
+	got := Nrm2([]float64{big, big})
+	if math.IsInf(got, 0) || math.IsNaN(got) {
+		t.Errorf("Nrm2 overflowed: %g", got)
+	}
+	want := big * math.Sqrt2
+	if math.Abs(got-want)/want > 1e-12 {
+		t.Errorf("Nrm2 = %g, want %g", got, want)
+	}
+}
+
+func TestVecSumScaleClone(t *testing.T) {
+	x := []float64{1, 2, 3}
+	if got := VecSum(x); got != 6 {
+		t.Errorf("VecSum = %g, want 6", got)
+	}
+	c := VecClone(x)
+	VecScale(x, 2)
+	if !VecEqualTol(x, []float64{2, 4, 6}, 0) {
+		t.Errorf("VecScale = %v", x)
+	}
+	if !VecEqualTol(c, []float64{1, 2, 3}, 0) {
+		t.Errorf("VecClone aliased: %v", c)
+	}
+}
+
+func TestAscendingPerm(t *testing.T) {
+	x := []float64{3, 1, 2}
+	p := AscendingPerm(x)
+	want := []int{1, 2, 0}
+	for i := range p {
+		if p[i] != want[i] {
+			t.Fatalf("AscendingPerm = %v, want %v", p, want)
+		}
+	}
+}
+
+func TestAscendingPermStable(t *testing.T) {
+	p := AscendingPerm([]float64{2, 1, 1})
+	if p[0] != 1 || p[1] != 2 || p[2] != 0 {
+		t.Errorf("AscendingPerm not stable: %v", p)
+	}
+}
+
+func TestSortedAscending(t *testing.T) {
+	x := []float64{2, 1}
+	s := SortedAscending(x)
+	if !IsSortedAscending(s) {
+		t.Errorf("SortedAscending = %v not sorted", s)
+	}
+	if x[0] != 2 {
+		t.Error("SortedAscending mutated input")
+	}
+}
+
+// quick-check: applying AscendingPerm yields a sorted sequence.
+func TestQuickAscendingPermSorts(t *testing.T) {
+	f := func(vals []float64) bool {
+		vals = sanitize(vals)
+		p := AscendingPerm(vals)
+		prev := math.Inf(-1)
+		for _, idx := range p {
+			if vals[idx] < prev {
+				return false
+			}
+			prev = vals[idx]
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// quick-check: Cauchy–Schwarz |x·y| <= ||x|| ||y||.
+func TestQuickCauchySchwarz(t *testing.T) {
+	f := func(a, b []float64) bool {
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		x, y := sanitize(a[:n]), sanitize(b[:n])
+		lhs := math.Abs(Dot(x, y))
+		rhs := Nrm2(x) * Nrm2(y)
+		return lhs <= rhs*(1+1e-9)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,77 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+)
+
+// Robustness of a mapping against ETC estimation error, in the style of the
+// reproduced paper's research group (Ali, Maciejewski, Siegel et al.,
+// "Measuring the robustness of a resource allocation"): the makespan is
+// required to stay within tau times its estimated value; the robustness
+// radius of machine j is the smallest collective (Euclidean) perturbation of
+// the execution times of the tasks mapped to j that can break that promise,
+//
+//	r_j = (tau·makespan − F_j) / √n_j,
+//
+// where F_j is machine j's estimated finish time and n_j its task count
+// (machines with no tasks are unbreakable: r_j = +Inf). The schedule's
+// robustness is the minimum radius over machines — the distance to the
+// nearest failure.
+type Robustness struct {
+	// Radii per machine (+Inf for idle machines).
+	Radii []float64
+	// Min is the schedule robustness: the smallest radius.
+	Min float64
+	// CriticalMachine is the argmin.
+	CriticalMachine int
+	// Tau echoes the tolerance used.
+	Tau float64
+}
+
+// RobustnessRadius computes the robustness of schedule s for instance in at
+// tolerance tau (> 1 for a real margin; tau = 1 gives zero robustness on the
+// makespan machine).
+func RobustnessRadius(in *Instance, s *Schedule, tau float64) (*Robustness, error) {
+	if tau < 1 {
+		return nil, fmt.Errorf("sched: robustness tolerance tau = %g must be >= 1", tau)
+	}
+	m := in.Machines()
+	if len(s.MachineLoads) != m {
+		return nil, fmt.Errorf("sched: schedule has %d machine loads for %d machines", len(s.MachineLoads), m)
+	}
+	counts := make([]int, m)
+	for _, j := range s.Assignment {
+		if j < 0 || j >= m {
+			return nil, fmt.Errorf("sched: invalid assignment to machine %d", j)
+		}
+		counts[j]++
+	}
+	r := &Robustness{Radii: make([]float64, m), Min: math.Inf(1), CriticalMachine: -1, Tau: tau}
+	limit := tau * s.Makespan
+	for j := 0; j < m; j++ {
+		if counts[j] == 0 {
+			r.Radii[j] = math.Inf(1)
+			continue
+		}
+		r.Radii[j] = (limit - s.MachineLoads[j]) / math.Sqrt(float64(counts[j]))
+		if r.Radii[j] < r.Min {
+			r.Min = r.Radii[j]
+			r.CriticalMachine = j
+		}
+	}
+	if r.CriticalMachine == -1 {
+		// No machine hosts a task — impossible for validated instances.
+		return nil, fmt.Errorf("sched: schedule assigns no tasks")
+	}
+	return r, nil
+}
+
+// NormalizedRobustness returns Min / makespan — a dimensionless robustness
+// that can be compared across environments and workloads.
+func (r *Robustness) NormalizedRobustness(s *Schedule) float64 {
+	if s.Makespan == 0 {
+		return 0
+	}
+	return r.Min / s.Makespan
+}

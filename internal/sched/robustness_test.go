@@ -1,0 +1,145 @@
+package sched
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestRobustnessHandComputed(t *testing.T) {
+	// 3 tasks on 2 machines: m0 gets two 2s tasks (F=4, n=2), m1 one 3s
+	// task (F=3, n=1). Makespan 4. At tau=1.5: limit 6.
+	// r0 = (6-4)/sqrt(2), r1 = (6-3)/1 = 3. Min = r0.
+	in := inst([][]float64{{2, 10}, {2, 10}, {10, 3}})
+	s, err := evaluate(in, "manual", []int{0, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := RobustnessRadius(in, s, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want0 := 2 / math.Sqrt2
+	if math.Abs(r.Radii[0]-want0) > 1e-12 {
+		t.Errorf("r0 = %g, want %g", r.Radii[0], want0)
+	}
+	if math.Abs(r.Radii[1]-3) > 1e-12 {
+		t.Errorf("r1 = %g, want 3", r.Radii[1])
+	}
+	if r.CriticalMachine != 0 || math.Abs(r.Min-want0) > 1e-12 {
+		t.Errorf("min = %g on machine %d", r.Min, r.CriticalMachine)
+	}
+}
+
+// At tau = 1, the makespan machine has zero margin.
+func TestRobustnessTauOne(t *testing.T) {
+	in := inst([][]float64{{2, 2}, {2, 2}, {2, 2}})
+	s, err := (MCT{}).Map(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := RobustnessRadius(in, s, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Min > 1e-12 {
+		t.Errorf("tau=1 robustness = %g, want 0", r.Min)
+	}
+}
+
+func TestRobustnessIdleMachineInfinite(t *testing.T) {
+	in := inst([][]float64{{1, 5}})
+	s, err := (MCT{}).Map(in) // single task on m0; m1 idle
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := RobustnessRadius(in, s, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(r.Radii[1], 1) {
+		t.Errorf("idle machine radius = %g, want +Inf", r.Radii[1])
+	}
+}
+
+func TestRobustnessValidation(t *testing.T) {
+	in := inst([][]float64{{1, 1}})
+	s, _ := (MCT{}).Map(in)
+	if _, err := RobustnessRadius(in, s, 0.5); err == nil {
+		t.Error("tau < 1 accepted")
+	}
+}
+
+// Scaling property: doubling all ETC values doubles every radius but leaves
+// the normalized robustness unchanged.
+func TestRobustnessScaling(t *testing.T) {
+	rng := rand.New(rand.NewSource(95))
+	in := randomInstance(rng, 12, 4)
+	s, err := (MinMin{}).Map(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := RobustnessRadius(in, s, 1.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled, err := NewInstance(in.ETC.Scaled(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := (MinMin{}).Map(scaled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RobustnessRadius(scaled, s2, 1.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r2.Min-2*r1.Min) > 1e-9*(1+r1.Min) {
+		t.Errorf("radius did not scale: %g vs 2*%g", r2.Min, r1.Min)
+	}
+	if math.Abs(r1.NormalizedRobustness(s)-r2.NormalizedRobustness(s2)) > 1e-12 {
+		t.Error("normalized robustness not scale invariant")
+	}
+}
+
+// Larger tau can only increase every radius.
+func TestRobustnessMonotoneInTau(t *testing.T) {
+	rng := rand.New(rand.NewSource(96))
+	in := randomInstance(rng, 10, 3)
+	s, err := (Sufferage{}).Map(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, err := RobustnessRadius(in, s, 1.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := RobustnessRadius(in, s, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi.Min <= lo.Min {
+		t.Errorf("robustness not monotone in tau: %g vs %g", hi.Min, lo.Min)
+	}
+}
+
+// Every heuristic's schedule yields finite nonnegative robustness for
+// tau > 1 on dense instances.
+func TestRobustnessAcrossHeuristics(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	in := randomInstance(rng, 20, 5)
+	for _, h := range All() {
+		s, err := h.Map(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := RobustnessRadius(in, s, 1.2)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Heuristic, err)
+		}
+		if r.Min < 0 || math.IsInf(r.Min, 0) || math.IsNaN(r.Min) {
+			t.Errorf("%s: robustness %g", s.Heuristic, r.Min)
+		}
+	}
+}

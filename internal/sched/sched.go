@@ -1,0 +1,505 @@
+// Package sched implements the independent-task mapping substrate that the
+// reproduced paper's introduction motivates: one of the stated applications
+// of the heterogeneity measures is "selecting appropriate heuristics to use
+// in an HC environment based on its heterogeneity" (the paper's ref [3]).
+//
+// The heuristics are the classic static mappers of Braun et al. (the paper's
+// ref [6], "A comparison of eleven static heuristics ..."): OLB, MET, MCT,
+// K-percent best, Min-Min, Max-Min, Sufferage and Duplex, evaluated by
+// makespan and flowtime on ETC instances derived from an environment.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/etcmat"
+	"repro/internal/matrix"
+)
+
+// Instance is a concrete mapping problem: etc[i][j] is the execution time of
+// task instance i on machine j (+Inf if it cannot run there).
+type Instance struct {
+	ETC *matrix.Dense
+}
+
+// NewInstance validates and wraps an instance ETC matrix: every entry must
+// be positive or +Inf, and every task must be runnable somewhere.
+func NewInstance(etc *matrix.Dense) (*Instance, error) {
+	n, m := etc.Dims()
+	if n == 0 || m == 0 {
+		return nil, errors.New("sched: empty instance")
+	}
+	for i := 0; i < n; i++ {
+		runnable := false
+		for j := 0; j < m; j++ {
+			v := etc.At(i, j)
+			if math.IsNaN(v) || v <= 0 {
+				return nil, fmt.Errorf("sched: ETC(%d,%d) = %g must be positive or +Inf", i, j, v)
+			}
+			if !math.IsInf(v, 1) {
+				runnable = true
+			}
+		}
+		if !runnable {
+			return nil, fmt.Errorf("sched: task %d cannot run on any machine", i)
+		}
+	}
+	return &Instance{ETC: etc.Clone()}, nil
+}
+
+// Tasks returns the number of task instances.
+func (in *Instance) Tasks() int { return in.ETC.Rows() }
+
+// Machines returns the number of machines.
+func (in *Instance) Machines() int { return in.ETC.Cols() }
+
+// ExpandWorkload builds an instance from an environment by replicating task
+// type i counts[i] times (the task-type weighting factor interpretation the
+// paper gives in Sec. II-C: "the number of times that a task type is
+// executed").
+func ExpandWorkload(env *etcmat.Env, counts []int) (*Instance, error) {
+	if len(counts) != env.Tasks() {
+		return nil, fmt.Errorf("sched: %d counts for %d task types", len(counts), env.Tasks())
+	}
+	total := 0
+	for i, c := range counts {
+		if c < 0 {
+			return nil, fmt.Errorf("sched: negative count for task type %d", i)
+		}
+		total += c
+	}
+	if total == 0 {
+		return nil, errors.New("sched: empty workload")
+	}
+	etcTypes := env.ETC()
+	etc := matrix.New(total, env.Machines())
+	row := 0
+	for i, c := range counts {
+		for r := 0; r < c; r++ {
+			for j := 0; j < env.Machines(); j++ {
+				etc.Set(row, j, etcTypes.At(i, j))
+			}
+			row++
+		}
+	}
+	return NewInstance(etc)
+}
+
+// UniformWorkload builds an instance with perInstance copies of every task
+// type, shuffled by rng if non-nil (arrival order matters to the immediate-
+// mode heuristics).
+func UniformWorkload(env *etcmat.Env, perType int, rng *rand.Rand) (*Instance, error) {
+	counts := make([]int, env.Tasks())
+	for i := range counts {
+		counts[i] = perType
+	}
+	in, err := ExpandWorkload(env, counts)
+	if err != nil {
+		return nil, err
+	}
+	if rng != nil {
+		perm := rng.Perm(in.Tasks())
+		in.ETC = in.ETC.PermuteRows(perm)
+	}
+	return in, nil
+}
+
+// Schedule is the result of a mapping heuristic.
+type Schedule struct {
+	// Assignment[i] is the machine task instance i runs on.
+	Assignment []int
+	// Makespan is the maximum machine finish time.
+	Makespan float64
+	// Flowtime is the sum of task completion times.
+	Flowtime float64
+	// MachineLoads[j] is the total execution time assigned to machine j.
+	MachineLoads []float64
+	// Heuristic is the name of the mapper that produced the schedule.
+	Heuristic string
+}
+
+// Utilization returns per-machine load divided by the makespan, each in
+// [0, 1]. A perfectly balanced schedule has all utilizations equal to 1.
+func (s *Schedule) Utilization() []float64 {
+	out := make([]float64, len(s.MachineLoads))
+	if s.Makespan == 0 {
+		return out
+	}
+	for j, l := range s.MachineLoads {
+		out[j] = l / s.Makespan
+	}
+	return out
+}
+
+// Imbalance returns 1 − (mean utilization), a scalar load-balance defect in
+// [0, 1): 0 means every machine is busy for the whole makespan.
+func (s *Schedule) Imbalance() float64 {
+	u := s.Utilization()
+	if len(u) == 0 {
+		return 0
+	}
+	return 1 - matrix.VecSum(u)/float64(len(u))
+}
+
+// Heuristic is a static mapping algorithm.
+type Heuristic interface {
+	Name() string
+	Map(in *Instance) (*Schedule, error)
+}
+
+// All returns the full heuristic suite in a stable order. kpb is the
+// percentage for the K-percent-best heuristic (Braun et al. use 20%).
+func All() []Heuristic {
+	return []Heuristic{
+		OLB{}, MET{}, MCT{}, KPB{Percent: 20}, MinMin{}, MaxMin{}, Sufferage{}, Duplex{},
+	}
+}
+
+// evaluate finalizes a schedule from an assignment, computing completion
+// times in task order (immediate-mode semantics: completion time of task i
+// is the machine's accumulated time after executing it).
+func evaluate(in *Instance, name string, assignment []int) (*Schedule, error) {
+	m := in.Machines()
+	ready := make([]float64, m)
+	flow := 0.0
+	for i, j := range assignment {
+		if j < 0 || j >= m {
+			return nil, fmt.Errorf("sched: %s assigned task %d to invalid machine %d", name, i, j)
+		}
+		t := in.ETC.At(i, j)
+		if math.IsInf(t, 1) {
+			return nil, fmt.Errorf("sched: %s assigned task %d to machine %d where it cannot run", name, i, j)
+		}
+		ready[j] += t
+		flow += ready[j]
+	}
+	mk := 0.0
+	for _, r := range ready {
+		if r > mk {
+			mk = r
+		}
+	}
+	return &Schedule{Assignment: assignment, Makespan: mk, Flowtime: flow, MachineLoads: ready, Heuristic: name}, nil
+}
+
+// OLB (opportunistic load balancing) assigns each task, in arrival order, to
+// the machine that becomes available soonest, regardless of the task's ETC
+// there.
+type OLB struct{}
+
+// Name implements Heuristic.
+func (OLB) Name() string { return "OLB" }
+
+// Map implements Heuristic.
+func (OLB) Map(in *Instance) (*Schedule, error) {
+	n, m := in.Tasks(), in.Machines()
+	ready := make([]float64, m)
+	asg := make([]int, n)
+	for i := 0; i < n; i++ {
+		best := -1
+		for j := 0; j < m; j++ {
+			if math.IsInf(in.ETC.At(i, j), 1) {
+				continue
+			}
+			if best == -1 || ready[j] < ready[best] {
+				best = j
+			}
+		}
+		asg[i] = best
+		ready[best] += in.ETC.At(i, best)
+	}
+	return evaluate(in, "OLB", asg)
+}
+
+// MET (minimum execution time) assigns each task to its fastest machine,
+// ignoring machine load — it thrashes when one machine dominates.
+type MET struct{}
+
+// Name implements Heuristic.
+func (MET) Name() string { return "MET" }
+
+// Map implements Heuristic.
+func (MET) Map(in *Instance) (*Schedule, error) {
+	n, m := in.Tasks(), in.Machines()
+	asg := make([]int, n)
+	for i := 0; i < n; i++ {
+		best := -1
+		for j := 0; j < m; j++ {
+			t := in.ETC.At(i, j)
+			if math.IsInf(t, 1) {
+				continue
+			}
+			if best == -1 || t < in.ETC.At(i, best) {
+				best = j
+			}
+		}
+		asg[i] = best
+	}
+	return evaluate(in, "MET", asg)
+}
+
+// MCT (minimum completion time) assigns each task, in arrival order, to the
+// machine minimizing ready time + ETC.
+type MCT struct{}
+
+// Name implements Heuristic.
+func (MCT) Name() string { return "MCT" }
+
+// Map implements Heuristic.
+func (MCT) Map(in *Instance) (*Schedule, error) {
+	n, m := in.Tasks(), in.Machines()
+	ready := make([]float64, m)
+	asg := make([]int, n)
+	for i := 0; i < n; i++ {
+		best, bestCT := -1, math.Inf(1)
+		for j := 0; j < m; j++ {
+			t := in.ETC.At(i, j)
+			if math.IsInf(t, 1) {
+				continue
+			}
+			if ct := ready[j] + t; ct < bestCT {
+				best, bestCT = j, ct
+			}
+		}
+		asg[i] = best
+		ready[best] = bestCT
+	}
+	return evaluate(in, "MCT", asg)
+}
+
+// KPB (k-percent best) restricts each task to its k% fastest machines and
+// picks the minimum completion time among them — a compromise between MET
+// and MCT.
+type KPB struct {
+	// Percent in (0, 100]; the subset size is max(1, round(m*Percent/100)).
+	Percent float64
+}
+
+// Name implements Heuristic.
+func (k KPB) Name() string { return fmt.Sprintf("KPB(%g%%)", k.Percent) }
+
+// Map implements Heuristic.
+func (k KPB) Map(in *Instance) (*Schedule, error) {
+	if k.Percent <= 0 || k.Percent > 100 {
+		return nil, fmt.Errorf("sched: KPB percent %g out of (0,100]", k.Percent)
+	}
+	n, m := in.Tasks(), in.Machines()
+	ready := make([]float64, m)
+	asg := make([]int, n)
+	for i := 0; i < n; i++ {
+		// Runnable machines sorted ascending by ETC.
+		order := matrix.AscendingPerm(in.ETC.Row(i))
+		runnable := order[:0:len(order)]
+		for _, j := range order {
+			if !math.IsInf(in.ETC.At(i, j), 1) {
+				runnable = append(runnable, j)
+			}
+		}
+		sz := int(math.Round(float64(m) * k.Percent / 100))
+		if sz < 1 {
+			sz = 1
+		}
+		if sz > len(runnable) {
+			sz = len(runnable)
+		}
+		best, bestCT := -1, math.Inf(1)
+		for _, j := range runnable[:sz] {
+			if ct := ready[j] + in.ETC.At(i, j); ct < bestCT {
+				best, bestCT = j, ct
+			}
+		}
+		asg[i] = best
+		ready[best] = bestCT
+	}
+	return evaluate(in, k.Name(), asg)
+}
+
+// batchMap implements the Min-Min / Max-Min / Sufferage family. selector
+// picks which unmapped task to fix next, given each task's current best
+// completion time, second-best completion time and best machine.
+func batchMap(in *Instance, name string, selector func(bestCT, secondCT []float64, unmapped []int) int) (*Schedule, error) {
+	n, m := in.Tasks(), in.Machines()
+	ready := make([]float64, m)
+	asg := make([]int, n)
+	for i := range asg {
+		asg[i] = -1
+	}
+	unmapped := make([]int, n)
+	for i := range unmapped {
+		unmapped[i] = i
+	}
+	bestCT := make([]float64, n)
+	secondCT := make([]float64, n)
+	bestM := make([]int, n)
+	recompute := func(i int) {
+		b, s, bj := math.Inf(1), math.Inf(1), -1
+		for j := 0; j < m; j++ {
+			t := in.ETC.At(i, j)
+			if math.IsInf(t, 1) {
+				continue
+			}
+			ct := ready[j] + t
+			if ct < b {
+				s = b
+				b, bj = ct, j
+			} else if ct < s {
+				s = ct
+			}
+		}
+		bestCT[i], secondCT[i], bestM[i] = b, s, bj
+	}
+	for _, i := range unmapped {
+		recompute(i)
+	}
+	for len(unmapped) > 0 {
+		pick := selector(bestCT, secondCT, unmapped)
+		i := unmapped[pick]
+		j := bestM[i]
+		asg[i] = j
+		ready[j] += in.ETC.At(i, j)
+		unmapped[pick] = unmapped[len(unmapped)-1]
+		unmapped = unmapped[:len(unmapped)-1]
+		// Only completion times on machine j changed, but best values depend
+		// on it; recompute affected tasks.
+		for _, u := range unmapped {
+			recompute(u)
+		}
+	}
+	// Completion-time bookkeeping for flowtime in mapping order is already
+	// folded into evaluate (task order), which is the standard reporting.
+	return evaluate(in, name, asg)
+}
+
+// MinMin repeatedly maps the task with the smallest best completion time —
+// the strongest simple batch heuristic in Braun et al.'s comparison.
+type MinMin struct{}
+
+// Name implements Heuristic.
+func (MinMin) Name() string { return "Min-Min" }
+
+// Map implements Heuristic.
+func (MinMin) Map(in *Instance) (*Schedule, error) {
+	return batchMap(in, "Min-Min", func(bestCT, _ []float64, unmapped []int) int {
+		pick, best := 0, math.Inf(1)
+		for k, i := range unmapped {
+			if bestCT[i] < best {
+				pick, best = k, bestCT[i]
+			}
+		}
+		return pick
+	})
+}
+
+// MaxMin repeatedly maps the task whose best completion time is largest,
+// front-loading long tasks.
+type MaxMin struct{}
+
+// Name implements Heuristic.
+func (MaxMin) Name() string { return "Max-Min" }
+
+// Map implements Heuristic.
+func (MaxMin) Map(in *Instance) (*Schedule, error) {
+	return batchMap(in, "Max-Min", func(bestCT, _ []float64, unmapped []int) int {
+		pick, best := 0, math.Inf(-1)
+		for k, i := range unmapped {
+			if bestCT[i] > best {
+				pick, best = k, bestCT[i]
+			}
+		}
+		return pick
+	})
+}
+
+// Sufferage repeatedly maps the task that would suffer most if denied its
+// best machine (largest second-best minus best completion time).
+type Sufferage struct{}
+
+// Name implements Heuristic.
+func (Sufferage) Name() string { return "Sufferage" }
+
+// Map implements Heuristic.
+func (Sufferage) Map(in *Instance) (*Schedule, error) {
+	return batchMap(in, "Sufferage", func(bestCT, secondCT []float64, unmapped []int) int {
+		pick, best := 0, math.Inf(-1)
+		for k, i := range unmapped {
+			suff := secondCT[i] - bestCT[i]
+			if math.IsInf(secondCT[i], 1) {
+				// Only one runnable machine: infinite sufferage.
+				suff = math.Inf(1)
+			}
+			if suff > best {
+				pick, best = k, suff
+			}
+		}
+		return pick
+	})
+}
+
+// Duplex runs Min-Min and Max-Min and keeps the schedule with the smaller
+// makespan.
+type Duplex struct{}
+
+// Name implements Heuristic.
+func (Duplex) Name() string { return "Duplex" }
+
+// Map implements Heuristic.
+func (Duplex) Map(in *Instance) (*Schedule, error) {
+	a, err := (MinMin{}).Map(in)
+	if err != nil {
+		return nil, err
+	}
+	b, err := (MaxMin{}).Map(in)
+	if err != nil {
+		return nil, err
+	}
+	best := a
+	if b.Makespan < a.Makespan {
+		best = b
+	}
+	out := *best
+	out.Heuristic = "Duplex"
+	return &out, nil
+}
+
+// RunAll maps the instance with every heuristic in hs (All() if nil) and
+// returns the schedules in the same order.
+func RunAll(in *Instance, hs []Heuristic) ([]*Schedule, error) {
+	if hs == nil {
+		hs = All()
+	}
+	out := make([]*Schedule, 0, len(hs))
+	for _, h := range hs {
+		s, err := h.Map(in)
+		if err != nil {
+			return nil, fmt.Errorf("sched: %s: %w", h.Name(), err)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// LowerBound returns a simple makespan lower bound:
+// max(longest minimum execution time, total minimum work / machines).
+func LowerBound(in *Instance) float64 {
+	n, m := in.Tasks(), in.Machines()
+	maxMin, sumMin := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		best := math.Inf(1)
+		for j := 0; j < m; j++ {
+			if t := in.ETC.At(i, j); t < best {
+				best = t
+			}
+		}
+		sumMin += best
+		if best > maxMin {
+			maxMin = best
+		}
+	}
+	if avg := sumMin / float64(m); avg > maxMin {
+		return avg
+	}
+	return maxMin
+}

@@ -1,0 +1,413 @@
+package sched
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/etcmat"
+	"repro/internal/matrix"
+)
+
+func inst(rows [][]float64) *Instance {
+	in, err := NewInstance(matrix.FromRows(rows))
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+func TestNewInstanceValidation(t *testing.T) {
+	if _, err := NewInstance(matrix.New(0, 0)); err == nil {
+		t.Error("empty instance accepted")
+	}
+	if _, err := NewInstance(matrix.FromRows([][]float64{{0, 1}})); err == nil {
+		t.Error("zero ETC accepted")
+	}
+	if _, err := NewInstance(matrix.FromRows([][]float64{{-1, 1}})); err == nil {
+		t.Error("negative ETC accepted")
+	}
+	inf := math.Inf(1)
+	if _, err := NewInstance(matrix.FromRows([][]float64{{inf, inf}})); err == nil {
+		t.Error("unrunnable task accepted")
+	}
+	if _, err := NewInstance(matrix.FromRows([][]float64{{inf, 1}})); err != nil {
+		t.Errorf("partially runnable task rejected: %v", err)
+	}
+}
+
+func TestExpandWorkload(t *testing.T) {
+	env := etcmat.MustFromETC([][]float64{{1, 2}, {3, 4}})
+	in, err := ExpandWorkload(env, []int{2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Tasks() != 3 {
+		t.Fatalf("tasks = %d, want 3", in.Tasks())
+	}
+	if in.ETC.At(0, 0) != 1 || in.ETC.At(1, 0) != 1 || in.ETC.At(2, 1) != 4 {
+		t.Errorf("expanded ETC wrong:\n%v", in.ETC)
+	}
+	if _, err := ExpandWorkload(env, []int{1}); err == nil {
+		t.Error("wrong-length counts accepted")
+	}
+	if _, err := ExpandWorkload(env, []int{0, 0}); err == nil {
+		t.Error("empty workload accepted")
+	}
+	if _, err := ExpandWorkload(env, []int{-1, 2}); err == nil {
+		t.Error("negative count accepted")
+	}
+}
+
+func TestUniformWorkloadShuffleDeterministic(t *testing.T) {
+	env := etcmat.MustFromETC([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	a, err := UniformWorkload(env, 4, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := UniformWorkload(env, 4, rand.New(rand.NewSource(7)))
+	if !matrix.EqualTol(a.ETC, b.ETC, 0) {
+		t.Error("same seed produced different workloads")
+	}
+	if a.Tasks() != 12 {
+		t.Errorf("tasks = %d, want 12", a.Tasks())
+	}
+}
+
+func TestOLBIgnoresSpeed(t *testing.T) {
+	// Machine 0 is fast, machine 1 slow; OLB alternates by availability.
+	in := inst([][]float64{{1, 100}, {1, 100}})
+	s, err := (OLB{}).Map(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Task 0 -> m0 (both ready at 0, first wins); task 1 -> m1 (ready 0 < 1).
+	if s.Assignment[0] != 0 || s.Assignment[1] != 1 {
+		t.Errorf("assignment = %v", s.Assignment)
+	}
+	if s.Makespan != 100 {
+		t.Errorf("makespan = %g, want 100", s.Makespan)
+	}
+}
+
+func TestMETPicksFastestMachine(t *testing.T) {
+	in := inst([][]float64{{5, 1}, {5, 1}, {5, 1}})
+	s, err := (MET{}).Map(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, j := range s.Assignment {
+		if j != 1 {
+			t.Errorf("task %d on machine %d, want 1", i, j)
+		}
+	}
+	if s.Makespan != 3 {
+		t.Errorf("makespan = %g, want 3", s.Makespan)
+	}
+}
+
+func TestMCTBalancesLoad(t *testing.T) {
+	in := inst([][]float64{{2, 2}, {2, 2}, {2, 2}, {2, 2}})
+	s, err := (MCT{}).Map(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan != 4 {
+		t.Errorf("makespan = %g, want 4 (2 tasks per machine)", s.Makespan)
+	}
+}
+
+func TestMinMinKnownExample(t *testing.T) {
+	// Classic 3-task 2-machine example: Min-Min schedules short tasks first.
+	in := inst([][]float64{
+		{2, 4},
+		{4, 8},
+		{6, 3},
+	})
+	s, err := (MinMin{}).Map(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Step 1: best CTs are (2@m0, 4@m0, 3@m1) -> task 0 on m0 (CT 2).
+	// Step 2: best CTs are (task1: 6@m0, task2: 3@m1) -> task 2 on m1 (CT 3).
+	// Step 3: task 1: m0 gives 2+4=6, m1 gives 3+8=11 -> m0.
+	want := []int{0, 0, 1}
+	for i := range want {
+		if s.Assignment[i] != want[i] {
+			t.Fatalf("assignment = %v, want %v", s.Assignment, want)
+		}
+	}
+	if s.Makespan != 6 {
+		t.Errorf("makespan = %g, want 6", s.Makespan)
+	}
+}
+
+func TestMaxMinFrontLoadsLongTasks(t *testing.T) {
+	// One long task and several short ones: Max-Min places the long task
+	// first and packs the short ones elsewhere.
+	in := inst([][]float64{
+		{10, 10},
+		{1, 1},
+		{1, 1},
+		{1, 1},
+	})
+	s, err := (MaxMin{}).Map(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	long := s.Assignment[0]
+	for i := 1; i < 4; i++ {
+		if s.Assignment[i] == long {
+			t.Errorf("short task %d shares machine with the long task", i)
+		}
+	}
+	if s.Makespan != 10 {
+		t.Errorf("makespan = %g, want 10", s.Makespan)
+	}
+}
+
+func TestSufferagePrefersHighPenaltyTasks(t *testing.T) {
+	// Task 0 runs equally anywhere (sufferage 0); task 1 strongly prefers
+	// machine 0. Sufferage must fix task 1 first so it wins machine 0.
+	in := inst([][]float64{
+		{5, 5},
+		{1, 50},
+	})
+	s, err := (Sufferage{}).Map(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Assignment[1] != 0 {
+		t.Errorf("high-sufferage task lost its preferred machine: %v", s.Assignment)
+	}
+	if s.Makespan != 5 {
+		t.Errorf("makespan = %g, want 5", s.Makespan)
+	}
+}
+
+func TestSufferageSingleRunnableMachine(t *testing.T) {
+	inf := math.Inf(1)
+	in := inst([][]float64{
+		{1, inf}, // must go to m0, infinite sufferage
+		{1, 1},
+	})
+	s, err := (Sufferage{}).Map(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Assignment[0] != 0 {
+		t.Errorf("pinned task not on its only machine: %v", s.Assignment)
+	}
+}
+
+func TestDuplexTakesBetterOfMinMinMaxMin(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	for trial := 0; trial < 20; trial++ {
+		in := randomInstance(rng, 12, 4)
+		mm, _ := (MinMin{}).Map(in)
+		xm, _ := (MaxMin{}).Map(in)
+		d, err := (Duplex{}).Map(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := math.Min(mm.Makespan, xm.Makespan)
+		if d.Makespan != want {
+			t.Fatalf("Duplex makespan %g, want min(%g, %g)", d.Makespan, mm.Makespan, xm.Makespan)
+		}
+		if d.Heuristic != "Duplex" {
+			t.Fatalf("Heuristic = %s", d.Heuristic)
+		}
+	}
+}
+
+func TestKPBValidation(t *testing.T) {
+	in := inst([][]float64{{1, 2}})
+	if _, err := (KPB{Percent: 0}).Map(in); err == nil {
+		t.Error("KPB 0% accepted")
+	}
+	if _, err := (KPB{Percent: 101}).Map(in); err == nil {
+		t.Error("KPB 101% accepted")
+	}
+}
+
+func TestKPB100EqualsMCT(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 10; trial++ {
+		in := randomInstance(rng, 10, 5)
+		kpb, err := (KPB{Percent: 100}).Map(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mct, err := (MCT{}).Map(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if kpb.Makespan != mct.Makespan {
+			t.Fatalf("KPB(100%%) makespan %g != MCT %g", kpb.Makespan, mct.Makespan)
+		}
+	}
+}
+
+func TestKPBSmallPercentApproachesMET(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	in := randomInstance(rng, 10, 5)
+	kpb, err := (KPB{Percent: 1}).Map(in) // subset size 1 = fastest machine
+	if err != nil {
+		t.Fatal(err)
+	}
+	met, err := (MET{}).Map(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kpb.Makespan != met.Makespan {
+		t.Errorf("KPB(1%%) makespan %g != MET %g", kpb.Makespan, met.Makespan)
+	}
+}
+
+// Every heuristic must produce a valid schedule whose makespan respects the
+// lower bound and never exceeds serial execution on one machine.
+func TestAllHeuristicsValidAndBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	for trial := 0; trial < 20; trial++ {
+		in := randomInstance(rng, 3+rng.Intn(20), 2+rng.Intn(6))
+		lb := LowerBound(in)
+		schedules, err := RunAll(in, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(schedules) != len(All()) {
+			t.Fatalf("got %d schedules", len(schedules))
+		}
+		for _, s := range schedules {
+			if len(s.Assignment) != in.Tasks() {
+				t.Fatalf("%s: assignment length %d", s.Heuristic, len(s.Assignment))
+			}
+			if s.Makespan < lb-1e-9 {
+				t.Fatalf("%s: makespan %g below lower bound %g", s.Heuristic, s.Makespan, lb)
+			}
+			if s.Flowtime < s.Makespan {
+				t.Fatalf("%s: flowtime %g < makespan %g", s.Heuristic, s.Flowtime, s.Makespan)
+			}
+			// Recompute makespan from the assignment to cross-check.
+			ready := make([]float64, in.Machines())
+			for i, j := range s.Assignment {
+				ready[j] += in.ETC.At(i, j)
+			}
+			mk := 0.0
+			for _, r := range ready {
+				mk = math.Max(mk, r)
+			}
+			if math.Abs(mk-s.Makespan) > 1e-9 {
+				t.Fatalf("%s: reported makespan %g, recomputed %g", s.Heuristic, s.Makespan, mk)
+			}
+		}
+	}
+}
+
+// In a homogeneous environment with equal tasks, MCT, Min-Min, Max-Min and
+// Sufferage all achieve the balanced optimum.
+func TestHomogeneousOptimum(t *testing.T) {
+	rows := make([][]float64, 8)
+	for i := range rows {
+		rows[i] = []float64{3, 3, 3, 3}
+	}
+	in := inst(rows)
+	for _, h := range []Heuristic{MCT{}, MinMin{}, MaxMin{}, Sufferage{}, Duplex{}} {
+		s, err := h.Map(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Makespan != 6 {
+			t.Errorf("%s: makespan = %g, want 6", h.Name(), s.Makespan)
+		}
+	}
+}
+
+// MET collapses onto the single fastest machine when one machine dominates;
+// MCT does not — the classic failure mode that makes heuristic choice
+// heterogeneity dependent.
+func TestMETCollapseVsMCT(t *testing.T) {
+	rows := make([][]float64, 10)
+	for i := range rows {
+		rows[i] = []float64{1, 1.1}
+	}
+	in := inst(rows)
+	met, _ := (MET{}).Map(in)
+	mct, _ := (MCT{}).Map(in)
+	if met.Makespan <= mct.Makespan {
+		t.Errorf("expected MET (%g) to lose to MCT (%g) here", met.Makespan, mct.Makespan)
+	}
+}
+
+func TestScheduleLoadsAndUtilization(t *testing.T) {
+	in := inst([][]float64{{2, 2}, {2, 2}, {2, 2}, {2, 2}})
+	s, err := (MCT{}).Map(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.VecEqualTol(s.MachineLoads, []float64{4, 4}, 1e-12) {
+		t.Errorf("MachineLoads = %v, want [4 4]", s.MachineLoads)
+	}
+	u := s.Utilization()
+	if !matrix.VecEqualTol(u, []float64{1, 1}, 1e-12) {
+		t.Errorf("Utilization = %v, want [1 1]", u)
+	}
+	if got := s.Imbalance(); got != 0 {
+		t.Errorf("Imbalance = %g, want 0 for a perfectly balanced schedule", got)
+	}
+	// MET puts everything on one machine: utilization (1, 0), imbalance 0.5.
+	sm, err := (MET{}).Map(inst([][]float64{{1, 2}, {1, 2}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sm.Imbalance(); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("MET imbalance = %g, want 0.5", got)
+	}
+}
+
+// Loads must always be consistent with the assignment and sum to the total
+// assigned work.
+func TestScheduleLoadsConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(94))
+	in := randomInstance(rng, 15, 4)
+	for _, h := range All() {
+		s, err := h.Map(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := make([]float64, in.Machines())
+		for i, j := range s.Assignment {
+			want[j] += in.ETC.At(i, j)
+		}
+		if !matrix.VecEqualTol(s.MachineLoads, want, 1e-9) {
+			t.Errorf("%s: loads %v inconsistent with assignment", s.Heuristic, s.MachineLoads)
+		}
+		for _, u := range s.Utilization() {
+			if u < 0 || u > 1+1e-12 {
+				t.Errorf("%s: utilization %g outside [0,1]", s.Heuristic, u)
+			}
+		}
+	}
+}
+
+func TestLowerBound(t *testing.T) {
+	in := inst([][]float64{{4, 8}, {2, 2}})
+	// sum of minima = 6, machines = 2 -> 3 ; longest minimum = 4 -> LB = 4.
+	if got := LowerBound(in); got != 4 {
+		t.Errorf("LowerBound = %g, want 4", got)
+	}
+}
+
+func randomInstance(rng *rand.Rand, n, m int) *Instance {
+	etc := matrix.New(n, m)
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			etc.Set(i, j, 0.5+rng.Float64()*10)
+		}
+	}
+	in, err := NewInstance(etc)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}

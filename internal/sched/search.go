@@ -1,0 +1,253 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// This file adds the search-based mappers from Braun et al.'s eleven-
+// heuristic comparison (the paper's ref [6]): a genetic algorithm and
+// simulated annealing. Both operate on assignment vectors (one machine per
+// task instance) with makespan as the fitness, are seeded with the Min-Min
+// solution as Braun et al. do, and are deterministic given their RNG seed.
+
+// GA is a genetic-algorithm mapper over assignment vectors.
+type GA struct {
+	// Population size (default 100).
+	Population int
+	// Generations caps the search (default 200).
+	Generations int
+	// MutationRate is the per-task probability of random reassignment in an
+	// offspring (default 0.02).
+	MutationRate float64
+	// Elite is the number of best chromosomes carried over unchanged
+	// (default 2).
+	Elite int
+	// Seed makes the run reproducible (default 1).
+	Seed int64
+}
+
+// Name implements Heuristic.
+func (g GA) Name() string { return "GA" }
+
+func (g GA) withDefaults() GA {
+	if g.Population <= 0 {
+		g.Population = 100
+	}
+	if g.Generations <= 0 {
+		g.Generations = 200
+	}
+	if g.MutationRate <= 0 {
+		g.MutationRate = 0.02
+	}
+	if g.Elite <= 0 {
+		g.Elite = 2
+	}
+	if g.Elite >= g.Population {
+		g.Elite = g.Population - 1
+	}
+	if g.Seed == 0 {
+		g.Seed = 1
+	}
+	return g
+}
+
+// Map implements Heuristic.
+func (g GA) Map(in *Instance) (*Schedule, error) {
+	g = g.withDefaults()
+	rng := rand.New(rand.NewSource(g.Seed))
+	n := in.Tasks()
+
+	runnable, err := runnableMachines(in)
+	if err != nil {
+		return nil, err
+	}
+
+	// Seed the population with Min-Min plus randoms (Braun et al.).
+	mm, err := (MinMin{}).Map(in)
+	if err != nil {
+		return nil, err
+	}
+	pop := make([][]int, g.Population)
+	pop[0] = append([]int(nil), mm.Assignment...)
+	for p := 1; p < g.Population; p++ {
+		pop[p] = randomAssignment(runnable, rng)
+	}
+	fitness := make([]float64, g.Population)
+	for p := range pop {
+		fitness[p] = makespanOf(in, pop[p])
+	}
+
+	next := make([][]int, g.Population)
+	for gen := 0; gen < g.Generations; gen++ {
+		order := sortedByFitness(fitness)
+		// Elitism.
+		for e := 0; e < g.Elite; e++ {
+			next[e] = append(next[e][:0], pop[order[e]]...)
+		}
+		// Offspring by tournament selection + single-point crossover +
+		// mutation.
+		for p := g.Elite; p < g.Population; p++ {
+			a := pop[tournament(fitness, rng)]
+			b := pop[tournament(fitness, rng)]
+			child := next[p]
+			if cap(child) < n {
+				child = make([]int, n)
+			}
+			child = child[:n]
+			cut := rng.Intn(n)
+			copy(child[:cut], a[:cut])
+			copy(child[cut:], b[cut:])
+			for i := 0; i < n; i++ {
+				if rng.Float64() < g.MutationRate {
+					child[i] = runnable[i][rng.Intn(len(runnable[i]))]
+				}
+			}
+			next[p] = child
+		}
+		pop, next = next, pop
+		for p := range pop {
+			fitness[p] = makespanOf(in, pop[p])
+		}
+	}
+	best := 0
+	for p := 1; p < g.Population; p++ {
+		if fitness[p] < fitness[best] {
+			best = p
+		}
+	}
+	return evaluate(in, "GA", pop[best])
+}
+
+// SA is a simulated-annealing mapper over assignment vectors.
+type SA struct {
+	// Iterations of the annealing loop (default 20000).
+	Iterations int
+	// InitialTemp as a fraction of the seed makespan (default 0.1).
+	InitialTemp float64
+	// Cooling is the geometric cooling factor applied every iteration
+	// (default computed to land near zero temperature at the end).
+	Cooling float64
+	// Seed makes the run reproducible (default 1).
+	Seed int64
+}
+
+// Name implements Heuristic.
+func (s SA) Name() string { return "SA" }
+
+// Map implements Heuristic.
+func (s SA) Map(in *Instance) (*Schedule, error) {
+	if s.Iterations <= 0 {
+		s.Iterations = 20000
+	}
+	if s.InitialTemp <= 0 {
+		s.InitialTemp = 0.1
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	rng := rand.New(rand.NewSource(s.Seed))
+	n := in.Tasks()
+	runnable, err := runnableMachines(in)
+	if err != nil {
+		return nil, err
+	}
+	mm, err := (MinMin{}).Map(in)
+	if err != nil {
+		return nil, err
+	}
+	cur := append([]int(nil), mm.Assignment...)
+	curMk := mm.Makespan
+	best := append([]int(nil), cur...)
+	bestMk := curMk
+	temp := s.InitialTemp * curMk
+	cooling := s.Cooling
+	if cooling <= 0 || cooling >= 1 {
+		// Reach ~1e-4 of the initial temperature by the final iteration.
+		cooling = math.Pow(1e-4, 1/float64(s.Iterations))
+	}
+	for it := 0; it < s.Iterations; it++ {
+		i := rng.Intn(n)
+		old := cur[i]
+		cur[i] = runnable[i][rng.Intn(len(runnable[i]))]
+		mk := makespanOf(in, cur)
+		if mk <= curMk || (temp > 0 && rng.Float64() < math.Exp((curMk-mk)/temp)) {
+			curMk = mk
+			if mk < bestMk {
+				bestMk = mk
+				copy(best, cur)
+			}
+		} else {
+			cur[i] = old
+		}
+		temp *= cooling
+	}
+	return evaluate(in, "SA", best)
+}
+
+// runnableMachines lists, per task, the machines it can execute on.
+func runnableMachines(in *Instance) ([][]int, error) {
+	n, m := in.Tasks(), in.Machines()
+	out := make([][]int, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			if !math.IsInf(in.ETC.At(i, j), 1) {
+				out[i] = append(out[i], j)
+			}
+		}
+		if len(out[i]) == 0 {
+			return nil, fmt.Errorf("sched: task %d cannot run anywhere", i)
+		}
+	}
+	return out, nil
+}
+
+func randomAssignment(runnable [][]int, rng *rand.Rand) []int {
+	out := make([]int, len(runnable))
+	for i, r := range runnable {
+		out[i] = r[rng.Intn(len(r))]
+	}
+	return out
+}
+
+// makespanOf computes the makespan of an assignment without allocating a
+// Schedule — the hot loop of the search mappers.
+func makespanOf(in *Instance, assignment []int) float64 {
+	m := in.Machines()
+	ready := make([]float64, m)
+	for i, j := range assignment {
+		ready[j] += in.ETC.At(i, j)
+	}
+	mk := 0.0
+	for _, r := range ready {
+		if r > mk {
+			mk = r
+		}
+	}
+	return mk
+}
+
+func sortedByFitness(fitness []float64) []int {
+	order := make([]int, len(fitness))
+	for i := range order {
+		order[i] = i
+	}
+	// Insertion sort: populations are small and mostly ordered between
+	// generations.
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && fitness[order[j]] < fitness[order[j-1]]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	return order
+}
+
+func tournament(fitness []float64, rng *rand.Rand) int {
+	a := rng.Intn(len(fitness))
+	b := rng.Intn(len(fitness))
+	if fitness[a] <= fitness[b] {
+		return a
+	}
+	return b
+}

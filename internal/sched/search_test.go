@@ -1,0 +1,184 @@
+package sched
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Both search mappers are seeded with Min-Min, so they can never be worse.
+func TestSearchMappersNeverWorseThanMinMin(t *testing.T) {
+	rng := rand.New(rand.NewSource(90))
+	for trial := 0; trial < 5; trial++ {
+		in := randomInstance(rng, 20, 4)
+		mm, err := (MinMin{}).Map(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ga, err := (GA{Population: 40, Generations: 60, Seed: int64(trial + 1)}).Map(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ga.Makespan > mm.Makespan+1e-9 {
+			t.Errorf("trial %d: GA %g worse than Min-Min seed %g", trial, ga.Makespan, mm.Makespan)
+		}
+		sa, err := (SA{Iterations: 5000, Seed: int64(trial + 1)}).Map(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sa.Makespan > mm.Makespan+1e-9 {
+			t.Errorf("trial %d: SA %g worse than Min-Min seed %g", trial, sa.Makespan, mm.Makespan)
+		}
+		lb := LowerBound(in)
+		if ga.Makespan < lb-1e-9 || sa.Makespan < lb-1e-9 {
+			t.Errorf("trial %d: search result below lower bound %g", trial, lb)
+		}
+	}
+}
+
+// On a small instance with a known optimum the GA should find it.
+func TestGAFindsOptimumOnSmallInstance(t *testing.T) {
+	// 4 identical tasks, 2 identical machines: optimum 2 per machine = 6.
+	rows := make([][]float64, 4)
+	for i := range rows {
+		rows[i] = []float64{3, 3}
+	}
+	in := inst(rows)
+	s, err := (GA{Population: 30, Generations: 50, Seed: 3}).Map(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan != 6 {
+		t.Errorf("GA makespan = %g, want 6", s.Makespan)
+	}
+}
+
+// The GA must beat Min-Min on an instance engineered so greedy mapping is
+// suboptimal: Min-Min commits short tasks to the fast machine, then the two
+// long tasks collide.
+func TestGAImprovesOnGreedyTrap(t *testing.T) {
+	in := inst([][]float64{
+		{2, 3},
+		{2, 3},
+		{4, 7},
+		{4, 7},
+	})
+	mm, _ := (MinMin{}).Map(in)
+	ga, err := (GA{Population: 60, Generations: 120, Seed: 5}).Map(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ga.Makespan > mm.Makespan {
+		t.Errorf("GA %g did not match/beat Min-Min %g", ga.Makespan, mm.Makespan)
+	}
+	// The true optimum here is 7: {t0,t1,t2}->m0 (8)? No: m0={2,4}=6,
+	// m1={2? ...}. Enumerate: best split gives makespan 7 (e.g. t2,t0 on m0
+	// = 6; t3,t1 on m1 = 10? not 7). Verify GA is within 15% of the brute
+	// optimum instead of hardcoding.
+	best := bruteForceOptimum(in)
+	if ga.Makespan > best*1.15+1e-9 {
+		t.Errorf("GA %g far from optimum %g", ga.Makespan, best)
+	}
+}
+
+func TestSARespectsRunnableSets(t *testing.T) {
+	inf := math.Inf(1)
+	in := inst([][]float64{
+		{1, inf},
+		{inf, 1},
+		{2, 2},
+	})
+	s, err := (SA{Iterations: 2000, Seed: 2}).Map(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Assignment[0] != 0 || s.Assignment[1] != 1 {
+		t.Errorf("SA violated runnability: %v", s.Assignment)
+	}
+}
+
+func TestGADeterministicBySeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	in := randomInstance(rng, 15, 3)
+	a, err := (GA{Population: 20, Generations: 30, Seed: 7}).Map(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := (GA{Population: 20, Generations: 30, Seed: 7}).Map(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan != b.Makespan {
+		t.Errorf("same seed, different makespans: %g vs %g", a.Makespan, b.Makespan)
+	}
+	for i := range a.Assignment {
+		if a.Assignment[i] != b.Assignment[i] {
+			t.Fatalf("same seed, different assignments at task %d", i)
+		}
+	}
+}
+
+func TestSADeterministicBySeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	in := randomInstance(rng, 15, 3)
+	a, _ := (SA{Iterations: 3000, Seed: 7}).Map(in)
+	b, _ := (SA{Iterations: 3000, Seed: 7}).Map(in)
+	if a.Makespan != b.Makespan {
+		t.Errorf("same seed, different makespans: %g vs %g", a.Makespan, b.Makespan)
+	}
+}
+
+func TestMakespanOfMatchesEvaluate(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	in := randomInstance(rng, 10, 3)
+	asg := randomAssignment(mustRunnable(in), rng)
+	s, err := evaluate(in, "x", asg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := makespanOf(in, asg); math.Abs(got-s.Makespan) > 1e-12 {
+		t.Errorf("makespanOf = %g, evaluate = %g", got, s.Makespan)
+	}
+}
+
+func TestSortedByFitness(t *testing.T) {
+	order := sortedByFitness([]float64{3, 1, 2})
+	want := []int{1, 2, 0}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+// bruteForceOptimum enumerates all assignments (only for tiny instances).
+func bruteForceOptimum(in *Instance) float64 {
+	n, m := in.Tasks(), in.Machines()
+	best := math.Inf(1)
+	asg := make([]int, n)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == n {
+			if mk := makespanOf(in, asg); mk < best {
+				best = mk
+			}
+			return
+		}
+		for j := 0; j < m; j++ {
+			if !math.IsInf(in.ETC.At(i, j), 1) {
+				asg[i] = j
+				rec(i + 1)
+			}
+		}
+	}
+	rec(0)
+	return best
+}
+
+func mustRunnable(in *Instance) [][]int {
+	r, err := runnableMachines(in)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}

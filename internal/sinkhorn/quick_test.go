@@ -1,0 +1,100 @@
+package sinkhorn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/linalg"
+	"repro/internal/matrix"
+)
+
+// quickDims derives small matrix dimensions from fuzz bytes.
+func quickDims(a, b byte) (int, int) {
+	return 1 + int(a)%8, 1 + int(b)%8
+}
+
+// quick-check of Theorem 1: every positive matrix standardizes, hitting the
+// targets, with Scaled == D1·A·D2.
+func TestQuickTheorem1(t *testing.T) {
+	rng := rand.New(rand.NewSource(150))
+	f := func(da, db byte, seed int64) bool {
+		r, c := quickDims(da, db)
+		src := rand.New(rand.NewSource(seed))
+		a := matrix.New(r, c)
+		for i := range a.RawData() {
+			a.RawData()[i] = 0.05 + src.Float64()*20
+		}
+		res, err := Standardize(a)
+		if err != nil {
+			return false
+		}
+		rt, ct := StandardTargets(r, c)
+		for _, s := range res.Scaled.RowSums() {
+			if math.Abs(s-rt) > 1e-6 {
+				return false
+			}
+		}
+		for _, s := range res.Scaled.ColSums() {
+			if math.Abs(s-ct) > 1e-6 {
+				return false
+			}
+		}
+		recon := a.Clone().ScaleRows(res.D1).ScaleCols(res.D2)
+		return matrix.EqualTol(recon, res.Scaled, 1e-9)
+	}
+	cfg := &quick.Config{MaxCount: 60, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// quick-check of Theorem 2: σ1 of the standard form is 1 for any positive
+// matrix with both dimensions at least 1.
+func TestQuickTheorem2(t *testing.T) {
+	rng := rand.New(rand.NewSource(151))
+	f := func(da, db byte, seed int64) bool {
+		r, c := quickDims(da, db)
+		src := rand.New(rand.NewSource(seed))
+		a := matrix.New(r, c)
+		for i := range a.RawData() {
+			a.RawData()[i] = 0.05 + src.Float64()*20
+		}
+		res, err := Standardize(a)
+		if err != nil {
+			return false
+		}
+		sv := linalg.SingularValues(res.Scaled)
+		return math.Abs(sv[0]-1) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+// quick-check: standardization is idempotent — standardizing a standard
+// matrix changes nothing (and converges immediately).
+func TestQuickIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(152))
+	f := func(da, db byte, seed int64) bool {
+		r, c := quickDims(da, db)
+		src := rand.New(rand.NewSource(seed))
+		a := matrix.New(r, c)
+		for i := range a.RawData() {
+			a.RawData()[i] = 0.05 + src.Float64()*20
+		}
+		res1, err := Standardize(a)
+		if err != nil {
+			return false
+		}
+		res2, err := Standardize(res1.Scaled)
+		if err != nil {
+			return false
+		}
+		return matrix.EqualTol(res1.Scaled, res2.Scaled, 1e-7) && res2.Iterations <= 2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,301 @@
+// Package sinkhorn implements the iterative row/column normalization that
+// puts an ECS matrix in *standard form* (Section III-C/D of the reproduced
+// paper): alternating column and row normalizations (the paper's Eq. 9) until
+// every row sums to a common target and every column sums to a common target.
+//
+// With the paper's scaling choice (Theorem 1 with k = 1/√(TM)) a T×M matrix
+// is driven to row sums √(M/T) and column sums √(T/M); Theorem 2 then
+// guarantees the largest singular value of the standard matrix is exactly 1,
+// which simplifies the TMA formula.
+//
+// The iteration is Sinkhorn's (the paper's ref [21], generalized to
+// rectangular matrices in Appendix A). For matrices with zeros it may
+// converge only entrywise (support without total support — the scaling
+// factors diverge while unsupported entries decay to zero) or not at all
+// (decomposable patterns such as the paper's Eq. 10); both conditions are
+// detected and reported in the Result.
+package sinkhorn
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/bipartite"
+	"repro/internal/matrix"
+)
+
+// Options configures Balance.
+type Options struct {
+	// RowTarget and ColTarget are the desired common row and column sums.
+	// They must be positive and consistent: rows*RowTarget == cols*ColTarget
+	// (both equal the total mass of the scaled matrix).
+	RowTarget, ColTarget float64
+	// Tol is the convergence tolerance on the maximum absolute deviation of
+	// any row or column sum from its target. The paper uses 1e-8 (Sec. V).
+	Tol float64
+	// MaxIter caps the number of iterations, where one iteration is one
+	// column normalization followed by one row normalization (the paper's
+	// convention when reporting convergence in 6-7 iterations). Zero selects
+	// the default of 10000.
+	MaxIter int
+	// TrimUnsupported applies to matrices containing zeros. When set,
+	// entries that lie on no positive diagonal (no total support; computed
+	// on the matrix itself when square, or on its Appendix A square tiling
+	// when rectangular) are zeroed before iterating. Those entries decay to
+	// zero in the Sinkhorn limit anyway, but only sublinearly — trimming
+	// computes the same entrywise limit with geometric convergence. The
+	// number of removed entries is reported in Result.Trimmed; a nonzero
+	// count means the original matrix is not exactly scalable by finite
+	// positive diagonal matrices (the paper's Fig. 4 A/B/D situation).
+	TrimUnsupported bool
+}
+
+// DefaultTol is the convergence tolerance used in the paper's experiments
+// (Section V: "maximum error in any column or row norm is less than 1/10^8").
+const DefaultTol = 1e-8
+
+// Result reports the outcome of a balancing run.
+type Result struct {
+	// Scaled is the balanced matrix (a new matrix; the input is untouched).
+	Scaled *matrix.Dense
+	// D1 and D2 are the accumulated diagonal scaling factors:
+	// Scaled = D1 · A · D2 (as vectors of the diagonals). Theorem 1
+	// guarantees they are unique up to reciprocal scalar multiples for
+	// positive A. For matrices with zeros they may diverge even when Scaled
+	// converges.
+	D1, D2 []float64
+	// Iterations is the number of column+row normalization rounds performed.
+	Iterations int
+	// Converged reports whether the deviation dropped below Tol.
+	Converged bool
+	// MaxDeviation is the final maximum |sum - target| over all rows and
+	// columns.
+	MaxDeviation float64
+	// Trimmed is the number of entries zeroed by Options.TrimUnsupported.
+	// When positive, the input has no exact scaling D1·A·D2 with the same
+	// zero pattern; Scaled is the entrywise limit of the paper's Eq. 9
+	// iteration instead.
+	Trimmed int
+}
+
+// ErrZeroLine is returned when the input has an all-zero row or column, for
+// which no scaling can exist (the paper excludes these from valid ECS
+// matrices: a machine that can run nothing, or a task type no machine runs).
+var ErrZeroLine = errors.New("sinkhorn: input has an all-zero row or column")
+
+// ErrNotConverged is returned when MaxIter rounds did not reach Tol. This is
+// the expected outcome for decomposable patterns such as the paper's Eq. 10
+// example; use bipartite.ScalableSquare for a structural diagnosis.
+var ErrNotConverged = errors.New("sinkhorn: iteration did not converge (matrix may not be scalable)")
+
+// ErrNoSupport is returned by TrimUnsupported preprocessing when the zero
+// pattern (of the matrix, or of its Appendix A square tiling in the
+// rectangular case) has no positive diagonal at all; the Sinkhorn iteration
+// has no limit for such matrices.
+var ErrNoSupport = errors.New("sinkhorn: zero pattern has no support (no positive diagonal)")
+
+// Balance runs alternating column/row normalization (the paper's Eq. 9) on a
+// nonnegative matrix. On ErrNotConverged the returned Result still carries
+// the last iterate and diagnostics.
+func Balance(a *matrix.Dense, opt Options) (*Result, error) {
+	t, m := a.Dims()
+	if t == 0 || m == 0 {
+		return nil, errors.New("sinkhorn: empty matrix")
+	}
+	if !a.NonNegative() {
+		return nil, errors.New("sinkhorn: input must be nonnegative")
+	}
+	if opt.RowTarget <= 0 || opt.ColTarget <= 0 {
+		return nil, fmt.Errorf("sinkhorn: targets must be positive, got row %g col %g", opt.RowTarget, opt.ColTarget)
+	}
+	if total := float64(t) * opt.RowTarget; math.Abs(total-float64(m)*opt.ColTarget) > 1e-9*total {
+		return nil, fmt.Errorf("sinkhorn: inconsistent targets: rows*RowTarget = %g but cols*ColTarget = %g",
+			total, float64(m)*opt.ColTarget)
+	}
+	tol := opt.Tol
+	if tol <= 0 {
+		tol = DefaultTol
+	}
+	maxIter := opt.MaxIter
+	if maxIter <= 0 {
+		maxIter = 10000
+	}
+
+	w := a.Clone()
+	d1 := ones(t)
+	d2 := ones(m)
+
+	trimmed := 0
+	if opt.TrimUnsupported && w.CountZeros() > 0 {
+		var err error
+		trimmed, err = trimUnsupported(w)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Reject structurally impossible inputs up front.
+	for i := 0; i < t; i++ {
+		if w.RowSum(i) == 0 {
+			return nil, fmt.Errorf("%w: row %d", ErrZeroLine, i)
+		}
+	}
+	for j := 0; j < m; j++ {
+		if w.ColSum(j) == 0 {
+			return nil, fmt.Errorf("%w: column %d", ErrZeroLine, j)
+		}
+	}
+
+	res := &Result{D1: d1, D2: d2, Trimmed: trimmed}
+	for it := 1; it <= maxIter; it++ {
+		// Column normalization (Eq. 9, odd steps).
+		cs := w.ColSums()
+		for j := range cs {
+			f := opt.ColTarget / cs[j]
+			d2[j] *= f
+			cs[j] = f
+		}
+		w.ScaleCols(cs)
+		// Row normalization (Eq. 9, even steps).
+		rs := w.RowSums()
+		for i := range rs {
+			f := opt.RowTarget / rs[i]
+			d1[i] *= f
+			rs[i] = f
+		}
+		w.ScaleRows(rs)
+
+		res.Iterations = it
+		res.MaxDeviation = maxDeviation(w, opt.RowTarget, opt.ColTarget)
+		if res.MaxDeviation < tol {
+			res.Converged = true
+			break
+		}
+	}
+	res.Scaled = w
+	if !res.Converged {
+		return res, fmt.Errorf("%w: deviation %g after %d iterations", ErrNotConverged, res.MaxDeviation, res.Iterations)
+	}
+	return res, nil
+}
+
+// trimUnsupported zeroes the entries of w that decay to zero in the Sinkhorn
+// limit (no total support). Square matrices are analyzed directly; a
+// rectangular T×M matrix is analyzed through the Appendix A square tiling
+// (the paper's Sec. VI prescription: the rectangular case reduces to the
+// square one), where an entry survives iff its copies lie on a positive
+// diagonal of the tiled pattern. Returns the number of zeroed entries, or
+// ErrNoSupport when the (tiled) pattern has no positive diagonal at all —
+// the iteration has no limit then.
+func trimUnsupported(w *matrix.Dense) (int, error) {
+	t, m := w.Dims()
+	if t == m {
+		p := bipartite.PatternOf(w, 0)
+		if !p.HasSupport() {
+			return 0, ErrNoSupport
+		}
+		all, supported := p.TotalSupport()
+		if all {
+			return 0, nil
+		}
+		return zeroUnsupported(w, func(i, j int) bool { return supported[i*m+j] }), nil
+	}
+	g := gcd(t, m)
+	blockRows := m / g
+	blockCols := t / g
+	n := t * blockRows
+	square := matrix.New(n, n)
+	for br := 0; br < blockRows; br++ {
+		for bc := 0; bc < blockCols; bc++ {
+			for i := 0; i < t; i++ {
+				for j := 0; j < m; j++ {
+					square.Set(br*t+i, bc*m+j, w.At(i, j))
+				}
+			}
+		}
+	}
+	p := bipartite.PatternOf(square, 0)
+	if !p.HasSupport() {
+		return 0, ErrNoSupport
+	}
+	all, supported := p.TotalSupport()
+	if all {
+		return 0, nil
+	}
+	// An entry of w survives iff every one of its tiled copies does: the
+	// limit of the tiled balance is itself a tiling, so copy statuses agree;
+	// requiring all copies guards against asymmetric matchings.
+	return zeroUnsupported(w, func(i, j int) bool {
+		for br := 0; br < blockRows; br++ {
+			for bc := 0; bc < blockCols; bc++ {
+				if !supported[(br*t+i)*n+(bc*m+j)] {
+					return false
+				}
+			}
+		}
+		return true
+	}), nil
+}
+
+func zeroUnsupported(w *matrix.Dense, keep func(i, j int) bool) int {
+	trimmed := 0
+	w.Apply(func(i, j int, v float64) float64 {
+		if v != 0 && !keep(i, j) {
+			trimmed++
+			return 0
+		}
+		return v
+	})
+	return trimmed
+}
+
+// maxDeviation returns the largest |row sum - rowTarget| or
+// |col sum - colTarget|.
+func maxDeviation(w *matrix.Dense, rowTarget, colTarget float64) float64 {
+	dev := 0.0
+	for _, s := range w.RowSums() {
+		if d := math.Abs(s - rowTarget); d > dev {
+			dev = d
+		}
+	}
+	for _, s := range w.ColSums() {
+		if d := math.Abs(s - colTarget); d > dev {
+			dev = d
+		}
+	}
+	return dev
+}
+
+// StandardTargets returns the paper's standard-form row and column sum
+// targets for a T×M matrix (Theorem 1 with k = 1/√(TM)): rows sum to √(M/T),
+// columns to √(T/M). Theorem 2 then makes σ₁ = 1.
+func StandardTargets(t, m int) (rowTarget, colTarget float64) {
+	return math.Sqrt(float64(m) / float64(t)), math.Sqrt(float64(t) / float64(m))
+}
+
+// Standardize balances a T×M ECS matrix to the paper's standard form using
+// the paper's tolerance. Square matrices with zeros are trimmed to their
+// totally supported pattern first so the entrywise Sinkhorn limit is reached
+// with geometric convergence (see Options.TrimUnsupported). See Balance for
+// error semantics.
+func Standardize(a *matrix.Dense) (*Result, error) {
+	rt, ct := StandardTargets(a.Rows(), a.Cols())
+	return Balance(a, Options{RowTarget: rt, ColTarget: ct, Tol: DefaultTol, TrimUnsupported: true})
+}
+
+// DoublyStochastic balances a square matrix to row and column sums of 1.
+func DoublyStochastic(a *matrix.Dense) (*Result, error) {
+	if a.Rows() != a.Cols() {
+		return nil, fmt.Errorf("sinkhorn: DoublyStochastic requires a square matrix, got %dx%d", a.Rows(), a.Cols())
+	}
+	return Balance(a, Options{RowTarget: 1, ColTarget: 1, Tol: DefaultTol})
+}
+
+func ones(n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = 1
+	}
+	return v
+}

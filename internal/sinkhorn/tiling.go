@@ -1,0 +1,119 @@
+package sinkhorn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/matrix"
+)
+
+// BalanceViaTiling standardizes a rectangular positive matrix using the
+// construction of the paper's Appendix A (proof of Theorem 1): tile the T×M
+// matrix into an (M·T/g)×(T·M/g) square array of copies (g = gcd(T, M), so
+// the tiling is the smallest square multiple), balance that square matrix to
+// doubly stochastic form with the classic square Sinkhorn iteration, and
+// read the rectangular scaling factors back off the block structure.
+//
+// The paper uses this construction only as an existence proof — the direct
+// rectangular iteration of Balance is how it computes standard forms — but
+// implementing it provides an independent cross-check: both paths must
+// produce the same standard matrix (D₁ and D₂ are unique up to reciprocal
+// scalars). It is exposed for that purpose and exercised in tests and the
+// ablation experiment.
+func BalanceViaTiling(a *matrix.Dense, opt Options) (*Result, error) {
+	t, m := a.Dims()
+	if t == 0 || m == 0 {
+		return nil, fmt.Errorf("sinkhorn: empty matrix")
+	}
+	if !a.AllPositive() {
+		return nil, fmt.Errorf("sinkhorn: BalanceViaTiling requires a strictly positive matrix")
+	}
+	if opt.RowTarget <= 0 || opt.ColTarget <= 0 {
+		return nil, fmt.Errorf("sinkhorn: targets must be positive")
+	}
+	if total := float64(t) * opt.RowTarget; math.Abs(total-float64(m)*opt.ColTarget) > 1e-9*total {
+		return nil, fmt.Errorf("sinkhorn: inconsistent targets")
+	}
+	g := gcd(t, m)
+	// Appendix A tiles a T×M matrix into a (M/g)×(T/g) arrangement of
+	// blocks, producing an n×n square with n = T·M/g.
+	blockRows := m / g // how many copies stacked vertically
+	blockCols := t / g // how many copies side by side
+	n := t * blockRows // == m * blockCols
+	if n != m*blockCols {
+		return nil, fmt.Errorf("sinkhorn: internal tiling mismatch %d != %d", n, m*blockCols)
+	}
+	square := matrix.New(n, n)
+	for br := 0; br < blockRows; br++ {
+		for bc := 0; bc < blockCols; bc++ {
+			for i := 0; i < t; i++ {
+				for j := 0; j < m; j++ {
+					square.Set(br*t+i, bc*m+j, a.At(i, j))
+				}
+			}
+		}
+	}
+	tol := opt.Tol
+	if tol <= 0 {
+		tol = DefaultTol
+	}
+	// Tighter tolerance on the square problem so block-averaging error stays
+	// below the caller's tolerance.
+	sq, err := Balance(square, Options{RowTarget: 1, ColTarget: 1, Tol: tol / 10, MaxIter: opt.MaxIter})
+	if err != nil {
+		return nil, fmt.Errorf("sinkhorn: tiled square balance: %w", err)
+	}
+	// Per Appendix A, the square scalings restricted to one block row/column
+	// are (up to a scalar) the rectangular scalings. Average the copies for
+	// numerical robustness, then rescale to the requested targets.
+	d1 := make([]float64, t)
+	for i := 0; i < t; i++ {
+		s := 0.0
+		for br := 0; br < blockRows; br++ {
+			s += sq.D1[br*t+i]
+		}
+		d1[i] = s / float64(blockRows)
+	}
+	d2 := make([]float64, m)
+	for j := 0; j < m; j++ {
+		s := 0.0
+		for bc := 0; bc < blockCols; bc++ {
+			s += sq.D2[bc*m+j]
+		}
+		d2[j] = s / float64(blockCols)
+	}
+	scaled := a.Clone().ScaleRows(d1).ScaleCols(d2)
+	// The block structure guarantees equal row sums and equal column sums;
+	// one global factor aligns them with the requested targets.
+	mean := scaled.Sum() / (float64(t) * opt.RowTarget)
+	factor := 1 / mean
+	scaled.Scale(factor)
+	matrix.VecScale(d1, factor)
+	res := &Result{
+		Scaled:     scaled,
+		D1:         d1,
+		D2:         d2,
+		Iterations: sq.Iterations,
+		Converged:  true,
+	}
+	res.MaxDeviation = maxDeviation(scaled, opt.RowTarget, opt.ColTarget)
+	if res.MaxDeviation >= tol*10 {
+		res.Converged = false
+		return res, fmt.Errorf("%w: tiling residual %g", ErrNotConverged, res.MaxDeviation)
+	}
+	return res, nil
+}
+
+// StandardizeViaTiling is BalanceViaTiling with the paper's standard-form
+// targets (Theorem 1 with k = 1/√(TM)).
+func StandardizeViaTiling(a *matrix.Dense) (*Result, error) {
+	rt, ct := StandardTargets(a.Rows(), a.Cols())
+	return BalanceViaTiling(a, Options{RowTarget: rt, ColTarget: ct, Tol: DefaultTol})
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}

@@ -1,0 +1,196 @@
+// Package spec provides the SPEC-benchmark-derived example environments of
+// the reproduced paper's Section V (Figures 5-8).
+//
+// SUBSTITUTION NOTE (see DESIGN.md §2): the paper extracts peak runtimes of
+// the SPEC CINT2006Rate (12 task types) and CFP2006Rate (17 task types)
+// benchmarks on five named machines from spec.org. The numeric table bodies
+// are not present in the available paper text and the build environment is
+// offline, so this package synthesizes deterministic ETC matrices carrying
+// the real benchmark names and machine list, *calibrated so the published
+// measure values are reproduced*:
+//
+//	CINT2006Rate: TDH = 0.90, MPH = 0.82, TMA = 0.07   (paper Fig. 6)
+//	CFP2006Rate:  TDH = 0.91, MPH = 0.83, TMA > TMA(CINT) (paper Fig. 7;
+//	              the printed CFP TMA digits are lost, the paper states the
+//	              floating-point suite shows more affinity — we use 0.11)
+//
+// and the Figure 8 2x2 extractions reproduce the published shapes:
+// (a) TDH = 0.16, MPH = 0.31, TMA = 0.05 and (b) TMA = 0.60 (the other two
+// printed values for (b) are lost; we fix TDH = 0.85, MPH = 0.35).
+package spec
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/etcmat"
+	"repro/internal/gen"
+)
+
+// Machine describes one of the five machines of the paper's Figure 5.
+type Machine struct {
+	ID          string // m1..m5, as used in the paper's matrices
+	Description string
+}
+
+// Machines returns the five machines of Figure 5.
+func Machines() []Machine {
+	return []Machine{
+		{"m1", "ASUS TS100-E6 (P7F-X) server system (Intel Xeon X3470)"},
+		{"m2", "Fujitsu SPARC Enterprise M3000"},
+		{"m3", "CELSIUS W280 Intel Core i7-870"},
+		{"m4", "ProLiant SL165z G7 (2.2 GHz AMD Opteron 6174)"},
+		{"m5", "IBM Power 750 Express (3.55 GHz, 32 core, SLES)"},
+	}
+}
+
+// CINTTasks lists the 12 SPEC CINT2006Rate task types (paper Fig. 6).
+func CINTTasks() []string {
+	return []string{
+		"400.perlbench", "401.bzip2", "403.gcc", "429.mcf", "445.gobmk",
+		"456.hmmer", "458.sjeng", "462.libquantum", "464.h264ref",
+		"471.omnetpp", "473.astar", "483.xalancbmk",
+	}
+}
+
+// CFPTasks lists the 17 SPEC CFP2006Rate task types (paper Fig. 7).
+func CFPTasks() []string {
+	return []string{
+		"410.bwaves", "416.gamess", "433.milc", "434.zeusmp", "435.gromacs",
+		"436.cactusADM", "437.leslie3d", "444.namd", "447.dealII",
+		"450.soplex", "453.povray", "454.calculix", "459.GemsFDTD",
+		"465.tonto", "470.lbm", "481.wrf", "482.sphinx3",
+	}
+}
+
+// Published measure values (paper Figs. 6-8). CFP TMA and Fig. 8(b) TDH/MPH
+// were lost in the available text; the chosen stand-ins preserve the stated
+// relations (CFP TMA > CINT TMA; Fig. 8(b) has much higher affinity than (a)).
+const (
+	CINTTDH, CINTMPH, CINTTMA    = 0.90, 0.82, 0.07
+	CFPTDH, CFPMPH, CFPTMA       = 0.91, 0.83, 0.11
+	Fig8aTDH, Fig8aMPH, Fig8aTMA = 0.16, 0.31, 0.05
+	Fig8bTDH, Fig8bMPH, Fig8bTMA = 0.85, 0.35, 0.60
+)
+
+// meanETCSeconds scales the synthesized matrices into the range of real
+// SPEC2006 peak runtimes (hundreds of seconds). All paper measures are scale
+// invariant, so this is cosmetic.
+const meanETCSeconds = 600.0
+
+// CINT2006Rate returns the calibrated 12x5 integer-suite environment.
+func CINT2006Rate() *etcmat.Env {
+	return build(CINTTasks(), CINTTDH, CINTMPH, CINTTMA, 1)
+}
+
+// CFP2006Rate returns the calibrated 17x5 floating-point-suite environment.
+func CFP2006Rate() *etcmat.Env {
+	return build(CFPTasks(), CFPTDH, CFPMPH, CFPTMA, 2)
+}
+
+func build(tasks []string, tdh, mph, tma float64, seed int64) *etcmat.Env {
+	machines := Machines()
+	g, err := gen.Targeted(gen.Target{
+		Tasks:    len(tasks),
+		Machines: len(machines),
+		MPH:      mph,
+		TDH:      tdh,
+		TMA:      tma,
+		Tol:      5e-4,
+	}, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		panic(fmt.Sprintf("spec: calibration failed: %v", err))
+	}
+	env := g.Env
+	// Rescale so the mean ETC lands in a realistic SPEC-runtime range.
+	etc := env.ETC()
+	mean := etc.Sum() / float64(etc.Rows()*etc.Cols())
+	ecs := env.ECS().Scale(mean / meanETCSeconds)
+	env, err = etcmat.NewFromECS(ecs)
+	if err != nil {
+		panic(fmt.Sprintf("spec: rescale failed: %v", err))
+	}
+	names := make([]string, len(machines))
+	for i, m := range machines {
+		names[i] = m.ID
+	}
+	if env, err = env.WithTaskNames(tasks); err != nil {
+		panic(err)
+	}
+	if env, err = env.WithMachineNames(names); err != nil {
+		panic(err)
+	}
+	return env
+}
+
+// Fig8a returns the paper's Figure 8(a): the {471.omnetpp, 436.cactusADM} x
+// {m4, m5} extraction, calibrated to TDH = 0.16, MPH = 0.31, TMA = 0.05.
+func Fig8a() *etcmat.Env {
+	return build2x2([]string{"471.omnetpp", "436.cactusADM"}, []string{"m4", "m5"},
+		Fig8aTDH, Fig8aMPH, Fig8aTMA)
+}
+
+// Fig8b returns the paper's Figure 8(b): the {436.cactusADM, 450.soplex} x
+// {m1, m4} extraction, calibrated to TMA = 0.60 (published) with
+// reconstructed TDH = 0.85, MPH = 0.35.
+func Fig8b() *etcmat.Env {
+	return build2x2([]string{"436.cactusADM", "450.soplex"}, []string{"m1", "m4"},
+		Fig8bTDH, Fig8bMPH, Fig8bTMA)
+}
+
+// build2x2 constructs a 2x2 environment hitting (TDH, MPH, TMA) exactly.
+// For a positive 2x2 matrix the standard form is [[p, 1-p], [1-p, p]] (up to
+// the permutation fixed by the canonical ordering) and TMA = |2p-1| is a
+// function of the scaling-invariant cross ratio (ad)/(bc) alone:
+//
+//	sqrt(ad/bc) = (1+TMA)/(1-TMA).
+//
+// Starting from the symmetric core [[1+τ, 1-τ], [1-τ, 1+τ]] (whose TMA is
+// exactly τ) and rebalancing rows to the (TDH, 1) profile and columns to the
+// (MPH, 1) profile changes neither the cross ratio nor the row/column sum
+// ratios, so all three targets are met exactly.
+func build2x2(tasks, machines []string, tdh, mph, tma float64) *etcmat.Env {
+	coreRows := [][]float64{
+		{1 + tma, 1 - tma},
+		{1 - tma, 1 + tma},
+	}
+	env := etcmat.MustFromECS(coreRows)
+	// Rebalance rows/cols to the target homogeneity profiles with a tiny
+	// Sinkhorn-to-targets loop (positive 2x2 always converges).
+	ecs := env.ECS()
+	rowT := []float64{tdh, 1}
+	colT := []float64{mph, 1}
+	// Equalize totals.
+	tot := (tdh + 1)
+	scale := tot / (mph + 1)
+	colT[0] *= scale
+	colT[1] *= scale
+	for iter := 0; iter < 2000; iter++ {
+		cs := ecs.ColSums()
+		ecs.ScaleCols([]float64{colT[0] / cs[0], colT[1] / cs[1]})
+		rs := ecs.RowSums()
+		ecs.ScaleRows([]float64{rowT[0] / rs[0], rowT[1] / rs[1]})
+		if math.Abs(ecs.ColSum(0)-colT[0]) < 1e-13 && math.Abs(ecs.ColSum(1)-colT[1]) < 1e-13 {
+			break
+		}
+	}
+	// Scale into a realistic runtime range.
+	mean := 0.0
+	for _, v := range ecs.RawData() {
+		mean += 1 / v
+	}
+	mean /= 4
+	ecs.Scale(mean / meanETCSeconds)
+	out, err := etcmat.NewFromECS(ecs)
+	if err != nil {
+		panic(err)
+	}
+	if out, err = out.WithTaskNames(tasks); err != nil {
+		panic(err)
+	}
+	if out, err = out.WithMachineNames(machines); err != nil {
+		panic(err)
+	}
+	return out
+}

@@ -1,0 +1,159 @@
+package spec
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestMachinesFigure5(t *testing.T) {
+	ms := Machines()
+	if len(ms) != 5 {
+		t.Fatalf("got %d machines, want 5", len(ms))
+	}
+	if ms[0].ID != "m1" || ms[4].ID != "m5" {
+		t.Errorf("machine IDs wrong: %v", ms)
+	}
+	for _, m := range ms {
+		if m.Description == "" {
+			t.Errorf("machine %s has no description", m.ID)
+		}
+	}
+}
+
+func TestSuiteShapes(t *testing.T) {
+	cint := CINT2006Rate()
+	if cint.Tasks() != 12 || cint.Machines() != 5 {
+		t.Errorf("CINT dims = %dx%d, want 12x5", cint.Tasks(), cint.Machines())
+	}
+	cfp := CFP2006Rate()
+	if cfp.Tasks() != 17 || cfp.Machines() != 5 {
+		t.Errorf("CFP dims = %dx%d, want 17x5", cfp.Tasks(), cfp.Machines())
+	}
+	if got := cint.TaskNames()[9]; got != "471.omnetpp" {
+		t.Errorf("CINT task 10 = %s, want 471.omnetpp", got)
+	}
+	if got := cfp.TaskNames()[5]; got != "436.cactusADM" {
+		t.Errorf("CFP task 6 = %s, want 436.cactusADM", got)
+	}
+}
+
+// Figure 6: the CINT environment must reproduce the published measures.
+func TestCINTMatchesFigure6(t *testing.T) {
+	p := core.Characterize(CINT2006Rate())
+	if p.TMAErr != nil {
+		t.Fatal(p.TMAErr)
+	}
+	if math.Abs(p.TDH-CINTTDH) > 0.005 {
+		t.Errorf("TDH = %.4f, want %.2f", p.TDH, CINTTDH)
+	}
+	if math.Abs(p.MPH-CINTMPH) > 0.005 {
+		t.Errorf("MPH = %.4f, want %.2f", p.MPH, CINTMPH)
+	}
+	if math.Abs(p.TMA-CINTTMA) > 0.005 {
+		t.Errorf("TMA = %.4f, want %.2f", p.TMA, CINTTMA)
+	}
+}
+
+// Figure 7: the CFP environment must reproduce the published measures, and
+// show more task-machine affinity than the integer suite (the paper's
+// qualitative finding for floating-point workloads).
+func TestCFPMatchesFigure7(t *testing.T) {
+	p := core.Characterize(CFP2006Rate())
+	if p.TMAErr != nil {
+		t.Fatal(p.TMAErr)
+	}
+	if math.Abs(p.TDH-CFPTDH) > 0.005 {
+		t.Errorf("TDH = %.4f, want %.2f", p.TDH, CFPTDH)
+	}
+	if math.Abs(p.MPH-CFPMPH) > 0.005 {
+		t.Errorf("MPH = %.4f, want %.2f", p.MPH, CFPMPH)
+	}
+	cint := core.Characterize(CINT2006Rate())
+	if !(p.TMA > cint.TMA) {
+		t.Errorf("TMA(CFP) = %.4f must exceed TMA(CINT) = %.4f", p.TMA, cint.TMA)
+	}
+}
+
+// The paper reports standardization converging in 6 (CINT) and 7 (CFP)
+// iterations at tolerance 1e-8. Our calibrated matrices must show the same
+// fast geometric convergence (single digits to low tens).
+func TestConvergenceIterationCounts(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		p    *core.Profile
+	}{
+		{"CINT", core.Characterize(CINT2006Rate())},
+		{"CFP", core.Characterize(CFP2006Rate())},
+	} {
+		if tc.p.SinkhornIterations < 2 || tc.p.SinkhornIterations > 30 {
+			t.Errorf("%s: %d iterations, want the paper's fast-convergence regime", tc.name, tc.p.SinkhornIterations)
+		}
+	}
+}
+
+func TestDatasetsDeterministic(t *testing.T) {
+	a, b := CINT2006Rate(), CINT2006Rate()
+	if a.ECS().String() != b.ECS().String() {
+		t.Error("CINT dataset is not deterministic")
+	}
+}
+
+func TestRuntimesRealistic(t *testing.T) {
+	etc := CINT2006Rate().ETC()
+	mean := etc.Sum() / float64(etc.Rows()*etc.Cols())
+	if math.Abs(mean-600) > 1 {
+		t.Errorf("mean ETC = %.1f s, want ~600 s", mean)
+	}
+	if etc.Min() <= 0 {
+		t.Errorf("non-positive runtime %g", etc.Min())
+	}
+}
+
+// Figure 8(a): the low-affinity 2x2 extraction.
+func TestFig8aMeasures(t *testing.T) {
+	env := Fig8a()
+	p := core.Characterize(env)
+	if p.TMAErr != nil {
+		t.Fatal(p.TMAErr)
+	}
+	if math.Abs(p.TDH-Fig8aTDH) > 0.005 {
+		t.Errorf("TDH = %.4f, want %.2f", p.TDH, Fig8aTDH)
+	}
+	if math.Abs(p.MPH-Fig8aMPH) > 0.005 {
+		t.Errorf("MPH = %.4f, want %.2f", p.MPH, Fig8aMPH)
+	}
+	if math.Abs(p.TMA-Fig8aTMA) > 0.005 {
+		t.Errorf("TMA = %.4f, want %.2f", p.TMA, Fig8aTMA)
+	}
+	if names := env.TaskNames(); names[0] != "471.omnetpp" || names[1] != "436.cactusADM" {
+		t.Errorf("task names = %v", names)
+	}
+	if names := env.MachineNames(); names[0] != "m4" || names[1] != "m5" {
+		t.Errorf("machine names = %v", names)
+	}
+}
+
+// Figure 8(b): the high-affinity 2x2 extraction (published TMA = 0.60).
+func TestFig8bMeasures(t *testing.T) {
+	p := core.Characterize(Fig8b())
+	if p.TMAErr != nil {
+		t.Fatal(p.TMAErr)
+	}
+	if math.Abs(p.TMA-Fig8bTMA) > 0.005 {
+		t.Errorf("TMA = %.4f, want %.2f (published)", p.TMA, Fig8bTMA)
+	}
+	if math.Abs(p.TDH-Fig8bTDH) > 0.005 || math.Abs(p.MPH-Fig8bMPH) > 0.005 {
+		t.Errorf("reconstructed TDH/MPH = %.4f/%.4f, want %.2f/%.2f", p.TDH, p.MPH, Fig8bTDH, Fig8bMPH)
+	}
+}
+
+// The paper's Figure 8 comparison: (a) and (b) are similar in machine
+// performance terms but differ sharply in affinity.
+func TestFig8Contrast(t *testing.T) {
+	a, b := core.Characterize(Fig8a()), core.Characterize(Fig8b())
+	if !(b.TMA > 10*a.TMA) {
+		t.Errorf("affinity contrast lost: (a) %.3f vs (b) %.3f", a.TMA, b.TMA)
+	}
+}

@@ -1,0 +1,144 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// KMeans clusters points (each a d-vector) into k groups with Lloyd's
+// algorithm and k-means++ seeding. It returns the assignment per point and
+// the final centroids. The rng makes runs reproducible; restarts guard
+// against bad seedings and the best (lowest within-cluster sum of squares)
+// result is kept.
+func KMeans(points [][]float64, k int, rng *rand.Rand, restarts int) ([]int, [][]float64, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, nil, fmt.Errorf("stats: KMeans with no points")
+	}
+	if k < 1 || k > n {
+		return nil, nil, fmt.Errorf("stats: KMeans k = %d out of [1, %d]", k, n)
+	}
+	d := len(points[0])
+	for i, p := range points {
+		if len(p) != d {
+			return nil, nil, fmt.Errorf("stats: KMeans point %d has dim %d, want %d", i, len(p), d)
+		}
+	}
+	if restarts < 1 {
+		restarts = 1
+	}
+	var bestAssign []int
+	var bestCentroids [][]float64
+	bestCost := math.Inf(1)
+	for r := 0; r < restarts; r++ {
+		assign, centroids, cost := kmeansOnce(points, k, rng)
+		if cost < bestCost {
+			bestCost = cost
+			bestAssign = assign
+			bestCentroids = centroids
+		}
+	}
+	return bestAssign, bestCentroids, nil
+}
+
+func kmeansOnce(points [][]float64, k int, rng *rand.Rand) ([]int, [][]float64, float64) {
+	n, d := len(points), len(points[0])
+	// k-means++ seeding.
+	centroids := make([][]float64, 0, k)
+	first := 0
+	if rng != nil {
+		first = rng.Intn(n)
+	}
+	centroids = append(centroids, cloneVec(points[first]))
+	dist2 := make([]float64, n)
+	for len(centroids) < k {
+		total := 0.0
+		for i, p := range points {
+			best := math.Inf(1)
+			for _, c := range centroids {
+				if d2 := sqDist(p, c); d2 < best {
+					best = d2
+				}
+			}
+			dist2[i] = best
+			total += best
+		}
+		var next int
+		if total == 0 || rng == nil {
+			// All points coincide with centroids; pick deterministically.
+			next = len(centroids) % n
+		} else {
+			target := rng.Float64() * total
+			for i, d2 := range dist2 {
+				target -= d2
+				if target <= 0 {
+					next = i
+					break
+				}
+			}
+		}
+		centroids = append(centroids, cloneVec(points[next]))
+	}
+	// Lloyd iterations.
+	assign := make([]int, n)
+	for iter := 0; iter < 100; iter++ {
+		changed := false
+		for i, p := range points {
+			best, bestD := 0, math.Inf(1)
+			for c := range centroids {
+				if d2 := sqDist(p, centroids[c]); d2 < bestD {
+					best, bestD = c, d2
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		// Recompute centroids; empty clusters keep their position.
+		counts := make([]int, k)
+		sums := make([][]float64, k)
+		for c := range sums {
+			sums[c] = make([]float64, d)
+		}
+		for i, p := range points {
+			c := assign[i]
+			counts[c]++
+			for j, v := range p {
+				sums[c][j] += v
+			}
+		}
+		for c := range centroids {
+			if counts[c] == 0 {
+				continue
+			}
+			for j := range centroids[c] {
+				centroids[c][j] = sums[c][j] / float64(counts[c])
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	cost := 0.0
+	for i, p := range points {
+		cost += sqDist(p, centroids[assign[i]])
+	}
+	return assign, centroids, cost
+}
+
+func sqDist(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+func cloneVec(v []float64) []float64 {
+	out := make([]float64, len(v))
+	copy(out, v)
+	return out
+}

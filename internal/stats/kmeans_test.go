@@ -1,0 +1,115 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestKMeansTwoObviousClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	var points [][]float64
+	for i := 0; i < 20; i++ {
+		points = append(points, []float64{rng.NormFloat64() * 0.1, rng.NormFloat64() * 0.1})
+	}
+	for i := 0; i < 20; i++ {
+		points = append(points, []float64{10 + rng.NormFloat64()*0.1, 10 + rng.NormFloat64()*0.1})
+	}
+	assign, centroids, err := KMeans(points, 2, rng, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(centroids) != 2 {
+		t.Fatalf("got %d centroids", len(centroids))
+	}
+	for i := 1; i < 20; i++ {
+		if assign[i] != assign[0] {
+			t.Fatalf("first cluster split: %v", assign[:20])
+		}
+	}
+	for i := 21; i < 40; i++ {
+		if assign[i] != assign[20] {
+			t.Fatalf("second cluster split: %v", assign[20:])
+		}
+	}
+	if assign[0] == assign[20] {
+		t.Fatal("clusters merged")
+	}
+}
+
+func TestKMeansKEqualsN(t *testing.T) {
+	points := [][]float64{{0}, {5}, {10}}
+	assign, _, err := KMeans(points, 3, rand.New(rand.NewSource(61)), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, a := range assign {
+		seen[a] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("k=n must give singleton clusters: %v", assign)
+	}
+}
+
+func TestKMeansValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	if _, _, err := KMeans(nil, 1, rng, 1); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, _, err := KMeans([][]float64{{1}}, 2, rng, 1); err == nil {
+		t.Error("k > n accepted")
+	}
+	if _, _, err := KMeans([][]float64{{1}, {1, 2}}, 1, rng, 1); err == nil {
+		t.Error("ragged input accepted")
+	}
+	if _, _, err := KMeans([][]float64{{1}}, 0, rng, 1); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestKMeansIdenticalPoints(t *testing.T) {
+	points := [][]float64{{3, 3}, {3, 3}, {3, 3}}
+	assign, centroids, err := KMeans(points, 2, rand.New(rand.NewSource(63)), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(assign) != 3 {
+		t.Fatalf("assign len %d", len(assign))
+	}
+	for _, c := range centroids {
+		for _, v := range c {
+			if math.IsNaN(v) {
+				t.Fatal("NaN centroid on degenerate input")
+			}
+		}
+	}
+}
+
+// Centroids must be the means of their assigned points at convergence.
+func TestKMeansCentroidConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	points := make([][]float64, 30)
+	for i := range points {
+		points[i] = []float64{rng.Float64() * 10}
+	}
+	assign, centroids, err := KMeans(points, 3, rng, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range centroids {
+		sum, n := 0.0, 0
+		for i, a := range assign {
+			if a == c {
+				sum += points[i][0]
+				n++
+			}
+		}
+		if n == 0 {
+			continue
+		}
+		if math.Abs(centroids[c][0]-sum/float64(n)) > 1e-9 {
+			t.Errorf("centroid %d = %g, mean of members = %g", c, centroids[c][0], sum/float64(n))
+		}
+	}
+}

@@ -1,0 +1,207 @@
+// Package stats provides the small statistical toolkit used by the measure
+// and generator packages: moments, coefficient of variation, correlation,
+// quantiles and the random-variate samplers needed by the CVB ETC generator.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of x. It panics on empty input.
+func Mean(x []float64) float64 {
+	checkNonEmpty(x, "Mean")
+	s := 0.0
+	for _, v := range x {
+		s += v
+	}
+	return s / float64(len(x))
+}
+
+// VariancePop returns the population variance (divide by n).
+func VariancePop(x []float64) float64 {
+	checkNonEmpty(x, "VariancePop")
+	mu := Mean(x)
+	s := 0.0
+	for _, v := range x {
+		d := v - mu
+		s += d * d
+	}
+	return s / float64(len(x))
+}
+
+// StdDevPop returns the population standard deviation. The reproduced paper's
+// Figure 2 COV values are consistent with the population (not sample)
+// definition, so COV uses this.
+func StdDevPop(x []float64) float64 { return math.Sqrt(VariancePop(x)) }
+
+// VarianceSample returns the sample variance (divide by n-1). Panics for
+// fewer than two observations.
+func VarianceSample(x []float64) float64 {
+	if len(x) < 2 {
+		panic("stats: VarianceSample needs at least 2 values")
+	}
+	mu := Mean(x)
+	s := 0.0
+	for _, v := range x {
+		d := v - mu
+		s += d * d
+	}
+	return s / float64(len(x)-1)
+}
+
+// StdDevSample returns the sample standard deviation.
+func StdDevSample(x []float64) float64 { return math.Sqrt(VarianceSample(x)) }
+
+// COV returns the coefficient of variation StdDevPop(x)/Mean(x), the
+// heterogeneity measure the paper compares MPH against (Fig. 2).
+func COV(x []float64) float64 {
+	mu := Mean(x)
+	if mu == 0 {
+		return math.NaN()
+	}
+	return StdDevPop(x) / mu
+}
+
+// GeoMean returns the geometric mean of strictly positive values.
+func GeoMean(x []float64) float64 {
+	checkNonEmpty(x, "GeoMean")
+	s := 0.0
+	for _, v := range x {
+		if v <= 0 {
+			panic(fmt.Sprintf("stats: GeoMean requires positive values, got %g", v))
+		}
+		s += math.Log(v)
+	}
+	return math.Exp(s / float64(len(x)))
+}
+
+// Pearson returns the Pearson linear correlation coefficient of x and y.
+func Pearson(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("stats: Pearson length mismatch")
+	}
+	checkNonEmpty(x, "Pearson")
+	mx, my := Mean(x), Mean(y)
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return math.NaN()
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// Spearman returns the Spearman rank correlation coefficient, using average
+// ranks for ties.
+func Spearman(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("stats: Spearman length mismatch")
+	}
+	return Pearson(Ranks(x), Ranks(y))
+}
+
+// Ranks returns 1-based ranks of x with ties assigned their average rank.
+func Ranks(x []float64) []float64 {
+	n := len(x)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return x[idx[a]] < x[idx[b]] })
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && x[idx[j+1]] == x[idx[i]] {
+			j++
+		}
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return ranks
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of x using linear
+// interpolation between order statistics.
+func Quantile(x []float64, q float64) float64 {
+	checkNonEmpty(x, "Quantile")
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("stats: Quantile q = %g out of [0,1]", q))
+	}
+	s := append([]float64(nil), x...)
+	sort.Float64s(s)
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Linspace returns n evenly spaced values from lo to hi inclusive.
+func Linspace(lo, hi float64, n int) []float64 {
+	if n < 2 {
+		if n == 1 {
+			return []float64{lo}
+		}
+		return nil
+	}
+	out := make([]float64, n)
+	step := (hi - lo) / float64(n-1)
+	for i := range out {
+		out[i] = lo + float64(i)*step
+	}
+	out[n-1] = hi
+	return out
+}
+
+// Gamma draws a Gamma(shape, scale) variate using the Marsaglia–Tsang method
+// (with Johnk-style boosting for shape < 1). This is the distribution the CVB
+// ETC-generation method of Ali et al. samples from.
+func Gamma(rng *rand.Rand, shape, scale float64) float64 {
+	if shape <= 0 || scale <= 0 {
+		panic(fmt.Sprintf("stats: Gamma requires positive parameters, got shape=%g scale=%g", shape, scale))
+	}
+	if shape < 1 {
+		// Boost: Gamma(a) = Gamma(a+1) * U^(1/a).
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		return Gamma(rng, shape+1, scale) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return scale * d * v
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return scale * d * v
+		}
+	}
+}
+
+func checkNonEmpty(x []float64, op string) {
+	if len(x) == 0 {
+		panic("stats: " + op + " of empty slice")
+	}
+}

@@ -1,0 +1,226 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("Mean = %g, want 2.5", got)
+	}
+}
+
+func TestMeanEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Mean of empty slice did not panic")
+		}
+	}()
+	Mean(nil)
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	x := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := VariancePop(x); !almost(got, 4, 1e-12) {
+		t.Errorf("VariancePop = %g, want 4", got)
+	}
+	if got := StdDevPop(x); !almost(got, 2, 1e-12) {
+		t.Errorf("StdDevPop = %g, want 2", got)
+	}
+	if got := VarianceSample(x); !almost(got, 32.0/7.0, 1e-12) {
+		t.Errorf("VarianceSample = %g, want %g", got, 32.0/7.0)
+	}
+	if got := StdDevSample([]float64{1, 3}); !almost(got, math.Sqrt2, 1e-12) {
+		t.Errorf("StdDevSample = %g, want sqrt(2)", got)
+	}
+}
+
+// COV values from the paper's Figure 2 — these must match exactly (2 d.p.).
+func TestCOVMatchesPaperFigure2(t *testing.T) {
+	cases := []struct {
+		perfs []float64
+		want  float64
+	}{
+		{[]float64{1, 2, 4, 8, 16}, 0.88},
+		{[]float64{1, 1, 1, 1, 16}, 1.5},
+		{[]float64{1, 16, 16, 16, 16}, 0.46},
+		{[]float64{1, 4, 4, 4, 16}, 0.90},
+	}
+	for i, c := range cases {
+		if got := COV(c.perfs); !almost(got, c.want, 0.005) {
+			t.Errorf("environment %d: COV = %.4f, want %.2f", i+1, got, c.want)
+		}
+	}
+}
+
+func TestCOVZeroMean(t *testing.T) {
+	if got := COV([]float64{-1, 1}); !math.IsNaN(got) {
+		t.Errorf("COV with zero mean = %g, want NaN", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 4, 16}); !almost(got, 4, 1e-12) {
+		t.Errorf("GeoMean = %g, want 4", got)
+	}
+}
+
+func TestGeoMeanNonPositivePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("GeoMean with zero did not panic")
+		}
+	}()
+	GeoMean([]float64{1, 0})
+}
+
+func TestPearson(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	if got := Pearson(x, []float64{2, 4, 6, 8}); !almost(got, 1, 1e-12) {
+		t.Errorf("perfectly correlated: Pearson = %g", got)
+	}
+	if got := Pearson(x, []float64{8, 6, 4, 2}); !almost(got, -1, 1e-12) {
+		t.Errorf("perfectly anticorrelated: Pearson = %g", got)
+	}
+	if got := Pearson(x, []float64{5, 5, 5, 5}); !math.IsNaN(got) {
+		t.Errorf("constant y: Pearson = %g, want NaN", got)
+	}
+}
+
+func TestSpearmanMonotone(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{1, 8, 27, 64, 125} // monotone but nonlinear
+	if got := Spearman(x, y); !almost(got, 1, 1e-12) {
+		t.Errorf("Spearman of monotone data = %g, want 1", got)
+	}
+}
+
+func TestRanksWithTies(t *testing.T) {
+	got := Ranks([]float64{10, 20, 20, 30})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Ranks = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	if got := Quantile(x, 0); got != 1 {
+		t.Errorf("q0 = %g", got)
+	}
+	if got := Quantile(x, 1); got != 4 {
+		t.Errorf("q1 = %g", got)
+	}
+	if got := Quantile(x, 0.5); !almost(got, 2.5, 1e-12) {
+		t.Errorf("median = %g, want 2.5", got)
+	}
+}
+
+func TestLinspace(t *testing.T) {
+	got := Linspace(0, 1, 5)
+	want := []float64{0, 0.25, 0.5, 0.75, 1}
+	for i := range want {
+		if !almost(got[i], want[i], 1e-15) {
+			t.Fatalf("Linspace = %v, want %v", got, want)
+		}
+	}
+	if got := Linspace(3, 9, 1); len(got) != 1 || got[0] != 3 {
+		t.Errorf("Linspace n=1 = %v", got)
+	}
+	if got := Linspace(0, 1, 0); got != nil {
+		t.Errorf("Linspace n=0 = %v, want nil", got)
+	}
+}
+
+func TestGammaMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, tc := range []struct{ shape, scale float64 }{{2, 3}, {0.5, 1}, {9, 0.25}} {
+		n := 50000
+		samples := make([]float64, n)
+		for i := range samples {
+			samples[i] = Gamma(rng, tc.shape, tc.scale)
+		}
+		wantMean := tc.shape * tc.scale
+		wantVar := tc.shape * tc.scale * tc.scale
+		if got := Mean(samples); math.Abs(got-wantMean)/wantMean > 0.05 {
+			t.Errorf("Gamma(%g,%g): mean = %g, want %g", tc.shape, tc.scale, got, wantMean)
+		}
+		if got := VariancePop(samples); math.Abs(got-wantVar)/wantVar > 0.1 {
+			t.Errorf("Gamma(%g,%g): var = %g, want %g", tc.shape, tc.scale, got, wantVar)
+		}
+		for _, s := range samples {
+			if s <= 0 {
+				t.Fatalf("Gamma produced non-positive sample %g", s)
+			}
+		}
+	}
+}
+
+func TestGammaInvalidParamsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Gamma with non-positive shape did not panic")
+		}
+	}()
+	Gamma(rand.New(rand.NewSource(1)), 0, 1)
+}
+
+// quick-check: Pearson is bounded in [-1, 1] and symmetric.
+func TestQuickPearsonBoundsAndSymmetry(t *testing.T) {
+	f := func(a, b []float64) bool {
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		if n < 2 {
+			return true
+		}
+		x, y := make([]float64, n), make([]float64, n)
+		for i := 0; i < n; i++ {
+			x[i] = clampFinite(a[i])
+			y[i] = clampFinite(b[i])
+		}
+		r := Pearson(x, y)
+		if math.IsNaN(r) {
+			return true // degenerate (constant) input
+		}
+		return r >= -1-1e-9 && r <= 1+1e-9 && almost(r, Pearson(y, x), 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// quick-check: COV is scale invariant for positive data and positive scale.
+func TestQuickCOVScaleInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(10)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.Float64()*100 + 0.1
+		}
+		k := rng.Float64()*10 + 0.1
+		scaled := make([]float64, n)
+		for i := range x {
+			scaled[i] = k * x[i]
+		}
+		if !almost(COV(x), COV(scaled), 1e-9) {
+			t.Fatalf("COV not scale invariant: %g vs %g", COV(x), COV(scaled))
+		}
+	}
+}
+
+func clampFinite(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return math.Mod(v, 1e6)
+}
