@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: build test vet race bench bench-json verify clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The race detector is the gate for the worker pool, the experiment engine
+# and the Env memo; keep it in the verify path.
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Machine-readable kernel/engine benchmarks (see cmd/hcbench -bench).
+bench-json:
+	$(GO) run ./cmd/hcbench -bench BENCH_kernels.json
+
+verify: build vet test race
+
+clean:
+	$(GO) clean ./...

@@ -6,6 +6,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -66,6 +67,41 @@ func BenchmarkEx10(b *testing.B) { benchExperiment(b, "EX10") }
 func BenchmarkEx11(b *testing.B) { benchExperiment(b, "EX11") }
 func BenchmarkEx12(b *testing.B) { benchExperiment(b, "EX12") }
 func BenchmarkEx13(b *testing.B) { benchExperiment(b, "EX13") }
+
+// benchSuite runs the trial-sweep experiments through the engine at a fixed
+// worker count, covering the full regeneration path including rendering.
+func benchSuite(b *testing.B, workers int) {
+	b.Helper()
+	var suite []experiments.Experiment
+	for _, id := range []string{"EX1", "EX3", "EX6", "EX13"} {
+		e, ok := experiments.ByID(id)
+		if !ok {
+			b.Fatalf("unknown experiment %s", id)
+		}
+		suite = append(suite, e)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, r := range experiments.RunAll(context.Background(), suite, workers) {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+			for _, tb := range r.Tables {
+				if err := tb.Render(io.Discard); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFiguresSequential and BenchmarkFiguresParallel time the Monte
+// Carlo experiment set on one worker versus the full pool; their ratio is
+// the engine's wall-clock speedup on this machine (the outer and inner
+// fan-outs compose, so it saturates at GOMAXPROCS).
+func BenchmarkFiguresSequential(b *testing.B) { benchSuite(b, 1) }
+func BenchmarkFiguresParallel(b *testing.B)  { benchSuite(b, 0) }
 
 // randomECS builds a positive t x m ECS matrix.
 func randomECS(rng *rand.Rand, t, m int) *matrix.Dense {

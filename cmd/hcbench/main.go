@@ -1,26 +1,45 @@
 // Command hcbench regenerates every figure and worked example of the
 // reproduced paper, plus the extension studies. With no arguments it runs
 // the full suite; otherwise it runs the experiments named on the command
-// line (FIG1..FIG8, EQ10, EX1..EX3).
+// line (FIG1..FIG8, EQ10, EX1..EX13).
 //
 // Usage:
 //
-//	hcbench [-list] [experiment ...]
+//	hcbench [-list] [-md] [-parallel N] [experiment ...]
+//	hcbench -bench BENCH_kernels.json
+//
+// Experiments run on the bounded worker pool of internal/parallel; -parallel
+// sets the worker count (0 selects GOMAXPROCS, 1 forces the sequential
+// path). Seeded sweeps produce identical tables at every worker count.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
+	"runtime"
+	"testing"
 
+	"repro/internal/core"
+	"repro/internal/etcmat"
 	"repro/internal/experiments"
+	"repro/internal/gen"
+	"repro/internal/linalg"
+	"repro/internal/matrix"
+	"repro/internal/sinkhorn"
 )
 
 func main() {
 	list := flag.Bool("list", false, "list available experiments and exit")
 	md := flag.Bool("md", false, "render tables as GitHub-flavored markdown")
+	workers := flag.Int("parallel", 0, "experiment engine worker count (0 = GOMAXPROCS, 1 = sequential)")
+	bench := flag.String("bench", "", "run the kernel/engine benchmarks and write JSON results to this file (\"-\" for stdout)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: hcbench [-list] [-md] [experiment ...]\n\n")
+		fmt.Fprintf(os.Stderr, "usage: hcbench [-list] [-md] [-parallel N] [experiment ...]\n")
+		fmt.Fprintf(os.Stderr, "       hcbench -bench FILE\n\n")
 		fmt.Fprintf(os.Stderr, "Regenerates the paper's figures and the extension studies.\n")
 		flag.PrintDefaults()
 	}
@@ -29,6 +48,13 @@ func main() {
 	if *list {
 		for _, e := range experiments.All() {
 			fmt.Printf("%-5s %s\n", e.ID, e.Desc)
+		}
+		return
+	}
+	if *bench != "" {
+		if err := runBenchmarks(*bench); err != nil {
+			fmt.Fprintf(os.Stderr, "hcbench: bench: %v\n", err)
+			os.Exit(1)
 		}
 		return
 	}
@@ -47,20 +73,19 @@ func main() {
 	}
 
 	failed := false
-	for _, e := range selected {
-		tables, err := e.Run()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "hcbench: %s: %v\n", e.ID, err)
+	for _, r := range experiments.RunAll(context.Background(), selected, *workers) {
+		if r.Err != nil {
+			fmt.Fprintf(os.Stderr, "hcbench: %s: %v\n", r.ID, r.Err)
 			failed = true
 			continue
 		}
-		for _, tb := range tables {
+		for _, tb := range r.Tables {
 			render := tb.Render
 			if *md {
 				render = tb.RenderMarkdown
 			}
 			if err := render(os.Stdout); err != nil {
-				fmt.Fprintf(os.Stderr, "hcbench: %s: render: %v\n", e.ID, err)
+				fmt.Fprintf(os.Stderr, "hcbench: %s: render: %v\n", r.ID, err)
 				failed = true
 			}
 		}
@@ -68,4 +93,176 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// benchResult is one machine-readable benchmark record.
+type benchResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	// SpeedupVsSequential is set for parallel-engine entries: the sequential
+	// wall-clock of the same workload divided by this entry's.
+	SpeedupVsSequential float64 `json:"speedup_vs_sequential,omitempty"`
+}
+
+type benchReport struct {
+	GoMaxProcs int           `json:"gomaxprocs"`
+	NumCPU     int           `json:"num_cpu"`
+	GoVersion  string        `json:"go_version"`
+	Results    []benchResult `json:"results"`
+}
+
+// benchMatrix builds a reproducible strictly-positive t x m matrix.
+func benchMatrix(t, m int, seed int64) *matrix.Dense {
+	rng := rand.New(rand.NewSource(seed))
+	a := matrix.New(t, m)
+	for i := 0; i < t; i++ {
+		for j := 0; j < m; j++ {
+			a.Set(i, j, 0.1+rng.Float64()*10)
+		}
+	}
+	return a
+}
+
+func record(name string, r testing.BenchmarkResult) benchResult {
+	return benchResult{
+		Name:        name,
+		NsPerOp:     float64(r.NsPerOp()),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+}
+
+// runBenchmarks measures the numerical kernels and the experiment engine and
+// writes the results as JSON. The engine is timed at one worker and at
+// GOMAXPROCS workers over the same experiment subset, so the report carries
+// an honest speedup number for the machine it ran on.
+func runBenchmarks(path string) error {
+	// Open the output first: the benchmarks take minutes, and a bad path
+	// should fail before them, not after.
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	report := benchReport{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+	}
+
+	svdIn := benchMatrix(60, 40, 1)
+	report.Results = append(report.Results, record("SVDJacobi/60x40",
+		testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				linalg.SVDJacobi(svdIn)
+			}
+		})))
+	symIn := benchMatrix(48, 48, 2)
+	sym := matrix.New(48, 48)
+	for i := 0; i < 48; i++ {
+		for j := 0; j < 48; j++ {
+			sym.Set(i, j, (symIn.At(i, j)+symIn.At(j, i))/2)
+		}
+	}
+	report.Results = append(report.Results, record("SymEigJacobi/48x48",
+		testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				linalg.SymEigJacobi(sym)
+			}
+		})))
+	report.Results = append(report.Results, record("SinkhornStandardize/60x40",
+		testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sinkhorn.Standardize(svdIn); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})))
+	report.Results = append(report.Results, record("TMA/cold/16x8",
+		testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			tmaIn := benchMatrix(16, 8, 3)
+			for i := 0; i < b.N; i++ {
+				env, err := etcmat.NewFromECS(tmaIn)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := core.TMA(env); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})))
+	report.Results = append(report.Results, record("TMA/memoized/16x8",
+		testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			env, err := etcmat.NewFromECS(benchMatrix(16, 8, 3))
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				if _, err := core.TMA(env); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})))
+	report.Results = append(report.Results, record("Generate/targeted/10x5",
+		testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			rng := rand.New(rand.NewSource(4))
+			for i := 0; i < b.N; i++ {
+				if _, err := gen.Targeted(gen.Target{Tasks: 10, Machines: 5, MPH: 0.6, TDH: 0.8, TMA: 0.3}, rng); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})))
+
+	// Engine: the trial-sweep experiments, sequential vs full-width.
+	suite := enginePool()
+	engineBench := func(workers int) testing.BenchmarkResult {
+		return testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, r := range experiments.RunAll(context.Background(), suite, workers) {
+					if r.Err != nil {
+						b.Fatal(r.Err)
+					}
+				}
+			}
+		})
+	}
+	seq := engineBench(1)
+	par := engineBench(0)
+	seqRec := record("ExperimentEngine/sequential", seq)
+	parRec := record("ExperimentEngine/parallel", par)
+	if par.NsPerOp() > 0 {
+		parRec.SpeedupVsSequential = float64(seq.NsPerOp()) / float64(par.NsPerOp())
+	}
+	report.Results = append(report.Results, seqRec, parRec)
+
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}
+
+// enginePool picks the Monte Carlo sweep experiments — the ones whose trials
+// actually fan out — for the engine benchmark.
+func enginePool() []experiments.Experiment {
+	var suite []experiments.Experiment
+	for _, id := range []string{"EX1", "EX3", "EX6", "EX13"} {
+		e, ok := experiments.ByID(id)
+		if !ok {
+			panic("hcbench: missing experiment " + id)
+		}
+		suite = append(suite, e)
+	}
+	return suite
 }

@@ -39,6 +39,7 @@
 package hetero
 
 import (
+	"context"
 	"io"
 	"math/rand"
 
@@ -47,6 +48,7 @@ import (
 	"repro/internal/etcmat"
 	"repro/internal/gen"
 	"repro/internal/matrix"
+	"repro/internal/parallel"
 	"repro/internal/sched"
 	"repro/internal/sinkhorn"
 	"repro/internal/spec"
@@ -89,6 +91,24 @@ func ReadETCCSV(r io.Reader) (*Env, error) { return etcmat.ReadETCCSV(r) }
 
 // Characterize computes the environment's full heterogeneity profile.
 func Characterize(env *Env) *Profile { return core.Characterize(env) }
+
+// CharacterizeMany profiles a batch of environments on a bounded worker pool
+// (workers <= 0 selects GOMAXPROCS) and returns the profiles in input order.
+// Characterization is read-only per environment — each Env caches its own
+// standard form and SVD — so the batch scales with cores; a nil Env yields a
+// nil Profile.
+func CharacterizeMany(envs []*Env, workers int) []*Profile {
+	// Characterize never fails (TMA errors land in Profile.TMAErr), so the
+	// pool error path is unreachable with a background context.
+	out, _ := parallel.Map(context.Background(), len(envs), workers,
+		func(_ context.Context, i int) (*Profile, error) {
+			if envs[i] == nil {
+				return nil, nil
+			}
+			return core.Characterize(envs[i]), nil
+		})
+	return out
+}
 
 // MPH returns the machine performance homogeneity in (0, 1].
 func MPH(env *Env) float64 { return core.MPH(env) }

@@ -125,3 +125,39 @@ func TestSchedulingFacade(t *testing.T) {
 		}
 	}
 }
+
+func TestCharacterizeMany(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var envs []*hetero.Env
+	for i := 0; i < 12; i++ {
+		env, err := hetero.GenerateRangeBased(8, 4, 50, 10, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		envs = append(envs, env)
+	}
+	envs = append(envs, nil)
+	seq := hetero.CharacterizeMany(envs, 1)
+	par := hetero.CharacterizeMany(envs, 8)
+	if len(seq) != len(envs) || len(par) != len(envs) {
+		t.Fatalf("batch lengths %d/%d, want %d", len(seq), len(par), len(envs))
+	}
+	if seq[len(envs)-1] != nil || par[len(envs)-1] != nil {
+		t.Fatal("nil Env must yield a nil Profile")
+	}
+	for i := 0; i < len(envs)-1; i++ {
+		one := hetero.Characterize(envs[i])
+		for name, pair := range map[string][2]float64{
+			"MPH": {seq[i].MPH, one.MPH},
+			"TDH": {seq[i].TDH, one.TDH},
+			"TMA": {seq[i].TMA, one.TMA},
+		} {
+			if pair[0] != pair[1] {
+				t.Errorf("env %d: batch %s = %v, single = %v", i, name, pair[0], pair[1])
+			}
+		}
+		if seq[i].TMA != par[i].TMA || seq[i].MPH != par[i].MPH || seq[i].TDH != par[i].TDH {
+			t.Errorf("env %d: parallel batch diverges from sequential batch", i)
+		}
+	}
+}

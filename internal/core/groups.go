@@ -6,7 +6,6 @@ import (
 
 	"repro/internal/etcmat"
 	"repro/internal/linalg"
-	"repro/internal/sinkhorn"
 	"repro/internal/stats"
 )
 
@@ -42,7 +41,7 @@ func FindAffinityGroups(env *etcmat.Env, k int, seed int64) (*AffinityGroups, er
 	if k == 1 {
 		return &AffinityGroups{TaskGroup: make([]int, t), MachineGroup: make([]int, m), K: 1}, nil
 	}
-	res, err := sinkhorn.Standardize(env.WeightedECS())
+	res, _, err := env.StandardForm()
 	if err != nil {
 		return nil, fmt.Errorf("core: affinity groups need a standardizable environment: %w", err)
 	}

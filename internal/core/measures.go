@@ -21,24 +21,23 @@ import (
 	"math"
 
 	"repro/internal/etcmat"
-	"repro/internal/linalg"
 	"repro/internal/matrix"
-	"repro/internal/sinkhorn"
 	"repro/internal/stats"
 )
 
 // MachinePerformances returns MP_j for every machine: the weighted column
 // sums of the ECS matrix (paper Eq. 4). Higher is a faster machine for this
-// task mix.
+// task mix. The sums come from the Env's memo, so repeated measure queries
+// on one environment do not rebuild the weighted matrix.
 func MachinePerformances(env *etcmat.Env) []float64 {
-	return env.WeightedECS().ColSums()
+	return env.WeightedColSums()
 }
 
 // TaskDifficulties returns TD_i for every task type: the weighted row sums
 // of the ECS matrix (paper Eq. 6). Task types with *higher* row sums are
 // *less* difficult.
 func TaskDifficulties(env *etcmat.Env) []float64 {
-	return env.WeightedECS().RowSums()
+	return env.WeightedRowSums()
 }
 
 // homogeneityOfSums computes the paper's homogeneity aggregate: sort the
@@ -130,7 +129,6 @@ var ErrNotStandardizable = errors.New("core: ECS matrix cannot be put in standar
 // ECS matrix. 0 means no affinity (all machines rank task types identically,
 // rank-1 ECS); 1 means maximal affinity (disjoint task-machine specialization).
 func TMA(env *etcmat.Env) (*TMAResult, error) {
-	w := env.WeightedECS()
 	minTM := env.Tasks()
 	if env.Machines() < minTM {
 		minTM = env.Machines()
@@ -140,11 +138,14 @@ func TMA(env *etcmat.Env) (*TMAResult, error) {
 		// standard form is rank one by construction.
 		return &TMAResult{TMA: 0, SingularValues: []float64{1}, Standard: nil}, nil
 	}
-	res, err := sinkhorn.Standardize(w)
+	// The standardization and SVD come from the Env's memo: the first query
+	// pays for them, every later TMA/Characterize call on the same Env is a
+	// cheap copy. The memoized matrices are shared, so clone before handing
+	// them to the caller.
+	res, sv, err := env.StandardForm()
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrNotStandardizable, err)
 	}
-	sv := linalg.SingularValues(res.Scaled)
 	sum := 0.0
 	for _, s := range sv[1:] {
 		sum += s
@@ -159,8 +160,8 @@ func TMA(env *etcmat.Env) (*TMAResult, error) {
 	}
 	return &TMAResult{
 		TMA:            tma,
-		SingularValues: sv,
-		Standard:       res.Scaled,
+		SingularValues: matrix.VecClone(sv),
+		Standard:       res.Scaled.Clone(),
 		Iterations:     res.Iterations,
 		Trimmed:        res.Trimmed,
 	}, nil

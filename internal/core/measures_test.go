@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"repro/internal/etcmat"
@@ -500,4 +501,49 @@ func randomEnv(rng *rand.Rand, t, m int) *etcmat.Env {
 		}
 	}
 	return etcmat.MustFromECS(rows)
+}
+
+// TestCharacterizeConcurrent runs the full profile from many goroutines
+// sharing one Env. Under -race it guards the memo wiring in the measure
+// layer, and it checks the clone-on-return contract: one caller scribbling on
+// its TMA result must not corrupt what the others see.
+func TestCharacterizeConcurrent(t *testing.T) {
+	env := etcmat.MustFromECS([][]float64{
+		{4, 1, 1},
+		{1, 4, 1},
+		{1, 1, 4},
+		{2, 3, 5},
+	})
+	want := Characterize(env)
+	const goroutines = 16
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p := Characterize(env)
+			if p.MPH != want.MPH || p.TDH != want.TDH || p.TMA != want.TMA {
+				t.Errorf("concurrent profile diverged: got %v, want %v", p, want)
+			}
+			r, err := TMA(env)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			// Vandalize the returned copies; later queries must be unaffected.
+			r.SingularValues[0] = -1
+			r.Standard.Set(0, 0, -1)
+		}()
+	}
+	wg.Wait()
+	after, err := TMA(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.SingularValues[0] < 0 || after.Standard.At(0, 0) < 0 {
+		t.Fatal("TMA handed out a live reference to the memoized standard form")
+	}
+	if after.TMA != want.TMA {
+		t.Fatalf("TMA drifted after concurrent queries: %v vs %v", after.TMA, want.TMA)
+	}
 }

@@ -21,8 +21,11 @@ import (
 	"math"
 	"strconv"
 	"strings"
+	"sync"
 
+	"repro/internal/linalg"
 	"repro/internal/matrix"
+	"repro/internal/sinkhorn"
 )
 
 // Env is an immutable-by-convention heterogeneous computing environment.
@@ -33,6 +36,30 @@ type Env struct {
 	machineNames   []string
 	taskWeights    []float64 // w_t, all positive
 	machineWeights []float64 // w_m, all positive
+
+	// memo caches quantities derived from the weighted ECS matrix. Because
+	// every mutating method returns a new Env (with a fresh memo), cached
+	// values can never go stale — invalidation is structural. The memo is
+	// safe for concurrent use, so measure queries may run from many
+	// goroutines against a shared Env.
+	memo *envMemo
+}
+
+// envMemo holds the lazily computed derived state of an Env: the weighted
+// ECS matrix with its row/column sums, and the standard form (Sinkhorn
+// balance + singular values) that TMA-style measures repeatedly need. All
+// fields are built at most once under mu and are read-only afterwards.
+type envMemo struct {
+	mu sync.Mutex
+
+	weighted        *matrix.Dense // w_t(i)·w_m(j)·ECS(i,j); treat as read-only
+	weightedRowSums []float64
+	weightedColSums []float64
+
+	stdDone bool
+	std     *sinkhorn.Result // shared; treat as read-only
+	stdSV   []float64        // singular values of std.Scaled, descending
+	stdErr  error
 }
 
 // ErrInvalid wraps all environment validation failures.
@@ -70,6 +97,7 @@ func NewFromECS(ecs *matrix.Dense) (*Env, error) {
 		machineNames:   defaultNames("m", m),
 		taskWeights:    onesVec(t),
 		machineWeights: onesVec(m),
+		memo:           &envMemo{},
 	}, nil
 }
 
@@ -139,12 +167,64 @@ func (e *Env) ETC() *matrix.Dense {
 }
 
 // WeightedECS returns the ECS matrix with entry (i, j) multiplied by
-// w_t(i)·w_m(j) — the matrix every weighted measure is computed from.
+// w_t(i)·w_m(j) — the matrix every weighted measure is computed from. The
+// result is a fresh copy the caller may mutate; the underlying weighted
+// matrix is computed once per Env and memoized.
 func (e *Env) WeightedECS() *matrix.Dense {
-	out := e.ecs.Clone()
-	out.ScaleRows(e.taskWeights)
-	out.ScaleCols(e.machineWeights)
-	return out
+	return e.weightedECS().Clone()
+}
+
+// weightedECS returns the memoized weighted ECS matrix. Callers must not
+// mutate it.
+func (e *Env) weightedECS() *matrix.Dense {
+	mm := e.memo
+	mm.mu.Lock()
+	defer mm.mu.Unlock()
+	if mm.weighted == nil {
+		w := e.ecs.Clone()
+		w.ScaleRows(e.taskWeights)
+		w.ScaleCols(e.machineWeights)
+		mm.weighted = w
+		mm.weightedRowSums = w.RowSums()
+		mm.weightedColSums = w.ColSums()
+	}
+	return mm.weighted
+}
+
+// WeightedRowSums returns a copy of the weighted ECS row sums — the task
+// difficulties TD_i of paper Eq. 6 — from the memo.
+func (e *Env) WeightedRowSums() []float64 {
+	e.weightedECS()
+	return matrix.VecClone(e.memo.weightedRowSums)
+}
+
+// WeightedColSums returns a copy of the weighted ECS column sums — the
+// machine performances MP_j of paper Eq. 4 — from the memo.
+func (e *Env) WeightedColSums() []float64 {
+	e.weightedECS()
+	return matrix.VecClone(e.memo.weightedColSums)
+}
+
+// StandardForm standardizes the weighted ECS matrix (paper Theorem 1 with
+// k = 1/√(TM)) and computes the singular values of the standard-form matrix,
+// memoizing the result: the MPH→TDH→TMA query pattern on one Env pays for
+// the Sinkhorn iteration and the SVD exactly once. The returned Result,
+// slice and error are shared across callers and must be treated as
+// read-only; clone before mutating. On a standardization failure (paper
+// Sec. VI) the error and the last iterate are memoized and returned alike.
+func (e *Env) StandardForm() (*sinkhorn.Result, []float64, error) {
+	w := e.weightedECS()
+	mm := e.memo
+	mm.mu.Lock()
+	defer mm.mu.Unlock()
+	if !mm.stdDone {
+		mm.std, mm.stdErr = sinkhorn.Standardize(w)
+		if mm.stdErr == nil {
+			mm.stdSV = linalg.SingularValues(mm.std.Scaled)
+		}
+		mm.stdDone = true
+	}
+	return mm.std, mm.stdSV, mm.stdErr
 }
 
 // ECSAt returns ECS(i, j) without copying the matrix.
@@ -340,6 +420,7 @@ func (e *Env) clone() *Env {
 		machineNames:   append([]string(nil), e.machineNames...),
 		taskWeights:    matrix.VecClone(e.taskWeights),
 		machineWeights: matrix.VecClone(e.machineWeights),
+		memo:           &envMemo{}, // derived state is never shared across Envs
 	}
 }
 

@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
 	"repro/internal/core"
 	"repro/internal/gen"
+	"repro/internal/parallel"
 )
 
 // Ex13BraunClasses maps the canonical twelve ETC classes of Braun et al.
@@ -40,34 +42,52 @@ func Ex13BraunClasses() ([]*Table, error) {
 	machAxes := []axis{{"hi-mach", 100}, {"lo-mach", 10}}
 	consistencies := []gen.Consistency{gen.Consistent, gen.SemiConsistent, gen.Inconsistent}
 	const seeds = 5
+	type class struct {
+		c      gen.Consistency
+		ta, ma axis
+	}
+	var classes []class
 	for _, c := range consistencies {
 		for _, ta := range taskAxes {
 			for _, ma := range machAxes {
-				var mph, tdh, tma float64
-				for s := int64(0); s < seeds; s++ {
-					rng := rand.New(rand.NewSource(111 + s))
-					env, err := gen.RangeBased(16, 8, ta.value, ma.value, rng)
-					if err != nil {
-						return nil, err
-					}
-					env, err = gen.WithConsistency(env, c)
-					if err != nil {
-						return nil, err
-					}
-					p := core.Characterize(env)
-					if p.TMAErr != nil {
-						return nil, p.TMAErr
-					}
-					mph += p.MPH
-					tdh += p.TDH
-					tma += p.TMA
-				}
-				t.Rows = append(t.Rows, []string{
-					fmt.Sprintf("%s %s %s", c, ta.name, ma.name),
-					f4(mph / seeds), f4(tdh / seeds), f4(tma / seeds),
-				})
+				classes = append(classes, class{c, ta, ma})
 			}
 		}
 	}
+	// Each of the twelve classes averages over the same five fixed seeds, so
+	// the classes are fully independent trials: run them on the worker pool.
+	// The per-seed RNGs are constructed inside each trial, so the table is
+	// byte-identical to the sequential sweep.
+	rows, err := parallel.Map(context.Background(), len(classes), 0,
+		func(_ context.Context, i int) ([]string, error) {
+			cl := classes[i]
+			var mph, tdh, tma float64
+			for s := int64(0); s < seeds; s++ {
+				rng := rand.New(rand.NewSource(111 + s))
+				env, err := gen.RangeBased(16, 8, cl.ta.value, cl.ma.value, rng)
+				if err != nil {
+					return nil, err
+				}
+				env, err = gen.WithConsistency(env, cl.c)
+				if err != nil {
+					return nil, err
+				}
+				p := core.Characterize(env)
+				if p.TMAErr != nil {
+					return nil, p.TMAErr
+				}
+				mph += p.MPH
+				tdh += p.TDH
+				tma += p.TMA
+			}
+			return []string{
+				fmt.Sprintf("%s %s %s", cl.c, cl.ta.name, cl.ma.name),
+				f4(mph / seeds), f4(tdh / seeds), f4(tma / seeds),
+			}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = rows
 	return []*Table{t}, nil
 }

@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"context"
+
+	"repro/internal/parallel"
+)
+
+// Result is the outcome of one experiment run by the engine.
+type Result struct {
+	Experiment
+	Tables []*Table
+	Err    error
+}
+
+// RunAll executes the given experiments on up to workers goroutines
+// (non-positive selects GOMAXPROCS) and returns their results in input
+// order, so concurrent and sequential runs render identically. A failing
+// experiment is reported in its Result rather than aborting the set; only
+// context cancellation stops the engine early, marking the experiments that
+// never ran with the context's error.
+func RunAll(ctx context.Context, exps []Experiment, workers int) []Result {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	out, err := parallel.Map(ctx, len(exps), workers, func(_ context.Context, i int) (Result, error) {
+		r := Result{Experiment: exps[i]}
+		r.Tables, r.Err = exps[i].Run()
+		return r, nil
+	})
+	if err != nil {
+		// Cancellation: entries that never ran carry no ID; attribute the
+		// context error so callers can tell "skipped" from "failed".
+		for i := range out {
+			if out[i].ID == "" {
+				out[i].Experiment = exps[i]
+				out[i].Err = err
+			}
+		}
+	}
+	return out
+}

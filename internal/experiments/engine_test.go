@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+)
+
+// renderResults renders every table of every result to one byte stream, so
+// two engine runs can be compared for exact equality.
+func renderResults(t *testing.T, results []Result) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.ID, r.Err)
+		}
+		for _, tb := range r.Tables {
+			if err := tb.Render(&buf); err != nil {
+				t.Fatalf("%s: render: %v", r.ID, err)
+			}
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestRunAllDeterministic is the acceptance check for the parallel engine:
+// the full experiment suite rendered from a concurrent run must be
+// byte-identical to the sequential run.
+func TestRunAllDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite is slow; skipped with -short")
+	}
+	exps := All()
+	seq := renderResults(t, RunAll(context.Background(), exps, 1))
+	for _, workers := range []int{2, 4, 0} {
+		par := renderResults(t, RunAll(context.Background(), exps, workers))
+		if !bytes.Equal(seq, par) {
+			t.Fatalf("workers=%d: concurrent run differs from sequential run", workers)
+		}
+	}
+}
+
+func TestRunAllOrderAndIDs(t *testing.T) {
+	exps := []Experiment{
+		{ID: "A", Run: func() ([]*Table, error) { return []*Table{{ID: "A"}}, nil }},
+		{ID: "B", Run: func() ([]*Table, error) { return nil, errors.New("boom") }},
+		{ID: "C", Run: func() ([]*Table, error) { return []*Table{{ID: "C"}}, nil }},
+	}
+	results := RunAll(context.Background(), exps, 3)
+	if len(results) != 3 {
+		t.Fatalf("got %d results, want 3", len(results))
+	}
+	for i, r := range results {
+		if r.ID != exps[i].ID {
+			t.Errorf("result %d: ID = %q, want %q (order must match input)", i, r.ID, exps[i].ID)
+		}
+	}
+	if results[1].Err == nil || results[1].Err.Error() != "boom" {
+		t.Errorf("failing experiment: Err = %v, want boom", results[1].Err)
+	}
+	if results[0].Err != nil || results[2].Err != nil {
+		t.Errorf("a failing experiment must not poison its neighbors: %v, %v",
+			results[0].Err, results[2].Err)
+	}
+}
+
+func TestRunAllCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	exps := []Experiment{
+		{ID: "A", Run: func() ([]*Table, error) { return []*Table{}, nil }},
+		{ID: "B", Run: func() ([]*Table, error) { return []*Table{}, nil }},
+	}
+	results := RunAll(ctx, exps, 2)
+	if len(results) != 2 {
+		t.Fatalf("got %d results, want 2", len(results))
+	}
+	for i, r := range results {
+		if r.ID != exps[i].ID {
+			t.Errorf("result %d: ID = %q, want %q even when skipped", i, r.ID, exps[i].ID)
+		}
+		if r.Err == nil && r.Tables == nil {
+			t.Errorf("result %d: a skipped experiment must carry the context error", i)
+		}
+	}
+}

@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
 	"repro/internal/core"
 	"repro/internal/gen"
+	"repro/internal/parallel"
 	"repro/internal/sched"
 	"repro/internal/spec"
 )
@@ -19,7 +21,6 @@ import (
 // high (tasks genuinely prefer different machines), while Min-Min/Sufferage
 // stay near the front everywhere.
 func Ex1Heuristics() ([]*Table, error) {
-	rng := rand.New(rand.NewSource(101))
 	heuristics := sched.All()
 	t := &Table{
 		ID:    "EX1",
@@ -33,10 +34,21 @@ func Ex1Heuristics() ([]*Table, error) {
 	for _, h := range heuristics {
 		t.Header = append(t.Header, h.Name())
 	}
+	type cell struct{ mph, tma float64 }
+	var cells []cell
 	for _, mph := range []float64{0.9, 0.5, 0.2} {
 		for _, tma := range []float64{0.0, 0.3, 0.6} {
+			cells = append(cells, cell{mph, tma})
+		}
+	}
+	// Each (MPH, TMA) cell is an independent generate-and-schedule trial, so
+	// the sweep runs on the worker pool with a per-cell derived RNG; results
+	// come back in grid order and are identical at any worker count.
+	rows, err := parallel.MapSeeded(context.Background(), len(cells), 0, 101,
+		func(_ context.Context, i int, rng *rand.Rand) ([]string, error) {
+			c := cells[i]
 			g, err := gen.Targeted(gen.Target{
-				Tasks: 12, Machines: 6, MPH: mph, TDH: 0.8, TMA: tma,
+				Tasks: 12, Machines: 6, MPH: c.mph, TDH: 0.8, TMA: c.tma,
 			}, rng)
 			if err != nil {
 				return nil, err
@@ -55,13 +67,16 @@ func Ex1Heuristics() ([]*Table, error) {
 					best = s.Makespan
 				}
 			}
-			row := []string{f2(mph), f2(tma)}
+			row := []string{f2(c.mph), f2(c.tma)}
 			for _, s := range schedules {
 				row = append(row, f2(s.Makespan/best))
 			}
-			t.Rows = append(t.Rows, row)
-		}
+			return row, nil
+		})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	return []*Table{t}, nil
 }
 
@@ -119,27 +134,40 @@ func Ex2WhatIf() ([]*Table, error) {
 // entire heterogeneity range can be produced, with the three measures moving
 // independently.
 func Ex3Generator() ([]*Table, error) {
-	rng := rand.New(rand.NewSource(102))
 	t := &Table{
 		ID:     "EX3",
 		Title:  "Targeted generator: requested vs achieved (10 task types x 5 machines)",
 		Header: []string{"req MPH", "req TDH", "req TMA", "ach MPH", "ach TDH", "ach TMA"},
 	}
+	type req struct{ mph, tdh, tma float64 }
+	var reqs []req
 	for _, mph := range []float64{0.2, 0.6, 0.95} {
 		for _, tdh := range []float64{0.3, 0.9} {
 			for _, tma := range []float64{0.0, 0.25, 0.5} {
-				g, err := gen.Targeted(gen.Target{
-					Tasks: 10, Machines: 5, MPH: mph, TDH: tdh, TMA: tma,
-				}, rng)
-				if err != nil {
-					return nil, err
-				}
-				p := g.Achieved
-				t.Rows = append(t.Rows, []string{
-					f2(mph), f2(tdh), f2(tma), f4(p.MPH), f4(p.TDH), f4(p.TMA),
-				})
+				reqs = append(reqs, req{mph, tdh, tma})
 			}
 		}
 	}
+	// The 18 target cells are independent generator invocations; fan them out
+	// with per-cell derived RNGs so the table is reproducible at any worker
+	// count.
+	rows, err := parallel.MapSeeded(context.Background(), len(reqs), 0, 102,
+		func(_ context.Context, i int, rng *rand.Rand) ([]string, error) {
+			r := reqs[i]
+			g, err := gen.Targeted(gen.Target{
+				Tasks: 10, Machines: 5, MPH: r.mph, TDH: r.tdh, TMA: r.tma,
+			}, rng)
+			if err != nil {
+				return nil, err
+			}
+			p := g.Achieved
+			return []string{
+				f2(r.mph), f2(r.tdh), f2(r.tma), f4(p.MPH), f4(p.TDH), f4(p.TMA),
+			}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = rows
 	return []*Table{t}, nil
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/linalg"
 	"repro/internal/matrix"
+	"repro/internal/parallel"
 	"repro/internal/sched"
 	"repro/internal/stats"
 )
@@ -23,48 +25,65 @@ import (
 // expect: the measures carry real predictive signal (R² well above zero),
 // with MPH the dominant regressor.
 func Ex6Prediction() ([]*Table, error) {
-	rng := rand.New(rand.NewSource(105))
 	type sample struct {
 		mph, tdh, tma, y float64
 	}
-	var samples []sample
-	// Population: a grid from the targeted generator plus range-based and
-	// CVB draws, for feature diversity.
+	// Population: a grid from the targeted generator plus range-based draws,
+	// for feature diversity. Each sample is an independent generate-and-
+	// schedule trial, so the population is built on the worker pool with a
+	// per-sample derived RNG — deterministic at any worker count.
+	type draw struct {
+		targeted      bool
+		mph, tdh, tma float64
+	}
+	var draws []draw
 	for _, mph := range []float64{0.2, 0.4, 0.6, 0.8, 0.95} {
 		for _, tdh := range []float64{0.3, 0.6, 0.9} {
 			for _, tma := range []float64{0.0, 0.2, 0.4} {
-				g, err := gen.Targeted(gen.Target{Tasks: 10, Machines: 5, MPH: mph, TDH: tdh, TMA: tma}, rng)
-				if err != nil {
-					return nil, err
-				}
-				s, err := respond(g.Env, rng)
-				if err != nil {
-					return nil, err
-				}
-				p := g.Achieved
-				samples = append(samples, sample{p.MPH, p.TDH, p.TMA, s})
+				draws = append(draws, draw{targeted: true, mph: mph, tdh: tdh, tma: tma})
 			}
 		}
 	}
 	for i := 0; i < 30; i++ {
-		env, err := gen.RangeBased(10, 5, 2+rng.Float64()*500, 2+rng.Float64()*50, rng)
-		if err != nil {
-			return nil, err
-		}
-		p := core.Characterize(env)
-		if p.TMAErr != nil {
-			return nil, p.TMAErr
-		}
-		y, err := respond(env, rng)
-		if err != nil {
-			return nil, err
-		}
-		samples = append(samples, sample{p.MPH, p.TDH, p.TMA, y})
+		draws = append(draws, draw{targeted: false})
+	}
+	samples, err := parallel.MapSeeded(context.Background(), len(draws), 0, 105,
+		func(_ context.Context, i int, rng *rand.Rand) (sample, error) {
+			d := draws[i]
+			var env *etcmat.Env
+			var p *core.Profile
+			if d.targeted {
+				g, err := gen.Targeted(gen.Target{Tasks: 10, Machines: 5, MPH: d.mph, TDH: d.tdh, TMA: d.tma}, rng)
+				if err != nil {
+					return sample{}, err
+				}
+				env, p = g.Env, g.Achieved
+			} else {
+				e, err := gen.RangeBased(10, 5, 2+rng.Float64()*500, 2+rng.Float64()*50, rng)
+				if err != nil {
+					return sample{}, err
+				}
+				env = e
+				p = core.Characterize(env)
+				if p.TMAErr != nil {
+					return sample{}, p.TMAErr
+				}
+			}
+			y, err := respond(env, rng)
+			if err != nil {
+				return sample{}, err
+			}
+			return sample{p.MPH, p.TDH, p.TMA, y}, nil
+		})
+	if err != nil {
+		return nil, err
 	}
 
 	// Shuffle before splitting: the grid enumeration order is strongly
 	// structured (the TMA values cycle with period 3), so a strided split
-	// without shuffling would hold out an entire TMA level.
+	// without shuffling would hold out an entire TMA level. The shuffle RNG
+	// stream is derived past the per-sample streams so it never overlaps them.
+	rng := rand.New(rand.NewSource(parallel.DeriveSeed(105, len(draws))))
 	rng.Shuffle(len(samples), func(i, j int) { samples[i], samples[j] = samples[j], samples[i] })
 	// Split deterministically: every third sample is held out.
 	var trainX, testX [][]float64

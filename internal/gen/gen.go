@@ -246,25 +246,24 @@ func balanceToTargets(a *matrix.Dense, rowTargets, colTargets []float64) (*matri
 		tolerance = 1e-10
 		maxIter   = 5000
 	)
+	// Same fused-kernel structure as sinkhorn.Balance: each half-step scales
+	// and reduces in one pass, and the convergence check reads the column
+	// sums the row half-step just produced (rows are exact by construction).
+	cs := make([]float64, m)
+	rs := make([]float64, t)
+	w.ColSumsInto(cs)
 	for iter := 0; iter < maxIter; iter++ {
-		cs := w.ColSums()
 		for j := range cs {
 			cs[j] = colTargets[j] / cs[j]
 		}
-		w.ScaleCols(cs)
-		rs := w.RowSums()
+		w.ScaleColsRowSums(cs, rs)
 		for i := range rs {
 			rs[i] = rowTargets[i] / rs[i]
 		}
-		w.ScaleRows(rs)
+		w.ScaleRowsColSums(rs, cs)
 		dev := 0.0
-		for j, s := range w.ColSums() {
+		for j, s := range cs {
 			if d := math.Abs(s - colTargets[j]); d > dev {
-				dev = d
-			}
-		}
-		for i, s := range w.RowSums() {
-			if d := math.Abs(s - rowTargets[i]); d > dev {
 				dev = d
 			}
 		}

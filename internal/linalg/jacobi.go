@@ -27,6 +27,11 @@ func (f *Factors) Reconstruct() *matrix.Dense {
 // (Hestenes) Jacobi rotations. It is slower than Golub–Reinsch but extremely
 // robust and accurate for the small/medium dense matrices this repository
 // manipulates; the two algorithms cross-check each other in tests.
+//
+// The sweep operates on a contiguous column-major working copy so that the
+// hot Gram-pair accumulation and plane rotations run over contiguous slices
+// (one fused pass per pair) instead of striding row-major storage through
+// bounds-checked element accessors.
 func SVDJacobi(a *matrix.Dense) *Factors {
 	m, n := a.Dims()
 	if m < n {
@@ -34,8 +39,20 @@ func SVDJacobi(a *matrix.Dense) *Factors {
 		f := SVDJacobi(a.T())
 		return &Factors{U: f.V, S: f.S, V: f.U}
 	}
-	w := a.Clone()
-	v := matrix.Identity(n)
+	// Column-major working copy: column j of a lives at w[j*m : (j+1)*m].
+	w := make([]float64, m*n)
+	ad := a.RawData()
+	for i := 0; i < m; i++ {
+		row := ad[i*n : (i+1)*n]
+		for j, val := range row {
+			w[j*m+i] = val
+		}
+	}
+	// Right-vector accumulator, also column-major (n×n identity).
+	v := make([]float64, n*n)
+	for j := 0; j < n; j++ {
+		v[j*n+j] = 1
+	}
 	const (
 		tol       = 1e-14
 		maxSweeps = 60
@@ -43,11 +60,13 @@ func SVDJacobi(a *matrix.Dense) *Factors {
 	for sweep := 0; sweep < maxSweeps; sweep++ {
 		off := 0
 		for p := 0; p < n-1; p++ {
+			wp := w[p*m : (p+1)*m]
 			for q := p + 1; q < n; q++ {
-				// Gram entries of the column pair (p, q).
+				wq := w[q*m : (q+1)*m]
+				// Fused Gram-pair accumulation over the two columns.
 				var app, aqq, apq float64
-				for i := 0; i < m; i++ {
-					x, y := w.At(i, p), w.At(i, q)
+				for i, x := range wp {
+					y := wq[i]
 					app += x * x
 					aqq += y * y
 					apq += x * y
@@ -66,8 +85,8 @@ func SVDJacobi(a *matrix.Dense) *Factors {
 				}
 				c := 1 / math.Sqrt(1+t*t)
 				s := c * t
-				rotateCols(w, p, q, c, s)
-				rotateCols(v, p, q, c, s)
+				rotatePair(wp, wq, c, s)
+				rotatePair(v[p*n:(p+1)*n], v[q*n:(q+1)*n], c, s)
 			}
 		}
 		if off == 0 {
@@ -77,63 +96,76 @@ func SVDJacobi(a *matrix.Dense) *Factors {
 	// Singular values are the column norms of the rotated matrix; U's columns
 	// are the normalized columns (zero columns get an arbitrary completion of
 	// zeros, which is fine for value-only consumers and for reconstruction).
+	// Sorting happens on emit: output column k is working column idx[k], so
+	// no post-hoc column permutation pass is needed.
+	norms := make([]float64, n)
+	for j := 0; j < n; j++ {
+		norms[j] = matrix.Nrm2(w[j*m : (j+1)*m])
+	}
+	idx := descendingPerm(norms)
 	sv := make([]float64, n)
 	u := matrix.New(m, n)
-	for j := 0; j < n; j++ {
-		col := w.Col(j)
-		norm := matrix.Nrm2(col)
-		sv[j] = norm
-		if norm > 0 {
-			for i := 0; i < m; i++ {
-				u.Set(i, j, col[i]/norm)
+	ud := u.RawData()
+	vout := matrix.New(n, n)
+	vd := vout.RawData()
+	for k, p := range idx {
+		sv[k] = norms[p]
+		if norm := norms[p]; norm > 0 {
+			col := w[p*m : (p+1)*m]
+			inv := 1 / norm
+			for i, x := range col {
+				ud[i*n+k] = x * inv
 			}
 		}
+		vcol := v[p*n : (p+1)*n]
+		for i, x := range vcol {
+			vd[i*n+k] = x
+		}
 	}
-	sortFactorsDescending(u, sv, v)
-	return &Factors{U: u, S: sv, V: v}
+	return &Factors{U: u, S: sv, V: vout}
 }
 
-// rotateCols applies the plane rotation [c -s; s c] to columns p and q:
-// new_p = c*p - s*q, new_q = s*p + c*q.
-func rotateCols(m *matrix.Dense, p, q int, c, s float64) {
-	rows := m.Rows()
-	for i := 0; i < rows; i++ {
-		x, y := m.At(i, p), m.At(i, q)
-		m.Set(i, p, c*x-s*y)
-		m.Set(i, q, s*x+c*y)
+// rotatePair applies the plane rotation [c -s; s c] to the contiguous column
+// pair (x, y): new_x = c*x - s*y, new_y = s*x + c*y.
+func rotatePair(x, y []float64, c, s float64) {
+	for i, xv := range x {
+		yv := y[i]
+		x[i] = c*xv - s*yv
+		y[i] = s*xv + c*yv
 	}
+}
+
+// descendingPerm returns the stable permutation that sorts vals descending.
+func descendingPerm(vals []float64) []int {
+	idx := make([]int, len(vals))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return vals[idx[a]] > vals[idx[b]] })
+	return idx
 }
 
 // sortFactorsDescending reorders the columns of u and v and entries of s so
 // that s is descending.
 func sortFactorsDescending(u *matrix.Dense, s []float64, v *matrix.Dense) {
-	idx := make([]int, len(s))
-	for i := range idx {
-		idx[i] = i
-	}
-	sort.SliceStable(idx, func(a, b int) bool { return s[idx[a]] > s[idx[b]] })
+	idx := descendingPerm(s)
 	sorted := make([]float64, len(s))
 	for i, p := range idx {
 		sorted[i] = s[p]
 	}
 	copy(s, sorted)
-	reorderCols(u, idx)
-	reorderCols(v, idx)
-}
-
-func reorderCols(m *matrix.Dense, idx []int) {
-	if m == nil {
-		return
+	if u != nil {
+		u.PermuteColsInPlace(idx)
 	}
-	perm := make([]int, len(idx))
-	copy(perm, idx)
-	tmp := m.PermuteCols(perm)
-	m.CopyFrom(tmp)
+	if v != nil {
+		v.PermuteColsInPlace(idx)
+	}
 }
 
 // SymEigJacobi computes all eigenvalues and eigenvectors of a symmetric
 // matrix using the cyclic Jacobi method. Eigenvalues are returned descending,
-// with matching eigenvector columns.
+// with matching eigenvector columns. The rotations run over the raw backing
+// slices (index arithmetic, no bounds-checked accessors).
 func SymEigJacobi(a *matrix.Dense) (vals []float64, vecs *matrix.Dense) {
 	n, c := a.Dims()
 	if n != c {
@@ -141,12 +173,15 @@ func SymEigJacobi(a *matrix.Dense) (vals []float64, vecs *matrix.Dense) {
 	}
 	w := a.Clone()
 	v := matrix.Identity(n)
+	wd := w.RawData()
+	vd := v.RawData()
 	const maxSweeps = 100
 	for sweep := 0; sweep < maxSweeps; sweep++ {
 		off := 0.0
 		for p := 0; p < n-1; p++ {
-			for q := p + 1; q < n; q++ {
-				off += w.At(p, q) * w.At(p, q)
+			row := wd[p*n : (p+1)*n]
+			for _, x := range row[p+1:] {
+				off += x * x
 			}
 		}
 		if off <= 1e-30*(1+w.NormFro()*w.NormFro()) {
@@ -154,11 +189,11 @@ func SymEigJacobi(a *matrix.Dense) (vals []float64, vecs *matrix.Dense) {
 		}
 		for p := 0; p < n-1; p++ {
 			for q := p + 1; q < n; q++ {
-				apq := w.At(p, q)
+				apq := wd[p*n+q]
 				if apq == 0 {
 					continue
 				}
-				app, aqq := w.At(p, p), w.At(q, q)
+				app, aqq := wd[p*n+p], wd[q*n+q]
 				tau := (aqq - app) / (2 * apq)
 				var t float64
 				if tau >= 0 {
@@ -169,36 +204,41 @@ func SymEigJacobi(a *matrix.Dense) (vals []float64, vecs *matrix.Dense) {
 				cth := 1 / math.Sqrt(1+t*t)
 				sth := cth * t
 				// W := Jᵀ W J where J rotates the (p,q) plane.
-				applySymRotation(w, p, q, cth, sth)
-				rotateCols(v, p, q, cth, sth)
+				applySymRotation(wd, n, p, q, cth, sth)
+				// Rotate eigenvector columns p and q (row-major, stride n).
+				for i := 0; i < n; i++ {
+					x, y := vd[i*n+p], vd[i*n+q]
+					vd[i*n+p] = cth*x - sth*y
+					vd[i*n+q] = sth*x + cth*y
+				}
 			}
 		}
 	}
 	vals = make([]float64, n)
 	for i := 0; i < n; i++ {
-		vals[i] = w.At(i, i)
+		vals[i] = wd[i*n+i]
 	}
 	sortFactorsDescending(v, vals, nil)
 	return vals, v
 }
 
-// applySymRotation performs W := Jᵀ W J for the rotation J acting on the
-// (p,q) plane with cosine c and sine s, preserving symmetry.
-func applySymRotation(w *matrix.Dense, p, q int, c, s float64) {
-	n := w.Rows()
+// applySymRotation performs W := Jᵀ W J on the raw row-major slice w of an
+// n×n symmetric matrix, for the rotation J acting on the (p,q) plane with
+// cosine c and sine s, preserving symmetry.
+func applySymRotation(w []float64, n, p, q int, c, s float64) {
 	for i := 0; i < n; i++ {
 		if i == p || i == q {
 			continue
 		}
-		wip, wiq := w.At(i, p), w.At(i, q)
-		w.Set(i, p, c*wip-s*wiq)
-		w.Set(p, i, w.At(i, p))
-		w.Set(i, q, s*wip+c*wiq)
-		w.Set(q, i, w.At(i, q))
+		wip, wiq := w[i*n+p], w[i*n+q]
+		nip := c*wip - s*wiq
+		niq := s*wip + c*wiq
+		w[i*n+p], w[p*n+i] = nip, nip
+		w[i*n+q], w[q*n+i] = niq, niq
 	}
-	wpp, wqq, wpq := w.At(p, p), w.At(q, q), w.At(p, q)
-	w.Set(p, p, c*c*wpp-2*s*c*wpq+s*s*wqq)
-	w.Set(q, q, s*s*wpp+2*s*c*wpq+c*c*wqq)
-	w.Set(p, q, 0)
-	w.Set(q, p, 0)
+	wpp, wqq, wpq := w[p*n+p], w[q*n+q], w[p*n+q]
+	w[p*n+p] = c*c*wpp - 2*s*c*wpq + s*s*wqq
+	w[q*n+q] = s*s*wpp + 2*s*c*wpq + c*c*wqq
+	w[p*n+q] = 0
+	w[q*n+p] = 0
 }

@@ -282,22 +282,95 @@ func (m *Dense) ColSum(j int) float64 {
 // RowSums returns the vector of row sums.
 func (m *Dense) RowSums() []float64 {
 	out := make([]float64, m.rows)
-	for i := 0; i < m.rows; i++ {
-		out[i] = m.RowSum(i)
-	}
+	m.RowSumsInto(out)
 	return out
+}
+
+// RowSumsInto writes the row sums into dst (length rows), for callers that
+// reuse buffers across iterations.
+func (m *Dense) RowSumsInto(dst []float64) {
+	if len(dst) != m.rows {
+		panic(fmt.Sprintf("matrix: RowSumsInto needs length %d, got %d", m.rows, len(dst)))
+	}
+	for i := 0; i < m.rows; i++ {
+		s := 0.0
+		for _, v := range m.data[i*m.cols : (i+1)*m.cols] {
+			s += v
+		}
+		dst[i] = s
+	}
 }
 
 // ColSums returns the vector of column sums.
 func (m *Dense) ColSums() []float64 {
 	out := make([]float64, m.cols)
+	m.ColSumsInto(out)
+	return out
+}
+
+// ColSumsInto writes the column sums into dst (length cols), for callers
+// that reuse buffers across iterations.
+func (m *Dense) ColSumsInto(dst []float64) {
+	if len(dst) != m.cols {
+		panic(fmt.Sprintf("matrix: ColSumsInto needs length %d, got %d", m.cols, len(dst)))
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
 	for i := 0; i < m.rows; i++ {
 		row := m.data[i*m.cols : (i+1)*m.cols]
 		for j, v := range row {
-			out[j] += v
+			dst[j] += v
 		}
 	}
-	return out
+}
+
+// ScaleColsRowSums multiplies column j of m by colFactors[j] while
+// accumulating the row sums of the scaled matrix into rowSums, all in a
+// single pass over the data — the column-normalization half of a Sinkhorn
+// iteration fused with the row-sum reduction the next half needs.
+func (m *Dense) ScaleColsRowSums(colFactors, rowSums []float64) {
+	if len(colFactors) != m.cols {
+		panic(fmt.Sprintf("matrix: ScaleColsRowSums needs %d factors, got %d", m.cols, len(colFactors)))
+	}
+	if len(rowSums) != m.rows {
+		panic(fmt.Sprintf("matrix: ScaleColsRowSums needs row buffer %d, got %d", m.rows, len(rowSums)))
+	}
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		s := 0.0
+		for j, f := range colFactors {
+			v := row[j] * f
+			row[j] = v
+			s += v
+		}
+		rowSums[i] = s
+	}
+}
+
+// ScaleRowsColSums multiplies row i of m by rowFactors[i] while accumulating
+// the column sums of the scaled matrix into colSums, in a single pass — the
+// row-normalization half of a Sinkhorn iteration fused with the column-sum
+// reduction the convergence check and the next iteration need.
+func (m *Dense) ScaleRowsColSums(rowFactors, colSums []float64) {
+	if len(rowFactors) != m.rows {
+		panic(fmt.Sprintf("matrix: ScaleRowsColSums needs %d factors, got %d", m.rows, len(rowFactors)))
+	}
+	if len(colSums) != m.cols {
+		panic(fmt.Sprintf("matrix: ScaleRowsColSums needs col buffer %d, got %d", m.cols, len(colSums)))
+	}
+	for j := range colSums {
+		colSums[j] = 0
+	}
+	for i := 0; i < m.rows; i++ {
+		f := rowFactors[i]
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		for j := range row {
+			v := row[j] * f
+			row[j] = v
+			colSums[j] += v
+		}
+	}
 }
 
 // Sum returns the sum of all entries.
@@ -391,6 +464,21 @@ func (m *Dense) PermuteCols(perm []int) *Dense {
 		}
 	}
 	return out
+}
+
+// PermuteColsInPlace reorders m's columns in place so that column j becomes
+// the old column perm[j], using a single row-sized buffer instead of a full
+// matrix copy (compare PermuteCols, which allocates rows*cols).
+func (m *Dense) PermuteColsInPlace(perm []int) {
+	checkPerm(perm, m.cols, "PermuteColsInPlace")
+	buf := make([]float64, m.cols)
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		for j, p := range perm {
+			buf[j] = row[p]
+		}
+		copy(row, buf)
+	}
 }
 
 func checkPerm(perm []int, n int, op string) {

@@ -479,3 +479,58 @@ func sanitize(vals []float64) []float64 {
 	}
 	return out
 }
+
+// The fused Sinkhorn kernels must agree with the separate scale + reduce
+// operations they replace.
+func TestFusedScaleSumKernels(t *testing.T) {
+	a := FromRows([][]float64{
+		{1, 2, 3, 4},
+		{5, 6, 7, 8},
+		{9, 10, 11, 12},
+	})
+	colF := []float64{2, 0.5, 1, 3}
+	rowF := []float64{0.1, 10, 1}
+
+	want := a.Clone().ScaleCols(colF)
+	got := a.Clone()
+	rs := make([]float64, 3)
+	got.ScaleColsRowSums(colF, rs)
+	if !EqualTol(want, got, 0) {
+		t.Fatalf("ScaleColsRowSums matrix mismatch:\n%v\n%v", want, got)
+	}
+	if !VecEqualTol(rs, want.RowSums(), 1e-12) {
+		t.Fatalf("fused row sums %v, want %v", rs, want.RowSums())
+	}
+
+	want2 := got.Clone().ScaleRows(rowF)
+	cs := make([]float64, 4)
+	got.ScaleRowsColSums(rowF, cs)
+	if !EqualTol(want2, got, 0) {
+		t.Fatalf("ScaleRowsColSums matrix mismatch:\n%v\n%v", want2, got)
+	}
+	if !VecEqualTol(cs, want2.ColSums(), 1e-12) {
+		t.Fatalf("fused col sums %v, want %v", cs, want2.ColSums())
+	}
+}
+
+func TestSumsInto(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	rs := make([]float64, 3)
+	cs := []float64{99, 99} // must be overwritten, not accumulated into
+	a.RowSumsInto(rs)
+	a.ColSumsInto(cs)
+	if !VecEqualTol(rs, a.RowSums(), 0) || !VecEqualTol(cs, a.ColSums(), 0) {
+		t.Fatalf("RowSumsInto %v / ColSumsInto %v disagree with RowSums %v / ColSums %v",
+			rs, cs, a.RowSums(), a.ColSums())
+	}
+}
+
+func TestPermuteColsInPlace(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	perm := []int{2, 0, 1}
+	want := a.PermuteCols(perm)
+	a.PermuteColsInPlace(perm)
+	if !EqualTol(want, a, 0) {
+		t.Fatalf("in-place permutation mismatch:\n%v\n%v", want, a)
+	}
+}

@@ -1,0 +1,126 @@
+// Package parallel provides the bounded fan-out primitives the experiment
+// engine and the batch characterization APIs are built on: a fixed-size
+// worker pool with deterministic result ordering, context cancellation, and
+// reproducible per-task randomness.
+//
+// Determinism is the design center. Monte Carlo sweeps in this repository
+// must produce byte-identical output whether they run on 1 worker or 32, so
+// randomness is not handed out per worker (work stealing would make the
+// stream assignment depend on scheduling); instead every task index derives
+// its own independent *rand.Rand from a base seed with a SplitMix64 hash.
+// The sequential path (workers = 1) walks the same derivation, so parallel
+// and sequential runs of a seeded sweep are exactly identical.
+package parallel
+
+import (
+	"context"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a worker-count request: non-positive selects
+// GOMAXPROCS(0), anything else is returned unchanged.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Map runs fn(ctx, i) for every i in [0, n) on at most workers goroutines
+// and returns the results in index order. The first error cancels the
+// remaining work (tasks already running finish; queued indices are skipped)
+// and is returned. A nil or already-canceled context short-circuits.
+func Map[T any](ctx context.Context, n, workers int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	out := make([]T, n)
+	if n == 0 {
+		return out, ctx.Err()
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		// Sequential fast path: no goroutines, same semantics.
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return out, err
+			}
+			v, err := fn(ctx, i)
+			if err != nil {
+				return out, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		next     atomic.Int64 // next index to claim
+		firstErr atomic.Value // error of the first failing task
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= n || ctx.Err() != nil {
+					return
+				}
+				v, err := fn(ctx, i)
+				if err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					cancel()
+					return
+				}
+				out[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+	if err, ok := firstErr.Load().(error); ok {
+		return out, err
+	}
+	return out, ctx.Err()
+}
+
+// MapSeeded is Map with reproducible randomness: task i receives a private
+// *rand.Rand seeded by DeriveSeed(seed, i), so the result slice is identical
+// for every worker count, including the sequential path.
+func MapSeeded[T any](ctx context.Context, n, workers int, seed int64, fn func(ctx context.Context, i int, rng *rand.Rand) (T, error)) ([]T, error) {
+	return Map(ctx, n, workers, func(ctx context.Context, i int) (T, error) {
+		return fn(ctx, i, rand.New(rand.NewSource(DeriveSeed(seed, i))))
+	})
+}
+
+// Do runs the given tasks on at most workers goroutines and returns the
+// first error (canceling the rest), preserving Map's semantics for
+// heterogeneous task sets.
+func Do(ctx context.Context, workers int, tasks ...func(ctx context.Context) error) error {
+	_, err := Map(ctx, len(tasks), workers, func(ctx context.Context, i int) (struct{}, error) {
+		return struct{}{}, tasks[i](ctx)
+	})
+	return err
+}
+
+// DeriveSeed maps a (base seed, stream index) pair to an independent seed
+// using the SplitMix64 finalizer — the standard way to split one seed into
+// many statistically independent streams (Steele et al., "Fast Splittable
+// Pseudorandom Number Generators", OOPSLA 2014). Adjacent indices yield
+// uncorrelated streams, and index 0 does not collapse to the base seed.
+func DeriveSeed(seed int64, index int) int64 {
+	z := uint64(seed) + uint64(index+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}

@@ -1,0 +1,139 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrdering(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		out, err := Map(context.Background(), 50, workers, func(_ context.Context, i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	out, err := Map(context.Background(), 0, 4, func(_ context.Context, i int) (int, error) {
+		t.Fatal("fn called for n = 0")
+		return 0, nil
+	})
+	if err != nil || len(out) != 0 {
+		t.Fatalf("got %v, %v", out, err)
+	}
+}
+
+func TestMapErrorCancels(t *testing.T) {
+	boom := errors.New("boom")
+	var ran atomic.Int64
+	_, err := Map(context.Background(), 1000, 4, func(ctx context.Context, i int) (int, error) {
+		ran.Add(1)
+		if i == 3 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("want boom, got %v", err)
+	}
+	if n := ran.Load(); n == 1000 {
+		t.Logf("all %d tasks ran before cancellation took effect", n)
+	}
+}
+
+func TestMapContextCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Map(ctx, 10, 4, func(_ context.Context, i int) (int, error) { return i, nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+func TestMapNilContext(t *testing.T) {
+	out, err := Map(nil, 3, 2, func(_ context.Context, i int) (int, error) { return i + 1, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 1 || out[2] != 3 {
+		t.Fatalf("got %v", out)
+	}
+}
+
+// The reproducibility contract: MapSeeded output must not depend on the
+// worker count.
+func TestMapSeededDeterministic(t *testing.T) {
+	run := func(workers int) []float64 {
+		out, err := MapSeeded(context.Background(), 64, workers, 42, func(_ context.Context, i int, rng *rand.Rand) (float64, error) {
+			s := 0.0
+			for k := 0; k < 10; k++ {
+				s += rng.Float64()
+			}
+			return s, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	seq := run(1)
+	for _, workers := range []int{2, 4, 16} {
+		par := run(workers)
+		for i := range seq {
+			if par[i] != seq[i] {
+				t.Fatalf("workers=%d: out[%d] = %v, want %v (sequential)", workers, i, par[i], seq[i])
+			}
+		}
+	}
+}
+
+func TestDeriveSeedSpread(t *testing.T) {
+	seen := map[int64]bool{}
+	for i := 0; i < 1000; i++ {
+		s := DeriveSeed(7, i)
+		if seen[s] {
+			t.Fatalf("seed collision at index %d", i)
+		}
+		seen[s] = true
+	}
+	if DeriveSeed(7, 0) == 7 {
+		t.Error("index 0 must not collapse to the base seed")
+	}
+	if DeriveSeed(7, 0) == DeriveSeed(8, 0) {
+		t.Error("different base seeds must derive different streams")
+	}
+}
+
+func TestDo(t *testing.T) {
+	var a, b atomic.Bool
+	err := Do(context.Background(), 2,
+		func(context.Context) error { a.Store(true); return nil },
+		func(context.Context) error { b.Store(true); return nil },
+	)
+	if err != nil || !a.Load() || !b.Load() {
+		t.Fatalf("err=%v a=%v b=%v", err, a.Load(), b.Load())
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if Workers(0) < 1 {
+		t.Error("Workers(0) must be at least 1")
+	}
+	if Workers(-3) < 1 {
+		t.Error("Workers(-3) must be at least 1")
+	}
+	if Workers(5) != 5 {
+		t.Error("positive counts pass through")
+	}
+}
