@@ -1,6 +1,12 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-json verify clean
+# benchdiff inputs: OLD is the committed baseline, NEW a fresh report.
+BENCH_OLD ?= BENCH_spectral.json
+BENCH_NEW ?= BENCH_new.json
+# Fractional ns/op or allocs/op growth that fails benchdiff (0.20 = 20%).
+BENCH_THRESHOLD ?= 0.20
+
+.PHONY: build test vet race bench bench-json benchdiff verify clean
 
 build:
 	$(GO) build ./...
@@ -23,7 +29,22 @@ bench:
 bench-json:
 	$(GO) run ./cmd/hcbench -bench BENCH_kernels.json
 
+# Compare two benchmark reports and fail on >BENCH_THRESHOLD regressions in
+# ns/op or allocs/op per kernel. Typical use:
+#   go run ./cmd/hcbench -bench BENCH_new.json && make benchdiff
+benchdiff:
+	$(GO) run ./cmd/hcbench -benchdiff -threshold $(BENCH_THRESHOLD) $(BENCH_OLD) $(BENCH_NEW)
+
 verify: build vet test race
+# Opt-in perf gate: BENCHDIFF=1 make verify additionally re-measures the
+# kernels and diffs them against the committed baseline.
+ifneq ($(BENCHDIFF),)
+verify: perf-verify
+.PHONY: perf-verify
+perf-verify:
+	$(GO) run ./cmd/hcbench -bench $(BENCH_NEW)
+	$(GO) run ./cmd/hcbench -benchdiff -threshold $(BENCH_THRESHOLD) $(BENCH_OLD) $(BENCH_NEW)
+endif
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// runBenchDiff compares two benchmark reports kernel by kernel and reports
+// whether NEW is acceptable: a kernel regresses when its ns/op or allocs/op
+// grew by more than threshold (a fraction, e.g. 0.20 for 20%) relative to
+// OLD. Kernels present in only one report are listed but never fail the
+// comparison — they are additions or retirements, not regressions. The
+// boolean result is false when any regression was found.
+func runBenchDiff(out io.Writer, oldPath, newPath string, threshold float64) (bool, error) {
+	oldRep, err := readBenchReport(oldPath)
+	if err != nil {
+		return false, err
+	}
+	newRep, err := readBenchReport(newPath)
+	if err != nil {
+		return false, err
+	}
+	oldBy := make(map[string]benchResult, len(oldRep.Results))
+	for _, r := range oldRep.Results {
+		oldBy[r.Name] = r
+	}
+	fmt.Fprintf(out, "benchdiff %s -> %s (fail past %+.0f%%)\n", oldPath, newPath, 100*threshold)
+	ok := true
+	for _, nr := range newRep.Results {
+		or, found := oldBy[nr.Name]
+		if !found {
+			fmt.Fprintf(out, "  new   %-40s %12.0f ns/op %8d allocs/op\n", nr.Name, nr.NsPerOp, nr.AllocsPerOp)
+			continue
+		}
+		delete(oldBy, nr.Name)
+		nsDelta := frac(nr.NsPerOp, or.NsPerOp)
+		allocDelta := frac(float64(nr.AllocsPerOp), float64(or.AllocsPerOp))
+		status := "ok"
+		if nsDelta > threshold || allocDelta > threshold {
+			status = "FAIL"
+			ok = false
+		}
+		fmt.Fprintf(out, "  %-5s %-40s ns/op %+7.1f%%  allocs/op %+7.1f%%\n",
+			status, nr.Name, 100*nsDelta, 100*allocDelta)
+	}
+	for name := range oldBy {
+		fmt.Fprintf(out, "  gone  %s\n", name)
+	}
+	if !ok {
+		fmt.Fprintln(out, "benchdiff: FAIL")
+	}
+	return ok, nil
+}
+
+// frac is the fractional change from old to new; an old of zero (a kernel
+// that never allocated, say) only regresses when new is nonzero.
+func frac(new, old float64) float64 {
+	if old == 0 {
+		if new == 0 {
+			return 0
+		}
+		return 1
+	}
+	return (new - old) / old
+}
+
+func readBenchReport(path string) (*benchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep benchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}

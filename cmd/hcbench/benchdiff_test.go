@@ -1,0 +1,111 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeReport(t *testing.T, dir, name string, results []benchResult) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	data, err := json.Marshal(benchReport{GoMaxProcs: 4, NumCPU: 4, Results: results})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestBenchDiffPassesWithinThreshold(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeReport(t, dir, "old.json", []benchResult{
+		{Name: "K1", NsPerOp: 1000, AllocsPerOp: 10},
+		{Name: "K2", NsPerOp: 500, AllocsPerOp: 0},
+	})
+	newP := writeReport(t, dir, "new.json", []benchResult{
+		{Name: "K1", NsPerOp: 1150, AllocsPerOp: 11}, // +15%, +10%
+		{Name: "K2", NsPerOp: 400, AllocsPerOp: 0},
+	})
+	var buf strings.Builder
+	ok, err := runBenchDiff(&buf, oldP, newP, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Errorf("within-threshold diff failed:\n%s", buf.String())
+	}
+}
+
+func TestBenchDiffFailsOnNsRegression(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeReport(t, dir, "old.json", []benchResult{{Name: "K1", NsPerOp: 1000, AllocsPerOp: 10}})
+	newP := writeReport(t, dir, "new.json", []benchResult{{Name: "K1", NsPerOp: 1300, AllocsPerOp: 10}})
+	var buf strings.Builder
+	ok, err := runBenchDiff(&buf, oldP, newP, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Errorf("+30%% ns/op passed:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "FAIL") {
+		t.Errorf("output does not flag the failure:\n%s", buf.String())
+	}
+}
+
+func TestBenchDiffFailsOnAllocRegression(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeReport(t, dir, "old.json", []benchResult{{Name: "K1", NsPerOp: 1000, AllocsPerOp: 10}})
+	newP := writeReport(t, dir, "new.json", []benchResult{{Name: "K1", NsPerOp: 1000, AllocsPerOp: 13}})
+	var buf strings.Builder
+	ok, err := runBenchDiff(&buf, oldP, newP, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Errorf("+30%% allocs/op passed:\n%s", buf.String())
+	}
+}
+
+func TestBenchDiffZeroAllocBaseline(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeReport(t, dir, "old.json", []benchResult{{Name: "K1", NsPerOp: 100, AllocsPerOp: 0}})
+	newP := writeReport(t, dir, "new.json", []benchResult{{Name: "K1", NsPerOp: 100, AllocsPerOp: 2}})
+	var buf strings.Builder
+	ok, err := runBenchDiff(&buf, oldP, newP, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("new allocations on a zero-alloc kernel passed")
+	}
+}
+
+func TestBenchDiffAddedAndRemovedKernels(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeReport(t, dir, "old.json", []benchResult{{Name: "Gone", NsPerOp: 100}})
+	newP := writeReport(t, dir, "new.json", []benchResult{{Name: "Added", NsPerOp: 100}})
+	var buf strings.Builder
+	ok, err := runBenchDiff(&buf, oldP, newP, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Errorf("pure addition/removal failed:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "Added") || !strings.Contains(buf.String(), "Gone") {
+		t.Errorf("additions/removals not listed:\n%s", buf.String())
+	}
+}
+
+func TestBenchDiffMissingFile(t *testing.T) {
+	var buf strings.Builder
+	if _, err := runBenchDiff(&buf, "/nonexistent/a.json", "/nonexistent/b.json", 0.2); err == nil {
+		t.Error("missing input accepted")
+	}
+}

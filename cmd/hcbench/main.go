@@ -37,13 +37,32 @@ func main() {
 	md := flag.Bool("md", false, "render tables as GitHub-flavored markdown")
 	workers := flag.Int("parallel", 0, "experiment engine worker count (0 = GOMAXPROCS, 1 = sequential)")
 	bench := flag.String("bench", "", "run the kernel/engine benchmarks and write JSON results to this file (\"-\" for stdout)")
+	benchdiff := flag.Bool("benchdiff", false, "compare two benchmark JSON files (OLD NEW) and fail on regressions past -threshold")
+	threshold := flag.Float64("threshold", 0.20, "benchdiff: fractional ns/op or allocs/op regression that fails the comparison")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: hcbench [-list] [-md] [-parallel N] [experiment ...]\n")
-		fmt.Fprintf(os.Stderr, "       hcbench -bench FILE\n\n")
+		fmt.Fprintf(os.Stderr, "       hcbench -bench FILE\n")
+		fmt.Fprintf(os.Stderr, "       hcbench -benchdiff [-threshold F] OLD.json NEW.json\n\n")
 		fmt.Fprintf(os.Stderr, "Regenerates the paper's figures and the extension studies.\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+
+	if *benchdiff {
+		if flag.NArg() != 2 {
+			fmt.Fprintf(os.Stderr, "hcbench: -benchdiff needs exactly two files, got %d\n", flag.NArg())
+			os.Exit(2)
+		}
+		ok, err := runBenchDiff(os.Stdout, flag.Arg(0), flag.Arg(1), *threshold)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hcbench: benchdiff: %v\n", err)
+			os.Exit(2)
+		}
+		if !ok {
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, e := range experiments.All() {
@@ -95,15 +114,23 @@ func main() {
 	}
 }
 
-// benchResult is one machine-readable benchmark record.
+// benchResult is one machine-readable benchmark record. Each record carries
+// the parallelism environment it was measured under, so records from reports
+// taken on different machines (or GOMAXPROCS settings) stay interpretable
+// when diffed side by side.
 type benchResult struct {
 	Name        string  `json:"name"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
+	GoMaxProcs  int     `json:"gomaxprocs"`
+	NumCPU      int     `json:"num_cpu"`
 	// SpeedupVsSequential is set for parallel-engine entries: the sequential
-	// wall-clock of the same workload divided by this entry's.
+	// wall-clock of the same workload divided by this entry's. Omitted when
+	// GOMAXPROCS is 1 — the "parallel" run degenerates to the sequential path
+	// and the ratio would only measure scheduling noise (Note says so).
 	SpeedupVsSequential float64 `json:"speedup_vs_sequential,omitempty"`
+	Note                string  `json:"note,omitempty"`
 }
 
 type benchReport struct {
@@ -131,6 +158,8 @@ func record(name string, r testing.BenchmarkResult) benchResult {
 		NsPerOp:     float64(r.NsPerOp()),
 		AllocsPerOp: r.AllocsPerOp(),
 		BytesPerOp:  r.AllocedBytesPerOp(),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
 	}
 }
 
@@ -162,6 +191,15 @@ func runBenchmarks(path string) error {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				linalg.SVDJacobi(svdIn)
+			}
+		})))
+	report.Results = append(report.Results, record("SingularValues/spectral/60x40",
+		testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			ws := linalg.NewWorkspace()
+			var buf []float64
+			for i := 0; i < b.N; i++ {
+				buf = linalg.AppendSingularValues(buf[:0], svdIn, ws)
 			}
 		})))
 	symIn := benchMatrix(48, 48, 2)
@@ -199,6 +237,38 @@ func runBenchmarks(path string) error {
 				if _, err := core.TMA(env); err != nil {
 					b.Fatal(err)
 				}
+			}
+		})))
+	// Cold TMA at the SVD benchmark shape: the production path (Gram +
+	// tridiagonal QL inside the Env memo) against the same measure computed
+	// through the full Jacobi SVD, which is what the seed paid per evaluation.
+	report.Results = append(report.Results, record("TMA/cold/60x40",
+		testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				env, err := etcmat.NewFromECS(svdIn)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := core.TMA(env); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})))
+	report.Results = append(report.Results, record("TMA/cold/60x40/jacobi-path",
+		testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := sinkhorn.Standardize(svdIn)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sv := linalg.SVDJacobi(res.Scaled).S
+				sum := 0.0
+				for _, s := range sv[1:] {
+					sum += s
+				}
+				_ = sum / float64(len(sv)-1)
 			}
 		})))
 	report.Results = append(report.Results, record("TMA/memoized/16x8",
@@ -243,7 +313,10 @@ func runBenchmarks(path string) error {
 	par := engineBench(0)
 	seqRec := record("ExperimentEngine/sequential", seq)
 	parRec := record("ExperimentEngine/parallel", par)
-	if par.NsPerOp() > 0 {
+	switch {
+	case runtime.GOMAXPROCS(0) == 1:
+		parRec.Note = "speedup_vs_sequential omitted: GOMAXPROCS=1, parallel run degenerates to the sequential path"
+	case par.NsPerOp() > 0:
 		parRec.SpeedupVsSequential = float64(seq.NsPerOp()) / float64(par.NsPerOp())
 	}
 	report.Results = append(report.Results, seqRec, parRec)

@@ -30,7 +30,7 @@ func TMALegacyColumnOnly(env *etcmat.Env) float64 {
 		cs[j] = 1 / cs[j]
 	}
 	w.ScaleCols(cs)
-	sv := linalg.SingularValues(w)
+	sv := linalg.SingularValues(w, nil)
 	sum := 0.0
 	for _, s := range sv[1:] {
 		sum += s

@@ -220,7 +220,7 @@ func (e *Env) StandardForm() (*sinkhorn.Result, []float64, error) {
 	if !mm.stdDone {
 		mm.std, mm.stdErr = sinkhorn.Standardize(w)
 		if mm.stdErr == nil {
-			mm.stdSV = linalg.SingularValues(mm.std.Scaled)
+			mm.stdSV = linalg.SingularValues(mm.std.Scaled, nil)
 		}
 		mm.stdDone = true
 	}

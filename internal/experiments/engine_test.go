@@ -86,3 +86,27 @@ func TestRunAllCanceled(t *testing.T) {
 		}
 	}
 }
+
+// TestRunAllPooledWorkspaceDeterminism is the fast (not -short-gated)
+// workspace-leak check: the spectral and Sinkhorn scratch pools behind the
+// measures are shared across goroutines, and a leak of one trial's state into
+// another shows up as a rendered-byte difference between worker counts. EX3
+// and EX13 are the sweep experiments that hammer those pools hardest while
+// staying quick enough for every -race run.
+func TestRunAllPooledWorkspaceDeterminism(t *testing.T) {
+	var subset []Experiment
+	for _, id := range []string{"EX3", "EX13"} {
+		e, ok := ByID(id)
+		if !ok {
+			t.Fatalf("experiment %s missing", id)
+		}
+		subset = append(subset, e)
+	}
+	seq := renderResults(t, RunAll(context.Background(), subset, 1))
+	for _, workers := range []int{2, 4, 0} {
+		par := renderResults(t, RunAll(context.Background(), subset, workers))
+		if !bytes.Equal(seq, par) {
+			t.Fatalf("workers=%d: pooled-workspace run differs from sequential run", workers)
+		}
+	}
+}

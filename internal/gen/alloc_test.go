@@ -1,0 +1,26 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestTargetedAllocBudget pins the workspace rework's allocation budget: a
+// warm Targeted call allocates only for its returned Env and Profile (the
+// bisection probes themselves run on pooled scratch). The seed-path baseline
+// before the spectral/workspace rework was 928 allocs/op.
+func TestTargetedAllocBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	target := Target{Tasks: 10, Machines: 5, MPH: 0.6, TDH: 0.7, TMA: 0.3}
+	if _, err := Targeted(target, rng); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := Targeted(target, rng); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs >= 100 {
+		t.Errorf("warm Targeted allocates %g times per op, want < 100", allocs)
+	}
+}

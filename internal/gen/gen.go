@@ -21,10 +21,13 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/etcmat"
+	"repro/internal/linalg"
 	"repro/internal/matrix"
+	"repro/internal/sinkhorn"
 	"repro/internal/stats"
 )
 
@@ -96,6 +99,50 @@ type Generated struct {
 // affinity structure can reach for the given shape.
 var ErrUnreachable = errors.New("gen: requested TMA not reachable for this shape")
 
+// targetedScratch is the reusable per-call state of Targeted: the affinity
+// core matrix, the standardization and spectral workspaces the bisection
+// loop evaluates TMA with, and the sum buffers of the final rebalance. The
+// bisection runs entirely on raw matrices — no Env, no memo, no factor SVD —
+// so a warm Targeted call allocates only for its returned Env and Profile.
+type targetedScratch struct {
+	core   *matrix.Dense
+	sink   *sinkhorn.Workspace
+	spec   *linalg.Workspace
+	sv     []float64
+	cs, rs []float64
+}
+
+var scratchPool = sync.Pool{New: func() any {
+	return &targetedScratch{
+		core: matrix.New(0, 0),
+		sink: sinkhorn.NewWorkspace(),
+		spec: linalg.NewWorkspace(),
+	}
+}}
+
+// tma evaluates the task-machine affinity of the strictly positive core
+// matrix held in sc.core (paper Eq. 8): standardize, take the singular
+// values through the Gram fast path, and average the non-maximum ones.
+func (sc *targetedScratch) tma() (float64, error) {
+	res, err := sinkhorn.StandardizeWS(sc.core, sc.sink)
+	if err != nil {
+		return 0, err
+	}
+	sc.sv = linalg.AppendSingularValues(sc.sv[:0], res.Scaled, sc.spec)
+	sum := 0.0
+	for _, s := range sc.sv[1:] {
+		sum += s
+	}
+	v := sum / float64(len(sc.sv)-1)
+	if v < 0 {
+		v = 0
+	}
+	if v > 1 {
+		v = 1
+	}
+	return v, nil
+}
+
 // Targeted generates an environment hitting the requested (MPH, TDH, TMA)
 // profile. Machine performances follow a geometric profile with adjacent
 // ratio = MPH (making Eq. 3 exact) and task difficulties one with adjacent
@@ -121,23 +168,21 @@ func Targeted(target Target, rng *rand.Rand) (*Generated, error) {
 		tol = 1e-3
 	}
 
-	tmaOf := func(a float64) (float64, *matrix.Dense, error) {
-		s := affinityCore(t, m, a, rng)
-		env, err := etcmat.NewFromECS(s)
-		if err != nil {
-			return 0, nil, err
-		}
-		r, err := core.TMA(env)
-		if err != nil {
-			return 0, nil, err
-		}
-		return r.TMA, s, nil
+	// The bisection evaluates TMA on pooled scratch: each probe regenerates
+	// the affinity core in place, rebalances it on the Sinkhorn workspace and
+	// reads the spectrum through the Gram fast path — zero allocations per
+	// probe once the workspaces are warm.
+	sc := scratchPool.Get().(*targetedScratch)
+	defer scratchPool.Put(sc)
+	tmaOf := func(a float64) (float64, error) {
+		affinityCoreInto(sc.core.Reset(t, m), a, rng)
+		return sc.tma()
 	}
 
 	// Bisection on the mixing parameter. TMA(0) = 0 (rank-1 core) and
 	// TMA(a) grows monotonically toward the shape's maximum.
 	lo, hi := 0.0, 1.0
-	tmaHi, _, err := tmaOf(hi)
+	tmaHi, err := tmaOf(hi)
 	if err != nil {
 		return nil, err
 	}
@@ -146,7 +191,6 @@ func Targeted(target Target, rng *rand.Rand) (*Generated, error) {
 			ErrUnreachable, target.TMA, t, m, tmaHi)
 	}
 	var mix float64
-	var coreMat *matrix.Dense
 	switch {
 	case target.TMA <= tol:
 		mix = 0
@@ -155,7 +199,7 @@ func Targeted(target Target, rng *rand.Rand) (*Generated, error) {
 	default:
 		for iter := 0; iter < 60; iter++ {
 			mid := (lo + hi) / 2
-			v, _, err := tmaOf(mid)
+			v, err := tmaOf(mid)
 			if err != nil {
 				return nil, err
 			}
@@ -171,27 +215,33 @@ func Targeted(target Target, rng *rand.Rand) (*Generated, error) {
 		}
 		mix = (lo + hi) / 2
 	}
-	_, coreMat, err = tmaOf(mix)
-	if err != nil {
-		return nil, err
-	}
-
-	// Rebalance the core so machine performances follow a geometric profile
-	// with adjacent ratio target.MPH and task difficulties one with ratio
+	// Regenerate the settled core (consuming the same rng draws the old
+	// Env-based evaluation did, so seeded sweeps reproduce) and rebalance it
+	// in place so machine performances follow a geometric profile with
+	// adjacent ratio target.MPH and task difficulties one with ratio
 	// target.TDH; then Eq. 3 and Eq. 7 evaluate to the targets exactly.
+	coreMat := affinityCoreInto(sc.core.Reset(t, m), mix, rng)
 	mp := geometricProfile(m, target.MPH)
 	td := geometricProfile(t, target.TDH)
 	// The two profiles must carry the same total mass.
 	matrix.VecScale(td, matrix.VecSum(mp)/matrix.VecSum(td))
-	balanced, err := balanceToTargets(coreMat, td, mp)
-	if err != nil {
+	sc.cs = growVec(sc.cs, m)
+	sc.rs = growVec(sc.rs, t)
+	if err := balanceToTargets(coreMat, td, mp, sc.cs, sc.rs); err != nil {
 		return nil, err
 	}
-	env, err := etcmat.NewFromECS(balanced)
+	env, err := etcmat.NewFromECS(coreMat)
 	if err != nil {
 		return nil, err
 	}
 	return &Generated{Env: env, Achieved: core.Characterize(env), Mix: mix}, nil
+}
+
+func growVec(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
 }
 
 // affinityCore builds the TMA-controlling core: a convex mix of a rank-1
@@ -199,7 +249,13 @@ func Targeted(target Target, rng *rand.Rand) (*Generated, error) {
 // prefers machine i mod m (maximal affinity), plus a whiff of noise so
 // repeated generation is not identical.
 func affinityCore(t, m int, a float64, rng *rand.Rand) *matrix.Dense {
-	s := matrix.New(t, m)
+	return affinityCoreInto(matrix.New(t, m), a, rng)
+}
+
+// affinityCoreInto writes the affinity core into dst (which fixes the shape)
+// and returns it; the allocation-free form the Targeted bisection probes use.
+func affinityCoreInto(dst *matrix.Dense, a float64, rng *rand.Rand) *matrix.Dense {
+	t, m := dst.Dims()
 	const jitter = 1e-3
 	for i := 0; i < t; i++ {
 		for j := 0; j < m; j++ {
@@ -211,10 +267,10 @@ func affinityCore(t, m int, a float64, rng *rand.Rand) *matrix.Dense {
 				v += jitter * rng.Float64() * (1 - a)
 			}
 			// Keep entries strictly positive so the standardization is exact.
-			s.Set(i, j, v+1e-9)
+			dst.Set(i, j, v+1e-9)
 		}
 	}
-	return s
+	return dst
 }
 
 // geometricProfile returns n ascending values with constant adjacent ratio r:
@@ -228,29 +284,33 @@ func geometricProfile(n int, r float64) []float64 {
 	return v
 }
 
-// balanceToTargets alternately scales rows and columns of a positive matrix
-// until row i sums to rowTargets[i] and column j to colTargets[j] — the
-// generalized (non-uniform) Sinkhorn problem. The target vectors must have
-// equal totals.
-func balanceToTargets(a *matrix.Dense, rowTargets, colTargets []float64) (*matrix.Dense, error) {
-	t, m := a.Dims()
+// balanceToTargets alternately scales rows and columns of the positive
+// matrix w — in place — until row i sums to rowTargets[i] and column j to
+// colTargets[j], the generalized (non-uniform) Sinkhorn problem. The target
+// vectors must have equal totals. cs and rs are the fused-pass sum buffers
+// (lengths cols and rows); nil buffers are allocated.
+func balanceToTargets(w *matrix.Dense, rowTargets, colTargets, cs, rs []float64) error {
+	t, m := w.Dims()
 	if len(rowTargets) != t || len(colTargets) != m {
-		return nil, fmt.Errorf("gen: target lengths (%d,%d) do not match matrix %dx%d",
+		return fmt.Errorf("gen: target lengths (%d,%d) do not match matrix %dx%d",
 			len(rowTargets), len(colTargets), t, m)
 	}
 	if math.Abs(matrix.VecSum(rowTargets)-matrix.VecSum(colTargets)) > 1e-9*matrix.VecSum(rowTargets) {
-		return nil, errors.New("gen: row and column target totals differ")
+		return errors.New("gen: row and column target totals differ")
 	}
-	w := a.Clone()
 	const (
 		tolerance = 1e-10
 		maxIter   = 5000
 	)
+	if cs == nil {
+		cs = make([]float64, m)
+	}
+	if rs == nil {
+		rs = make([]float64, t)
+	}
 	// Same fused-kernel structure as sinkhorn.Balance: each half-step scales
 	// and reduces in one pass, and the convergence check reads the column
 	// sums the row half-step just produced (rows are exact by construction).
-	cs := make([]float64, m)
-	rs := make([]float64, t)
 	w.ColSumsInto(cs)
 	for iter := 0; iter < maxIter; iter++ {
 		for j := range cs {
@@ -268,8 +328,8 @@ func balanceToTargets(a *matrix.Dense, rowTargets, colTargets []float64) (*matri
 			}
 		}
 		if dev < tolerance {
-			return w, nil
+			return nil
 		}
 	}
-	return nil, errors.New("gen: target balancing did not converge")
+	return errors.New("gen: target balancing did not converge")
 }

@@ -4,10 +4,12 @@ import (
 	"errors"
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/etcmat"
+	"repro/internal/matrix"
 	"repro/internal/stats"
 )
 
@@ -192,11 +194,10 @@ func TestGeometricProfileRatio(t *testing.T) {
 
 func TestBalanceToTargets(t *testing.T) {
 	rng := rand.New(rand.NewSource(59))
-	a := affinityCore(4, 3, 0.3, rng)
+	w := affinityCore(4, 3, 0.3, rng)
 	rows := []float64{1, 2, 3, 4}
 	cols := []float64{5, 2, 3}
-	w, err := balanceToTargets(a, rows, cols)
-	if err != nil {
+	if err := balanceToTargets(w, rows, cols, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	for i, s := range w.RowSums() {
@@ -213,10 +214,61 @@ func TestBalanceToTargets(t *testing.T) {
 
 func TestBalanceToTargetsInconsistent(t *testing.T) {
 	a := affinityCore(2, 2, 0, nil)
-	if _, err := balanceToTargets(a, []float64{1, 1}, []float64{5, 5}); err == nil {
+	if err := balanceToTargets(a, []float64{1, 1}, []float64{5, 5}, nil, nil); err == nil {
 		t.Error("inconsistent totals accepted")
 	}
-	if _, err := balanceToTargets(a, []float64{1}, []float64{1, 1}); err == nil {
+	if err := balanceToTargets(a, []float64{1}, []float64{1, 1}, nil, nil); err == nil {
 		t.Error("wrong-length targets accepted")
+	}
+}
+
+// TestTargetedPooledDeterminism pins that the pooled scratch behind Targeted
+// never leaks state between concurrent calls: a seeded sweep must produce
+// value-identical environments whether run sequentially or with many
+// goroutines hammering the scratch pool at once.
+func TestTargetedPooledDeterminism(t *testing.T) {
+	targets := make([]Target, 24)
+	for i := range targets {
+		targets[i] = Target{
+			Tasks:    4 + i%7,
+			Machines: 3 + i%5,
+			MPH:      0.3 + 0.1*float64(i%5),
+			TDH:      0.5,
+			TMA:      0.05 * float64(i%8),
+		}
+	}
+	run := func(i int) *Generated {
+		g, err := Targeted(targets[i], rand.New(rand.NewSource(int64(100+i))))
+		if err != nil {
+			t.Errorf("target %d: %v", i, err)
+			return nil
+		}
+		return g
+	}
+	sequential := make([]*Generated, len(targets))
+	for i := range targets {
+		sequential[i] = run(i)
+	}
+	concurrent := make([]*Generated, len(targets))
+	var wg sync.WaitGroup
+	for i := range targets {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			concurrent[i] = run(i)
+		}(i)
+	}
+	wg.Wait()
+	for i := range targets {
+		if sequential[i] == nil || concurrent[i] == nil {
+			continue
+		}
+		sECS, cECS := sequential[i].Env.ECS(), concurrent[i].Env.ECS()
+		if !matrix.EqualTol(sECS, cECS, 0) {
+			t.Errorf("target %d: concurrent ECS differs from sequential", i)
+		}
+		if sequential[i].Mix != concurrent[i].Mix {
+			t.Errorf("target %d: mix %g vs %g", i, sequential[i].Mix, concurrent[i].Mix)
+		}
 	}
 }

@@ -126,7 +126,7 @@ func TestSVDSingularValuesDescendingNonNegative(t *testing.T) {
 	for trial := 0; trial < 40; trial++ {
 		r := 1 + rng.Intn(10)
 		c := 1 + rng.Intn(10)
-		s := SingularValues(randMat(rng, r, c))
+		s := SingularValues(randMat(rng, r, c), nil)
 		if len(s) != minInt(r, c) {
 			t.Fatalf("got %d singular values for %dx%d", len(s), r, c)
 		}
@@ -146,8 +146,8 @@ func TestSVDOrthogonalInvariance(t *testing.T) {
 	rng := rand.New(rand.NewSource(14))
 	a := randMat(rng, 6, 4)
 	q := RandomOrthogonal(6, rng)
-	sA := SingularValues(a)
-	sQA := SingularValues(matrix.Mul(q, a))
+	sA := SingularValues(a, nil)
+	sQA := SingularValues(matrix.Mul(q, a), nil)
 	if !matrix.VecEqualTol(sA, sQA, 1e-10) {
 		t.Errorf("σ(QA) = %v != σ(A) = %v", sQA, sA)
 	}
@@ -158,7 +158,7 @@ func TestSVDFrobeniusIdentity(t *testing.T) {
 	rng := rand.New(rand.NewSource(15))
 	for trial := 0; trial < 20; trial++ {
 		a := randMat(rng, 3+rng.Intn(6), 3+rng.Intn(6))
-		s := SingularValues(a)
+		s := SingularValues(a, nil)
 		ss := 0.0
 		for _, v := range s {
 			ss += v * v
@@ -177,7 +177,7 @@ func TestSVDMatchesGramEigenvalues(t *testing.T) {
 	a := randMat(rng, 8, 5)
 	gram := matrix.Mul(a.T(), a)
 	eigs, _ := SymEigJacobi(gram)
-	s := SingularValues(a)
+	s := SingularValues(a, nil)
 	for i := range s {
 		ev := eigs[i]
 		if ev < 0 {
@@ -196,14 +196,14 @@ func TestSVDConstructedFromFactors(t *testing.T) {
 	v := RandomOrthogonal(6, rng)
 	want := []float64{10, 5, 2, 1, 0.5, 0.1}
 	a := matrix.Mul(u.Clone().ScaleCols(want), v.T())
-	got := SingularValues(a)
+	got := SingularValues(a, nil)
 	if !matrix.VecEqualTol(got, want, 1e-9) {
 		t.Errorf("recovered %v, want %v", got, want)
 	}
 }
 
 func TestSVDZeroMatrix(t *testing.T) {
-	s := SingularValues(matrix.New(3, 4))
+	s := SingularValues(matrix.New(3, 4), nil)
 	for _, v := range s {
 		if v != 0 {
 			t.Errorf("zero matrix has singular value %g", v)

@@ -1,13 +1,16 @@
 // Package linalg implements the dense numerical linear algebra this
 // repository needs, from scratch on top of internal/matrix: Householder QR,
 // a Golub–Reinsch SVD, a one-sided Jacobi SVD used as an independent
-// cross-check, and a cyclic Jacobi symmetric eigensolver.
+// cross-check, a cyclic Jacobi symmetric eigensolver, and a values-only
+// spectral fast path (Gram matrix + Householder tridiagonalization +
+// implicit-shift QL) for consumers that need σ but not U/V.
 //
 // The task-machine affinity measure (TMA) of the reproduced paper is a
 // function of the singular values of a standardized ECS matrix, so the SVD is
-// the numerical heart of this repository. Two independent SVD algorithms are
-// provided and tested against each other; SingularValues picks the
-// Golub–Reinsch path and falls back to Jacobi on the rare non-convergence.
+// the numerical heart of this repository. Factor-producing consumers use the
+// Jacobi or Golub–Reinsch paths, which cross-check each other in tests;
+// SingularValues takes the Gram fast path (see spectral.go) and uses the
+// Jacobi SVD as its oracle and non-convergence fallback.
 package linalg
 
 import (

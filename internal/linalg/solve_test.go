@@ -93,7 +93,7 @@ func TestLUDetMatchesSVD(t *testing.T) {
 		t.Fatal(err)
 	}
 	prod := 1.0
-	for _, s := range SingularValues(a) {
+	for _, s := range SingularValues(a, nil) {
 		prod *= s
 	}
 	if math.Abs(math.Abs(f.Det())-prod) > 1e-9*(1+prod) {

@@ -1,0 +1,196 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+// spectralAgrees checks the fast path against the Jacobi SVD oracle to an
+// absolute 1e-10 on every singular value.
+func spectralAgrees(t *testing.T, a *matrix.Dense, label string) {
+	t.Helper()
+	got := SingularValues(a, nil)
+	want := SVDJacobi(a).S
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d singular values, oracle has %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if math.IsNaN(got[i]) {
+			t.Fatalf("%s: σ%d is NaN", label, i)
+		}
+		if math.Abs(got[i]-want[i]) > 1e-10 {
+			t.Fatalf("%s: σ%d = %.15g, oracle %.15g (Δ %g)", label, i, got[i], want[i], got[i]-want[i])
+		}
+	}
+}
+
+// TestSpectralMatchesJacobi is the property test pinning the Gram +
+// tridiagonal QL path to the Jacobi SVD within 1e-10 across tall, wide,
+// square and rank-deficient shapes.
+func TestSpectralMatchesJacobi(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 60; trial++ {
+		r := 1 + rng.Intn(60)
+		c := 1 + rng.Intn(40)
+		a := matrix.New(r, c)
+		for i := range a.RawData() {
+			a.RawData()[i] = 2*rng.Float64() - 1
+		}
+		spectralAgrees(t, a, "random")
+	}
+	// Dedicated shape sweep, including the benchmark shape.
+	for _, dims := range [][2]int{{60, 40}, {40, 60}, {48, 48}, {1, 12}, {12, 1}, {2, 2}} {
+		a := randMat(rng, dims[0], dims[1]).Scale(0.5)
+		spectralAgrees(t, a, "shape")
+	}
+}
+
+// TestSpectralRankDeficient covers the degenerate spectra the satellite task
+// names: rank-deficient Gram matrices must yield exact zeros, never NaN.
+func TestSpectralRankDeficient(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	// Rank-1 outer products at several shapes (the rank-1 ECS matrix case).
+	for _, dims := range [][2]int{{6, 4}, {4, 6}, {12, 12}, {60, 40}} {
+		u := make([]float64, dims[0])
+		v := make([]float64, dims[1])
+		for i := range u {
+			u[i] = 0.2 + rng.Float64()
+		}
+		for j := range v {
+			v[j] = 0.2 + rng.Float64()
+		}
+		a := matrix.New(dims[0], dims[1])
+		for i := range u {
+			for j := range v {
+				a.Set(i, j, u[i]*v[j])
+			}
+		}
+		s := SingularValues(a, nil)
+		want := matrix.Nrm2(u) * matrix.Nrm2(v)
+		if math.Abs(s[0]-want) > 1e-10*(1+want) {
+			t.Errorf("%v: σ1 = %g, want %g", dims, s[0], want)
+		}
+		for i, v := range s[1:] {
+			if math.IsNaN(v) {
+				t.Fatalf("%v: σ%d is NaN on rank-1 input", dims, i+2)
+			}
+			if v != 0 {
+				t.Errorf("%v: σ%d = %g, want exact 0 (noise-floor clamp)", dims, i+2, v)
+			}
+		}
+		spectralAgrees(t, a, "rank-1")
+	}
+	// Rank-2: two independent outer products.
+	a := randMat(rng, 9, 2)
+	b := randMat(rng, 2, 7)
+	prod := matrix.Mul(a, b)
+	s := SingularValues(prod, nil)
+	for _, v := range s[2:] {
+		if v != 0 || math.IsNaN(v) {
+			t.Errorf("rank-2: trailing σ = %g, want 0", v)
+		}
+	}
+	spectralAgrees(t, prod, "rank-2")
+	// All-zero matrix.
+	for _, v := range SingularValues(matrix.New(5, 3), nil) {
+		if v != 0 {
+			t.Errorf("zero matrix: σ = %g", v)
+		}
+	}
+}
+
+// TestSpectralNearZeroGram drives the near-zero Gram regime: entries so small
+// the Gram matrix underflows toward the noise floor must still produce finite
+// nonnegative values.
+func TestSpectralNearZeroGram(t *testing.T) {
+	a := matrix.Constant(8, 5, 1e-160)
+	for _, v := range SingularValues(a, nil) {
+		if math.IsNaN(v) || v < 0 {
+			t.Fatalf("near-zero input produced σ = %g", v)
+		}
+	}
+	// A duplicated-column matrix (exactly repeated spectra direction).
+	dup := matrix.FromRows([][]float64{{1, 1, 2}, {3, 3, 1}, {2, 2, 5}, {4, 4, 0.5}})
+	spectralAgrees(t, dup, "duplicated-columns")
+}
+
+// TestSpectralWorkspaceReuse runs many spectra of different shapes through
+// one workspace and through the pool, checking results are independent of
+// the scratch history.
+func TestSpectralWorkspaceReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	ws := NewWorkspace()
+	var buf []float64
+	for trial := 0; trial < 40; trial++ {
+		a := randMat(rng, 1+rng.Intn(20), 1+rng.Intn(20))
+		buf = AppendSingularValues(buf[:0], a, ws)
+		fresh := SVDJacobi(a).S
+		if !matrix.VecEqualTol(buf, fresh, 1e-10) {
+			t.Fatalf("trial %d: reused workspace gave %v, fresh oracle %v", trial, buf, fresh)
+		}
+	}
+	// Pool round trip.
+	pws := GetWorkspace()
+	a := randMat(rng, 10, 6)
+	s1 := SingularValues(a, pws)
+	PutWorkspace(pws)
+	s2 := SingularValues(a, nil)
+	if !matrix.VecEqualTol(s1, s2, 0) {
+		t.Errorf("pooled vs nil workspace disagree: %v vs %v", s1, s2)
+	}
+}
+
+// TestAppendSingularValuesZeroAlloc pins the fast path's allocation contract:
+// with a caller-held workspace and a reused destination slice, a warm call
+// does not allocate.
+func TestAppendSingularValuesZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(74))
+	a := randMat(rng, 16, 8)
+	ws := NewWorkspace()
+	buf := make([]float64, 0, 8)
+	buf = AppendSingularValues(buf, a, ws) // warm the buffers
+	allocs := testing.AllocsPerRun(50, func() {
+		buf = AppendSingularValues(buf[:0], a, ws)
+	})
+	if allocs != 0 {
+		t.Errorf("warm AppendSingularValues allocates %g times per op, want 0", allocs)
+	}
+}
+
+// FuzzSingularValues fuzzes matrix shape and content, asserting the spectral
+// path agrees with the Jacobi oracle and never emits NaN or negatives.
+func FuzzSingularValues(f *testing.F) {
+	f.Add(int64(1), uint8(5), uint8(7), false)
+	f.Add(int64(2), uint8(12), uint8(3), true)
+	f.Add(int64(3), uint8(1), uint8(1), false)
+	f.Add(int64(4), uint8(40), uint8(25), true)
+	f.Fuzz(func(t *testing.T, seed int64, rdim, cdim uint8, rankDeficient bool) {
+		r := 1 + int(rdim)%48
+		c := 1 + int(cdim)%48
+		rng := rand.New(rand.NewSource(seed))
+		a := matrix.New(r, c)
+		for i := range a.RawData() {
+			a.RawData()[i] = 2*rng.Float64() - 1
+		}
+		if rankDeficient && r > 1 {
+			// Make row r-1 a multiple of row 0.
+			f := rng.Float64() * 2
+			for j := 0; j < c; j++ {
+				a.Set(r-1, j, f*a.At(0, j))
+			}
+		}
+		got := SingularValues(a, nil)
+		want := SVDJacobi(a).S
+		for i := range got {
+			if math.IsNaN(got[i]) || got[i] < 0 {
+				t.Fatalf("σ%d = %g", i, got[i])
+			}
+			if math.Abs(got[i]-want[i]) > 1e-10 {
+				t.Fatalf("σ%d = %.15g, oracle %.15g", i, got[i], want[i])
+			}
+		}
+	})
+}

@@ -9,8 +9,7 @@ import (
 
 // ErrNoConvergence is returned by SVDGolubReinsch when the implicit-shift QR
 // iteration on the bidiagonal form fails to converge within its iteration
-// budget. Callers normally fall back to the Jacobi SVD (SingularValues does
-// this automatically).
+// budget. Callers normally fall back to the Jacobi SVD.
 var ErrNoConvergence = errors.New("linalg: SVD did not converge")
 
 // SVDGolubReinsch computes the singular value decomposition of a via
@@ -37,20 +36,10 @@ func SVDGolubReinsch(a *matrix.Dense) (*Factors, error) {
 	return &Factors{U: u, S: w, V: v}, nil
 }
 
-// SingularValues returns the singular values of a in descending order,
-// computed with Golub–Reinsch and cross-checked by Jacobi on the rare
-// non-convergence.
-func SingularValues(a *matrix.Dense) []float64 {
-	if f, err := SVDGolubReinsch(a); err == nil {
-		return f.S
-	}
-	return SVDJacobi(a).S
-}
-
 // Rank returns the number of singular values exceeding tol. A non-positive
 // tol selects the conventional default max(m, n)·eps·σ₁.
 func Rank(a *matrix.Dense, tol float64) int {
-	s := SingularValues(a)
+	s := SingularValues(a, nil)
 	if len(s) == 0 {
 		return 0
 	}
@@ -70,7 +59,7 @@ func Rank(a *matrix.Dense, tol float64) int {
 // Cond2 returns the 2-norm condition number σ₁/σₘᵢₙ, or +Inf for a singular
 // matrix.
 func Cond2(a *matrix.Dense) float64 {
-	s := SingularValues(a)
+	s := SingularValues(a, nil)
 	if len(s) == 0 {
 		return math.Inf(1)
 	}
@@ -83,7 +72,7 @@ func Cond2(a *matrix.Dense) float64 {
 
 // Norm2 returns the spectral norm σ₁ of a.
 func Norm2(a *matrix.Dense) float64 {
-	s := SingularValues(a)
+	s := SingularValues(a, nil)
 	if len(s) == 0 {
 		return 0
 	}

@@ -1,0 +1,135 @@
+package matrix
+
+// This file holds the Gram-matrix kernels behind the values-only spectral
+// pipeline in internal/linalg: forming G = AᵀA (or AAᵀ) is the only O(m·n·k)
+// step of that pipeline, so both kernels are blocked to keep the output tile
+// resident in L1 while the input streams through row-major storage, and both
+// exploit symmetry by computing only the upper triangle before mirroring.
+
+// gramBlock is the tile edge used by the Gram kernels. A 32×32 float64 tile
+// is 8 KiB — half a typical 16-32 KiB L1d — leaving room for the streaming
+// input rows.
+const gramBlock = 32
+
+// Reset reconfigures m in place to an r×c all-zero matrix, reusing the
+// backing slice when its capacity allows and allocating only on growth. It
+// returns m. This is the resize primitive the linalg/sinkhorn workspaces use
+// to recycle scratch matrices across calls of different shapes.
+func (m *Dense) Reset(r, c int) *Dense {
+	checkDims(r, c)
+	n := r * c
+	if cap(m.data) < n {
+		m.data = make([]float64, n)
+	} else {
+		m.data = m.data[:n]
+		for i := range m.data {
+			m.data[i] = 0
+		}
+	}
+	m.rows, m.cols = r, c
+	return m
+}
+
+// AtAInto computes dst = aᵀ·a for an m×n input a; dst must be n×n. Row i of a
+// contributes the rank-1 update row·rowᵀ, accumulated tile by tile over the
+// upper triangle of dst so the active output block stays cache-resident.
+func AtAInto(dst, a *Dense) *Dense {
+	m, n := a.Dims()
+	if dst.rows != n || dst.cols != n {
+		panic("matrix: AtAInto needs a square destination matching a's columns")
+	}
+	dd := dst.data
+	for i := range dd {
+		dd[i] = 0
+	}
+	ad := a.data
+	for j0 := 0; j0 < n; j0 += gramBlock {
+		j1 := minDim(j0+gramBlock, n)
+		for k0 := j0; k0 < n; k0 += gramBlock {
+			k1 := minDim(k0+gramBlock, n)
+			for i := 0; i < m; i++ {
+				row := ad[i*n : (i+1)*n]
+				for j := j0; j < j1; j++ {
+					v := row[j]
+					if v == 0 {
+						continue
+					}
+					ks := k0
+					if j > ks {
+						ks = j
+					}
+					drow := dd[j*n:]
+					for k := ks; k < k1; k++ {
+						drow[k] += v * row[k]
+					}
+				}
+			}
+		}
+	}
+	mirrorUpper(dd, n)
+	return dst
+}
+
+// AAtInto computes dst = a·aᵀ for an m×n input a; dst must be m×m. Entry
+// (i, j) is the dot product of rows i and j; the row pairs are walked in
+// tiles so each row block is reused across a whole tile of dot products.
+func AAtInto(dst, a *Dense) *Dense {
+	m, n := a.Dims()
+	if dst.rows != m || dst.cols != m {
+		panic("matrix: AAtInto needs a square destination matching a's rows")
+	}
+	dd := dst.data
+	ad := a.data
+	for i0 := 0; i0 < m; i0 += gramBlock {
+		i1 := minDim(i0+gramBlock, m)
+		for j0 := i0; j0 < m; j0 += gramBlock {
+			j1 := minDim(j0+gramBlock, m)
+			for i := i0; i < i1; i++ {
+				ri := ad[i*n : (i+1)*n]
+				js := j0
+				if i > js {
+					js = i
+				}
+				for j := js; j < j1; j++ {
+					rj := ad[j*n : (j+1)*n]
+					s := 0.0
+					for k, v := range ri {
+						s += v * rj[k]
+					}
+					dd[i*m+j] = s
+				}
+			}
+		}
+	}
+	mirrorUpper(dd, m)
+	return dst
+}
+
+// GramInto computes the min-dimension Gram matrix of a — aᵀ·a when a has at
+// least as many rows as columns, a·aᵀ otherwise — into dst, which must be
+// square with edge min(rows, cols). Both products share a's nonzero singular
+// values squared, so values-only spectral consumers always take the smaller
+// (and cheaper) eigenproblem.
+func GramInto(dst, a *Dense) *Dense {
+	if a.cols <= a.rows {
+		return AtAInto(dst, a)
+	}
+	return AAtInto(dst, a)
+}
+
+// mirrorUpper copies the strict upper triangle of the n×n row-major matrix d
+// onto its lower triangle.
+func mirrorUpper(d []float64, n int) {
+	for i := 1; i < n; i++ {
+		for j := 0; j < i; j++ {
+			d[i*n+j] = d[j*n+i]
+		}
+	}
+}
+
+func minDim(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

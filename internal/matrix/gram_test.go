@@ -1,0 +1,123 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randDense(rng *rand.Rand, r, c int) *Dense {
+	m := New(r, c)
+	for i := range m.data {
+		m.data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+// naiveGram is the reference the blocked kernels are checked against.
+func naiveGram(a *Dense, transposeFirst bool) *Dense {
+	if transposeFirst {
+		return Mul(a.T(), a)
+	}
+	return Mul(a, a.T())
+}
+
+func TestAtAIntoMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	// Edges straddle the 32-wide tile boundary on both sides.
+	for _, dims := range [][2]int{{1, 1}, {3, 7}, {7, 3}, {20, 20}, {31, 33}, {33, 31}, {60, 40}, {40, 60}, {64, 65}} {
+		a := randDense(rng, dims[0], dims[1])
+		got := AtAInto(New(dims[1], dims[1]), a)
+		want := naiveGram(a, true)
+		if !EqualTol(got, want, 1e-12) {
+			t.Errorf("%v: AtAInto deviates by %g", dims, Sub(got, want).MaxAbs())
+		}
+	}
+}
+
+func TestAAtIntoMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, dims := range [][2]int{{1, 1}, {3, 7}, {7, 3}, {31, 33}, {33, 31}, {40, 60}, {65, 64}} {
+		a := randDense(rng, dims[0], dims[1])
+		got := AAtInto(New(dims[0], dims[0]), a)
+		want := naiveGram(a, false)
+		if !EqualTol(got, want, 1e-12) {
+			t.Errorf("%v: AAtInto deviates by %g", dims, Sub(got, want).MaxAbs())
+		}
+	}
+}
+
+func TestGramIntoPicksMinDimension(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	tall := randDense(rng, 9, 4)
+	if g := GramInto(New(4, 4), tall); g.Rows() != 4 {
+		t.Fatalf("tall: got %dx%d Gram", g.Rows(), g.Cols())
+	}
+	wide := randDense(rng, 4, 9)
+	g := GramInto(New(4, 4), wide)
+	want := naiveGram(wide, false)
+	if !EqualTol(g, want, 1e-12) {
+		t.Errorf("wide: GramInto deviates by %g", Sub(g, want).MaxAbs())
+	}
+}
+
+func TestGramIntoOverwritesStaleState(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	a := randDense(rng, 10, 6)
+	dst := Constant(6, 6, 123.0)
+	got := AtAInto(dst, a)
+	if !EqualTol(got, naiveGram(a, true), 1e-12) {
+		t.Error("AtAInto must fully overwrite a dirty destination")
+	}
+}
+
+func TestGramSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	a := randDense(rng, 37, 33)
+	g := AtAInto(New(33, 33), a)
+	for i := 0; i < 33; i++ {
+		for j := 0; j < i; j++ {
+			if g.At(i, j) != g.At(j, i) {
+				t.Fatalf("Gram not exactly symmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestResetReusesCapacity(t *testing.T) {
+	m := New(8, 8)
+	data := m.RawData()
+	data[0] = 7
+	m.Reset(4, 4)
+	if m.Rows() != 4 || m.Cols() != 4 {
+		t.Fatalf("Reset dims = %dx%d, want 4x4", m.Rows(), m.Cols())
+	}
+	if m.At(0, 0) != 0 {
+		t.Error("Reset must zero the reused storage")
+	}
+	if &m.RawData()[0] != &data[0] {
+		t.Error("Reset within capacity must not reallocate")
+	}
+	m.Reset(10, 10)
+	if m.Rows() != 10 || m.At(9, 9) != 0 {
+		t.Error("Reset growth failed")
+	}
+	if allocs := testing.AllocsPerRun(100, func() { m.Reset(6, 6) }); allocs != 0 {
+		t.Errorf("Reset within capacity allocates %g times per run", allocs)
+	}
+}
+
+func TestGramFrobeniusTrace(t *testing.T) {
+	// trace(AᵀA) = ‖A‖F² — a cheap independent invariant of the kernel.
+	rng := rand.New(rand.NewSource(46))
+	a := randDense(rng, 21, 34)
+	g := AtAInto(New(34, 34), a)
+	tr := 0.0
+	for i := 0; i < 34; i++ {
+		tr += g.At(i, i)
+	}
+	fro := a.NormFro()
+	if math.Abs(tr-fro*fro) > 1e-10*(1+fro*fro) {
+		t.Errorf("trace %g != ‖A‖F² %g", tr, fro*fro)
+	}
+}

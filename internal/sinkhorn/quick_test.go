@@ -65,7 +65,7 @@ func TestQuickTheorem2(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		sv := linalg.SingularValues(res.Scaled)
+		sv := linalg.SingularValues(res.Scaled, nil)
 		return math.Abs(sv[0]-1) < 1e-6
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60, Rand: rng}); err != nil {

@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/bipartite"
 	"repro/internal/matrix"
@@ -95,10 +96,50 @@ var ErrNotConverged = errors.New("sinkhorn: iteration did not converge (matrix m
 // has no limit for such matrices.
 var ErrNoSupport = errors.New("sinkhorn: zero pattern has no support (no positive diagonal)")
 
+// Workspace carries the scratch state of a balancing run — the working
+// matrix, the accumulated scaling diagonals and the fused-pass sum buffers —
+// so Monte Carlo sweeps that standardize thousands of matrices reuse one
+// allocation set instead of paying ~6 allocations per call. A Workspace is
+// not safe for concurrent use; pool one per goroutine with
+// GetWorkspace/PutWorkspace.
+type Workspace struct {
+	w              *matrix.Dense
+	d1, d2, cs, rs []float64
+	res            Result
+}
+
+// NewWorkspace returns an empty balancing workspace; buffers grow on use.
+func NewWorkspace() *Workspace { return &Workspace{w: matrix.New(0, 0)} }
+
+var workspacePool = sync.Pool{New: func() any { return NewWorkspace() }}
+
+// GetWorkspace fetches a balancing workspace from the shared pool.
+func GetWorkspace() *Workspace { return workspacePool.Get().(*Workspace) }
+
+// PutWorkspace returns a workspace to the shared pool. Results produced
+// through ws become invalid; the caller must not use either afterwards.
+func PutWorkspace(ws *Workspace) { workspacePool.Put(ws) }
+
+func growVec(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	return (*buf)[:n]
+}
+
 // Balance runs alternating column/row normalization (the paper's Eq. 9) on a
 // nonnegative matrix. On ErrNotConverged the returned Result still carries
 // the last iterate and diagnostics.
 func Balance(a *matrix.Dense, opt Options) (*Result, error) {
+	return BalanceWS(a, opt, nil)
+}
+
+// BalanceWS is Balance running on a reusable workspace. With a non-nil ws the
+// returned Result and its Scaled/D1/D2 fields are backed by ws-owned storage:
+// they are valid only until the next BalanceWS call with the same workspace,
+// and must be cloned to outlive it. A nil ws behaves exactly like Balance
+// (fresh caller-owned allocations).
+func BalanceWS(a *matrix.Dense, opt Options, ws *Workspace) (*Result, error) {
 	t, m := a.Dims()
 	if t == 0 || m == 0 {
 		return nil, errors.New("sinkhorn: empty matrix")
@@ -122,9 +163,28 @@ func Balance(a *matrix.Dense, opt Options) (*Result, error) {
 		maxIter = 10000
 	}
 
-	w := a.Clone()
-	d1 := ones(t)
-	d2 := ones(m)
+	var (
+		w              *matrix.Dense
+		d1, d2, cs, rs []float64
+		res            *Result
+	)
+	if ws != nil {
+		w = ws.w.Reset(t, m)
+		copy(w.RawData(), a.RawData())
+		d1 = fillOnes(growVec(&ws.d1, t))
+		d2 = fillOnes(growVec(&ws.d2, m))
+		cs = growVec(&ws.cs, m)
+		rs = growVec(&ws.rs, t)
+		ws.res = Result{}
+		res = &ws.res
+	} else {
+		w = a.Clone()
+		d1 = ones(t)
+		d2 = ones(m)
+		cs = make([]float64, m)
+		rs = make([]float64, t)
+		res = &Result{}
+	}
 
 	trimmed := 0
 	if opt.TrimUnsupported && w.CountZeros() > 0 {
@@ -139,8 +199,6 @@ func Balance(a *matrix.Dense, opt Options) (*Result, error) {
 	// buffers: each half-step is a single fused pass (scale + reduce, see
 	// matrix.ScaleColsRowSums / ScaleRowsColSums) instead of separate
 	// sum, scale and deviation sweeps over the matrix.
-	cs := make([]float64, m)
-	rs := make([]float64, t)
 	w.ColSumsInto(cs)
 	w.RowSumsInto(rs)
 
@@ -156,7 +214,7 @@ func Balance(a *matrix.Dense, opt Options) (*Result, error) {
 		}
 	}
 
-	res := &Result{D1: d1, D2: d2, Trimmed: trimmed}
+	res.D1, res.D2, res.Trimmed = d1, d2, trimmed
 	for it := 1; it <= maxIter; it++ {
 		// Column normalization (Eq. 9, odd steps): cs holds the column sums,
 		// which become the scaling factors; the fused pass leaves the new row
@@ -300,8 +358,14 @@ func StandardTargets(t, m int) (rowTarget, colTarget float64) {
 // with geometric convergence (see Options.TrimUnsupported). See Balance for
 // error semantics.
 func Standardize(a *matrix.Dense) (*Result, error) {
+	return StandardizeWS(a, nil)
+}
+
+// StandardizeWS is Standardize running on a reusable workspace; see BalanceWS
+// for the lifetime rules of the returned Result when ws is non-nil.
+func StandardizeWS(a *matrix.Dense, ws *Workspace) (*Result, error) {
 	rt, ct := StandardTargets(a.Rows(), a.Cols())
-	return Balance(a, Options{RowTarget: rt, ColTarget: ct, Tol: DefaultTol, TrimUnsupported: true})
+	return BalanceWS(a, Options{RowTarget: rt, ColTarget: ct, Tol: DefaultTol, TrimUnsupported: true}, ws)
 }
 
 // DoublyStochastic balances a square matrix to row and column sums of 1.
@@ -312,8 +376,9 @@ func DoublyStochastic(a *matrix.Dense) (*Result, error) {
 	return Balance(a, Options{RowTarget: 1, ColTarget: 1, Tol: DefaultTol})
 }
 
-func ones(n int) []float64 {
-	v := make([]float64, n)
+func ones(n int) []float64 { return fillOnes(make([]float64, n)) }
+
+func fillOnes(v []float64) []float64 {
 	for i := range v {
 		v[i] = 1
 	}

@@ -90,7 +90,7 @@ func TestTheorem2LargestSingularValueIsOne(t *testing.T) {
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
-		s := linalg.SingularValues(res.Scaled)
+		s := linalg.SingularValues(res.Scaled, nil)
 		if math.Abs(s[0]-1) > 1e-6 {
 			t.Errorf("trial %d (%dx%d): σ1 = %g, want 1", trial, r, c, s[0])
 		}
