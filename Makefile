@@ -6,7 +6,7 @@ BENCH_NEW ?= BENCH_new.json
 # Fractional ns/op or allocs/op growth that fails benchdiff (0.20 = 20%).
 BENCH_THRESHOLD ?= 0.20
 
-.PHONY: build test vet race bench bench-json benchdiff verify clean
+.PHONY: build test vet race bench bench-json benchdiff verify clean serve loadtest
 
 build:
 	$(GO) build ./...
@@ -45,6 +45,18 @@ perf-verify:
 	$(GO) run ./cmd/hcbench -bench $(BENCH_NEW)
 	$(GO) run ./cmd/hcbench -benchdiff -threshold $(BENCH_THRESHOLD) $(BENCH_OLD) $(BENCH_NEW)
 endif
+
+# Serving tier (see API.md). SERVE_FLAGS passes extra hcserved flags, e.g.
+#   make serve SERVE_FLAGS="-addr :9090 -queue 16"
+serve:
+	$(GO) run ./cmd/hcserved $(SERVE_FLAGS)
+
+# Load-test a running hcserved and write the serving benchmark report.
+# The committed BENCH_serve.json baseline was produced with these settings
+# against `go run ./cmd/hcserved -queue 8` on a single-CPU host.
+LOAD_URL ?= http://localhost:8080
+loadtest:
+	$(GO) run ./cmd/hcload -url $(LOAD_URL) -c 4 -n 300 -tasks 150 -machines 80 -seed 1 -surge 96 -out BENCH_serve.json
 
 clean:
 	$(GO) clean ./...

@@ -101,7 +101,7 @@ func benchSuite(b *testing.B, workers int) {
 // the engine's wall-clock speedup on this machine (the outer and inner
 // fan-outs compose, so it saturates at GOMAXPROCS).
 func BenchmarkFiguresSequential(b *testing.B) { benchSuite(b, 1) }
-func BenchmarkFiguresParallel(b *testing.B)  { benchSuite(b, 0) }
+func BenchmarkFiguresParallel(b *testing.B)   { benchSuite(b, 0) }
 
 // randomECS builds a positive t x m ECS matrix.
 func randomECS(rng *rand.Rand, t, m int) *matrix.Dense {

@@ -1,0 +1,336 @@
+// Command hcload is the load generator for hcserved: it hammers a running
+// server with characterization requests and emits a machine-readable
+// BENCH_serve.json report, extending the kernel bench-diff story (see
+// cmd/hcbench) to the serving tier.
+//
+// Usage:
+//
+//	hcload [-url http://localhost:8080] [-c 8] [-n 500]
+//	       [-tasks 30] [-machines 16] [-seed 1] [-surge 0] [-out -]
+//
+// The run has two measured phases over the same body set:
+//
+//	cold — n distinct environments, every request runs the full
+//	       Sinkhorn+SVD pipeline;
+//	warm — the identical n bodies again, served from the content-addressed
+//	       result cache.
+//
+// The report carries per-phase latency quantiles and throughput, the
+// server's cache hit rate scraped from /metrics, and the cold/warm p50
+// ratio — the direct measurement of what the cache buys. With -surge K an
+// extra unmeasured burst of K concurrent unique requests probes overload
+// behavior; the report records how many were shed with 429.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/server"
+)
+
+type phaseReport struct {
+	Name          string  `json:"name"`
+	Requests      int     `json:"requests"`
+	Errors        int     `json:"errors"`
+	Status429     int     `json:"status_429"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	MeanMs        float64 `json:"mean_ms"`
+	P50Ms         float64 `json:"p50_ms"`
+	P90Ms         float64 `json:"p90_ms"`
+	P99Ms         float64 `json:"p99_ms"`
+}
+
+type cacheReport struct {
+	Hits    uint64  `json:"hits"`
+	Misses  uint64  `json:"misses"`
+	HitRate float64 `json:"hit_rate"`
+}
+
+type report struct {
+	URL              string        `json:"url"`
+	Concurrency      int           `json:"concurrency"`
+	RequestsPerPhase int           `json:"requests_per_phase"`
+	Shape            string        `json:"shape"`
+	GoVersion        string        `json:"go_version"`
+	GoMaxProcs       int           `json:"gomaxprocs"`
+	Phases           []phaseReport `json:"phases"`
+	Cache            *cacheReport  `json:"cache,omitempty"`
+	// ColdWarmP50Ratio is cold-phase p50 over warm-phase p50: how much
+	// latency the result cache removes for a repeated environment.
+	ColdWarmP50Ratio float64 `json:"cold_warm_p50_ratio"`
+	// Surge429 counts requests shed with 429 during the optional -surge
+	// burst (absent when -surge 0).
+	Surge429 *int `json:"surge_429,omitempty"`
+}
+
+func main() {
+	url := flag.String("url", "http://localhost:8080", "base URL of a running hcserved")
+	conc := flag.Int("c", 8, "concurrent in-flight requests")
+	n := flag.Int("n", 500, "requests per phase")
+	tasks := flag.Int("tasks", 30, "task types per generated environment")
+	machines := flag.Int("machines", 16, "machines per generated environment")
+	seed := flag.Int64("seed", 1, "base seed for the generated bodies")
+	surge := flag.Int("surge", 0, "extra concurrent burst size probing 429 shedding (0 = off)")
+	out := flag.String("out", "-", "report path (\"-\" for stdout)")
+	flag.Parse()
+
+	bodies, err := makeBodies(*n, *tasks, *machines, *seed)
+	if err != nil {
+		fatal("generating bodies: %v", err)
+	}
+	base := strings.TrimSuffix(*url, "/")
+	// A deep idle pool: the surge fires hundreds of requests at once, and the
+	// default transport keeps only two idle connections per host, so every
+	// burst would otherwise pay a serialized dial storm that masks the
+	// server's admission behavior.
+	tr := http.DefaultTransport.(*http.Transport).Clone()
+	tr.MaxIdleConns = 512
+	tr.MaxIdleConnsPerHost = 512
+	client := &http.Client{Timeout: 60 * time.Second, Transport: tr}
+	if err := waitHealthy(client, base, 5*time.Second); err != nil {
+		fatal("%v", err)
+	}
+
+	rep := report{
+		URL:              base,
+		Concurrency:      *conc,
+		RequestsPerPhase: *n,
+		Shape:            fmt.Sprintf("%dx%d", *tasks, *machines),
+		GoVersion:        runtime.Version(),
+		GoMaxProcs:       runtime.GOMAXPROCS(0),
+	}
+	for _, phase := range []string{"cold", "warm"} {
+		pr, err := runPhase(client, base, phase, bodies, *conc)
+		if err != nil {
+			fatal("phase %s: %v", phase, err)
+		}
+		rep.Phases = append(rep.Phases, pr)
+	}
+	if rep.Phases[1].P50Ms > 0 {
+		rep.ColdWarmP50Ratio = rep.Phases[0].P50Ms / rep.Phases[1].P50Ms
+	}
+	if *surge > 0 {
+		// Several rounds with fresh (uncacheable) bodies: a single burst can
+		// slip through on scheduler timing, especially on one CPU where
+		// arrivals serialize behind the compute slot.
+		shed := 0
+		for round := 0; round < 3; round++ {
+			shed += runSurge(client, base, *surge, *tasks, *machines,
+				*seed+int64(round)*10_000_000)
+		}
+		rep.Surge429 = &shed
+	}
+	if c, err := scrapeCache(client, base); err == nil {
+		rep.Cache = c
+	} else {
+		fmt.Fprintf(os.Stderr, "hcload: scraping /metrics: %v\n", err)
+	}
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fatal("writing report: %v", err)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "hcload: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// makeBodies pre-renders n distinct characterize request bodies so the
+// measured loop spends nothing on generation or encoding.
+func makeBodies(n, tasks, machines int, seed int64) ([][]byte, error) {
+	bodies := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		rng := rand.New(rand.NewSource(seed + int64(i)))
+		env, err := gen.RangeBased(tasks, machines, 100, 10, rng)
+		if err != nil {
+			return nil, err
+		}
+		b, err := json.Marshal(server.EnvToDTO(env))
+		if err != nil {
+			return nil, err
+		}
+		bodies[i] = b
+	}
+	return bodies, nil
+}
+
+// waitHealthy polls /healthz until the server answers or the budget runs out.
+func waitHealthy(client *http.Client, base string, budget time.Duration) error {
+	deadline := time.Now().Add(budget)
+	for {
+		resp, err := client.Get(base + "/healthz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			if err != nil {
+				return fmt.Errorf("server at %s not healthy within %s: %v", base, budget, err)
+			}
+			return fmt.Errorf("server at %s not healthy within %s", base, budget)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// runPhase sends every body once over conc workers and aggregates latencies.
+func runPhase(client *http.Client, base, name string, bodies [][]byte, conc int) (phaseReport, error) {
+	var (
+		next      atomic.Int64
+		errs      atomic.Int64
+		shed      atomic.Int64
+		mu        sync.Mutex
+		latencies []time.Duration
+		wg        sync.WaitGroup
+	)
+	start := time.Now()
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]time.Duration, 0, len(bodies)/conc+1)
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= len(bodies) {
+					break
+				}
+				t0 := time.Now()
+				resp, err := client.Post(base+"/v1/characterize", "application/json", bytes.NewReader(bodies[i]))
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				switch {
+				case resp.StatusCode == http.StatusTooManyRequests:
+					shed.Add(1)
+				case resp.StatusCode != http.StatusOK:
+					errs.Add(1)
+				default:
+					local = append(local, time.Since(t0))
+				}
+			}
+			mu.Lock()
+			latencies = append(latencies, local...)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if len(latencies) == 0 {
+		return phaseReport{}, fmt.Errorf("no successful requests (%d errors, %d shed)", errs.Load(), shed.Load())
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	sum := time.Duration(0)
+	for _, d := range latencies {
+		sum += d
+	}
+	q := func(p float64) float64 {
+		idx := int(p * float64(len(latencies)-1))
+		return float64(latencies[idx].Microseconds()) / 1000
+	}
+	return phaseReport{
+		Name:          name,
+		Requests:      len(bodies),
+		Errors:        int(errs.Load()),
+		Status429:     int(shed.Load()),
+		ThroughputRPS: float64(len(latencies)) / elapsed.Seconds(),
+		MeanMs:        float64(sum.Microseconds()) / 1000 / float64(len(latencies)),
+		P50Ms:         q(0.50),
+		P90Ms:         q(0.90),
+		P99Ms:         q(0.99),
+	}, nil
+}
+
+// runSurge fires burst concurrent unique requests at once and reports how
+// many the server shed with 429 — the admission queue doing its job.
+func runSurge(client *http.Client, base string, burst, tasks, machines int, seed int64) int {
+	bodies, err := makeBodies(burst, tasks, machines, seed+1_000_000)
+	if err != nil {
+		return 0
+	}
+	var shed atomic.Int64
+	var wg sync.WaitGroup
+	for i := range bodies {
+		wg.Add(1)
+		go func(b []byte) {
+			defer wg.Done()
+			resp, err := client.Post(base+"/v1/characterize", "application/json", bytes.NewReader(b))
+			if err != nil {
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusTooManyRequests {
+				shed.Add(1)
+			}
+		}(bodies[i])
+	}
+	wg.Wait()
+	return int(shed.Load())
+}
+
+// scrapeCache pulls the cache counters out of /metrics.
+func scrapeCache(client *http.Client, base string) (*cacheReport, error) {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	var c cacheReport
+	for _, line := range strings.Split(string(body), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			continue
+		}
+		v, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		switch fields[0] {
+		case "hcserved_cache_hits_total":
+			c.Hits = v
+		case "hcserved_cache_misses_total":
+			c.Misses = v
+		}
+	}
+	if total := c.Hits + c.Misses; total > 0 {
+		c.HitRate = float64(c.Hits) / float64(total)
+	}
+	return &c, nil
+}

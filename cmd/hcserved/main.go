@@ -1,0 +1,66 @@
+// Command hcserved is the long-running HTTP characterization service: the
+// measures, generators and what-if studies of the library behind a JSON API
+// with result caching, bounded admission, per-request timeouts, Prometheus
+// metrics and graceful drain. See API.md for the wire contract.
+//
+// Usage:
+//
+//	hcserved [-addr :8080] [-workers N] [-queue N] [-cache N]
+//	         [-timeout 30s] [-drain 15s] [-log text|json]
+//
+// SIGINT/SIGTERM starts a graceful shutdown: the listener closes, in-flight
+// requests drain (up to -drain), then the process exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "concurrent characterizations (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 64, "admission queue depth before shedding 429s")
+	cache := flag.Int("cache", 1024, "profile cache capacity in entries (0 disables)")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request deadline (0 disables)")
+	drain := flag.Duration("drain", 15*time.Second, "graceful-shutdown drain budget")
+	logFormat := flag.String("log", "text", "log format: text or json")
+	flag.Parse()
+
+	var handler slog.Handler
+	switch *logFormat {
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	default:
+		fmt.Fprintf(os.Stderr, "hcserved: -log must be text or json, got %q\n", *logFormat)
+		os.Exit(2)
+	}
+	log := slog.New(handler)
+
+	srv := server.New(server.Config{
+		Addr:           *addr,
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheSize:      *cache,
+		RequestTimeout: *timeout,
+		DrainTimeout:   *drain,
+		Logger:         log,
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if err := srv.Run(ctx); err != nil {
+		log.Error("hcserved exiting", "err", err)
+		os.Exit(1)
+	}
+}

@@ -2,11 +2,14 @@ package repro
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
 )
 
 // buildTools compiles every command once per test binary into a temp dir and
@@ -18,7 +21,7 @@ func buildTools(t *testing.T) map[string]string {
 	}
 	dir := t.TempDir()
 	tools := map[string]string{}
-	for _, name := range []string{"hcmeasure", "hcgen", "hcwhatif", "hcbench"} {
+	for _, name := range []string{"hcmeasure", "hcgen", "hcwhatif", "hcbench", "hcserved", "hcload"} {
 		out := filepath.Join(dir, name)
 		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+name)
 		cmd.Env = os.Environ()
@@ -180,6 +183,105 @@ func TestCLIPipeline(t *testing.T) {
 		}
 		if !strings.Contains(out, "| m1 |") {
 			t.Errorf("markdown output wrong:\n%s", out)
+		}
+	})
+
+	t.Run("hcserved and hcload end to end", func(t *testing.T) {
+		// Start the server on an ephemeral port, drive it with the load
+		// generator, then SIGTERM it and require a clean exit — the whole
+		// serving story through real binaries.
+		logPath := filepath.Join(t.TempDir(), "hcserved.log")
+		logFile, err := os.Create(logPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer logFile.Close()
+		srv := exec.Command(tools["hcserved"], "-addr", "127.0.0.1:0", "-queue", "4", "-log", "json")
+		srv.Stderr = logFile
+		srv.Stdout = logFile
+		if err := srv.Start(); err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Process.Kill()
+		srvLog := func() string {
+			b, _ := os.ReadFile(logPath)
+			return string(b)
+		}
+
+		// The bound address appears in the startup log line.
+		var addr string
+		for i := 0; i < 200 && addr == ""; i++ {
+			time.Sleep(10 * time.Millisecond)
+			for _, line := range strings.Split(srvLog(), "\n") {
+				if !strings.Contains(line, "hcserved listening") {
+					continue
+				}
+				var rec struct {
+					Addr string `json:"addr"`
+				}
+				if json.Unmarshal([]byte(line), &rec) == nil && rec.Addr != "" {
+					addr = rec.Addr
+				}
+			}
+		}
+		if addr == "" {
+			t.Fatalf("no listening line in server log:\n%s", srvLog())
+		}
+
+		reportPath := filepath.Join(t.TempDir(), "BENCH_serve.json")
+		out, errOut, err := run(t, tools["hcload"], "",
+			"-url", "http://"+addr, "-c", "2", "-n", "20",
+			"-tasks", "12", "-machines", "8", "-out", reportPath)
+		if err != nil {
+			t.Fatalf("hcload: %v\n%s%s", err, out, errOut)
+		}
+		data, err := os.ReadFile(reportPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rep struct {
+			Phases []struct {
+				Name     string `json:"name"`
+				Requests int    `json:"requests"`
+				Errors   int    `json:"errors"`
+			} `json:"phases"`
+			Cache *struct {
+				Hits    uint64  `json:"hits"`
+				HitRate float64 `json:"hit_rate"`
+			} `json:"cache"`
+		}
+		if err := json.Unmarshal(data, &rep); err != nil {
+			t.Fatalf("report is not JSON: %v\n%s", err, data)
+		}
+		if len(rep.Phases) != 2 || rep.Phases[0].Name != "cold" || rep.Phases[1].Name != "warm" {
+			t.Fatalf("unexpected phases: %s", data)
+		}
+		for _, p := range rep.Phases {
+			if p.Requests != 20 || p.Errors != 0 {
+				t.Errorf("phase %s: %+v", p.Name, p)
+			}
+		}
+		if rep.Cache == nil || rep.Cache.Hits < 20 || rep.Cache.HitRate <= 0 {
+			t.Errorf("warm phase did not hit the cache: %s", data)
+		}
+
+		// Graceful shutdown: SIGTERM must drain and exit 0.
+		if err := srv.Process.Signal(syscall.SIGTERM); err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan error, 1)
+		go func() { done <- srv.Wait() }()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("server exit after SIGTERM: %v\n%s", err, srvLog())
+			}
+		case <-time.After(10 * time.Second):
+			srv.Process.Kill()
+			t.Fatal("server did not exit after SIGTERM")
+		}
+		if !strings.Contains(srvLog(), "drain complete") {
+			t.Errorf("no drain line in server log:\n%s", srvLog())
 		}
 	})
 }

@@ -99,15 +99,24 @@ func Characterize(env *Env) *Profile { return core.Characterize(env) }
 // nil Profile.
 func CharacterizeMany(envs []*Env, workers int) []*Profile {
 	// Characterize never fails (TMA errors land in Profile.TMAErr), so the
-	// pool error path is unreachable with a background context.
-	out, _ := parallel.Map(context.Background(), len(envs), workers,
+	// error path is unreachable with a background context.
+	out, _ := CharacterizeManyCtx(context.Background(), envs, workers)
+	return out
+}
+
+// CharacterizeManyCtx is CharacterizeMany with cancellation: when ctx is
+// canceled (a serving deadline, an abandoned batch request), environments
+// not yet claimed by a worker are skipped — their profiles stay nil — and
+// the context error is returned. Profiles computed before the cancellation
+// are kept, so callers may use the partial result alongside the error.
+func CharacterizeManyCtx(ctx context.Context, envs []*Env, workers int) ([]*Profile, error) {
+	return parallel.Map(ctx, len(envs), workers,
 		func(_ context.Context, i int) (*Profile, error) {
 			if envs[i] == nil {
 				return nil, nil
 			}
 			return core.Characterize(envs[i]), nil
 		})
-	return out
 }
 
 // MPH returns the machine performance homogeneity in (0, 1].

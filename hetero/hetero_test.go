@@ -1,6 +1,7 @@
 package hetero_test
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"strings"
@@ -160,4 +161,46 @@ func TestCharacterizeMany(t *testing.T) {
 			t.Errorf("env %d: parallel batch diverges from sequential batch", i)
 		}
 	}
+}
+
+func TestCharacterizeManyCtx(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var envs []*hetero.Env
+	for i := 0; i < 6; i++ {
+		env, err := hetero.GenerateRangeBased(6, 3, 50, 10, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		envs = append(envs, env)
+	}
+
+	t.Run("matches CharacterizeMany", func(t *testing.T) {
+		got, err := hetero.CharacterizeManyCtx(context.Background(), envs, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := hetero.CharacterizeMany(envs, 4)
+		for i := range envs {
+			if got[i].MPH != want[i].MPH || got[i].TDH != want[i].TDH || got[i].TMA != want[i].TMA {
+				t.Errorf("env %d: ctx batch diverges from plain batch", i)
+			}
+		}
+	})
+
+	t.Run("canceled context skips remaining work", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		got, err := hetero.CharacterizeManyCtx(ctx, envs, 2)
+		if err == nil {
+			t.Fatal("want a context error from a pre-canceled batch")
+		}
+		if len(got) != len(envs) {
+			t.Fatalf("result length %d, want %d (partial results keep input shape)", len(got), len(envs))
+		}
+		for i, p := range got {
+			if p != nil {
+				t.Errorf("env %d: profile computed despite pre-canceled context", i)
+			}
+		}
+	})
 }

@@ -1,0 +1,107 @@
+package etcmat
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// These golden tests pin the Env JSON wire form the serving tier depends
+// on. The encoder stores the ECS (speed) matrix precisely because it is
+// always finite: an impossible pairing (ETC = +Inf) is ECS = 0, so it
+// survives encoding/json — which rejects infinities outright — without any
+// string escape hatch. If the representation ever drifts, cached payloads
+// and API clients break together; change the golden string deliberately.
+
+func TestEnvJSONGolden(t *testing.T) {
+	env := MustFromETC([][]float64{
+		{10, math.Inf(1)},
+		{4, 2},
+	})
+	env, err := env.WithWeights([]float64{2, 1}, []float64{1, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err = env.WithTaskNames([]string{"gcc", "mcf"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := json.Marshal(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const golden = `{"taskNames":["gcc","mcf"],"machineNames":["m1","m2"],` +
+		`"taskWeights":[2,1],"machineWeights":[1,0.5],` +
+		`"ecs":[[0.1,0],[0.25,0.5]]}`
+	if string(got) != golden {
+		t.Errorf("Env wire form drifted:\n got  %s\n want %s", got, golden)
+	}
+}
+
+func TestEnvJSONRoundTripInfAndWeights(t *testing.T) {
+	orig := MustFromETC([][]float64{
+		{10, math.Inf(1), 7},
+		{4, 2, math.Inf(1)},
+	})
+	orig, err := orig.WithWeights([]float64{2, 3}, []float64{1, 0.5, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Env
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Tasks() != orig.Tasks() || back.Machines() != orig.Machines() {
+		t.Fatalf("shape %dx%d, want %dx%d", back.Tasks(), back.Machines(), orig.Tasks(), orig.Machines())
+	}
+	for i := 0; i < orig.Tasks(); i++ {
+		for j := 0; j < orig.Machines(); j++ {
+			if back.ECSAt(i, j) != orig.ECSAt(i, j) {
+				t.Errorf("ECS(%d,%d) = %g, want %g", i, j, back.ECSAt(i, j), orig.ECSAt(i, j))
+			}
+		}
+	}
+	// The impossible pairings specifically: they are the entries a lossy
+	// representation would silently clamp.
+	if !math.IsInf(back.ETC().At(0, 1), 1) || !math.IsInf(back.ETC().At(1, 2), 1) {
+		t.Error("impossible pairings did not survive the round trip")
+	}
+	for i, w := range back.TaskWeights() {
+		if w != orig.TaskWeights()[i] {
+			t.Errorf("task weight %d = %g, want %g", i, w, orig.TaskWeights()[i])
+		}
+	}
+	for j, w := range back.MachineWeights() {
+		if w != orig.MachineWeights()[j] {
+			t.Errorf("machine weight %d = %g, want %g", j, w, orig.MachineWeights()[j])
+		}
+	}
+	// And the profiles must match exactly — same bytes in, same measures out.
+	if a, b := orig.String(), back.String(); a != b {
+		t.Errorf("String() drifted: %s vs %s", a, b)
+	}
+}
+
+func TestEnvJSONUnmarshalRejectsBadPayloads(t *testing.T) {
+	for name, data := range map[string]string{
+		"empty ecs":     `{"ecs":[]}`,
+		"missing ecs":   `{"taskNames":["a"]}`,
+		"ragged ecs":    `{"ecs":[[1,2],[3]]}`,
+		"negative ecs":  `{"ecs":[[1,-2],[3,4]]}`,
+		"zero row":      `{"ecs":[[0,0],[1,2]]}`,
+		"zero column":   `{"ecs":[[0,1],[0,2]]}`,
+		"bad weight":    `{"ecs":[[1,2],[3,4]],"taskWeights":[0,1]}`,
+		"weight length": `{"ecs":[[1,2],[3,4]],"machineWeights":[1]}`,
+	} {
+		t.Run(name, func(t *testing.T) {
+			var e Env
+			if err := json.Unmarshal([]byte(data), &e); err == nil {
+				t.Errorf("payload %s decoded without error", data)
+			}
+		})
+	}
+}

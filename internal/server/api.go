@@ -1,0 +1,334 @@
+// Package server implements the serving tier of the repository: an HTTP
+// JSON API over the characterization library (measures, generators, what-if
+// studies) shaped for production use — content-addressed result caching,
+// bounded admission in front of the compute pool, per-request timeouts,
+// panic recovery, structured request logging, Prometheus-format metrics and
+// graceful drain. See API.md at the repository root for the wire contract.
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/etcmat"
+	"repro/internal/matrix"
+)
+
+// ETCValue is a float64 whose JSON form can express the +Inf entries that
+// mark impossible task-machine pairings: it marshals +Inf as the string
+// "inf" and accepts "inf" (any case, optional +) on the way in. Plain JSON
+// numbers pass through unchanged. Without this, an ETC matrix with an
+// impossible pairing cannot cross the API boundary at all — encoding/json
+// rejects infinities — and the tempting workaround (clamping to a huge
+// finite number) silently changes every measure.
+type ETCValue float64
+
+// MarshalJSON renders +Inf as "inf", finite values as plain numbers.
+func (v ETCValue) MarshalJSON() ([]byte, error) {
+	f := float64(v)
+	if math.IsInf(f, 1) {
+		return []byte(`"inf"`), nil
+	}
+	if math.IsInf(f, -1) || math.IsNaN(f) {
+		return nil, fmt.Errorf("server: ETC value %g has no JSON form", f)
+	}
+	return json.Marshal(f)
+}
+
+// UnmarshalJSON accepts a JSON number or the string "inf".
+func (v *ETCValue) UnmarshalJSON(data []byte) error {
+	data = bytes.TrimSpace(data)
+	if len(data) > 0 && data[0] == '"' {
+		var s string
+		if err := json.Unmarshal(data, &s); err != nil {
+			return err
+		}
+		if strings.EqualFold(strings.TrimPrefix(s, "+"), "inf") {
+			*v = ETCValue(math.Inf(1))
+			return nil
+		}
+		return fmt.Errorf("server: ETC entry %q is not a number or \"inf\"", s)
+	}
+	var f float64
+	if err := json.Unmarshal(data, &f); err != nil {
+		return err
+	}
+	*v = ETCValue(f)
+	return nil
+}
+
+// EnvDTO is the wire form of an environment. Exactly one of ETC, ECS or CSV
+// must be present; names and weights are optional and apply to all three.
+// ETC entries may be the string "inf" (impossible pairing); the equivalent
+// ECS entry is 0.
+type EnvDTO struct {
+	TaskNames      []string     `json:"taskNames,omitempty"`
+	MachineNames   []string     `json:"machineNames,omitempty"`
+	TaskWeights    []float64    `json:"taskWeights,omitempty"`
+	MachineWeights []float64    `json:"machineWeights,omitempty"`
+	ETC            [][]ETCValue `json:"etc,omitempty"`
+	ECS            [][]float64  `json:"ecs,omitempty"`
+	CSV            string       `json:"csv,omitempty"`
+}
+
+// Env materializes the DTO into a validated environment.
+func (d *EnvDTO) Env() (*etcmat.Env, error) {
+	forms := 0
+	if len(d.ETC) > 0 {
+		forms++
+	}
+	if len(d.ECS) > 0 {
+		forms++
+	}
+	if d.CSV != "" {
+		forms++
+	}
+	if forms != 1 {
+		return nil, fmt.Errorf("exactly one of etc, ecs or csv must be set (got %d)", forms)
+	}
+	var (
+		env *etcmat.Env
+		err error
+	)
+	switch {
+	case d.CSV != "":
+		env, err = etcmat.ReadETCCSV(strings.NewReader(d.CSV))
+	case len(d.ETC) > 0:
+		rows := make([][]float64, len(d.ETC))
+		for i, r := range d.ETC {
+			rows[i] = make([]float64, len(r))
+			for j, v := range r {
+				rows[i][j] = float64(v)
+			}
+			if len(r) != len(d.ETC[0]) {
+				return nil, fmt.Errorf("ragged etc matrix: row 0 has %d entries, row %d has %d", len(d.ETC[0]), i, len(r))
+			}
+		}
+		env, err = etcmat.NewFromETC(matrix.FromRows(rows))
+	default:
+		for i, r := range d.ECS {
+			if len(r) != len(d.ECS[0]) {
+				return nil, fmt.Errorf("ragged ecs matrix: row 0 has %d entries, row %d has %d", len(d.ECS[0]), i, len(r))
+			}
+		}
+		env, err = etcmat.NewFromECS(matrix.FromRows(d.ECS))
+	}
+	if err != nil {
+		return nil, err
+	}
+	if d.TaskNames != nil {
+		if env, err = env.WithTaskNames(d.TaskNames); err != nil {
+			return nil, err
+		}
+	}
+	if d.MachineNames != nil {
+		if env, err = env.WithMachineNames(d.MachineNames); err != nil {
+			return nil, err
+		}
+	}
+	if d.TaskWeights != nil || d.MachineWeights != nil {
+		if env, err = env.WithWeights(d.TaskWeights, d.MachineWeights); err != nil {
+			return nil, err
+		}
+	}
+	return env, nil
+}
+
+// EnvToDTO renders an environment in ETC form (impossible pairings as
+// "inf"), with names always present and weights included when any differ
+// from 1.
+func EnvToDTO(env *etcmat.Env) *EnvDTO {
+	t, m := env.Tasks(), env.Machines()
+	etc := make([][]ETCValue, t)
+	for i := 0; i < t; i++ {
+		etc[i] = make([]ETCValue, m)
+		for j := 0; j < m; j++ {
+			s := env.ECSAt(i, j)
+			if s == 0 {
+				etc[i][j] = ETCValue(math.Inf(1))
+			} else {
+				etc[i][j] = ETCValue(1 / s)
+			}
+		}
+	}
+	d := &EnvDTO{
+		TaskNames:    env.TaskNames(),
+		MachineNames: env.MachineNames(),
+		ETC:          etc,
+	}
+	if tw := env.TaskWeights(); !allOnes(tw) {
+		d.TaskWeights = tw
+	}
+	if mw := env.MachineWeights(); !allOnes(mw) {
+		d.MachineWeights = mw
+	}
+	return d
+}
+
+func allOnes(v []float64) bool {
+	for _, x := range v {
+		if x != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// ProfileDTO is the wire form of core.Profile. TMA is omitted (with
+// TMAError set) when the environment is not standardizable — JSON has no
+// NaN, and clients should see the reason, not a hole.
+type ProfileDTO struct {
+	Tasks              int       `json:"tasks"`
+	Machines           int       `json:"machines"`
+	MPH                float64   `json:"mph"`
+	TDH                float64   `json:"tdh"`
+	TMA                *float64  `json:"tma,omitempty"`
+	TMAError           string    `json:"tmaError,omitempty"`
+	RatioR             float64   `json:"ratioR"`
+	GeoMeanG           float64   `json:"geoMeanG"`
+	COV                float64   `json:"cov"`
+	MachinePerf        []float64 `json:"machinePerf"`
+	TaskDiff           []float64 `json:"taskDiff"`
+	SinkhornIterations int       `json:"sinkhornIterations"`
+	Trimmed            int       `json:"trimmed"`
+	// Cached reports whether this profile came out of the result cache.
+	Cached bool `json:"cached"`
+}
+
+// ProfileToDTO converts a computed profile for the wire.
+func ProfileToDTO(p *core.Profile, cached bool) *ProfileDTO {
+	d := &ProfileDTO{
+		Tasks:              p.Tasks,
+		Machines:           p.Machines,
+		MPH:                p.MPH,
+		TDH:                p.TDH,
+		RatioR:             p.RatioR,
+		GeoMeanG:           p.GeoMeanG,
+		COV:                p.COV,
+		MachinePerf:        p.MachinePerf,
+		TaskDiff:           p.TaskDiff,
+		SinkhornIterations: p.SinkhornIterations,
+		Trimmed:            p.Trimmed,
+		Cached:             cached,
+	}
+	if p.TMAErr != nil {
+		d.TMAError = p.TMAErr.Error()
+	} else {
+		d.TMA = finitePtr(p.TMA)
+	}
+	return d
+}
+
+// finitePtr returns &v for finite v, nil otherwise (NaN/Inf have no JSON).
+func finitePtr(v float64) *float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return nil
+	}
+	return &v
+}
+
+// characterizeRequest is the body of POST /v1/characterize: an EnvDTO,
+// inlined.
+type characterizeRequest struct {
+	EnvDTO
+}
+
+// batchRequest is the body of POST /v1/characterize/batch.
+type batchRequest struct {
+	Envs []EnvDTO `json:"envs"`
+}
+
+// batchItem is one result of a batch characterization; exactly one of
+// Profile or Error is set.
+type batchItem struct {
+	Profile *ProfileDTO `json:"profile,omitempty"`
+	Error   string      `json:"error,omitempty"`
+}
+
+type batchResponse struct {
+	Profiles []batchItem `json:"profiles"`
+}
+
+// generateRequest is the body of POST /v1/generate.
+type generateRequest struct {
+	// Kind selects the generator: "range", "cvb" or "targeted".
+	Kind     string `json:"kind"`
+	Tasks    int    `json:"tasks"`
+	Machines int    `json:"machines"`
+	Seed     int64  `json:"seed"`
+	// Range-based parameters (Ali et al.).
+	RTask float64 `json:"rTask,omitempty"`
+	RMach float64 `json:"rMach,omitempty"`
+	// CVB parameters.
+	VTask  float64 `json:"vTask,omitempty"`
+	VMach  float64 `json:"vMach,omitempty"`
+	MuTask float64 `json:"muTask,omitempty"`
+	// Targeted parameters (paper-measure targets).
+	MPH float64 `json:"mph,omitempty"`
+	TDH float64 `json:"tdh,omitempty"`
+	TMA float64 `json:"tma,omitempty"`
+	Tol float64 `json:"tol,omitempty"`
+}
+
+type generateResponse struct {
+	Env     *EnvDTO     `json:"env"`
+	Profile *ProfileDTO `json:"profile"`
+	// Mix is the affinity mixing parameter Targeted settled on; only set for
+	// kind "targeted".
+	Mix *float64 `json:"mix,omitempty"`
+}
+
+// whatifRequest is the body of POST /v1/whatif: an EnvDTO, inlined.
+type whatifRequest struct {
+	EnvDTO
+}
+
+// deltaDTO is one leave-one-out measure shift.
+type deltaDTO struct {
+	Kind  string   `json:"kind"`
+	Index int      `json:"index"`
+	Name  string   `json:"name"`
+	MPH   *float64 `json:"mph,omitempty"`
+	TDH   *float64 `json:"tdh,omitempty"`
+	TMA   *float64 `json:"tma,omitempty"`
+	DMPH  *float64 `json:"dMPH,omitempty"`
+	DTDH  *float64 `json:"dTDH,omitempty"`
+	DTMA  *float64 `json:"dTMA,omitempty"`
+	Error string   `json:"error,omitempty"`
+}
+
+type whatifResponse struct {
+	Baseline *ProfileDTO `json:"baseline"`
+	Deltas   []deltaDTO  `json:"deltas"`
+}
+
+func deltaToDTO(d core.Delta) deltaDTO {
+	out := deltaDTO{Kind: d.Kind, Index: d.Index, Name: d.Name}
+	if d.Err != nil {
+		out.Error = d.Err.Error()
+		return out
+	}
+	out.MPH = finitePtr(d.MPH)
+	out.TDH = finitePtr(d.TDH)
+	out.TMA = finitePtr(d.TMA)
+	out.DMPH = finitePtr(d.DMPH)
+	out.DTDH = finitePtr(d.DTDH)
+	out.DTMA = finitePtr(d.DTMA)
+	return out
+}
+
+// apiError is the uniform error envelope of every non-2xx JSON response.
+type apiError struct {
+	Error apiErrorBody `json:"error"`
+}
+
+type apiErrorBody struct {
+	// Code is a stable machine-readable identifier, e.g. "invalid_request",
+	// "overloaded", "timeout", "internal".
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}

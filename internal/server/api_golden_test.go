@@ -1,0 +1,159 @@
+package server
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/etcmat"
+)
+
+// TestEnvDTOGoldenInf pins the wire form of an environment with an
+// impossible pairing: the +Inf ETC entry must cross the boundary as the
+// string "inf", not vanish or crash the encoder.
+func TestEnvDTOGoldenInf(t *testing.T) {
+	env := etcmat.MustFromETC([][]float64{
+		{10, math.Inf(1)},
+		{20, 5},
+	})
+	env, err := env.WithWeights([]float64{2, 1}, []float64{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := json.Marshal(EnvToDTO(env))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const golden = `{"taskNames":["t1","t2"],"machineNames":["m1","m2"],` +
+		`"taskWeights":[2,1],"machineWeights":[1,3],` +
+		`"etc":[[10,"inf"],[20,5]]}`
+	if string(got) != golden {
+		t.Errorf("EnvDTO wire form drifted:\n got  %s\n want %s", got, golden)
+	}
+
+	// Round trip: decode the golden bytes and verify nothing was dropped.
+	var dto EnvDTO
+	if err := json.Unmarshal([]byte(golden), &dto); err != nil {
+		t.Fatal(err)
+	}
+	back, err := dto.Env()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.ECSAt(0, 1) != 0 {
+		t.Errorf("impossible pairing lost in round trip: ECS(0,1) = %g, want 0", back.ECSAt(0, 1))
+	}
+	if back.ECSAt(0, 0) != 0.1 {
+		t.Errorf("ECS(0,0) = %g, want 0.1", back.ECSAt(0, 0))
+	}
+	if w := back.TaskWeights(); w[0] != 2 || w[1] != 1 {
+		t.Errorf("task weights lost in round trip: %v", w)
+	}
+	if w := back.MachineWeights(); w[0] != 1 || w[1] != 3 {
+		t.Errorf("machine weights lost in round trip: %v", w)
+	}
+	if keyOf(env) != keyOf(back) {
+		t.Error("round-tripped environment has a different cache key")
+	}
+}
+
+func TestETCValueUnmarshalVariants(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want float64
+		ok   bool
+	}{
+		{`3.5`, 3.5, true},
+		{`"inf"`, math.Inf(1), true},
+		{`"Inf"`, math.Inf(1), true},
+		{`"+inf"`, math.Inf(1), true},
+		{`"INF"`, math.Inf(1), true},
+		{`"oo"`, 0, false},
+		{`"-inf"`, 0, false},
+		{`true`, 0, false},
+	} {
+		var v ETCValue
+		err := json.Unmarshal([]byte(tc.in), &v)
+		if tc.ok && err != nil {
+			t.Errorf("unmarshal %s: %v", tc.in, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("unmarshal %s: want error, got %g", tc.in, float64(v))
+		}
+		if tc.ok && float64(v) != tc.want && !(math.IsInf(tc.want, 1) && math.IsInf(float64(v), 1)) {
+			t.Errorf("unmarshal %s = %g, want %g", tc.in, float64(v), tc.want)
+		}
+	}
+}
+
+func TestETCValueMarshalRejectsNaN(t *testing.T) {
+	if _, err := json.Marshal(ETCValue(math.NaN())); err == nil {
+		t.Error("NaN must not have a silent wire form")
+	}
+	if _, err := json.Marshal(ETCValue(math.Inf(-1))); err == nil {
+		t.Error("-Inf must not have a silent wire form")
+	}
+}
+
+func TestEnvDTOValidation(t *testing.T) {
+	for name, body := range map[string]string{
+		"no form":         `{}`,
+		"two forms":       `{"etc":[[1]],"ecs":[[1]]}`,
+		"ragged etc":      `{"etc":[[1,2],[3]]}`,
+		"ragged ecs":      `{"ecs":[[1,2],[3]]}`,
+		"all-inf row":     `{"etc":[["inf","inf"],[1,2]]}`,
+		"bad etc entry":   `{"etc":[[0,1],[1,2]]}`,
+		"bad weights len": `{"etc":[[1,2],[3,4]],"taskWeights":[1]}`,
+		"bad csv":         `{"csv":"task,m1\n"}`,
+	} {
+		t.Run(name, func(t *testing.T) {
+			var dto EnvDTO
+			if err := json.Unmarshal([]byte(body), &dto); err != nil {
+				return // malformed at the JSON layer is also a pass
+			}
+			if _, err := dto.Env(); err == nil {
+				t.Errorf("EnvDTO %s materialized without error", body)
+			}
+		})
+	}
+}
+
+// TestProfileDTOGolden pins the profile wire form, including the
+// not-standardizable case where TMA must be omitted and explained rather
+// than serialized as NaN (which encoding/json rejects outright).
+func TestProfileDTOGolden(t *testing.T) {
+	env := etcmat.MustFromETC([][]float64{{1, 2}, {2, 4}})
+	p := core.Characterize(env)
+	b, err := json.Marshal(ProfileToDTO(p, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(b)
+	for _, want := range []string{`"tasks":2`, `"machines":2`, `"mph":`, `"tdh":`, `"tma":`, `"cached":true`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("profile JSON missing %s: %s", want, s)
+		}
+	}
+
+	// A zero pattern with no positive diagonal is not standardizable: TMA is
+	// NaN in core and must leave the API as an explanation, not a hole or a
+	// crash (paper Sec. VI).
+	bad := etcmat.MustFromECS([][]float64{{1, 0, 0}, {0, 1, 1}})
+	pb := core.Characterize(bad)
+	if pb.TMAErr == nil {
+		t.Fatal("expected a non-standardizable environment; matrix choice no longer triggers it")
+	}
+	bb, err := json.Marshal(ProfileToDTO(pb, false))
+	if err != nil {
+		t.Fatalf("profile with TMA error must still marshal: %v", err)
+	}
+	sb := string(bb)
+	if strings.Contains(sb, `"tma":`) {
+		t.Errorf("non-standardizable profile serialized a tma value: %s", sb)
+	}
+	if !strings.Contains(sb, `"tmaError":`) {
+		t.Errorf("non-standardizable profile lost its explanation: %s", sb)
+	}
+}

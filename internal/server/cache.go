@@ -1,0 +1,123 @@
+package server
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"math"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/etcmat"
+)
+
+// profileCache is the content-addressed LRU result cache of the serving
+// tier. The key is a SHA-256 over everything a Profile depends on — matrix
+// dimensions, the raw ECS entries and both weight vectors — so two requests
+// describing the same environment (regardless of task/machine names, which
+// the measures ignore) share one entry, and any numeric difference misses.
+// Values are *core.Profile, which are treated as immutable once published:
+// handlers must not mutate a cached profile.
+type profileCache struct {
+	mu    sync.Mutex
+	cap   int
+	items map[cacheKey]*list.Element
+	order *list.List // front = most recently used
+
+	hits, misses *counter
+}
+
+type cacheKey [sha256.Size]byte
+
+type cacheEntry struct {
+	key     cacheKey
+	profile *core.Profile
+}
+
+// newProfileCache builds a cache holding at most capacity profiles;
+// capacity <= 0 disables caching (every Get misses, Put drops).
+func newProfileCache(capacity int, hits, misses *counter) *profileCache {
+	return &profileCache{
+		cap:    capacity,
+		items:  make(map[cacheKey]*list.Element),
+		order:  list.New(),
+		hits:   hits,
+		misses: misses,
+	}
+}
+
+// keyOf hashes the measure-relevant content of an environment.
+func keyOf(env *etcmat.Env) cacheKey {
+	h := sha256.New()
+	var buf [8]byte
+	writeU64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	t, m := env.Tasks(), env.Machines()
+	writeU64(uint64(t))
+	writeU64(uint64(m))
+	for i := 0; i < t; i++ {
+		for j := 0; j < m; j++ {
+			writeU64(floatBits(env.ECSAt(i, j)))
+		}
+	}
+	for _, w := range env.TaskWeights() {
+		writeU64(floatBits(w))
+	}
+	for _, w := range env.MachineWeights() {
+		writeU64(floatBits(w))
+	}
+	var k cacheKey
+	h.Sum(k[:0])
+	return k
+}
+
+// floatBits canonicalizes -0 to +0 so numerically equal matrices share keys.
+func floatBits(v float64) uint64 {
+	if v == 0 {
+		v = 0
+	}
+	return math.Float64bits(v)
+}
+
+// Get returns the cached profile for the key, bumping its recency.
+func (c *profileCache) Get(k cacheKey) (*core.Profile, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		c.order.MoveToFront(el)
+		c.hits.Inc()
+		return el.Value.(*cacheEntry).profile, true
+	}
+	c.misses.Inc()
+	return nil, false
+}
+
+// Put inserts (or refreshes) a profile, evicting the least recently used
+// entry past capacity.
+func (c *profileCache) Put(k cacheKey, p *core.Profile) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		el.Value.(*cacheEntry).profile = p
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[k] = c.order.PushFront(&cacheEntry{key: k, profile: p})
+	for len(c.items) > c.cap {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.items, last.Value.(*cacheEntry).key)
+	}
+}
+
+// Len reports the current entry count (the cache size gauge).
+func (c *profileCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items)
+}

@@ -1,0 +1,148 @@
+package server
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/etcmat"
+)
+
+func testCache(capacity int) *profileCache {
+	m := NewMetrics()
+	return newProfileCache(capacity,
+		m.Counter("hits", "h", ""), m.Counter("misses", "m", ""))
+}
+
+func TestCacheKeyContentAddressing(t *testing.T) {
+	a := etcmat.MustFromETC([][]float64{{1, 2}, {3, 4}})
+	same := etcmat.MustFromETC([][]float64{{1, 2}, {3, 4}})
+	if keyOf(a) != keyOf(same) {
+		t.Error("identical matrices must share a key")
+	}
+
+	// Names are measure-irrelevant: renaming must not change the key.
+	named, err := a.WithTaskNames([]string{"gcc", "mcf"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if keyOf(a) != keyOf(named) {
+		t.Error("task names changed the cache key; measures ignore names")
+	}
+
+	// Weights are measure-relevant: reweighting must change the key.
+	weighted, err := a.WithWeights([]float64{2, 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if keyOf(a) == keyOf(weighted) {
+		t.Error("task weights did not change the cache key")
+	}
+
+	// Any entry difference must change the key.
+	b := etcmat.MustFromETC([][]float64{{1, 2}, {3, 4.000001}})
+	if keyOf(a) == keyOf(b) {
+		t.Error("different matrices share a key")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := testCache(2)
+	envs := []*etcmat.Env{
+		etcmat.MustFromETC([][]float64{{1, 2}, {3, 4}}),
+		etcmat.MustFromETC([][]float64{{5, 6}, {7, 8}}),
+		etcmat.MustFromETC([][]float64{{9, 10}, {11, 12}}),
+	}
+	keys := make([]cacheKey, len(envs))
+	for i, env := range envs {
+		keys[i] = keyOf(env)
+	}
+	c.Put(keys[0], core.Characterize(envs[0]))
+	c.Put(keys[1], core.Characterize(envs[1]))
+	// Touch 0 so 1 becomes least recently used, then insert 2.
+	if _, ok := c.Get(keys[0]); !ok {
+		t.Fatal("key 0 missing before eviction")
+	}
+	c.Put(keys[2], core.Characterize(envs[2]))
+	if c.Len() != 2 {
+		t.Fatalf("cache holds %d entries, want 2", c.Len())
+	}
+	if _, ok := c.Get(keys[1]); ok {
+		t.Error("least recently used entry survived eviction")
+	}
+	if _, ok := c.Get(keys[0]); !ok {
+		t.Error("recently used entry was evicted")
+	}
+	if _, ok := c.Get(keys[2]); !ok {
+		t.Error("newest entry was evicted")
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := testCache(0)
+	env := etcmat.MustFromETC([][]float64{{1, 2}, {3, 4}})
+	k := keyOf(env)
+	c.Put(k, core.Characterize(env))
+	if _, ok := c.Get(k); ok {
+		t.Error("capacity-0 cache returned a hit")
+	}
+	if c.Len() != 0 {
+		t.Errorf("capacity-0 cache holds %d entries", c.Len())
+	}
+}
+
+// TestCacheConcurrentPounding drives Get/Put/Len from many goroutines over a
+// deliberately tiny capacity so insertions, hits and evictions interleave;
+// run with -race this is the LRU's data-race gate.
+func TestCacheConcurrentPounding(t *testing.T) {
+	c := testCache(8)
+	profiles := make([]*core.Profile, 32)
+	keys := make([]cacheKey, 32)
+	for i := range keys {
+		env := etcmat.MustFromETC([][]float64{{1, float64(i) + 2}, {3, 4}})
+		keys[i] = keyOf(env)
+		profiles[i] = core.Characterize(env)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				k := (i*7 + w*13) % len(keys)
+				switch i % 3 {
+				case 0:
+					c.Put(keys[k], profiles[k])
+				case 1:
+					if p, ok := c.Get(keys[k]); ok && p == nil {
+						t.Error("hit returned nil profile")
+						return
+					}
+				default:
+					_ = c.Len()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n := c.Len(); n > 8 {
+		t.Errorf("cache exceeded capacity: %d entries", n)
+	}
+}
+
+func BenchmarkCacheKey(b *testing.B) {
+	env := etcmat.MustFromETC(func() [][]float64 {
+		rows := make([][]float64, 60)
+		for i := range rows {
+			rows[i] = make([]float64, 40)
+			for j := range rows[i] {
+				rows[i][j] = float64(i*40+j) + 1
+			}
+		}
+		return rows
+	}())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = keyOf(env)
+	}
+}

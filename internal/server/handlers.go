@@ -1,0 +1,299 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"mime"
+	"net/http"
+	"runtime"
+	"strconv"
+	"time"
+
+	"repro/hetero"
+	"repro/internal/core"
+	"repro/internal/etcmat"
+	"repro/internal/gen"
+)
+
+// writeJSON renders v with the standard headers; encoding failures are
+// logged, not retried (the status line is already gone).
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.log.Error("encoding response", "err", err)
+	}
+}
+
+// writeError renders the uniform error envelope.
+func writeError(w http.ResponseWriter, status int, code, message string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(apiError{Error: apiErrorBody{Code: code, Message: message}})
+}
+
+// decodeJSON reads a size-capped JSON body into v.
+func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	if err := dec.Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return fmt.Errorf("body exceeds %d bytes", tooLarge.Limit)
+		}
+		return err
+	}
+	// Trailing garbage after the JSON value is a malformed request, not a
+	// second message.
+	if err := dec.Decode(&struct{}{}); err != io.EOF {
+		return errors.New("unexpected data after JSON body")
+	}
+	return nil
+}
+
+// readEnv extracts the environment from a characterize/whatif request body:
+// JSON (EnvDTO) by default, raw CSV when the Content-Type says so.
+func (s *Server) readEnv(w http.ResponseWriter, r *http.Request) (*etcmat.Env, error) {
+	ct := r.Header.Get("Content-Type")
+	if mt, _, err := mime.ParseMediaType(ct); err == nil && (mt == "text/csv" || mt == "text/plain") {
+		body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		return etcmat.ReadETCCSV(body)
+	}
+	var req characterizeRequest
+	if err := s.decodeJSON(w, r, &req); err != nil {
+		return nil, err
+	}
+	return req.Env()
+}
+
+// admit claims a compute slot for the request, translating the failure
+// modes to HTTP. It reports whether the caller may proceed; on false the
+// response has been written.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) (release func(), ok bool) {
+	release, err := s.adm.Enter(r.Context())
+	switch {
+	case err == nil:
+		return release, true
+	case errors.Is(err, ErrOverloaded):
+		retry := s.adm.RetryAfter(100 * time.Millisecond)
+		w.Header().Set("Retry-After", strconv.Itoa(int(retry.Round(time.Second)/time.Second)))
+		writeError(w, http.StatusTooManyRequests, "overloaded",
+			"server at capacity; retry after the indicated delay")
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, "timeout",
+			"request deadline expired while queued for a compute slot")
+	default: // context.Canceled — client went away; the write is moot.
+		writeError(w, http.StatusServiceUnavailable, "canceled", "request canceled")
+	}
+	return nil, false
+}
+
+// characterizeCached computes (or recalls) the profile of an environment
+// through the content-addressed cache. The returned bool reports a hit.
+func (s *Server) characterizeCached(env *etcmat.Env) (*core.Profile, bool) {
+	key := keyOf(env)
+	if p, ok := s.cache.Get(key); ok {
+		return p, true
+	}
+	p := core.Characterize(env)
+	s.computed.Inc()
+	s.cache.Put(key, p)
+	return p, false
+}
+
+// handleCharacterize serves POST /v1/characterize.
+func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
+	env, err := s.readEnv(w, r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_request", err.Error())
+		return
+	}
+	// Cache lookup happens before admission: a hit costs one hash of the
+	// request matrix and skips the queue entirely, so a warmed working set
+	// stays fast even when the compute pool is saturated.
+	key := keyOf(env)
+	if p, ok := s.cache.Get(key); ok {
+		s.writeJSON(w, http.StatusOK, ProfileToDTO(p, true))
+		return
+	}
+	release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	if err := r.Context().Err(); err != nil {
+		writeError(w, http.StatusGatewayTimeout, "timeout", "request deadline expired")
+		return
+	}
+	p := core.Characterize(env)
+	s.computed.Inc()
+	s.cache.Put(key, p)
+	s.writeJSON(w, http.StatusOK, ProfileToDTO(p, false))
+}
+
+// handleBatch serves POST /v1/characterize/batch. The request holds one
+// admission slot; cache misses fan out over the bounded parallel pool via
+// hetero.CharacterizeManyCtx, so canceling the request (timeout, client
+// disconnect) stops the remaining items.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if err := s.decodeJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_request", err.Error())
+		return
+	}
+	if len(req.Envs) == 0 {
+		writeError(w, http.StatusBadRequest, "invalid_request", "envs must be non-empty")
+		return
+	}
+	if len(req.Envs) > s.cfg.MaxBatchEnvs {
+		writeError(w, http.StatusBadRequest, "invalid_request",
+			fmt.Sprintf("batch of %d exceeds the %d-environment limit", len(req.Envs), s.cfg.MaxBatchEnvs))
+		return
+	}
+
+	items := make([]batchItem, len(req.Envs))
+	keys := make([]cacheKey, len(req.Envs))
+	toCompute := make([]*etcmat.Env, len(req.Envs)) // nil = cached or invalid
+	for i := range req.Envs {
+		env, err := req.Envs[i].Env()
+		if err != nil {
+			items[i].Error = err.Error()
+			continue
+		}
+		keys[i] = keyOf(env)
+		if p, ok := s.cache.Get(keys[i]); ok {
+			items[i].Profile = ProfileToDTO(p, true)
+			continue
+		}
+		toCompute[i] = env
+	}
+
+	release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	profiles, err := hetero.CharacterizeManyCtx(r.Context(), toCompute, s.cfg.Workers)
+	if err != nil {
+		writeError(w, http.StatusGatewayTimeout, "timeout",
+			"request deadline expired mid-batch: "+err.Error())
+		return
+	}
+	for i, p := range profiles {
+		if toCompute[i] == nil || p == nil {
+			continue
+		}
+		s.computed.Inc()
+		s.cache.Put(keys[i], p)
+		items[i].Profile = ProfileToDTO(p, false)
+	}
+	s.writeJSON(w, http.StatusOK, batchResponse{Profiles: items})
+}
+
+// handleGenerate serves POST /v1/generate.
+func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
+	var req generateRequest
+	if err := s.decodeJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_request", err.Error())
+		return
+	}
+	release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	rng := rand.New(rand.NewSource(req.Seed))
+	var (
+		env *etcmat.Env
+		mix *float64
+		err error
+	)
+	switch req.Kind {
+	case "range":
+		env, err = gen.RangeBased(req.Tasks, req.Machines, req.RTask, req.RMach, rng)
+	case "cvb":
+		env, err = gen.CVB(req.Tasks, req.Machines, req.VTask, req.VMach, req.MuTask, rng)
+	case "targeted":
+		var g *gen.Generated
+		g, err = gen.Targeted(gen.Target{
+			Tasks: req.Tasks, Machines: req.Machines,
+			MPH: req.MPH, TDH: req.TDH, TMA: req.TMA, Tol: req.Tol,
+		}, rng)
+		if err == nil {
+			env = g.Env
+			mix = &g.Mix
+		}
+	default:
+		writeError(w, http.StatusBadRequest, "invalid_request",
+			fmt.Sprintf("kind must be \"range\", \"cvb\" or \"targeted\", got %q", req.Kind))
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_request", err.Error())
+		return
+	}
+	// Seed the result cache: a generate-then-characterize flow (common in
+	// sweep tooling) hits on the second call.
+	p, cached := s.characterizeCached(env)
+	s.writeJSON(w, http.StatusOK, generateResponse{
+		Env:     EnvToDTO(env),
+		Profile: ProfileToDTO(p, cached),
+		Mix:     mix,
+	})
+}
+
+// handleWhatif serves POST /v1/whatif: the paper's leave-one-out what-if
+// study (measure deltas from removing each task type and machine in turn).
+func (s *Server) handleWhatif(w http.ResponseWriter, r *http.Request) {
+	var req whatifRequest
+	if err := s.decodeJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_request", err.Error())
+		return
+	}
+	env, err := req.Env()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_request", err.Error())
+		return
+	}
+	release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	if err := r.Context().Err(); err != nil {
+		writeError(w, http.StatusGatewayTimeout, "timeout", "request deadline expired")
+		return
+	}
+	baseline, deltas := core.LeaveOneOut(env)
+	resp := whatifResponse{Baseline: ProfileToDTO(baseline, false)}
+	resp.Deltas = make([]deltaDTO, len(deltas))
+	for i, d := range deltas {
+		resp.Deltas[i] = deltaToDTO(d)
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// handleHealthz serves GET /healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"status":        "ok",
+		"uptimeSeconds": time.Since(s.start).Seconds(),
+		"inflight":      s.adm.Active(),
+		"queued":        s.adm.QueueDepth(),
+		"cacheEntries":  s.cache.Len(),
+		"workers":       s.cfg.Workers,
+		"goVersion":     runtime.Version(),
+	})
+}
+
+// handleMetrics serves GET /metrics in the Prometheus text format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if _, err := s.metrics.WriteTo(w); err != nil {
+		s.log.Error("writing metrics", "err", err)
+	}
+}

@@ -1,0 +1,96 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"runtime/debug"
+	"strconv"
+	"time"
+)
+
+// statusRecorder captures the status code and body size a handler wrote, for
+// the request log and the per-endpoint metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if r.status == 0 {
+		r.status = code
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	n, err := r.ResponseWriter.Write(p)
+	r.bytes += int64(n)
+	return n, err
+}
+
+// withRecovery converts a handler panic into a 500 with the standard error
+// envelope instead of killing the connection (and, under http.Server's
+// default behavior, spamming the log with a stack dump per request). The
+// stack is logged once, structured.
+func (s *Server) withRecovery(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.log.Error("panic in handler",
+					"method", r.Method,
+					"path", r.URL.Path,
+					"panic", rec,
+					"stack", string(debug.Stack()))
+				s.panics.Inc()
+				// The header may already be gone; best effort.
+				writeError(w, http.StatusInternalServerError, "internal", "internal server error")
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// withObservability wraps every request with structured logging and the
+// request counter / latency histogram for its endpoint.
+func (s *Server) withObservability(endpoint string, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w}
+		next.ServeHTTP(rec, r)
+		if rec.status == 0 {
+			rec.status = http.StatusOK
+		}
+		elapsed := time.Since(start)
+		s.metrics.Counter("hcserved_requests_total",
+			"HTTP requests by endpoint and status code.",
+			`endpoint="`+endpoint+`",code="`+strconv.Itoa(rec.status)+`"`).Inc()
+		s.metrics.Histogram("hcserved_request_seconds",
+			"Request latency by endpoint.",
+			`endpoint="`+endpoint+`"`).Observe(elapsed.Seconds())
+		s.log.Info("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"endpoint", endpoint,
+			"status", rec.status,
+			"bytes", rec.bytes,
+			"duration_ms", float64(elapsed.Microseconds())/1000,
+			"remote", r.RemoteAddr)
+	})
+}
+
+// withTimeout attaches the per-request deadline to the request context; the
+// compute path checks it at admission and between batch items.
+func (s *Server) withTimeout(next http.Handler) http.Handler {
+	if s.cfg.RequestTimeout <= 0 {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
+}

@@ -1,0 +1,108 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// admission is the bounded admission queue in front of the compute pool.
+// At most `workers` requests execute concurrently; up to `queueDepth` more
+// may wait for a slot. Anything beyond that is rejected immediately with
+// ErrOverloaded — the server sheds load with a 429 instead of stacking
+// goroutines until memory runs out (the usual collapse mode of an unbounded
+// HTTP handler doing CPU-bound work).
+//
+// The waiting count is tracked with an atomic rather than a second channel
+// so /metrics can read the live queue depth without contending with the
+// request path.
+type admission struct {
+	slots   chan struct{} // buffered to `workers`; holding a token = executing
+	depth   int64         // max waiters
+	waiting atomic.Int64  // requests admitted but not yet holding a slot
+	active  atomic.Int64  // requests holding a slot
+
+	rejected *counter
+}
+
+// ErrOverloaded is returned when both the compute slots and the wait queue
+// are full; the handler maps it to 429 + Retry-After.
+var ErrOverloaded = errors.New("server: admission queue full")
+
+func newAdmission(workers, queueDepth int, rejected *counter) *admission {
+	if workers < 1 {
+		workers = 1
+	}
+	if queueDepth < 0 {
+		queueDepth = 0
+	}
+	return &admission{
+		slots:    make(chan struct{}, workers),
+		depth:    int64(queueDepth),
+		rejected: rejected,
+	}
+}
+
+// Enter claims a compute slot, waiting in the bounded queue if all slots are
+// busy. It returns a release function on success; ErrOverloaded when the
+// queue is full; or the context error if the caller gives up while queued
+// (client disconnect, per-request timeout). The release function must be
+// called exactly once.
+func (a *admission) Enter(ctx context.Context) (release func(), err error) {
+	if a.waiting.Add(1) > a.depth {
+		// Over the wait budget. A token may still be free — taking it keeps
+		// the server busy at full width even when the queue is momentarily
+		// over-subscribed by racing arrivals.
+		select {
+		case a.slots <- struct{}{}:
+			a.waiting.Add(-1)
+			return a.acquired(), nil
+		default:
+			a.waiting.Add(-1)
+			a.rejected.Inc()
+			return nil, ErrOverloaded
+		}
+	}
+	select {
+	case a.slots <- struct{}{}:
+		a.waiting.Add(-1)
+		return a.acquired(), nil
+	case <-ctx.Done():
+		a.waiting.Add(-1)
+		return nil, ctx.Err()
+	}
+}
+
+func (a *admission) acquired() func() {
+	a.active.Add(1)
+	var done atomic.Bool
+	return func() {
+		if done.CompareAndSwap(false, true) {
+			a.active.Add(-1)
+			<-a.slots
+		}
+	}
+}
+
+// QueueDepth reports the number of requests currently waiting for a slot.
+func (a *admission) QueueDepth() int64 { return a.waiting.Load() }
+
+// Active reports the number of requests currently executing.
+func (a *admission) Active() int64 { return a.active.Load() }
+
+// RetryAfter estimates how long a rejected client should back off: one
+// nominal service time per queued-or-running request ahead of it, floored at
+// a second. It is deliberately coarse — the point is to spread retries, not
+// to promise a slot.
+func (a *admission) RetryAfter(nominal time.Duration) time.Duration {
+	ahead := a.waiting.Load() + a.active.Load()
+	d := time.Duration(ahead) * nominal / time.Duration(cap(a.slots))
+	if d < time.Second {
+		d = time.Second
+	}
+	if d > 30*time.Second {
+		d = 30 * time.Second
+	}
+	return d
+}

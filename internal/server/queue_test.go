@@ -1,0 +1,145 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func testAdmission(workers, depth int) *admission {
+	m := NewMetrics()
+	return newAdmission(workers, depth, m.Counter("rejected", "r", ""))
+}
+
+func TestAdmissionRejectsPastQueueDepth(t *testing.T) {
+	a := testAdmission(1, 1)
+
+	// Fill the single compute slot.
+	rel1, err := a.Enter(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill the single wait slot from another goroutine.
+	waiting := make(chan error, 1)
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	go func() {
+		rel, err := a.Enter(ctx2)
+		if err == nil {
+			rel()
+		}
+		waiting <- err
+	}()
+	// Give the waiter time to enqueue.
+	for i := 0; i < 100 && a.QueueDepth() == 0; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if a.QueueDepth() != 1 {
+		t.Fatalf("queue depth %d, want 1", a.QueueDepth())
+	}
+
+	// A third entrant finds slot and queue full: immediate ErrOverloaded.
+	if _, err := a.Enter(context.Background()); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("third Enter = %v, want ErrOverloaded", err)
+	}
+
+	// Releasing the slot lets the waiter through.
+	rel1()
+	if err := <-waiting; err != nil {
+		t.Fatalf("queued request failed: %v", err)
+	}
+}
+
+func TestAdmissionCancelWhileQueued(t *testing.T) {
+	a := testAdmission(1, 4)
+	rel, err := a.Enter(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := a.Enter(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("queued Enter under an expired deadline = %v, want DeadlineExceeded", err)
+	}
+	if d := a.QueueDepth(); d != 0 {
+		t.Errorf("queue depth %d after cancellation, want 0", d)
+	}
+}
+
+// TestAdmissionConcurrencyBound pounds the queue from many goroutines and
+// asserts the concurrent-execution invariant; with -race this is the
+// admission queue's data-race gate.
+func TestAdmissionConcurrencyBound(t *testing.T) {
+	const workers, depth, clients = 4, 8, 64
+	a := testAdmission(workers, depth)
+	var (
+		inside   atomic.Int64
+		maxSeen  atomic.Int64
+		admitted atomic.Int64
+		shed     atomic.Int64
+		wg       sync.WaitGroup
+	)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				rel, err := a.Enter(context.Background())
+				if err != nil {
+					if !errors.Is(err, ErrOverloaded) {
+						t.Errorf("Enter: %v", err)
+					}
+					shed.Add(1)
+					continue
+				}
+				n := inside.Add(1)
+				for {
+					m := maxSeen.Load()
+					if n <= m || maxSeen.CompareAndSwap(m, n) {
+						break
+					}
+				}
+				admitted.Add(1)
+				inside.Add(-1)
+				rel()
+			}
+		}()
+	}
+	wg.Wait()
+	if m := maxSeen.Load(); m > workers {
+		t.Errorf("observed %d concurrent executions, bound is %d", m, workers)
+	}
+	if admitted.Load() == 0 {
+		t.Error("no request was ever admitted")
+	}
+	if a.QueueDepth() != 0 || a.Active() != 0 {
+		t.Errorf("gauges not drained: depth=%d active=%d", a.QueueDepth(), a.Active())
+	}
+}
+
+func TestAdmissionReleaseIdempotent(t *testing.T) {
+	a := testAdmission(1, 0)
+	rel, err := a.Enter(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel()
+	rel() // second call must be a no-op, not a slot underflow
+	if _, err := a.Enter(context.Background()); err != nil {
+		t.Fatalf("slot not reusable after double release: %v", err)
+	}
+}
+
+func TestRetryAfterBounds(t *testing.T) {
+	a := testAdmission(2, 10)
+	if d := a.RetryAfter(100 * time.Millisecond); d < time.Second {
+		t.Errorf("idle RetryAfter %v below the 1s floor", d)
+	}
+	if d := a.RetryAfter(time.Hour); d > 30*time.Second {
+		t.Errorf("RetryAfter %v above the 30s ceiling", d)
+	}
+}

@@ -1,0 +1,198 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"log/slog"
+	"net"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// Config shapes a serving instance. The zero value is usable: every field
+// has a production-minded default applied by New.
+type Config struct {
+	// Addr is the listen address for Run (default ":8080"). Handler-level
+	// use (tests, embedding) ignores it.
+	Addr string
+	// Workers bounds concurrently executing characterizations
+	// (default/<=0: GOMAXPROCS). Batch requests occupy one slot and fan out
+	// internally on the same bound via the parallel pool.
+	Workers int
+	// QueueDepth bounds requests waiting for a compute slot; past it the
+	// server sheds load with 429 + Retry-After (default 64; negative: 0,
+	// i.e. no waiting).
+	QueueDepth int
+	// CacheSize bounds the content-addressed profile cache in entries
+	// (default 1024; 0 or negative disables caching).
+	CacheSize int
+	// RequestTimeout is the per-request deadline, enforced at admission and
+	// between batch items (default 30s; 0 or negative disables).
+	RequestTimeout time.Duration
+	// DrainTimeout bounds the graceful-shutdown drain (default 15s).
+	DrainTimeout time.Duration
+	// MaxBodyBytes bounds request bodies (default 8 MiB).
+	MaxBodyBytes int64
+	// MaxBatchEnvs bounds the environments in one batch request
+	// (default 256).
+	MaxBatchEnvs int
+	// Logger receives structured request/lifecycle logs (default
+	// slog.Default()).
+	Logger *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = ":8080"
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 64
+	}
+	if c.QueueDepth < 0 {
+		c.QueueDepth = 0
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 1024
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 15 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.MaxBatchEnvs <= 0 {
+		c.MaxBatchEnvs = 256
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
+	return c
+}
+
+// Server is the HTTP characterization service. Build one with New, mount
+// Handler on any mux or run it directly with Run.
+type Server struct {
+	cfg     Config
+	log     *slog.Logger
+	metrics *Metrics
+	cache   *profileCache
+	adm     *admission
+	mux     *http.ServeMux
+	start   time.Time
+
+	boundAddr atomic.Value // string; set once Run's listener is up
+
+	panics   *counter
+	computed *counter
+}
+
+// BoundAddr returns the address Run's listener is bound to ("" before Run).
+func (s *Server) BoundAddr() string {
+	if v, ok := s.boundAddr.Load().(string); ok {
+		return v
+	}
+	return ""
+}
+
+// New builds a Server from the config (see Config for defaults).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	m := NewMetrics()
+	s := &Server{
+		cfg:     cfg,
+		log:     cfg.Logger,
+		metrics: m,
+		start:   time.Now(),
+		panics: m.Counter("hcserved_panics_total",
+			"Handler panics recovered.", ""),
+		computed: m.Counter("hcserved_characterizations_total",
+			"Profiles computed (cache misses that ran the pipeline).", ""),
+	}
+	s.cache = newProfileCache(cfg.CacheSize,
+		m.Counter("hcserved_cache_hits_total", "Profile cache hits.", ""),
+		m.Counter("hcserved_cache_misses_total", "Profile cache misses.", ""))
+	s.adm = newAdmission(cfg.Workers, cfg.QueueDepth,
+		m.Counter("hcserved_rejected_total", "Requests shed with 429.", ""))
+	m.Gauge("hcserved_queue_depth", "Requests waiting for a compute slot.",
+		func() float64 { return float64(s.adm.QueueDepth()) })
+	m.Gauge("hcserved_inflight", "Requests holding a compute slot.",
+		func() float64 { return float64(s.adm.Active()) })
+	m.Gauge("hcserved_cache_entries", "Profiles resident in the result cache.",
+		func() float64 { return float64(s.cache.Len()) })
+	m.Gauge("hcserved_uptime_seconds", "Seconds since the server started.",
+		func() float64 { return time.Since(s.start).Seconds() })
+
+	s.mux = http.NewServeMux()
+	s.route("POST /v1/characterize", "characterize", http.HandlerFunc(s.handleCharacterize))
+	s.route("POST /v1/characterize/batch", "batch", http.HandlerFunc(s.handleBatch))
+	s.route("POST /v1/generate", "generate", http.HandlerFunc(s.handleGenerate))
+	s.route("POST /v1/whatif", "whatif", http.HandlerFunc(s.handleWhatif))
+	s.route("GET /healthz", "healthz", http.HandlerFunc(s.handleHealthz))
+	s.route("GET /metrics", "metrics", http.HandlerFunc(s.handleMetrics))
+	return s
+}
+
+// route mounts a handler with the full middleware stack: recovery outermost
+// (it must catch panics from the observability layer too), then logging and
+// metrics, then the per-request timeout.
+func (s *Server) route(pattern, endpoint string, h http.Handler) {
+	s.mux.Handle(pattern, s.withRecovery(s.withObservability(endpoint, s.withTimeout(h))))
+}
+
+// Handler returns the fully middleware-wrapped root handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics exposes the registry (for embedding or tests).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Run serves on cfg.Addr until ctx is canceled, then drains in-flight
+// requests for up to cfg.DrainTimeout before returning. It returns nil on a
+// clean drain. The bound address (useful with a ":0" config) is available
+// from BoundAddr once the listener is up.
+func (s *Server) Run(ctx context.Context) error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	s.boundAddr.Store(ln.Addr().String())
+	srv := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	s.log.Info("hcserved listening",
+		"addr", ln.Addr().String(),
+		"workers", s.cfg.Workers,
+		"queue_depth", s.cfg.QueueDepth,
+		"cache_size", s.cfg.CacheSize,
+		"request_timeout", s.cfg.RequestTimeout.String())
+	select {
+	case err := <-errCh:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case <-ctx.Done():
+		s.log.Info("shutdown requested; draining in-flight requests",
+			"inflight", s.adm.Active(), "queued", s.adm.QueueDepth(),
+			"drain_timeout", s.cfg.DrainTimeout.String())
+		drainCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+		defer cancel()
+		err := srv.Shutdown(drainCtx)
+		if err == nil {
+			s.log.Info("drain complete")
+		} else {
+			s.log.Error("drain incomplete", "err", err)
+		}
+		return err
+	}
+}
