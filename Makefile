@@ -6,7 +6,7 @@ BENCH_NEW ?= BENCH_new.json
 # Fractional ns/op or allocs/op growth that fails benchdiff (0.20 = 20%).
 BENCH_THRESHOLD ?= 0.20
 
-.PHONY: build test vet race bench bench-json benchdiff verify clean serve loadtest
+.PHONY: build test vet race lint bench bench-json benchdiff verify clean serve loadtest
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,22 @@ vet:
 race:
 	$(GO) test -race ./...
 
+# Static analysis beyond vet. staticcheck and govulncheck are optional
+# locally (CI installs and runs them unconditionally); when a tool is not on
+# PATH the target notes the skip instead of failing, so `make verify` stays
+# runnable on minimal machines.
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed, skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "lint: govulncheck not installed, skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
+	fi
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
@@ -35,7 +51,7 @@ bench-json:
 benchdiff:
 	$(GO) run ./cmd/hcbench -benchdiff -threshold $(BENCH_THRESHOLD) $(BENCH_OLD) $(BENCH_NEW)
 
-verify: build vet test race
+verify: build vet lint test race
 # Opt-in perf gate: BENCHDIFF=1 make verify additionally re-measures the
 # kernels and diffs them against the committed baseline.
 ifneq ($(BENCHDIFF),)

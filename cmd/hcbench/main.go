@@ -11,6 +11,11 @@
 // Experiments run on the bounded worker pool of internal/parallel; -parallel
 // sets the worker count (0 selects GOMAXPROCS, 1 forces the sequential
 // path). Seeded sweeps produce identical tables at every worker count.
+//
+// The -cpuprofile, -memprofile and -trace flags capture the run with the
+// standard Go profilers (go tool pprof / go tool trace); they compose with
+// every mode, so a hot experiment or the -bench suite can be profiled
+// directly.
 package main
 
 import (
@@ -29,16 +34,28 @@ import (
 	"repro/internal/gen"
 	"repro/internal/linalg"
 	"repro/internal/matrix"
+	"repro/internal/profiling"
 	"repro/internal/sinkhorn"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run holds the real main so profiling stops (and any other defers) execute
+// before the process exits; os.Exit in main would skip them. code is a named
+// return so the profiling defer can escalate a clean exit to a failure when
+// the profile write itself fails.
+func run() (code int) {
 	list := flag.Bool("list", false, "list available experiments and exit")
 	md := flag.Bool("md", false, "render tables as GitHub-flavored markdown")
 	workers := flag.Int("parallel", 0, "experiment engine worker count (0 = GOMAXPROCS, 1 = sequential)")
 	bench := flag.String("bench", "", "run the kernel/engine benchmarks and write JSON results to this file (\"-\" for stdout)")
 	benchdiff := flag.Bool("benchdiff", false, "compare two benchmark JSON files (OLD NEW) and fail on regressions past -threshold")
 	threshold := flag.Float64("threshold", 0.20, "benchdiff: fractional ns/op or allocs/op regression that fails the comparison")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
+	traceFile := flag.String("trace", "", "write a runtime execution trace to this file")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: hcbench [-list] [-md] [-parallel N] [experiment ...]\n")
 		fmt.Fprintf(os.Stderr, "       hcbench -bench FILE\n")
@@ -48,34 +65,52 @@ func main() {
 	}
 	flag.Parse()
 
+	stopProfiling, err := profiling.Start(profiling.Config{
+		CPUProfile: *cpuprofile,
+		MemProfile: *memprofile,
+		Trace:      *traceFile,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hcbench: profiling: %v\n", err)
+		return 2
+	}
+	defer func() {
+		if err := stopProfiling(); err != nil {
+			fmt.Fprintf(os.Stderr, "hcbench: profiling: %v\n", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+	}()
+
 	if *benchdiff {
 		if flag.NArg() != 2 {
 			fmt.Fprintf(os.Stderr, "hcbench: -benchdiff needs exactly two files, got %d\n", flag.NArg())
-			os.Exit(2)
+			return 2
 		}
 		ok, err := runBenchDiff(os.Stdout, flag.Arg(0), flag.Arg(1), *threshold)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "hcbench: benchdiff: %v\n", err)
-			os.Exit(2)
+			return 2
 		}
 		if !ok {
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	if *list {
 		for _, e := range experiments.All() {
 			fmt.Printf("%-5s %s\n", e.ID, e.Desc)
 		}
-		return
+		return 0
 	}
 	if *bench != "" {
 		if err := runBenchmarks(*bench); err != nil {
 			fmt.Fprintf(os.Stderr, "hcbench: bench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	selected := experiments.All()
@@ -85,7 +120,7 @@ func main() {
 			e, ok := experiments.ByID(id)
 			if !ok {
 				fmt.Fprintf(os.Stderr, "hcbench: unknown experiment %q (use -list)\n", id)
-				os.Exit(2)
+				return 2
 			}
 			selected = append(selected, e)
 		}
@@ -110,8 +145,9 @@ func main() {
 		}
 	}
 	if failed {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 // benchResult is one machine-readable benchmark record. Each record carries

@@ -38,39 +38,28 @@ func main() {
 	flag.Parse()
 
 	rng := rand.New(rand.NewSource(*seed))
-	var (
-		env *hetero.Env
-		err error
-	)
+	var target hetero.GenerateTarget
 	switch *method {
 	case "targeted":
-		gen, gerr := hetero.Generate(hetero.GenerateTarget{
-			Tasks: *tasks, Machines: *machines, MPH: *mph, TDH: *tdh, TMA: *tma,
-		}, rng)
-		if gerr != nil {
-			fatal(gerr)
-		}
-		env = gen.Env
+		target = hetero.TargetedTarget(*tasks, *machines, *mph, *tdh, *tma, 0)
 	case "range":
-		env, err = hetero.GenerateRangeBased(*tasks, *machines, *rTask, *rMach, rng)
-		if err != nil {
-			fatal(err)
-		}
+		target = hetero.RangeTarget(*tasks, *machines, *rTask, *rMach)
 	case "cvb":
-		env, err = hetero.GenerateCVB(*tasks, *machines, *vTask, *vMach, *mu, rng)
-		if err != nil {
-			fatal(err)
-		}
+		target = hetero.CVBTarget(*tasks, *machines, *vTask, *vMach, *mu)
 	default:
 		fmt.Fprintf(os.Stderr, "hcgen: unknown method %q (targeted, range, cvb)\n", *method)
 		os.Exit(2)
 	}
+	g, err := hetero.Generate(target, rng)
+	if err != nil {
+		fatal(err)
+	}
 
 	if *report {
-		p := hetero.Characterize(env)
+		p := g.Achieved
 		fmt.Fprintf(os.Stderr, "achieved: MPH=%.4f TDH=%.4f TMA=%.4f\n", p.MPH, p.TDH, p.TMA)
 	}
-	if err := env.WriteETCCSV(os.Stdout); err != nil {
+	if err := g.Env.WriteETCCSV(os.Stdout); err != nil {
 		fatal(err)
 	}
 }

@@ -20,6 +20,12 @@
 // ratio — the direct measurement of what the cache buys. With -surge K an
 // extra unmeasured burst of K concurrent unique requests probes overload
 // behavior; the report records how many were shed with 429.
+//
+// After the measured phases, two ?trace=1 probe requests — one fresh body
+// (cold) and its immediate repeat (warm) — record the server's own stage
+// breakdown (decode, cache_lookup, queue_wait, compute, and the nested
+// pipeline spans) as trace_cold / trace_warm, showing where each kind of
+// request spends its time inside the server rather than on the wire.
 package main
 
 import (
@@ -76,6 +82,25 @@ type report struct {
 	// Surge429 counts requests shed with 429 during the optional -surge
 	// burst (absent when -surge 0).
 	Surge429 *int `json:"surge_429,omitempty"`
+	// TraceCold and TraceWarm are the server-side stage breakdowns of one
+	// traced probe request: a fresh body paying the full pipeline, then the
+	// same body answered from the result cache. They come from the API's
+	// ?trace=1 timings echo, so they measure time inside the server only.
+	TraceCold *stageBreakdown `json:"trace_cold,omitempty"`
+	TraceWarm *stageBreakdown `json:"trace_warm,omitempty"`
+}
+
+// stageBreakdown is one traced request's timings as recorded in the report:
+// the wall time inside the server and each stage's share of it.
+type stageBreakdown struct {
+	RequestID string       `json:"request_id"`
+	TotalMs   float64      `json:"total_ms"`
+	Stages    []stageEntry `json:"stages"`
+}
+
+type stageEntry struct {
+	Stage string  `json:"stage"`
+	Ms    float64 `json:"ms"`
 }
 
 func main() {
@@ -139,6 +164,24 @@ func main() {
 		rep.Cache = c
 	} else {
 		fmt.Fprintf(os.Stderr, "hcload: scraping /metrics: %v\n", err)
+	}
+
+	// Stage-breakdown probes: a body no phase has sent (fresh seed offset)
+	// traced cold, then the identical body again for the cached path. Probe
+	// failures degrade the report rather than fail the run.
+	probe, err := makeBodies(1, *tasks, *machines, *seed+2_000_000)
+	if err == nil {
+		for _, p := range []struct {
+			name string
+			dst  **stageBreakdown
+		}{{"cold", &rep.TraceCold}, {"warm", &rep.TraceWarm}} {
+			sb, err := tracedRequest(client, base, probe[0])
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "hcload: trace_%s probe: %v\n", p.name, err)
+				break
+			}
+			*p.dst = sb
+		}
 	}
 
 	w := os.Stdout
@@ -299,6 +342,41 @@ func runSurge(client *http.Client, base string, burst, tasks, machines int, seed
 	}
 	wg.Wait()
 	return int(shed.Load())
+}
+
+// tracedRequest sends one ?trace=1 characterize request and returns the
+// server-reported stage breakdown from the response's timings field.
+func tracedRequest(client *http.Client, base string, body []byte) (*stageBreakdown, error) {
+	resp, err := client.Post(base+"/v1/characterize?trace=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d: %.200s", resp.StatusCode, raw)
+	}
+	var out struct {
+		Timings *server.TimingsDTO `json:"timings"`
+	}
+	if err := json.Unmarshal(raw, &out); err != nil {
+		return nil, err
+	}
+	if out.Timings == nil {
+		return nil, fmt.Errorf("traced response carried no timings field")
+	}
+	sb := &stageBreakdown{
+		RequestID: out.Timings.RequestID,
+		TotalMs:   out.Timings.TotalMs,
+		Stages:    make([]stageEntry, len(out.Timings.Stages)),
+	}
+	for i, st := range out.Timings.Stages {
+		sb.Stages[i] = stageEntry{Stage: st.Stage, Ms: st.Ms}
+	}
+	return sb, nil
 }
 
 // scrapeCache pulls the cache counters out of /metrics.

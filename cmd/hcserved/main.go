@@ -6,10 +6,17 @@
 // Usage:
 //
 //	hcserved [-addr :8080] [-workers N] [-queue N] [-cache N]
-//	         [-timeout 30s] [-drain 15s] [-log text|json]
+//	         [-timeout 30s] [-drain 15s] [-log text|json] [-pprof]
+//	         [-cpuprofile FILE] [-memprofile FILE] [-trace FILE]
 //
 // SIGINT/SIGTERM starts a graceful shutdown: the listener closes, in-flight
 // requests drain (up to -drain), then the process exits 0.
+//
+// -pprof mounts net/http/pprof under /debug/pprof/ on the serving mux for
+// live inspection; it is off by default because it exposes process
+// internals. The -cpuprofile/-memprofile/-trace flags instead capture the
+// whole process lifetime to files, written at shutdown — useful for load
+// tests where the interesting window is the entire run.
 package main
 
 import (
@@ -22,10 +29,18 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/profiling"
 	"repro/internal/server"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run holds the real main so the deferred profiling stop runs before the
+// process exits (os.Exit skips defers). code is a named return so that
+// defer can escalate a clean shutdown to a failure if a profile write fails.
+func run() (code int) {
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", 0, "concurrent characterizations (0 = GOMAXPROCS)")
 	queue := flag.Int("queue", 64, "admission queue depth before shedding 429s")
@@ -33,6 +48,10 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request deadline (0 disables)")
 	drain := flag.Duration("drain", 15*time.Second, "graceful-shutdown drain budget")
 	logFormat := flag.String("log", "text", "log format: text or json")
+	enablePprof := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (exposes process internals)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file at shutdown")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at shutdown")
+	traceFile := flag.String("trace", "", "write a runtime execution trace of the whole run to this file")
 	flag.Parse()
 
 	var handler slog.Handler
@@ -43,9 +62,27 @@ func main() {
 		handler = slog.NewTextHandler(os.Stderr, nil)
 	default:
 		fmt.Fprintf(os.Stderr, "hcserved: -log must be text or json, got %q\n", *logFormat)
-		os.Exit(2)
+		return 2
 	}
 	log := slog.New(handler)
+
+	stopProfiling, err := profiling.Start(profiling.Config{
+		CPUProfile: *cpuprofile,
+		MemProfile: *memprofile,
+		Trace:      *traceFile,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hcserved: profiling: %v\n", err)
+		return 2
+	}
+	defer func() {
+		if err := stopProfiling(); err != nil {
+			log.Error("profiling stop", "err", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+	}()
 
 	srv := server.New(server.Config{
 		Addr:           *addr,
@@ -55,12 +92,14 @@ func main() {
 		RequestTimeout: *timeout,
 		DrainTimeout:   *drain,
 		Logger:         log,
+		EnablePprof:    *enablePprof,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 	if err := srv.Run(ctx); err != nil {
 		log.Error("hcserved exiting", "err", err)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

@@ -29,9 +29,7 @@ func main() {
 	policies := hetero.DynamicPolicies()
 
 	for _, sc := range scenarios {
-		g, err := hetero.Generate(hetero.GenerateTarget{
-			Tasks: 8, Machines: 5, MPH: sc.mph, TDH: sc.tdh, TMA: sc.tma,
-		}, rng)
+		g, err := hetero.Generate(hetero.TargetedTarget(8, 5, sc.mph, sc.tdh, sc.tma, 0), rng)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -24,9 +24,7 @@ func main() {
 	fmt.Printf("%8s %8s %8s | %8s %8s %8s\n", "reqMPH", "reqTDH", "reqTMA", "MPH", "TDH", "TMA")
 	for _, mph := range []float64{0.25, 0.75} {
 		for _, tma := range []float64{0.0, 0.2, 0.5} {
-			g, err := hetero.Generate(hetero.GenerateTarget{
-				Tasks: 12, Machines: 6, MPH: mph, TDH: 0.6, TMA: tma,
-			}, rng)
+			g, err := hetero.Generate(hetero.TargetedTarget(12, 6, mph, 0.6, tma, 0), rng)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -46,11 +44,11 @@ func main() {
 		{"range-based R_task=100  R_mach=10", 100, 10},
 		{"range-based R_task=3000 R_mach=100", 3000, 100},
 	} {
-		env, err := hetero.GenerateRangeBased(12, 6, c.rTask, c.rMach, rng)
+		g, err := hetero.Generate(hetero.RangeTarget(12, 6, c.rTask, c.rMach), rng)
 		if err != nil {
 			log.Fatal(err)
 		}
-		p := hetero.Characterize(env)
+		p := g.Achieved
 		fmt.Printf("%-34s %8.4f %8.4f %8.4f\n", c.name, p.MPH, p.TDH, p.TMA)
 	}
 	for _, c := range []struct {
@@ -61,11 +59,11 @@ func main() {
 		{"CVB V_task=0.6 V_mach=0.3", 0.6, 0.3},
 		{"CVB V_task=1.5 V_mach=0.9", 1.5, 0.9},
 	} {
-		env, err := hetero.GenerateCVB(12, 6, c.vTask, c.vMach, 500, rng)
+		g, err := hetero.Generate(hetero.CVBTarget(12, 6, c.vTask, c.vMach, 500), rng)
 		if err != nil {
 			log.Fatal(err)
 		}
-		p := hetero.Characterize(env)
+		p := g.Achieved
 		fmt.Printf("%-34s %8.4f %8.4f %8.4f\n", c.name, p.MPH, p.TDH, p.TMA)
 	}
 	fmt.Println()

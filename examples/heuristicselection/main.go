@@ -37,9 +37,7 @@ func main() {
 	fmt.Println()
 
 	for _, sc := range scenarios {
-		g, err := hetero.Generate(hetero.GenerateTarget{
-			Tasks: 10, Machines: 6, MPH: sc.mph, TDH: sc.tdh, TMA: sc.tma,
-		}, rng)
+		g, err := hetero.Generate(hetero.TargetedTarget(10, 6, sc.mph, sc.tdh, sc.tma, 0), rng)
 		if err != nil {
 			log.Fatalf("%s: %v", sc.name, err)
 		}

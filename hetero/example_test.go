@@ -57,9 +57,8 @@ func ExampleTMA() {
 
 // The targeted generator dials the three measures independently.
 func ExampleGenerate() {
-	g, err := hetero.Generate(hetero.GenerateTarget{
-		Tasks: 8, Machines: 4, MPH: 0.5, TDH: 0.75, TMA: 0.25,
-	}, rand.New(rand.NewSource(42)))
+	g, err := hetero.Generate(hetero.TargetedTarget(8, 4, 0.5, 0.75, 0.25, 0),
+		rand.New(rand.NewSource(42)))
 	if err != nil {
 		panic(err)
 	}

@@ -89,8 +89,18 @@ func FromECS(rows [][]float64) (*Env, error) {
 // impossible pairing).
 func ReadETCCSV(r io.Reader) (*Env, error) { return etcmat.ReadETCCSV(r) }
 
-// Characterize computes the environment's full heterogeneity profile.
+// Characterize computes the environment's full heterogeneity profile. It
+// never fails: a non-standardizable environment (paper Sec. VI) yields
+// TMA = NaN with the reason in Profile.TMAErr, and every other field stays
+// valid. Callers that prefer an error to a NaN field should use Measures.
 func Characterize(env *Env) *Profile { return core.Characterize(env) }
+
+// Measures is the error-returning characterization: the same Profile as
+// Characterize, but a pipeline failure comes back as an error instead of a
+// NaN field to inspect. The sum-based measures — MPH, TDH and the Figure 2
+// comparison measures — never fail on a valid Env, so a non-nil error always
+// means the TMA standardization stage (core.ErrNotStandardizable).
+func Measures(env *Env) (*Profile, error) { return core.Measures(env) }
 
 // CharacterizeMany profiles a batch of environments on a bounded worker pool
 // (workers <= 0 selects GOMAXPROCS) and returns the profiles in input order.
@@ -111,11 +121,11 @@ func CharacterizeMany(envs []*Env, workers int) []*Profile {
 // are kept, so callers may use the partial result alongside the error.
 func CharacterizeManyCtx(ctx context.Context, envs []*Env, workers int) ([]*Profile, error) {
 	return parallel.Map(ctx, len(envs), workers,
-		func(_ context.Context, i int) (*Profile, error) {
+		func(ctx context.Context, i int) (*Profile, error) {
 			if envs[i] == nil {
 				return nil, nil
 			}
-			return core.Characterize(envs[i]), nil
+			return core.CharacterizeCtx(ctx, envs[i]), nil
 		})
 }
 
@@ -184,26 +194,68 @@ func FindAffinityGroups(env *Env, k int, seed int64) (*AffinityGroups, error) {
 	return core.FindAffinityGroups(env, k, seed)
 }
 
-// GenerateTarget requests an environment with given measures; see Generate.
-type GenerateTarget = gen.Target
+// GenerateTarget selects an ETC generator together with its parameters: the
+// classic range-based and CVB methods of Ali et al., or this repository's
+// measure-targeted construction. Build one with RangeTarget, CVBTarget or
+// TargetedTarget and pass it to Generate; the zero value is invalid.
+type GenerateTarget = gen.Spec
 
-// Generate produces an environment whose MPH and TDH match the target
-// exactly and whose TMA matches within tolerance — the "span the entire
-// range of heterogeneities" application from the paper's introduction.
+// RangeTarget requests a range-based environment:
+// ETC(i,j) = U[1,rTask] · U[1,rMach]. Larger ranges mean more heterogeneity.
+func RangeTarget(tasks, machines int, rTask, rMach float64) GenerateTarget {
+	return gen.RangeSpec(tasks, machines, rTask, rMach)
+}
+
+// CVBTarget requests a coefficient-of-variation-based environment
+// (gamma-distributed task baselines and machine speeds) with task COV vTask,
+// machine COV vMach and mean task execution time muTask.
+func CVBTarget(tasks, machines int, vTask, vMach, muTask float64) GenerateTarget {
+	return gen.CVBSpec(tasks, machines, vTask, vMach, muTask)
+}
+
+// TargetedTarget requests an environment whose MPH and TDH hit the given
+// values exactly and whose TMA lands within tol (0 selects the default
+// 1e-3) — the "span the entire range of heterogeneities" application from
+// the paper's introduction.
+func TargetedTarget(tasks, machines int, mph, tdh, tma, tol float64) GenerateTarget {
+	return gen.TargetedSpec(gen.Target{
+		Tasks: tasks, Machines: machines,
+		MPH: mph, TDH: tdh, TMA: tma, Tol: tol,
+	})
+}
+
+// Generate produces an environment from the target spec. Every generator
+// returns the same shape — the environment plus the heterogeneity profile it
+// achieved — so sweeps record what a parameter choice actually produced
+// regardless of method. Generated.Mix is meaningful only for targeted specs.
 func Generate(target GenerateTarget, rng *rand.Rand) (*gen.Generated, error) {
-	return gen.Targeted(target, rng)
+	return gen.Generate(target, rng)
 }
 
 // GenerateRangeBased produces an ETC environment with the classic
 // range-based method of Ali et al.: ETC(i,j) = U[1,rTask] · U[1,rMach].
+//
+// Deprecated: use Generate(RangeTarget(tasks, machines, rTask, rMach), rng),
+// which also reports the achieved heterogeneity profile.
 func GenerateRangeBased(tasks, machines int, rTask, rMach float64, rng *rand.Rand) (*Env, error) {
-	return gen.RangeBased(tasks, machines, rTask, rMach, rng)
+	g, err := gen.Generate(gen.RangeSpec(tasks, machines, rTask, rMach), rng)
+	if err != nil {
+		return nil, err
+	}
+	return g.Env, nil
 }
 
 // GenerateCVB produces an ETC environment with the coefficient-of-variation
 // method of Ali et al. (gamma-distributed task baselines and speeds).
+//
+// Deprecated: use Generate(CVBTarget(tasks, machines, vTask, vMach, muTask),
+// rng), which also reports the achieved heterogeneity profile.
 func GenerateCVB(tasks, machines int, vTask, vMach, muTask float64, rng *rand.Rand) (*Env, error) {
-	return gen.CVB(tasks, machines, vTask, vMach, muTask, rng)
+	g, err := gen.Generate(gen.CVBSpec(tasks, machines, vTask, vMach, muTask), rng)
+	if err != nil {
+		return nil, err
+	}
+	return g.Env, nil
 }
 
 // Consistency is the Braun et al. ETC taxonomy (consistent, semi-consistent,

@@ -77,9 +77,8 @@ func TestStandardizeFacade(t *testing.T) {
 }
 
 func TestGenerateFacade(t *testing.T) {
-	g, err := hetero.Generate(hetero.GenerateTarget{
-		Tasks: 8, Machines: 4, MPH: 0.7, TDH: 0.8, TMA: 0.2,
-	}, rand.New(rand.NewSource(1)))
+	g, err := hetero.Generate(hetero.TargetedTarget(8, 4, 0.7, 0.8, 0.2, 0),
+		rand.New(rand.NewSource(1)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,6 +94,54 @@ func TestGeneratorFacades(t *testing.T) {
 	}
 	if _, err := hetero.GenerateCVB(5, 3, 0.5, 0.5, 100, rng); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestGenerateUnifiedEntry(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, target := range []hetero.GenerateTarget{
+		hetero.RangeTarget(5, 3, 10, 10),
+		hetero.CVBTarget(5, 3, 0.5, 0.5, 100),
+		hetero.TargetedTarget(5, 3, 0.7, 0.8, 0.1, 0),
+	} {
+		g, err := hetero.Generate(target, rng)
+		if err != nil {
+			t.Fatalf("Generate(%s): %v", target.Kind(), err)
+		}
+		if g.Env == nil || g.Achieved == nil {
+			t.Fatalf("Generate(%s): missing Env or Achieved profile", target.Kind())
+		}
+		if g.Achieved.TMAErr != nil {
+			t.Errorf("Generate(%s): achieved profile has TMA error %v", target.Kind(), g.Achieved.TMAErr)
+		}
+	}
+	// The zero target never comes from a constructor and must be rejected.
+	if _, err := hetero.Generate(hetero.GenerateTarget{}, rng); err == nil {
+		t.Error("Generate(zero target): want error, got nil")
+	}
+}
+
+func TestMeasuresFacade(t *testing.T) {
+	env, err := hetero.FromECS([][]float64{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := hetero.Measures(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := hetero.Characterize(env)
+	if p.MPH != want.MPH || p.TDH != want.TDH || p.TMA != want.TMA {
+		t.Errorf("Measures profile %v differs from Characterize %v", p, want)
+	}
+	// A zero pattern with no positive diagonal (paper Sec. VI) is not
+	// standardizable: Measures must surface that as an error, not a NaN.
+	bad, err := hetero.FromECS([][]float64{{1, 0, 0}, {0, 1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hetero.Measures(bad); err == nil {
+		t.Error("Measures(decomposable): want error, got nil")
 	}
 }
 

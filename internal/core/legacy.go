@@ -15,6 +15,10 @@ import (
 // it: with TDH in the picture, column-only normalization leaves the affinity
 // number entangled with task difficulty spread. The EX10 experiment
 // demonstrates the dependence; TMA (the standard-form version) is the fix.
+//
+// Deprecated: use TMA, the standard-form affinity this paper introduces.
+// TMALegacyColumnOnly remains only for comparison studies against the prior
+// work (EX10) and will not gain new capabilities.
 func TMALegacyColumnOnly(env *etcmat.Env) float64 {
 	w := env.WeightedECS()
 	t, m := w.Dims()

@@ -16,12 +16,14 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 
 	"repro/internal/etcmat"
 	"repro/internal/matrix"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -129,6 +131,13 @@ var ErrNotStandardizable = errors.New("core: ECS matrix cannot be put in standar
 // ECS matrix. 0 means no affinity (all machines rank task types identically,
 // rank-1 ECS); 1 means maximal affinity (disjoint task-machine specialization).
 func TMA(env *etcmat.Env) (*TMAResult, error) {
+	return TMACtx(context.Background(), env)
+}
+
+// TMACtx is TMA with stage tracing: when ctx carries an obs.Trace and the
+// environment's standard form is not yet memoized, the pipeline emits
+// "standardize", "gram" and "eigensolve" spans.
+func TMACtx(ctx context.Context, env *etcmat.Env) (*TMAResult, error) {
 	minTM := env.Tasks()
 	if env.Machines() < minTM {
 		minTM = env.Machines()
@@ -142,7 +151,7 @@ func TMA(env *etcmat.Env) (*TMAResult, error) {
 	// pays for them, every later TMA/Characterize call on the same Env is a
 	// cheap copy. The memoized matrices are shared, so clone before handing
 	// them to the caller.
-	res, sv, err := env.StandardForm()
+	res, sv, err := env.StandardFormCtx(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrNotStandardizable, err)
 	}
@@ -198,7 +207,20 @@ type Profile struct {
 }
 
 // Characterize computes the full heterogeneity profile of an environment.
+// It never fails: a non-standardizable environment (paper Sec. VI) yields
+// TMA = NaN with the reason in Profile.TMAErr, and every other field stays
+// valid. Callers that prefer an error to a NaN should use Measures.
 func Characterize(env *etcmat.Env) *Profile {
+	return CharacterizeCtx(context.Background(), env)
+}
+
+// CharacterizeCtx is Characterize with stage tracing: when ctx carries an
+// obs.Trace, the sum-based measures are recorded as a "measures" span and
+// the TMA pipeline emits its "standardize", "gram" and "eigensolve" spans
+// (unless the Env had them memoized — no work, no span). Without a trace it
+// is exactly Characterize.
+func CharacterizeCtx(ctx context.Context, env *etcmat.Env) *Profile {
+	sp := obs.StartSpan(ctx, "measures")
 	p := &Profile{
 		Tasks:       env.Tasks(),
 		Machines:    env.Machines(),
@@ -210,7 +232,8 @@ func Characterize(env *etcmat.Env) *Profile {
 		MachinePerf: MachinePerformances(env),
 		TaskDiff:    TaskDifficulties(env),
 	}
-	res, err := TMA(env)
+	sp.End()
+	res, err := TMACtx(ctx, env)
 	if err != nil {
 		p.TMA = math.NaN()
 		p.TMAErr = err
@@ -220,6 +243,24 @@ func Characterize(env *etcmat.Env) *Profile {
 	p.SinkhornIterations = res.Iterations
 	p.Trimmed = res.Trimmed
 	return p
+}
+
+// Measures is the error-returning characterization: the same Profile as
+// Characterize, but a pipeline failure (today only standardization, paper
+// Sec. VI) comes back as an error instead of a NaN field to inspect. The
+// sum-based measures — MPH, TDH, RatioR, GeoMeanG, COV — never fail on a
+// valid Env, so a non-nil error always means the TMA stage.
+func Measures(env *etcmat.Env) (*Profile, error) {
+	return MeasuresCtx(context.Background(), env)
+}
+
+// MeasuresCtx is Measures with stage tracing (see CharacterizeCtx).
+func MeasuresCtx(ctx context.Context, env *etcmat.Env) (*Profile, error) {
+	p := CharacterizeCtx(ctx, env)
+	if p.TMAErr != nil {
+		return nil, p.TMAErr
+	}
+	return p, nil
 }
 
 // String renders the headline measures.

@@ -13,6 +13,7 @@
 package etcmat
 
 import (
+	"context"
 	"encoding/csv"
 	"encoding/json"
 	"errors"
@@ -213,14 +214,22 @@ func (e *Env) WeightedColSums() []float64 {
 // read-only; clone before mutating. On a standardization failure (paper
 // Sec. VI) the error and the last iterate are memoized and returned alike.
 func (e *Env) StandardForm() (*sinkhorn.Result, []float64, error) {
+	return e.StandardFormCtx(context.Background())
+}
+
+// StandardFormCtx is StandardForm with stage tracing: when ctx carries an
+// obs.Trace and the standard form is not yet memoized, the balancing run and
+// the spectral pipeline emit "standardize", "gram" and "eigensolve" spans.
+// A memoized hit emits no spans — no work happened.
+func (e *Env) StandardFormCtx(ctx context.Context) (*sinkhorn.Result, []float64, error) {
 	w := e.weightedECS()
 	mm := e.memo
 	mm.mu.Lock()
 	defer mm.mu.Unlock()
 	if !mm.stdDone {
-		mm.std, mm.stdErr = sinkhorn.Standardize(w)
+		mm.std, mm.stdErr = sinkhorn.StandardizeCtx(ctx, w)
 		if mm.stdErr == nil {
-			mm.stdSV = linalg.SingularValues(mm.std.Scaled, nil)
+			mm.stdSV = linalg.SingularValuesCtx(ctx, mm.std.Scaled, nil)
 		}
 		mm.stdDone = true
 	}

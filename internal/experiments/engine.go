@@ -3,6 +3,7 @@ package experiments
 import (
 	"context"
 
+	"repro/internal/obs"
 	"repro/internal/parallel"
 )
 
@@ -19,11 +20,16 @@ type Result struct {
 // experiment is reported in its Result rather than aborting the set; only
 // context cancellation stops the engine early, marking the experiments that
 // never ran with the context's error.
+//
+// When ctx carries an obs.Trace, each experiment's wall time is recorded as
+// a span named by its ID, so a traced sweep shows where the minutes went.
 func RunAll(ctx context.Context, exps []Experiment, workers int) []Result {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	out, err := parallel.Map(ctx, len(exps), workers, func(_ context.Context, i int) (Result, error) {
+	out, err := parallel.Map(ctx, len(exps), workers, func(ctx context.Context, i int) (Result, error) {
+		sp := obs.StartSpan(ctx, exps[i].ID)
+		defer sp.End()
 		r := Result{Experiment: exps[i]}
 		r.Tables, r.Err = exps[i].Run()
 		return r, nil

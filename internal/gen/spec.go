@@ -1,0 +1,86 @@
+package gen
+
+import (
+	"errors"
+	"math/rand"
+
+	"repro/internal/core"
+)
+
+// Spec selects one of the package's generators together with its parameters —
+// the sum type behind the facade's single Generate entry point. Construct one
+// with RangeSpec, CVBSpec or TargetedSpec; the zero Spec is invalid and
+// Generate rejects it, so a Spec that compiles came through a constructor and
+// carries a known kind.
+type Spec struct {
+	kind            string
+	tasks, machines int
+	// Range-based parameters.
+	rTask, rMach float64
+	// CVB parameters.
+	vTask, vMach, muTask float64
+	// Targeted parameters.
+	target Target
+}
+
+// Spec kinds, as reported by Kind and used on the wire by the serving tier.
+const (
+	KindRange    = "range"
+	KindCVB      = "cvb"
+	KindTargeted = "targeted"
+)
+
+// ErrInvalidSpec is returned by Generate for a zero Spec (one that did not
+// come from a constructor).
+var ErrInvalidSpec = errors.New("gen: zero Spec; construct one with RangeSpec, CVBSpec or TargetedSpec")
+
+// RangeSpec requests a range-based environment (see RangeBased):
+// ETC(i, j) = U[1, rTask] · U[1, rMach].
+func RangeSpec(tasks, machines int, rTask, rMach float64) Spec {
+	return Spec{kind: KindRange, tasks: tasks, machines: machines, rTask: rTask, rMach: rMach}
+}
+
+// CVBSpec requests a coefficient-of-variation-based environment (see CVB)
+// with task COV vTask, machine COV vMach and mean task execution time muTask.
+func CVBSpec(tasks, machines int, vTask, vMach, muTask float64) Spec {
+	return Spec{kind: KindCVB, tasks: tasks, machines: machines, vTask: vTask, vMach: vMach, muTask: muTask}
+}
+
+// TargetedSpec requests an environment hitting the measure targets in t
+// (see Targeted).
+func TargetedSpec(t Target) Spec {
+	return Spec{kind: KindTargeted, tasks: t.Tasks, machines: t.Machines, target: t}
+}
+
+// Kind reports which generator the spec selects: KindRange, KindCVB or
+// KindTargeted ("" for the invalid zero Spec).
+func (s Spec) Kind() string { return s.kind }
+
+// Dims reports the requested environment shape.
+func (s Spec) Dims() (tasks, machines int) { return s.tasks, s.machines }
+
+// Generate produces an environment from the spec. Every kind returns the
+// same Generated shape: the environment plus its achieved heterogeneity
+// profile, so sweeps can record what a parameter choice actually produced
+// regardless of generator. Mix is meaningful only for targeted specs (it
+// stays 0 otherwise).
+func Generate(s Spec, rng *rand.Rand) (*Generated, error) {
+	switch s.kind {
+	case KindRange:
+		env, err := RangeBased(s.tasks, s.machines, s.rTask, s.rMach, rng)
+		if err != nil {
+			return nil, err
+		}
+		return &Generated{Env: env, Achieved: core.Characterize(env)}, nil
+	case KindCVB:
+		env, err := CVB(s.tasks, s.machines, s.vTask, s.vMach, s.muTask, rng)
+		if err != nil {
+			return nil, err
+		}
+		return &Generated{Env: env, Achieved: core.Characterize(env)}, nil
+	case KindTargeted:
+		return Targeted(s.target, rng)
+	default:
+		return nil, ErrInvalidSpec
+	}
+}

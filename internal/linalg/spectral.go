@@ -1,10 +1,12 @@
 package linalg
 
 import (
+	"context"
 	"math"
 	"sync"
 
 	"repro/internal/matrix"
+	"repro/internal/obs"
 )
 
 // This file implements the values-only spectral fast path: the task-machine
@@ -69,11 +71,25 @@ func SingularValues(a *matrix.Dense, ws *Workspace) []float64 {
 	return AppendSingularValues(nil, a, ws)
 }
 
+// SingularValuesCtx is SingularValues with stage tracing: when ctx carries
+// an obs.Trace, the Gram formation and the tridiagonal eigensolve are
+// recorded as "gram" and "eigensolve" spans. Without a trace it is exactly
+// SingularValues.
+func SingularValuesCtx(ctx context.Context, a *matrix.Dense, ws *Workspace) []float64 {
+	return appendSingularValues(obs.FromContext(ctx), nil, a, ws)
+}
+
 // AppendSingularValues appends the descending singular values of a to dst
 // and returns the extended slice, so hot loops can reuse one result buffer
 // across calls (pass dst[:0] to overwrite). ws may be nil (a pooled
 // workspace is borrowed).
 func AppendSingularValues(dst []float64, a *matrix.Dense, ws *Workspace) []float64 {
+	return appendSingularValues(nil, dst, a, ws)
+}
+
+// appendSingularValues is the shared implementation; tr may be nil (the
+// untraced fast path — span calls on a nil trace are free).
+func appendSingularValues(tr *obs.Trace, dst []float64, a *matrix.Dense, ws *Workspace) []float64 {
 	m, n := a.Dims()
 	k := minInt(m, n)
 	if k == 0 {
@@ -84,13 +100,18 @@ func AppendSingularValues(dst []float64, a *matrix.Dense, ws *Workspace) []float
 		ws = GetWorkspace()
 		defer PutWorkspace(ws)
 	}
+	sp := tr.StartSpan("gram")
 	g := matrix.GramInto(ws.gram.Reset(k, k), a)
+	sp.End()
+	sp = tr.StartSpan("eigensolve")
 	d, e := ws.vecs(k)
 	tridiagonalize(g, d, e)
 	if !tqlImplicitShift(d, e) {
 		// The QL budget essentially never trips; fall back to the Jacobi SVD
 		// oracle rather than return a partial spectrum.
-		return append(dst, SVDJacobi(a).S...)
+		res := append(dst, SVDJacobi(a).S...)
+		sp.End()
+		return res
 	}
 	// d now holds the eigenvalues of G, unordered. Anything at or below the
 	// roundoff noise floor of the Gram formation — including the small
@@ -110,6 +131,7 @@ func AppendSingularValues(dst []float64, a *matrix.Dense, ws *Workspace) []float
 		dst = append(dst, math.Sqrt(v))
 	}
 	sortDescending(dst[start:])
+	sp.End()
 	return dst
 }
 

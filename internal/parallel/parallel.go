@@ -18,6 +18,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // Workers normalizes a worker-count request: non-positive selects
@@ -33,6 +35,10 @@ func Workers(n int) int {
 // and returns the results in index order. The first error cancels the
 // remaining work (tasks already running finish; queued indices are skipped)
 // and is returned. A nil or already-canceled context short-circuits.
+//
+// When ctx carries an obs.Trace, every task is recorded as a "task" span, so
+// a traced batch exposes its per-item latency distribution; the untraced path
+// pays only a nil-receiver check.
 func Map[T any](ctx context.Context, n, workers int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -41,6 +47,7 @@ func Map[T any](ctx context.Context, n, workers int, fn func(ctx context.Context
 	if n == 0 {
 		return out, ctx.Err()
 	}
+	tr := obs.FromContext(ctx)
 	workers = Workers(workers)
 	if workers > n {
 		workers = n
@@ -51,7 +58,9 @@ func Map[T any](ctx context.Context, n, workers int, fn func(ctx context.Context
 			if err := ctx.Err(); err != nil {
 				return out, err
 			}
+			sp := tr.StartSpan("task")
 			v, err := fn(ctx, i)
+			sp.End()
 			if err != nil {
 				return out, err
 			}
@@ -76,7 +85,9 @@ func Map[T any](ctx context.Context, n, workers int, fn func(ctx context.Context
 				if i >= n || ctx.Err() != nil {
 					return
 				}
+				sp := tr.StartSpan("task")
 				v, err := fn(ctx, i)
+				sp.End()
 				if err != nil {
 					firstErr.CompareAndSwap(nil, err)
 					cancel()

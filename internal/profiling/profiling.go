@@ -1,0 +1,92 @@
+// Package profiling wires the standard Go profiling outputs — CPU profile,
+// heap profile, execution trace — into long-running commands behind three
+// flags, so hcbench and hcserved runs can be fed straight into
+// `go tool pprof` / `go tool trace` without code changes.
+package profiling
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// Config names the output files; an empty path disables that capture.
+type Config struct {
+	// CPUProfile receives a pprof CPU profile covering Start..stop.
+	CPUProfile string
+	// MemProfile receives a heap profile taken at stop (after a GC, so it
+	// reflects live objects, not garbage awaiting collection).
+	MemProfile string
+	// Trace receives a runtime execution trace covering Start..stop.
+	Trace string
+}
+
+// Start begins the requested captures and returns a stop function that ends
+// them and writes the deferred outputs. stop must be called exactly once
+// (defer it right after a successful Start); it reports the first write
+// error. On a Start error every capture already begun is rolled back, so a
+// failed Start needs no cleanup.
+func Start(cfg Config) (stop func() error, err error) {
+	var (
+		cpuFile   *os.File
+		traceFile *os.File
+	)
+	fail := func(err error) (func() error, error) {
+		if traceFile != nil {
+			trace.Stop()
+			traceFile.Close()
+		}
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		return nil, err
+	}
+	if cfg.CPUProfile != "" {
+		cpuFile, err = os.Create(cfg.CPUProfile)
+		if err != nil {
+			return fail(err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			cpuFile = nil
+			return fail(fmt.Errorf("starting CPU profile: %w", err))
+		}
+	}
+	if cfg.Trace != "" {
+		traceFile, err = os.Create(cfg.Trace)
+		if err != nil {
+			return fail(err)
+		}
+		if err := trace.Start(traceFile); err != nil {
+			traceFile.Close()
+			traceFile = nil
+			return fail(fmt.Errorf("starting execution trace: %w", err))
+		}
+	}
+	memPath := cfg.MemProfile
+	return func() error {
+		var errs []error
+		if traceFile != nil {
+			trace.Stop()
+			errs = append(errs, traceFile.Close())
+		}
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			errs = append(errs, cpuFile.Close())
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				errs = append(errs, err)
+			} else {
+				runtime.GC() // materialize the live heap before snapshotting
+				errs = append(errs, pprof.WriteHeapProfile(f), f.Close())
+			}
+		}
+		return errors.Join(errs...)
+	}, nil
+}

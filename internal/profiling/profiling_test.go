@@ -1,0 +1,69 @@
+package profiling
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestStartStopWritesAllOutputs(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{
+		CPUProfile: filepath.Join(dir, "cpu.pprof"),
+		MemProfile: filepath.Join(dir, "mem.pprof"),
+		Trace:      filepath.Join(dir, "trace.out"),
+	}
+	stop, err := Start(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A little work so the captures have something to record.
+	sum := 0.0
+	for i := 0; i < 1_000_000; i++ {
+		sum += float64(i) * 1.0001
+	}
+	_ = sum
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cfg.CPUProfile, cfg.MemProfile, cfg.Trace} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Errorf("missing output %s: %v", p, err)
+			continue
+		}
+		if fi.Size() == 0 {
+			t.Errorf("output %s is empty", p)
+		}
+	}
+}
+
+func TestStartNoOutputsIsNoOp(t *testing.T) {
+	stop, err := Start(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStartBadPathRollsBack(t *testing.T) {
+	dir := t.TempDir()
+	// CPU profile starts fine, then the trace path is unwritable: Start must
+	// fail and roll the CPU profile back so a second Start can succeed.
+	bad := Config{
+		CPUProfile: filepath.Join(dir, "cpu.pprof"),
+		Trace:      filepath.Join(dir, "no", "such", "dir", "trace.out"),
+	}
+	if _, err := Start(bad); err == nil {
+		t.Fatal("Start with unwritable trace path succeeded")
+	}
+	stop, err := Start(Config{CPUProfile: filepath.Join(dir, "cpu2.pprof")})
+	if err != nil {
+		t.Fatalf("Start after failed Start: %v", err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -18,6 +18,13 @@ import (
 	"repro/internal/matrix"
 )
 
+// APIVersion is the wire-contract version stamped into the api_version field
+// of every top-level /v1/* response envelope (success and error alike). 1.1
+// added the version field itself, the request-ID header and the optional
+// ?trace=1 timings echo; 1.0 responses are a strict subset, so 1.0 clients
+// keep working unchanged.
+const APIVersion = "1.1"
+
 // ETCValue is a float64 whose JSON form can express the +Inf entries that
 // mark impossible task-machine pairings: it marshals +Inf as the string
 // "inf" and accepts "inf" (any case, optional +) on the way in. Plain JSON
@@ -197,6 +204,12 @@ type ProfileDTO struct {
 	Trimmed            int       `json:"trimmed"`
 	// Cached reports whether this profile came out of the result cache.
 	Cached bool `json:"cached"`
+	// Version and Timings are envelope fields, set only when the profile is
+	// the top-level response of /v1/characterize (profiles nested in batch or
+	// generate responses leave them empty — the enclosing envelope carries
+	// them).
+	Version string      `json:"api_version,omitempty"`
+	Timings *TimingsDTO `json:"timings,omitempty"`
 }
 
 // ProfileToDTO converts a computed profile for the wire.
@@ -250,7 +263,9 @@ type batchItem struct {
 }
 
 type batchResponse struct {
+	Version  string      `json:"api_version"`
 	Profiles []batchItem `json:"profiles"`
+	Timings  *TimingsDTO `json:"timings,omitempty"`
 }
 
 // generateRequest is the body of POST /v1/generate.
@@ -275,11 +290,13 @@ type generateRequest struct {
 }
 
 type generateResponse struct {
+	Version string      `json:"api_version"`
 	Env     *EnvDTO     `json:"env"`
 	Profile *ProfileDTO `json:"profile"`
 	// Mix is the affinity mixing parameter Targeted settled on; only set for
 	// kind "targeted".
-	Mix *float64 `json:"mix,omitempty"`
+	Mix     *float64    `json:"mix,omitempty"`
+	Timings *TimingsDTO `json:"timings,omitempty"`
 }
 
 // whatifRequest is the body of POST /v1/whatif: an EnvDTO, inlined.
@@ -302,8 +319,10 @@ type deltaDTO struct {
 }
 
 type whatifResponse struct {
+	Version  string      `json:"api_version"`
 	Baseline *ProfileDTO `json:"baseline"`
 	Deltas   []deltaDTO  `json:"deltas"`
+	Timings  *TimingsDTO `json:"timings,omitempty"`
 }
 
 func deltaToDTO(d core.Delta) deltaDTO {
@@ -323,7 +342,8 @@ func deltaToDTO(d core.Delta) deltaDTO {
 
 // apiError is the uniform error envelope of every non-2xx JSON response.
 type apiError struct {
-	Error apiErrorBody `json:"error"`
+	Version string       `json:"api_version"`
+	Error   apiErrorBody `json:"error"`
 }
 
 type apiErrorBody struct {

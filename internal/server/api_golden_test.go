@@ -157,3 +157,55 @@ func TestProfileDTOGolden(t *testing.T) {
 		t.Errorf("non-standardizable profile lost its explanation: %s", sb)
 	}
 }
+
+// TestEnvelopeGolden pins the v1.1 envelope additions: the version constant
+// itself, its presence on every top-level response shape, and the wire form
+// of the optional timings echo. Nested profiles must NOT repeat the envelope
+// fields (omitempty keeps the 1.0 shape inside batch items).
+func TestEnvelopeGolden(t *testing.T) {
+	if APIVersion != "1.1" {
+		t.Fatalf("APIVersion = %q; bumping it is a wire-contract change — update API.md and this test deliberately", APIVersion)
+	}
+	// A bare ProfileToDTO (as nested in batch/generate responses) carries no
+	// envelope fields.
+	env := etcmat.MustFromETC([][]float64{{1, 2}, {3, 4}})
+	nested, err := json.Marshal(ProfileToDTO(core.Characterize(env), false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, banned := range []string{`"api_version"`, `"timings"`} {
+		if strings.Contains(string(nested), banned) {
+			t.Errorf("nested profile leaked envelope field %s: %s", banned, nested)
+		}
+	}
+	// The timings wire form.
+	tm := &TimingsDTO{
+		RequestID: "abc-1",
+		TotalMs:   1.5,
+		Stages:    []StageTimingDTO{{Stage: "compute", StartMs: 0.25, Ms: 1}},
+	}
+	got, err := json.Marshal(tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const golden = `{"requestId":"abc-1","totalMs":1.5,` +
+		`"stages":[{"stage":"compute","startMs":0.25,"ms":1}]}`
+	if string(got) != golden {
+		t.Errorf("timings wire form drifted:\n got  %s\n want %s", got, golden)
+	}
+	// Every top-level envelope declares the version field.
+	for name, v := range map[string]any{
+		"batch":    batchResponse{Version: APIVersion},
+		"generate": generateResponse{Version: APIVersion},
+		"whatif":   whatifResponse{Version: APIVersion},
+		"error":    apiError{Version: APIVersion},
+	} {
+		b, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(b), `"api_version":"1.1"`) {
+			t.Errorf("%s envelope missing api_version: %s", name, b)
+		}
+	}
+}

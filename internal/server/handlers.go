@@ -17,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/etcmat"
 	"repro/internal/gen"
+	"repro/internal/obs"
 )
 
 // writeJSON renders v with the standard headers; encoding failures are
@@ -33,7 +34,7 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 func writeError(w http.ResponseWriter, status int, code, message string) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(apiError{Error: apiErrorBody{Code: code, Message: message}})
+	_ = json.NewEncoder(w).Encode(apiError{Version: APIVersion, Error: apiErrorBody{Code: code, Message: message}})
 }
 
 // decodeJSON reads a size-capped JSON body into v.
@@ -94,12 +95,12 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request) (release func(), 
 
 // characterizeCached computes (or recalls) the profile of an environment
 // through the content-addressed cache. The returned bool reports a hit.
-func (s *Server) characterizeCached(env *etcmat.Env) (*core.Profile, bool) {
+func (s *Server) characterizeCached(ctx context.Context, env *etcmat.Env) (*core.Profile, bool) {
 	key := keyOf(env)
 	if p, ok := s.cache.Get(key); ok {
 		return p, true
 	}
-	p := core.Characterize(env)
+	p := core.CharacterizeCtx(ctx, env)
 	s.computed.Inc()
 	s.cache.Put(key, p)
 	return p, false
@@ -107,7 +108,9 @@ func (s *Server) characterizeCached(env *etcmat.Env) (*core.Profile, bool) {
 
 // handleCharacterize serves POST /v1/characterize.
 func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
+	sp := obs.StartSpan(r.Context(), "decode")
 	env, err := s.readEnv(w, r)
+	sp.End()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "invalid_request", err.Error())
 		return
@@ -115,12 +118,20 @@ func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
 	// Cache lookup happens before admission: a hit costs one hash of the
 	// request matrix and skips the queue entirely, so a warmed working set
 	// stays fast even when the compute pool is saturated.
+	sp = obs.StartSpan(r.Context(), "cache_lookup")
 	key := keyOf(env)
-	if p, ok := s.cache.Get(key); ok {
-		s.writeJSON(w, http.StatusOK, ProfileToDTO(p, true))
+	p, hit := s.cache.Get(key)
+	sp.End()
+	if hit {
+		dto := ProfileToDTO(p, true)
+		dto.Version = APIVersion
+		dto.Timings = s.timingsFor(r)
+		s.writeJSON(w, http.StatusOK, dto)
 		return
 	}
+	sp = obs.StartSpan(r.Context(), "queue_wait")
 	release, ok := s.admit(w, r)
+	sp.End()
 	if !ok {
 		return
 	}
@@ -129,10 +140,15 @@ func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusGatewayTimeout, "timeout", "request deadline expired")
 		return
 	}
-	p := core.Characterize(env)
+	sp = obs.StartSpan(r.Context(), "compute")
+	p = core.CharacterizeCtx(r.Context(), env)
+	sp.End()
 	s.computed.Inc()
 	s.cache.Put(key, p)
-	s.writeJSON(w, http.StatusOK, ProfileToDTO(p, false))
+	dto := ProfileToDTO(p, false)
+	dto.Version = APIVersion
+	dto.Timings = s.timingsFor(r)
+	s.writeJSON(w, http.StatusOK, dto)
 }
 
 // handleBatch serves POST /v1/characterize/batch. The request holds one
@@ -140,8 +156,11 @@ func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
 // hetero.CharacterizeManyCtx, so canceling the request (timeout, client
 // disconnect) stops the remaining items.
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	sp := obs.StartSpan(r.Context(), "decode")
 	var req batchRequest
-	if err := s.decodeJSON(w, r, &req); err != nil {
+	err := s.decodeJSON(w, r, &req)
+	sp.End()
+	if err != nil {
 		writeError(w, http.StatusBadRequest, "invalid_request", err.Error())
 		return
 	}
@@ -155,6 +174,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	sp = obs.StartSpan(r.Context(), "cache_lookup")
 	items := make([]batchItem, len(req.Envs))
 	keys := make([]cacheKey, len(req.Envs))
 	toCompute := make([]*etcmat.Env, len(req.Envs)) // nil = cached or invalid
@@ -171,13 +191,18 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		toCompute[i] = env
 	}
+	sp.End()
 
+	sp = obs.StartSpan(r.Context(), "queue_wait")
 	release, ok := s.admit(w, r)
+	sp.End()
 	if !ok {
 		return
 	}
 	defer release()
+	sp = obs.StartSpan(r.Context(), "compute")
 	profiles, err := hetero.CharacterizeManyCtx(r.Context(), toCompute, s.cfg.Workers)
+	sp.End()
 	if err != nil {
 		writeError(w, http.StatusGatewayTimeout, "timeout",
 			"request deadline expired mid-batch: "+err.Error())
@@ -191,66 +216,81 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		s.cache.Put(keys[i], p)
 		items[i].Profile = ProfileToDTO(p, false)
 	}
-	s.writeJSON(w, http.StatusOK, batchResponse{Profiles: items})
+	s.writeJSON(w, http.StatusOK, batchResponse{
+		Version:  APIVersion,
+		Profiles: items,
+		Timings:  s.timingsFor(r),
+	})
 }
 
-// handleGenerate serves POST /v1/generate.
+// handleGenerate serves POST /v1/generate through the gen.Spec sum type —
+// the same single entry point the library facade exposes.
 func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
+	sp := obs.StartSpan(r.Context(), "decode")
 	var req generateRequest
-	if err := s.decodeJSON(w, r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, "invalid_request", err.Error())
-		return
-	}
-	release, ok := s.admit(w, r)
-	if !ok {
-		return
-	}
-	defer release()
-	rng := rand.New(rand.NewSource(req.Seed))
-	var (
-		env *etcmat.Env
-		mix *float64
-		err error
-	)
-	switch req.Kind {
-	case "range":
-		env, err = gen.RangeBased(req.Tasks, req.Machines, req.RTask, req.RMach, rng)
-	case "cvb":
-		env, err = gen.CVB(req.Tasks, req.Machines, req.VTask, req.VMach, req.MuTask, rng)
-	case "targeted":
-		var g *gen.Generated
-		g, err = gen.Targeted(gen.Target{
-			Tasks: req.Tasks, Machines: req.Machines,
-			MPH: req.MPH, TDH: req.TDH, TMA: req.TMA, Tol: req.Tol,
-		}, rng)
-		if err == nil {
-			env = g.Env
-			mix = &g.Mix
-		}
-	default:
-		writeError(w, http.StatusBadRequest, "invalid_request",
-			fmt.Sprintf("kind must be \"range\", \"cvb\" or \"targeted\", got %q", req.Kind))
-		return
-	}
+	err := s.decodeJSON(w, r, &req)
+	sp.End()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "invalid_request", err.Error())
 		return
 	}
+	var spec gen.Spec
+	switch req.Kind {
+	case gen.KindRange:
+		spec = gen.RangeSpec(req.Tasks, req.Machines, req.RTask, req.RMach)
+	case gen.KindCVB:
+		spec = gen.CVBSpec(req.Tasks, req.Machines, req.VTask, req.VMach, req.MuTask)
+	case gen.KindTargeted:
+		spec = gen.TargetedSpec(gen.Target{
+			Tasks: req.Tasks, Machines: req.Machines,
+			MPH: req.MPH, TDH: req.TDH, TMA: req.TMA, Tol: req.Tol,
+		})
+	default:
+		writeError(w, http.StatusBadRequest, "invalid_request",
+			fmt.Sprintf("kind must be %q, %q or %q, got %q",
+				gen.KindRange, gen.KindCVB, gen.KindTargeted, req.Kind))
+		return
+	}
+	sp = obs.StartSpan(r.Context(), "queue_wait")
+	release, ok := s.admit(w, r)
+	sp.End()
+	if !ok {
+		return
+	}
+	defer release()
+	sp = obs.StartSpan(r.Context(), "compute")
+	g, err := gen.Generate(spec, rand.New(rand.NewSource(req.Seed)))
+	if err != nil {
+		sp.End()
+		writeError(w, http.StatusBadRequest, "invalid_request", err.Error())
+		return
+	}
 	// Seed the result cache: a generate-then-characterize flow (common in
-	// sweep tooling) hits on the second call.
-	p, cached := s.characterizeCached(env)
+	// sweep tooling) hits on the second call. The Env memoizes its standard
+	// form, so this recharacterization costs sums, not a second SVD.
+	p, cached := s.characterizeCached(r.Context(), g.Env)
+	sp.End()
+	var mix *float64
+	if spec.Kind() == gen.KindTargeted {
+		mix = &g.Mix
+	}
 	s.writeJSON(w, http.StatusOK, generateResponse{
-		Env:     EnvToDTO(env),
+		Version: APIVersion,
+		Env:     EnvToDTO(g.Env),
 		Profile: ProfileToDTO(p, cached),
 		Mix:     mix,
+		Timings: s.timingsFor(r),
 	})
 }
 
 // handleWhatif serves POST /v1/whatif: the paper's leave-one-out what-if
 // study (measure deltas from removing each task type and machine in turn).
 func (s *Server) handleWhatif(w http.ResponseWriter, r *http.Request) {
+	sp := obs.StartSpan(r.Context(), "decode")
 	var req whatifRequest
-	if err := s.decodeJSON(w, r, &req); err != nil {
+	err := s.decodeJSON(w, r, &req)
+	sp.End()
+	if err != nil {
 		writeError(w, http.StatusBadRequest, "invalid_request", err.Error())
 		return
 	}
@@ -259,7 +299,9 @@ func (s *Server) handleWhatif(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid_request", err.Error())
 		return
 	}
+	sp = obs.StartSpan(r.Context(), "queue_wait")
 	release, ok := s.admit(w, r)
+	sp.End()
 	if !ok {
 		return
 	}
@@ -268,12 +310,15 @@ func (s *Server) handleWhatif(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusGatewayTimeout, "timeout", "request deadline expired")
 		return
 	}
+	sp = obs.StartSpan(r.Context(), "compute")
 	baseline, deltas := core.LeaveOneOut(env)
-	resp := whatifResponse{Baseline: ProfileToDTO(baseline, false)}
+	sp.End()
+	resp := whatifResponse{Version: APIVersion, Baseline: ProfileToDTO(baseline, false)}
 	resp.Deltas = make([]deltaDTO, len(deltas))
 	for i, d := range deltas {
 		resp.Deltas[i] = deltaToDTO(d)
 	}
+	resp.Timings = s.timingsFor(r)
 	s.writeJSON(w, http.StatusOK, resp)
 }
 

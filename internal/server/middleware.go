@@ -2,10 +2,12 @@ package server
 
 import (
 	"context"
+	"log/slog"
 	"net/http"
 	"runtime/debug"
 	"strconv"
-	"time"
+
+	"repro/internal/obs"
 )
 
 // statusRecorder captures the status code and body size a handler wrote, for
@@ -54,31 +56,47 @@ func (s *Server) withRecovery(next http.Handler) http.Handler {
 	})
 }
 
-// withObservability wraps every request with structured logging and the
-// request counter / latency histogram for its endpoint.
+// withObservability wraps every request with a request ID, an obs.Trace,
+// structured logging and the request counter / latency histogram for its
+// endpoint. The trace rides the request context, so handler stages and the
+// compute pipeline's nested spans all land on it; after the handler returns,
+// every span is fed into the per-stage latency histogram and the trace
+// summary is logged at debug level.
 func (s *Server) withObservability(endpoint string, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
+		reqID := s.reqIDs.next()
+		tr := obs.New(reqID, endpoint)
+		r = r.WithContext(obs.NewContext(r.Context(), tr))
+		w.Header().Set("X-Request-ID", reqID)
 		rec := &statusRecorder{ResponseWriter: w}
 		next.ServeHTTP(rec, r)
 		if rec.status == 0 {
 			rec.status = http.StatusOK
 		}
-		elapsed := time.Since(start)
+		elapsed := tr.Elapsed()
 		s.metrics.Counter("hcserved_requests_total",
 			"HTTP requests by endpoint and status code.",
 			`endpoint="`+endpoint+`",code="`+strconv.Itoa(rec.status)+`"`).Inc()
 		s.metrics.Histogram("hcserved_request_seconds",
 			"Request latency by endpoint.",
 			`endpoint="`+endpoint+`"`).Observe(elapsed.Seconds())
+		for _, sp := range tr.Spans() {
+			s.metrics.Histogram("hcserved_stage_seconds",
+				"Stage latency within a request (top-level stages plus nested pipeline spans).",
+				`stage="`+sp.Name+`"`).Observe(sp.Dur.Seconds())
+		}
 		s.log.Info("request",
 			"method", r.Method,
 			"path", r.URL.Path,
 			"endpoint", endpoint,
+			"request_id", reqID,
 			"status", rec.status,
 			"bytes", rec.bytes,
 			"duration_ms", float64(elapsed.Microseconds())/1000,
 			"remote", r.RemoteAddr)
+		if s.log.Enabled(r.Context(), slog.LevelDebug) {
+			s.log.Debug("trace", "request_id", reqID, "endpoint", endpoint, "spans", tr.Summary())
+		}
 	})
 }
 

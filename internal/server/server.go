@@ -6,6 +6,7 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"sync/atomic"
 	"time"
@@ -38,6 +39,10 @@ type Config struct {
 	// MaxBatchEnvs bounds the environments in one batch request
 	// (default 256).
 	MaxBatchEnvs int
+	// EnablePprof mounts the net/http/pprof handlers under /debug/pprof/.
+	// Off by default: the profiling endpoints expose internals (heap
+	// contents, command line) that do not belong on an open service port.
+	EnablePprof bool
 	// Logger receives structured request/lifecycle logs (default
 	// slog.Default()).
 	Logger *slog.Logger
@@ -87,6 +92,7 @@ type Server struct {
 	adm     *admission
 	mux     *http.ServeMux
 	start   time.Time
+	reqIDs  *requestIDs
 
 	boundAddr atomic.Value // string; set once Run's listener is up
 
@@ -111,6 +117,7 @@ func New(cfg Config) *Server {
 		log:     cfg.Logger,
 		metrics: m,
 		start:   time.Now(),
+		reqIDs:  newRequestIDs(),
 		panics: m.Counter("hcserved_panics_total",
 			"Handler panics recovered.", ""),
 		computed: m.Counter("hcserved_characterizations_total",
@@ -137,6 +144,17 @@ func New(cfg Config) *Server {
 	s.route("POST /v1/whatif", "whatif", http.HandlerFunc(s.handleWhatif))
 	s.route("GET /healthz", "healthz", http.HandlerFunc(s.handleHealthz))
 	s.route("GET /metrics", "metrics", http.HandlerFunc(s.handleMetrics))
+	if cfg.EnablePprof {
+		// Mounted raw (no admission, no timeout): a CPU profile legitimately
+		// runs for 30s, and the recovery/observability stack would only skew
+		// what the profiler measures. Unmatched /debug/pprof/* falls through
+		// to the mux's default 404 when the flag is off.
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 

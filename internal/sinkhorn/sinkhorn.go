@@ -17,6 +17,7 @@
 package sinkhorn
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -24,6 +25,7 @@ import (
 
 	"repro/internal/bipartite"
 	"repro/internal/matrix"
+	"repro/internal/obs"
 )
 
 // Options configures Balance.
@@ -359,6 +361,15 @@ func StandardTargets(t, m int) (rowTarget, colTarget float64) {
 // error semantics.
 func Standardize(a *matrix.Dense) (*Result, error) {
 	return StandardizeWS(a, nil)
+}
+
+// StandardizeCtx is Standardize with stage tracing: when ctx carries an
+// obs.Trace, the whole balancing run is recorded as a "standardize" span.
+// Without a trace it is exactly Standardize.
+func StandardizeCtx(ctx context.Context, a *matrix.Dense) (*Result, error) {
+	sp := obs.StartSpan(ctx, "standardize")
+	defer sp.End()
+	return Standardize(a)
 }
 
 // StandardizeWS is Standardize running on a reusable workspace; see BalanceWS
