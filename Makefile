@@ -3,6 +3,9 @@ GO ?= go
 # benchdiff inputs: OLD is the committed baseline, NEW a fresh report.
 BENCH_OLD ?= BENCH_spectral.json
 BENCH_NEW ?= BENCH_new.json
+# Serving-tier benchdiff inputs (cmd/hcload reports; diffed when NEW exists).
+BENCH_SERVE_OLD ?= BENCH_serve.json
+BENCH_SERVE_NEW ?= BENCH_serve_new.json
 # Fractional ns/op or allocs/op growth that fails benchdiff (0.20 = 20%).
 BENCH_THRESHOLD ?= 0.20
 
@@ -48,8 +51,15 @@ bench-json:
 # Compare two benchmark reports and fail on >BENCH_THRESHOLD regressions in
 # ns/op or allocs/op per kernel. Typical use:
 #   go run ./cmd/hcbench -bench BENCH_new.json && make benchdiff
+# The same command gates serving reports (kind auto-detected): when a fresh
+# $(BENCH_SERVE_NEW) exists — produced by `make loadtest LOAD_OUT=$(BENCH_SERVE_NEW)`
+# against a running server — it is diffed against the committed baseline too,
+# failing on a warm-phase p50 regression or a broken coalescing invariant.
 benchdiff:
 	$(GO) run ./cmd/hcbench -benchdiff -threshold $(BENCH_THRESHOLD) $(BENCH_OLD) $(BENCH_NEW)
+	@if [ -f $(BENCH_SERVE_NEW) ]; then \
+		$(GO) run ./cmd/hcbench -benchdiff -threshold $(BENCH_THRESHOLD) $(BENCH_SERVE_OLD) $(BENCH_SERVE_NEW); \
+	fi
 
 verify: build vet lint test race
 # Opt-in perf gate: BENCHDIFF=1 make verify additionally re-measures the
@@ -71,8 +81,9 @@ serve:
 # The committed BENCH_serve.json baseline was produced with these settings
 # against `go run ./cmd/hcserved -queue 8` on a single-CPU host.
 LOAD_URL ?= http://localhost:8080
+LOAD_OUT ?= BENCH_serve.json
 loadtest:
-	$(GO) run ./cmd/hcload -url $(LOAD_URL) -c 4 -n 300 -tasks 150 -machines 80 -seed 1 -surge 96 -out BENCH_serve.json
+	$(GO) run ./cmd/hcload -url $(LOAD_URL) -c 4 -n 300 -tasks 150 -machines 80 -seed 1 -surge 96 -out $(LOAD_OUT)
 
 clean:
 	$(GO) clean ./...

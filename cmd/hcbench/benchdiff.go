@@ -7,13 +7,36 @@ import (
 	"os"
 )
 
-// runBenchDiff compares two benchmark reports kernel by kernel and reports
-// whether NEW is acceptable: a kernel regresses when its ns/op or allocs/op
-// grew by more than threshold (a fraction, e.g. 0.20 for 20%) relative to
-// OLD. Kernels present in only one report are listed but never fail the
-// comparison — they are additions or retirements, not regressions. The
-// boolean result is false when any regression was found.
+// runBenchDiff compares two benchmark reports and reports whether NEW is
+// acceptable. It handles both report kinds this repo commits:
+//
+//   - kernel reports (cmd/hcbench -bench): a kernel regresses when its ns/op
+//     or allocs/op grew by more than threshold (a fraction, e.g. 0.20 for
+//     20%) relative to OLD. Kernels present in only one report are listed
+//     but never fail the comparison — they are additions or retirements,
+//     not regressions.
+//   - serving reports (cmd/hcload, detected by a "phases" field): the gate
+//     is the warm-phase p50 — the cached hot path, the serving tier's
+//     steady state — plus the zipf section's coalescing invariant. Cold and
+//     zipf latencies are listed for context but do not gate: they are
+//     dominated by pipeline compute the kernel diff already covers.
+//
+// The boolean result is false when any regression was found.
 func runBenchDiff(out io.Writer, oldPath, newPath string, threshold float64) (bool, error) {
+	oldServe, err := isServeReport(oldPath)
+	if err != nil {
+		return false, err
+	}
+	newServe, err := isServeReport(newPath)
+	if err != nil {
+		return false, err
+	}
+	if oldServe != newServe {
+		return false, fmt.Errorf("mixed report kinds: %s and %s must both be kernel or both be serving reports", oldPath, newPath)
+	}
+	if oldServe {
+		return runServeDiff(out, oldPath, newPath, threshold)
+	}
 	oldRep, err := readBenchReport(oldPath)
 	if err != nil {
 		return false, err
@@ -64,6 +87,102 @@ func frac(new, old float64) float64 {
 		return 1
 	}
 	return (new - old) / old
+}
+
+// serveReport is the slice of cmd/hcload's BENCH_serve.json that benchdiff
+// gates on: per-phase p50 latencies and the zipf coalescing scorecard.
+type serveReport struct {
+	Phases []struct {
+		Name  string  `json:"name"`
+		P50Ms float64 `json:"p50_ms"`
+	} `json:"phases"`
+	Zipf *struct {
+		DistinctRequested  int    `json:"distinct_requested"`
+		Characterizations  uint64 `json:"characterizations"`
+		UniqueComputesOnly bool   `json:"unique_computes_only"`
+	} `json:"zipf"`
+}
+
+// isServeReport sniffs the report kind: serving reports carry a "phases"
+// array, kernel reports a "results" array.
+func isServeReport(path string) (bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return false, err
+	}
+	var probe struct {
+		Phases []json.RawMessage `json:"phases"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return false, fmt.Errorf("%s: %w", path, err)
+	}
+	return probe.Phases != nil, nil
+}
+
+// runServeDiff gates a fresh serving report against the committed baseline:
+// the warm-phase p50 must not grow past threshold, and the zipf phase must
+// uphold the coalescing invariant (unique computes only). Other phases are
+// printed for context without gating.
+func runServeDiff(out io.Writer, oldPath, newPath string, threshold float64) (bool, error) {
+	oldRep, err := readServeReport(oldPath)
+	if err != nil {
+		return false, err
+	}
+	newRep, err := readServeReport(newPath)
+	if err != nil {
+		return false, err
+	}
+	oldP50 := make(map[string]float64, len(oldRep.Phases))
+	for _, p := range oldRep.Phases {
+		oldP50[p.Name] = p.P50Ms
+	}
+	fmt.Fprintf(out, "benchdiff (serving) %s -> %s (warm p50 fails past %+.0f%%)\n",
+		oldPath, newPath, 100*threshold)
+	ok := true
+	for _, p := range newRep.Phases {
+		old, found := oldP50[p.Name]
+		if !found {
+			fmt.Fprintf(out, "  new   %-6s p50 %10.3f ms\n", p.Name, p.P50Ms)
+			continue
+		}
+		delta := frac(p.P50Ms, old)
+		status := "info"
+		if p.Name == "warm" {
+			status = "ok"
+			if delta > threshold {
+				status = "FAIL"
+				ok = false
+			}
+		}
+		fmt.Fprintf(out, "  %-5s %-6s p50 %8.3f -> %8.3f ms  %+7.1f%%\n",
+			status, p.Name, old, p.P50Ms, 100*delta)
+	}
+	if z := newRep.Zipf; z != nil {
+		if z.UniqueComputesOnly {
+			fmt.Fprintf(out, "  ok    zipf coalescing: %d computes for %d distinct keys\n",
+				z.Characterizations, z.DistinctRequested)
+		} else {
+			fmt.Fprintf(out, "  FAIL  zipf coalescing: %d computes for %d distinct keys (duplicates recomputed)\n",
+				z.Characterizations, z.DistinctRequested)
+			ok = false
+		}
+	}
+	if !ok {
+		fmt.Fprintln(out, "benchdiff: FAIL")
+	}
+	return ok, nil
+}
+
+func readServeReport(path string) (*serveReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep serveReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
 }
 
 func readBenchReport(path string) (*benchReport, error) {

@@ -103,6 +103,77 @@ func TestBenchDiffAddedAndRemovedKernels(t *testing.T) {
 	}
 }
 
+func writeServeReport(t *testing.T, dir, name, payload string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(payload), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestServeDiffGatesWarmP50(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeServeReport(t, dir, "old.json",
+		`{"phases":[{"name":"cold","p50_ms":30},{"name":"warm","p50_ms":10},{"name":"zipf","p50_ms":20}]}`)
+
+	// Warm within threshold passes even with cold far worse: cold latency is
+	// pipeline compute, which the kernel diff gates.
+	okP := writeServeReport(t, dir, "ok.json",
+		`{"phases":[{"name":"cold","p50_ms":60},{"name":"warm","p50_ms":11},{"name":"zipf","p50_ms":40}],
+		  "zipf":{"distinct_requested":29,"characterizations":29,"unique_computes_only":true}}`)
+	var buf strings.Builder
+	ok, err := runBenchDiff(&buf, oldP, okP, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Errorf("within-threshold warm p50 failed:\n%s", buf.String())
+	}
+
+	// Warm past threshold fails.
+	badP := writeServeReport(t, dir, "bad.json",
+		`{"phases":[{"name":"warm","p50_ms":13}]}`)
+	buf.Reset()
+	ok, err = runBenchDiff(&buf, oldP, badP, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Errorf("+30%% warm p50 passed:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "FAIL") {
+		t.Errorf("output does not flag the failure:\n%s", buf.String())
+	}
+}
+
+func TestServeDiffGatesCoalescingInvariant(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeServeReport(t, dir, "old.json",
+		`{"phases":[{"name":"warm","p50_ms":10}]}`)
+	newP := writeServeReport(t, dir, "new.json",
+		`{"phases":[{"name":"warm","p50_ms":10}],
+		  "zipf":{"distinct_requested":29,"characterizations":35,"unique_computes_only":false}}`)
+	var buf strings.Builder
+	ok, err := runBenchDiff(&buf, oldP, newP, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Errorf("broken coalescing invariant passed:\n%s", buf.String())
+	}
+}
+
+func TestBenchDiffRejectsMixedReportKinds(t *testing.T) {
+	dir := t.TempDir()
+	kernel := writeReport(t, dir, "kernel.json", []benchResult{{Name: "K1", NsPerOp: 100}})
+	serve := writeServeReport(t, dir, "serve.json", `{"phases":[{"name":"warm","p50_ms":10}]}`)
+	var buf strings.Builder
+	if _, err := runBenchDiff(&buf, kernel, serve, 0.20); err == nil {
+		t.Error("kernel-vs-serving comparison accepted")
+	}
+}
+
 func TestBenchDiffMissingFile(t *testing.T) {
 	var buf strings.Builder
 	if _, err := runBenchDiff(&buf, "/nonexistent/a.json", "/nonexistent/b.json", 0.2); err == nil {

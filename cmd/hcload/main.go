@@ -8,18 +8,30 @@
 //	hcload [-url http://localhost:8080] [-c 8] [-n 500]
 //	       [-tasks 30] [-machines 16] [-seed 1] [-surge 0] [-out -]
 //
-// The run has two measured phases over the same body set:
+// The run has three measured phases:
 //
 //	cold — n distinct environments, every request runs the full
 //	       Sinkhorn+SVD pipeline;
 //	warm — the identical n bodies again, served from the content-addressed
-//	       result cache.
+//	       result cache;
+//	zipf — n requests drawn Zipf-skewed from a small pool of fresh
+//	       environments, the duplicate-heavy pattern sweep tooling
+//	       produces. The report's zipf section checks the coalescing
+//	       invariant: characterizations grow by exactly the number of
+//	       distinct keys, with every concurrent duplicate absorbed by
+//	       the cache or the singleflight layer.
 //
 // The report carries per-phase latency quantiles and throughput, the
 // server's cache hit rate scraped from /metrics, and the cold/warm p50
 // ratio — the direct measurement of what the cache buys. With -surge K an
 // extra unmeasured burst of K concurrent unique requests probes overload
 // behavior; the report records how many were shed with 429.
+//
+// A whatif probe then posts one environment to /v1/whatif and records the
+// Sinkhorn iteration counts the response reports: the baseline's cold count
+// against the per-delta counts of the leave-one-out re-solves, which are
+// warm-started from the baseline's converged scaling vectors. The whatif
+// section's ratio is the measured warm-start speedup on the service path.
 //
 // After the measured phases, two ?trace=1 probe requests — one fresh body
 // (cold) and its immediate repeat (warm) — record the server's own stage
@@ -67,6 +79,40 @@ type cacheReport struct {
 	HitRate float64 `json:"hit_rate"`
 }
 
+// zipfReport is the coalescing scorecard of the zipf phase: counter deltas
+// scraped around the phase, pinned against the number of distinct
+// environments the phase actually sent.
+type zipfReport struct {
+	// UniquePool is the body pool size the Zipf draw samples from;
+	// DistinctRequested is how many pool entries the n draws actually hit.
+	UniquePool        int `json:"unique_pool"`
+	DistinctRequested int `json:"distinct_requested"`
+	// Characterizations, Coalesced and CacheHits are the /metrics counter
+	// deltas across the phase.
+	Characterizations uint64 `json:"characterizations"`
+	Coalesced         uint64 `json:"coalesced"`
+	CacheHits         uint64 `json:"cache_hits"`
+	// UniqueComputesOnly records the tentpole invariant: the phase computed
+	// each distinct environment exactly once, every duplicate was a cache
+	// hit or a coalesced waiter.
+	UniqueComputesOnly bool `json:"unique_computes_only"`
+}
+
+// whatifReport records the warm-start evidence from one /v1/whatif probe:
+// the baseline solve's cold Sinkhorn iteration count against the per-delta
+// counts of the leave-one-out re-solves seeded from the baseline's scalings.
+type whatifReport struct {
+	Shape               string  `json:"shape"`
+	BaselineIterations  int     `json:"baseline_iterations"`
+	Deltas              int     `json:"deltas"`
+	MeanDeltaIterations float64 `json:"mean_delta_iterations"`
+	MaxDeltaIterations  int     `json:"max_delta_iterations"`
+	// WarmSpeedup is baseline_iterations over mean_delta_iterations: how
+	// many times fewer normalization rounds a warm-started neighbor solve
+	// needs than the cold baseline.
+	WarmSpeedup float64 `json:"warm_speedup"`
+}
+
 type report struct {
 	URL              string        `json:"url"`
 	Concurrency      int           `json:"concurrency"`
@@ -76,6 +122,10 @@ type report struct {
 	GoMaxProcs       int           `json:"gomaxprocs"`
 	Phases           []phaseReport `json:"phases"`
 	Cache            *cacheReport  `json:"cache,omitempty"`
+	// Zipf carries the coalescing accounting of the skewed-duplicate phase;
+	// Whatif the warm-start iteration counts of the what-if probe.
+	Zipf   *zipfReport   `json:"zipf,omitempty"`
+	Whatif *whatifReport `json:"whatif,omitempty"`
 	// ColdWarmP50Ratio is cold-phase p50 over warm-phase p50: how much
 	// latency the result cache removes for a repeated environment.
 	ColdWarmP50Ratio float64 `json:"cold_warm_p50_ratio"`
@@ -149,6 +199,38 @@ func main() {
 	if rep.Phases[1].P50Ms > 0 {
 		rep.ColdWarmP50Ratio = rep.Phases[0].P50Ms / rep.Phases[1].P50Ms
 	}
+
+	// zipf phase: n draws over a small fresh pool, heavily skewed so hot
+	// keys repeat, with /metrics counter deltas bracketing the phase to pin
+	// the coalescing invariant (computes == distinct keys).
+	{
+		pool, seq, distinct, err := makeZipfBodies(*n, *tasks, *machines, *seed+3_000_000)
+		if err != nil {
+			fatal("generating zipf bodies: %v", err)
+		}
+		before, err := scrapeCounters(client, base)
+		if err != nil {
+			fatal("scraping /metrics before zipf: %v", err)
+		}
+		pr, err := runPhase(client, base, "zipf", seq, *conc)
+		if err != nil {
+			fatal("phase zipf: %v", err)
+		}
+		rep.Phases = append(rep.Phases, pr)
+		after, err := scrapeCounters(client, base)
+		if err != nil {
+			fatal("scraping /metrics after zipf: %v", err)
+		}
+		computes := after["hcserved_characterizations_total"] - before["hcserved_characterizations_total"]
+		rep.Zipf = &zipfReport{
+			UniquePool:         len(pool),
+			DistinctRequested:  distinct,
+			Characterizations:  computes,
+			Coalesced:          after["hcserved_coalesced_total"] - before["hcserved_coalesced_total"],
+			CacheHits:          after["hcserved_cache_hits_total"] - before["hcserved_cache_hits_total"],
+			UniqueComputesOnly: computes == uint64(distinct),
+		}
+	}
 	if *surge > 0 {
 		// Several rounds with fresh (uncacheable) bodies: a single burst can
 		// slip through on scheduler timing, especially on one CPU where
@@ -164,6 +246,15 @@ func main() {
 		rep.Cache = c
 	} else {
 		fmt.Fprintf(os.Stderr, "hcload: scraping /metrics: %v\n", err)
+	}
+
+	// Whatif probe: one leave-one-out analysis on a fresh environment; the
+	// response's per-delta iteration counts measure the warm-start win on
+	// the service path. Probe failure degrades the report, not the run.
+	if wr, err := whatifProbe(client, base, *tasks, *machines, *seed+4_000_000); err == nil {
+		rep.Whatif = wr
+	} else {
+		fmt.Fprintf(os.Stderr, "hcload: whatif probe: %v\n", err)
 	}
 
 	// Stage-breakdown probes: a body no phase has sent (fresh seed offset)
@@ -222,6 +313,115 @@ func makeBodies(n, tasks, machines int, seed int64) ([][]byte, error) {
 		bodies[i] = b
 	}
 	return bodies, nil
+}
+
+// makeZipfBodies builds the zipf phase's traffic: a pool of max(1, n/10)
+// fresh environments and a request sequence of n bodies drawn from it with a
+// Zipf(1.2) rank distribution — a few keys dominate, the tail is rare — then
+// reports how many distinct pool entries the sequence touches.
+func makeZipfBodies(n, tasks, machines int, seed int64) (pool, seq [][]byte, distinct int, err error) {
+	poolSize := n / 10
+	if poolSize < 1 {
+		poolSize = 1
+	}
+	pool, err = makeBodies(poolSize, tasks, machines, seed)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, 1.2, 1, uint64(poolSize-1))
+	seq = make([][]byte, n)
+	used := make(map[uint64]bool, poolSize)
+	for i := range seq {
+		k := zipf.Uint64()
+		used[k] = true
+		seq[i] = pool[k]
+	}
+	return pool, seq, len(used), nil
+}
+
+// whatifProbe posts one environment to /v1/whatif and distills the
+// response's Sinkhorn iteration counts: the baseline's cold solve against
+// the warm-started leave-one-out re-solves.
+func whatifProbe(client *http.Client, base string, tasks, machines int, seed int64) (*whatifReport, error) {
+	bodies, err := makeBodies(1, tasks, machines, seed)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Post(base+"/v1/whatif", "application/json", bytes.NewReader(bodies[0]))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d: %.200s", resp.StatusCode, raw)
+	}
+	var out struct {
+		Baseline *struct {
+			SinkhornIterations int `json:"sinkhornIterations"`
+		} `json:"baseline"`
+		Deltas []struct {
+			SinkhornIterations int    `json:"sinkhornIterations"`
+			Error              string `json:"error"`
+		} `json:"deltas"`
+	}
+	if err := json.Unmarshal(raw, &out); err != nil {
+		return nil, err
+	}
+	if out.Baseline == nil {
+		return nil, fmt.Errorf("whatif response carried no baseline")
+	}
+	wr := &whatifReport{
+		Shape:              fmt.Sprintf("%dx%d", tasks, machines),
+		BaselineIterations: out.Baseline.SinkhornIterations,
+	}
+	sum := 0
+	for _, d := range out.Deltas {
+		if d.Error != "" || d.SinkhornIterations <= 0 {
+			continue
+		}
+		wr.Deltas++
+		sum += d.SinkhornIterations
+		if d.SinkhornIterations > wr.MaxDeltaIterations {
+			wr.MaxDeltaIterations = d.SinkhornIterations
+		}
+	}
+	if wr.Deltas > 0 {
+		wr.MeanDeltaIterations = float64(sum) / float64(wr.Deltas)
+		if wr.MeanDeltaIterations > 0 {
+			wr.WarmSpeedup = float64(wr.BaselineIterations) / wr.MeanDeltaIterations
+		}
+	}
+	return wr, nil
+}
+
+// scrapeCounters pulls every integer-valued metric off /metrics into a map,
+// so phases can be bracketed by counter deltas.
+func scrapeCounters(client *http.Client, base string) (map[string]uint64, error) {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]uint64)
+	for _, line := range strings.Split(string(body), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			continue
+		}
+		if v, err := strconv.ParseUint(fields[1], 10, 64); err == nil {
+			out[fields[0]] = v
+		}
+	}
+	return out, nil
 }
 
 // waitHealthy polls /healthz until the server answers or the budget runs out.
@@ -381,31 +581,13 @@ func tracedRequest(client *http.Client, base string, body []byte) (*stageBreakdo
 
 // scrapeCache pulls the cache counters out of /metrics.
 func scrapeCache(client *http.Client, base string) (*cacheReport, error) {
-	resp, err := client.Get(base + "/metrics")
+	counters, err := scrapeCounters(client, base)
 	if err != nil {
 		return nil, err
 	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return nil, err
-	}
-	var c cacheReport
-	for _, line := range strings.Split(string(body), "\n") {
-		fields := strings.Fields(line)
-		if len(fields) != 2 {
-			continue
-		}
-		v, err := strconv.ParseUint(fields[1], 10, 64)
-		if err != nil {
-			continue
-		}
-		switch fields[0] {
-		case "hcserved_cache_hits_total":
-			c.Hits = v
-		case "hcserved_cache_misses_total":
-			c.Misses = v
-		}
+	c := cacheReport{
+		Hits:   counters["hcserved_cache_hits_total"],
+		Misses: counters["hcserved_cache_misses_total"],
 	}
 	if total := c.Hits + c.Misses; total > 0 {
 		c.HitRate = float64(c.Hits) / float64(total)

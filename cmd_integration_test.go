@@ -249,11 +249,21 @@ func TestCLIPipeline(t *testing.T) {
 				Hits    uint64  `json:"hits"`
 				HitRate float64 `json:"hit_rate"`
 			} `json:"cache"`
+			Zipf *struct {
+				DistinctRequested  int    `json:"distinct_requested"`
+				Characterizations  uint64 `json:"characterizations"`
+				UniqueComputesOnly bool   `json:"unique_computes_only"`
+			} `json:"zipf"`
+			Whatif *struct {
+				BaselineIterations int `json:"baseline_iterations"`
+				Deltas             int `json:"deltas"`
+			} `json:"whatif"`
 		}
 		if err := json.Unmarshal(data, &rep); err != nil {
 			t.Fatalf("report is not JSON: %v\n%s", err, data)
 		}
-		if len(rep.Phases) != 2 || rep.Phases[0].Name != "cold" || rep.Phases[1].Name != "warm" {
+		if len(rep.Phases) != 3 || rep.Phases[0].Name != "cold" ||
+			rep.Phases[1].Name != "warm" || rep.Phases[2].Name != "zipf" {
 			t.Fatalf("unexpected phases: %s", data)
 		}
 		for _, p := range rep.Phases {
@@ -263,6 +273,12 @@ func TestCLIPipeline(t *testing.T) {
 		}
 		if rep.Cache == nil || rep.Cache.Hits < 20 || rep.Cache.HitRate <= 0 {
 			t.Errorf("warm phase did not hit the cache: %s", data)
+		}
+		if rep.Zipf == nil || !rep.Zipf.UniqueComputesOnly {
+			t.Errorf("zipf phase recomputed duplicate keys: %s", data)
+		}
+		if rep.Whatif == nil || rep.Whatif.BaselineIterations <= 0 || rep.Whatif.Deltas != 12+8 {
+			t.Errorf("whatif probe missing or malformed: %s", data)
 		}
 
 		// Graceful shutdown: SIGTERM must drain and exit 0.

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"repro/internal/etcmat"
 	"repro/internal/matrix"
+	"repro/internal/sinkhorn"
 )
 
 // This file implements the paper's what-if application (Sec. I: "what-if
@@ -24,6 +26,12 @@ type Delta struct {
 	// either side is not standardizable.
 	MPH, TDH, TMA    float64
 	DMPH, DTDH, DTMA float64
+	// SinkhornIterations is the number of normalization rounds the edited
+	// environment's standardization took. Each leave-one-out solve is seeded
+	// with the baseline's scaling vectors (minus the removed index), so this
+	// is typically a small fraction of the baseline Profile's count — the
+	// observable proof of the warm start.
+	SinkhornIterations int
 	// Err records edits that produce an invalid environment (for example,
 	// removing the only machine a task type can run on).
 	Err error
@@ -32,15 +40,31 @@ type Delta struct {
 // LeaveOneOut computes the measure deltas from removing each machine and
 // each task type in turn. Environments with a single task type or machine
 // yield errors for the corresponding edits rather than panicking.
+//
+// Each edited environment differs from the baseline by one row or column,
+// so its standardization is warm-started from the baseline's converged
+// scaling vectors with the removed index dropped (etcmat.Env.
+// StandardFormSeed / sinkhorn.WarmStart): the profiles are identical to the
+// cold ones up to the convergence tolerance — the Sinkhorn limit is unique
+// (Theorem 1) — but converge in a fraction of the rounds.
 func LeaveOneOut(env *etcmat.Env) (baseline *Profile, deltas []Delta) {
-	baseline = Characterize(env)
+	return LeaveOneOutCtx(context.Background(), env)
+}
+
+// LeaveOneOutCtx is LeaveOneOut with stage tracing: each characterization
+// emits its usual "measures"/"standardize"/"gram"/"eigensolve" spans when ctx
+// carries an obs.Trace.
+func LeaveOneOutCtx(ctx context.Context, env *etcmat.Env) (baseline *Profile, deltas []Delta) {
+	baseline = CharacterizeCtx(ctx, env)
+	seed := env.StandardFormSeed()
 	for j, name := range env.MachineNames() {
 		d := Delta{Kind: "machine", Index: j, Name: name}
 		edited, err := env.RemoveMachine(j)
 		if err != nil {
 			d.Err = err
 		} else {
-			fillDelta(&d, baseline, Characterize(edited))
+			edited = edited.WithStandardFormSeed(seed.DropCol(j))
+			fillDelta(&d, baseline, CharacterizeCtx(ctx, edited))
 		}
 		deltas = append(deltas, d)
 	}
@@ -50,7 +74,8 @@ func LeaveOneOut(env *etcmat.Env) (baseline *Profile, deltas []Delta) {
 		if err != nil {
 			d.Err = err
 		} else {
-			fillDelta(&d, baseline, Characterize(edited))
+			edited = edited.WithStandardFormSeed(seed.DropRow(i))
+			fillDelta(&d, baseline, CharacterizeCtx(ctx, edited))
 		}
 		deltas = append(deltas, d)
 	}
@@ -59,6 +84,7 @@ func LeaveOneOut(env *etcmat.Env) (baseline *Profile, deltas []Delta) {
 
 func fillDelta(d *Delta, base, p *Profile) {
 	d.MPH, d.TDH, d.TMA = p.MPH, p.TDH, p.TMA
+	d.SinkhornIterations = p.SinkhornIterations
 	d.DMPH = p.MPH - base.MPH
 	d.DTDH = p.TDH - base.TDH
 	if base.TMAErr != nil || p.TMAErr != nil {
@@ -80,7 +106,9 @@ type Sensitivity struct {
 
 // Sensitivities computes central finite-difference gradients with relative
 // step h (default 1e-4 when h <= 0). The environment must be standardizable;
-// the cost is 2·T·M characterizations.
+// the cost is 2·T·M characterizations, each warm-started from the baseline
+// scaling vectors (the perturbed matrix differs by one entry, so the seed is
+// within O(h) of the true scaling).
 func Sensitivities(env *etcmat.Env, h float64) (*Sensitivity, error) {
 	if h <= 0 {
 		h = 1e-4
@@ -89,6 +117,7 @@ func Sensitivities(env *etcmat.Env, h float64) (*Sensitivity, error) {
 	if base.TMAErr != nil {
 		return nil, fmt.Errorf("core: Sensitivities needs a standardizable environment: %w", base.TMAErr)
 	}
+	seed := env.StandardFormSeed()
 	t, m := env.Tasks(), env.Machines()
 	out := &Sensitivity{
 		DMPH: matrix.New(t, m),
@@ -104,11 +133,11 @@ func Sensitivities(env *etcmat.Env, h float64) (*Sensitivity, error) {
 				// sensitivities are reported as zero.
 				continue
 			}
-			up, err := perturbed(env, ecs, i, j, v*(1+h))
+			up, err := perturbed(env, ecs, i, j, v*(1+h), seed)
 			if err != nil {
 				return nil, err
 			}
-			down, err := perturbed(env, ecs, i, j, v*(1-h))
+			down, err := perturbed(env, ecs, i, j, v*(1-h), seed)
 			if err != nil {
 				return nil, err
 			}
@@ -125,7 +154,7 @@ func Sensitivities(env *etcmat.Env, h float64) (*Sensitivity, error) {
 	return out, nil
 }
 
-func perturbed(env *etcmat.Env, ecs *matrix.Dense, i, j int, v float64) (*Profile, error) {
+func perturbed(env *etcmat.Env, ecs *matrix.Dense, i, j int, v float64, seed *sinkhorn.WarmStart) (*Profile, error) {
 	mod := ecs.Clone()
 	mod.Set(i, j, v)
 	edited, err := etcmat.NewFromECS(mod)
@@ -136,5 +165,5 @@ func perturbed(env *etcmat.Env, ecs *matrix.Dense, i, j int, v float64) (*Profil
 	if err != nil {
 		return nil, err
 	}
-	return Characterize(edited), nil
+	return Characterize(edited.WithStandardFormSeed(seed)), nil
 }

@@ -44,6 +44,13 @@ type Env struct {
 	// safe for concurrent use, so measure queries may run from many
 	// goroutines against a shared Env.
 	memo *envMemo
+
+	// stdSeed optionally warm-starts the standard-form computation with the
+	// scaling vectors of a nearby environment (see WithStandardFormSeed). It
+	// is a hint, not derived state: it never goes stale in the correctness
+	// sense (a Sinkhorn run converges to the same unique standard form from
+	// any positive seed), so clone keeps it across name/weight edits.
+	stdSeed *sinkhorn.WarmStart
 }
 
 // envMemo holds the lazily computed derived state of an Env: the weighted
@@ -227,13 +234,59 @@ func (e *Env) StandardFormCtx(ctx context.Context) (*sinkhorn.Result, []float64,
 	mm.mu.Lock()
 	defer mm.mu.Unlock()
 	if !mm.stdDone {
-		mm.std, mm.stdErr = sinkhorn.StandardizeCtx(ctx, w)
+		seed := e.stdSeed
+		if !seed.Matches(e.Tasks(), e.Machines()) {
+			seed = nil // shape hints that no longer apply are dropped, not errors
+		}
+		mm.std, mm.stdErr = sinkhorn.StandardizeWarmCtx(ctx, w, seed, nil)
 		if mm.stdErr == nil {
 			mm.stdSV = linalg.SingularValuesCtx(ctx, mm.std.Scaled, nil)
 		}
 		mm.stdDone = true
 	}
 	return mm.std, mm.stdSV, mm.stdErr
+}
+
+// StandardFormSeed extracts a warm-start seed from the memoized standard
+// form: the converged scaling diagonals of the weighted ECS matrix plus the
+// subdominant singular value σ₂ that selects the over-relaxation factor for
+// the seeded run. It returns nil — and does no work — unless StandardForm
+// has already run to convergence on this Env, so it is free to call
+// speculatively. Seed a derived environment with WithStandardFormSeed; for
+// leave-one-out edits drop the removed index first (WarmStart.DropRow /
+// DropCol).
+func (e *Env) StandardFormSeed() *sinkhorn.WarmStart {
+	mm := e.memo
+	mm.mu.Lock()
+	defer mm.mu.Unlock()
+	if !mm.stdDone || mm.stdErr != nil || mm.std == nil || !mm.std.Converged {
+		return nil
+	}
+	seed := &sinkhorn.WarmStart{
+		D1: matrix.VecClone(mm.std.D1),
+		D2: matrix.VecClone(mm.std.D2),
+	}
+	if len(mm.stdSV) > 1 {
+		seed.Sigma2 = mm.stdSV[1]
+	}
+	return seed
+}
+
+// WithStandardFormSeed returns a copy of e whose standard-form computation
+// starts from the given scaling vectors instead of the raw weighted matrix
+// (see sinkhorn.WarmStart). The seed is a best-effort hint: a nil or
+// shape-mismatched seed is ignored rather than rejected, and the standard
+// form reached is identical to the unseeded one (Theorem 1 uniqueness) — only
+// the iteration count changes. The what-if and sweep hot paths use this to
+// seed each edited environment from its baseline's StandardFormSeed.
+func (e *Env) WithStandardFormSeed(seed *sinkhorn.WarmStart) *Env {
+	out := e.clone()
+	if seed.Matches(e.Tasks(), e.Machines()) {
+		out.stdSeed = seed
+	} else {
+		out.stdSeed = nil
+	}
+	return out
 }
 
 // ECSAt returns ECS(i, j) without copying the matrix.
@@ -430,6 +483,7 @@ func (e *Env) clone() *Env {
 		taskWeights:    matrix.VecClone(e.taskWeights),
 		machineWeights: matrix.VecClone(e.machineWeights),
 		memo:           &envMemo{}, // derived state is never shared across Envs
+		stdSeed:        e.stdSeed,  // a hint, not derived state: safe to share
 	}
 }
 

@@ -64,10 +64,14 @@ func Ex9Weights() ([]*Table, error) {
 		taskW[maxI] = 5
 		td[maxI] = -1
 	}
+	// The reweighted variants are nearby points in weight space, so their
+	// standardizations are warm-started from the baseline's scaling vectors
+	// (the uniform-weight row above left them memoized on base).
 	freq, err := base.WithWeights(taskW, nil)
 	if err != nil {
 		return nil, err
 	}
+	freq = freq.WithStandardFormSeed(base.StandardFormSeed())
 	if err := addRow("task frequency 5x on easy types", freq); err != nil {
 		return nil, err
 	}
@@ -77,6 +81,7 @@ func Ex9Weights() ([]*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	restricted = restricted.WithStandardFormSeed(base.StandardFormSeed())
 	if err := addRow("machines m1,m2 down-weighted 4x", restricted); err != nil {
 		return nil, err
 	}

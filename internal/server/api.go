@@ -315,7 +315,12 @@ type deltaDTO struct {
 	DMPH  *float64 `json:"dMPH,omitempty"`
 	DTDH  *float64 `json:"dTDH,omitempty"`
 	DTMA  *float64 `json:"dTMA,omitempty"`
-	Error string   `json:"error,omitempty"`
+	// SinkhornIterations is the normalization round count of this edit's
+	// standardization, which is warm-started from the baseline's scaling
+	// vectors — compare against the baseline profile's sinkhornIterations to
+	// see the warm-start win.
+	SinkhornIterations int    `json:"sinkhornIterations,omitempty"`
+	Error              string `json:"error,omitempty"`
 }
 
 type whatifResponse struct {
@@ -337,6 +342,7 @@ func deltaToDTO(d core.Delta) deltaDTO {
 	out.DMPH = finitePtr(d.DMPH)
 	out.DTDH = finitePtr(d.DTDH)
 	out.DTMA = finitePtr(d.DTMA)
+	out.SinkhornIterations = d.SinkhornIterations
 	return out
 }
 

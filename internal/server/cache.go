@@ -11,20 +11,37 @@ import (
 	"repro/internal/etcmat"
 )
 
-// profileCache is the content-addressed LRU result cache of the serving
-// tier. The key is a SHA-256 over everything a Profile depends on — matrix
+// profileCache is the content-addressed result cache of the serving tier.
+// The key is a SHA-256 over everything a Profile depends on — matrix
 // dimensions, the raw ECS entries and both weight vectors — so two requests
 // describing the same environment (regardless of task/machine names, which
 // the measures ignore) share one entry, and any numeric difference misses.
 // Values are *core.Profile, which are treated as immutable once published:
 // handlers must not mutate a cached profile.
+//
+// The cache is split into hash-sharded LRU segments with per-shard locks, so
+// concurrent lookups on different keys do not serialize on one mutex the way
+// the original single-list design did. SHA-256 output is uniform, so the
+// first key bytes distribute keys evenly across shards (eviction is LRU per
+// shard, which approximates global LRU to within the shard imbalance).
+//
+// Miss accounting lives in the coalescing layer (see flight.go), not here:
+// a Get miss alone does not imply a computation — the request may join an
+// in-flight compute — and the cache_misses metric counts unique computes
+// only. Hits are counted here, where they are observed.
 type profileCache struct {
+	shards []cacheShard
+	mask   uint64 // len(shards) - 1; shard count is a power of two
+	hits   *counter
+}
+
+// cacheShard is one LRU segment: an independently locked slice of the key
+// space with its own capacity and recency list.
+type cacheShard struct {
 	mu    sync.Mutex
 	cap   int
 	items map[cacheKey]*list.Element
 	order *list.List // front = most recently used
-
-	hits, misses *counter
 }
 
 type cacheKey [sha256.Size]byte
@@ -34,16 +51,42 @@ type cacheEntry struct {
 	profile *core.Profile
 }
 
-// newProfileCache builds a cache holding at most capacity profiles;
-// capacity <= 0 disables caching (every Get misses, Put drops).
-func newProfileCache(capacity int, hits, misses *counter) *profileCache {
-	return &profileCache{
-		cap:    capacity,
-		items:  make(map[cacheKey]*list.Element),
-		order:  list.New(),
-		hits:   hits,
-		misses: misses,
+// cacheShards is the shard count for capacities large enough to spread;
+// caches smaller than it stay unsharded so eviction is exact global LRU.
+const cacheShards = 16
+
+// newProfileCache builds a cache holding at most capacity profiles across
+// all shards; capacity <= 0 disables caching (every Get misses, Put drops).
+func newProfileCache(capacity int, hits *counter) *profileCache {
+	n := cacheShards
+	if capacity < cacheShards {
+		n = 1
 	}
+	c := &profileCache{
+		shards: make([]cacheShard, n),
+		mask:   uint64(n - 1),
+		hits:   hits,
+	}
+	for i := range c.shards {
+		// Distribute the capacity exactly: the first capacity%n shards hold
+		// one extra entry.
+		sc := capacity / n
+		if i < capacity%n {
+			sc++
+		}
+		c.shards[i] = cacheShard{
+			cap:   sc,
+			items: make(map[cacheKey]*list.Element),
+			order: list.New(),
+		}
+	}
+	return c
+}
+
+// shard maps a key to its segment. SHA-256 bytes are uniform, so any fixed
+// slice of the key indexes shards evenly.
+func (c *profileCache) shard(k cacheKey) *cacheShard {
+	return &c.shards[binary.LittleEndian.Uint64(k[:8])&c.mask]
 }
 
 // keyOf hashes the measure-relevant content of an environment.
@@ -83,41 +126,48 @@ func floatBits(v float64) uint64 {
 
 // Get returns the cached profile for the key, bumping its recency.
 func (c *profileCache) Get(k cacheKey) (*core.Profile, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.items[k]; ok {
-		c.order.MoveToFront(el)
+	s := c.shard(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[k]; ok {
+		s.order.MoveToFront(el)
 		c.hits.Inc()
 		return el.Value.(*cacheEntry).profile, true
 	}
-	c.misses.Inc()
 	return nil, false
 }
 
 // Put inserts (or refreshes) a profile, evicting the least recently used
-// entry past capacity.
+// entry of the key's shard past that shard's capacity.
 func (c *profileCache) Put(k cacheKey, p *core.Profile) {
-	if c.cap <= 0 {
+	s := c.shard(k)
+	if s.cap <= 0 {
 		return
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.items[k]; ok {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[k]; ok {
 		el.Value.(*cacheEntry).profile = p
-		c.order.MoveToFront(el)
+		s.order.MoveToFront(el)
 		return
 	}
-	c.items[k] = c.order.PushFront(&cacheEntry{key: k, profile: p})
-	for len(c.items) > c.cap {
-		last := c.order.Back()
-		c.order.Remove(last)
-		delete(c.items, last.Value.(*cacheEntry).key)
+	s.items[k] = s.order.PushFront(&cacheEntry{key: k, profile: p})
+	for len(s.items) > s.cap {
+		last := s.order.Back()
+		s.order.Remove(last)
+		delete(s.items, last.Value.(*cacheEntry).key)
 	}
 }
 
-// Len reports the current entry count (the cache size gauge).
+// Len reports the current entry count across all shards (the cache size
+// gauge).
 func (c *profileCache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.items)
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.items)
+		s.mu.Unlock()
+	}
+	return n
 }

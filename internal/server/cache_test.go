@@ -1,6 +1,7 @@
 package server
 
 import (
+	"math/rand"
 	"sync"
 	"testing"
 
@@ -10,8 +11,7 @@ import (
 
 func testCache(capacity int) *profileCache {
 	m := NewMetrics()
-	return newProfileCache(capacity,
-		m.Counter("hits", "h", ""), m.Counter("misses", "m", ""))
+	return newProfileCache(capacity, m.Counter("hits", "h", ""))
 }
 
 func TestCacheKeyContentAddressing(t *testing.T) {
@@ -127,6 +127,50 @@ func TestCacheConcurrentPounding(t *testing.T) {
 	wg.Wait()
 	if n := c.Len(); n > 8 {
 		t.Errorf("cache exceeded capacity: %d entries", n)
+	}
+}
+
+// TestCacheShardDistribution checks the sharding layout: small capacities
+// stay unsharded (exact global LRU), large ones split the capacity exactly
+// across all shards, and SHA-256 keys spread over every shard so no single
+// lock serializes the hot path.
+func TestCacheShardDistribution(t *testing.T) {
+	if c := testCache(cacheShards - 1); len(c.shards) != 1 {
+		t.Errorf("capacity %d built %d shards, want 1 (exact LRU below the shard threshold)",
+			cacheShards-1, len(c.shards))
+	}
+
+	c := testCache(1000) // not a multiple of cacheShards: remainder must spread
+	if len(c.shards) != cacheShards {
+		t.Fatalf("%d shards, want %d", len(c.shards), cacheShards)
+	}
+	total := 0
+	for i := range c.shards {
+		sc := c.shards[i].cap
+		if lo, hi := 1000/cacheShards, 1000/cacheShards+1; sc < lo || sc > hi {
+			t.Errorf("shard %d capacity %d outside [%d, %d]", i, sc, lo, hi)
+		}
+		total += sc
+	}
+	if total != 1000 {
+		t.Errorf("shard capacities sum to %d, want exactly 1000", total)
+	}
+
+	// Real keys (SHA-256 of environments) must reach every shard: fill far
+	// past capacity and expect each shard pinned at its own cap.
+	rng := rand.New(rand.NewSource(3))
+	p := &core.Profile{}
+	for i := 0; i < 8*1000; i++ {
+		env := etcmat.MustFromETC([][]float64{{1 + rng.Float64(), 2}, {3, 4}})
+		c.Put(keyOf(env), p)
+	}
+	if n := c.Len(); n != 1000 {
+		t.Errorf("overfilled cache holds %d entries, want exactly 1000", n)
+	}
+	for i := range c.shards {
+		if got, want := len(c.shards[i].items), c.shards[i].cap; got != want {
+			t.Errorf("shard %d holds %d entries, want full at %d", i, got, want)
+		}
 	}
 }
 

@@ -1,0 +1,116 @@
+package server
+
+import (
+	"context"
+	"errors"
+
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/etcmat"
+	"repro/internal/obs"
+)
+
+// flightGroup deduplicates concurrent computations of the same cache key:
+// the first caller to join a key becomes the leader and runs the
+// characterization; every other caller that arrives before the leader
+// finishes blocks on the call's done channel and shares the leader's result.
+// Without this layer a stampede of identical requests — the pattern the zipf
+// load phase reproduces — fans out one CharacterizeCtx per request even
+// though all of them would Put the same profile.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[cacheKey]*flightCall
+}
+
+// flightCall is one in-flight computation. profile is written exactly once,
+// before done is closed, and read only after done is closed, so waiters need
+// no lock. A nil profile after done means the leader failed to produce one
+// (a panic unwound through it); waiters surface that as an error instead of
+// hanging.
+type flightCall struct {
+	done    chan struct{}
+	profile *core.Profile
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{calls: make(map[cacheKey]*flightCall)}
+}
+
+// join returns the in-flight call for the key, creating it when none exists.
+// The second return is true for the leader — the caller that must compute
+// and then publish through finish (on every path, including panics).
+func (g *flightGroup) join(k cacheKey) (*flightCall, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c, ok := g.calls[k]; ok {
+		return c, false
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[k] = c
+	return c, true
+}
+
+// finish publishes the leader's result and releases the key: waiters wake
+// with the profile, and the next request for the key starts a fresh flight
+// (normally hitting the cache the leader just filled).
+func (g *flightGroup) finish(k cacheKey, c *flightCall, p *core.Profile) {
+	c.profile = p
+	g.mu.Lock()
+	delete(g.calls, k)
+	g.mu.Unlock()
+	close(c.done)
+}
+
+// Outcomes of a coalesced characterization, used for response metadata and
+// metric accounting: each request increments exactly one of cache_hits,
+// cache_misses or coalesced.
+const (
+	outcomeHit       = "hit"       // served from the cache
+	outcomeMiss      = "miss"      // this request ran the computation
+	outcomeCoalesced = "coalesced" // served by another request's computation
+)
+
+// errCoalescedFailed is surfaced to waiters whose leader terminated without
+// publishing a profile (only a panic in the compute path can cause it).
+var errCoalescedFailed = errors.New("server: coalesced computation failed")
+
+// characterizeCoalesced computes (or recalls) the profile for the keyed
+// environment through the cache and the singleflight layer: among all
+// concurrent callers with the same key, exactly one CharacterizeCtx runs.
+// The cache is re-checked first — by the time a request gets here it may
+// have queued for admission while another request filled the entry.
+//
+// Metric accounting: a hit counts under cache_hits (inside Get), a leader
+// under cache_misses + characterizations, and a waiter under coalesced —
+// unique computes and coalesced waiters are disjoint, so
+// misses == characterizations and hits + misses + coalesced == requests.
+func (s *Server) characterizeCoalesced(ctx context.Context, key cacheKey, env *etcmat.Env) (*core.Profile, string, error) {
+	if p, ok := s.cache.Get(key); ok {
+		return p, outcomeHit, nil
+	}
+	call, leader := s.flight.join(key)
+	if !leader {
+		s.coalesced.Inc()
+		sp := obs.StartSpan(ctx, "coalesced_wait")
+		defer sp.End()
+		select {
+		case <-call.done:
+			if call.profile == nil {
+				return nil, outcomeCoalesced, errCoalescedFailed
+			}
+			return call.profile, outcomeCoalesced, nil
+		case <-ctx.Done():
+			return nil, outcomeCoalesced, ctx.Err()
+		}
+	}
+	var p *core.Profile
+	// Publish from a defer so a panicking pipeline still wakes the waiters
+	// (with a nil profile) before the recovery middleware reports the 500.
+	defer func() { s.flight.finish(key, call, p) }()
+	p = core.CharacterizeCtx(ctx, env)
+	s.misses.Inc()
+	s.computed.Inc()
+	s.cache.Put(key, p)
+	return p, outcomeMiss, nil
+}

@@ -1,0 +1,220 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/etcmat"
+)
+
+// TestFlightGroupCoalesces pins the singleflight mechanics deterministically:
+// with a leader parked mid-computation, every subsequent join on the key is a
+// waiter, all waiters share the published profile, and the key is released
+// for a fresh flight after finish.
+func TestFlightGroupCoalesces(t *testing.T) {
+	g := newFlightGroup()
+	var k cacheKey
+	k[0] = 7
+
+	call, leader := g.join(k)
+	if !leader {
+		t.Fatal("first join must elect the leader")
+	}
+
+	const waiters = 8
+	p := &core.Profile{Tasks: 3, Machines: 3}
+	var wg sync.WaitGroup
+	joined := make(chan struct{}, waiters)
+	for w := 0; w < waiters; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, lead := g.join(k)
+			if lead {
+				t.Error("waiter elected leader while the call was in flight")
+				return
+			}
+			joined <- struct{}{}
+			<-c.done
+			if c.profile != p {
+				t.Error("waiter observed a different profile than the leader published")
+			}
+		}()
+	}
+	// Every waiter must have joined the existing call before the leader
+	// publishes; afterwards the key starts a fresh flight.
+	for w := 0; w < waiters; w++ {
+		<-joined
+	}
+	g.finish(k, call, p)
+	wg.Wait()
+
+	if _, lead := g.join(k); !lead {
+		t.Error("finished key did not release; next join should lead a fresh flight")
+	}
+}
+
+// TestCoalescedSingleCompute is the tentpole's -race gate: K concurrent
+// identical requests through characterizeCoalesced run exactly one
+// characterization, and every request lands in exactly one accounting bucket
+// (hit, miss or coalesced).
+func TestCoalescedSingleCompute(t *testing.T) {
+	s := New(Config{Logger: quietLogger()})
+	env := etcmat.MustFromETC(func() [][]float64 {
+		rng := rand.New(rand.NewSource(11))
+		rows := make([][]float64, 60)
+		for i := range rows {
+			rows[i] = make([]float64, 40)
+			for j := range rows[i] {
+				rows[i][j] = 1 + 99*rng.Float64()
+			}
+		}
+		return rows
+	}())
+	key := keyOf(env)
+
+	const requests = 16
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < requests; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			p, outcome, err := s.characterizeCoalesced(context.Background(), key, env)
+			if err != nil {
+				t.Errorf("characterizeCoalesced: %v", err)
+				return
+			}
+			if p == nil {
+				t.Errorf("outcome %q returned a nil profile", outcome)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+
+	if n := s.computed.Value(); n != 1 {
+		t.Errorf("%d requests ran %d characterizations, want exactly 1", requests, n)
+	}
+	if n := s.misses.Value(); n != 1 {
+		t.Errorf("cache misses = %d, want 1 (misses count unique computes only)", n)
+	}
+	hits, coalesced := s.cache.hits.Value(), s.coalesced.Value()
+	if hits+coalesced != requests-1 {
+		t.Errorf("hits (%d) + coalesced (%d) = %d, want %d: every non-leader is a hit or a waiter",
+			hits, coalesced, hits+coalesced, requests-1)
+	}
+}
+
+// TestCoalescedEndpointSingleCompute drives the same stampede through the
+// full HTTP stack: concurrent identical POSTs to /v1/characterize yield one
+// computation, every response carries a valid profile, and the metrics page
+// reports the coalesced accounting.
+func TestCoalescedEndpointSingleCompute(t *testing.T) {
+	s, ts := testServer(t, Config{Workers: 8, QueueDepth: 64})
+	body := bigEnvBody(60, 40)
+
+	const requests = 12
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < requests; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			resp, respBody := post(t, ts, "/v1/characterize", "application/json", body)
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("status %d: %s", resp.StatusCode, respBody)
+				return
+			}
+			p := decodeProfile(t, respBody)
+			if p.Tasks != 60 || p.Machines != 40 {
+				t.Errorf("shape %dx%d, want 60x40", p.Tasks, p.Machines)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+
+	if n := s.computed.Value(); n != 1 {
+		t.Errorf("%d identical requests ran %d characterizations, want exactly 1", requests, n)
+	}
+	_, metrics := get(t, ts, "/metrics")
+	for _, want := range []string{
+		"hcserved_cache_misses_total 1",
+		"hcserved_characterizations_total 1",
+		"hcserved_coalesced_total",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics page missing %q", want)
+		}
+	}
+}
+
+// TestBatchDedupAccounting pins the deterministic intra-request dedup: a
+// batch repeating one environment computes each distinct environment once,
+// counts every repeat under coalesced, and hands all repeats the same
+// profile.
+func TestBatchDedupAccounting(t *testing.T) {
+	s, ts := testServer(t, Config{})
+	envA := `{"etc":[[10,3,7],[4,2,9],[5,6,1]]}`
+	envB := `{"etc":[[1,2],[3,4]]}`
+	body := fmt.Sprintf(`{"envs":[%s,%s,%s,%s]}`, envA, envA, envB, envA)
+
+	resp, respBody := post(t, ts, "/v1/characterize/batch", "application/json", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, respBody)
+	}
+	var br struct {
+		Profiles []struct {
+			Profile *ProfileDTO `json:"profile"`
+			Error   string      `json:"error"`
+		} `json:"profiles"`
+	}
+	if err := json.Unmarshal([]byte(respBody), &br); err != nil {
+		t.Fatalf("decoding batch response: %v", err)
+	}
+	if len(br.Profiles) != 4 {
+		t.Fatalf("%d profiles, want 4", len(br.Profiles))
+	}
+	for i, item := range br.Profiles {
+		if item.Error != "" || item.Profile == nil {
+			t.Fatalf("item %d failed: %q", i, item.Error)
+		}
+	}
+	if a0, a1 := br.Profiles[0].Profile, br.Profiles[1].Profile; a0.MPH != a1.MPH || a0.TDH != a1.TDH {
+		t.Errorf("duplicate items disagree: %+v vs %+v", a0, a1)
+	}
+
+	if n := s.computed.Value(); n != 2 {
+		t.Errorf("batch with 2 distinct envs ran %d characterizations, want 2", n)
+	}
+	if n := s.misses.Value(); n != 2 {
+		t.Errorf("misses = %d, want 2 (one per unique compute)", n)
+	}
+	if n := s.coalesced.Value(); n != 2 {
+		t.Errorf("coalesced = %d, want 2 (the two within-batch repeats)", n)
+	}
+	if n := s.cache.hits.Value(); n != 0 {
+		t.Errorf("hits = %d, want 0 on a cold cache", n)
+	}
+
+	// The same batch again is all hits: profiles are cached, nothing
+	// computes, and repeats still dedup before touching the cache... or hit
+	// it directly; either way no new compute and no new miss.
+	post(t, ts, "/v1/characterize/batch", "application/json", body)
+	if n := s.computed.Value(); n != 2 {
+		t.Errorf("warm batch recomputed: characterizations = %d, want still 2", n)
+	}
+	if n := s.misses.Value(); n != 2 {
+		t.Errorf("warm batch missed: misses = %d, want still 2", n)
+	}
+}

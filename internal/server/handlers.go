@@ -13,11 +13,11 @@ import (
 	"strconv"
 	"time"
 
-	"repro/hetero"
 	"repro/internal/core"
 	"repro/internal/etcmat"
 	"repro/internal/gen"
 	"repro/internal/obs"
+	"repro/internal/parallel"
 )
 
 // writeJSON renders v with the standard headers; encoding failures are
@@ -94,16 +94,18 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request) (release func(), 
 }
 
 // characterizeCached computes (or recalls) the profile of an environment
-// through the content-addressed cache. The returned bool reports a hit.
+// through the content-addressed cache and the coalescing layer. The returned
+// bool reports whether the profile came from the cache or an in-flight
+// computation rather than a fresh one.
 func (s *Server) characterizeCached(ctx context.Context, env *etcmat.Env) (*core.Profile, bool) {
-	key := keyOf(env)
-	if p, ok := s.cache.Get(key); ok {
-		return p, true
+	p, outcome, err := s.characterizeCoalesced(ctx, keyOf(env), env)
+	if err != nil {
+		// Waiter canceled or orphaned (see flight.go); compute directly —
+		// this path already holds a compute slot.
+		s.computed.Inc()
+		return core.CharacterizeCtx(ctx, env), false
 	}
-	p := core.CharacterizeCtx(ctx, env)
-	s.computed.Inc()
-	s.cache.Put(key, p)
-	return p, false
+	return p, outcome != outcomeMiss
 }
 
 // handleCharacterize serves POST /v1/characterize.
@@ -140,21 +142,32 @@ func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusGatewayTimeout, "timeout", "request deadline expired")
 		return
 	}
+	// The coalescing layer re-checks the cache (another request may have
+	// filled it while this one queued) and guarantees that concurrent misses
+	// on the same key run exactly one computation; waiters block here until
+	// the leader publishes.
 	sp = obs.StartSpan(r.Context(), "compute")
-	p = core.CharacterizeCtx(r.Context(), env)
+	p, outcome, err := s.characterizeCoalesced(r.Context(), key, env)
 	sp.End()
-	s.computed.Inc()
-	s.cache.Put(key, p)
-	dto := ProfileToDTO(p, false)
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			writeError(w, http.StatusGatewayTimeout, "timeout", "request deadline expired")
+		} else {
+			writeError(w, http.StatusInternalServerError, "internal", err.Error())
+		}
+		return
+	}
+	dto := ProfileToDTO(p, outcome != outcomeMiss)
 	dto.Version = APIVersion
 	dto.Timings = s.timingsFor(r)
 	s.writeJSON(w, http.StatusOK, dto)
 }
 
 // handleBatch serves POST /v1/characterize/batch. The request holds one
-// admission slot; cache misses fan out over the bounded parallel pool via
-// hetero.CharacterizeManyCtx, so canceling the request (timeout, client
-// disconnect) stops the remaining items.
+// admission slot; identical environments within the request are deduplicated
+// by content key before the remaining unique misses fan out over the bounded
+// parallel pool, so canceling the request (timeout, client disconnect) stops
+// the remaining items.
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	sp := obs.StartSpan(r.Context(), "decode")
 	var req batchRequest
@@ -174,11 +187,19 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Decode and cache-check every item, then deduplicate the remaining
+	// misses by content key: a batch that asks for the same environment
+	// twenty times (sweep tooling does) computes it once and shares the
+	// profile across the duplicates, which count under coalesced.
 	sp = obs.StartSpan(r.Context(), "cache_lookup")
 	items := make([]batchItem, len(req.Envs))
 	keys := make([]cacheKey, len(req.Envs))
-	toCompute := make([]*etcmat.Env, len(req.Envs)) // nil = cached or invalid
+	envs := make([]*etcmat.Env, len(req.Envs)) // nil = cached or invalid
+	firstOf := make(map[cacheKey]int)          // key -> first index needing compute
+	dupOf := make([]int, len(req.Envs))        // index -> first index, or -1
+	var uniq []int                             // first indices, in order
 	for i := range req.Envs {
+		dupOf[i] = -1
 		env, err := req.Envs[i].Env()
 		if err != nil {
 			items[i].Error = err.Error()
@@ -189,7 +210,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			items[i].Profile = ProfileToDTO(p, true)
 			continue
 		}
-		toCompute[i] = env
+		if first, ok := firstOf[keys[i]]; ok {
+			dupOf[i] = first
+			s.coalesced.Inc()
+			continue
+		}
+		firstOf[keys[i]] = i
+		envs[i] = env
+		uniq = append(uniq, i)
 	}
 	sp.End()
 
@@ -200,21 +228,32 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
+	// Fan the unique misses out on the bounded pool, each through the
+	// coalescing layer so identical environments across concurrent batch (or
+	// characterize) requests also share one computation.
 	sp = obs.StartSpan(r.Context(), "compute")
-	profiles, err := hetero.CharacterizeManyCtx(r.Context(), toCompute, s.cfg.Workers)
+	profiles, err := parallel.Map(r.Context(), len(uniq), s.cfg.Workers,
+		func(ctx context.Context, u int) (*core.Profile, error) {
+			i := uniq[u]
+			p, _, err := s.characterizeCoalesced(ctx, keys[i], envs[i])
+			return p, err
+		})
 	sp.End()
 	if err != nil {
 		writeError(w, http.StatusGatewayTimeout, "timeout",
 			"request deadline expired mid-batch: "+err.Error())
 		return
 	}
-	for i, p := range profiles {
-		if toCompute[i] == nil || p == nil {
+	for u, p := range profiles {
+		if p == nil {
 			continue
 		}
-		s.computed.Inc()
-		s.cache.Put(keys[i], p)
-		items[i].Profile = ProfileToDTO(p, false)
+		items[uniq[u]].Profile = ProfileToDTO(p, false)
+	}
+	for i, first := range dupOf {
+		if first >= 0 {
+			items[i].Profile = items[first].Profile
+		}
 	}
 	s.writeJSON(w, http.StatusOK, batchResponse{
 		Version:  APIVersion,
@@ -310,8 +349,11 @@ func (s *Server) handleWhatif(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusGatewayTimeout, "timeout", "request deadline expired")
 		return
 	}
+	// LeaveOneOutCtx warm-starts every removal solve from the baseline's
+	// converged Sinkhorn scalings; each delta reports its (much smaller)
+	// iteration count next to the baseline's.
 	sp = obs.StartSpan(r.Context(), "compute")
-	baseline, deltas := core.LeaveOneOut(env)
+	baseline, deltas := core.LeaveOneOutCtx(r.Context(), env)
 	sp.End()
 	resp := whatifResponse{Version: APIVersion, Baseline: ProfileToDTO(baseline, false)}
 	resp.Deltas = make([]deltaDTO, len(deltas))

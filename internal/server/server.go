@@ -89,6 +89,7 @@ type Server struct {
 	log     *slog.Logger
 	metrics *Metrics
 	cache   *profileCache
+	flight  *flightGroup
 	adm     *admission
 	mux     *http.ServeMux
 	start   time.Time
@@ -96,8 +97,10 @@ type Server struct {
 
 	boundAddr atomic.Value // string; set once Run's listener is up
 
-	panics   *counter
-	computed *counter
+	panics    *counter
+	computed  *counter
+	misses    *counter
+	coalesced *counter
 }
 
 // BoundAddr returns the address Run's listener is bound to ("" before Run).
@@ -122,10 +125,14 @@ func New(cfg Config) *Server {
 			"Handler panics recovered.", ""),
 		computed: m.Counter("hcserved_characterizations_total",
 			"Profiles computed (cache misses that ran the pipeline).", ""),
+		misses: m.Counter("hcserved_cache_misses_total",
+			"Profile cache misses that ran a unique computation; concurrent duplicates count under hcserved_coalesced_total instead.", ""),
+		coalesced: m.Counter("hcserved_coalesced_total",
+			"Requests served by joining another request's in-flight computation.", ""),
 	}
 	s.cache = newProfileCache(cfg.CacheSize,
-		m.Counter("hcserved_cache_hits_total", "Profile cache hits.", ""),
-		m.Counter("hcserved_cache_misses_total", "Profile cache misses.", ""))
+		m.Counter("hcserved_cache_hits_total", "Profile cache hits.", ""))
+	s.flight = newFlightGroup()
 	s.adm = newAdmission(cfg.Workers, cfg.QueueDepth,
 		m.Counter("hcserved_rejected_total", "Requests shed with 429.", ""))
 	m.Gauge("hcserved_queue_depth", "Requests waiting for a compute slot.",

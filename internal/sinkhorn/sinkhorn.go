@@ -129,6 +129,110 @@ func growVec(buf *[]float64, n int) []float64 {
 	return (*buf)[:n]
 }
 
+// WarmStart carries the converged scaling vectors of a previous balancing
+// run, to seed a run on a nearby matrix: a what-if edit, a 1% perturbation,
+// the next probe of a parameter sweep. The iteration starts from
+// diag(D1)·A·diag(D2) instead of A itself, so when the seed is close to the
+// true scaling only a residual correction remains. The vectors must be
+// strictly positive and finite and match the matrix dimensions; the limit
+// reached is identical to a cold start (Theorem 1: the scaling is unique up
+// to reciprocal scalar multiples), so warm and cold results agree to the
+// convergence tolerance.
+//
+// When Sigma2 is also set, the warm run over-relaxes each normalization
+// (see the omega computation in BalanceWarmWS), which roughly squares the
+// per-round contraction near the fixed point. Combined, seeding plus
+// over-relaxation typically converges in 2-3x fewer rounds than a cold
+// start for percent-level perturbations.
+type WarmStart struct {
+	// D1 and D2 are the row and column scaling seeds, usually a previous
+	// Result's D1 and D2 (cloned if that Result was workspace-backed).
+	D1, D2 []float64
+	// Sigma2 optionally holds the second-largest singular value of the
+	// previous run's standard form (the first is exactly 1 by Theorem 2, so
+	// Sigma2 is the normalized subdominant singular value). Near the fixed
+	// point one Sinkhorn round contracts the error through the linearized
+	// map W·Wᵀ, whose spectrum is {σₖ²}; knowing σ₂ therefore selects the
+	// optimal over-relaxation factor for the seeded run. Zero (or any value
+	// outside (0,1)) disables over-relaxation; a slightly stale value — the
+	// unperturbed matrix's σ₂ — is fine, since the optimum is flat.
+	Sigma2 float64
+}
+
+// valid reports whether the seed can be applied to a t x m matrix.
+func (w *WarmStart) valid(t, m int) error {
+	if w == nil {
+		return nil
+	}
+	if len(w.D1) != t || len(w.D2) != m {
+		return fmt.Errorf("sinkhorn: warm start has %dx%d scaling vectors for a %dx%d matrix",
+			len(w.D1), len(w.D2), t, m)
+	}
+	for _, v := range w.D1 {
+		if !(v > 0) || math.IsInf(v, 0) {
+			return fmt.Errorf("sinkhorn: warm-start row scaling %g must be positive and finite", v)
+		}
+	}
+	for _, v := range w.D2 {
+		if !(v > 0) || math.IsInf(v, 0) {
+			return fmt.Errorf("sinkhorn: warm-start column scaling %g must be positive and finite", v)
+		}
+	}
+	if math.IsNaN(w.Sigma2) || math.IsInf(w.Sigma2, 0) {
+		return fmt.Errorf("sinkhorn: warm-start sigma2 %g must be finite", w.Sigma2)
+	}
+	return nil
+}
+
+// Matches reports whether the seed's scaling vectors fit a t x m matrix.
+// Callers that treat a warm start as a best-effort hint (rather than a hard
+// requirement) can use it to drop a seed whose shape no longer applies
+// instead of surfacing the validation error from the balancing run.
+func (w *WarmStart) Matches(t, m int) bool {
+	return w != nil && len(w.D1) == t && len(w.D2) == m
+}
+
+// DropRow returns a copy of the seed without row i's scaling factor — the
+// seed for a leave-one-out solve that removes row i from the matrix. Sigma2
+// is carried over: the reduced matrix's subdominant singular value is close
+// for percent-level structural edits, and over-relaxation tolerates a stale
+// value (see omega). Out-of-range i returns nil (no seed).
+func (w *WarmStart) DropRow(i int) *WarmStart {
+	if w == nil || i < 0 || i >= len(w.D1) {
+		return nil
+	}
+	d1 := make([]float64, 0, len(w.D1)-1)
+	d1 = append(d1, w.D1[:i]...)
+	d1 = append(d1, w.D1[i+1:]...)
+	return &WarmStart{D1: d1, D2: matrix.VecClone(w.D2), Sigma2: w.Sigma2}
+}
+
+// DropCol returns a copy of the seed without column j's scaling factor; see
+// DropRow.
+func (w *WarmStart) DropCol(j int) *WarmStart {
+	if w == nil || j < 0 || j >= len(w.D2) {
+		return nil
+	}
+	d2 := make([]float64, 0, len(w.D2)-1)
+	d2 = append(d2, w.D2[:j]...)
+	d2 = append(d2, w.D2[j+1:]...)
+	return &WarmStart{D1: matrix.VecClone(w.D1), D2: d2, Sigma2: w.Sigma2}
+}
+
+// omega returns the over-relaxation factor for the seeded run. The
+// alternating normalization is Gauss-Seidel on the bipartite (rows, columns)
+// log-scaling system, a consistently ordered 2-cyclic structure with Jacobi
+// spectral radius σ₂, so Young's optimal SOR factor ω* = 2/(1+√(1−σ₂²))
+// applies verbatim and improves the per-round contraction from σ₂² to ω*−1
+// ≈ σ₂²/4 for well-conditioned matrices. Any ω in (0,2) still converges to
+// the same unique fixed point, so a stale or inexact σ₂ only costs speed.
+func (w *WarmStart) omega() float64 {
+	if w == nil || !(w.Sigma2 > 0) || w.Sigma2 >= 1 {
+		return 1
+	}
+	return 2 / (1 + math.Sqrt(1-w.Sigma2*w.Sigma2))
+}
+
 // Balance runs alternating column/row normalization (the paper's Eq. 9) on a
 // nonnegative matrix. On ErrNotConverged the returned Result still carries
 // the last iterate and diagnostics.
@@ -142,6 +246,14 @@ func Balance(a *matrix.Dense, opt Options) (*Result, error) {
 // and must be cloned to outlive it. A nil ws behaves exactly like Balance
 // (fresh caller-owned allocations).
 func BalanceWS(a *matrix.Dense, opt Options, ws *Workspace) (*Result, error) {
+	return BalanceWarmWS(a, opt, nil, ws)
+}
+
+// BalanceWarmWS is BalanceWS seeded with the scaling vectors of a previous
+// run on a nearby matrix (see WarmStart). A nil warm is exactly BalanceWS;
+// the returned D1/D2 include the seed factors, so Scaled = D1 · A · D2 holds
+// for warm and cold runs alike.
+func BalanceWarmWS(a *matrix.Dense, opt Options, warm *WarmStart, ws *Workspace) (*Result, error) {
 	t, m := a.Dims()
 	if t == 0 || m == 0 {
 		return nil, errors.New("sinkhorn: empty matrix")
@@ -163,6 +275,9 @@ func BalanceWS(a *matrix.Dense, opt Options, ws *Workspace) (*Result, error) {
 	maxIter := opt.MaxIter
 	if maxIter <= 0 {
 		maxIter = 10000
+	}
+	if err := warm.valid(t, m); err != nil {
+		return nil, err
 	}
 
 	var (
@@ -197,6 +312,16 @@ func BalanceWS(a *matrix.Dense, opt Options, ws *Workspace) (*Result, error) {
 		}
 	}
 
+	if warm != nil {
+		// Start from diag(D1)·A·diag(D2). Positive diagonal scalings preserve
+		// the zero pattern, so the trim above stays valid; the accumulated
+		// diagonals start at the seed so the Scaled = D1·A·D2 invariant holds.
+		w.ScaleRows(warm.D1)
+		w.ScaleCols(warm.D2)
+		copy(d1, warm.D1)
+		copy(d2, warm.D2)
+	}
+
 	// The iteration keeps the current column and row sums in two reused
 	// buffers: each half-step is a single fused pass (scale + reduce, see
 	// matrix.ScaleColsRowSums / ScaleRowsColSums) instead of separate
@@ -217,29 +342,68 @@ func BalanceWS(a *matrix.Dense, opt Options, ws *Workspace) (*Result, error) {
 	}
 
 	res.D1, res.D2, res.Trimmed = d1, d2, trimmed
+	// The cold path (omega == 1) is the paper's plain Eq. 9 iteration. A warm
+	// start with a known σ₂ over-relaxes each normalization: the factor that
+	// would exactly hit the target is raised to the power ω ∈ (1,2), which is
+	// classical SOR on the log-scaling system (see WarmStart.omega). With
+	// ω > 1 neither the row nor the column sums are exact after their step,
+	// so the deviation is then measured over both.
+	// Over-relaxation is only guaranteed to contract near the fixed point.
+	// When the seed is far off (an aggressive sweep jump, a badly stale σ₂)
+	// an ω near 2 can settle into a limit cycle instead — possibly one that
+	// alternates between deviation levels, so the safeguard below compares
+	// each round against the best deviation seen, not the previous one: six
+	// rounds without improving on the best drops ω back to 1 permanently,
+	// and the plain iteration (globally convergent for positive matrices)
+	// finishes from the current iterate.
+	omega := warm.omega()
+	bestDev := math.Inf(1)
+	stall := 0
 	for it := 1; it <= maxIter; it++ {
 		// Column normalization (Eq. 9, odd steps): cs holds the column sums,
 		// which become the scaling factors; the fused pass leaves the new row
 		// sums in rs.
-		for j := range cs {
-			f := opt.ColTarget / cs[j]
-			d2[j] *= f
-			cs[j] = f
+		if omega == 1 {
+			for j := range cs {
+				f := opt.ColTarget / cs[j]
+				d2[j] *= f
+				cs[j] = f
+			}
+		} else {
+			for j := range cs {
+				f := math.Pow(opt.ColTarget/cs[j], omega)
+				d2[j] *= f
+				cs[j] = f
+			}
 		}
 		w.ScaleColsRowSums(cs, rs)
 		// Row normalization (Eq. 9, even steps); the fused pass leaves the
 		// new column sums in cs.
-		for i := range rs {
-			f := opt.RowTarget / rs[i]
-			d1[i] *= f
-			rs[i] = f
+		rowDev := 0.0
+		if omega == 1 {
+			for i := range rs {
+				f := opt.RowTarget / rs[i]
+				d1[i] *= f
+				rs[i] = f
+			}
+		} else {
+			for i := range rs {
+				f := math.Pow(opt.RowTarget/rs[i], omega)
+				if d := math.Abs(rs[i]*f - opt.RowTarget); d > rowDev {
+					rowDev = d
+				}
+				d1[i] *= f
+				rs[i] = f
+			}
 		}
 		w.ScaleRowsColSums(rs, cs)
 
 		res.Iterations = it
-		// After the row step every row sums to RowTarget up to roundoff, so
-		// the deviation is carried entirely by the column sums in cs.
-		dev := 0.0
+		// With ω == 1 every row sums to RowTarget up to roundoff after the
+		// row step, so the deviation is carried entirely by the column sums
+		// in cs; the over-relaxed path adds the residual row deviation
+		// tracked above.
+		dev := rowDev
 		for _, s := range cs {
 			if d := math.Abs(s - opt.ColTarget); d > dev {
 				dev = d
@@ -249,6 +413,16 @@ func BalanceWS(a *matrix.Dense, opt Options, ws *Workspace) (*Result, error) {
 		if res.MaxDeviation < tol {
 			res.Converged = true
 			break
+		}
+		if omega != 1 {
+			if dev < 0.98*bestDev {
+				stall = 0
+			} else if stall++; stall >= 6 {
+				omega = 1
+			}
+		}
+		if dev < bestDev {
+			bestDev = dev
 		}
 	}
 	res.Scaled = w
@@ -375,8 +549,27 @@ func StandardizeCtx(ctx context.Context, a *matrix.Dense) (*Result, error) {
 // StandardizeWS is Standardize running on a reusable workspace; see BalanceWS
 // for the lifetime rules of the returned Result when ws is non-nil.
 func StandardizeWS(a *matrix.Dense, ws *Workspace) (*Result, error) {
+	return StandardizeWarmWS(a, nil, ws)
+}
+
+// StandardizeWarmWS is StandardizeWS seeded with the scaling vectors of a
+// previous standardization of a nearby matrix (see WarmStart): the what-if
+// and sweep hot paths, where each solve differs from the last by one row,
+// one column or a percent-level perturbation, converge in a fraction of the
+// cold iterations while reaching the identical standard form.
+func StandardizeWarmWS(a *matrix.Dense, warm *WarmStart, ws *Workspace) (*Result, error) {
 	rt, ct := StandardTargets(a.Rows(), a.Cols())
-	return BalanceWS(a, Options{RowTarget: rt, ColTarget: ct, Tol: DefaultTol, TrimUnsupported: true}, ws)
+	return BalanceWarmWS(a, Options{RowTarget: rt, ColTarget: ct, Tol: DefaultTol, TrimUnsupported: true}, warm, ws)
+}
+
+// StandardizeWarmCtx is StandardizeWarmWS with stage tracing: when ctx
+// carries an obs.Trace, the balancing run is recorded as a "standardize"
+// span, matching StandardizeCtx so traced cold and warm solves are
+// comparable stage by stage.
+func StandardizeWarmCtx(ctx context.Context, a *matrix.Dense, warm *WarmStart, ws *Workspace) (*Result, error) {
+	sp := obs.StartSpan(ctx, "standardize")
+	defer sp.End()
+	return StandardizeWarmWS(a, warm, ws)
 }
 
 // DoublyStochastic balances a square matrix to row and column sums of 1.
