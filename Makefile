@@ -8,8 +8,14 @@ BENCH_SERVE_OLD ?= BENCH_serve.json
 BENCH_SERVE_NEW ?= BENCH_serve_new.json
 # Fractional ns/op or allocs/op growth that fails benchdiff (0.20 = 20%).
 BENCH_THRESHOLD ?= 0.20
+# Opt-in warm-p99 gate for serving reports: GATEP99=1 make benchdiff. The
+# threshold is deliberately generous (3.0 = +300%) — tails on a loaded box
+# are noisy; the gate exists to catch order-of-magnitude collapses.
+GATEP99 ?=
+BENCH_P99_THRESHOLD ?= 3.0
+P99_FLAGS = $(if $(GATEP99),-gatep99 -p99threshold $(BENCH_P99_THRESHOLD),)
 
-.PHONY: build test vet race lint bench bench-json benchdiff verify clean serve loadtest
+.PHONY: build test vet race lint bench bench-json benchdiff verify clean serve loadtest wirebench fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -58,7 +64,7 @@ bench-json:
 benchdiff:
 	$(GO) run ./cmd/hcbench -benchdiff -threshold $(BENCH_THRESHOLD) $(BENCH_OLD) $(BENCH_NEW)
 	@if [ -f $(BENCH_SERVE_NEW) ]; then \
-		$(GO) run ./cmd/hcbench -benchdiff -threshold $(BENCH_THRESHOLD) $(BENCH_SERVE_OLD) $(BENCH_SERVE_NEW); \
+		$(GO) run ./cmd/hcbench -benchdiff -threshold $(BENCH_THRESHOLD) $(P99_FLAGS) $(BENCH_SERVE_OLD) $(BENCH_SERVE_NEW); \
 	fi
 
 verify: build vet lint test race
@@ -84,6 +90,16 @@ LOAD_URL ?= http://localhost:8080
 LOAD_OUT ?= BENCH_serve.json
 loadtest:
 	$(GO) run ./cmd/hcload -url $(LOAD_URL) -c 4 -n 300 -tasks 150 -machines 80 -seed 1 -surge 96 -out $(LOAD_OUT)
+
+# Decode micro-benchmarks: stdlib JSON vs streaming scanner vs binary frame
+# at the loadtest shape (150x80), merged into the serving report's
+# decode_bench section so the numbers live next to the latencies they explain.
+wirebench:
+	$(GO) run ./cmd/hcbench -wirebench $(LOAD_OUT)
+
+# Short fuzz run of the binary frame decoder (the CI smoke step).
+fuzz-smoke:
+	$(GO) test -run Fuzz -fuzz=FuzzWireDecode -fuzztime=10s ./internal/wire
 
 clean:
 	$(GO) clean ./...

@@ -21,8 +21,15 @@ import (
 //     zipf latencies are listed for context but do not gate: they are
 //     dominated by pipeline compute the kernel diff already covers.
 //
+// p99Threshold, when positive, additionally gates the warm-phase p99 of a
+// serving report (the -gatep99 opt-in). Tail latency on a loaded box is far
+// noisier than the median — one scheduler hiccup moves it severalfold — so
+// the p99 gate is off by default and its threshold is generous; it exists to
+// catch order-of-magnitude tail collapses, not percent-level drift. The p99
+// columns are always printed for context either way.
+//
 // The boolean result is false when any regression was found.
-func runBenchDiff(out io.Writer, oldPath, newPath string, threshold float64) (bool, error) {
+func runBenchDiff(out io.Writer, oldPath, newPath string, threshold, p99Threshold float64) (bool, error) {
 	oldServe, err := isServeReport(oldPath)
 	if err != nil {
 		return false, err
@@ -35,7 +42,7 @@ func runBenchDiff(out io.Writer, oldPath, newPath string, threshold float64) (bo
 		return false, fmt.Errorf("mixed report kinds: %s and %s must both be kernel or both be serving reports", oldPath, newPath)
 	}
 	if oldServe {
-		return runServeDiff(out, oldPath, newPath, threshold)
+		return runServeDiff(out, oldPath, newPath, threshold, p99Threshold)
 	}
 	oldRep, err := readBenchReport(oldPath)
 	if err != nil {
@@ -95,6 +102,7 @@ type serveReport struct {
 	Phases []struct {
 		Name  string  `json:"name"`
 		P50Ms float64 `json:"p50_ms"`
+		P99Ms float64 `json:"p99_ms"`
 	} `json:"phases"`
 	Zipf *struct {
 		DistinctRequested  int    `json:"distinct_requested"`
@@ -121,9 +129,10 @@ func isServeReport(path string) (bool, error) {
 
 // runServeDiff gates a fresh serving report against the committed baseline:
 // the warm-phase p50 must not grow past threshold, and the zipf phase must
-// uphold the coalescing invariant (unique computes only). Other phases are
+// uphold the coalescing invariant (unique computes only). With p99Threshold
+// > 0 the warm-phase p99 gates too (opt-in, generous). Other phases are
 // printed for context without gating.
-func runServeDiff(out io.Writer, oldPath, newPath string, threshold float64) (bool, error) {
+func runServeDiff(out io.Writer, oldPath, newPath string, threshold, p99Threshold float64) (bool, error) {
 	oldRep, err := readServeReport(oldPath)
 	if err != nil {
 		return false, err
@@ -132,20 +141,27 @@ func runServeDiff(out io.Writer, oldPath, newPath string, threshold float64) (bo
 	if err != nil {
 		return false, err
 	}
-	oldP50 := make(map[string]float64, len(oldRep.Phases))
+	type p50p99 struct{ p50, p99 float64 }
+	oldBy := make(map[string]p50p99, len(oldRep.Phases))
 	for _, p := range oldRep.Phases {
-		oldP50[p.Name] = p.P50Ms
+		oldBy[p.Name] = p50p99{p.P50Ms, p.P99Ms}
 	}
-	fmt.Fprintf(out, "benchdiff (serving) %s -> %s (warm p50 fails past %+.0f%%)\n",
-		oldPath, newPath, 100*threshold)
+	if p99Threshold > 0 {
+		fmt.Fprintf(out, "benchdiff (serving) %s -> %s (warm p50 fails past %+.0f%%, warm p99 past %+.0f%%)\n",
+			oldPath, newPath, 100*threshold, 100*p99Threshold)
+	} else {
+		fmt.Fprintf(out, "benchdiff (serving) %s -> %s (warm p50 fails past %+.0f%%)\n",
+			oldPath, newPath, 100*threshold)
+	}
 	ok := true
 	for _, p := range newRep.Phases {
-		old, found := oldP50[p.Name]
+		old, found := oldBy[p.Name]
 		if !found {
-			fmt.Fprintf(out, "  new   %-6s p50 %10.3f ms\n", p.Name, p.P50Ms)
+			fmt.Fprintf(out, "  new   %-8s p50 %10.3f ms  p99 %10.3f ms\n", p.Name, p.P50Ms, p.P99Ms)
 			continue
 		}
-		delta := frac(p.P50Ms, old)
+		delta := frac(p.P50Ms, old.p50)
+		delta99 := frac(p.P99Ms, old.p99)
 		status := "info"
 		if p.Name == "warm" {
 			status = "ok"
@@ -153,9 +169,13 @@ func runServeDiff(out io.Writer, oldPath, newPath string, threshold float64) (bo
 				status = "FAIL"
 				ok = false
 			}
+			if p99Threshold > 0 && delta99 > p99Threshold {
+				status = "FAIL"
+				ok = false
+			}
 		}
-		fmt.Fprintf(out, "  %-5s %-6s p50 %8.3f -> %8.3f ms  %+7.1f%%\n",
-			status, p.Name, old, p.P50Ms, 100*delta)
+		fmt.Fprintf(out, "  %-5s %-8s p50 %8.3f -> %8.3f ms  %+7.1f%%   p99 %8.3f -> %8.3f ms  %+7.1f%%\n",
+			status, p.Name, old.p50, p.P50Ms, 100*delta, old.p99, p.P99Ms, 100*delta99)
 	}
 	if z := newRep.Zipf; z != nil {
 		if z.UniqueComputesOnly {

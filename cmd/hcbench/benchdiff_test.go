@@ -32,7 +32,7 @@ func TestBenchDiffPassesWithinThreshold(t *testing.T) {
 		{Name: "K2", NsPerOp: 400, AllocsPerOp: 0},
 	})
 	var buf strings.Builder
-	ok, err := runBenchDiff(&buf, oldP, newP, 0.20)
+	ok, err := runBenchDiff(&buf, oldP, newP, 0.20, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +46,7 @@ func TestBenchDiffFailsOnNsRegression(t *testing.T) {
 	oldP := writeReport(t, dir, "old.json", []benchResult{{Name: "K1", NsPerOp: 1000, AllocsPerOp: 10}})
 	newP := writeReport(t, dir, "new.json", []benchResult{{Name: "K1", NsPerOp: 1300, AllocsPerOp: 10}})
 	var buf strings.Builder
-	ok, err := runBenchDiff(&buf, oldP, newP, 0.20)
+	ok, err := runBenchDiff(&buf, oldP, newP, 0.20, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +63,7 @@ func TestBenchDiffFailsOnAllocRegression(t *testing.T) {
 	oldP := writeReport(t, dir, "old.json", []benchResult{{Name: "K1", NsPerOp: 1000, AllocsPerOp: 10}})
 	newP := writeReport(t, dir, "new.json", []benchResult{{Name: "K1", NsPerOp: 1000, AllocsPerOp: 13}})
 	var buf strings.Builder
-	ok, err := runBenchDiff(&buf, oldP, newP, 0.20)
+	ok, err := runBenchDiff(&buf, oldP, newP, 0.20, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +77,7 @@ func TestBenchDiffZeroAllocBaseline(t *testing.T) {
 	oldP := writeReport(t, dir, "old.json", []benchResult{{Name: "K1", NsPerOp: 100, AllocsPerOp: 0}})
 	newP := writeReport(t, dir, "new.json", []benchResult{{Name: "K1", NsPerOp: 100, AllocsPerOp: 2}})
 	var buf strings.Builder
-	ok, err := runBenchDiff(&buf, oldP, newP, 0.20)
+	ok, err := runBenchDiff(&buf, oldP, newP, 0.20, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +91,7 @@ func TestBenchDiffAddedAndRemovedKernels(t *testing.T) {
 	oldP := writeReport(t, dir, "old.json", []benchResult{{Name: "Gone", NsPerOp: 100}})
 	newP := writeReport(t, dir, "new.json", []benchResult{{Name: "Added", NsPerOp: 100}})
 	var buf strings.Builder
-	ok, err := runBenchDiff(&buf, oldP, newP, 0.20)
+	ok, err := runBenchDiff(&buf, oldP, newP, 0.20, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +123,7 @@ func TestServeDiffGatesWarmP50(t *testing.T) {
 		`{"phases":[{"name":"cold","p50_ms":60},{"name":"warm","p50_ms":11},{"name":"zipf","p50_ms":40}],
 		  "zipf":{"distinct_requested":29,"characterizations":29,"unique_computes_only":true}}`)
 	var buf strings.Builder
-	ok, err := runBenchDiff(&buf, oldP, okP, 0.20)
+	ok, err := runBenchDiff(&buf, oldP, okP, 0.20, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +135,7 @@ func TestServeDiffGatesWarmP50(t *testing.T) {
 	badP := writeServeReport(t, dir, "bad.json",
 		`{"phases":[{"name":"warm","p50_ms":13}]}`)
 	buf.Reset()
-	ok, err = runBenchDiff(&buf, oldP, badP, 0.20)
+	ok, err = runBenchDiff(&buf, oldP, badP, 0.20, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,6 +147,50 @@ func TestServeDiffGatesWarmP50(t *testing.T) {
 	}
 }
 
+func TestServeDiffP99Gate(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeServeReport(t, dir, "old.json",
+		`{"phases":[{"name":"warm","p50_ms":10,"p99_ms":50}]}`)
+	// p99 5x worse, p50 fine.
+	newP := writeServeReport(t, dir, "new.json",
+		`{"phases":[{"name":"warm","p50_ms":10,"p99_ms":250}]}`)
+
+	// Off by default: the tail blowup is printed, not gated.
+	var buf strings.Builder
+	ok, err := runBenchDiff(&buf, oldP, newP, 0.20, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Errorf("p99 regression failed the diff with the gate off:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "p99") {
+		t.Errorf("p99 columns missing from the context output:\n%s", buf.String())
+	}
+
+	// Gated at the default threshold (3.0 = +300%): +400% fails.
+	buf.Reset()
+	ok, err = runBenchDiff(&buf, oldP, newP, 0.20, 3.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Errorf("+400%% warm p99 passed with -gatep99:\n%s", buf.String())
+	}
+
+	// A tail within the generous threshold passes even when gated.
+	mildP := writeServeReport(t, dir, "mild.json",
+		`{"phases":[{"name":"warm","p50_ms":10,"p99_ms":120}]}`)
+	buf.Reset()
+	ok, err = runBenchDiff(&buf, oldP, mildP, 0.20, 3.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Errorf("+140%% warm p99 failed the generous gate:\n%s", buf.String())
+	}
+}
+
 func TestServeDiffGatesCoalescingInvariant(t *testing.T) {
 	dir := t.TempDir()
 	oldP := writeServeReport(t, dir, "old.json",
@@ -155,7 +199,7 @@ func TestServeDiffGatesCoalescingInvariant(t *testing.T) {
 		`{"phases":[{"name":"warm","p50_ms":10}],
 		  "zipf":{"distinct_requested":29,"characterizations":35,"unique_computes_only":false}}`)
 	var buf strings.Builder
-	ok, err := runBenchDiff(&buf, oldP, newP, 0.20)
+	ok, err := runBenchDiff(&buf, oldP, newP, 0.20, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,14 +213,14 @@ func TestBenchDiffRejectsMixedReportKinds(t *testing.T) {
 	kernel := writeReport(t, dir, "kernel.json", []benchResult{{Name: "K1", NsPerOp: 100}})
 	serve := writeServeReport(t, dir, "serve.json", `{"phases":[{"name":"warm","p50_ms":10}]}`)
 	var buf strings.Builder
-	if _, err := runBenchDiff(&buf, kernel, serve, 0.20); err == nil {
+	if _, err := runBenchDiff(&buf, kernel, serve, 0.20, 0); err == nil {
 		t.Error("kernel-vs-serving comparison accepted")
 	}
 }
 
 func TestBenchDiffMissingFile(t *testing.T) {
 	var buf strings.Builder
-	if _, err := runBenchDiff(&buf, "/nonexistent/a.json", "/nonexistent/b.json", 0.2); err == nil {
+	if _, err := runBenchDiff(&buf, "/nonexistent/a.json", "/nonexistent/b.json", 0.2, 0); err == nil {
 		t.Error("missing input accepted")
 	}
 }

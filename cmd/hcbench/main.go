@@ -53,13 +53,17 @@ func run() (code int) {
 	bench := flag.String("bench", "", "run the kernel/engine benchmarks and write JSON results to this file (\"-\" for stdout)")
 	benchdiff := flag.Bool("benchdiff", false, "compare two benchmark JSON files (OLD NEW) and fail on regressions past -threshold")
 	threshold := flag.Float64("threshold", 0.20, "benchdiff: fractional ns/op or allocs/op regression that fails the comparison")
+	gateP99 := flag.Bool("gatep99", false, "benchdiff: additionally gate the serving report's warm p99 (opt-in; tails are noisy)")
+	p99Threshold := flag.Float64("p99threshold", 3.0, "benchdiff: fractional warm-p99 regression that fails when -gatep99 is set")
+	wirebench := flag.String("wirebench", "", "run the request-decode micro-benchmarks (stdlib JSON vs streaming vs binary) and merge a decode_bench section into this serving report file (\"-\" for stdout)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	traceFile := flag.String("trace", "", "write a runtime execution trace to this file")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: hcbench [-list] [-md] [-parallel N] [experiment ...]\n")
 		fmt.Fprintf(os.Stderr, "       hcbench -bench FILE\n")
-		fmt.Fprintf(os.Stderr, "       hcbench -benchdiff [-threshold F] OLD.json NEW.json\n\n")
+		fmt.Fprintf(os.Stderr, "       hcbench -benchdiff [-threshold F] [-gatep99 [-p99threshold F]] OLD.json NEW.json\n")
+		fmt.Fprintf(os.Stderr, "       hcbench -wirebench BENCH_serve.json\n\n")
 		fmt.Fprintf(os.Stderr, "Regenerates the paper's figures and the extension studies.\n")
 		flag.PrintDefaults()
 	}
@@ -88,12 +92,24 @@ func run() (code int) {
 			fmt.Fprintf(os.Stderr, "hcbench: -benchdiff needs exactly two files, got %d\n", flag.NArg())
 			return 2
 		}
-		ok, err := runBenchDiff(os.Stdout, flag.Arg(0), flag.Arg(1), *threshold)
+		p99 := 0.0
+		if *gateP99 {
+			p99 = *p99Threshold
+		}
+		ok, err := runBenchDiff(os.Stdout, flag.Arg(0), flag.Arg(1), *threshold, p99)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "hcbench: benchdiff: %v\n", err)
 			return 2
 		}
 		if !ok {
+			return 1
+		}
+		return 0
+	}
+
+	if *wirebench != "" {
+		if err := runWireBench(*wirebench); err != nil {
+			fmt.Fprintf(os.Stderr, "hcbench: wirebench: %v\n", err)
 			return 1
 		}
 		return 0

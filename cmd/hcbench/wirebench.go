@@ -1,0 +1,130 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/server"
+	"repro/internal/wire"
+)
+
+// wireBenchShape is the decode micro-benchmark shape: the serving loadtest's
+// standard 150x80 environment (~250 KB as JSON, ~94 KB as a binary frame).
+const (
+	wireBenchTasks    = 150
+	wireBenchMachines = 80
+)
+
+// decodeBenchReport is the decode_bench section runWireBench merges into the
+// serving report: one record per ingestion path, same body content.
+type decodeBenchReport struct {
+	Shape      string        `json:"shape"`
+	JSONBytes  int           `json:"json_bytes"`
+	WireBytes  int           `json:"wire_bytes"`
+	GoMaxProcs int           `json:"gomaxprocs"`
+	GoVersion  string        `json:"go_version"`
+	Results    []benchResult `json:"results"`
+}
+
+// runWireBench measures the three ways a characterize body becomes a cache
+// key — the old stdlib path (encoding/json into the DTO, full Env
+// materialization), the streaming scanner, and the binary frame — and merges
+// the results into the serving report at path (creating it if absent), so
+// the decode numbers live next to the end-to-end latencies they explain.
+func runWireBench(path string) error {
+	rng := rand.New(rand.NewSource(1))
+	env, err := gen.RangeBased(wireBenchTasks, wireBenchMachines, 100, 10, rng)
+	if err != nil {
+		return err
+	}
+	jsonBody, err := json.Marshal(server.EnvToDTO(env))
+	if err != nil {
+		return err
+	}
+	wireBody, err := wire.AppendMatrix(nil, env.ETC())
+	if err != nil {
+		return err
+	}
+	wantKey := env.ContentKey()
+
+	rep := decodeBenchReport{
+		Shape:      fmt.Sprintf("%dx%d", wireBenchTasks, wireBenchMachines),
+		JSONBytes:  len(jsonBody),
+		WireBytes:  len(wireBody),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+	}
+	rep.Results = append(rep.Results, record("DecodeToKey/json-stdlib",
+		testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				var dto server.EnvDTO
+				if err := json.Unmarshal(jsonBody, &dto); err != nil {
+					b.Fatal(err)
+				}
+				e, err := dto.Env()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if e.ContentKey() != wantKey {
+					b.Fatal("stdlib path produced a different key")
+				}
+			}
+		})))
+	rep.Results = append(rep.Results, record("DecodeToKey/json-streaming",
+		testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				k, err := server.DecodeEnvContentKey(jsonBody, "application/json")
+				if err != nil {
+					b.Fatal(err)
+				}
+				if k != wantKey {
+					b.Fatal("streaming path produced a different key")
+				}
+			}
+		})))
+	rep.Results = append(rep.Results, record("DecodeToKey/binary",
+		testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				k, err := server.DecodeEnvContentKey(wireBody, wire.ContentTypeMatrix)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if k != wantKey {
+					b.Fatal("binary path produced a different key")
+				}
+			}
+		})))
+
+	if path == "-" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	// Merge: keep every other field of an existing serving report intact.
+	doc := map[string]json.RawMessage{}
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &doc); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	section, err := json.Marshal(rep)
+	if err != nil {
+		return err
+	}
+	doc["decode_bench"] = section
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}

@@ -8,18 +8,23 @@
 //	hcload [-url http://localhost:8080] [-c 8] [-n 500]
 //	       [-tasks 30] [-machines 16] [-seed 1] [-surge 0] [-out -]
 //
-// The run has three measured phases:
+// The run has five measured phases:
 //
-//	cold — n distinct environments, every request runs the full
-//	       Sinkhorn+SVD pipeline;
-//	warm — the identical n bodies again, served from the content-addressed
-//	       result cache;
-//	zipf — n requests drawn Zipf-skewed from a small pool of fresh
-//	       environments, the duplicate-heavy pattern sweep tooling
-//	       produces. The report's zipf section checks the coalescing
-//	       invariant: characterizations grow by exactly the number of
-//	       distinct keys, with every concurrent duplicate absorbed by
-//	       the cache or the singleflight layer.
+//	cold     — n distinct JSON environments, every request runs the full
+//	           Sinkhorn+SVD pipeline;
+//	warm     — the identical n bodies again, served from the
+//	           content-addressed result cache;
+//	cold_bin — n fresh environments as application/x-hc-matrix binary
+//	           frames, paying the pipeline but not the JSON decode;
+//	warm_bin — the identical binary bodies again: the pure decode+lookup
+//	           cost of the binary path (the report's binary section
+//	           compares the two warm p50s directly);
+//	zipf     — n requests drawn Zipf-skewed from a small pool of fresh
+//	           environments, the duplicate-heavy pattern sweep tooling
+//	           produces. The report's zipf section checks the coalescing
+//	           invariant: characterizations grow by exactly the number of
+//	           distinct keys, with every concurrent duplicate absorbed by
+//	           the cache or the singleflight layer.
 //
 // The report carries per-phase latency quantiles and throughput, the
 // server's cache hit rate scraped from /metrics, and the cold/warm p50
@@ -33,11 +38,12 @@
 // warm-started from the baseline's converged scaling vectors. The whatif
 // section's ratio is the measured warm-start speedup on the service path.
 //
-// After the measured phases, two ?trace=1 probe requests — one fresh body
-// (cold) and its immediate repeat (warm) — record the server's own stage
-// breakdown (decode, cache_lookup, queue_wait, compute, and the nested
-// pipeline spans) as trace_cold / trace_warm, showing where each kind of
-// request spends its time inside the server rather than on the wire.
+// After the measured phases, ?trace=1 probe requests — a fresh JSON body
+// and its immediate repeat, then the same pair as binary frames — record the
+// server's own stage breakdown (decode, cache_lookup, queue_wait, compute,
+// and the nested pipeline spans) as trace_cold / trace_warm /
+// trace_cold_bin / trace_warm_bin, showing where each kind of request spends
+// its time inside the server rather than on the wire.
 package main
 
 import (
@@ -59,6 +65,7 @@ import (
 
 	"repro/internal/gen"
 	"repro/internal/server"
+	"repro/internal/wire"
 )
 
 type phaseReport struct {
@@ -129,6 +136,10 @@ type report struct {
 	// ColdWarmP50Ratio is cold-phase p50 over warm-phase p50: how much
 	// latency the result cache removes for a repeated environment.
 	ColdWarmP50Ratio float64 `json:"cold_warm_p50_ratio"`
+	// WarmJSONBinP50Ratio is the JSON warm p50 over the binary warm p50: on
+	// a cache hit the request is almost pure decode, so this ratio is the
+	// decode win of the binary wire format in isolation.
+	WarmJSONBinP50Ratio float64 `json:"warm_json_bin_p50_ratio,omitempty"`
 	// Surge429 counts requests shed with 429 during the optional -surge
 	// burst (absent when -surge 0).
 	Surge429 *int `json:"surge_429,omitempty"`
@@ -138,6 +149,10 @@ type report struct {
 	// ?trace=1 timings echo, so they measure time inside the server only.
 	TraceCold *stageBreakdown `json:"trace_cold,omitempty"`
 	TraceWarm *stageBreakdown `json:"trace_warm,omitempty"`
+	// TraceColdBin and TraceWarmBin are the same two probes sent as binary
+	// matrix frames, isolating what the wire format does to the decode stage.
+	TraceColdBin *stageBreakdown `json:"trace_cold_bin,omitempty"`
+	TraceWarmBin *stageBreakdown `json:"trace_warm_bin,omitempty"`
 }
 
 // stageBreakdown is one traced request's timings as recorded in the report:
@@ -190,7 +205,7 @@ func main() {
 		GoMaxProcs:       runtime.GOMAXPROCS(0),
 	}
 	for _, phase := range []string{"cold", "warm"} {
-		pr, err := runPhase(client, base, phase, bodies, *conc)
+		pr, err := runPhase(client, base, phase, bodies, *conc, "application/json")
 		if err != nil {
 			fatal("phase %s: %v", phase, err)
 		}
@@ -198,6 +213,23 @@ func main() {
 	}
 	if rep.Phases[1].P50Ms > 0 {
 		rep.ColdWarmP50Ratio = rep.Phases[0].P50Ms / rep.Phases[1].P50Ms
+	}
+
+	// Binary phases: fresh environments (seed offset keeps cold_bin truly
+	// cold) encoded as application/x-hc-matrix frames.
+	binBodies, err := makeBinaryBodies(*n, *tasks, *machines, *seed+5_000_000)
+	if err != nil {
+		fatal("generating binary bodies: %v", err)
+	}
+	for _, phase := range []string{"cold_bin", "warm_bin"} {
+		pr, err := runPhase(client, base, phase, binBodies, *conc, wire.ContentTypeMatrix)
+		if err != nil {
+			fatal("phase %s: %v", phase, err)
+		}
+		rep.Phases = append(rep.Phases, pr)
+	}
+	if rep.Phases[3].P50Ms > 0 {
+		rep.WarmJSONBinP50Ratio = rep.Phases[1].P50Ms / rep.Phases[3].P50Ms
 	}
 
 	// zipf phase: n draws over a small fresh pool, heavily skewed so hot
@@ -212,7 +244,7 @@ func main() {
 		if err != nil {
 			fatal("scraping /metrics before zipf: %v", err)
 		}
-		pr, err := runPhase(client, base, "zipf", seq, *conc)
+		pr, err := runPhase(client, base, "zipf", seq, *conc, "application/json")
 		if err != nil {
 			fatal("phase zipf: %v", err)
 		}
@@ -266,7 +298,20 @@ func main() {
 			name string
 			dst  **stageBreakdown
 		}{{"cold", &rep.TraceCold}, {"warm", &rep.TraceWarm}} {
-			sb, err := tracedRequest(client, base, probe[0])
+			sb, err := tracedRequest(client, base, probe[0], "application/json")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "hcload: trace_%s probe: %v\n", p.name, err)
+				break
+			}
+			*p.dst = sb
+		}
+	}
+	if binProbe, err := makeBinaryBodies(1, *tasks, *machines, *seed+6_000_000); err == nil {
+		for _, p := range []struct {
+			name string
+			dst  **stageBreakdown
+		}{{"cold_bin", &rep.TraceColdBin}, {"warm_bin", &rep.TraceWarmBin}} {
+			sb, err := tracedRequest(client, base, binProbe[0], wire.ContentTypeMatrix)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "hcload: trace_%s probe: %v\n", p.name, err)
 				break
@@ -307,6 +352,25 @@ func makeBodies(n, tasks, machines int, seed int64) ([][]byte, error) {
 			return nil, err
 		}
 		b, err := json.Marshal(server.EnvToDTO(env))
+		if err != nil {
+			return nil, err
+		}
+		bodies[i] = b
+	}
+	return bodies, nil
+}
+
+// makeBinaryBodies pre-renders n distinct environments as binary matrix
+// frames (one frame per body — the characterize wire form).
+func makeBinaryBodies(n, tasks, machines int, seed int64) ([][]byte, error) {
+	bodies := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		rng := rand.New(rand.NewSource(seed + int64(i)))
+		env, err := gen.RangeBased(tasks, machines, 100, 10, rng)
+		if err != nil {
+			return nil, err
+		}
+		b, err := wire.AppendMatrix(nil, env.ETC())
 		if err != nil {
 			return nil, err
 		}
@@ -447,7 +511,7 @@ func waitHealthy(client *http.Client, base string, budget time.Duration) error {
 }
 
 // runPhase sends every body once over conc workers and aggregates latencies.
-func runPhase(client *http.Client, base, name string, bodies [][]byte, conc int) (phaseReport, error) {
+func runPhase(client *http.Client, base, name string, bodies [][]byte, conc int, contentType string) (phaseReport, error) {
 	var (
 		next      atomic.Int64
 		errs      atomic.Int64
@@ -468,7 +532,7 @@ func runPhase(client *http.Client, base, name string, bodies [][]byte, conc int)
 					break
 				}
 				t0 := time.Now()
-				resp, err := client.Post(base+"/v1/characterize", "application/json", bytes.NewReader(bodies[i]))
+				resp, err := client.Post(base+"/v1/characterize", contentType, bytes.NewReader(bodies[i]))
 				if err != nil {
 					errs.Add(1)
 					continue
@@ -546,8 +610,8 @@ func runSurge(client *http.Client, base string, burst, tasks, machines int, seed
 
 // tracedRequest sends one ?trace=1 characterize request and returns the
 // server-reported stage breakdown from the response's timings field.
-func tracedRequest(client *http.Client, base string, body []byte) (*stageBreakdown, error) {
-	resp, err := client.Post(base+"/v1/characterize?trace=1", "application/json", bytes.NewReader(body))
+func tracedRequest(client *http.Client, base string, body []byte, contentType string) (*stageBreakdown, error) {
+	resp, err := client.Post(base+"/v1/characterize?trace=1", contentType, bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}

@@ -262,9 +262,14 @@ func TestCLIPipeline(t *testing.T) {
 		if err := json.Unmarshal(data, &rep); err != nil {
 			t.Fatalf("report is not JSON: %v\n%s", err, data)
 		}
-		if len(rep.Phases) != 3 || rep.Phases[0].Name != "cold" ||
-			rep.Phases[1].Name != "warm" || rep.Phases[2].Name != "zipf" {
+		wantPhases := []string{"cold", "warm", "cold_bin", "warm_bin", "zipf"}
+		if len(rep.Phases) != len(wantPhases) {
 			t.Fatalf("unexpected phases: %s", data)
+		}
+		for i, name := range wantPhases {
+			if rep.Phases[i].Name != name {
+				t.Fatalf("phase %d is %q, want %q: %s", i, rep.Phases[i].Name, name, data)
+			}
 		}
 		for _, p := range rep.Phases {
 			if p.Requests != 20 || p.Errors != 0 {

@@ -1,0 +1,116 @@
+package hetero_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/hetero"
+)
+
+// TestEnvBinaryRoundTrip: encode → decode preserves the ETC matrix bit-for-
+// bit, including impossible pairings, and the content key is stable across
+// the trip (names and weights do not cross the wire, and do not affect it).
+func TestEnvBinaryRoundTrip(t *testing.T) {
+	env, err := hetero.FromETC([][]float64{
+		{10.2, math.Inf(1), 9.5},
+		{44.0, 12.9, 30.1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := hetero.AppendEnvBinary(nil, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, n, err := hetero.DecodeEnvBinary(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(buf) {
+		t.Errorf("consumed %d of %d bytes", n, len(buf))
+	}
+	if back.Tasks() != 2 || back.Machines() != 3 {
+		t.Fatalf("decoded shape %dx%d, want 2x3", back.Tasks(), back.Machines())
+	}
+	etc, backETC := env.ETC(), back.ETC()
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if math.Float64bits(etc.At(i, j)) != math.Float64bits(backETC.At(i, j)) {
+				t.Errorf("ETC(%d,%d) = %g, want %g", i, j, backETC.At(i, j), etc.At(i, j))
+			}
+		}
+	}
+	if hetero.EnvContentKey(back) != hetero.EnvContentKey(env) {
+		t.Error("content key changed across the wire")
+	}
+	// The decoded environment characterizes identically.
+	if p, q := hetero.Characterize(env), hetero.Characterize(back); p.MPH != q.MPH || p.TDH != q.TDH {
+		t.Error("round-tripped environment characterizes differently")
+	}
+}
+
+// TestEnvBinaryConcatenation: appended frames decode back in order.
+func TestEnvBinaryConcatenation(t *testing.T) {
+	a, err := hetero.FromETC([][]float64{{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := hetero.FromETC([][]float64{{3}, {4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := hetero.AppendEnvBinary(nil, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf, err = hetero.AppendEnvBinary(buf, b); err != nil {
+		t.Fatal(err)
+	}
+	ga, n, err := hetero.DecodeEnvBinary(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, n2, err := hetero.DecodeEnvBinary(buf[n:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n+n2 != len(buf) {
+		t.Errorf("frames consumed %d+%d of %d bytes", n, n2, len(buf))
+	}
+	if ga.Machines() != 2 || gb.Tasks() != 2 {
+		t.Errorf("decoded shapes %dx%d and %dx%d, want 1x2 and 2x1",
+			ga.Tasks(), ga.Machines(), gb.Tasks(), gb.Machines())
+	}
+}
+
+// TestEnvContentKeySemantics: the key tracks hashed content (cells, shape,
+// weights) and ignores names.
+func TestEnvContentKeySemantics(t *testing.T) {
+	env, err := hetero.FromETC([][]float64{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := hetero.EnvContentKey(env)
+
+	named, err := env.WithTaskNames([]string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hetero.EnvContentKey(named) != base {
+		t.Error("names changed the content key; the measures ignore them")
+	}
+	weighted, err := env.WithWeights([]float64{2, 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hetero.EnvContentKey(weighted) == base {
+		t.Error("weights did not change the content key; the measures use them")
+	}
+	other, err := hetero.FromETC([][]float64{{1, 2}, {3, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hetero.EnvContentKey(other) == base {
+		t.Error("different cells collided")
+	}
+}

@@ -52,6 +52,7 @@ import (
 	"repro/internal/sched"
 	"repro/internal/sinkhorn"
 	"repro/internal/spec"
+	"repro/internal/wire"
 )
 
 // Env is a heterogeneous computing environment: an ETC/ECS matrix with task
@@ -88,6 +89,37 @@ func FromECS(rows [][]float64) (*Env, error) {
 // a leading task-name column, then one row per task type ("inf" marks an
 // impossible pairing).
 func ReadETCCSV(r io.Reader) (*Env, error) { return etcmat.ReadETCCSV(r) }
+
+// AppendEnvBinary appends the environment's ETC matrix as one binary wire
+// frame (the application/x-hc-matrix format the serving tier ingests; see
+// API.md §Binary wire format) and returns the extended buffer. Frames are
+// self-delimiting, so repeated appends build a valid batch body.
+//
+// Only the matrix crosses the wire: names and weights are not part of the
+// frame (the measures ignore names; clients needing weights use JSON).
+func AppendEnvBinary(dst []byte, env *Env) ([]byte, error) {
+	return wire.AppendMatrix(dst, env.ETC())
+}
+
+// DecodeEnvBinary decodes one binary matrix frame from data into an
+// environment, returning the bytes consumed so concatenated frames compose.
+func DecodeEnvBinary(data []byte) (*Env, int, error) {
+	m, n, err := wire.DecodeMatrix(data)
+	if err != nil {
+		return nil, 0, err
+	}
+	env, err := etcmat.NewFromETC(m)
+	if err != nil {
+		return nil, 0, err
+	}
+	return env, n, nil
+}
+
+// EnvContentKey returns the environment's canonical content address: the
+// SHA-256 the serving tier keys its result cache on. Two environments share
+// a key exactly when they agree on dimensions, ECS entries and weights
+// (names are excluded — the measures ignore them).
+func EnvContentKey(env *Env) [32]byte { return env.ContentKey() }
 
 // Characterize computes the environment's full heterogeneity profile. It
 // never fails: a non-standardizable environment (paper Sec. VI) yields

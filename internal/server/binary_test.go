@@ -1,0 +1,304 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/matrix"
+	"repro/internal/wire"
+)
+
+// etcFrame encodes an ETC matrix as one wire frame.
+func etcFrame(t *testing.T, rows [][]float64) []byte {
+	t.Helper()
+	buf, err := wire.AppendMatrix(nil, matrix.FromRows(rows))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf
+}
+
+func postRaw(t *testing.T, ts *httptest.Server, path, contentType, accept string, body []byte) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, ts.URL+path, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", contentType)
+	if accept != "" {
+		req.Header.Set("Accept", accept)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+// TestBinaryCharacterize covers the full binary round trip: matrix frame in,
+// profile frame out, sharing a cache entry with the equivalent JSON request.
+func TestBinaryCharacterize(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	frame := etcFrame(t, [][]float64{
+		{10, math.Inf(1), 7},
+		{4, 2, 9},
+		{5, 6, 1},
+	})
+
+	resp, body := postRaw(t, ts, "/v1/characterize", wire.ContentTypeMatrix, wire.ContentTypeProfile, frame)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != wire.ContentTypeProfile {
+		t.Fatalf("Content-Type %q, want %q", ct, wire.ContentTypeProfile)
+	}
+	p, n, err := wire.DecodeProfile(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(body) {
+		t.Errorf("profile frame consumed %d of %d response bytes", n, len(body))
+	}
+	if p.Tasks != 3 || p.Machines != 3 {
+		t.Errorf("shape %dx%d, want 3x3", p.Tasks, p.Machines)
+	}
+	if p.Cached {
+		t.Error("first request reported cached")
+	}
+
+	// The same environment as JSON (envBody is this exact matrix) must hit
+	// the entry the binary request seeded.
+	resp2, jsonBody := post(t, ts, "/v1/characterize", "application/json", envBody)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp2.StatusCode, jsonBody)
+	}
+	jp := decodeProfile(t, jsonBody)
+	if !jp.Cached {
+		t.Error("JSON request missed the cache entry the binary request seeded")
+	}
+	if jp.MPH != p.MPH || jp.TDH != p.TDH || jp.COV != p.COV {
+		t.Error("binary and JSON profiles disagree on the measures")
+	}
+	if jp.TMA == nil || !p.TMAValid || *jp.TMA != p.TMA {
+		t.Errorf("TMA mismatch: json=%v binary=(%g valid=%v)", jp.TMA, p.TMA, p.TMAValid)
+	}
+
+	// Binary request, default Accept → JSON profile envelope.
+	resp3, body3 := postRaw(t, ts, "/v1/characterize", wire.ContentTypeMatrix, "", frame)
+	if resp3.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp3.StatusCode, body3)
+	}
+	if ct := resp3.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type %q, want application/json", ct)
+	}
+	if !decodeProfile(t, string(body3)).Cached {
+		t.Error("binary replay missed the cache")
+	}
+}
+
+// TestBinaryCharacterizeRejects pins the error behavior of the binary intake:
+// errors are always the JSON envelope, whatever the request encoding.
+func TestBinaryCharacterizeRejects(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	valid := etcFrame(t, [][]float64{{1, 2}, {3, 4}})
+	cases := map[string][]byte{
+		"trailing bytes":  append(append([]byte(nil), valid...), 0xff),
+		"truncated":       valid[:len(valid)-4],
+		"garbage":         []byte("not a frame"),
+		"zero etc cell":   etcFrame(t, [][]float64{{1, 0}, {3, 4}}),
+		"negative cell":   etcFrame(t, [][]float64{{1, -2}, {3, 4}}),
+		"profile kind in": func() []byte { b := append([]byte(nil), valid...); b[5] = wire.KindProfile; return b }(),
+	}
+	for name, body := range cases {
+		t.Run(name, func(t *testing.T) {
+			resp, b := postRaw(t, ts, "/v1/characterize", wire.ContentTypeMatrix, "", body)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status %d, want 400: %s", resp.StatusCode, b)
+			}
+			var env apiError
+			if err := json.Unmarshal(b, &env); err != nil {
+				t.Fatalf("binary-request error is not the JSON envelope: %s", b)
+			}
+			if env.Error.Code != "invalid_request" || env.Error.Message == "" {
+				t.Errorf("envelope = %+v", env.Error)
+			}
+		})
+	}
+}
+
+// TestBinaryBatch sends concatenated frames and expects the usual JSON batch
+// response, with dedup and caching behaving exactly as in the JSON form.
+func TestBinaryBatch(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	a := etcFrame(t, [][]float64{{10, 20}, {30, 15}})
+	b := etcFrame(t, [][]float64{{1, 2, 3}, {4, 5, 6}})
+	body := append(append(append([]byte(nil), a...), b...), a...) // a, b, a
+
+	resp, out := postRaw(t, ts, "/v1/characterize/batch", wire.ContentTypeMatrix, "", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, out)
+	}
+	var br batchResponse
+	if err := json.Unmarshal(out, &br); err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Profiles) != 3 {
+		t.Fatalf("%d profiles, want 3", len(br.Profiles))
+	}
+	for i, item := range br.Profiles {
+		if item.Error != "" {
+			t.Errorf("item %d failed: %s", i, item.Error)
+		}
+	}
+	if br.Profiles[0].Profile.MPH != br.Profiles[2].Profile.MPH {
+		t.Error("duplicate frames produced different profiles")
+	}
+	if br.Profiles[0].Profile.Machines != 2 || br.Profiles[1].Profile.Machines != 3 {
+		t.Error("frames decoded with wrong shapes")
+	}
+
+	// Replay: every item cached now.
+	_, out2 := postRaw(t, ts, "/v1/characterize/batch", wire.ContentTypeMatrix, "", body)
+	var br2 batchResponse
+	if err := json.Unmarshal(out2, &br2); err != nil {
+		t.Fatal(err)
+	}
+	for i, item := range br2.Profiles {
+		if item.Profile == nil || !item.Profile.Cached {
+			t.Errorf("replayed item %d not served from cache", i)
+		}
+	}
+
+	// An invalid frame mid-stream fails only its own item.
+	bad := etcFrame(t, [][]float64{{1, 0}})
+	mixed := append(append([]byte(nil), a...), bad...)
+	_, out3 := postRaw(t, ts, "/v1/characterize/batch", wire.ContentTypeMatrix, "", mixed)
+	var br3 batchResponse
+	if err := json.Unmarshal(out3, &br3); err != nil {
+		t.Fatal(err)
+	}
+	if len(br3.Profiles) != 2 || br3.Profiles[0].Error != "" || br3.Profiles[1].Error == "" {
+		t.Errorf("mixed batch = %+v, want item 0 ok and item 1 failed", br3.Profiles)
+	}
+}
+
+// TestBinaryWhatif runs the what-if study from a binary body.
+func TestBinaryWhatif(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	frame := etcFrame(t, [][]float64{{10, 20, 5}, {30, 15, 8}, {2, 4, 6}})
+	resp, out := postRaw(t, ts, "/v1/whatif", wire.ContentTypeMatrix, "", frame)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, out)
+	}
+	var wr whatifResponse
+	if err := json.Unmarshal(out, &wr); err != nil {
+		t.Fatal(err)
+	}
+	if len(wr.Deltas) != 6 {
+		t.Errorf("%d deltas, want 6 (3 tasks + 3 machines)", len(wr.Deltas))
+	}
+}
+
+// TestGenerateBinaryEcho asks /v1/generate for the binary response: the
+// generated ETC as a matrix frame followed by its profile frame, replayable
+// byte-exactly through binary characterize.
+func TestGenerateBinaryEcho(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	req := `{"kind":"range","tasks":4,"machines":3,"rtask":100,"rmach":10,"seed":7}`
+	resp, out := postRaw(t, ts, "/v1/generate", "application/json", wire.ContentTypeMatrix, []byte(req))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, out)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != wire.ContentTypeMatrix {
+		t.Fatalf("Content-Type %q, want %q", ct, wire.ContentTypeMatrix)
+	}
+	m, n, err := wire.DecodeMatrix(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, n2, err := wire.DecodeProfile(out[n:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n+n2 != len(out) {
+		t.Fatalf("frames consumed %d+%d of %d bytes", n, n2, len(out))
+	}
+	if r, c := m.Dims(); r != 4 || c != 3 || p.Tasks != 4 || p.Machines != 3 {
+		t.Errorf("matrix %dx%d / profile %dx%d, want 4x3", r, c, p.Tasks, p.Machines)
+	}
+
+	// Replay the echoed matrix frame: must be a cache hit (generate seeds the
+	// cache under the same content key the ingestion path computes).
+	resp2, out2 := postRaw(t, ts, "/v1/characterize", wire.ContentTypeMatrix, wire.ContentTypeProfile, out[:n])
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("replay status %d: %s", resp2.StatusCode, out2)
+	}
+	p2, _, err := wire.DecodeProfile(out2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p2.Cached {
+		t.Error("replaying the generate echo missed the cache")
+	}
+	if p2.MPH != p.MPH || p2.TDH != p.TDH {
+		t.Error("replayed profile disagrees with the generate profile")
+	}
+
+	// JSON response for the same generate request is unchanged by the binary
+	// path existing.
+	resp3, out3 := postRaw(t, ts, "/v1/generate", "application/json", "", []byte(req))
+	if resp3.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp3.StatusCode, out3)
+	}
+	var gr generateResponse
+	if err := json.Unmarshal(out3, &gr); err != nil {
+		t.Fatal(err)
+	}
+	if gr.Profile.MPH != p.MPH {
+		t.Error("JSON and binary generate disagree on the profile")
+	}
+}
+
+// TestGenerateBinaryEchoTargetedMix: targeted generation reports the mix via
+// the X-HC-Mix header in the binary form.
+func TestGenerateBinaryEchoTargetedMix(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	req := `{"kind":"targeted","tasks":6,"machines":5,"mph":0.5,"tdh":0.5,"tma":0.3,"tol":0.2,"seed":3}`
+	resp, out := postRaw(t, ts, "/v1/generate", "application/json", wire.ContentTypeMatrix, []byte(req))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, out)
+	}
+	if resp.Header.Get("X-HC-Mix") == "" {
+		t.Error("targeted binary response is missing the X-HC-Mix header")
+	}
+}
+
+// TestBinaryCSVContentType: CSV ingestion rides the same dispatch.
+func TestBinaryCSVContentType(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	csv := "task,m1,m2\na,10,20\nb,30,15\n"
+	for _, ct := range []string{"text/csv", "text/plain", "text/csv; charset=utf-8"} {
+		resp, out := postRaw(t, ts, "/v1/characterize", ct, "", []byte(csv))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", ct, resp.StatusCode, out)
+		}
+	}
+	// Same environment as JSON hits the CSV-seeded entry.
+	resp, out := post(t, ts, "/v1/characterize", "application/json", `{"etc":[[10,20],[30,15]]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, out)
+	}
+	if !decodeProfile(t, out).Cached {
+		t.Error("JSON request missed the CSV-seeded cache entry")
+	}
+}

@@ -2,9 +2,7 @@ package server
 
 import (
 	"container/list"
-	"crypto/sha256"
 	"encoding/binary"
-	"math"
 	"sync"
 
 	"repro/internal/core"
@@ -44,7 +42,10 @@ type cacheShard struct {
 	order *list.List // front = most recently used
 }
 
-type cacheKey [sha256.Size]byte
+// cacheKey is the environment's canonical content address. It is an alias
+// (not a defined type) so the streaming request decoders, which compute the
+// key cell-by-cell during the parse, hand it over without conversion.
+type cacheKey = etcmat.ContentKey
 
 type cacheEntry struct {
 	key     cacheKey
@@ -89,39 +90,10 @@ func (c *profileCache) shard(k cacheKey) *cacheShard {
 	return &c.shards[binary.LittleEndian.Uint64(k[:8])&c.mask]
 }
 
-// keyOf hashes the measure-relevant content of an environment.
+// keyOf hashes the measure-relevant content of an environment (the canonical
+// layout lives in etcmat; streaming decoders reproduce it incrementally).
 func keyOf(env *etcmat.Env) cacheKey {
-	h := sha256.New()
-	var buf [8]byte
-	writeU64 := func(v uint64) {
-		binary.LittleEndian.PutUint64(buf[:], v)
-		h.Write(buf[:])
-	}
-	t, m := env.Tasks(), env.Machines()
-	writeU64(uint64(t))
-	writeU64(uint64(m))
-	for i := 0; i < t; i++ {
-		for j := 0; j < m; j++ {
-			writeU64(floatBits(env.ECSAt(i, j)))
-		}
-	}
-	for _, w := range env.TaskWeights() {
-		writeU64(floatBits(w))
-	}
-	for _, w := range env.MachineWeights() {
-		writeU64(floatBits(w))
-	}
-	var k cacheKey
-	h.Sum(k[:0])
-	return k
-}
-
-// floatBits canonicalizes -0 to +0 so numerically equal matrices share keys.
-func floatBits(v float64) uint64 {
-	if v == 0 {
-		v = 0
-	}
-	return math.Float64bits(v)
+	return env.ContentKey()
 }
 
 // Get returns the cached profile for the key, bumping its recency.

@@ -1,16 +1,19 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"mime"
 	"net/http"
 	"runtime"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/core"
@@ -18,6 +21,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/obs"
 	"repro/internal/parallel"
+	"repro/internal/wire"
 )
 
 // writeJSON renders v with the standard headers; encoding failures are
@@ -30,22 +34,34 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	}
 }
 
-// writeError renders the uniform error envelope.
+// writeError renders the uniform error envelope. Errors are always JSON,
+// whatever wire form the request negotiated.
 func writeError(w http.ResponseWriter, status int, code, message string) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(apiError{Version: APIVersion, Error: apiErrorBody{Code: code, Message: message}})
 }
 
-// decodeJSON reads a size-capped JSON body into v.
+// writeDecodeError maps a request-decoding failure: a body over the byte cap
+// is its own condition — 413 with the stable code body_too_large — and
+// everything else is a 400 invalid_request.
+func writeDecodeError(w http.ResponseWriter, err error) {
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		writeError(w, http.StatusRequestEntityTooLarge, "body_too_large",
+			fmt.Sprintf("body exceeds %d bytes", tooLarge.Limit))
+		return
+	}
+	writeError(w, http.StatusBadRequest, "invalid_request", err.Error())
+}
+
+// decodeJSON reads a size-capped JSON body into v via encoding/json — the
+// path for small fixed-shape requests (generate). Environment-carrying
+// bodies go through readEnvPayload instead.
 func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	dec := json.NewDecoder(body)
 	if err := dec.Decode(v); err != nil {
-		var tooLarge *http.MaxBytesError
-		if errors.As(err, &tooLarge) {
-			return fmt.Errorf("body exceeds %d bytes", tooLarge.Limit)
-		}
 		return err
 	}
 	// Trailing garbage after the JSON value is a malformed request, not a
@@ -56,19 +72,88 @@ func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) error
 	return nil
 }
 
-// readEnv extracts the environment from a characterize/whatif request body:
-// JSON (EnvDTO) by default, raw CSV when the Content-Type says so.
-func (s *Server) readEnv(w http.ResponseWriter, r *http.Request) (*etcmat.Env, error) {
-	ct := r.Header.Get("Content-Type")
-	if mt, _, err := mime.ParseMediaType(ct); err == nil && (mt == "text/csv" || mt == "text/plain") {
-		body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-		return etcmat.ReadETCCSV(body)
+// readBody drains the request body into a pooled buffer under the configured
+// byte cap. An exceeded cap surfaces as *http.MaxBytesError for
+// writeDecodeError to map to 413. putBody recycles the buffer; the caller
+// must not retain the slice past it.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) (body []byte, putBody func(), err error) {
+	rc := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	bp := bodyPool.Get().(*[]byte)
+	buf := (*bp)[:0]
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := rc.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			*bp = buf
+			return buf, func() { bodyPool.Put(bp) }, nil
+		}
+		if err != nil {
+			*bp = buf
+			bodyPool.Put(bp)
+			return nil, nil, err
+		}
 	}
-	var req characterizeRequest
-	if err := s.decodeJSON(w, r, &req); err != nil {
-		return nil, err
+}
+
+// mediaType extracts the bare media type of a request's Content-Type.
+func mediaType(r *http.Request) string {
+	mt, _, err := mime.ParseMediaType(r.Header.Get("Content-Type"))
+	if err != nil {
+		return ""
 	}
-	return req.Env()
+	return mt
+}
+
+// acceptsBinary reports whether the request's Accept header asks for the
+// given binary content type.
+func acceptsBinary(r *http.Request, contentType string) bool {
+	accept := r.Header.Get("Accept")
+	if accept == "" {
+		return false
+	}
+	for _, part := range strings.Split(accept, ",") {
+		if mt, _, err := mime.ParseMediaType(strings.TrimSpace(part)); err == nil && mt == contentType {
+			return true
+		}
+	}
+	return false
+}
+
+// readEnvPayload reads and decodes the environment body of a characterize or
+// whatif request — binary matrix frame, CSV, or streaming JSON by content
+// type. On success the payload's content key is set and the caller owns
+// release; on error nothing is retained and the error maps through
+// writeDecodeError.
+func (s *Server) readEnvPayload(w http.ResponseWriter, r *http.Request) (p *envPayload, release func(), err error) {
+	body, putBody, err := s.readBody(w, r)
+	if err != nil {
+		return nil, nil, err
+	}
+	p = acquirePayload()
+	release = func() {
+		releasePayload(p)
+		putBody()
+	}
+	switch mediaType(r) {
+	case wire.ContentTypeMatrix:
+		err = p.parseBinaryEnv(body)
+	case "text/csv", "text/plain":
+		var env *etcmat.Env
+		if env, err = etcmat.ReadETCCSV(bytes.NewReader(body)); err == nil {
+			p.csvEnv = env
+			p.key = env.ContentKey()
+		}
+	default:
+		err = p.parseJSONEnv(body)
+	}
+	if err != nil {
+		release()
+		return nil, nil, err
+	}
+	return p, release, nil
 }
 
 // admit claims a compute slot for the request, translating the failure
@@ -108,36 +193,89 @@ func (s *Server) characterizeCached(ctx context.Context, env *etcmat.Env) (*core
 	return p, outcome != outcomeMiss
 }
 
-// handleCharacterize serves POST /v1/characterize.
+// profileToWire maps a computed profile onto the binary frame's fields.
+func profileToWire(p *core.Profile, cached bool) *wire.Profile {
+	wp := &wire.Profile{
+		Tasks: p.Tasks, Machines: p.Machines,
+		MPH: p.MPH, TDH: p.TDH,
+		RatioR: p.RatioR, GeoMeanG: p.GeoMeanG, COV: p.COV,
+		SinkhornIterations: p.SinkhornIterations, Trimmed: p.Trimmed,
+		Cached:      cached,
+		MachinePerf: p.MachinePerf, TaskDiff: p.TaskDiff,
+	}
+	if p.TMAErr == nil && !math.IsNaN(p.TMA) && !math.IsInf(p.TMA, 0) {
+		wp.TMA, wp.TMAValid = p.TMA, true
+	}
+	return wp
+}
+
+// writeBinary sends an encoded frame buffer with the given content type.
+func (s *Server) writeBinary(w http.ResponseWriter, contentType string, buf []byte) {
+	w.Header().Set("Content-Type", contentType)
+	w.Header().Set("Content-Length", strconv.Itoa(len(buf)))
+	w.WriteHeader(http.StatusOK)
+	if _, err := w.Write(buf); err != nil {
+		s.log.Error("writing binary response", "err", err)
+	}
+}
+
+// writeProfile renders a characterize result: the binary profile frame when
+// the client's Accept asks for it, the JSON envelope otherwise.
+func (s *Server) writeProfile(w http.ResponseWriter, r *http.Request, p *core.Profile, cached bool) {
+	if acceptsBinary(r, wire.ContentTypeProfile) {
+		buf, err := wire.AppendProfile(nil, profileToWire(p, cached))
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "internal", err.Error())
+			return
+		}
+		s.writeBinary(w, wire.ContentTypeProfile, buf)
+		return
+	}
+	dto := ProfileToDTO(p, cached)
+	dto.Version = APIVersion
+	dto.Timings = s.timingsFor(r)
+	s.writeJSON(w, http.StatusOK, dto)
+}
+
+// handleCharacterize serves POST /v1/characterize. The decode stage streams
+// the body once, hashing as it parses; a warm request never materializes an
+// Env at all — the content key is ready the moment the scan ends, and only a
+// cache miss pays for validation and the matrix clone.
 func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
 	sp := obs.StartSpan(r.Context(), "decode")
-	env, err := s.readEnv(w, r)
+	payload, release, err := s.readEnvPayload(w, r)
+	sp.End()
+	if err != nil {
+		writeDecodeError(w, err)
+		return
+	}
+	defer release()
+	// Cache lookup happens before admission: a hit costs one body scan and
+	// skips the queue entirely, so a warmed working set stays fast even when
+	// the compute pool is saturated.
+	sp = obs.StartSpan(r.Context(), "cache_lookup")
+	key := payload.key
+	p, hit := s.cache.Get(key)
+	var env *etcmat.Env
+	if !hit {
+		env, err = payload.env()
+	}
 	sp.End()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "invalid_request", err.Error())
 		return
 	}
-	// Cache lookup happens before admission: a hit costs one hash of the
-	// request matrix and skips the queue entirely, so a warmed working set
-	// stays fast even when the compute pool is saturated.
-	sp = obs.StartSpan(r.Context(), "cache_lookup")
-	key := keyOf(env)
-	p, hit := s.cache.Get(key)
-	sp.End()
 	if hit {
-		dto := ProfileToDTO(p, true)
-		dto.Version = APIVersion
-		dto.Timings = s.timingsFor(r)
-		s.writeJSON(w, http.StatusOK, dto)
+		s.writeProfile(w, r, p, true)
 		return
 	}
 	sp = obs.StartSpan(r.Context(), "queue_wait")
-	release, ok := s.admit(w, r)
+	release2, ok := s.admit(w, r)
 	sp.End()
 	if !ok {
 		return
 	}
-	defer release()
+	defer release2()
 	if err := r.Context().Err(); err != nil {
 		writeError(w, http.StatusGatewayTimeout, "timeout", "request deadline expired")
 		return
@@ -157,66 +295,97 @@ func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	dto := ProfileToDTO(p, outcome != outcomeMiss)
-	dto.Version = APIVersion
-	dto.Timings = s.timingsFor(r)
-	s.writeJSON(w, http.StatusOK, dto)
+	s.writeProfile(w, r, p, outcome != outcomeMiss)
 }
 
 // handleBatch serves POST /v1/characterize/batch. The request holds one
-// admission slot; identical environments within the request are deduplicated
-// by content key before the remaining unique misses fan out over the bounded
-// parallel pool, so canceling the request (timeout, client disconnect) stops
-// the remaining items.
+// admission slot; the body streams item by item through one reused payload
+// (JSON object array or concatenated binary frames), then identical
+// environments are deduplicated by content key before the remaining unique
+// misses fan out over the bounded parallel pool, so canceling the request
+// (timeout, client disconnect) stops the remaining items.
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	sp := obs.StartSpan(r.Context(), "decode")
-	var req batchRequest
-	err := s.decodeJSON(w, r, &req)
-	sp.End()
+	body, putBody, err := s.readBody(w, r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "invalid_request", err.Error())
+		sp.End()
+		writeDecodeError(w, err)
 		return
 	}
-	if len(req.Envs) == 0 {
+	defer putBody()
+	payload := acquirePayload()
+	defer releasePayload(payload)
+
+	var (
+		items []batchItem
+		keys  []cacheKey
+		envs  []*etcmat.Env // nil = invalid (materialized lazily below for cached items too, matching the old per-item Env() cost)
+		total int
+	)
+	collect := func(itemErr error) {
+		total++
+		if total > s.cfg.MaxBatchEnvs {
+			return // keep scanning for the true count; the request 400s below
+		}
+		var item batchItem
+		var key cacheKey
+		var env *etcmat.Env
+		if itemErr == nil {
+			key = payload.key
+			env, itemErr = payload.env()
+		}
+		if itemErr != nil {
+			item.Error = itemErr.Error()
+		}
+		items = append(items, item)
+		keys = append(keys, key)
+		envs = append(envs, env)
+	}
+	if mediaType(r) == wire.ContentTypeMatrix {
+		err = scanBinaryBatch(body, payload, collect)
+	} else {
+		err = scanJSONBatch(body, payload, collect)
+	}
+	sp.End()
+	if err != nil {
+		writeDecodeError(w, err)
+		return
+	}
+	if total == 0 {
 		writeError(w, http.StatusBadRequest, "invalid_request", "envs must be non-empty")
 		return
 	}
-	if len(req.Envs) > s.cfg.MaxBatchEnvs {
+	if total > s.cfg.MaxBatchEnvs {
 		writeError(w, http.StatusBadRequest, "invalid_request",
-			fmt.Sprintf("batch of %d exceeds the %d-environment limit", len(req.Envs), s.cfg.MaxBatchEnvs))
+			fmt.Sprintf("batch of %d exceeds the %d-environment limit", total, s.cfg.MaxBatchEnvs))
 		return
 	}
 
-	// Decode and cache-check every item, then deduplicate the remaining
-	// misses by content key: a batch that asks for the same environment
-	// twenty times (sweep tooling does) computes it once and shares the
-	// profile across the duplicates, which count under coalesced.
+	// Cache-check every item, then deduplicate the remaining misses by
+	// content key: a batch that asks for the same environment twenty times
+	// (sweep tooling does) computes it once and shares the profile across
+	// the duplicates, which count under coalesced.
 	sp = obs.StartSpan(r.Context(), "cache_lookup")
-	items := make([]batchItem, len(req.Envs))
-	keys := make([]cacheKey, len(req.Envs))
-	envs := make([]*etcmat.Env, len(req.Envs)) // nil = cached or invalid
-	firstOf := make(map[cacheKey]int)          // key -> first index needing compute
-	dupOf := make([]int, len(req.Envs))        // index -> first index, or -1
-	var uniq []int                             // first indices, in order
-	for i := range req.Envs {
+	firstOf := make(map[cacheKey]int) // key -> first index needing compute
+	dupOf := make([]int, len(items))  // index -> first index, or -1
+	var uniq []int                    // first indices, in order
+	for i := range items {
 		dupOf[i] = -1
-		env, err := req.Envs[i].Env()
-		if err != nil {
-			items[i].Error = err.Error()
+		if items[i].Error != "" {
 			continue
 		}
-		keys[i] = keyOf(env)
 		if p, ok := s.cache.Get(keys[i]); ok {
 			items[i].Profile = ProfileToDTO(p, true)
+			envs[i] = nil
 			continue
 		}
 		if first, ok := firstOf[keys[i]]; ok {
 			dupOf[i] = first
+			envs[i] = nil
 			s.coalesced.Inc()
 			continue
 		}
 		firstOf[keys[i]] = i
-		envs[i] = env
 		uniq = append(uniq, i)
 	}
 	sp.End()
@@ -270,7 +439,7 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	err := s.decodeJSON(w, r, &req)
 	sp.End()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "invalid_request", err.Error())
+		writeDecodeError(w, err)
 		return
 	}
 	var spec gen.Spec
@@ -309,6 +478,24 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	// form, so this recharacterization costs sums, not a second SVD.
 	p, cached := s.characterizeCached(r.Context(), g.Env)
 	sp.End()
+	// Binary echo: Accept: application/x-hc-matrix returns the generated ETC
+	// as a matrix frame followed by the profile frame, so sweep tooling can
+	// replay the environment through the binary ingestion path byte-exactly.
+	if acceptsBinary(r, wire.ContentTypeMatrix) {
+		buf, err := wire.AppendMatrix(nil, g.Env.ETC())
+		if err == nil {
+			buf, err = wire.AppendProfile(buf, profileToWire(p, cached))
+		}
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "internal", err.Error())
+			return
+		}
+		if spec.Kind() == gen.KindTargeted {
+			w.Header().Set("X-HC-Mix", strconv.FormatFloat(g.Mix, 'g', -1, 64))
+		}
+		s.writeBinary(w, wire.ContentTypeMatrix, buf)
+		return
+	}
 	var mix *float64
 	if spec.Kind() == gen.KindTargeted {
 		mix = &g.Mix
@@ -326,25 +513,25 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 // study (measure deltas from removing each task type and machine in turn).
 func (s *Server) handleWhatif(w http.ResponseWriter, r *http.Request) {
 	sp := obs.StartSpan(r.Context(), "decode")
-	var req whatifRequest
-	err := s.decodeJSON(w, r, &req)
+	payload, release, err := s.readEnvPayload(w, r)
 	sp.End()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "invalid_request", err.Error())
+		writeDecodeError(w, err)
 		return
 	}
-	env, err := req.Env()
+	env, err := payload.env()
+	release()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "invalid_request", err.Error())
 		return
 	}
 	sp = obs.StartSpan(r.Context(), "queue_wait")
-	release, ok := s.admit(w, r)
+	release2, ok := s.admit(w, r)
 	sp.End()
 	if !ok {
 		return
 	}
-	defer release()
+	defer release2()
 	if err := r.Context().Err(); err != nil {
 		writeError(w, http.StatusGatewayTimeout, "timeout", "request deadline expired")
 		return

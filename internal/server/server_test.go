@@ -144,15 +144,43 @@ func TestCharacterizeMalformed(t *testing.T) {
 	}
 }
 
+// TestBodyLimit pins the oversized-body contract: exceeding MaxBodyBytes is
+// its own condition — 413 with the stable code body_too_large — on every
+// body-decoding endpoint, distinct from the 400 invalid_request class.
 func TestBodyLimit(t *testing.T) {
 	_, ts := testServer(t, Config{MaxBodyBytes: 128})
 	big := `{"etc":[[` + strings.Repeat("1,", 200) + `1]]}`
-	resp, body := post(t, ts, "/v1/characterize", "application/json", big)
-	if resp.StatusCode != http.StatusBadRequest {
-		t.Fatalf("status %d, want 400: %s", resp.StatusCode, body)
+	for _, tc := range []struct {
+		name, path, ct, body string
+	}{
+		{"characterize json", "/v1/characterize", "application/json", big},
+		{"characterize binary", "/v1/characterize", "application/x-hc-matrix", string(make([]byte, 256))},
+		{"characterize csv", "/v1/characterize", "text/csv", "t," + strings.Repeat("m,", 200) + "m\n"},
+		{"batch", "/v1/characterize/batch", "application/json", `{"envs":[` + big + `]}`},
+		{"whatif", "/v1/whatif", "application/json", big},
+		{"generate", "/v1/generate", "application/json", `{"kind":"range","note":"` + strings.Repeat("x", 200) + `"}`},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, body := post(t, ts, tc.path, tc.ct, tc.body)
+			if resp.StatusCode != http.StatusRequestEntityTooLarge {
+				t.Fatalf("status %d, want 413: %s", resp.StatusCode, body)
+			}
+			var env apiError
+			if err := json.Unmarshal([]byte(body), &env); err != nil {
+				t.Fatalf("error envelope is not JSON: %s", body)
+			}
+			if env.Error.Code != "body_too_large" {
+				t.Errorf("code = %q, want body_too_large", env.Error.Code)
+			}
+			if !strings.Contains(env.Error.Message, "bytes") {
+				t.Errorf("limit error does not mention the byte cap: %s", body)
+			}
+		})
 	}
-	if !strings.Contains(body, "bytes") {
-		t.Errorf("limit error does not mention the byte cap: %s", body)
+	// Exactly at the cap is fine (128-byte cap, body well under it).
+	resp, body := post(t, ts, "/v1/characterize", "application/json", `{"etc":[[1,2],[3,4]]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("under-cap body: status %d: %s", resp.StatusCode, body)
 	}
 }
 

@@ -1,0 +1,300 @@
+package server
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/etcmat"
+	"repro/internal/wire"
+)
+
+// dtoKey decodes a body through the reference path — encoding/json into the
+// DTO, then full Env materialization — and returns the environment's content
+// key. The streaming scanner must agree with this on every valid body.
+func dtoKey(t *testing.T, body string) cacheKey {
+	t.Helper()
+	var req characterizeRequest
+	if err := json.Unmarshal([]byte(body), &req); err != nil {
+		t.Fatalf("reference decode: %v", err)
+	}
+	env, err := req.Env()
+	if err != nil {
+		t.Fatalf("reference Env(): %v", err)
+	}
+	return keyOf(env)
+}
+
+// streamKey decodes a body through the streaming scanner and returns the key
+// computed during the scan, plus the key of the materialized environment
+// (which must match — the incremental hash must reproduce Env.ContentKey).
+func streamKey(t *testing.T, body string) (scanned, materialized cacheKey) {
+	t.Helper()
+	p := acquirePayload()
+	defer releasePayload(p)
+	if err := p.parseJSONEnv([]byte(body)); err != nil {
+		t.Fatalf("streaming decode: %v", err)
+	}
+	env, err := p.env()
+	if err != nil {
+		t.Fatalf("streaming env(): %v", err)
+	}
+	return p.key, keyOf(env)
+}
+
+// TestStreamingKeyEquivalence is the core soundness check of the zero-copy
+// path: for every request-body shape, the content key computed cell-by-cell
+// during the scan equals the key the reference encoding/json + Env pipeline
+// produces. If these ever diverge, the cache would serve wrong profiles.
+func TestStreamingKeyEquivalence(t *testing.T) {
+	bodies := map[string]string{
+		"etc":                 envBody,
+		"etc with inf forms":  `{"etc":[[10,"INF",7],[4,"+inf",9],[5,6,"Inf"]]}`,
+		"ecs":                 `{"ecs":[[0.5,0,2.25],[1e-3,4,0.125]]}`,
+		"csv":                 `{"csv":"task,m1,m2\na,10,20\nb,30,15\n"}`,
+		"names":               `{"etc":[[1,2],[3,4]],"taskNames":["a","b"],"machineNames":["x","y"]}`,
+		"weights":             `{"etc":[[1,2],[3,4]],"taskWeights":[2,3],"machineWeights":[1,4]}`,
+		"unit weights":        `{"etc":[[1,2],[3,4]],"taskWeights":[1,1],"machineWeights":[1,1]}`,
+		"whitespace":          "{\n  \"etc\" : [ [ 10, \"inf\" ], [ 4 , 2 ] ]\n}",
+		"unknown keys":        `{"note":{"a":[1,true,null]},"etc":[[1,2]],"extra":"x"}`,
+		"escaped names":       `{"etc":[[1,2]],"taskNames":["a\tb"],"machineNames":["é","😀"]}`,
+		"scientific notation": `{"etc":[[1.5e2,2E-3],[0.5,1e1]]}`,
+	}
+	for name, body := range bodies {
+		t.Run(name, func(t *testing.T) {
+			want := dtoKey(t, body)
+			scanned, materialized := streamKey(t, body)
+			if scanned != want {
+				t.Errorf("scanned key diverges from reference key")
+			}
+			if materialized != want {
+				t.Errorf("materialized key diverges from reference key")
+			}
+		})
+	}
+}
+
+// TestStreamingKeyEquivalenceBinary checks that a binary frame of the same
+// ETC matrix lands on the same content key as its JSON form, so JSON and
+// binary clients share cache entries.
+func TestStreamingKeyEquivalenceBinary(t *testing.T) {
+	jsonBody := envBody
+	var req characterizeRequest
+	if err := json.Unmarshal([]byte(jsonBody), &req); err != nil {
+		t.Fatal(err)
+	}
+	env, err := req.Env()
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, err := wire.AppendMatrix(nil, env.ETC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeEnvContentKey(frame, wire.ContentTypeMatrix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != keyOf(env) {
+		t.Error("binary frame and JSON body hash to different keys")
+	}
+}
+
+// TestStreamingDistinctKeys: environments that differ in any hashed component
+// must land on different keys (weights and dims are hashed; names are not).
+func TestStreamingDistinctKeys(t *testing.T) {
+	base := `{"etc":[[1,2],[3,4]]}`
+	distinct := map[string]string{
+		"different cell":   `{"etc":[[1,2],[3,5]]}`,
+		"different shape":  `{"etc":[[1,2,3,4]]}`,
+		"task weights":     `{"etc":[[1,2],[3,4]],"taskWeights":[2,1]}`,
+		"machine weights":  `{"etc":[[1,2],[3,4]],"machineWeights":[2,1]}`,
+		"inf substitution": `{"etc":[[1,2],[3,"inf"]]}`,
+	}
+	baseKey, err := DecodeEnvContentKey([]byte(base), "application/json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, body := range distinct {
+		t.Run(name, func(t *testing.T) {
+			k, err := DecodeEnvContentKey([]byte(body), "application/json")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if k == baseKey {
+				t.Error("distinct environment collided with the base key")
+			}
+		})
+	}
+	// Names are intentionally excluded: the measures ignore them.
+	named := `{"etc":[[1,2],[3,4]],"taskNames":["a","b"],"machineNames":["x","y"]}`
+	k, err := DecodeEnvContentKey([]byte(named), "application/json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != baseKey {
+		t.Error("names changed the content key; they must not")
+	}
+}
+
+// TestStreamingErrorEquivalence pins the scanner's error behavior against the
+// reference path for semantically invalid bodies: same rejection, and for the
+// value-constraint cases the same wording.
+func TestStreamingErrorEquivalence(t *testing.T) {
+	cases := map[string]string{
+		"zero etc":      `{"etc":[[0,1],[2,3]]}`,
+		"negative etc":  `{"etc":[[-1,1],[2,3]]}`,
+		"negative ecs":  `{"ecs":[[1,-1],[1,1]]}`,
+		"infinite ecs":  `{"ecs":[[1,1e999],[1,1]]}`,
+		"ragged etc":    `{"etc":[[1,2],[3]]}`,
+		"both forms":    `{"etc":[[1,2]],"ecs":[[1,2]]}`,
+		"no form":       `{"taskNames":["a"]}`,
+		"bad names len": `{"etc":[[1,2]],"taskNames":["a","b"]}`,
+		"bad csv":       `{"csv":"not,a\nvalid"}`,
+	}
+	for name, body := range cases {
+		t.Run(name, func(t *testing.T) {
+			var req characterizeRequest
+			var refErr error
+			if refErr = json.Unmarshal([]byte(body), &req); refErr == nil {
+				_, refErr = req.Env()
+			}
+			p := acquirePayload()
+			defer releasePayload(p)
+			streamErr := p.parseJSONEnv([]byte(body))
+			if streamErr == nil {
+				_, streamErr = p.env()
+			}
+			if refErr == nil {
+				t.Fatalf("reference path accepted %q; this table is for invalid bodies", name)
+			}
+			if streamErr == nil {
+				t.Fatalf("streaming path accepted an invalid body the reference rejects: %v", refErr)
+			}
+			// Value-constraint errors carry exact positions; those wordings are
+			// part of the API surface and must match the reference.
+			if strings.Contains(refErr.Error(), "must be") && streamErr.Error() != refErr.Error() {
+				t.Errorf("wording drifted:\n stream %q\n ref    %q", streamErr, refErr)
+			}
+		})
+	}
+}
+
+// TestStreamingScannerRejects covers tokenization-level failures that must
+// abort the scan (and map to a global 400).
+func TestStreamingScannerRejects(t *testing.T) {
+	cases := map[string]string{
+		"not json":           "etc",
+		"trailing bytes":     envBody + "{}",
+		"unterminated":       `{"etc":[[1,2]`,
+		"bad literal":        `{"etc":[[1,2]],"x":tru}`,
+		"bad escape":         `{"etc":[[1,2]],"taskNames":["\q"]}`,
+		"truncated escape":   `{"etc":[[1,2]],"taskNames":["\u00`,
+		"control char":       "{\"etc\":[[1,2]],\"taskNames\":[\"a\x01\"]}",
+		"string in ecs":      `{"ecs":[["inf",1]]}`,
+		"non-inf string etc": `{"etc":[["soon",1]]}`,
+		"overflow number":    `{"etc":[[1e999,1]]}`,
+		"duplicate etc":      `{"etc":[[1,2]],"etc":[[3,4]]}`,
+		"bare number cell":   `{"etc":[[,1]]}`,
+	}
+	for name, body := range cases {
+		t.Run(name, func(t *testing.T) {
+			p := acquirePayload()
+			defer releasePayload(p)
+			if err := p.parseJSONEnv([]byte(body)); err == nil {
+				t.Error("scanner accepted a malformed body")
+			}
+		})
+	}
+}
+
+// TestStreamingBatchEquivalence runs the batch scanner against the reference
+// batchRequest decode: same item count, same per-item validity, same keys.
+func TestStreamingBatchEquivalence(t *testing.T) {
+	body := `{"envs":[
+		{"etc":[[10,20],[30,15]]},
+		{"ecs":[[1,-1],[1,1]]},
+		{"etc":[[10,20],[30,15]]},
+		{"csv":"task,m1,m2\na,1,2\nb,3,4\n"}
+	],"note":"ignored"}`
+	var ref batchRequest
+	if err := json.Unmarshal([]byte(body), &ref); err != nil {
+		t.Fatal(err)
+	}
+	var keys []cacheKey
+	var errsSeen []bool
+	p := acquirePayload()
+	defer releasePayload(p)
+	err := scanJSONBatch([]byte(body), p, func(itemErr error) {
+		errsSeen = append(errsSeen, itemErr != nil)
+		if itemErr == nil {
+			keys = append(keys, p.key)
+		} else {
+			keys = append(keys, cacheKey{})
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(errsSeen) != len(ref.Envs) {
+		t.Fatalf("scanned %d items, reference has %d", len(errsSeen), len(ref.Envs))
+	}
+	for i, dto := range ref.Envs {
+		env, refErr := dto.Env()
+		if (refErr != nil) != errsSeen[i] {
+			t.Errorf("item %d: stream invalid=%v, reference err=%v", i, errsSeen[i], refErr)
+			continue
+		}
+		if refErr == nil && keys[i] != keyOf(env) {
+			t.Errorf("item %d: key diverges from reference", i)
+		}
+	}
+	if keys[0] != keys[2] {
+		t.Error("identical batch items landed on different keys")
+	}
+}
+
+// TestStreamingWhatifDTOAlive keeps the reference whatif DTO in the
+// equivalence loop: its embedded EnvDTO must decode the same bodies the
+// streaming path serves.
+func TestStreamingWhatifDTOAlive(t *testing.T) {
+	var req whatifRequest
+	if err := json.Unmarshal([]byte(envBody), &req); err != nil {
+		t.Fatal(err)
+	}
+	env, err := req.Env()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := DecodeEnvContentKey([]byte(envBody), "application/json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != keyOf(env) {
+		t.Error("whatif DTO and streaming path disagree on the key")
+	}
+}
+
+// TestContentHasherMatchesEnv checks the incremental hasher against the
+// one-shot Env.ContentKey on an environment with every optional component.
+func TestContentHasherMatchesEnv(t *testing.T) {
+	env, err := etcmat.ReadETCCSV(strings.NewReader("task,m1,m2\na,10,20\nb,30,15\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err = env.WithWeights([]float64{2, 3}, []float64{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := etcmat.NewContentHasher()
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			h.WriteValue(env.ECSAt(i, j))
+		}
+	}
+	h.WriteValues([]float64{2, 3})
+	h.WriteValues([]float64{1, 4})
+	if h.Sum(2, 2) != env.ContentKey() {
+		t.Error("incremental hash diverges from Env.ContentKey")
+	}
+}

@@ -1,0 +1,134 @@
+package wire
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Profile is the wire-neutral measure profile a profile frame carries. It
+// mirrors the JSON ProfileDTO field for field; the server maps core.Profile
+// into it. TMA is meaningful only when TMAValid is set — an environment that
+// does not standardize has no TMA, and the frame stores NaN there.
+type Profile struct {
+	Tasks, Machines    int
+	MPH, TDH, TMA      float64
+	RatioR, GeoMeanG   float64
+	COV                float64
+	SinkhornIterations int
+	Trimmed            int
+	Cached             bool
+	TMAValid           bool
+	MachinePerf        []float64 // length Machines
+	TaskDiff           []float64 // length Tasks
+}
+
+// profileFixedSize is the payload size before the vectors: six float64
+// scalars, two uint32 counters and one flags byte.
+const profileFixedSize = 6*8 + 2*4 + 1
+
+// Profile flag bits.
+const (
+	profileFlagCached   = 1 << 0
+	profileFlagTMAValid = 1 << 1
+)
+
+// EncodedProfileSize returns the frame size of a profile for t tasks and m
+// machines.
+func EncodedProfileSize(t, m int) int {
+	return HeaderSize + profileFixedSize + (t+m)*8
+}
+
+// AppendProfile appends the binary frame of p to dst. The payload after the
+// header is:
+//
+//	offset  size  field
+//	0       8     mph
+//	8       8     tdh
+//	16      8     tma (NaN unless the tmaValid flag is set)
+//	24      8     ratioR
+//	32      8     geoMeanG
+//	40      8     cov
+//	48      4     sinkhornIterations (uint32 LE)
+//	52      4     trimmed (uint32 LE)
+//	56      1     flags (bit0 cached, bit1 tmaValid)
+//	57      8·M   machinePerf
+//	57+8·M  8·T   taskDiff
+func AppendProfile(dst []byte, p *Profile) ([]byte, error) {
+	if p.Tasks <= 0 || p.Machines <= 0 {
+		return nil, malformedf("cannot encode a %dx%d profile", p.Tasks, p.Machines)
+	}
+	if len(p.MachinePerf) != p.Machines || len(p.TaskDiff) != p.Tasks {
+		return nil, malformedf("profile vectors %d/%d do not match dims %dx%d",
+			len(p.TaskDiff), len(p.MachinePerf), p.Tasks, p.Machines)
+	}
+	base := len(dst)
+	dst = append(dst, make([]byte, EncodedProfileSize(p.Tasks, p.Machines))...)
+	putHeader(dst[base:], KindProfile, p.Tasks, p.Machines)
+	b := dst[base+HeaderSize:]
+	tma := p.TMA
+	if !p.TMAValid {
+		tma = math.NaN()
+	}
+	for i, v := range []float64{p.MPH, p.TDH, tma, p.RatioR, p.GeoMeanG, p.COV} {
+		binary.LittleEndian.PutUint64(b[i*8:], math.Float64bits(v))
+	}
+	binary.LittleEndian.PutUint32(b[48:], uint32(p.SinkhornIterations))
+	binary.LittleEndian.PutUint32(b[52:], uint32(p.Trimmed))
+	var flags byte
+	if p.Cached {
+		flags |= profileFlagCached
+	}
+	if p.TMAValid {
+		flags |= profileFlagTMAValid
+	}
+	b[56] = flags
+	off := int(profileFixedSize)
+	for _, v := range p.MachinePerf {
+		binary.LittleEndian.PutUint64(b[off:], math.Float64bits(v))
+		off += 8
+	}
+	for _, v := range p.TaskDiff {
+		binary.LittleEndian.PutUint64(b[off:], math.Float64bits(v))
+		off += 8
+	}
+	return dst, nil
+}
+
+// DecodeProfile decodes one profile frame from the front of data, returning
+// it and the number of bytes consumed.
+func DecodeProfile(data []byte) (*Profile, int, error) {
+	h, err := ParseHeader(data)
+	if err != nil {
+		return nil, 0, err
+	}
+	if h.Kind != KindProfile {
+		return nil, 0, malformedf("frame kind %d is not a profile", h.Kind)
+	}
+	b := h.Payload
+	p := &Profile{
+		Tasks:              h.Rows,
+		Machines:           h.Cols,
+		MPH:                math.Float64frombits(binary.LittleEndian.Uint64(b[0:])),
+		TDH:                math.Float64frombits(binary.LittleEndian.Uint64(b[8:])),
+		TMA:                math.Float64frombits(binary.LittleEndian.Uint64(b[16:])),
+		RatioR:             math.Float64frombits(binary.LittleEndian.Uint64(b[24:])),
+		GeoMeanG:           math.Float64frombits(binary.LittleEndian.Uint64(b[32:])),
+		COV:                math.Float64frombits(binary.LittleEndian.Uint64(b[40:])),
+		SinkhornIterations: int(binary.LittleEndian.Uint32(b[48:])),
+		Trimmed:            int(binary.LittleEndian.Uint32(b[52:])),
+		Cached:             b[56]&profileFlagCached != 0,
+		TMAValid:           b[56]&profileFlagTMAValid != 0,
+		MachinePerf:        make([]float64, h.Cols),
+		TaskDiff:           make([]float64, h.Rows),
+	}
+	off := int(profileFixedSize)
+	for i := range p.MachinePerf {
+		p.MachinePerf[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[off:]))
+		off += 8
+	}
+	for i := range p.TaskDiff {
+		p.TaskDiff[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[off:]))
+		off += 8
+	}
+	return p, h.Size, nil
+}

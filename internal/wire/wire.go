@@ -1,0 +1,76 @@
+// Package wire implements the compact binary wire format of the serving
+// tier: fixed little-endian frames carrying ETC matrices and measure
+// profiles, negotiated over HTTP with the application/x-hc-matrix and
+// application/x-hc-profile content types (see API.md §Binary wire format).
+//
+// The format exists because JSON decoding dominated request latency once the
+// characterization pipeline itself got fast: at 150×80 a JSON ETC body is
+// ~250 KB of decimal text that costs milliseconds to tokenize, while the
+// equivalent binary frame is 96 KB of float64 bits that decodes at memcpy
+// speed. At fleet shapes (10k×10k) the JSON form stops being viable at all.
+//
+// Every frame starts with the same 14-byte header:
+//
+//	offset  size  field
+//	0       4     magic "HCMX"
+//	4       1     version (currently 1)
+//	5       1     kind (1 = ETC matrix, 2 = profile)
+//	6       4     rows  (uint32 LE; tasks for profile frames)
+//	10      4     cols  (uint32 LE; machines for profile frames)
+//
+// A matrix frame's payload is rows·cols float64s, little-endian, row-major.
+// Entries follow the ETC convention of the JSON API: +Inf marks an
+// impossible task-machine pairing (the JSON string "inf"); NaN and -Inf have
+// no meaning and are rejected by both encoder and decoder. A profile frame's
+// payload is the fixed scalar block followed by the machinePerf and taskDiff
+// vectors (see AppendProfile).
+//
+// Frames are self-delimiting, so concatenation composes: a batch request is
+// matrix frames back to back, and a binary generate response is a matrix
+// frame followed by a profile frame. Decoders return the number of bytes
+// consumed to support this.
+package wire
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Magic is the 4-byte frame signature.
+const Magic = "HCMX"
+
+// Version is the format version this package reads and writes.
+const Version = 1
+
+// Frame kinds.
+const (
+	KindMatrix  = 1 // ETC matrix, float64 LE row-major payload
+	KindProfile = 2 // measure profile, fixed block + vectors
+)
+
+// HeaderSize is the length of the fixed frame header in bytes.
+const HeaderSize = 14
+
+// HTTP content types negotiating the binary format (see API.md):
+// ContentTypeMatrix on a request marks the body as matrix frames (one for
+// characterize/whatif, concatenated for batch) and on a generate request's
+// Accept header asks for the binary matrix+profile response;
+// ContentTypeProfile on a characterize request's Accept header asks for the
+// profile frame instead of JSON.
+const (
+	ContentTypeMatrix  = "application/x-hc-matrix"
+	ContentTypeProfile = "application/x-hc-profile"
+)
+
+// MaxDim bounds either frame dimension. It exists to fail fast on garbage
+// headers; real bodies are bounded by the server's MaxBodyBytes long before
+// this.
+const MaxDim = 1 << 28
+
+// ErrMalformed wraps every decode failure, so callers can classify any wire
+// error with a single errors.Is.
+var ErrMalformed = errors.New("wire: malformed frame")
+
+func malformedf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrMalformed, fmt.Sprintf(format, args...))
+}
