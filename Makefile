@@ -6,6 +6,13 @@ BENCH_NEW ?= BENCH_new.json
 # Serving-tier benchdiff inputs (cmd/hcload reports; diffed when NEW exists).
 BENCH_SERVE_OLD ?= BENCH_serve.json
 BENCH_SERVE_NEW ?= BENCH_serve_new.json
+# Fleet-scale sweep inputs (cmd/hcbench -scalebench; diffed when NEW exists).
+BENCH_SCALE_OLD ?= BENCH_scale.json
+BENCH_SCALE_NEW ?= BENCH_scale_new.json
+# Matrix edges for `make scalebench`. The default full sweep takes tens of
+# minutes (the 4k/10k rows are informational); the gated 1k row alone runs in
+# well under a minute with SCALE_SIZES=1000.
+SCALE_SIZES ?= 1000,4000,10000
 # Fractional ns/op or allocs/op growth that fails benchdiff (0.20 = 20%).
 BENCH_THRESHOLD ?= 0.20
 # Opt-in warm-p99 gate for serving reports: GATEP99=1 make benchdiff. The
@@ -15,7 +22,7 @@ GATEP99 ?=
 BENCH_P99_THRESHOLD ?= 3.0
 P99_FLAGS = $(if $(GATEP99),-gatep99 -p99threshold $(BENCH_P99_THRESHOLD),)
 
-.PHONY: build test vet race lint bench bench-json benchdiff verify clean serve loadtest wirebench fuzz-smoke
+.PHONY: build test vet race lint bench bench-json benchdiff scalebench verify clean serve loadtest wirebench fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -66,6 +73,16 @@ benchdiff:
 	@if [ -f $(BENCH_SERVE_NEW) ]; then \
 		$(GO) run ./cmd/hcbench -benchdiff -threshold $(BENCH_THRESHOLD) $(P99_FLAGS) $(BENCH_SERVE_OLD) $(BENCH_SERVE_NEW); \
 	fi
+	@if [ -f $(BENCH_SCALE_NEW) ]; then \
+		$(GO) run ./cmd/hcbench -benchdiff -threshold $(BENCH_THRESHOLD) $(BENCH_SCALE_OLD) $(BENCH_SCALE_NEW); \
+	fi
+
+# Fleet-scale sweep: re-measure the large-matrix kernels and diff against the
+# committed BENCH_scale.json (only the 1k records gate; see cmd/hcbench
+# -scalebench). Refresh the baseline by copying $(BENCH_SCALE_NEW) over it.
+scalebench:
+	$(GO) run ./cmd/hcbench -scalebench $(BENCH_SCALE_NEW) -sizes $(SCALE_SIZES)
+	$(GO) run ./cmd/hcbench -benchdiff -threshold $(BENCH_THRESHOLD) $(BENCH_SCALE_OLD) $(BENCH_SCALE_NEW)
 
 verify: build vet lint test race
 # Opt-in perf gate: BENCHDIFF=1 make verify additionally re-measures the

@@ -8,7 +8,7 @@ import (
 )
 
 // runBenchDiff compares two benchmark reports and reports whether NEW is
-// acceptable. It handles both report kinds this repo commits:
+// acceptable. It handles the three report kinds this repo commits:
 //
 //   - kernel reports (cmd/hcbench -bench): a kernel regresses when its ns/op
 //     or allocs/op grew by more than threshold (a fraction, e.g. 0.20 for
@@ -20,6 +20,9 @@ import (
 //     steady state — plus the zipf section's coalescing invariant. Cold and
 //     zipf latencies are listed for context but do not gate: they are
 //     dominated by pipeline compute the kernel diff already covers.
+//   - scale reports (cmd/hcbench -scalebench, detected by "kind": "scale"):
+//     only records marked gated — the 1k rows — fail on an ns/op regression
+//     past threshold; the multi-minute 4k/10k rows are informational.
 //
 // p99Threshold, when positive, additionally gates the warm-phase p99 of a
 // serving report (the -gatep99 opt-in). Tail latency on a loaded box is far
@@ -30,19 +33,22 @@ import (
 //
 // The boolean result is false when any regression was found.
 func runBenchDiff(out io.Writer, oldPath, newPath string, threshold, p99Threshold float64) (bool, error) {
-	oldServe, err := isServeReport(oldPath)
+	oldKind, err := reportKind(oldPath)
 	if err != nil {
 		return false, err
 	}
-	newServe, err := isServeReport(newPath)
+	newKind, err := reportKind(newPath)
 	if err != nil {
 		return false, err
 	}
-	if oldServe != newServe {
-		return false, fmt.Errorf("mixed report kinds: %s and %s must both be kernel or both be serving reports", oldPath, newPath)
+	if oldKind != newKind {
+		return false, fmt.Errorf("mixed report kinds: %s is a %s report but %s is a %s report", oldPath, oldKind, newPath, newKind)
 	}
-	if oldServe {
+	switch oldKind {
+	case "serve":
 		return runServeDiff(out, oldPath, newPath, threshold, p99Threshold)
+	case "scale":
+		return runScaleDiff(out, oldPath, newPath, threshold)
 	}
 	oldRep, err := readBenchReport(oldPath)
 	if err != nil {
@@ -111,20 +117,93 @@ type serveReport struct {
 	} `json:"zipf"`
 }
 
-// isServeReport sniffs the report kind: serving reports carry a "phases"
-// array, kernel reports a "results" array.
-func isServeReport(path string) (bool, error) {
+// reportKind sniffs a report file: scale reports self-identify with
+// "kind": "scale", serving reports carry a "phases" array, and everything
+// else with a "results" array is a kernel report.
+func reportKind(path string) (string, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return false, err
+		return "", err
 	}
 	var probe struct {
+		Kind   string            `json:"kind"`
 		Phases []json.RawMessage `json:"phases"`
 	}
 	if err := json.Unmarshal(data, &probe); err != nil {
-		return false, fmt.Errorf("%s: %w", path, err)
+		return "", fmt.Errorf("%s: %w", path, err)
 	}
-	return probe.Phases != nil, nil
+	switch {
+	case probe.Kind == "scale":
+		return "scale", nil
+	case probe.Phases != nil:
+		return "serve", nil
+	default:
+		return "kernel", nil
+	}
+}
+
+// runScaleDiff gates a fresh scale sweep against the committed baseline: a
+// gated record (the 1k rows) fails when its ns/op grew past threshold; every
+// other size is printed for context. Gating follows the NEW report's flags —
+// a record promoted to (or demoted from) gating takes effect only once both
+// sides carry the flag, so baseline refreshes do not trip on themselves.
+func runScaleDiff(out io.Writer, oldPath, newPath string, threshold float64) (bool, error) {
+	oldRep, err := readScaleReport(oldPath)
+	if err != nil {
+		return false, err
+	}
+	newRep, err := readScaleReport(newPath)
+	if err != nil {
+		return false, err
+	}
+	oldBy := make(map[string]scaleResult, len(oldRep.Results))
+	for _, r := range oldRep.Results {
+		oldBy[r.Name] = r
+	}
+	fmt.Fprintf(out, "benchdiff (scale) %s -> %s (gated records fail past %+.0f%% ns/op)\n",
+		oldPath, newPath, 100*threshold)
+	ok := true
+	for _, nr := range newRep.Results {
+		or, found := oldBy[nr.Name]
+		if !found {
+			fmt.Fprintf(out, "  new   %-36s %14.0f ns/op\n", nr.Name, nr.NsPerOp)
+			continue
+		}
+		delete(oldBy, nr.Name)
+		if nr.NsPerOp == 0 && or.NsPerOp == 0 {
+			continue // marker records (skipped stages) carry no timing
+		}
+		delta := frac(nr.NsPerOp, or.NsPerOp)
+		status := "info"
+		if nr.Gated && or.Gated {
+			status = "ok"
+			if delta > threshold {
+				status = "FAIL"
+				ok = false
+			}
+		}
+		fmt.Fprintf(out, "  %-5s %-36s %12.0f -> %12.0f ns/op  %+7.1f%%\n",
+			status, nr.Name, or.NsPerOp, nr.NsPerOp, 100*delta)
+	}
+	for name := range oldBy {
+		fmt.Fprintf(out, "  gone  %s\n", name)
+	}
+	if !ok {
+		fmt.Fprintln(out, "benchdiff: FAIL")
+	}
+	return ok, nil
+}
+
+func readScaleReport(path string) (*scaleReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep scaleReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
 }
 
 // runServeDiff gates a fresh serving report against the committed baseline:

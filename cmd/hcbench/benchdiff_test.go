@@ -208,6 +208,81 @@ func TestServeDiffGatesCoalescingInvariant(t *testing.T) {
 	}
 }
 
+func writeScaleReport(t *testing.T, dir, name string, results []scaleResult) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	data, err := json.Marshal(scaleReport{Kind: "scale", GoMaxProcs: 1, NumCPU: 1, Workers: 2, Results: results})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestScaleDiffGatesOnlyGatedRecords(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeScaleReport(t, dir, "old.json", []scaleResult{
+		{Name: "Scale/gram/serial/1000", Size: 1000, NsPerOp: 1e8, Gated: true},
+		{Name: "Scale/gram/serial/4000", Size: 4000, NsPerOp: 1e10},
+		{Name: "Scale/spectral/skipped/10000", Size: 10000}, // marker, no timing
+	})
+
+	// A big regression on an informational (4k) record passes; the marker
+	// record with no timing on either side is ignored.
+	okP := writeScaleReport(t, dir, "ok.json", []scaleResult{
+		{Name: "Scale/gram/serial/1000", Size: 1000, NsPerOp: 1.1e8, Gated: true},
+		{Name: "Scale/gram/serial/4000", Size: 4000, NsPerOp: 3e10},
+		{Name: "Scale/spectral/skipped/10000", Size: 10000},
+	})
+	var buf strings.Builder
+	ok, err := runBenchDiff(&buf, oldP, okP, 0.20, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Errorf("informational 4k regression failed the diff:\n%s", buf.String())
+	}
+
+	// The same regression on the gated 1k record fails.
+	badP := writeScaleReport(t, dir, "bad.json", []scaleResult{
+		{Name: "Scale/gram/serial/1000", Size: 1000, NsPerOp: 3e8, Gated: true},
+		{Name: "Scale/gram/serial/4000", Size: 4000, NsPerOp: 1e10},
+	})
+	buf.Reset()
+	ok, err = runBenchDiff(&buf, oldP, badP, 0.20, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Errorf("gated 1k regression passed:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "FAIL") {
+		t.Errorf("output does not flag the failure:\n%s", buf.String())
+	}
+}
+
+func TestScaleDiffGatingNeedsBothSides(t *testing.T) {
+	// A record promoted to gated only in NEW must not fail the diff: gating
+	// takes effect once the committed baseline carries the flag too.
+	dir := t.TempDir()
+	oldP := writeScaleReport(t, dir, "old.json", []scaleResult{
+		{Name: "Scale/gram/serial/1000", Size: 1000, NsPerOp: 1e8},
+	})
+	newP := writeScaleReport(t, dir, "new.json", []scaleResult{
+		{Name: "Scale/gram/serial/1000", Size: 1000, NsPerOp: 5e8, Gated: true},
+	})
+	var buf strings.Builder
+	ok, err := runBenchDiff(&buf, oldP, newP, 0.20, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Errorf("newly gated record failed against an ungated baseline:\n%s", buf.String())
+	}
+}
+
 func TestBenchDiffRejectsMixedReportKinds(t *testing.T) {
 	dir := t.TempDir()
 	kernel := writeReport(t, dir, "kernel.json", []benchResult{{Name: "K1", NsPerOp: 100}})
@@ -215,6 +290,10 @@ func TestBenchDiffRejectsMixedReportKinds(t *testing.T) {
 	var buf strings.Builder
 	if _, err := runBenchDiff(&buf, kernel, serve, 0.20, 0); err == nil {
 		t.Error("kernel-vs-serving comparison accepted")
+	}
+	scale := writeScaleReport(t, dir, "scale.json", []scaleResult{{Name: "S", Size: 1000, NsPerOp: 1}})
+	if _, err := runBenchDiff(&buf, scale, kernel, 0.20, 0); err == nil {
+		t.Error("scale-vs-kernel comparison accepted")
 	}
 }
 

@@ -56,6 +56,8 @@ func run() (code int) {
 	gateP99 := flag.Bool("gatep99", false, "benchdiff: additionally gate the serving report's warm p99 (opt-in; tails are noisy)")
 	p99Threshold := flag.Float64("p99threshold", 3.0, "benchdiff: fractional warm-p99 regression that fails when -gatep99 is set")
 	wirebench := flag.String("wirebench", "", "run the request-decode micro-benchmarks (stdlib JSON vs streaming vs binary) and merge a decode_bench section into this serving report file (\"-\" for stdout)")
+	scalebench := flag.String("scalebench", "", "run the fleet-scale sweep (Gram, spectral, tiled balance, characterize, downdate) and write a scale report to this file (\"-\" for stdout)")
+	scaleSizes := flag.String("sizes", "1000,4000,10000", "scalebench: comma-separated matrix edges to sweep")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	traceFile := flag.String("trace", "", "write a runtime execution trace to this file")
@@ -63,7 +65,8 @@ func run() (code int) {
 		fmt.Fprintf(os.Stderr, "usage: hcbench [-list] [-md] [-parallel N] [experiment ...]\n")
 		fmt.Fprintf(os.Stderr, "       hcbench -bench FILE\n")
 		fmt.Fprintf(os.Stderr, "       hcbench -benchdiff [-threshold F] [-gatep99 [-p99threshold F]] OLD.json NEW.json\n")
-		fmt.Fprintf(os.Stderr, "       hcbench -wirebench BENCH_serve.json\n\n")
+		fmt.Fprintf(os.Stderr, "       hcbench -wirebench BENCH_serve.json\n")
+		fmt.Fprintf(os.Stderr, "       hcbench -scalebench BENCH_scale.json [-sizes 1000,4000,10000]\n\n")
 		fmt.Fprintf(os.Stderr, "Regenerates the paper's figures and the extension studies.\n")
 		flag.PrintDefaults()
 	}
@@ -110,6 +113,14 @@ func run() (code int) {
 	if *wirebench != "" {
 		if err := runWireBench(*wirebench); err != nil {
 			fmt.Fprintf(os.Stderr, "hcbench: wirebench: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+
+	if *scalebench != "" {
+		if err := runScaleBench(*scalebench, *scaleSizes); err != nil {
+			fmt.Fprintf(os.Stderr, "hcbench: scalebench: %v\n", err)
 			return 1
 		}
 		return 0

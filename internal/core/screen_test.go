@@ -1,0 +1,183 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/etcmat"
+)
+
+func TestLeaveOneOutSpectralShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(170))
+	env := randomEnv(rng, 6, 5)
+	base, deltas, err := LeaveOneOutSpectral(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Characterize(env)
+	if p.TMAErr != nil {
+		t.Fatal(p.TMAErr)
+	}
+	if math.Abs(base-p.TMA) > 1e-12 {
+		t.Errorf("screened baseline %g != exact TMA %g", base, p.TMA)
+	}
+	if len(deltas) != 6+5 {
+		t.Fatalf("got %d deltas, want 11", len(deltas))
+	}
+	machines, tasks := 0, 0
+	for _, d := range deltas {
+		if d.Err != nil {
+			t.Errorf("unexpected screen error for %s %s: %v", d.Kind, d.Name, d.Err)
+			continue
+		}
+		switch d.Kind {
+		case "machine":
+			machines++
+		case "task":
+			tasks++
+		default:
+			t.Errorf("unknown kind %q", d.Kind)
+		}
+		if d.TMA < 0 || d.TMA > 1 {
+			t.Errorf("%s %s: screened TMA %g outside [0,1]", d.Kind, d.Name, d.TMA)
+		}
+		if math.Abs(d.DTMA-(d.TMA-base)) > 1e-15 {
+			t.Errorf("%s %s: DTMA inconsistent", d.Kind, d.Name)
+		}
+	}
+	if machines != 5 || tasks != 6 {
+		t.Errorf("kinds = %d machines, %d tasks", machines, tasks)
+	}
+}
+
+// A consistent (rank-1) environment plus one inconsistent machine: the
+// screening pass must agree with the exact leave-one-out table that removing
+// the inconsistent machine is the dominant TMA reduction — the workflow the
+// screen-then-verify design is specified for.
+func TestLeaveOneOutSpectralFlagsInconsistentMachine(t *testing.T) {
+	rng := rand.New(rand.NewSource(171))
+	const tasks, machines = 8, 6
+	rows := make([][]float64, tasks)
+	for i := range rows {
+		rows[i] = make([]float64, machines)
+		base := 1 + rng.Float64()*4
+		for j := 0; j < machines-1; j++ {
+			rows[i][j] = base * float64(j+1) // rank-1 block: perfectly consistent
+		}
+		rows[i][machines-1] = 0.5 + rng.Float64()*8 // the odd machine
+	}
+	env := etcmat.MustFromECS(rows)
+
+	baseTMA, screened, err := LeaveOneOutSpectral(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bestIdx, bestDTMA := -1, math.Inf(1)
+	for _, d := range screened {
+		if d.Kind == "machine" && d.DTMA < bestDTMA {
+			bestIdx, bestDTMA = d.Index, d.DTMA
+		}
+	}
+	if bestIdx != machines-1 {
+		t.Errorf("screen ranks machine %d as the top removal, want %d (deltas %+v)", bestIdx, machines-1, screened)
+	}
+	if bestDTMA >= 0 {
+		t.Errorf("removing the inconsistent machine must lower screened TMA (baseline %g, delta %+g)", baseTMA, bestDTMA)
+	}
+
+	// The exact table must agree on the winner.
+	_, exact := LeaveOneOut(env)
+	exactIdx, exactDTMA := -1, math.Inf(1)
+	for _, d := range exact {
+		if d.Kind == "machine" && d.Err == nil && d.DTMA < exactDTMA {
+			exactIdx, exactDTMA = d.Index, d.DTMA
+		}
+	}
+	if exactIdx != bestIdx {
+		t.Errorf("screened winner %d disagrees with exact winner %d", bestIdx, exactIdx)
+	}
+}
+
+func TestLeaveOneOutSpectralDegenerateEdits(t *testing.T) {
+	env := etcmat.MustFromECS([][]float64{{1}, {2}, {3}})
+	_, deltas, err := LeaveOneOutSpectral(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range deltas {
+		if d.Kind == "machine" && d.Err == nil {
+			t.Error("removing the only machine must report an error delta")
+		}
+		if d.Kind == "task" && d.Err != nil {
+			t.Errorf("task removal from a 3x1 environment should screen fine: %v", d.Err)
+		}
+	}
+}
+
+func TestTMAFromScreenedSpectrumEdges(t *testing.T) {
+	if got := tmaFromScreenedSpectrum(nil); got != 0 {
+		t.Errorf("empty spectrum: %g", got)
+	}
+	if got := tmaFromScreenedSpectrum([]float64{0.9}); got != 0 {
+		t.Errorf("single value: %g", got)
+	}
+	if got := tmaFromScreenedSpectrum([]float64{0, 0}); got != 0 {
+		t.Errorf("zero leading value: %g", got)
+	}
+	// Invariance to global scaling: the screened TMA reads σ/σ₁.
+	a := tmaFromScreenedSpectrum([]float64{0.98, 0.5, 0.25})
+	b := tmaFromScreenedSpectrum([]float64{0.49, 0.25, 0.125})
+	if math.Abs(a-b) > 1e-15 {
+		t.Errorf("screened TMA not scale invariant: %g vs %g", a, b)
+	}
+	want := (0.5/0.98 + 0.25/0.98) / 2
+	if math.Abs(a-want) > 1e-15 {
+		t.Errorf("screened TMA = %g, want %g", a, want)
+	}
+}
+
+// White-box check of the leave-one-out seed refresher above its size
+// threshold: the refreshed σ₂ must be a usable over-relaxation hint — inside
+// (0, 1) and close to the true subdominant value of the re-standardized
+// edited environment. The tolerance is loose by design: the refresher's
+// value skips the rebalance, an O(1/k) perturbation, and WarmStart.Sigma2
+// only steers a relaxation factor whose optimum is flat.
+func TestSeedRefresherTracksEditedSigma2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test")
+	}
+	rng := rand.New(rand.NewSource(172))
+	env := randomEnv(rng, seedRefreshMin+6, seedRefreshMin+2)
+	if _, _, err := env.StandardForm(); err != nil {
+		t.Fatal(err)
+	}
+	seed := env.StandardFormSeed()
+	if seed == nil {
+		t.Fatal("no warm-start seed after StandardForm")
+	}
+	refresh := newSeedRefresher(env, seed)
+	if refresh == nil {
+		t.Fatal("refresher must engage at min dim >= seedRefreshMin")
+	}
+	for _, j := range []int{0, seedRefreshMin / 2} {
+		s := refresh.dropCol(seed, j)
+		if s == nil {
+			t.Fatalf("dropCol(%d) seed lost", j)
+		}
+		if s.Sigma2 <= 0 || s.Sigma2 >= 1 {
+			t.Fatalf("dropCol(%d): refreshed σ₂ = %g outside (0,1)", j, s.Sigma2)
+		}
+		edited, err := env.RemoveMachine(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, sv, err := edited.StandardForm()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(s.Sigma2-sv[1]) > 0.1*sv[1] {
+			t.Errorf("dropCol(%d): refreshed σ₂ %g vs re-standardized %g (>10%% off)", j, s.Sigma2, sv[1])
+		}
+	}
+}

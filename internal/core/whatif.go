@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"repro/internal/etcmat"
+	"repro/internal/linalg"
 	"repro/internal/matrix"
 	"repro/internal/sinkhorn"
 )
@@ -57,13 +58,14 @@ func LeaveOneOut(env *etcmat.Env) (baseline *Profile, deltas []Delta) {
 func LeaveOneOutCtx(ctx context.Context, env *etcmat.Env) (baseline *Profile, deltas []Delta) {
 	baseline = CharacterizeCtx(ctx, env)
 	seed := env.StandardFormSeed()
+	refresh := newSeedRefresher(env, seed)
 	for j, name := range env.MachineNames() {
 		d := Delta{Kind: "machine", Index: j, Name: name}
 		edited, err := env.RemoveMachine(j)
 		if err != nil {
 			d.Err = err
 		} else {
-			edited = edited.WithStandardFormSeed(seed.DropCol(j))
+			edited = edited.WithStandardFormSeed(refresh.dropCol(seed, j))
 			fillDelta(&d, baseline, CharacterizeCtx(ctx, edited))
 		}
 		deltas = append(deltas, d)
@@ -74,12 +76,72 @@ func LeaveOneOutCtx(ctx context.Context, env *etcmat.Env) (baseline *Profile, de
 		if err != nil {
 			d.Err = err
 		} else {
-			edited = edited.WithStandardFormSeed(seed.DropRow(i))
+			edited = edited.WithStandardFormSeed(refresh.dropRow(seed, i))
 			fillDelta(&d, baseline, CharacterizeCtx(ctx, edited))
 		}
 		deltas = append(deltas, d)
 	}
 	return baseline, deltas
+}
+
+// seedRefreshMin is the short-side size at which LeaveOneOutCtx starts
+// refreshing each dropped seed's σ₂ through the downdating path. Below it
+// the stale baseline σ₂ is an adequate over-relaxation hint (the optimum is
+// flat — see sinkhorn.WarmStart.omega) and the eigensystem build would cost
+// more than it saves; at fleet scale the O(k³) build amortizes over the t+m
+// removals and each refresh is an O(k²) rank-one downdate.
+const seedRefreshMin = 256
+
+// seedRefresher upgrades the leave-one-out seeds with per-removal σ₂ values
+// from the incremental downdating path. A nil refresher (small environment,
+// no baseline seed, or unstandardizable baseline) degrades to the plain
+// DropRow/DropCol seeds with the carried-over baseline σ₂.
+type seedRefresher struct {
+	dd  *linalg.Downdater
+	buf []float64
+}
+
+func newSeedRefresher(env *etcmat.Env, seed *sinkhorn.WarmStart) *seedRefresher {
+	if seed == nil || minInt(env.Tasks(), env.Machines()) < seedRefreshMin {
+		return nil
+	}
+	res, _, err := env.StandardForm()
+	if err != nil || res == nil {
+		return nil
+	}
+	// res.Scaled is the memoized standard form, shared and read-only.
+	return &seedRefresher{dd: linalg.NewDowndater(res.Scaled)}
+}
+
+func (r *seedRefresher) dropCol(seed *sinkhorn.WarmStart, j int) *sinkhorn.WarmStart {
+	s := seed.DropCol(j)
+	if r == nil || s == nil {
+		return s
+	}
+	r.buf = r.dd.DropColValues(j, r.buf[:0])
+	r.apply(s)
+	return s
+}
+
+func (r *seedRefresher) dropRow(seed *sinkhorn.WarmStart, i int) *sinkhorn.WarmStart {
+	s := seed.DropRow(i)
+	if r == nil || s == nil {
+		return s
+	}
+	r.buf = r.dd.DropRowValues(i, r.buf[:0])
+	r.apply(s)
+	return s
+}
+
+// apply reads the downdated spectrum as the edited environment's σ₂. The
+// downdated matrix is the standard form minus one line, not yet
+// re-standardized, so its σ₁ drifts slightly below 1; the ratio σ₂/σ₁ is the
+// scale-consistent subdominant value the re-standardized matrix will have to
+// first order.
+func (r *seedRefresher) apply(s *sinkhorn.WarmStart) {
+	if len(r.buf) > 1 && r.buf[0] > 0 {
+		s.Sigma2 = r.buf[1] / r.buf[0]
+	}
 }
 
 func fillDelta(d *Delta, base, p *Profile) {

@@ -100,7 +100,7 @@ func NewFromECS(ecs *matrix.Dense) (*Env, error) {
 		}
 	}
 	return &Env{
-		ecs:            ecs.Clone(),
+		ecs:            matrix.ClonePooled(ecs),
 		taskNames:      defaultNames("t", t),
 		machineNames:   defaultNames("m", m),
 		taskWeights:    onesVec(t),
@@ -189,7 +189,7 @@ func (e *Env) weightedECS() *matrix.Dense {
 	mm.mu.Lock()
 	defer mm.mu.Unlock()
 	if mm.weighted == nil {
-		w := e.ecs.Clone()
+		w := matrix.ClonePooled(e.ecs)
 		w.ScaleRows(e.taskWeights)
 		w.ScaleCols(e.machineWeights)
 		mm.weighted = w
@@ -287,6 +287,31 @@ func (e *Env) WithStandardFormSeed(seed *sinkhorn.WarmStart) *Env {
 		out.stdSeed = nil
 	}
 	return out
+}
+
+// ReleaseBuffers hands the environment's matrix storage — the ECS clone and
+// the memoized weighted and standard-form matrices — back to the shared
+// size-classed pool (matrix.Recycle). At fleet scale these are tens to
+// hundreds of megabytes per request, so the serving tier recycles them once a
+// request's profile has been computed instead of leaving each to the GC.
+//
+// The caller must be the Env's sole owner and must not use it afterwards:
+// every Env deep-clones its matrix state (see clone), so ownership is
+// structural, and the recycled matrices are emptied to 0×0 so accidental
+// reuse fails loudly. Profiles and DTOs never alias Env storage — everything
+// handed out is cloned — which is what makes the release point safe.
+func (e *Env) ReleaseBuffers() {
+	mm := e.memo
+	mm.mu.Lock()
+	defer mm.mu.Unlock()
+	matrix.Recycle(e.ecs)
+	e.ecs = nil
+	matrix.Recycle(mm.weighted)
+	mm.weighted = nil
+	if mm.std != nil {
+		matrix.Recycle(mm.std.Scaled)
+		mm.std = nil
+	}
 }
 
 // ECSAt returns ECS(i, j) without copying the matrix.
@@ -477,7 +502,7 @@ func (e *Env) AddMachine(name string, speeds []float64) (*Env, error) {
 
 func (e *Env) clone() *Env {
 	return &Env{
-		ecs:            e.ecs.Clone(),
+		ecs:            matrix.ClonePooled(e.ecs),
 		taskNames:      append([]string(nil), e.taskNames...),
 		machineNames:   append([]string(nil), e.machineNames...),
 		taskWeights:    matrix.VecClone(e.taskWeights),

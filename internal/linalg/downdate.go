@@ -1,0 +1,431 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/matrix"
+)
+
+// Incremental spectral downdating: the what-if APIs ask "what does the
+// spectrum look like with task i (or machine j) removed?" for every i and j.
+// Recomputing each answer from scratch is O(k³) per delta; at fleet scale
+// that is t+m full spectral solves per what-if sweep. This file answers each
+// delta in O(k²) instead.
+//
+// Removing row r from A changes the Gram matrix G = AᵀA by the rank-one
+// downdate G' = G − r·rᵀ (and removing a column changes AAᵀ the same way).
+// Given the full eigensystem G = Q·Λ·Qᵀ — computed once, O(k³), amortized
+// over every subsequent delta — the downdated eigenvalues are those of
+// Λ − z·zᵀ with z = Qᵀr, and those are the roots of the classic secular
+// equation
+//
+//	f(λ) = 1 − Σⱼ zⱼ²/(λⱼ − λ) = 0,
+//
+// one root strictly interlaced below each eigenvalue (Golub, "Some Modified
+// Matrix Eigenvalue Problems", SIAM Review 1973; the same machinery as
+// Gu-Eisenstat divide-and-conquer). Each root is found by bisection on its
+// bracketing interval — f is strictly decreasing there, so the solve is
+// unconditionally safe — at O(k) per root, O(k²) per delta in total.
+//
+// The eigenvector basis makes this path fundamentally different from the
+// values-only pipeline: it pays one vector-accumulating eigendecomposition
+// up front (tred2+tql2 below, ~3-4× a values-only solve) to make every
+// subsequent delta two orders of magnitude cheaper at k = 1000.
+
+// Downdater answers row/column-removal spectra of a fixed matrix in O(k²)
+// per query after a lazily-built O(k³) eigendecomposition per side: dropped
+// rows are served from the eigensystem of AᵀA, dropped columns from AAᵀ.
+//
+// The Downdater keeps a reference to a — the caller must not mutate it while
+// the Downdater is in use. A Downdater is not safe for concurrent use (it
+// reuses internal scratch); build one per goroutine or guard it.
+type Downdater struct {
+	a        *matrix.Dense
+	rowState *eigState // eigensystem of AᵀA (cols×cols) — serves DropRow
+	colState *eigState // eigensystem of AAᵀ (rows×rows) — serves DropCol
+
+	z, lam, scratch []float64 // per-query buffers, grown on demand
+}
+
+// eigState is one side's eigensystem: ascending eigenvalues of the Gram
+// matrix and the matching eigenvectors stored transposed (row j of vecsT is
+// the eigenvector of vals[j]) so the Qᵀr products stream row-major.
+type eigState struct {
+	vals  []float64
+	vecsT *matrix.Dense
+}
+
+// NewDowndater wraps a for incremental row/column-removal spectra. The
+// expensive eigendecompositions are built lazily on first DropRowValues /
+// DropColValues, so wrapping is free for callers that end up querying only
+// one side (or none).
+func NewDowndater(a *matrix.Dense) *Downdater {
+	return &Downdater{a: a}
+}
+
+// rowEig lazily builds the AᵀA-side eigensystem.
+func (dd *Downdater) rowEig() *eigState {
+	if dd.rowState == nil {
+		dd.rowState = buildEigState(func() *matrix.Dense {
+			g := matrix.New(dd.a.Cols(), dd.a.Cols())
+			return matrix.AtAInto(g, dd.a)
+		})
+	}
+	return dd.rowState
+}
+
+// colEig lazily builds the AAᵀ-side eigensystem.
+func (dd *Downdater) colEig() *eigState {
+	if dd.colState == nil {
+		dd.colState = buildEigState(func() *matrix.Dense {
+			g := matrix.New(dd.a.Rows(), dd.a.Rows())
+			return matrix.AAtInto(g, dd.a)
+		})
+	}
+	return dd.colState
+}
+
+// DropRowValues appends to dst the descending singular values of a with row
+// i removed, computed by a rank-one secular downdate — O(k²) per call after
+// the first. The values agree with a fresh SingularValues of the submatrix
+// to roughly k·ε·σ₁ (both paths share the Gram noise floor and clamp).
+func (dd *Downdater) DropRowValues(i int, dst []float64) []float64 {
+	t, m := dd.a.Dims()
+	if i < 0 || i >= t {
+		panic(fmt.Sprintf("linalg: DropRowValues row %d out of range for %dx%d", i, t, m))
+	}
+	kg := minInt(t-1, m)
+	if kg == 0 {
+		return dst
+	}
+	st := dd.rowEig()
+	row := dd.a.RawData()[i*m : (i+1)*m]
+	z := growFloat(&dd.z, m)
+	vt := st.vecsT.RawData()
+	for j := 0; j < m; j++ {
+		s := 0.0
+		for k, v := range vt[j*m : (j+1)*m] {
+			s += v * row[k]
+		}
+		z[j] = s
+	}
+	return dd.finishDrop(st, z, kg, dst)
+}
+
+// DropColValues appends to dst the descending singular values of a with
+// column j removed; the mirror of DropRowValues on the AAᵀ side.
+func (dd *Downdater) DropColValues(j int, dst []float64) []float64 {
+	t, m := dd.a.Dims()
+	if j < 0 || j >= m {
+		panic(fmt.Sprintf("linalg: DropColValues column %d out of range for %dx%d", j, t, m))
+	}
+	kg := minInt(t, m-1)
+	if kg == 0 {
+		return dst
+	}
+	st := dd.colEig()
+	col := growFloat(&dd.scratch, t)
+	ad := dd.a.RawData()
+	for i := 0; i < t; i++ {
+		col[i] = ad[i*m+j]
+	}
+	z := growFloat(&dd.z, t)
+	vt := st.vecsT.RawData()
+	for q := 0; q < t; q++ {
+		s := 0.0
+		for k, v := range vt[q*t : (q+1)*t] {
+			s += v * col[k]
+		}
+		z[q] = s
+	}
+	return dd.finishDrop(st, z, kg, dst)
+}
+
+// finishDrop runs the secular solve for Λ − z·zᵀ and converts the top kg
+// eigenvalues (the reduced matrix's rank budget; the rest are roundoff-level
+// zeros of the larger Gram) to descending singular values with the same
+// noise-floor clamp as the main spectral pipeline.
+func (dd *Downdater) finishDrop(st *eigState, z []float64, kg int, dst []float64) []float64 {
+	lam := downdateEigs(st.vals, z, growFloat(&dd.lam, len(st.vals)))
+	top := lam[len(lam)-kg:]
+	lmax := top[kg-1]
+	floor := float64(kg) * macheps * lmax
+	for idx := kg - 1; idx >= 0; idx-- {
+		v := top[idx]
+		if v <= floor {
+			v = 0
+		}
+		dst = append(dst, math.Sqrt(v))
+	}
+	return dst
+}
+
+// downdateEigs writes the ascending eigenvalues of diag(d) − z·zᵀ into dst
+// (d ascending, len(dst) == len(d)) and returns dst. Components with
+// negligible z — contributing less than roundoff to any eigenvalue — are
+// deflated to their pole; each remaining eigenvalue is bisected inside its
+// interlacing bracket.
+func downdateEigs(d, z, dst []float64) []float64 {
+	n := len(d)
+	rho := 0.0
+	for _, v := range z {
+		rho += v * v
+	}
+	scale := rho + math.Max(math.Abs(d[0]), math.Abs(d[n-1]))
+	defl := macheps * scale
+	// Partition into active poles (z energy matters) and deflated
+	// eigenvalues (carried over unchanged).
+	dst = dst[:0]
+	poles := make([]float64, 0, n)
+	weights := make([]float64, 0, n)
+	for i, v := range d {
+		w := z[i] * z[i]
+		if w <= defl {
+			dst = append(dst, v)
+			continue
+		}
+		poles = append(poles, v)
+		weights = append(weights, w)
+	}
+	// Root j lives in (poles[j-1], poles[j]); the leftmost in
+	// [poles[0]−ρ, poles[0]] — the downdate can lower the bottom eigenvalue
+	// by at most the removed energy.
+	for j := range poles {
+		lo := poles[0] - rho
+		if j > 0 {
+			lo = poles[j-1]
+		}
+		dst = append(dst, secularRoot(poles, weights, lo, poles[j]))
+	}
+	sort.Float64s(dst)
+	return dst
+}
+
+// secularRoot bisects f(λ) = 1 − Σ wⱼ/(pⱼ−λ) on (lo, hi), where f decreases
+// from +∞ (or a nonnegative value at the leftmost bracket's open end) to −∞.
+// Bisection is immune to the pole blowups that break Newton here, and 100
+// halvings reach the bracket's ulp long before the iteration cap.
+func secularRoot(poles, weights []float64, lo, hi float64) float64 {
+	a, b := lo, hi
+	for iter := 0; iter < 100; iter++ {
+		mid := 0.5 * (a + b)
+		if mid <= a || mid >= b {
+			break
+		}
+		s := 1.0
+		for j, p := range poles {
+			s -= weights[j] / (p - mid)
+		}
+		if s > 0 {
+			a = mid
+		} else {
+			b = mid
+		}
+	}
+	return 0.5 * (a + b)
+}
+
+// buildEigState computes the full eigensystem of the symmetric matrix
+// produced by gram (which is consumed). The QL path essentially never fails
+// to converge; if it does, the Gram matrix is rebuilt and handed to the
+// (slower, unconditionally convergent) Jacobi solver.
+func buildEigState(gram func() *matrix.Dense) *eigState {
+	g := gram()
+	n := g.Rows()
+	d := make([]float64, n)
+	e := make([]float64, n)
+	tred2Vectors(g.RawData(), n, d, e)
+	if !tql2Vectors(d, e, g.RawData(), n) {
+		vals, vecs := SymEigJacobi(gram())
+		return finishEigState(vals, vecs)
+	}
+	return finishEigState(d, g)
+}
+
+// finishEigState sorts the eigenvalues ascending and lays the matching
+// eigenvector columns of z down as rows of vecsT.
+func finishEigState(vals []float64, z *matrix.Dense) *eigState {
+	n := len(vals)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return vals[idx[a]] < vals[idx[b]] })
+	st := &eigState{
+		vals:  make([]float64, n),
+		vecsT: matrix.New(n, n),
+	}
+	zd := z.RawData()
+	vt := st.vecsT.RawData()
+	for r, src := range idx {
+		st.vals[r] = vals[src]
+		for k := 0; k < n; k++ {
+			vt[r*n+k] = zd[k*n+src]
+		}
+	}
+	return st
+}
+
+// growFloat resizes *buf to length n, reallocating only on growth, and
+// returns the resized slice.
+func growFloat(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+// tred2Vectors reduces the symmetric n×n row-major matrix z (overwritten) to
+// tridiagonal form, like tridiagonalize, but additionally accumulates the
+// Householder transformations: on return z holds the orthogonal matrix Q
+// (eigenvector seed, columns) with Qᵀ·A·Q tridiagonal. Classic EISPACK
+// tred2, vector-accumulating variant of spectral.go's values-only reduction.
+func tred2Vectors(z []float64, n int, d, e []float64) {
+	if n == 0 {
+		return
+	}
+	for i := n - 1; i >= 1; i-- {
+		l := i - 1
+		h, scale := 0.0, 0.0
+		if l > 0 {
+			for _, v := range z[i*n : i*n+l+1] {
+				scale += math.Abs(v)
+			}
+			if scale == 0 {
+				e[i] = z[i*n+l]
+			} else {
+				inv := 1 / scale
+				for k := 0; k <= l; k++ {
+					z[i*n+k] *= inv
+					h += z[i*n+k] * z[i*n+k]
+				}
+				f := z[i*n+l]
+				g := math.Sqrt(h)
+				if f >= 0 {
+					g = -g
+				}
+				e[i] = scale * g
+				h -= f * g
+				z[i*n+l] = f - g
+				f = 0.0
+				for j := 0; j <= l; j++ {
+					z[j*n+i] = z[i*n+j] / h
+					g := 0.0
+					for k := 0; k <= j; k++ {
+						g += z[j*n+k] * z[i*n+k]
+					}
+					for k := j + 1; k <= l; k++ {
+						g += z[k*n+j] * z[i*n+k]
+					}
+					e[j] = g / h
+					f += e[j] * z[i*n+j]
+				}
+				hh := f / (h + h)
+				for j := 0; j <= l; j++ {
+					f := z[i*n+j]
+					g := e[j] - hh*f
+					e[j] = g
+					for k := 0; k <= j; k++ {
+						z[j*n+k] -= f*e[k] + g*z[i*n+k]
+					}
+				}
+			}
+		} else {
+			e[i] = z[i*n+l]
+		}
+		d[i] = h
+	}
+	d[0] = 0
+	e[0] = 0
+	for i := 0; i < n; i++ {
+		l := i - 1
+		if d[i] != 0 {
+			for j := 0; j <= l; j++ {
+				g := 0.0
+				for k := 0; k <= l; k++ {
+					g += z[i*n+k] * z[k*n+j]
+				}
+				for k := 0; k <= l; k++ {
+					z[k*n+j] -= g * z[k*n+i]
+				}
+			}
+		}
+		d[i] = z[i*n+i]
+		z[i*n+i] = 1
+		for j := 0; j <= l; j++ {
+			z[j*n+i] = 0
+			z[i*n+j] = 0
+		}
+	}
+}
+
+// tql2Vectors is tqlImplicitShift with eigenvector accumulation: every plane
+// rotation of the QL sweep is applied to the columns of z (which enters as
+// tred2Vectors' Q and leaves with column j holding the eigenvector of the
+// unordered eigenvalue d[j]). Reports false if an eigenvalue exceeds the
+// iteration budget.
+func tql2Vectors(d, e []float64, z []float64, n int) bool {
+	if n <= 1 {
+		return true
+	}
+	for i := 1; i < n; i++ {
+		e[i-1] = e[i]
+	}
+	e[n-1] = 0
+	for l := 0; l < n; l++ {
+		for iter := 0; ; iter++ {
+			var m int
+			for m = l; m < n-1; m++ {
+				dd := math.Abs(d[m]) + math.Abs(d[m+1])
+				if math.Abs(e[m]) <= macheps*dd {
+					break
+				}
+			}
+			if m == l {
+				break
+			}
+			if iter == 50 {
+				return false
+			}
+			g := (d[l+1] - d[l]) / (2 * e[l])
+			r := pythag(g, 1)
+			g = d[m] - d[l] + e[l]/(g+signOf(r, g))
+			s, c, p := 1.0, 1.0, 0.0
+			underflow := false
+			for i := m - 1; i >= l; i-- {
+				f := s * e[i]
+				b := c * e[i]
+				r = pythag(f, g)
+				e[i+1] = r
+				if r == 0 {
+					d[i+1] -= p
+					e[m] = 0
+					underflow = true
+					break
+				}
+				s = f / r
+				c = g / r
+				g = d[i+1] - p
+				r = (d[i]-g)*s + 2*c*b
+				p = s * r
+				d[i+1] = g + p
+				g = c*r - b
+				for k := 0; k < n; k++ {
+					f := z[k*n+i+1]
+					z[k*n+i+1] = s*z[k*n+i] + c*f
+					z[k*n+i] = c*z[k*n+i] - s*f
+				}
+			}
+			if underflow {
+				continue
+			}
+			d[l] -= p
+			e[l] = g
+			e[m] = 0
+		}
+	}
+	return true
+}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/matrix"
 	"repro/internal/obs"
+	"repro/internal/parallel"
 )
 
 // This file implements the values-only spectral fast path: the task-machine
@@ -71,12 +72,16 @@ func SingularValues(a *matrix.Dense, ws *Workspace) []float64 {
 	return AppendSingularValues(nil, a, ws)
 }
 
-// SingularValuesCtx is SingularValues with stage tracing: when ctx carries
-// an obs.Trace, the Gram formation and the tridiagonal eigensolve are
-// recorded as "gram" and "eigensolve" spans. Without a trace it is exactly
-// SingularValues.
+// SingularValuesCtx is SingularValues with stage tracing and a
+// context-scoped worker budget: when ctx carries an obs.Trace, the Gram
+// formation and the tridiagonal eigensolve are recorded as spans ("gram" or
+// "gram_parallel" depending on the path taken, and "eigensolve"), and when
+// the problem's short side reaches spectralParMin the pipeline fans out over
+// parallel.WorkersFrom(ctx) goroutines (GOMAXPROCS when the context carries
+// no budget). The parallel path is bit-identical to the serial one, so the
+// budget only affects latency.
 func SingularValuesCtx(ctx context.Context, a *matrix.Dense, ws *Workspace) []float64 {
-	return appendSingularValues(obs.FromContext(ctx), nil, a, ws)
+	return appendSingularValuesWorkers(obs.FromContext(ctx), nil, a, ws, parallel.WorkersFrom(ctx))
 }
 
 // AppendSingularValues appends the descending singular values of a to dst
@@ -84,28 +89,42 @@ func SingularValuesCtx(ctx context.Context, a *matrix.Dense, ws *Workspace) []fl
 // across calls (pass dst[:0] to overwrite). ws may be nil (a pooled
 // workspace is borrowed).
 func AppendSingularValues(dst []float64, a *matrix.Dense, ws *Workspace) []float64 {
-	return appendSingularValues(nil, dst, a, ws)
+	return appendSingularValuesWorkers(nil, dst, a, ws, 1)
 }
 
-// appendSingularValues is the shared implementation; tr may be nil (the
-// untraced fast path — span calls on a nil trace are free).
-func appendSingularValues(tr *obs.Trace, dst []float64, a *matrix.Dense, ws *Workspace) []float64 {
+// appendSingularValuesWorkers is the shared implementation; tr may be nil
+// (the untraced fast path — span calls on a nil trace are free). workers is
+// a request, resolved against the size threshold by effectiveWorkers: 1
+// forces the serial pipeline, 0 means GOMAXPROCS for large problems.
+func appendSingularValuesWorkers(tr *obs.Trace, dst []float64, a *matrix.Dense, ws *Workspace, workers int) []float64 {
 	m, n := a.Dims()
 	k := minInt(m, n)
 	if k == 0 {
 		return dst
 	}
+	workers = effectiveWorkers(k, workers)
 	start := len(dst)
 	if ws == nil {
 		ws = GetWorkspace()
 		defer PutWorkspace(ws)
 	}
-	sp := tr.StartSpan("gram")
-	g := matrix.GramInto(ws.gram.Reset(k, k), a)
+	var sp obs.Span
+	var g *matrix.Dense
+	if workers > 1 {
+		sp = tr.StartSpan("gram_parallel")
+		g = matrix.GramIntoPar(ws.gram.Reset(k, k), a, workers)
+	} else {
+		sp = tr.StartSpan("gram")
+		g = matrix.GramInto(ws.gram.Reset(k, k), a)
+	}
 	sp.End()
 	sp = tr.StartSpan("eigensolve")
 	d, e := ws.vecs(k)
-	tridiagonalize(g, d, e)
+	if workers > 1 {
+		tridiagonalizeWorkers(g, d, e, workers)
+	} else {
+		tridiagonalize(g, d, e)
+	}
 	if !tqlImplicitShift(d, e) {
 		// The QL budget essentially never trips; fall back to the Jacobi SVD
 		// oracle rather than return a partial spectrum.

@@ -1,0 +1,169 @@
+package linalg
+
+import (
+	"context"
+	"math"
+
+	"repro/internal/matrix"
+	"repro/internal/parallel"
+)
+
+// Parallel execution of the values-only spectral pipeline. Both stages
+// decompose into tasks with disjoint output ranges — Gram tiles (see
+// matrix/gram_parallel.go) and Householder row panels (below) — and every
+// scalar reduction that feeds later arithmetic is performed serially in
+// index order, so the parallel pipeline is bit-identical to the serial one
+// at every worker count. That property is what lets the size threshold and
+// the worker budget be pure tuning knobs: they can never change a TMA value.
+
+// spectralParMin is the minimum Gram edge k at which the parallel path is
+// engaged. Below it the serial pipeline is both faster (no goroutine
+// handoff) and allocation-free, which the 60×40 benchmark baseline relies
+// on; above it the O(k³) stages dwarf the fan-out cost.
+const spectralParMin = 256
+
+// tridiagParMin is the minimum active panel height (the shrinking leading
+// submatrix of the Householder reduction) that is still worth fanning out.
+// Late iterations drop below it and finish serially — with identical
+// results, so the crossover is invisible in the output.
+const tridiagParMin = 192
+
+// SingularValuesPar is SingularValues across a worker budget: the Gram
+// formation and the Householder reduction fan out over the parallel pool
+// when the problem is at least spectralParMin on its short side. The result
+// is bit-identical to SingularValues for every workers value.
+func SingularValuesPar(a *matrix.Dense, ws *Workspace, workers int) []float64 {
+	return appendSingularValuesWorkers(nil, nil, a, ws, workers)
+}
+
+// effectiveWorkers resolves the worker budget for a spectral evaluation on a
+// Gram problem of edge k: below the size threshold the serial path always
+// wins, otherwise an explicit budget is honored and 0 means GOMAXPROCS.
+func effectiveWorkers(k, workers int) int {
+	if k < spectralParMin {
+		return 1
+	}
+	return parallel.Workers(workers)
+}
+
+// runPanels executes fn(lo, hi) over a partition of [0, n) into up to
+// workers contiguous panels. triangular selects square-root spacing for
+// loops whose row j costs O(j) — each panel then carries roughly equal
+// area. Panels are disjoint, so fn may write freely inside its range.
+func runPanels(n, workers int, triangular bool, fn func(lo, hi int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	bound := func(c int) int {
+		if c <= 0 {
+			return 0
+		}
+		if c >= workers {
+			return n
+		}
+		if triangular {
+			return int(math.Sqrt(float64(c)/float64(workers)) * float64(n))
+		}
+		return c * n / workers
+	}
+	_, _ = parallel.Map(context.Background(), workers, workers, func(_ context.Context, c int) (struct{}, error) {
+		fn(bound(c), bound(c+1))
+		return struct{}{}, nil
+	})
+}
+
+// tridiagonalizeWorkers reduces the symmetric matrix g (destroyed) to
+// tridiagonal form by Householder reflections, like tridiagonalize, fanning
+// the two O(l²) inner loops of each reflection over the worker pool while
+// the panel is at least tridiagParMin tall. The loops are restructured into
+// phases with disjoint writes (see below); every per-element expression and
+// every reduction order matches the serial code, so d and e come out
+// bit-identical to tridiagonalize for any workers.
+func tridiagonalizeWorkers(g *matrix.Dense, d, e []float64, workers int) {
+	n := g.Rows()
+	w := g.RawData()
+	for i := n - 1; i >= 1; i-- {
+		l := i - 1
+		h, scale := 0.0, 0.0
+		if l > 0 {
+			for _, v := range w[i*n : i*n+l+1] {
+				scale += math.Abs(v)
+			}
+			if scale == 0 {
+				e[i] = w[i*n+l]
+			} else {
+				row := w[i*n : i*n+l+1]
+				inv := 1 / scale
+				for k, v := range row {
+					v *= inv
+					row[k] = v
+					h += v * v
+				}
+				f := row[l]
+				g := math.Sqrt(h)
+				if f >= 0 {
+					g = -g
+				}
+				e[i] = scale * g
+				h -= f * g
+				row[l] = f - g
+				stepWorkers := 1
+				if workers > 1 && l+1 >= tridiagParMin {
+					stepWorkers = workers
+				}
+				// Phase 1 — form e[j] = (G·u)_j / h. Each j reads the frozen
+				// lower triangle and writes only e[j]: embarrassingly parallel,
+				// uniform cost l per row (j entries along the row, l-j down the
+				// column).
+				runPanels(l+1, stepWorkers, false, func(lo, hi int) {
+					for j := lo; j < hi; j++ {
+						s := 0.0
+						for k := 0; k <= j; k++ {
+							s += w[j*n+k] * row[k]
+						}
+						for k := j + 1; k <= l; k++ {
+							s += w[k*n+j] * row[k]
+						}
+						e[j] = s / h
+					}
+				})
+				// Serial reduction in index order: f must accumulate exactly as
+				// the serial code does, or the reflector scalar — and with it
+				// every later bit — would drift with the panel boundaries.
+				f = 0.0
+				for j := 0; j <= l; j++ {
+					f += e[j] * row[j]
+				}
+				hh := f / (h + h)
+				// Phase 2a — finish the update vector serially (O(l), not worth
+				// fanning out): e[j] -= hh·u_j.
+				for j := 0; j <= l; j++ {
+					e[j] -= hh * row[j]
+				}
+				// Phase 2b — symmetric rank-2 update of the lower triangle. Row
+				// j touches only w[j][0..j], so rows partition cleanly; the
+				// triangular panel spacing keeps the per-panel area even.
+				runPanels(l+1, stepWorkers, true, func(lo, hi int) {
+					for j := lo; j < hi; j++ {
+						fj := row[j]
+						s := e[j]
+						wj := w[j*n : j*n+j+1]
+						for k := range wj {
+							wj[k] -= fj*e[k] + s*row[k]
+						}
+					}
+				})
+			}
+		} else {
+			e[i] = w[i*n+l]
+		}
+	}
+	e[0] = 0
+	for i := 0; i < n; i++ {
+		d[i] = w[i*n+i]
+	}
+}

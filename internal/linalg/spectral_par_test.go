@@ -1,0 +1,166 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+func randTest(rng *rand.Rand, r, c int) *matrix.Dense {
+	m := matrix.New(r, c)
+	d := m.RawData()
+	for i := range d {
+		d[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func floatsBitEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SingularValuesPar promises the exact bits of the serial pipeline at every
+// worker count. The shapes straddle spectralParMin: below it the parallel
+// path must fall through to serial untouched; above it the fan-out must not
+// move a single ulp.
+func TestSingularValuesParBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(80))
+	for _, dims := range [][2]int{{40, 60}, {100, 80}, {280, 300}, {300, 260}} {
+		a := randTest(rng, dims[0], dims[1])
+		want := AppendSingularValues(nil, a, NewWorkspace())
+		for _, w := range []int{1, 2, 4, 8} {
+			got := SingularValuesPar(a, NewWorkspace(), w)
+			if !floatsBitEqual(got, want) {
+				t.Errorf("%v workers=%d: parallel spectrum differs from serial", dims, w)
+			}
+		}
+	}
+}
+
+// White-box check of the Householder stage on its own: the worker variant
+// must produce the exact d/e recurrence of the serial reduction, including
+// past the tridiagParMin crossover where late small panels run serially.
+func TestTridiagonalizeWorkersBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	for _, n := range []int{5, 64, 250} {
+		a := randTest(rng, n+7, n)
+		g := matrix.AtAInto(matrix.New(n, n), a)
+		dWant := make([]float64, n)
+		eWant := make([]float64, n)
+		tridiagonalize(g.Clone(), dWant, eWant)
+		for _, w := range []int{2, 4, 7} {
+			d := make([]float64, n)
+			e := make([]float64, n)
+			tridiagonalizeWorkers(g.Clone(), d, e, w)
+			if !floatsBitEqual(d, dWant) || !floatsBitEqual(e, eWant) {
+				t.Errorf("n=%d workers=%d: parallel tridiagonalization differs", n, w)
+			}
+		}
+	}
+}
+
+// dropRowCopy returns a copy of a without row i (test-local reference).
+func dropRowCopy(a *matrix.Dense, i int) *matrix.Dense {
+	r, c := a.Dims()
+	out := matrix.New(r-1, c)
+	src, dst := a.RawData(), out.RawData()
+	copy(dst, src[:i*c])
+	copy(dst[i*c:], src[(i+1)*c:])
+	return out
+}
+
+func dropColCopy(a *matrix.Dense, j int) *matrix.Dense {
+	r, c := a.Dims()
+	out := matrix.New(r, c-1)
+	for i := 0; i < r; i++ {
+		for jj := 0; jj < c; jj++ {
+			switch {
+			case jj < j:
+				out.Set(i, jj, a.At(i, jj))
+			case jj > j:
+				out.Set(i, jj-1, a.At(i, jj))
+			}
+		}
+	}
+	return out
+}
+
+// The downdater's secular-equation spectra must match a full recompute of
+// the reduced matrix to well within the 1e-8·σ₁ budget the what-if screening
+// path is specified against.
+func TestDowndaterMatchesRecompute(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	for _, dims := range [][2]int{{12, 8}, {40, 30}, {30, 45}} {
+		a := randTest(rng, dims[0], dims[1])
+		// Shift positive so the matrix resembles the ETC inputs it serves.
+		ad := a.RawData()
+		for i := range ad {
+			ad[i] = 3 + ad[i]
+		}
+		dd := NewDowndater(a)
+		ws := NewWorkspace()
+		var got, want []float64
+		for i := 0; i < dims[0]; i += 3 {
+			got = dd.DropRowValues(i, got[:0])
+			want = AppendSingularValues(want[:0], dropRowCopy(a, i), ws)
+			checkSpectraClose(t, got, want, "droprow", dims, i)
+		}
+		for j := 0; j < dims[1]; j += 3 {
+			got = dd.DropColValues(j, got[:0])
+			want = AppendSingularValues(want[:0], dropColCopy(a, j), ws)
+			checkSpectraClose(t, got, want, "dropcol", dims, j)
+		}
+	}
+}
+
+func checkSpectraClose(t *testing.T, got, want []float64, op string, dims [2]int, idx int) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%v %s %d: %d singular values, want %d", dims, op, idx, len(got), len(want))
+	}
+	scale := want[0]
+	for k := range got {
+		if math.Abs(got[k]-want[k]) > 1e-8*scale {
+			t.Errorf("%v %s %d: σ[%d] = %.12g, recompute %.12g (err %g > 1e-8·σ₁)",
+				dims, op, idx, k, got[k], want[k], math.Abs(got[k]-want[k])/scale)
+		}
+	}
+}
+
+// Pounding test for the race detector: concurrent parallel spectral solves
+// (each with its own workspace) over one shared input, above the size
+// threshold so the fan-out actually engages.
+func TestSingularValuesParConcurrentCallers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test")
+	}
+	rng := rand.New(rand.NewSource(83))
+	a := randTest(rng, 280, 260)
+	want := AppendSingularValues(nil, a, NewWorkspace())
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ws := NewWorkspace()
+			for iter := 0; iter < 3; iter++ {
+				if got := SingularValuesPar(a, ws, 4); !floatsBitEqual(got, want) {
+					t.Error("concurrent SingularValuesPar deviated")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

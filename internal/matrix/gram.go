@@ -5,6 +5,13 @@ package matrix
 // step of that pipeline, so both kernels are blocked to keep the output tile
 // resident in L1 while the input streams through row-major storage, and both
 // exploit symmetry by computing only the upper triangle before mirroring.
+//
+// The kernels are written as strip functions — one strip is a block-row of
+// output tiles — so the serial entry points and the parallel ones in
+// gram_parallel.go share the exact same per-tile code. Every output element
+// belongs to exactly one strip and every strip accumulates in the same order
+// regardless of who runs it, which is what makes the parallel path
+// bit-identical to the serial one (see DESIGN.md §14).
 
 // gramBlock is the tile edge used by the Gram kernels. A 32×32 float64 tile
 // is 8 KiB — half a typical 16-32 KiB L1d — leaving room for the streaming
@@ -34,75 +41,14 @@ func (m *Dense) Reset(r, c int) *Dense {
 // contributes the rank-1 update row·rowᵀ, accumulated tile by tile over the
 // upper triangle of dst so the active output block stays cache-resident.
 func AtAInto(dst, a *Dense) *Dense {
-	m, n := a.Dims()
-	if dst.rows != n || dst.cols != n {
-		panic("matrix: AtAInto needs a square destination matching a's columns")
-	}
-	dd := dst.data
-	for i := range dd {
-		dd[i] = 0
-	}
-	ad := a.data
-	for j0 := 0; j0 < n; j0 += gramBlock {
-		j1 := minDim(j0+gramBlock, n)
-		for k0 := j0; k0 < n; k0 += gramBlock {
-			k1 := minDim(k0+gramBlock, n)
-			for i := 0; i < m; i++ {
-				row := ad[i*n : (i+1)*n]
-				for j := j0; j < j1; j++ {
-					v := row[j]
-					if v == 0 {
-						continue
-					}
-					ks := k0
-					if j > ks {
-						ks = j
-					}
-					drow := dd[j*n:]
-					for k := ks; k < k1; k++ {
-						drow[k] += v * row[k]
-					}
-				}
-			}
-		}
-	}
-	mirrorUpper(dd, n)
-	return dst
+	return ataBlocked(dst, a, gramBlock, 1)
 }
 
 // AAtInto computes dst = a·aᵀ for an m×n input a; dst must be m×m. Entry
 // (i, j) is the dot product of rows i and j; the row pairs are walked in
 // tiles so each row block is reused across a whole tile of dot products.
 func AAtInto(dst, a *Dense) *Dense {
-	m, n := a.Dims()
-	if dst.rows != m || dst.cols != m {
-		panic("matrix: AAtInto needs a square destination matching a's rows")
-	}
-	dd := dst.data
-	ad := a.data
-	for i0 := 0; i0 < m; i0 += gramBlock {
-		i1 := minDim(i0+gramBlock, m)
-		for j0 := i0; j0 < m; j0 += gramBlock {
-			j1 := minDim(j0+gramBlock, m)
-			for i := i0; i < i1; i++ {
-				ri := ad[i*n : (i+1)*n]
-				js := j0
-				if i > js {
-					js = i
-				}
-				for j := js; j < j1; j++ {
-					rj := ad[j*n : (j+1)*n]
-					s := 0.0
-					for k, v := range ri {
-						s += v * rj[k]
-					}
-					dd[i*m+j] = s
-				}
-			}
-		}
-	}
-	mirrorUpper(dd, m)
-	return dst
+	return aatBlocked(dst, a, gramBlock, 1)
 }
 
 // GramInto computes the min-dimension Gram matrix of a — aᵀ·a when a has at
@@ -117,9 +63,127 @@ func GramInto(dst, a *Dense) *Dense {
 	return AAtInto(dst, a)
 }
 
+// ataBlocked is the shared implementation behind AtAInto and AtAIntoPar. The
+// output is decomposed into block-row strips of edge block; workers > 1
+// fans the strips out over the parallel pool, otherwise they run in order on
+// the calling goroutine. Either way each strip is produced by ataStrip with
+// identical arithmetic, so the result does not depend on workers.
+func ataBlocked(dst, a *Dense, block, workers int) *Dense {
+	m, n := a.Dims()
+	if dst.rows != n || dst.cols != n {
+		panic("matrix: AtAInto needs a square destination matching a's columns")
+	}
+	dd := dst.data
+	for i := range dd {
+		dd[i] = 0
+	}
+	ad := a.data
+	strips := (n + block - 1) / block
+	if workers > 1 && strips > 1 {
+		runStrips(strips, workers, func(s int) {
+			ataStrip(dd, ad, m, n, s*block, block)
+		})
+	} else {
+		for s := 0; s < strips; s++ {
+			ataStrip(dd, ad, m, n, s*block, block)
+		}
+	}
+	mirrorUpper(dd, n, workers)
+	return dst
+}
+
+// ataStrip accumulates the block-row strip of AᵀA whose output rows start at
+// j0: every upper-triangle tile (j0:j0+block, k0:k1) for k0 ≥ j0. Writes are
+// confined to dst rows [j0, j0+block), so distinct strips never touch the
+// same output element.
+func ataStrip(dd, ad []float64, m, n, j0, block int) {
+	j1 := minDim(j0+block, n)
+	for k0 := j0; k0 < n; k0 += block {
+		k1 := minDim(k0+block, n)
+		for i := 0; i < m; i++ {
+			row := ad[i*n : (i+1)*n]
+			for j := j0; j < j1; j++ {
+				v := row[j]
+				if v == 0 {
+					continue
+				}
+				ks := k0
+				if j > ks {
+					ks = j
+				}
+				drow := dd[j*n:]
+				for k := ks; k < k1; k++ {
+					drow[k] += v * row[k]
+				}
+			}
+		}
+	}
+}
+
+// aatBlocked is the shared implementation behind AAtInto and AAtIntoPar,
+// decomposed into block-row strips exactly like ataBlocked.
+func aatBlocked(dst, a *Dense, block, workers int) *Dense {
+	m, n := a.Dims()
+	if dst.rows != m || dst.cols != m {
+		panic("matrix: AAtInto needs a square destination matching a's rows")
+	}
+	dd := dst.data
+	ad := a.data
+	strips := (m + block - 1) / block
+	if workers > 1 && strips > 1 {
+		runStrips(strips, workers, func(s int) {
+			aatStrip(dd, ad, m, n, s*block, block)
+		})
+	} else {
+		for s := 0; s < strips; s++ {
+			aatStrip(dd, ad, m, n, s*block, block)
+		}
+	}
+	mirrorUpper(dd, m, workers)
+	return dst
+}
+
+// aatStrip fills the block-row strip of AAᵀ whose output rows start at i0:
+// each entry (i, j) with i in [i0, i0+block) and j ≥ i is the dot product of
+// rows i and j of a. Like ataStrip, writes stay inside the strip's rows.
+func aatStrip(dd, ad []float64, m, n, i0, block int) {
+	i1 := minDim(i0+block, m)
+	for j0 := i0; j0 < m; j0 += block {
+		j1 := minDim(j0+block, m)
+		for i := i0; i < i1; i++ {
+			ri := ad[i*n : (i+1)*n]
+			js := j0
+			if i > js {
+				js = i
+			}
+			for j := js; j < j1; j++ {
+				rj := ad[j*n : (j+1)*n]
+				s := 0.0
+				for k, v := range ri {
+					s += v * rj[k]
+				}
+				dd[i*m+j] = s
+			}
+		}
+	}
+}
+
 // mirrorUpper copies the strict upper triangle of the n×n row-major matrix d
-// onto its lower triangle.
-func mirrorUpper(d []float64, n int) {
+// onto its lower triangle. With workers > 1 the row range is split into
+// strips over the pool; every element is copied exactly once either way.
+func mirrorUpper(d []float64, n, workers int) {
+	if workers > 1 && n >= 2*gramBlock {
+		strips := (n + gramBlock - 1) / gramBlock
+		runStrips(strips, workers, func(s int) {
+			lo, hi := s*gramBlock, minDim((s+1)*gramBlock, n)
+			for i := lo; i < hi; i++ {
+				for j := 0; j < i; j++ {
+					d[i*n+j] = d[j*n+i]
+				}
+			}
+		})
+		return
+	}
 	for i := 1; i < n; i++ {
 		for j := 0; j < i; j++ {
 			d[i*n+j] = d[j*n+i]

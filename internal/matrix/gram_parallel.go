@@ -1,0 +1,54 @@
+package matrix
+
+import (
+	"context"
+
+	"repro/internal/parallel"
+)
+
+// Parallel variants of the Gram kernels. The output matrix is decomposed
+// into block-row strips and the strips are fanned out over the
+// internal/parallel pool. Because every output element belongs to exactly
+// one strip and each strip runs the identical serial tile code, the result
+// is bit-identical to the serial kernels for every worker count and every
+// block size — the pool only changes *who* computes a strip, never the
+// order of floating-point operations within it.
+//
+// The strips near the diagonal of the upper triangle carry more tiles than
+// the ones far from it, so the pool's dynamic index claiming doubles as load
+// balancing: fast workers drain the cheap trailing strips while a slow one
+// finishes a heavy leading strip.
+
+// AtAIntoPar is AtAInto across workers goroutines. workers ≤ 1 runs the
+// serial kernel; the result is bit-identical either way.
+func AtAIntoPar(dst, a *Dense, workers int) *Dense {
+	return ataBlocked(dst, a, gramBlock, workers)
+}
+
+// AAtIntoPar is AAtInto across workers goroutines. workers ≤ 1 runs the
+// serial kernel; the result is bit-identical either way.
+func AAtIntoPar(dst, a *Dense, workers int) *Dense {
+	return aatBlocked(dst, a, gramBlock, workers)
+}
+
+// GramIntoPar is GramInto across workers goroutines: the min-dimension Gram
+// product, computed by the parallel kernel matching GramInto's choice.
+func GramIntoPar(dst, a *Dense, workers int) *Dense {
+	if a.cols <= a.rows {
+		return AtAIntoPar(dst, a, workers)
+	}
+	return AAtIntoPar(dst, a, workers)
+}
+
+// runStrips executes fn(s) for every strip index in [0, strips) on at most
+// workers goroutines via the shared pool. The background context keeps the
+// kernels span-free (obs tracing of the numeric stage happens one level up,
+// in internal/linalg) and uncancellable — a Gram product either completes or
+// the process is going down anyway.
+func runStrips(strips, workers int, fn func(s int)) {
+	// The strip closures never fail, so Map's error path is unreachable.
+	_, _ = parallel.Map(context.Background(), strips, workers, func(_ context.Context, s int) (struct{}, error) {
+		fn(s)
+		return struct{}{}, nil
+	})
+}

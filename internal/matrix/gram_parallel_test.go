@@ -1,0 +1,167 @@
+package matrix
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// bitEqual reports whether two matrices are identical bit for bit — the
+// contract of the parallel Gram kernels, which promise the exact floats of
+// the serial path, not merely agreement within rounding.
+func bitEqual(a, b *Dense) bool {
+	if a.rows != b.rows || a.cols != b.cols {
+		return false
+	}
+	for i, v := range a.data {
+		if v != b.data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// The parallel entry points must reproduce the serial results exactly at
+// every worker count: each output element is owned by one strip and each
+// strip accumulates in a fixed order, so scheduling cannot move a single ulp.
+func TestParallelGramBitIdenticalToSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	workerCounts := []int{1, 2, 4, runtime.GOMAXPROCS(0)}
+	for _, dims := range [][2]int{{1, 1}, {3, 7}, {31, 33}, {40, 60}, {60, 40}, {65, 64}, {128, 96}} {
+		a := randDense(rng, dims[0], dims[1])
+		wantAtA := AtAInto(New(dims[1], dims[1]), a)
+		wantAAt := AAtInto(New(dims[0], dims[0]), a)
+		k := minDim(dims[0], dims[1])
+		wantGram := GramInto(New(k, k), a)
+		for _, w := range workerCounts {
+			if got := AtAIntoPar(New(dims[1], dims[1]), a, w); !bitEqual(got, wantAtA) {
+				t.Errorf("%v workers=%d: AtAIntoPar differs from AtAInto", dims, w)
+			}
+			if got := AAtIntoPar(New(dims[0], dims[0]), a, w); !bitEqual(got, wantAAt) {
+				t.Errorf("%v workers=%d: AAtIntoPar differs from AAtInto", dims, w)
+			}
+			if got := GramIntoPar(New(k, k), a, w); !bitEqual(got, wantGram) {
+				t.Errorf("%v workers=%d: GramIntoPar differs from GramInto", dims, w)
+			}
+		}
+	}
+}
+
+// Block size partitions the output but never reorders the additions that
+// land on one element (AᵀA accumulates over input rows in row order inside
+// every tile; AAᵀ entries are single fixed-order dot products), so every
+// block size must give the same bits as the default.
+func TestBlockedGramBitIdenticalAcrossBlockSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	blocks := []int{1, 2, 3, 8, 17, 32, 64}
+	for _, dims := range [][2]int{{5, 5}, {33, 31}, {40, 60}, {70, 50}} {
+		a := randDense(rng, dims[0], dims[1])
+		wantAtA := AtAInto(New(dims[1], dims[1]), a)
+		wantAAt := AAtInto(New(dims[0], dims[0]), a)
+		for _, blk := range blocks {
+			for _, w := range []int{1, 2, 4} {
+				if got := ataBlocked(New(dims[1], dims[1]), a, blk, w); !bitEqual(got, wantAtA) {
+					t.Errorf("%v block=%d workers=%d: ataBlocked differs", dims, blk, w)
+				}
+				if got := aatBlocked(New(dims[0], dims[0]), a, blk, w); !bitEqual(got, wantAAt) {
+					t.Errorf("%v block=%d workers=%d: aatBlocked differs", dims, blk, w)
+				}
+			}
+		}
+	}
+}
+
+// The range kernels are the tiled Sinkhorn loop's building blocks: applied
+// tile by tile in column order with the accumulator resumed between tiles,
+// they must reproduce the whole-row kernels bit for bit.
+func TestScaleRangeKernelsMatchWholeRow(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	const r, c = 23, 37
+	factorsC := make([]float64, c)
+	factorsR := make([]float64, r)
+	for i := range factorsC {
+		factorsC[i] = 0.5 + rng.Float64()
+	}
+	for i := range factorsR {
+		factorsR[i] = 0.5 + rng.Float64()
+	}
+
+	orig := randDense(rng, r, c)
+	whole := orig.Clone()
+	wantSums := make([]float64, r)
+	whole.ScaleColsRowSums(factorsC, wantSums)
+
+	ranged := orig.Clone()
+	gotSums := make([]float64, r)
+	// Uneven column splits; each row's partial sum resumes across them.
+	for _, split := range [][2]int{{0, 5}, {5, 6}, {6, 20}, {20, 37}} {
+		ranged.ScaleColsRowSumsRange(factorsC, gotSums, 0, r, split[0], split[1])
+	}
+	if !bitEqual(ranged, whole) {
+		t.Error("ScaleColsRowSumsRange tiles differ from the whole-row kernel")
+	}
+	for i := range wantSums {
+		if gotSums[i] != wantSums[i] {
+			t.Fatalf("row sum %d: ranged %g != whole %g", i, gotSums[i], wantSums[i])
+		}
+	}
+
+	whole2 := orig.Clone()
+	wantCols := make([]float64, c)
+	whole2.ScaleRowsColSums(factorsR, wantCols)
+	ranged2 := orig.Clone()
+	gotCols := make([]float64, c)
+	for _, split := range [][2]int{{0, 9}, {9, 10}, {10, 23}} {
+		ranged2.ScaleRowsColSumsRange(factorsR, gotCols, split[0], split[1], 0, c)
+	}
+	if !bitEqual(ranged2, whole2) {
+		t.Error("ScaleRowsColSumsRange tiles differ from the whole-row kernel")
+	}
+	for j := range wantCols {
+		if gotCols[j] != wantCols[j] {
+			t.Fatalf("col sum %d: ranged %g != whole %g", j, gotCols[j], wantCols[j])
+		}
+	}
+}
+
+// Range bounds are programming errors, not data errors; they must fail fast.
+func TestScaleRangePanicsOnBadBounds(t *testing.T) {
+	m := New(4, 4)
+	f := make([]float64, 4)
+	s := make([]float64, 4)
+	for _, bad := range [][4]int{{-1, 4, 0, 4}, {0, 5, 0, 4}, {2, 1, 0, 4}, {0, 4, 3, 5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("range %v accepted", bad)
+				}
+			}()
+			m.ScaleColsRowSumsRange(f, s, bad[0], bad[1], bad[2], bad[3])
+		}()
+	}
+}
+
+// Pounding test for the race detector: many goroutines run the parallel
+// kernels concurrently over one shared read-only input, each with its own
+// destination. `make race` is the gate.
+func TestParallelGramConcurrentCallers(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	a := randDense(rng, 90, 70)
+	want := AtAInto(New(70, 70), a)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			dst := New(70, 70)
+			for iter := 0; iter < 5; iter++ {
+				if got := AtAIntoPar(dst.Reset(70, 70), a, 4); !bitEqual(got, want) {
+					t.Error("concurrent AtAIntoPar deviated")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,12 +1,14 @@
 // Package matrix provides a dense, row-major float64 matrix kernel used by
 // every other package in this repository.
 //
-// The package is deliberately small and self-contained (standard library
-// only): it implements exactly the operations the heterogeneity-measure
-// pipeline needs — construction, element access, arithmetic, row/column
-// aggregation, diagonal scaling, permutation, submatrix extraction, norms and
-// tolerant comparison. Heavier numerical routines (QR, SVD, eigensolvers)
-// live in internal/linalg and build on this type.
+// The package is deliberately small and self-contained — the standard
+// library plus the in-repo internal/parallel pool that the parallel Gram
+// kernels fan out on: it implements exactly the operations the
+// heterogeneity-measure pipeline needs — construction, element access,
+// arithmetic, row/column aggregation, diagonal scaling, permutation,
+// submatrix extraction, norms and tolerant comparison. Heavier numerical
+// routines (QR, SVD, eigensolvers) live in internal/linalg and build on
+// this type.
 package matrix
 
 import (
@@ -370,6 +372,67 @@ func (m *Dense) ScaleRowsColSums(rowFactors, colSums []float64) {
 			row[j] = v
 			colSums[j] += v
 		}
+	}
+}
+
+// ScaleColsRowSumsRange is ScaleColsRowSums restricted to the subrectangle
+// [r0, r1) × [c0, c1): it scales those entries by their column factors and
+// accumulates their contribution into rowSums (which the caller zeroes before
+// the first tile of a pass). Factor and sum slices are full-size and indexed
+// by absolute row/column. Each row's partial sum is resumed from rowSums[i]
+// and flushed back after the tile, so a left-to-right tile walk performs the
+// exact addition sequence of the whole-row kernel — tiled passes are
+// bit-identical to untiled ones (see sinkhorn/tiling.go).
+func (m *Dense) ScaleColsRowSumsRange(colFactors, rowSums []float64, r0, r1, c0, c1 int) {
+	if len(colFactors) != m.cols {
+		panic(fmt.Sprintf("matrix: ScaleColsRowSumsRange needs %d factors, got %d", m.cols, len(colFactors)))
+	}
+	if len(rowSums) != m.rows {
+		panic(fmt.Sprintf("matrix: ScaleColsRowSumsRange needs row buffer %d, got %d", m.rows, len(rowSums)))
+	}
+	checkRange(r0, r1, m.rows, "row")
+	checkRange(c0, c1, m.cols, "column")
+	for i := r0; i < r1; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		s := rowSums[i]
+		for j := c0; j < c1; j++ {
+			v := row[j] * colFactors[j]
+			row[j] = v
+			s += v
+		}
+		rowSums[i] = s
+	}
+}
+
+// ScaleRowsColSumsRange is ScaleRowsColSums restricted to the subrectangle
+// [r0, r1) × [c0, c1), accumulating into colSums (caller-zeroed before the
+// first tile of a pass). A top-to-bottom tile walk adds each column's
+// contributions in the same order as the whole-row kernel, keeping tiled
+// passes bit-identical to untiled ones.
+func (m *Dense) ScaleRowsColSumsRange(rowFactors, colSums []float64, r0, r1, c0, c1 int) {
+	if len(rowFactors) != m.rows {
+		panic(fmt.Sprintf("matrix: ScaleRowsColSumsRange needs %d factors, got %d", m.rows, len(rowFactors)))
+	}
+	if len(colSums) != m.cols {
+		panic(fmt.Sprintf("matrix: ScaleRowsColSumsRange needs col buffer %d, got %d", m.cols, len(colSums)))
+	}
+	checkRange(r0, r1, m.rows, "row")
+	checkRange(c0, c1, m.cols, "column")
+	for i := r0; i < r1; i++ {
+		f := rowFactors[i]
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		for j := c0; j < c1; j++ {
+			v := row[j] * f
+			row[j] = v
+			colSums[j] += v
+		}
+	}
+}
+
+// checkRange validates a half-open [lo, hi) range against a dimension limit.
+func checkRange(lo, hi, limit int, dim string) {
+	if lo < 0 || hi > limit || lo > hi {
+		panic(fmt.Sprintf("matrix: invalid %s range [%d, %d) for limit %d", dim, lo, hi, limit))
 	}
 }
 

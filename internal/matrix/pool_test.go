@@ -1,0 +1,80 @@
+package matrix
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPoolClassBounds(t *testing.T) {
+	cases := []struct {
+		n, want int
+	}{
+		{0, -1},
+		{-5, -1},
+		{1, 0},                  // below the min class rounds up to it
+		{1 << poolMinBits, 0},   // exactly the min class
+		{1<<poolMinBits + 1, 1}, // one past a boundary goes up a class
+		{1 << poolMaxBits, poolMaxBits - poolMinBits},
+		{1<<poolMaxBits + 1, -1}, // past the top class bypasses the pool
+	}
+	for _, c := range cases {
+		if got := getClass(c.n); got != c.want {
+			t.Errorf("getClass(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+	// Round-trip invariant: any capacity putClass files under class c must
+	// satisfy every getClass(n) == c request without reallocation.
+	for _, capacity := range []int{1 << poolMinBits, 3000, 1 << 15, 1<<15 + 9, 1 << poolMaxBits, 1<<poolMaxBits + 1} {
+		cl := putClass(capacity)
+		if cl < 0 {
+			t.Fatalf("putClass(%d) refused a poolable capacity", capacity)
+		}
+		if maxServed := 1 << (cl + poolMinBits); capacity < maxServed {
+			t.Errorf("putClass(%d) = class %d serving up to %d cells: capacity too small", capacity, cl, maxServed)
+		}
+	}
+	if putClass(1<<poolMinBits-1) != -1 {
+		t.Error("putClass accepted a capacity below the smallest class")
+	}
+}
+
+func TestNewPooledZeroesRecycledStorage(t *testing.T) {
+	m := NewPooled(40, 40)
+	for i := range m.RawData() {
+		m.RawData()[i] = 99
+	}
+	Recycle(m)
+	if m.Rows() != 0 || m.Cols() != 0 {
+		t.Fatal("Recycle must empty the matrix")
+	}
+	// Whether or not the next NewPooled wins the recycled buffer (sync.Pool
+	// makes no promise), it must come back fully zeroed.
+	n := NewPooled(40, 40)
+	for i, v := range n.RawData() {
+		if v != 0 {
+			t.Fatalf("NewPooled cell %d = %g, want 0", i, v)
+		}
+	}
+}
+
+func TestClonePooledCopiesAndDetaches(t *testing.T) {
+	rng := rand.New(rand.NewSource(54))
+	src := randDense(rng, 33, 35)
+	c := ClonePooled(src)
+	if !bitEqual(c, src) {
+		t.Fatal("ClonePooled differs from source")
+	}
+	c.RawData()[0] = -1
+	if src.RawData()[0] == -1 {
+		t.Fatal("ClonePooled aliases source storage")
+	}
+}
+
+func TestRecycleEdgeCases(t *testing.T) {
+	Recycle(nil) // must be a no-op
+	small := New(2, 2)
+	Recycle(small) // below the smallest class: dropped, not pooled
+	if small.Rows() != 0 {
+		t.Error("Recycle must empty even unpoolable matrices")
+	}
+}

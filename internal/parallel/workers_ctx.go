@@ -1,0 +1,34 @@
+package parallel
+
+import "context"
+
+// Context plumbing for worker counts. The serving tier decides how many
+// goroutines a request may fan out on (its configured worker budget); the
+// numeric kernels deep in the pipeline are the ones that can use them. A
+// context value bridges the layers without threading a workers parameter
+// through every intermediate signature — and because all parallel kernels in
+// this repository are bit-identical across worker counts, the value tunes
+// only latency, never results.
+
+type workersKey struct{}
+
+// WithWorkers returns a context that carries a worker budget for downstream
+// parallel kernels. n ≤ 0 removes any explicit budget (kernels fall back to
+// their own defaults).
+func WithWorkers(ctx context.Context, n int) context.Context {
+	if n <= 0 {
+		n = 0
+	}
+	return context.WithValue(ctx, workersKey{}, n)
+}
+
+// WorkersFrom reports the worker budget carried by ctx, or 0 when none was
+// set — callers treat 0 as "choose a default" (typically Workers(0), i.e.
+// GOMAXPROCS).
+func WorkersFrom(ctx context.Context) int {
+	if ctx == nil {
+		return 0
+	}
+	n, _ := ctx.Value(workersKey{}).(int)
+	return n
+}

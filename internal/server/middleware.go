@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"runtime/debug"
 	"strconv"
+	"strings"
 
 	"repro/internal/obs"
 )
@@ -81,9 +82,16 @@ func (s *Server) withObservability(endpoint string, next http.Handler) http.Hand
 			"Request latency by endpoint.",
 			`endpoint="`+endpoint+`"`).Observe(elapsed.Seconds())
 		for _, sp := range tr.Spans() {
+			labels := `stage="` + sp.Name + `"`
+			if strings.HasSuffix(sp.Name, "_parallel") {
+				// Parallel pipeline stages carry the worker budget they ran
+				// under, so dashboards can attribute latency shifts to a
+				// worker-count change rather than a workload change.
+				labels += `,workers="` + strconv.Itoa(s.cfg.Workers) + `"`
+			}
 			s.metrics.Histogram("hcserved_stage_seconds",
 				"Stage latency within a request (top-level stages plus nested pipeline spans).",
-				`stage="`+sp.Name+`"`).Observe(sp.Dur.Seconds())
+				labels).Observe(sp.Dur.Seconds())
 		}
 		s.log.Info("request",
 			"method", r.Method,

@@ -359,6 +359,10 @@ func BalanceWarmWS(a *matrix.Dense, opt Options, warm *WarmStart, ws *Workspace)
 	omega := warm.omega()
 	bestDev := math.Inf(1)
 	stall := 0
+	// Fleet-sized matrices run the cache-oblivious tiled passes instead of
+	// the whole-row fused kernels — bit-identical results, better locality
+	// once a row's working set outgrows the cache hierarchy (see tiling.go).
+	tiled := t*m >= tiledBalanceMin
 	for it := 1; it <= maxIter; it++ {
 		// Column normalization (Eq. 9, odd steps): cs holds the column sums,
 		// which become the scaling factors; the fused pass leaves the new row
@@ -376,7 +380,11 @@ func BalanceWarmWS(a *matrix.Dense, opt Options, warm *WarmStart, ws *Workspace)
 				cs[j] = f
 			}
 		}
-		w.ScaleColsRowSums(cs, rs)
+		if tiled {
+			ScaleColsRowSumsTiled(w, cs, rs)
+		} else {
+			w.ScaleColsRowSums(cs, rs)
+		}
 		// Row normalization (Eq. 9, even steps); the fused pass leaves the
 		// new column sums in cs.
 		rowDev := 0.0
@@ -396,7 +404,11 @@ func BalanceWarmWS(a *matrix.Dense, opt Options, warm *WarmStart, ws *Workspace)
 				rs[i] = f
 			}
 		}
-		w.ScaleRowsColSums(rs, cs)
+		if tiled {
+			ScaleRowsColSumsTiled(w, rs, cs)
+		} else {
+			w.ScaleRowsColSums(rs, cs)
+		}
 
 		res.Iterations = it
 		// With ω == 1 every row sums to RowTarget up to roundoff after the

@@ -7,6 +7,86 @@ import (
 	"repro/internal/matrix"
 )
 
+// This file hosts two unrelated-but-namesake tilings:
+//
+//   - the Appendix A square-tiling construction (BalanceViaTiling), kept as
+//     an independent cross-check of the direct rectangular iteration, and
+//   - the cache-oblivious tiled balance passes (ScaleColsRowSumsTiled /
+//     ScaleRowsColSumsTiled) that BalanceWarmWS switches to for fleet-sized
+//     matrices, where a whole row no longer fits the cache hierarchy
+//     comfortably and the factor/sum vectors alone run to hundreds of
+//     kilobytes.
+//
+// The tiled passes recurse on the larger dimension until a tile is at most
+// balanceTileCells cells (≈¼ MiB — L2-sized), then run the fused
+// scale+reduce range kernels of internal/matrix on the leaf. Because the
+// recursion visits row ranges top-to-bottom and column ranges left-to-right,
+// every row sum accumulates in increasing column order and every column sum
+// in increasing row order — the exact addition sequences of the whole-row
+// kernels — so a tiled pass is bit-identical to an untiled one and the
+// switchover threshold cannot change any balanced matrix (see DESIGN.md §14).
+
+// balanceTileCells bounds a leaf tile of the cache-oblivious recursion:
+// 32 Ki cells = 256 KiB of float64, sized to a typical L2, so the leaf's
+// rows, its factor slice segment and its sum slice segment stay resident
+// while the kernel streams the tile.
+const balanceTileCells = 32 * 1024
+
+// tiledBalanceMin is the matrix size (in cells) at which BalanceWarmWS
+// switches its fused passes to the tiled walk. 2 Mi cells is 16 MiB — past
+// any L2 and into last-level-cache territory, where the tiled walk starts
+// paying for its recursion. Below it the plain row-streaming passes are
+// already cache-resident. Identical results either way.
+const tiledBalanceMin = 2 << 20
+
+// ScaleColsRowSumsTiled is matrix.ScaleColsRowSums as a cache-oblivious
+// tiled walk: scale every column j of w by colFactors[j] and leave the row
+// sums of the scaled matrix in rowSums. Bit-identical to the untiled kernel.
+func ScaleColsRowSumsTiled(w *matrix.Dense, colFactors, rowSums []float64) {
+	for i := range rowSums {
+		rowSums[i] = 0
+	}
+	recurseTiles(0, w.Rows(), 0, w.Cols(), func(r0, r1, c0, c1 int) {
+		w.ScaleColsRowSumsRange(colFactors, rowSums, r0, r1, c0, c1)
+	})
+}
+
+// ScaleRowsColSumsTiled is matrix.ScaleRowsColSums as a cache-oblivious
+// tiled walk: scale every row i of w by rowFactors[i] and leave the column
+// sums of the scaled matrix in colSums. Bit-identical to the untiled kernel.
+func ScaleRowsColSumsTiled(w *matrix.Dense, rowFactors, colSums []float64) {
+	for j := range colSums {
+		colSums[j] = 0
+	}
+	recurseTiles(0, w.Rows(), 0, w.Cols(), func(r0, r1, c0, c1 int) {
+		w.ScaleRowsColSumsRange(rowFactors, colSums, r0, r1, c0, c1)
+	})
+}
+
+// recurseTiles walks the subrectangle [r0,r1)×[c0,c1) in cache-oblivious
+// order: halve the larger dimension until the tile fits balanceTileCells,
+// visiting the top/left half before the bottom/right one. The in-order walk
+// is what keeps the tiled passes bit-identical to the row-streaming kernels.
+func recurseTiles(r0, r1, c0, c1 int, leaf func(r0, r1, c0, c1 int)) {
+	rows, cols := r1-r0, c1-c0
+	if rows == 0 || cols == 0 {
+		return
+	}
+	if rows*cols <= balanceTileCells || (rows == 1 && cols == 1) {
+		leaf(r0, r1, c0, c1)
+		return
+	}
+	if rows >= cols {
+		mid := r0 + rows/2
+		recurseTiles(r0, mid, c0, c1, leaf)
+		recurseTiles(mid, r1, c0, c1, leaf)
+		return
+	}
+	mid := c0 + cols/2
+	recurseTiles(r0, r1, c0, mid, leaf)
+	recurseTiles(r0, r1, mid, c1, leaf)
+}
+
 // BalanceViaTiling standardizes a rectangular positive matrix using the
 // construction of the paper's Appendix A (proof of Theorem 1): tile the T×M
 // matrix into an (M·T/g)×(T·M/g) square array of copies (g = gcd(T, M), so

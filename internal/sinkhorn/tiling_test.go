@@ -106,6 +106,52 @@ func TestTilingRejectsBadTargets(t *testing.T) {
 	}
 }
 
+// The cache-oblivious pass kernels promise the exact bits of the whole-row
+// kernels: the recursion visits every row's column tiles left to right and
+// resumes the row accumulator between them, so the addition sequences match.
+// The shapes force several levels of recursion (well past balanceTileCells)
+// plus small cases that stay a single leaf.
+func TestTiledPassesBitIdenticalToRowStreaming(t *testing.T) {
+	rng := rand.New(rand.NewSource(74))
+	for _, dims := range [][2]int{{3, 5}, {257, 129}, {300, 400}, {451, 287}} {
+		r, c := dims[0], dims[1]
+		orig := randPositive(rng, r, c)
+		colF := make([]float64, c)
+		rowF := make([]float64, r)
+		for j := range colF {
+			colF[j] = 0.25 + rng.Float64()
+		}
+		for i := range rowF {
+			rowF[i] = 0.25 + rng.Float64()
+		}
+
+		plain, tiled := orig.Clone(), orig.Clone()
+		wantRS, gotRS := make([]float64, r), make([]float64, r)
+		plain.ScaleColsRowSums(colF, wantRS)
+		ScaleColsRowSumsTiled(tiled, colF, gotRS)
+		if !matrix.EqualTol(plain, tiled, 0) {
+			t.Errorf("%v: tiled col-scale pass differs from row-streaming", dims)
+		}
+		for i := range wantRS {
+			if wantRS[i] != gotRS[i] {
+				t.Fatalf("%v: row sum %d: tiled %g != plain %g", dims, i, gotRS[i], wantRS[i])
+			}
+		}
+
+		wantCS, gotCS := make([]float64, c), make([]float64, c)
+		plain.ScaleRowsColSums(rowF, wantCS)
+		ScaleRowsColSumsTiled(tiled, rowF, gotCS)
+		if !matrix.EqualTol(plain, tiled, 0) {
+			t.Errorf("%v: tiled row-scale pass differs from row-streaming", dims)
+		}
+		for j := range wantCS {
+			if wantCS[j] != gotCS[j] {
+				t.Fatalf("%v: col sum %d: tiled %g != plain %g", dims, j, gotCS[j], wantCS[j])
+			}
+		}
+	}
+}
+
 // Square inputs degenerate to the plain square balance (blockRows =
 // blockCols = 1).
 func TestTilingSquareDegenerate(t *testing.T) {

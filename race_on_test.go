@@ -1,0 +1,8 @@
+//go:build race
+
+package repro
+
+// raceEnabled reports that this binary was built with -race; the scale
+// tests that assert wall-clock ratios skip themselves then, since the
+// instrumentation distorts exactly what they measure.
+const raceEnabled = true
