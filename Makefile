@@ -22,7 +22,7 @@ GATEP99 ?=
 BENCH_P99_THRESHOLD ?= 3.0
 P99_FLAGS = $(if $(GATEP99),-gatep99 -p99threshold $(BENCH_P99_THRESHOLD),)
 
-.PHONY: build test vet race lint bench bench-json benchdiff scalebench verify clean serve loadtest wirebench fuzz-smoke
+.PHONY: build test vet race lint bench bench-json benchdiff scalebench verify clean serve loadtest wirebench clusterload fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -113,6 +113,13 @@ loadtest:
 # decode_bench section so the numbers live next to the latencies they explain.
 wirebench:
 	$(GO) run ./cmd/hcbench -wirebench $(LOAD_OUT)
+
+# Full serving-report regen: classic single-node suite + decode
+# micro-benchmarks + the 3-node cluster suite (mid-run SIGTERM, accounting
+# invariant), all merged into $(LOAD_OUT). Servers are started and torn down
+# by the script; nothing needs to be running beforehand.
+clusterload:
+	scripts/clusterload.sh $(LOAD_OUT)
 
 # Short fuzz run of the binary frame decoder (the CI smoke step).
 fuzz-smoke:

@@ -115,6 +115,16 @@ type serveReport struct {
 		Characterizations  uint64 `json:"characterizations"`
 		UniqueComputesOnly bool   `json:"unique_computes_only"`
 	} `json:"zipf"`
+	// Cluster is the -cluster suite scorecard: the gate is correctness, not
+	// latency — no response may be lost across the kill-a-node phase, and
+	// every node's serving accounting must balance.
+	Cluster *struct {
+		KilledNode  string `json:"killed_node"`
+		Lost        int    `json:"lost"`
+		Retried     int    `json:"retried"`
+		Forwarded   uint64 `json:"forwarded"`
+		InvariantOK bool   `json:"invariant_ok"`
+	} `json:"cluster"`
 }
 
 // reportKind sniffs a report file: scale reports self-identify with
@@ -255,6 +265,19 @@ func runServeDiff(out io.Writer, oldPath, newPath string, threshold, p99Threshol
 		}
 		fmt.Fprintf(out, "  %-5s %-8s p50 %8.3f -> %8.3f ms  %+7.1f%%   p99 %8.3f -> %8.3f ms  %+7.1f%%\n",
 			status, p.Name, old.p50, p.P50Ms, 100*delta, old.p99, p.P99Ms, 100*delta99)
+	}
+	if c := newRep.Cluster; c != nil {
+		killed := ""
+		if c.KilledNode != "" {
+			killed = fmt.Sprintf(" (node %s killed mid-run)", c.KilledNode)
+		}
+		if c.Lost == 0 && c.InvariantOK {
+			fmt.Fprintf(out, "  ok    cluster: 0 lost, %d retried, %d forwarded, accounting balanced%s\n",
+				c.Retried, c.Forwarded, killed)
+		} else {
+			fmt.Fprintf(out, "  FAIL  cluster: %d lost, invariant_ok=%v%s\n", c.Lost, c.InvariantOK, killed)
+			ok = false
+		}
 	}
 	if z := newRep.Zipf; z != nil {
 		if z.UniqueComputesOnly {

@@ -1,0 +1,395 @@
+package main
+
+// The -cluster suite: the same pre-rendered bodies round-robined across a
+// set of hcserved nodes, so most requests land on a non-owner and exercise
+// the consistent-hash forward path (see internal/cluster and DESIGN.md §15).
+// Three measured phases:
+//
+//	cluster_cold — n distinct environments; owners compute, requesters
+//	               forward and back-fill their shard caches;
+//	cluster_warm — the identical bodies on a shifted rotation: forwards
+//	               now land on warm owners, so the phase is dominated by
+//	               peer cache fills and local hits;
+//	cluster_kill — the bodies once more; with -kill-pid, one node is
+//	               SIGTERMed a fifth of the way in and the client retries
+//	               failed requests on the survivors. The phase asserts the
+//	               recovery story: zero lost responses even though an owner
+//	               vanished mid-run.
+//
+// The suite closes with the serving invariant, checked per node from
+// /metrics deltas: every 200 the characterize endpoint returned is accounted
+// for by exactly one of cache hit, unique miss, coalesced wait, or peer
+// forward. A node that double-counts (or drops) accounting breaks the
+// invariant even when every response looked fine from the client.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+)
+
+type clusterConfig struct {
+	nodes    []string
+	conc     int
+	n        int
+	tasks    int
+	machines int
+	seed     int64
+	killPid  int
+	killNode int
+}
+
+// nodeInvariant is one node's serving-accounting check across the whole
+// suite: Served is the requests_total{characterize,200} delta, Accounted the
+// sum of the cache-hit, unique-miss, coalesced and forwarded deltas.
+type nodeInvariant struct {
+	Node      string `json:"node"`
+	Served    uint64 `json:"served"`
+	Accounted uint64 `json:"accounted"`
+	OK        bool   `json:"ok"`
+}
+
+// clusterReport is the cluster section of BENCH_serve.json. benchdiff gates
+// on Lost and InvariantOK; the rest is context.
+type clusterReport struct {
+	Nodes      []string `json:"nodes"`
+	KilledNode string   `json:"killed_node,omitempty"`
+	// Lost counts requests that got no 200 from any node despite retrying
+	// the full rotation — the kill-a-node phase must keep this at zero.
+	Lost int `json:"lost"`
+	// Retried counts attempts that failed (connection error or 429) and
+	// were re-sent to another node.
+	Retried int `json:"retried"`
+	// Cluster counter totals across surviving nodes, whole-suite deltas.
+	Forwarded     uint64 `json:"forwarded"`
+	PeerFills     uint64 `json:"peer_fills"`
+	ForwardErrors uint64 `json:"forward_errors"`
+	Hedges        uint64 `json:"hedges"`
+	HedgeWins     uint64 `json:"hedge_wins"`
+	// InvariantOK is the conjunction of every surviving node's accounting
+	// check in NodeInvariants.
+	InvariantOK    bool            `json:"invariant_ok"`
+	NodeInvariants []nodeInvariant `json:"node_invariants"`
+}
+
+const servedKey = `hcserved_requests_total{endpoint="characterize",code="200"}`
+
+// rotation is the shared view of which nodes still take traffic. Nodes are
+// only marked down on observed connection errors — the client discovers the
+// kill the same way a real caller would.
+type rotation struct {
+	nodes []string
+	down  []atomic.Bool
+}
+
+func newRotation(nodes []string) *rotation {
+	return &rotation{nodes: nodes, down: make([]atomic.Bool, len(nodes))}
+}
+
+// pick returns the attempt-th candidate node for request i: the round-robin
+// choice first, then the next live node clockwise. With every node down it
+// returns the raw rotation choice so the caller still surfaces an error.
+func (r *rotation) pick(i, attempt int) (string, int) {
+	n := len(r.nodes)
+	for k := 0; k < n; k++ {
+		idx := (i + attempt + k) % n
+		if !r.down[idx].Load() {
+			return r.nodes[idx], idx
+		}
+	}
+	idx := (i + attempt) % n
+	return r.nodes[idx], idx
+}
+
+func (r *rotation) markDown(idx int) { r.down[idx].Store(true) }
+
+func (r *rotation) alive() []string {
+	var out []string
+	for i, n := range r.nodes {
+		if !r.down[i].Load() {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// killTrigger SIGTERMs a node's process once a phase has issued enough
+// requests to have traffic in flight on every node.
+type killTrigger struct {
+	pid   int
+	at    int
+	fired atomic.Bool
+}
+
+func (k *killTrigger) maybeFire(i int) bool {
+	if k == nil || i < k.at || !k.fired.CompareAndSwap(false, true) {
+		return false
+	}
+	if err := syscall.Kill(k.pid, syscall.SIGTERM); err != nil {
+		fmt.Fprintf(os.Stderr, "hcload: kill -TERM %d: %v\n", k.pid, err)
+	}
+	return true
+}
+
+// runClusterSuite fills rep.Phases with the three cluster phases and
+// rep.Cluster with the suite scorecard.
+func runClusterSuite(client *http.Client, rep *report, cfg clusterConfig) {
+	for _, node := range cfg.nodes {
+		if err := waitHealthy(client, node, 10*time.Second); err != nil {
+			fatal("%v", err)
+		}
+	}
+	rep.URL = strings.Join(cfg.nodes, ",")
+	bodies, err := makeBodies(cfg.n, cfg.tasks, cfg.machines, cfg.seed+7_000_000)
+	if err != nil {
+		fatal("generating cluster bodies: %v", err)
+	}
+
+	rot := newRotation(cfg.nodes)
+	beforeAll := scrapeAllNodes(client, cfg.nodes)
+	cr := &clusterReport{Nodes: cfg.nodes}
+
+	// Each phase rotates the body->node mapping by one, so a body warmed on
+	// node k is asked of node k+1 next time: the warm and kill phases land
+	// on non-owners by construction and must forward (or hedge) to answer.
+	phases := []struct {
+		name   string
+		offset int
+		kill   *killTrigger
+	}{
+		{"cluster_cold", 0, nil},
+		{"cluster_warm", 1, nil},
+		{"cluster_kill", 2, nil},
+	}
+	if cfg.killPid != 0 {
+		phases[2].kill = &killTrigger{pid: cfg.killPid, at: len(bodies) / 5}
+		cr.KilledNode = cfg.nodes[cfg.killNode]
+	}
+	for _, ph := range phases {
+		before := scrapeAllNodes(client, cfg.nodes)
+		pr, lost, retried := runClusterPhase(client, rot, ph.name, ph.offset, bodies, cfg.conc, ph.kill)
+		cr.Lost += lost
+		cr.Retried += retried
+		settle()
+		after := scrapeAllNodes(client, cfg.nodes)
+		pr.Metrics = deltaAcrossNodes(before, after)
+		rep.Phases = append(rep.Phases, pr)
+	}
+	if len(rep.Phases) >= 2 && rep.Phases[1].P50Ms > 0 {
+		rep.ColdWarmP50Ratio = rep.Phases[0].P50Ms / rep.Phases[1].P50Ms
+	}
+
+	afterAll := scrapeAllNodes(client, cfg.nodes)
+	cr.InvariantOK = true
+	for _, node := range cfg.nodes {
+		b, okB := beforeAll[node]
+		a, okA := afterAll[node]
+		if !okB || !okA {
+			continue // killed or unreachable: nothing to check
+		}
+		inv := nodeInvariant{
+			Node:   node,
+			Served: a[servedKey] - b[servedKey],
+			Accounted: (a["hcserved_cache_hits_total"] - b["hcserved_cache_hits_total"]) +
+				(a["hcserved_cache_misses_total"] - b["hcserved_cache_misses_total"]) +
+				(a["hcserved_coalesced_total"] - b["hcserved_coalesced_total"]) +
+				(a["hcserved_forwarded_total"] - b["hcserved_forwarded_total"]),
+		}
+		inv.OK = inv.Served == inv.Accounted
+		if !inv.OK {
+			cr.InvariantOK = false
+		}
+		cr.NodeInvariants = append(cr.NodeInvariants, inv)
+		cr.Forwarded += a["hcserved_forwarded_total"] - b["hcserved_forwarded_total"]
+		cr.PeerFills += a["hcserved_peer_fills_total"] - b["hcserved_peer_fills_total"]
+		cr.ForwardErrors += a["hcserved_forward_errors_total"] - b["hcserved_forward_errors_total"]
+		cr.Hedges += a["hcserved_hedged_total"] - b["hcserved_hedged_total"]
+		cr.HedgeWins += a["hcserved_hedge_wins_total"] - b["hcserved_hedge_wins_total"]
+	}
+	rep.Cluster = cr
+}
+
+// runClusterPhase sends every body once, round-robined across the rotation,
+// retrying connection errors and 429s on the next node. It returns the phase
+// latencies plus how many requests were lost outright and how many attempts
+// had to be retried.
+func runClusterPhase(client *http.Client, rot *rotation, name string, offset int, bodies [][]byte, conc int, kill *killTrigger) (phaseReport, int, int) {
+	var (
+		next      atomic.Int64
+		lost      atomic.Int64
+		retried   atomic.Int64
+		shed      atomic.Int64
+		errs      atomic.Int64
+		mu        sync.Mutex
+		latencies []time.Duration
+		wg        sync.WaitGroup
+	)
+	// Enough attempts to walk the whole rotation twice: a 429 on every node
+	// of a briefly saturated cluster should still find a slot on the second
+	// lap rather than count as lost.
+	attempts := 2 * len(rot.nodes)
+	start := time.Now()
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]time.Duration, 0, len(bodies)/conc+1)
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= len(bodies) {
+					break
+				}
+				if kill.maybeFire(i) {
+					fmt.Fprintf(os.Stderr, "hcload: phase %s: sent SIGTERM to pid %d at request %d\n", name, kill.pid, i)
+				}
+				ok := false
+				for a := 0; a < attempts && !ok; a++ {
+					node, idx := rot.pick(i+offset, a)
+					t0 := time.Now()
+					resp, err := client.Post(node+"/v1/characterize", "application/json", bytes.NewReader(bodies[i]))
+					if err != nil {
+						// Connection-level failure: the node is draining or
+						// gone. Take it out of the rotation and move on.
+						rot.markDown(idx)
+						retried.Add(1)
+						continue
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					switch {
+					case resp.StatusCode == http.StatusOK:
+						local = append(local, time.Since(t0))
+						ok = true
+					case resp.StatusCode == http.StatusTooManyRequests:
+						// This node's admission queue is full; another node
+						// may have capacity right now.
+						shed.Add(1)
+						retried.Add(1)
+						time.Sleep(5 * time.Millisecond)
+					default:
+						// Semantic failure (4xx/5xx with a served response):
+						// retrying the same body elsewhere cannot help.
+						errs.Add(1)
+						a = attempts
+					}
+				}
+				if !ok {
+					lost.Add(1)
+				}
+			}
+			mu.Lock()
+			latencies = append(latencies, local...)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	pr := phaseReport{
+		Name:      name,
+		Requests:  len(bodies),
+		Errors:    int(errs.Load()),
+		Status429: int(shed.Load()),
+	}
+	if len(latencies) == 0 {
+		return pr, int(lost.Load()), int(retried.Load())
+	}
+	summarizeLatencies(&pr, latencies, elapsed)
+	return pr, int(lost.Load()), int(retried.Load())
+}
+
+// mergeClusterReport grafts this run's cluster phases and cluster section
+// onto an existing serving report (the cmd/hcbench -wirebench merge idiom):
+// the committed BENCH_serve.json keeps its single-node sections and gains
+// the cluster scorecard from a separate cluster run.
+func mergeClusterReport(mergePath, outPath string, rep *report) error {
+	data, err := os.ReadFile(mergePath)
+	if err != nil {
+		return err
+	}
+	doc := map[string]json.RawMessage{}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("%s: %w", mergePath, err)
+	}
+	var phases []json.RawMessage
+	if raw, ok := doc["phases"]; ok {
+		if err := json.Unmarshal(raw, &phases); err != nil {
+			return fmt.Errorf("%s: phases: %w", mergePath, err)
+		}
+	}
+	for _, p := range rep.Phases {
+		b, err := json.Marshal(p)
+		if err != nil {
+			return err
+		}
+		phases = append(phases, b)
+	}
+	if doc["phases"], err = json.Marshal(phases); err != nil {
+		return err
+	}
+	if doc["cluster"], err = json.Marshal(rep.Cluster); err != nil {
+		return err
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	if outPath == "-" {
+		_, err = os.Stdout.Write(append(out, '\n'))
+		return err
+	}
+	return os.WriteFile(outPath, append(out, '\n'), 0o644)
+}
+
+// settle gives in-flight accounting a moment to land before a scrape: the
+// request counter increments after the response bytes are already on the
+// wire, and a canceled hedge may still be finishing on a peer.
+func settle() { time.Sleep(250 * time.Millisecond) }
+
+// scrapeAllNodes scrapes each node's /metrics, skipping nodes that do not
+// answer (killed, draining). The per-node maps keep deltas honest: a node
+// missing from either side of a bracket is excluded, never zero-filled.
+func scrapeAllNodes(client *http.Client, nodes []string) map[string]map[string]uint64 {
+	out := make(map[string]map[string]uint64, len(nodes))
+	for _, node := range nodes {
+		if c, err := scrapeCounters(client, node); err == nil {
+			out[node] = c
+		}
+	}
+	return out
+}
+
+// deltaAcrossNodes sums per-node counter deltas over the nodes present in
+// both scrapes.
+func deltaAcrossNodes(before, after map[string]map[string]uint64) *phaseCounters {
+	sum := &phaseCounters{}
+	any := false
+	for node, a := range after {
+		b, ok := before[node]
+		if !ok {
+			continue
+		}
+		any = true
+		d := countersDelta(b, a)
+		sum.Characterizations += d.Characterizations
+		sum.CacheHits += d.CacheHits
+		sum.CacheMisses += d.CacheMisses
+		sum.Coalesced += d.Coalesced
+		sum.Rejected += d.Rejected
+		sum.Forwarded += d.Forwarded
+		sum.PeerFills += d.PeerFills
+		sum.Hedges += d.Hedges
+		sum.HedgeWins += d.HedgeWins
+	}
+	if !any {
+		return nil
+	}
+	return sum
+}

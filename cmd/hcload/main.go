@@ -7,8 +7,21 @@
 //
 //	hcload [-url http://localhost:8080] [-c 8] [-n 500]
 //	       [-tasks 30] [-machines 16] [-seed 1] [-surge 0] [-out -]
+//	       [-cluster url1,url2,url3 [-kill-pid P -kill-node I] [-merge FILE]]
 //
-// The run has five measured phases:
+// Every measured phase is bracketed by its own /metrics scrape, so the
+// report's per-phase counter deltas (hits, misses, coalesced, shed, and in
+// cluster mode forwards and hedges) are attributable to the phase that
+// caused them rather than smeared into one end-of-run total.
+//
+// With -cluster the single-node suite is replaced by the cluster suite (see
+// cluster.go): the same bodies round-robined across the node set, a
+// kill-a-node phase when -kill-pid is given, and a cluster section in the
+// report asserting zero lost responses plus the per-node serving-accounting
+// invariant. -merge grafts that section onto an existing single-node report
+// so one BENCH_serve.json carries both.
+//
+// The single-node run has five measured phases:
 //
 //	cold     — n distinct JSON environments, every request runs the full
 //	           Sinkhorn+SVD pipeline;
@@ -78,6 +91,41 @@ type phaseReport struct {
 	P50Ms         float64 `json:"p50_ms"`
 	P90Ms         float64 `json:"p90_ms"`
 	P99Ms         float64 `json:"p99_ms"`
+	// Metrics is the server-side counter movement across this phase alone:
+	// /metrics is scraped immediately before and after, so a surge's shed
+	// count or a warm phase's hit count is attributable to the phase that
+	// caused it instead of smearing into one end-of-run total.
+	Metrics *phaseCounters `json:"metrics,omitempty"`
+}
+
+// phaseCounters are the /metrics counter deltas bracketing one phase. In
+// cluster mode each field is summed across every node scraped.
+type phaseCounters struct {
+	Characterizations uint64 `json:"characterizations"`
+	CacheHits         uint64 `json:"cache_hits"`
+	CacheMisses       uint64 `json:"cache_misses"`
+	Coalesced         uint64 `json:"coalesced"`
+	Rejected          uint64 `json:"rejected"`
+	Forwarded         uint64 `json:"forwarded,omitempty"`
+	PeerFills         uint64 `json:"peer_fills,omitempty"`
+	Hedges            uint64 `json:"hedges,omitempty"`
+	HedgeWins         uint64 `json:"hedge_wins,omitempty"`
+}
+
+// countersDelta distills the interesting movement between two scrapes.
+func countersDelta(before, after map[string]uint64) *phaseCounters {
+	d := func(name string) uint64 { return after[name] - before[name] }
+	return &phaseCounters{
+		Characterizations: d("hcserved_characterizations_total"),
+		CacheHits:         d("hcserved_cache_hits_total"),
+		CacheMisses:       d("hcserved_cache_misses_total"),
+		Coalesced:         d("hcserved_coalesced_total"),
+		Rejected:          d("hcserved_rejected_total"),
+		Forwarded:         d("hcserved_forwarded_total"),
+		PeerFills:         d("hcserved_peer_fills_total"),
+		Hedges:            d("hcserved_hedged_total"),
+		HedgeWins:         d("hcserved_hedge_wins_total"),
+	}
 }
 
 type cacheReport struct {
@@ -141,8 +189,13 @@ type report struct {
 	// decode win of the binary wire format in isolation.
 	WarmJSONBinP50Ratio float64 `json:"warm_json_bin_p50_ratio,omitempty"`
 	// Surge429 counts requests shed with 429 during the optional -surge
-	// burst (absent when -surge 0).
-	Surge429 *int `json:"surge_429,omitempty"`
+	// burst (absent when -surge 0); SurgeMetrics is the server-side counter
+	// movement across the same burst rounds.
+	Surge429     *int           `json:"surge_429,omitempty"`
+	SurgeMetrics *phaseCounters `json:"surge_metrics,omitempty"`
+	// Cluster is the -cluster suite's scorecard: retry/lost accounting from
+	// the client side and the per-node serving invariant from /metrics.
+	Cluster *clusterReport `json:"cluster,omitempty"`
 	// TraceCold and TraceWarm are the server-side stage breakdowns of one
 	// traced probe request: a fresh body paying the full pipeline, then the
 	// same body answered from the result cache. They come from the API's
@@ -177,13 +230,12 @@ func main() {
 	seed := flag.Int64("seed", 1, "base seed for the generated bodies")
 	surge := flag.Int("surge", 0, "extra concurrent burst size probing 429 shedding (0 = off)")
 	out := flag.String("out", "-", "report path (\"-\" for stdout)")
+	clusterNodes := flag.String("cluster", "", "comma-separated node base URLs; runs the cluster suite instead of the single-node phases")
+	killPid := flag.Int("kill-pid", 0, "process to SIGTERM partway through the cluster_kill phase (0 = no kill)")
+	killNode := flag.Int("kill-node", -1, "index into -cluster of the node -kill-pid runs (dropped from rotation at kill time)")
+	mergePath := flag.String("merge", "", "existing report to graft the cluster phases and section onto (cluster mode only)")
 	flag.Parse()
 
-	bodies, err := makeBodies(*n, *tasks, *machines, *seed)
-	if err != nil {
-		fatal("generating bodies: %v", err)
-	}
-	base := strings.TrimSuffix(*url, "/")
 	// A deep idle pool: the surge fires hundreds of requests at once, and the
 	// default transport keeps only two idle connections per host, so every
 	// burst would otherwise pay a serialized dial storm that masks the
@@ -192,20 +244,54 @@ func main() {
 	tr.MaxIdleConns = 512
 	tr.MaxIdleConnsPerHost = 512
 	client := &http.Client{Timeout: 60 * time.Second, Transport: tr}
-	if err := waitHealthy(client, base, 5*time.Second); err != nil {
-		fatal("%v", err)
-	}
 
 	rep := report{
-		URL:              base,
 		Concurrency:      *conc,
 		RequestsPerPhase: *n,
 		Shape:            fmt.Sprintf("%dx%d", *tasks, *machines),
 		GoVersion:        runtime.Version(),
 		GoMaxProcs:       runtime.GOMAXPROCS(0),
 	}
+
+	if *clusterNodes != "" {
+		nodes := splitNodes(*clusterNodes)
+		if len(nodes) < 2 {
+			fatal("-cluster needs at least two node URLs, got %d", len(nodes))
+		}
+		if *killPid != 0 && (*killNode < 0 || *killNode >= len(nodes)) {
+			fatal("-kill-pid needs -kill-node in [0,%d)", len(nodes))
+		}
+		runClusterSuite(client, &rep, clusterConfig{
+			nodes:    nodes,
+			conc:     *conc,
+			n:        *n,
+			tasks:    *tasks,
+			machines: *machines,
+			seed:     *seed,
+			killPid:  *killPid,
+			killNode: *killNode,
+		})
+		if *mergePath != "" {
+			if err := mergeClusterReport(*mergePath, *out, &rep); err != nil {
+				fatal("merging cluster report: %v", err)
+			}
+			return
+		}
+		writeReport(&rep, *out)
+		return
+	}
+
+	bodies, err := makeBodies(*n, *tasks, *machines, *seed)
+	if err != nil {
+		fatal("generating bodies: %v", err)
+	}
+	base := strings.TrimSuffix(*url, "/")
+	if err := waitHealthy(client, base, 5*time.Second); err != nil {
+		fatal("%v", err)
+	}
+	rep.URL = base
 	for _, phase := range []string{"cold", "warm"} {
-		pr, err := runPhase(client, base, phase, bodies, *conc, "application/json")
+		pr, err := sampledPhase(client, base, phase, bodies, *conc, "application/json")
 		if err != nil {
 			fatal("phase %s: %v", phase, err)
 		}
@@ -222,7 +308,7 @@ func main() {
 		fatal("generating binary bodies: %v", err)
 	}
 	for _, phase := range []string{"cold_bin", "warm_bin"} {
-		pr, err := runPhase(client, base, phase, binBodies, *conc, wire.ContentTypeMatrix)
+		pr, err := sampledPhase(client, base, phase, binBodies, *conc, wire.ContentTypeMatrix)
 		if err != nil {
 			fatal("phase %s: %v", phase, err)
 		}
@@ -233,46 +319,46 @@ func main() {
 	}
 
 	// zipf phase: n draws over a small fresh pool, heavily skewed so hot
-	// keys repeat, with /metrics counter deltas bracketing the phase to pin
-	// the coalescing invariant (computes == distinct keys).
+	// keys repeat; the phase's own counter deltas pin the coalescing
+	// invariant (computes == distinct keys).
 	{
 		pool, seq, distinct, err := makeZipfBodies(*n, *tasks, *machines, *seed+3_000_000)
 		if err != nil {
 			fatal("generating zipf bodies: %v", err)
 		}
-		before, err := scrapeCounters(client, base)
-		if err != nil {
-			fatal("scraping /metrics before zipf: %v", err)
-		}
-		pr, err := runPhase(client, base, "zipf", seq, *conc, "application/json")
+		pr, err := sampledPhase(client, base, "zipf", seq, *conc, "application/json")
 		if err != nil {
 			fatal("phase zipf: %v", err)
 		}
-		rep.Phases = append(rep.Phases, pr)
-		after, err := scrapeCounters(client, base)
-		if err != nil {
-			fatal("scraping /metrics after zipf: %v", err)
+		if pr.Metrics == nil {
+			fatal("scraping /metrics around zipf failed")
 		}
-		computes := after["hcserved_characterizations_total"] - before["hcserved_characterizations_total"]
+		rep.Phases = append(rep.Phases, pr)
 		rep.Zipf = &zipfReport{
 			UniquePool:         len(pool),
 			DistinctRequested:  distinct,
-			Characterizations:  computes,
-			Coalesced:          after["hcserved_coalesced_total"] - before["hcserved_coalesced_total"],
-			CacheHits:          after["hcserved_cache_hits_total"] - before["hcserved_cache_hits_total"],
-			UniqueComputesOnly: computes == uint64(distinct),
+			Characterizations:  pr.Metrics.Characterizations,
+			Coalesced:          pr.Metrics.Coalesced,
+			CacheHits:          pr.Metrics.CacheHits,
+			UniqueComputesOnly: pr.Metrics.Characterizations == uint64(distinct),
 		}
 	}
 	if *surge > 0 {
 		// Several rounds with fresh (uncacheable) bodies: a single burst can
 		// slip through on scheduler timing, especially on one CPU where
-		// arrivals serialize behind the compute slot.
+		// arrivals serialize behind the compute slot. The burst is bracketed
+		// by its own scrape so the server-side shed count is attributable to
+		// the surge rather than folded into the end-of-run totals.
+		before, beforeErr := scrapeCounters(client, base)
 		shed := 0
 		for round := 0; round < 3; round++ {
 			shed += runSurge(client, base, *surge, *tasks, *machines,
 				*seed+int64(round)*10_000_000)
 		}
 		rep.Surge429 = &shed
+		if after, err := scrapeCounters(client, base); err == nil && beforeErr == nil {
+			rep.SurgeMetrics = countersDelta(before, after)
+		}
 	}
 	if c, err := scrapeCache(client, base); err == nil {
 		rep.Cache = c
@@ -320,9 +406,13 @@ func main() {
 		}
 	}
 
+	writeReport(&rep, *out)
+}
+
+func writeReport(rep *report, out string) {
 	w := os.Stdout
-	if *out != "-" {
-		f, err := os.Create(*out)
+	if out != "-" {
+		f, err := os.Create(out)
 		if err != nil {
 			fatal("%v", err)
 		}
@@ -334,6 +424,33 @@ func main() {
 	if err := enc.Encode(rep); err != nil {
 		fatal("writing report: %v", err)
 	}
+}
+
+// splitNodes parses the -cluster flag: comma-separated base URLs, trailing
+// slashes trimmed, empties dropped.
+func splitNodes(s string) []string {
+	var nodes []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSuffix(strings.TrimSpace(p), "/"); p != "" {
+			nodes = append(nodes, p)
+		}
+	}
+	return nodes
+}
+
+// sampledPhase brackets runPhase with /metrics scrapes so the counter
+// movement is attributable to this phase alone. Scrape failures degrade the
+// sample (Metrics stays nil), not the phase.
+func sampledPhase(client *http.Client, base, name string, bodies [][]byte, conc int, contentType string) (phaseReport, error) {
+	before, beforeErr := scrapeCounters(client, base)
+	pr, err := runPhase(client, base, name, bodies, conc, contentType)
+	if err != nil {
+		return pr, err
+	}
+	if after, err := scrapeCounters(client, base); err == nil && beforeErr == nil {
+		pr.Metrics = countersDelta(before, after)
+	}
+	return pr, nil
 }
 
 func fatal(format string, args ...any) {
@@ -558,6 +675,19 @@ func runPhase(client *http.Client, base, name string, bodies [][]byte, conc int,
 	if len(latencies) == 0 {
 		return phaseReport{}, fmt.Errorf("no successful requests (%d errors, %d shed)", errs.Load(), shed.Load())
 	}
+	pr := phaseReport{
+		Name:      name,
+		Requests:  len(bodies),
+		Errors:    int(errs.Load()),
+		Status429: int(shed.Load()),
+	}
+	summarizeLatencies(&pr, latencies, elapsed)
+	return pr, nil
+}
+
+// summarizeLatencies fills a phase report's throughput and quantile fields
+// from the raw per-request latencies.
+func summarizeLatencies(pr *phaseReport, latencies []time.Duration, elapsed time.Duration) {
 	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
 	sum := time.Duration(0)
 	for _, d := range latencies {
@@ -567,21 +697,21 @@ func runPhase(client *http.Client, base, name string, bodies [][]byte, conc int,
 		idx := int(p * float64(len(latencies)-1))
 		return float64(latencies[idx].Microseconds()) / 1000
 	}
-	return phaseReport{
-		Name:          name,
-		Requests:      len(bodies),
-		Errors:        int(errs.Load()),
-		Status429:     int(shed.Load()),
-		ThroughputRPS: float64(len(latencies)) / elapsed.Seconds(),
-		MeanMs:        float64(sum.Microseconds()) / 1000 / float64(len(latencies)),
-		P50Ms:         q(0.50),
-		P90Ms:         q(0.90),
-		P99Ms:         q(0.99),
-	}, nil
+	pr.ThroughputRPS = float64(len(latencies)) / elapsed.Seconds()
+	pr.MeanMs = float64(sum.Microseconds()) / 1000 / float64(len(latencies))
+	pr.P50Ms = q(0.50)
+	pr.P90Ms = q(0.90)
+	pr.P99Ms = q(0.99)
 }
 
 // runSurge fires burst concurrent unique requests at once and reports how
-// many the server shed with 429 — the admission queue doing its job.
+// many the server shed with 429 — the admission queue doing its job. The
+// count is load-bearing only as "the queue can say no": on a single CPU the
+// client, the decoder and the compute slot all contend for the same core, so
+// whether a given burst actually outruns the queue depends on allocator
+// warmup and scheduling accidents, and a fully warmed server can absorb the
+// whole burst serially. The per-run rejected counter in surge_metrics is the
+// authoritative server-side number.
 func runSurge(client *http.Client, base string, burst, tasks, machines int, seed int64) int {
 	bodies, err := makeBodies(burst, tasks, machines, seed+1_000_000)
 	if err != nil {

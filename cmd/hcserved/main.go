@@ -8,9 +8,20 @@
 //	hcserved [-addr :8080] [-workers N] [-queue N] [-cache N]
 //	         [-timeout 30s] [-drain 15s] [-log text|json] [-pprof]
 //	         [-cpuprofile FILE] [-memprofile FILE] [-trace FILE]
+//	         [-peers host:port,...] [-node host:port] [-replicas R]
+//	         [-vnodes N] [-hedge-min 2ms] [-hedge-max 250ms]
+//	         [-suspect-after 2s] [-dead-after 6s] [-gossip 500ms]
 //
 // SIGINT/SIGTERM starts a graceful shutdown: the listener closes, in-flight
 // requests drain (up to -drain), then the process exits 0.
+//
+// -peers turns the instance into a cluster node (see API.md "Cluster mode"):
+// content keys are placed on a consistent-hash ring across the peer set,
+// non-owned keys forward to their owner over the binary wire format, and
+// reads hedge to the next replica after a p99-derived delay. -node sets the
+// advertised address when it differs from -addr (NAT, ":0" binds advertise
+// the bound address automatically). A node with -peers and no live peer
+// still serves standalone — forwarding degrades to local compute.
 //
 // -pprof mounts net/http/pprof under /debug/pprof/ on the serving mux for
 // live inspection; it is off by default because it exposes process
@@ -26,9 +37,11 @@ import (
 	"log/slog"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/profiling"
 	"repro/internal/server"
 )
@@ -52,6 +65,15 @@ func run() (code int) {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file at shutdown")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at shutdown")
 	traceFile := flag.String("trace", "", "write a runtime execution trace of the whole run to this file")
+	peers := flag.String("peers", "", "comma-separated seed peers (host:port); enables cluster mode")
+	node := flag.String("node", "", "advertised cluster address (default: the bound -addr)")
+	replicas := flag.Int("replicas", cluster.DefaultReplicas, "cluster replication factor R")
+	vnodes := flag.Int("vnodes", cluster.DefaultVirtualNodes, "virtual nodes per cluster member")
+	hedgeMin := flag.Duration("hedge-min", 2*time.Millisecond, "hedge delay floor")
+	hedgeMax := flag.Duration("hedge-max", 250*time.Millisecond, "hedge delay ceiling (and cold-start delay)")
+	suspectAfter := flag.Duration("suspect-after", 2*time.Second, "silence before a peer turns suspect")
+	deadAfter := flag.Duration("dead-after", 6*time.Second, "silence before a peer leaves the ring")
+	gossip := flag.Duration("gossip", 500*time.Millisecond, "membership gossip interval")
 	flag.Parse()
 
 	var handler slog.Handler
@@ -84,7 +106,7 @@ func run() (code int) {
 		}
 	}()
 
-	srv := server.New(server.Config{
+	cfg := server.Config{
 		Addr:           *addr,
 		Workers:        *workers,
 		QueueDepth:     *queue,
@@ -93,7 +115,28 @@ func run() (code int) {
 		DrainTimeout:   *drain,
 		Logger:         log,
 		EnablePprof:    *enablePprof,
-	})
+	}
+	if *peers != "" {
+		var seedList []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				seedList = append(seedList, p)
+			}
+		}
+		cfg.Cluster = &cluster.Config{
+			Self:           *node,
+			Peers:          seedList,
+			Replicas:       *replicas,
+			VirtualNodes:   *vnodes,
+			HedgeDelayMin:  *hedgeMin,
+			HedgeDelayMax:  *hedgeMax,
+			SuspectAfter:   *suspectAfter,
+			DeadAfter:      *deadAfter,
+			GossipInterval: *gossip,
+			Logger:         log,
+		}
+	}
+	srv := server.New(cfg)
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()

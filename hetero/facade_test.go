@@ -155,4 +155,28 @@ func TestFacadeSurface(t *testing.T) {
 			t.Errorf("batch: completed %d, events %d", batch.Completed, batch.MappingEvents)
 		}
 	})
+
+	t.Run("cluster ring", func(t *testing.T) {
+		ring := hetero.NewRing(2, 0)
+		for _, n := range []string{"a:1", "b:1", "c:1"} {
+			ring.Add(n)
+		}
+		owners := hetero.EnvOwners(ring, env)
+		if len(owners) != 2 {
+			t.Fatalf("EnvOwners returned %d nodes, want R=2", len(owners))
+		}
+		if owners[0] == owners[1] {
+			t.Errorf("replica set has duplicate node %q", owners[0])
+		}
+		before := owners[0]
+		// Removing a non-owner must not move the primary (consistent hashing).
+		for _, n := range []string{"a:1", "b:1", "c:1"} {
+			if n != owners[0] && n != owners[1] {
+				ring.Remove(n)
+			}
+		}
+		if got := hetero.EnvOwners(ring, env)[0]; got != before {
+			t.Errorf("primary moved from %q to %q on unrelated removal", before, got)
+		}
+	})
 }

@@ -43,6 +43,7 @@ import (
 	"io"
 	"math/rand"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/dynsim"
 	"repro/internal/etcmat"
@@ -120,6 +121,24 @@ func DecodeEnvBinary(data []byte) (*Env, int, error) {
 // a key exactly when they agree on dimensions, ECS entries and weights
 // (names are excluded — the measures ignore them).
 func EnvContentKey(env *Env) [32]byte { return env.ContentKey() }
+
+// Ring is the consistent-hash placement ring the serving cluster shards
+// environments with (see DESIGN.md §15): each node contributes virtual
+// points on a uint64 circle, and an environment is owned by the first R
+// distinct nodes clockwise from its content key. Adding or removing a node
+// moves only the keys adjacent to its points, so a cluster resizes without
+// re-keying every cache.
+type Ring = cluster.Ring
+
+// NewRing builds an empty placement ring with the given replication factor
+// and virtual-node count per member (<=0 selects the cluster defaults: R=2,
+// 64 virtual nodes). Populate it with Ring.Add.
+func NewRing(replicas, virtualNodes int) *Ring { return cluster.NewRing(replicas, virtualNodes) }
+
+// EnvOwners returns the nodes responsible for an environment on a ring — the
+// replica set a cluster-mode hcserved routes the characterization to. Empty
+// until the ring has members.
+func EnvOwners(ring *Ring, env *Env) []string { return ring.Owners(env.ContentKey()) }
 
 // Characterize computes the environment's full heterogeneity profile. It
 // never fails: a non-standardizable environment (paper Sec. VI) yields

@@ -1,0 +1,178 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Peer health states. Health is always a local observation — nodes never
+// import each other's verdicts, so one partitioned node cannot talk the rest
+// of the cluster into declaring a healthy peer dead. Gossip propagates only
+// addresses; every node then probes and judges for itself.
+const (
+	StateAlive   = "alive"   // responded within the suspicion window
+	StateSuspect = "suspect" // failing, but within the death window: still on the ring, hedging covers it
+	StateDead    = "dead"    // unresponsive past DeadAfter: off the ring, still probed for rejoin
+)
+
+// PeerInfo is the wire form of one membership entry (/v1/cluster/peers).
+type PeerInfo struct {
+	Addr  string `json:"addr"`
+	State string `json:"state"`
+}
+
+// membership tracks the locally observed health of every known peer and
+// projects the live set onto the ring. The self node is always on the ring
+// and never appears in the peers map.
+type membership struct {
+	mu           sync.Mutex
+	self         string
+	peers        map[string]*peerState
+	ring         *Ring
+	suspectAfter time.Duration
+	deadAfter    time.Duration
+	now          func() time.Time
+}
+
+type peerState struct {
+	addr     string
+	state    string
+	lastSeen time.Time // last successful contact (or first sighting)
+}
+
+func newMembership(self string, ring *Ring, suspectAfter, deadAfter time.Duration) *membership {
+	ring.Add(self)
+	return &membership{
+		self:         self,
+		peers:        make(map[string]*peerState),
+		ring:         ring,
+		suspectAfter: suspectAfter,
+		deadAfter:    deadAfter,
+		now:          time.Now,
+	}
+}
+
+// add registers a peer address, optimistically alive (the gossip loop will
+// demote it if it never answers). Adding self or a known peer is a no-op.
+func (m *membership) add(addr string) {
+	if addr == "" || addr == m.self {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.peers[addr]; ok {
+		return
+	}
+	m.peers[addr] = &peerState{addr: addr, state: StateAlive, lastSeen: m.now()}
+	m.ring.Add(addr)
+}
+
+// merge folds a gossiped peer list into the local view: unknown addresses are
+// added, known ones keep their locally observed state.
+func (m *membership) merge(infos []PeerInfo) {
+	for _, p := range infos {
+		m.add(p.Addr)
+	}
+}
+
+// observeSuccess records a successful contact: the peer is alive and (back)
+// on the ring.
+func (m *membership) observeSuccess(addr string) {
+	if addr == m.self {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p, ok := m.peers[addr]
+	if !ok {
+		p = &peerState{addr: addr}
+		m.peers[addr] = p
+	}
+	p.lastSeen = m.now()
+	if p.state != StateAlive {
+		p.state = StateAlive
+		m.ring.Add(addr)
+	}
+}
+
+// observeFailure records a failed contact and applies the suspicion
+// timeouts: a peer silent past suspectAfter turns suspect (still routable —
+// the hedge covers it), past deadAfter it is dead and leaves the ring. Dead
+// peers stay in the table and keep being probed, so a restarted node rejoins
+// without operator action.
+func (m *membership) observeFailure(addr string) {
+	if addr == m.self {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p, ok := m.peers[addr]
+	if !ok {
+		return
+	}
+	silent := m.now().Sub(p.lastSeen)
+	switch {
+	case silent >= m.deadAfter:
+		if p.state != StateDead {
+			p.state = StateDead
+			m.ring.Remove(addr)
+		}
+	case silent >= m.suspectAfter:
+		if p.state == StateAlive {
+			p.state = StateSuspect
+		}
+	}
+}
+
+// state returns the peer's current state ("" for unknown).
+func (m *membership) state(addr string) string {
+	if addr == m.self {
+		return StateAlive
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if p, ok := m.peers[addr]; ok {
+		return p.state
+	}
+	return ""
+}
+
+// snapshot returns the full membership view, self included, sorted by
+// address for deterministic wire output.
+func (m *membership) snapshot() []PeerInfo {
+	m.mu.Lock()
+	out := make([]PeerInfo, 0, len(m.peers)+1)
+	out = append(out, PeerInfo{Addr: m.self, State: StateAlive})
+	for _, p := range m.peers {
+		out = append(out, PeerInfo{Addr: p.addr, State: p.state})
+	}
+	m.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// addrs returns every known peer address (all states), for the gossip loop.
+func (m *membership) addrs() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.peers))
+	for a := range m.peers {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// aliveCount reports how many peers (excluding self) are currently alive.
+func (m *membership) aliveCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, p := range m.peers {
+		if p.state == StateAlive {
+			n++
+		}
+	}
+	return n
+}

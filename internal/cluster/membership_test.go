@@ -1,0 +1,104 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func newTestMembership() (*membership, *time.Time) {
+	ring := NewRing(2, 8)
+	m := newMembership("self:1", ring, 2*time.Second, 6*time.Second)
+	now := time.Unix(1000, 0)
+	m.now = func() time.Time { return now }
+	return m, &now
+}
+
+func TestMembershipLifecycle(t *testing.T) {
+	m, now := newTestMembership()
+	m.add("peer:1")
+	if got := m.state("peer:1"); got != StateAlive {
+		t.Fatalf("fresh peer state = %q, want alive", got)
+	}
+	if !contains(m.ring.Nodes(), "peer:1") {
+		t.Fatal("fresh peer not on ring")
+	}
+
+	// Failures inside the suspicion window change nothing.
+	*now = now.Add(time.Second)
+	m.observeFailure("peer:1")
+	if got := m.state("peer:1"); got != StateAlive {
+		t.Fatalf("state after 1s silence = %q, want alive", got)
+	}
+
+	// Past suspectAfter: suspect, but still on the ring (hedge covers it).
+	*now = now.Add(2 * time.Second)
+	m.observeFailure("peer:1")
+	if got := m.state("peer:1"); got != StateSuspect {
+		t.Fatalf("state after 3s silence = %q, want suspect", got)
+	}
+	if !contains(m.ring.Nodes(), "peer:1") {
+		t.Fatal("suspect peer fell off the ring")
+	}
+
+	// Past deadAfter: dead and off the ring.
+	*now = now.Add(4 * time.Second)
+	m.observeFailure("peer:1")
+	if got := m.state("peer:1"); got != StateDead {
+		t.Fatalf("state after 7s silence = %q, want dead", got)
+	}
+	if contains(m.ring.Nodes(), "peer:1") {
+		t.Fatal("dead peer still on the ring")
+	}
+
+	// A successful probe rejoins it — no operator action needed.
+	m.observeSuccess("peer:1")
+	if got := m.state("peer:1"); got != StateAlive {
+		t.Fatalf("state after recovery = %q, want alive", got)
+	}
+	if !contains(m.ring.Nodes(), "peer:1") {
+		t.Fatal("recovered peer not back on the ring")
+	}
+}
+
+func TestMembershipSelfIsInert(t *testing.T) {
+	m, _ := newTestMembership()
+	m.add("self:1")
+	m.observeFailure("self:1")
+	if got := m.state("self:1"); got != StateAlive {
+		t.Fatalf("self state = %q, want alive always", got)
+	}
+	if len(m.addrs()) != 0 {
+		t.Fatalf("self leaked into the peer table: %v", m.addrs())
+	}
+	snap := m.snapshot()
+	if len(snap) != 1 || snap[0].Addr != "self:1" || snap[0].State != StateAlive {
+		t.Fatalf("snapshot = %+v, want only self alive", snap)
+	}
+}
+
+func TestMembershipMergeAddsAddressesOnly(t *testing.T) {
+	m, _ := newTestMembership()
+	// Gossip claims a peer is dead; we must not import the verdict — health is
+	// locally observed.
+	m.merge([]PeerInfo{{Addr: "peer:1", State: StateDead}, {Addr: "self:1", State: StateDead}})
+	if got := m.state("peer:1"); got != StateAlive {
+		t.Fatalf("merged peer state = %q, want alive (local optimism)", got)
+	}
+	if got := m.state("self:1"); got != StateAlive {
+		t.Fatalf("self state after hostile merge = %q", got)
+	}
+}
+
+func TestMembershipAliveCount(t *testing.T) {
+	m, now := newTestMembership()
+	m.add("a:1")
+	m.add("b:1")
+	if got := m.aliveCount(); got != 2 {
+		t.Fatalf("aliveCount = %d, want 2", got)
+	}
+	*now = now.Add(10 * time.Second)
+	m.observeFailure("a:1")
+	if got := m.aliveCount(); got != 1 {
+		t.Fatalf("aliveCount after death = %d, want 1", got)
+	}
+}

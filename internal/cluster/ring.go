@@ -1,0 +1,173 @@
+// Package cluster turns the single-process serving tier into a sharded,
+// replicated characterization cluster: a consistent-hash ring places content
+// keys on nodes, a router forwards non-owned keys to their owner over the
+// binary wire format and hedges reads to the next replica to mask stragglers,
+// and a lightweight membership loop keeps the peer view converged through
+// joins, failures and restarts. See DESIGN.md §15.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"strconv"
+	"sync"
+
+	"repro/internal/etcmat"
+)
+
+// Defaults for ring geometry. 64 virtual nodes per physical node keeps the
+// expected load imbalance of a small cluster within a few percent without
+// making ring rebuilds (a sort over nodes·vnodes points) noticeable.
+const (
+	DefaultVirtualNodes = 64
+	DefaultReplicas     = 2
+)
+
+// Ring is a consistent-hash ring over node addresses. Each node contributes
+// VirtualNodes points on a uint64 circle; a content key is owned by the first
+// Replicas distinct nodes clockwise from the key's point. Adding or removing
+// one node moves only the keys adjacent to its points — the property that
+// lets a cluster grow or lose a node without re-keying every cache.
+//
+// All methods are safe for concurrent use; lookups take a read lock only.
+type Ring struct {
+	mu       sync.RWMutex
+	replicas int
+	vnodes   int
+	points   []ringPoint // sorted ascending by hash
+	nodes    map[string]struct{}
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// NewRing builds an empty ring with the given replication factor and virtual
+// node count (<=0 selects the defaults).
+func NewRing(replicas, vnodes int) *Ring {
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	return &Ring{
+		replicas: replicas,
+		vnodes:   vnodes,
+		nodes:    make(map[string]struct{}),
+	}
+}
+
+// Replicas reports the ring's replication factor.
+func (r *Ring) Replicas() int { return r.replicas }
+
+// keyPoint places a content key on the circle. SHA-256 output is uniform, so
+// the first 8 bytes are as good a point as any rehash.
+func keyPoint(key etcmat.ContentKey) uint64 {
+	return binary.LittleEndian.Uint64(key[:8])
+}
+
+// vnodeHash places virtual node i of a node on the circle. SHA-256 rather
+// than a cheap mixer: placement runs only on membership change, and poor
+// vnode dispersion becomes permanent load skew.
+func vnodeHash(node string, i int) uint64 {
+	sum := sha256.Sum256([]byte(node + "#" + strconv.Itoa(i)))
+	return binary.LittleEndian.Uint64(sum[:8])
+}
+
+// Add inserts a node's virtual points. Adding a present node is a no-op.
+func (r *Ring) Add(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.nodes[node]; ok {
+		return
+	}
+	r.nodes[node] = struct{}{}
+	for i := 0; i < r.vnodes; i++ {
+		r.points = append(r.points, ringPoint{vnodeHash(node, i), node})
+	}
+	sort.Slice(r.points, func(a, b int) bool { return r.points[a].hash < r.points[b].hash })
+}
+
+// Remove deletes a node's virtual points. Removing an absent node is a no-op.
+func (r *Ring) Remove(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.nodes[node]; !ok {
+		return
+	}
+	delete(r.nodes, node)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.node != node {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Nodes returns the member set in sorted order.
+func (r *Ring) Nodes() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.nodes))
+	for n := range r.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len reports the number of member nodes.
+func (r *Ring) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.nodes)
+}
+
+// Owners returns the key's replica set: the first Replicas distinct nodes
+// clockwise from the key's point, in preference order (the primary first).
+// Fewer than Replicas nodes on the ring yields all of them; an empty ring
+// yields nil.
+func (r *Ring) Owners(key etcmat.ContentKey) []string {
+	return r.OwnersOf(keyPoint(key))
+}
+
+// OwnersOf is Owners for a pre-computed ring point.
+func (r *Ring) OwnersOf(point uint64) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return nil
+	}
+	want := r.replicas
+	if n := len(r.nodes); want > n {
+		want = n
+	}
+	// First point at or after the key, wrapping at the top of the circle.
+	idx := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= point })
+	owners := make([]string, 0, want)
+	for i := 0; i < len(r.points) && len(owners) < want; i++ {
+		node := r.points[(idx+i)%len(r.points)].node
+		if !contains(owners, node) {
+			owners = append(owners, node)
+		}
+	}
+	return owners
+}
+
+// Owns reports whether node is in the key's replica set.
+func (r *Ring) Owns(key etcmat.ContentKey, node string) bool {
+	return contains(r.Owners(key), node)
+}
+
+func contains(s []string, v string) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

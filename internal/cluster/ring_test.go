@@ -1,0 +1,129 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"testing"
+
+	"repro/internal/etcmat"
+)
+
+func testKey(i int) etcmat.ContentKey {
+	var k etcmat.ContentKey
+	sum := sha256.Sum256([]byte(fmt.Sprintf("key-%d", i)))
+	copy(k[:], sum[:])
+	return k
+}
+
+func TestRingOwnersDistinctAndCapped(t *testing.T) {
+	r := NewRing(2, 8)
+	for _, n := range []string{"a:1", "b:1", "c:1"} {
+		r.Add(n)
+	}
+	for i := 0; i < 200; i++ {
+		owners := r.Owners(testKey(i))
+		if len(owners) != 2 {
+			t.Fatalf("key %d: %d owners, want 2", i, len(owners))
+		}
+		if owners[0] == owners[1] {
+			t.Fatalf("key %d: duplicate owner %q", i, owners[0])
+		}
+	}
+}
+
+func TestRingFewerNodesThanReplicas(t *testing.T) {
+	r := NewRing(3, 8)
+	if got := r.Owners(testKey(0)); got != nil {
+		t.Fatalf("empty ring owners = %v, want nil", got)
+	}
+	r.Add("a:1")
+	if got := r.Owners(testKey(0)); len(got) != 1 || got[0] != "a:1" {
+		t.Fatalf("single-node owners = %v", got)
+	}
+	r.Add("b:1")
+	if got := r.Owners(testKey(0)); len(got) != 2 {
+		t.Fatalf("two-node owners = %v, want both nodes", got)
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	r := NewRing(1, DefaultVirtualNodes)
+	nodes := []string{"a:1", "b:1", "c:1", "d:1"}
+	for _, n := range nodes {
+		r.Add(n)
+	}
+	counts := map[string]int{}
+	const keys = 20000
+	for i := 0; i < keys; i++ {
+		counts[r.Owners(testKey(i))[0]]++
+	}
+	want := keys / len(nodes)
+	for _, n := range nodes {
+		if c := counts[n]; c < want/2 || c > want*2 {
+			t.Errorf("node %s owns %d of %d keys, want within [%d,%d]",
+				n, c, keys, want/2, want*2)
+		}
+	}
+}
+
+// Removing one node must only reassign keys that it owned — the consistent
+// hashing property the cache layout depends on.
+func TestRingRemovalStability(t *testing.T) {
+	r := NewRing(1, DefaultVirtualNodes)
+	for _, n := range []string{"a:1", "b:1", "c:1"} {
+		r.Add(n)
+	}
+	const keys = 5000
+	before := make([]string, keys)
+	for i := range before {
+		before[i] = r.Owners(testKey(i))[0]
+	}
+	r.Remove("b:1")
+	for i := 0; i < keys; i++ {
+		after := r.Owners(testKey(i))[0]
+		if before[i] != "b:1" && after != before[i] {
+			t.Fatalf("key %d moved %s -> %s though b:1 was its owner's peer only",
+				i, before[i], after)
+		}
+		if after == "b:1" {
+			t.Fatalf("key %d still owned by removed node", i)
+		}
+	}
+}
+
+func TestRingAddRemoveIdempotent(t *testing.T) {
+	r := NewRing(2, 4)
+	r.Add("a:1")
+	r.Add("a:1")
+	if got := len(r.points); got != 4 {
+		t.Fatalf("double add left %d points, want 4", got)
+	}
+	r.Remove("missing:1")
+	r.Remove("a:1")
+	r.Remove("a:1")
+	if r.Len() != 0 || len(r.points) != 0 {
+		t.Fatalf("ring not empty after removal: %d nodes, %d points", r.Len(), len(r.points))
+	}
+}
+
+func TestRingKeyPointUsesContentKeyPrefix(t *testing.T) {
+	k := testKey(7)
+	if got, want := keyPoint(k), binary.LittleEndian.Uint64(k[:8]); got != want {
+		t.Fatalf("keyPoint = %#x, want %#x", got, want)
+	}
+}
+
+func TestRingOwns(t *testing.T) {
+	r := NewRing(2, 8)
+	r.Add("a:1")
+	r.Add("b:1")
+	r.Add("c:1")
+	k := testKey(42)
+	owners := r.Owners(k)
+	for _, n := range []string{"a:1", "b:1", "c:1"} {
+		if got, want := r.Owns(k, n), contains(owners, n); got != want {
+			t.Errorf("Owns(%s) = %v, want %v", n, got, want)
+		}
+	}
+}

@@ -1,0 +1,544 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"math"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/etcmat"
+	"repro/internal/wire"
+)
+
+// ForwardedHeader marks a peer-forwarded request. A node answering a request
+// that carries it always serves locally — whatever its ring view says — so a
+// transiently divergent membership can cost an extra computation but never a
+// forwarding loop.
+const ForwardedHeader = "X-HC-Forwarded"
+
+// Config shapes a cluster node. Zero values select the documented defaults.
+type Config struct {
+	// Self is this node's advertised host:port. It may be left empty when the
+	// listen address is dynamic (":0"); the server then calls SetSelf with the
+	// bound address before Start.
+	Self string
+	// Peers seeds the membership: any one live address is enough, the rest of
+	// the cluster arrives by gossip.
+	Peers []string
+	// Replicas is the replication factor R (default 2): every content key has
+	// R owner nodes, the hedge targets the second.
+	Replicas int
+	// VirtualNodes is the per-node point count on the ring (default 64).
+	VirtualNodes int
+	// HedgeDelayMin/Max clamp the p99-derived hedge delay (defaults 2ms and
+	// 250ms). Before any forward latency is observed the delay is Max —
+	// hedging starts conservative and tightens as the tracker fills.
+	HedgeDelayMin time.Duration
+	HedgeDelayMax time.Duration
+	// SuspectAfter and DeadAfter are the suspicion timeouts: a peer silent
+	// past SuspectAfter (default 2s) turns suspect, past DeadAfter (default
+	// 6s) it is dead and leaves the ring until it answers again.
+	SuspectAfter time.Duration
+	DeadAfter    time.Duration
+	// GossipInterval paces the membership loop (default 500ms).
+	GossipInterval time.Duration
+	// ProbeTimeout bounds one gossip probe (default 1s).
+	ProbeTimeout time.Duration
+	// Client issues peer requests (default: a dedicated transport with a
+	// deep idle pool, since forwards reuse a small set of hosts heavily).
+	Client *http.Client
+	// Logger receives membership transitions (default slog.Default()).
+	Logger *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.Replicas <= 0 {
+		c.Replicas = DefaultReplicas
+	}
+	if c.VirtualNodes <= 0 {
+		c.VirtualNodes = DefaultVirtualNodes
+	}
+	if c.HedgeDelayMin <= 0 {
+		c.HedgeDelayMin = 2 * time.Millisecond
+	}
+	if c.HedgeDelayMax <= 0 {
+		c.HedgeDelayMax = 250 * time.Millisecond
+	}
+	if c.SuspectAfter <= 0 {
+		c.SuspectAfter = 2 * time.Second
+	}
+	if c.DeadAfter <= 0 {
+		c.DeadAfter = 6 * time.Second
+	}
+	if c.GossipInterval <= 0 {
+		c.GossipInterval = 500 * time.Millisecond
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = time.Second
+	}
+	if c.Client == nil {
+		tr := http.DefaultTransport.(*http.Transport).Clone()
+		tr.MaxIdleConnsPerHost = 64
+		c.Client = &http.Client{Transport: tr}
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
+	return c
+}
+
+// Counter is the metric hook the router increments; the server passes its
+// registry's counters in. The interface keeps this package free of the
+// serving tier (which imports it).
+type Counter interface{ Inc() }
+
+type noopCounter struct{}
+
+func (noopCounter) Inc() {}
+
+// Stats are the router-side metric hooks (all optional; nil stays no-op).
+// The requester-side forwarded/peer-fill accounting lives in the server,
+// which observes forward outcomes.
+type Stats struct {
+	ForwardErrors Counter // failed forward attempts (per attempt, not per request)
+	Hedges        Counter // hedge requests fired after the delay elapsed
+	HedgeWins     Counter // hedged requests that beat the primary
+}
+
+func (s Stats) withDefaults() Stats {
+	if s.ForwardErrors == nil {
+		s.ForwardErrors = noopCounter{}
+	}
+	if s.Hedges == nil {
+		s.Hedges = noopCounter{}
+	}
+	if s.HedgeWins == nil {
+		s.HedgeWins = noopCounter{}
+	}
+	return s
+}
+
+// ErrNoPeers reports that a key has no live replica other than this node;
+// the caller computes locally.
+var ErrNoPeers = errors.New("cluster: no live replica to forward to")
+
+// Router is the cluster brain of one node: the ring, the membership view and
+// the peer-forwarding client. The server asks it whether a key is owned
+// locally and, if not, forwards through it.
+type Router struct {
+	cfg     Config
+	ring    *Ring
+	members *membership
+	lat     *latencyTracker
+	stats   Stats
+	log     *slog.Logger
+
+	mu   sync.Mutex
+	self string
+}
+
+// NewRouter builds a node router. When cfg.Self is empty, SetSelf must run
+// before Start.
+func NewRouter(cfg Config) *Router {
+	cfg = cfg.withDefaults()
+	rt := &Router{
+		cfg:   cfg,
+		ring:  NewRing(cfg.Replicas, cfg.VirtualNodes),
+		lat:   newLatencyTracker(),
+		stats: Stats{}.withDefaults(),
+		log:   cfg.Logger,
+	}
+	if cfg.Self != "" {
+		rt.SetSelf(cfg.Self)
+	}
+	return rt
+}
+
+// SetStats installs the metric hooks (call before Start).
+func (rt *Router) SetStats(s Stats) { rt.stats = s.withDefaults() }
+
+// SetSelf fixes this node's advertised address — needed when the server
+// binds ":0" and only learns its address at listen time. It must run before
+// Start and before any Forward.
+func (rt *Router) SetSelf(addr string) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.members != nil {
+		if rt.self == addr {
+			return
+		}
+		rt.ring.Remove(rt.self)
+	}
+	rt.self = addr
+	rt.members = newMembership(addr, rt.ring, rt.cfg.SuspectAfter, rt.cfg.DeadAfter)
+	for _, p := range rt.cfg.Peers {
+		rt.members.add(p)
+	}
+}
+
+// Self returns the advertised address ("" before SetSelf).
+func (rt *Router) Self() string {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.self
+}
+
+// Ring exposes the placement ring (for tests and client-side routing).
+func (rt *Router) Ring() *Ring { return rt.ring }
+
+// Client exposes the peer HTTP client, shared with the server's cluster
+// metrics scrape so peer connections pool in one place.
+func (rt *Router) Client() *http.Client { return rt.cfg.Client }
+
+// Peers returns the current membership view, self included.
+func (rt *Router) Peers() []PeerInfo { return rt.members.snapshot() }
+
+// AlivePeerAddrs returns the addresses of peers currently observed alive
+// (self excluded) — the metrics aggregation fan-out set.
+func (rt *Router) AlivePeerAddrs() []string {
+	var out []string
+	for _, p := range rt.members.snapshot() {
+		if p.Addr != rt.Self() && p.State == StateAlive {
+			out = append(out, p.Addr)
+		}
+	}
+	return out
+}
+
+// AliveCount reports the number of live peers (self excluded).
+func (rt *Router) AliveCount() int { return rt.members.aliveCount() }
+
+// Join records a joining node and returns the membership snapshot the joiner
+// bootstraps from (the /v1/cluster/join handler).
+func (rt *Router) Join(addr string) []PeerInfo {
+	rt.members.add(addr)
+	rt.members.observeSuccess(addr) // it just spoke to us
+	return rt.members.snapshot()
+}
+
+// LocallyOwned reports whether this node is in the key's replica set. An
+// empty or single-node ring always owns locally.
+func (rt *Router) LocallyOwned(key etcmat.ContentKey) bool {
+	owners := rt.ring.Owners(key)
+	return len(owners) == 0 || contains(owners, rt.Self())
+}
+
+// Owners returns the key's replica set in preference order.
+func (rt *Router) Owners(key etcmat.ContentKey) []string { return rt.ring.Owners(key) }
+
+// Start launches the membership loop: an initial join against the seed
+// peers, then a gossip pull every GossipInterval until ctx is canceled.
+func (rt *Router) Start(ctx context.Context) {
+	go rt.run(ctx)
+}
+
+func (rt *Router) run(ctx context.Context) {
+	rt.joinSeeds(ctx)
+	t := time.NewTicker(rt.cfg.GossipInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			rt.gossipOnce(ctx)
+		}
+	}
+}
+
+// joinSeeds announces this node to every seed peer and merges their views.
+func (rt *Router) joinSeeds(ctx context.Context) {
+	body, _ := json.Marshal(map[string]string{"addr": rt.Self()})
+	for _, seed := range rt.cfg.Peers {
+		if seed == rt.Self() {
+			continue
+		}
+		pctx, cancel := context.WithTimeout(ctx, rt.cfg.ProbeTimeout)
+		req, err := http.NewRequestWithContext(pctx, http.MethodPost,
+			"http://"+seed+"/v1/cluster/join", bytes.NewReader(body))
+		if err != nil {
+			cancel()
+			continue
+		}
+		req.Header.Set("Content-Type", "application/json")
+		infos, err := rt.doPeersRequest(req)
+		cancel()
+		if err != nil {
+			rt.log.Warn("cluster join failed", "seed", seed, "err", err)
+			rt.members.observeFailure(seed)
+			continue
+		}
+		rt.members.observeSuccess(seed)
+		rt.members.merge(infos)
+	}
+}
+
+// gossipOnce pulls every known peer's view once, in parallel, applying
+// health observations as probes succeed or fail.
+func (rt *Router) gossipOnce(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, addr := range rt.members.addrs() {
+		wg.Add(1)
+		go func(addr string) {
+			defer wg.Done()
+			pctx, cancel := context.WithTimeout(ctx, rt.cfg.ProbeTimeout)
+			defer cancel()
+			req, err := http.NewRequestWithContext(pctx, http.MethodGet,
+				"http://"+addr+"/v1/cluster/peers", nil)
+			if err != nil {
+				return
+			}
+			infos, err := rt.doPeersRequest(req)
+			if err != nil {
+				before := rt.members.state(addr)
+				rt.members.observeFailure(addr)
+				if after := rt.members.state(addr); after != before {
+					rt.log.Warn("peer state changed", "peer", addr, "from", before, "to", after)
+				}
+				return
+			}
+			before := rt.members.state(addr)
+			rt.members.observeSuccess(addr)
+			if before != StateAlive {
+				rt.log.Info("peer recovered", "peer", addr, "from", before)
+			}
+			rt.members.merge(infos)
+		}(addr)
+	}
+	wg.Wait()
+}
+
+// doPeersRequest executes a join/peers request and decodes the membership
+// payload both endpoints answer with.
+func (rt *Router) doPeersRequest(req *http.Request) ([]PeerInfo, error) {
+	resp, err := rt.cfg.Client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
+		return nil, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	var out struct {
+		Peers []PeerInfo `json:"peers"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out.Peers, nil
+}
+
+// forwardTargets is the ordered peer list for a key: its owners, self
+// excluded, alive before suspect (dead nodes are already off the ring).
+func (rt *Router) forwardTargets(key etcmat.ContentKey) []string {
+	owners := rt.ring.Owners(key)
+	self := rt.Self()
+	targets := make([]string, 0, len(owners))
+	for _, o := range owners {
+		if o != self {
+			targets = append(targets, o)
+		}
+	}
+	sort.SliceStable(targets, func(i, j int) bool {
+		return rt.members.state(targets[i]) == StateAlive && rt.members.state(targets[j]) != StateAlive
+	})
+	return targets
+}
+
+// HedgeDelay returns the current hedge trigger delay: the p99 of recent
+// successful forwards, clamped to [HedgeDelayMin, HedgeDelayMax]. With no
+// samples yet it is the max — hedging starts conservative.
+func (rt *Router) HedgeDelay() time.Duration {
+	d, ok := rt.lat.p99()
+	if !ok {
+		return rt.cfg.HedgeDelayMax
+	}
+	if d < rt.cfg.HedgeDelayMin {
+		d = rt.cfg.HedgeDelayMin
+	}
+	if d > rt.cfg.HedgeDelayMax {
+		d = rt.cfg.HedgeDelayMax
+	}
+	return d
+}
+
+// Forward sends the env-frame body to the key's owner and returns the
+// decoded profile. After the hedge delay it duplicates the request to the
+// next replica and takes whichever answers first, canceling the loser; a
+// failed attempt fails over to the next target immediately. The second
+// return reports whether the winning peer served from its cache. ErrNoPeers
+// means the key has no live replica beyond this node.
+func (rt *Router) Forward(ctx context.Context, key etcmat.ContentKey, body []byte, requestID string) (*core.Profile, bool, error) {
+	targets := rt.forwardTargets(key)
+	if len(targets) == 0 {
+		return nil, false, ErrNoPeers
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel() // cancels the losing attempt the moment a winner returns
+	type result struct {
+		p      *core.Profile
+		cached bool
+		peer   string
+		hedged bool
+		err    error
+	}
+	ch := make(chan result, len(targets))
+	outstanding, next := 0, 0
+	fire := func(hedged bool) {
+		peer := targets[next]
+		next++
+		outstanding++
+		go func() {
+			p, cached, err := rt.forwardOne(cctx, peer, body, requestID)
+			ch <- result{p, cached, peer, hedged, err}
+		}()
+	}
+	fire(false)
+	timer := time.NewTimer(rt.HedgeDelay())
+	defer timer.Stop()
+	var firstErr error
+	for {
+		select {
+		case r := <-ch:
+			outstanding--
+			if r.err == nil {
+				rt.members.observeSuccess(r.peer)
+				if r.hedged {
+					rt.stats.HedgeWins.Inc()
+				}
+				return r.p, r.cached, nil
+			}
+			rt.stats.ForwardErrors.Inc()
+			rt.members.observeFailure(r.peer)
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			switch {
+			case next < len(targets):
+				fire(false) // failover: the previous attempt already ended
+			case outstanding == 0:
+				return nil, false, firstErr
+			}
+		case <-timer.C:
+			if next < len(targets) {
+				rt.stats.Hedges.Inc()
+				fire(true)
+			}
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+	}
+}
+
+// forwardOne sends one peer request: the env frame as a characterize body,
+// asking for the binary profile frame back, marked forwarded so the peer
+// serves locally. Successful round trips feed the hedge-delay tracker.
+func (rt *Router) forwardOne(ctx context.Context, peer string, body []byte, requestID string) (*core.Profile, bool, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		"http://"+peer+"/v1/characterize", bytes.NewReader(body))
+	if err != nil {
+		return nil, false, err
+	}
+	req.Header.Set("Content-Type", wire.ContentTypeMatrix)
+	req.Header.Set("Accept", wire.ContentTypeProfile)
+	req.Header.Set(ForwardedHeader, "1")
+	if requestID != "" {
+		req.Header.Set("X-Request-ID", requestID)
+	}
+	t0 := time.Now()
+	resp, err := rt.cfg.Client.Do(req)
+	if err != nil {
+		return nil, false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		return nil, false, fmt.Errorf("peer %s: status %d: %.200s", peer, resp.StatusCode, msg)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != wire.ContentTypeProfile {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
+		return nil, false, fmt.Errorf("peer %s: unexpected content type %q", peer, ct)
+	}
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, false, err
+	}
+	wp, _, err := wire.DecodeProfile(raw)
+	if err != nil {
+		return nil, false, fmt.Errorf("peer %s: %w", peer, err)
+	}
+	rt.lat.record(time.Since(t0))
+	return wireToCore(wp), wp.Cached, nil
+}
+
+// errPeerTMA stands in for the origin's TMA error, whose message does not
+// cross the profile frame (the frame carries only a validity bit).
+var errPeerTMA = errors.New("environment does not standardize (reported by forwarding peer)")
+
+// wireToCore rebuilds a core.Profile from its wire form.
+func wireToCore(wp *wire.Profile) *core.Profile {
+	p := &core.Profile{
+		Tasks:              wp.Tasks,
+		Machines:           wp.Machines,
+		MPH:                wp.MPH,
+		TDH:                wp.TDH,
+		TMA:                wp.TMA,
+		RatioR:             wp.RatioR,
+		GeoMeanG:           wp.GeoMeanG,
+		COV:                wp.COV,
+		MachinePerf:        wp.MachinePerf,
+		TaskDiff:           wp.TaskDiff,
+		SinkhornIterations: wp.SinkhornIterations,
+		Trimmed:            wp.Trimmed,
+	}
+	if !wp.TMAValid {
+		p.TMA = math.NaN()
+		p.TMAErr = errPeerTMA
+	}
+	return p
+}
+
+// latencyTracker keeps a fixed window of recent forward round-trip times for
+// the p99-derived hedge delay. 256 samples is enough for a stable tail read
+// and cheap enough to sort on every delay computation.
+type latencyTracker struct {
+	mu      sync.Mutex
+	samples [256]time.Duration
+	n       int // filled entries
+	idx     int // next write position
+}
+
+func newLatencyTracker() *latencyTracker { return &latencyTracker{} }
+
+func (t *latencyTracker) record(d time.Duration) {
+	t.mu.Lock()
+	t.samples[t.idx] = d
+	t.idx = (t.idx + 1) % len(t.samples)
+	if t.n < len(t.samples) {
+		t.n++
+	}
+	t.mu.Unlock()
+}
+
+func (t *latencyTracker) p99() (time.Duration, bool) {
+	t.mu.Lock()
+	if t.n == 0 {
+		t.mu.Unlock()
+		return 0, false
+	}
+	buf := make([]time.Duration, t.n)
+	copy(buf, t.samples[:t.n])
+	t.mu.Unlock()
+	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	return buf[(len(buf)-1)*99/100], true
+}

@@ -1,0 +1,333 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+type testCounter struct{ n atomic.Int64 }
+
+func (c *testCounter) Inc()         { c.n.Add(1) }
+func (c *testCounter) value() int64 { return c.n.Load() }
+
+// fakePeer is a characterize endpoint with a settable delay, failure switch
+// and request capture, standing in for a cluster node.
+type fakePeer struct {
+	srv     *httptest.Server
+	delayNS atomic.Int64
+	fail    atomic.Bool
+	cached  atomic.Bool
+	hits    atomic.Int64
+	lastReq atomic.Pointer[http.Request]
+}
+
+func newFakePeer(t *testing.T) *fakePeer {
+	t.Helper()
+	p := &fakePeer{}
+	p.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		p.hits.Add(1)
+		p.lastReq.Store(r.Clone(context.Background()))
+		if d := time.Duration(p.delayNS.Load()); d > 0 {
+			select {
+			case <-time.After(d):
+			case <-r.Context().Done():
+				return
+			}
+		}
+		if p.fail.Load() {
+			http.Error(w, "boom", http.StatusInternalServerError)
+			return
+		}
+		prof := &wire.Profile{
+			Tasks: 2, Machines: 3,
+			MPH: 0.5, TDH: 0.25, TMA: 0.75, TMAValid: true,
+			RatioR: 2, GeoMeanG: 1.5, COV: 0.3,
+			SinkhornIterations: 7,
+			Cached:             p.cached.Load(),
+			MachinePerf:        []float64{1, 2, 3},
+			TaskDiff:           []float64{0.1, 0.2},
+		}
+		buf, err := wire.AppendProfile(nil, prof)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", wire.ContentTypeProfile)
+		w.Write(buf)
+	}))
+	t.Cleanup(p.srv.Close)
+	return p
+}
+
+func (p *fakePeer) addr() string {
+	u, _ := url.Parse(p.srv.URL)
+	return u.Host
+}
+
+// newTestRouter builds a router whose ring holds self plus the given peers,
+// with replicas = all nodes so every peer is a forward target for any key.
+func newTestRouter(t *testing.T, peers ...*fakePeer) (*Router, *testCounter, *testCounter, *testCounter) {
+	t.Helper()
+	addrs := make([]string, len(peers))
+	for i, p := range peers {
+		addrs[i] = p.addr()
+	}
+	rt := NewRouter(Config{
+		Self:          "self.invalid:1",
+		Peers:         addrs,
+		Replicas:      len(peers) + 1,
+		VirtualNodes:  8,
+		HedgeDelayMin: time.Millisecond,
+		HedgeDelayMax: 30 * time.Millisecond,
+	})
+	fe, h, hw := &testCounter{}, &testCounter{}, &testCounter{}
+	rt.SetStats(Stats{ForwardErrors: fe, Hedges: h, HedgeWins: hw})
+	return rt, fe, h, hw
+}
+
+func peerByAddr(addr string, peers ...*fakePeer) *fakePeer {
+	for _, p := range peers {
+		if p.addr() == addr {
+			return p
+		}
+	}
+	return nil
+}
+
+func TestForwardSuccess(t *testing.T) {
+	peer := newFakePeer(t)
+	peer.cached.Store(true)
+	rt, _, _, _ := newTestRouter(t, peer)
+	key := testKey(1)
+
+	p, cached, err := rt.Forward(context.Background(), key, envBody(t), "req-123")
+	if err != nil {
+		t.Fatalf("Forward: %v", err)
+	}
+	if !cached {
+		t.Error("peer cache flag not passed through")
+	}
+	if p.Tasks != 2 || p.Machines != 3 || p.TMA != 0.75 || p.TMAErr != nil {
+		t.Fatalf("profile mismatch: %+v", p)
+	}
+	req := peer.lastReq.Load()
+	if got := req.Header.Get(ForwardedHeader); got != "1" {
+		t.Errorf("%s = %q, want 1", ForwardedHeader, got)
+	}
+	if got := req.Header.Get("X-Request-ID"); got != "req-123" {
+		t.Errorf("X-Request-ID = %q, want req-123", got)
+	}
+	if got := req.Header.Get("Content-Type"); got != wire.ContentTypeMatrix {
+		t.Errorf("Content-Type = %q", got)
+	}
+	if got := req.Header.Get("Accept"); got != wire.ContentTypeProfile {
+		t.Errorf("Accept = %q", got)
+	}
+	if !strings.HasPrefix(req.URL.Path, "/v1/characterize") {
+		t.Errorf("path = %q", req.URL.Path)
+	}
+}
+
+func TestForwardFailoverOnError(t *testing.T) {
+	a, b := newFakePeer(t), newFakePeer(t)
+	rt, fe, _, _ := newTestRouter(t, a, b)
+	key := testKey(2)
+	targets := rt.forwardTargets(key)
+	if len(targets) != 2 {
+		t.Fatalf("targets = %v, want both peers", targets)
+	}
+	peerByAddr(targets[0], a, b).fail.Store(true)
+
+	p, _, err := rt.Forward(context.Background(), key, envBody(t), "")
+	if err != nil {
+		t.Fatalf("Forward should fail over, got %v", err)
+	}
+	if p == nil || p.Tasks != 2 {
+		t.Fatalf("bad profile: %+v", p)
+	}
+	if fe.value() != 1 {
+		t.Errorf("forward_errors = %d, want 1", fe.value())
+	}
+}
+
+func TestForwardHedgeWinsOnSlowPrimary(t *testing.T) {
+	a, b := newFakePeer(t), newFakePeer(t)
+	rt, _, hedges, wins := newTestRouter(t, a, b)
+	key := testKey(3)
+	targets := rt.forwardTargets(key)
+	primary := peerByAddr(targets[0], a, b)
+	primary.delayNS.Store(int64(2 * time.Second))
+
+	start := time.Now()
+	p, _, err := rt.Forward(context.Background(), key, envBody(t), "")
+	if err != nil {
+		t.Fatalf("Forward: %v", err)
+	}
+	if p.Tasks != 2 {
+		t.Fatalf("bad profile: %+v", p)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("hedge did not mask the slow primary: took %v", elapsed)
+	}
+	if hedges.value() != 1 {
+		t.Errorf("hedges = %d, want 1", hedges.value())
+	}
+	if wins.value() != 1 {
+		t.Errorf("hedge_wins = %d, want 1", wins.value())
+	}
+}
+
+func TestForwardAllPeersFail(t *testing.T) {
+	a, b := newFakePeer(t), newFakePeer(t)
+	a.fail.Store(true)
+	b.fail.Store(true)
+	rt, fe, _, _ := newTestRouter(t, a, b)
+
+	_, _, err := rt.Forward(context.Background(), testKey(4), envBody(t), "")
+	if err == nil {
+		t.Fatal("Forward succeeded with every peer failing")
+	}
+	if fe.value() != 2 {
+		t.Errorf("forward_errors = %d, want 2", fe.value())
+	}
+}
+
+func TestForwardNoPeers(t *testing.T) {
+	rt := NewRouter(Config{Self: "self.invalid:1", Replicas: 2, VirtualNodes: 8})
+	_, _, err := rt.Forward(context.Background(), testKey(5), envBody(t), "")
+	if !errors.Is(err, ErrNoPeers) {
+		t.Fatalf("err = %v, want ErrNoPeers", err)
+	}
+}
+
+func TestLocallyOwned(t *testing.T) {
+	rt := NewRouter(Config{Self: "self.invalid:1", Replicas: 2, VirtualNodes: 8})
+	if !rt.LocallyOwned(testKey(0)) {
+		t.Fatal("single-node ring must own everything")
+	}
+	// With replicas >= nodes, everything stays locally owned too.
+	rt2 := NewRouter(Config{
+		Self: "self.invalid:1", Peers: []string{"a.invalid:1", "b.invalid:1"},
+		Replicas: 3, VirtualNodes: 8,
+	})
+	if !rt2.LocallyOwned(testKey(0)) {
+		t.Fatal("replicas==nodes must keep every key locally owned")
+	}
+	// With replicas < nodes some keys must be foreign-owned.
+	rt3 := NewRouter(Config{
+		Self: "self.invalid:1", Peers: []string{"a.invalid:1", "b.invalid:1", "c.invalid:1"},
+		Replicas: 1, VirtualNodes: DefaultVirtualNodes,
+	})
+	foreign := 0
+	for i := 0; i < 200; i++ {
+		if !rt3.LocallyOwned(testKey(i)) {
+			foreign++
+		}
+	}
+	if foreign == 0 {
+		t.Fatal("no key was foreign-owned on a 4-node ring with R=1")
+	}
+}
+
+func TestHedgeDelayClamping(t *testing.T) {
+	rt := NewRouter(Config{
+		Self: "self.invalid:1", HedgeDelayMin: 5 * time.Millisecond, HedgeDelayMax: 50 * time.Millisecond,
+	})
+	if got := rt.HedgeDelay(); got != 50*time.Millisecond {
+		t.Fatalf("empty tracker delay = %v, want the max", got)
+	}
+	for i := 0; i < 100; i++ {
+		rt.lat.record(time.Millisecond) // fast peers: p99 below the floor
+	}
+	if got := rt.HedgeDelay(); got != 5*time.Millisecond {
+		t.Fatalf("fast-peer delay = %v, want the min clamp", got)
+	}
+	for i := 0; i < 256; i++ {
+		rt.lat.record(time.Second) // slow peers: p99 above the ceiling
+	}
+	if got := rt.HedgeDelay(); got != 50*time.Millisecond {
+		t.Fatalf("slow-peer delay = %v, want the max clamp", got)
+	}
+}
+
+// TestJoinAndGossip runs the membership loop against a fake seed that
+// advertises a third node, checking that the router adopts it.
+func TestJoinAndGossip(t *testing.T) {
+	var joined atomic.Pointer[string]
+	mux := http.NewServeMux()
+	respond := func(w http.ResponseWriter, peers []PeerInfo) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{"peers": peers})
+	}
+	var seedAddr string
+	mux.HandleFunc("/v1/cluster/join", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Addr string `json:"addr"`
+		}
+		json.NewDecoder(r.Body).Decode(&req)
+		joined.Store(&req.Addr)
+		respond(w, []PeerInfo{
+			{Addr: seedAddr, State: StateAlive},
+			{Addr: "third.invalid:9", State: StateAlive},
+		})
+	})
+	mux.HandleFunc("/v1/cluster/peers", func(w http.ResponseWriter, r *http.Request) {
+		respond(w, []PeerInfo{
+			{Addr: seedAddr, State: StateAlive},
+			{Addr: "third.invalid:9", State: StateAlive},
+		})
+	})
+	seed := httptest.NewServer(mux)
+	defer seed.Close()
+	u, _ := url.Parse(seed.URL)
+	seedAddr = u.Host
+
+	rt := NewRouter(Config{
+		Self: "self.invalid:1", Peers: []string{seedAddr},
+		Replicas: 2, VirtualNodes: 8,
+		GossipInterval: 20 * time.Millisecond, ProbeTimeout: time.Second,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	rt.Start(ctx)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		peers := rt.Peers()
+		var addrs []string
+		for _, p := range peers {
+			addrs = append(addrs, p.Addr)
+		}
+		if contains(addrs, "third.invalid:9") && contains(addrs, seedAddr) {
+			if got := joined.Load(); got == nil || *got != "self.invalid:1" {
+				t.Fatalf("seed saw join addr %v, want self.invalid:1", got)
+			}
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("gossip never adopted the advertised third node; view: %+v", rt.Peers())
+}
+
+// envBody builds a minimal env frame, the body every forward carries.
+func envBody(t *testing.T) []byte {
+	t.Helper()
+	buf, err := wire.AppendEnv(nil, &wire.EnvFrame{
+		Rows: 2, Cols: 3,
+		ECS: []float64{1, 2, 3, 4, 5, 6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf
+}

@@ -1,0 +1,261 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/wire"
+)
+
+// This file is the serving-tier side of cluster mode (internal/cluster holds
+// the ring, membership and forwarding client; DESIGN.md §15 the design). The
+// split keeps the dependency one-way — cluster never imports server — so the
+// router is testable against plain httptest handlers and the single-node
+// server pays nothing for the feature.
+
+// initCluster builds the router and its metric surface. Called from New when
+// Config.Cluster is set; the /v1/cluster/ endpoints are mounted by New and
+// the gossip loop starts in Run (it needs the lifecycle context and, for
+// ":0" listeners, the bound address).
+func (s *Server) initCluster(cfg cluster.Config) {
+	if cfg.Logger == nil {
+		cfg.Logger = s.log
+	}
+	s.router = cluster.NewRouter(cfg)
+	m := s.metrics
+	s.forwarded = m.Counter("hcserved_forwarded_total",
+		"Requests answered by forwarding to the key's owner node.", "")
+	s.peerFills = m.Counter("hcserved_peer_fills_total",
+		"Local cache entries back-filled from a peer's forward response.", "")
+	s.router.SetStats(cluster.Stats{
+		ForwardErrors: m.Counter("hcserved_forward_errors_total",
+			"Failed forward attempts (per attempt; a request may retry on the next replica).", ""),
+		Hedges: m.Counter("hcserved_hedged_total",
+			"Hedge requests fired to the next replica after the hedge delay.", ""),
+		HedgeWins: m.Counter("hcserved_hedge_wins_total",
+			"Hedged requests that beat the primary replica.", ""),
+	})
+	m.Gauge("hcserved_cluster_peers_alive", "Peers currently observed alive (self excluded).",
+		func() float64 { return float64(s.router.AliveCount()) })
+	m.Gauge("hcserved_cluster_ring_nodes", "Nodes on the consistent-hash ring (self included).",
+		func() float64 { return float64(s.router.Ring().Len()) })
+}
+
+// shouldForward reports whether a characterize miss should be routed to a
+// peer: cluster mode is on, the key is owned elsewhere, and the request did
+// not itself arrive by forwarding (the loop guard — a node answering a
+// forwarded request always serves locally, whatever its ring view says).
+func (s *Server) shouldForward(r *http.Request, key cacheKey) bool {
+	return s.router != nil &&
+		r.Header.Get(cluster.ForwardedHeader) == "" &&
+		!s.router.LocallyOwned(key)
+}
+
+// envFrameBody rebuilds the request's environment as a KindEnv wire frame —
+// the only form whose decode is bit-exact for content-key agreement between
+// requester and owner (re-encoding as an ETC frame would round-trip each
+// cell through a reciprocal, and 1/(1/x) is not bit-stable). The buffer is
+// freshly allocated, never pooled: a losing hedge attempt may still read it
+// after the forward returns.
+func envFrameBody(p *envPayload) ([]byte, error) {
+	f := &wire.EnvFrame{
+		Rows: p.rows, Cols: p.cols,
+		ECS:            p.cells,
+		TaskWeights:    p.taskWeights,
+		MachineWeights: p.machineWeights,
+	}
+	if p.csvEnv != nil {
+		// CSV bodies decode straight to an Env; pull the cells back out. Rare
+		// path (sweep tooling speaks JSON or binary), so the copy is fine.
+		env := p.csvEnv
+		r, c := env.Tasks(), env.Machines()
+		cells := make([]float64, 0, r*c)
+		for i := 0; i < r; i++ {
+			for j := 0; j < c; j++ {
+				cells = append(cells, env.ECSAt(i, j))
+			}
+		}
+		f.Rows, f.Cols, f.ECS = r, c, cells
+		f.TaskWeights, f.MachineWeights = env.TaskWeights(), env.MachineWeights()
+	}
+	return wire.AppendEnv(nil, f)
+}
+
+// forwardProfile routes a cache-missed characterize to the key's owner,
+// back-filling the local cache on success so the next request for this key
+// is a local hit on this replica too (peer cache fill). The bool reports
+// whether the answering peer served from its cache. A nil profile means the
+// forward could not produce one — every peer failed or unreachable — and the
+// caller falls back to local compute with normal miss accounting.
+func (s *Server) forwardProfile(r *http.Request, key cacheKey, payload *envPayload, reqID string) (*core.Profile, bool) {
+	body, err := envFrameBody(payload)
+	if err != nil {
+		s.log.Error("encoding forward body", "err", err)
+		return nil, false
+	}
+	p, peerCached, err := s.router.Forward(r.Context(), key, body, reqID)
+	if err != nil {
+		if err != cluster.ErrNoPeers {
+			s.log.Warn("forward failed; computing locally", "err", err)
+		}
+		return nil, false
+	}
+	s.forwarded.Inc()
+	s.cache.Put(key, p)
+	s.peerFills.Inc()
+	return p, peerCached
+}
+
+// handleClusterJoin serves POST /v1/cluster/join: a starting node announces
+// its address and bootstraps from the returned membership view.
+func (s *Server) handleClusterJoin(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Addr string `json:"addr"`
+	}
+	if err := s.decodeJSON(w, r, &req); err != nil {
+		writeDecodeError(w, err)
+		return
+	}
+	if req.Addr == "" {
+		writeError(w, http.StatusBadRequest, "invalid_request", "addr must be non-empty")
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"version": APIVersion,
+		"peers":   s.router.Join(req.Addr),
+	})
+}
+
+// handleClusterPeers serves GET /v1/cluster/peers: the gossip pull. States
+// in the response are the responder's local observations; the caller merges
+// addresses only and judges health itself.
+func (s *Server) handleClusterPeers(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"version": APIVersion,
+		"peers":   s.router.Peers(),
+	})
+}
+
+// clusterMetrics renders the cluster-wide /metrics?cluster=1 view: the local
+// exposition merged with every alive peer's plain /metrics (never the
+// cluster view — no recursion), numeric samples summed by series. Counter
+// sums are exact; histogram buckets merge correctly (cumulative counts add);
+// summed gauges read as cluster totals. Peers that fail to answer within the
+// timeout are skipped and reported in the hcserved_cluster_scrape_errors
+// comment so an aggregated scrape is never silently partial.
+func (s *Server) clusterMetrics(ctx context.Context, w io.Writer) error {
+	var local bytes.Buffer
+	if _, err := s.metrics.WriteTo(&local); err != nil {
+		return err
+	}
+	merge := newMetricsMerge()
+	merge.add(local.String())
+	scrapeErrs := 0
+	for _, addr := range s.router.AlivePeerAddrs() {
+		text, err := s.scrapePeerMetrics(ctx, addr)
+		if err != nil {
+			s.log.Warn("cluster metrics scrape failed", "peer", addr, "err", err)
+			scrapeErrs++
+			continue
+		}
+		merge.add(text)
+	}
+	if scrapeErrs > 0 {
+		fmt.Fprintf(w, "# hcserved_cluster_scrape_errors %d peers did not answer; totals are partial\n", scrapeErrs)
+	}
+	return merge.writeTo(w)
+}
+
+// scrapePeerMetrics pulls one peer's plain metrics exposition.
+func (s *Server) scrapePeerMetrics(ctx context.Context, addr string) (string, error) {
+	ctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+addr+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := s.router.Client().Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("status %d", resp.StatusCode)
+	}
+	b, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// metricsMerge sums Prometheus text expositions line by line. Series keys
+// (name plus rendered labels) keep their first-seen order; comment lines
+// (# HELP / # TYPE) are kept once. This is a text-level merge on our own
+// registry's output format, not a general Prometheus parser.
+type metricsMerge struct {
+	order  []string // series keys and comment lines, first-seen order
+	sums   map[string]float64
+	isLine map[string]bool // true = comment line emitted verbatim
+}
+
+func newMetricsMerge() *metricsMerge {
+	return &metricsMerge{sums: make(map[string]float64), isLine: make(map[string]bool)}
+}
+
+func (m *metricsMerge) add(text string) {
+	sc := bufio.NewScanner(strings.NewReader(text))
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if !m.isLine[line] {
+				m.isLine[line] = true
+				m.order = append(m.order, line)
+			}
+			continue
+		}
+		// "series value": the value is the last space-separated field; the
+		// series key (name{labels}) is everything before it.
+		cut := strings.LastIndexByte(line, ' ')
+		if cut <= 0 {
+			continue
+		}
+		series, valStr := line[:cut], line[cut+1:]
+		v, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			continue
+		}
+		if _, ok := m.sums[series]; !ok {
+			m.order = append(m.order, series)
+		}
+		m.sums[series] += v
+	}
+}
+
+func (m *metricsMerge) writeTo(w io.Writer) error {
+	for _, key := range m.order {
+		var err error
+		if m.isLine[key] {
+			_, err = fmt.Fprintln(w, key)
+		} else {
+			_, err = fmt.Fprintf(w, "%s %s\n", key, formatFloat(m.sums[key]))
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,176 @@
+package server
+
+import (
+	"compress/gzip"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Transport compression. Requests may arrive with Content-Encoding: gzip
+// (JSON or binary frame bodies alike — the decoders never see the wrapper),
+// and responses compress when the client's Accept-Encoding asks for it. Both
+// directions run on pooled coders: one gzip.Writer allocation is ~1.4 MB of
+// window state, which would dominate the allocation profile if paid per
+// request. The body byte cap applies to the DECOMPRESSED size — a tiny
+// gzip-bombed body must not smuggle an over-limit matrix past the 413 check.
+
+var (
+	gzipReaderPool = sync.Pool{New: func() any { return new(gzip.Reader) }}
+	gzipWriterPool = sync.Pool{New: func() any {
+		// Speed over ratio: matrix bodies are dense float64 noise where higher
+		// levels buy little; JSON profile envelopes compress well at any level.
+		zw, _ := gzip.NewWriterLevel(io.Discard, gzip.BestSpeed)
+		return zw
+	}}
+)
+
+// unsupportedEncodingError maps to 415 in writeDecodeError: the client used
+// a Content-Encoding this server does not implement, which is neither a bad
+// request body (400) nor an over-limit one (413).
+type unsupportedEncodingError struct{ enc string }
+
+func (e *unsupportedEncodingError) Error() string {
+	return fmt.Sprintf("unsupported Content-Encoding %q (only gzip and identity)", e.enc)
+}
+
+// requestBody returns the request's plaintext body under the configured byte
+// cap, transparently inflating a gzip-encoded one. The cap wraps the
+// DECOMPRESSED stream, so an over-limit body surfaces as *http.MaxBytesError
+// (-> 413 body_too_large) whether or not it was compressed. cleanup recycles
+// the pooled inflater and must run once the body is fully consumed.
+func (s *Server) requestBody(w http.ResponseWriter, r *http.Request) (body io.ReadCloser, cleanup func(), err error) {
+	var src io.ReadCloser = r.Body
+	cleanup = func() {}
+	switch ce := r.Header.Get("Content-Encoding"); {
+	case ce == "" || strings.EqualFold(ce, "identity"):
+	case strings.EqualFold(ce, "gzip"):
+		zr := gzipReaderPool.Get().(*gzip.Reader)
+		if err := zr.Reset(r.Body); err != nil {
+			gzipReaderPool.Put(zr)
+			return nil, nil, fmt.Errorf("malformed gzip body: %w", err)
+		}
+		src = zr
+		cleanup = func() { gzipReaderPool.Put(zr) }
+	default:
+		return nil, nil, &unsupportedEncodingError{enc: ce}
+	}
+	return http.MaxBytesReader(w, src, s.cfg.MaxBodyBytes), cleanup, nil
+}
+
+// acceptsGzip reports whether the client's Accept-Encoding admits gzip. A
+// quality value of 0 is an explicit refusal; this parses just enough of RFC
+// 9110 for that (no wildcard handling — a client that sends "*" and means
+// gzip can say so).
+func acceptsGzip(r *http.Request) bool {
+	for _, part := range strings.Split(r.Header.Get("Accept-Encoding"), ",") {
+		enc, q, _ := strings.Cut(strings.TrimSpace(part), ";")
+		if !strings.EqualFold(strings.TrimSpace(enc), "gzip") {
+			continue
+		}
+		if qv, ok := strings.CutPrefix(strings.TrimSpace(q), "q="); ok {
+			if f, err := strconv.ParseFloat(qv, 64); err == nil && f == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// gzipMinSize is the smallest response body worth compressing: below it the
+// gzip header plus flush overhead beats the savings (small JSON errors,
+// empty-ish envelopes).
+const gzipMinSize = 512
+
+// compressibleType reports whether a response content type benefits from
+// gzip: JSON envelopes, the binary frames (dense float64 payloads still
+// shed 10-30% on realistic matrices), and the metrics text.
+func compressibleType(ct string) bool {
+	switch {
+	case strings.HasPrefix(ct, "application/json"),
+		strings.HasPrefix(ct, "application/x-hc-"),
+		strings.HasPrefix(ct, "text/plain"):
+		return true
+	}
+	return false
+}
+
+// gzipResponseWriter swaps in a pooled gzip.Writer at WriteHeader time when
+// the response qualifies (200, compressible type, not provably tiny). The
+// decision point is WriteHeader because every handler sets Content-Type (and
+// writeBinary Content-Length) before it, so no buffering is needed.
+type gzipResponseWriter struct {
+	http.ResponseWriter
+	zw          *gzip.Writer
+	wroteHeader bool
+}
+
+func (g *gzipResponseWriter) WriteHeader(code int) {
+	if g.wroteHeader {
+		return
+	}
+	g.wroteHeader = true
+	h := g.Header()
+	clKnownSmall := false
+	if cl := h.Get("Content-Length"); cl != "" {
+		if n, err := strconv.Atoi(cl); err == nil && n < gzipMinSize {
+			clKnownSmall = true
+		}
+	}
+	if code == http.StatusOK && compressibleType(h.Get("Content-Type")) && !clKnownSmall {
+		h.Del("Content-Length") // length of the compressed stream is unknown
+		h.Set("Content-Encoding", "gzip")
+		g.zw = gzipWriterPool.Get().(*gzip.Writer)
+		g.zw.Reset(g.ResponseWriter)
+	}
+	g.ResponseWriter.WriteHeader(code)
+}
+
+func (g *gzipResponseWriter) Write(p []byte) (int, error) {
+	if !g.wroteHeader {
+		g.WriteHeader(http.StatusOK)
+	}
+	if g.zw != nil {
+		return g.zw.Write(p)
+	}
+	return g.ResponseWriter.Write(p)
+}
+
+// finish flushes the compressed stream and recycles the writer. Must run
+// after the handler returns, before the connection is released.
+func (g *gzipResponseWriter) finish() error {
+	if g.zw == nil {
+		return nil
+	}
+	err := g.zw.Close()
+	g.zw.Reset(io.Discard) // drop the response writer reference before pooling
+	gzipWriterPool.Put(g.zw)
+	g.zw = nil
+	return err
+}
+
+// withCompression negotiates response compression. It sits inside the
+// observability middleware, so the request log's byte count reports wire
+// (compressed) bytes.
+func (s *Server) withCompression(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// The representation varies on what the client accepts, compressed or
+		// not — caches must key on it either way.
+		w.Header().Add("Vary", "Accept-Encoding")
+		if !acceptsGzip(r) {
+			next.ServeHTTP(w, r)
+			return
+		}
+		gw := &gzipResponseWriter{ResponseWriter: w}
+		defer func() {
+			if err := gw.finish(); err != nil {
+				s.log.Error("flushing gzip response", "err", err)
+			}
+		}()
+		next.ServeHTTP(gw, r)
+	})
+}

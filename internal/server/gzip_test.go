@@ -1,0 +1,241 @@
+package server
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+func gzipBytes(t *testing.T, data []byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// rawClient disables the transport's automatic gzip handling so tests see
+// the response exactly as sent.
+func rawClient() *http.Client {
+	tr := http.DefaultTransport.(*http.Transport).Clone()
+	tr.DisableCompression = true
+	return &http.Client{Transport: tr}
+}
+
+func postEncoded(t *testing.T, ts *httptest.Server, path, contentType, contentEncoding, acceptEncoding string, body []byte) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, ts.URL+path, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", contentType)
+	if contentEncoding != "" {
+		req.Header.Set("Content-Encoding", contentEncoding)
+	}
+	if acceptEncoding != "" {
+		req.Header.Set("Accept-Encoding", acceptEncoding)
+	}
+	resp, err := rawClient().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+func TestGzipRequestJSON(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	plainResp, plainBody := post(t, ts, "/v1/characterize", "application/json", envBody)
+	if plainResp.StatusCode != http.StatusOK {
+		t.Fatalf("plain status %d", plainResp.StatusCode)
+	}
+	want := decodeProfile(t, plainBody)
+
+	resp, body := postEncoded(t, ts, "/v1/characterize", "application/json", "gzip", "",
+		gzipBytes(t, []byte(envBody)))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("gzip status %d: %s", resp.StatusCode, body)
+	}
+	got := decodeProfile(t, string(body))
+	if got.MPH != want.MPH || got.TDH != want.TDH || got.Tasks != want.Tasks {
+		t.Errorf("gzipped request decoded differently: %+v vs %+v", got, want)
+	}
+	if !got.Cached {
+		t.Error("gzipped body must hash to the same content key (expected a cache hit)")
+	}
+}
+
+func TestGzipRequestBinaryFrame(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	frame := etcFrame(t, [][]float64{{10, 7}, {4, 2}})
+	resp, body := postEncoded(t, ts, "/v1/characterize", wire.ContentTypeMatrix, "gzip", "",
+		gzipBytes(t, frame))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	p := decodeProfile(t, string(body))
+	if p.Tasks != 2 || p.Machines != 2 {
+		t.Errorf("shape %dx%d, want 2x2", p.Tasks, p.Machines)
+	}
+}
+
+// TestGzipBombCappedAfterDecompression is the reason the byte cap wraps the
+// inflated stream: ~60 KB of gzip expands past a 16 KB limit and must 413,
+// even though the wire body is tiny.
+func TestGzipBombCappedAfterDecompression(t *testing.T) {
+	_, ts := testServer(t, Config{MaxBodyBytes: 16 << 10})
+	big := []byte(`{"ecs":[[` + strings.Repeat("1,", 40000) + `1]]}`)
+	compressed := gzipBytes(t, big)
+	if len(compressed) >= 16<<10 {
+		t.Fatalf("test setup: compressed body %d bytes does not fit under the cap", len(compressed))
+	}
+	resp, body := postEncoded(t, ts, "/v1/characterize", "application/json", "gzip", "", compressed)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "body_too_large") {
+		t.Errorf("missing stable error code: %s", body)
+	}
+}
+
+func TestGzipMalformedBody(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	resp, body := postEncoded(t, ts, "/v1/characterize", "application/json", "gzip",
+		"", []byte("definitely not gzip"))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400: %s", resp.StatusCode, body)
+	}
+}
+
+func TestUnsupportedContentEncoding(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	resp, body := postEncoded(t, ts, "/v1/characterize", "application/json", "br", "", []byte(envBody))
+	if resp.StatusCode != http.StatusUnsupportedMediaType {
+		t.Fatalf("status %d, want 415: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "unsupported_encoding") {
+		t.Errorf("missing stable error code: %s", body)
+	}
+}
+
+func TestGzipResponseJSON(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	big := bigEnvBody(60, 40)
+	resp, body := postEncoded(t, ts, "/v1/characterize", "application/json", "", "gzip", []byte(big))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("Content-Encoding"); got != "gzip" {
+		t.Fatalf("Content-Encoding = %q, want gzip", got)
+	}
+	if !strings.Contains(resp.Header.Get("Vary"), "Accept-Encoding") {
+		t.Error("missing Vary: Accept-Encoding")
+	}
+	zr, err := gzip.NewReader(bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("response body is not gzip: %v", err)
+	}
+	plain, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := decodeProfile(t, string(plain))
+	if p.Tasks != 60 || p.Machines != 40 {
+		t.Errorf("shape %dx%d, want 60x40", p.Tasks, p.Machines)
+	}
+}
+
+func TestGzipResponseBinaryProfile(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	// A profile frame for a 100x60 env is ~1.3 KB — over the compression floor.
+	body := []byte(bigEnvBody(100, 60))
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/characterize", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Accept", wire.ContentTypeProfile)
+	req.Header.Set("Accept-Encoding", "gzip")
+	resp, err := rawClient().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	if got := resp.Header.Get("Content-Encoding"); got != "gzip" {
+		t.Fatalf("Content-Encoding = %q, want gzip", got)
+	}
+	zr, err := gzip.NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wp, _, err := wire.DecodeProfile(frame)
+	if err != nil {
+		t.Fatalf("decoding inflated profile frame: %v", err)
+	}
+	if wp.Tasks != 100 || wp.Machines != 60 {
+		t.Errorf("shape %dx%d, want 100x60", wp.Tasks, wp.Machines)
+	}
+}
+
+func TestNoGzipWithoutAcceptEncoding(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	resp, body := postEncoded(t, ts, "/v1/characterize", "application/json", "", "", []byte(bigEnvBody(50, 30)))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("Content-Encoding"); got != "" {
+		t.Errorf("uninvited Content-Encoding %q", got)
+	}
+	decodeProfile(t, string(body)) // must be plain JSON
+}
+
+func TestGzipRefusedWithQZero(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	resp, body := postEncoded(t, ts, "/v1/characterize", "application/json", "", "gzip;q=0", []byte(bigEnvBody(50, 30)))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("Content-Encoding"); got != "" {
+		t.Errorf("gzip;q=0 must refuse compression, got Content-Encoding %q", got)
+	}
+}
+
+func TestErrorResponsesStayPlain(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	resp, body := postEncoded(t, ts, "/v1/characterize", "application/json", "", "gzip", []byte(`{"bogus":`))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("Content-Encoding"); got != "" {
+		t.Errorf("error response compressed (Content-Encoding %q)", got)
+	}
+	if !strings.Contains(string(body), "invalid_request") {
+		t.Errorf("error body not plain JSON: %s", body)
+	}
+}

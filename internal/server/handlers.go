@@ -43,13 +43,19 @@ func writeError(w http.ResponseWriter, status int, code, message string) {
 }
 
 // writeDecodeError maps a request-decoding failure: a body over the byte cap
-// is its own condition — 413 with the stable code body_too_large — and
+// (measured after any decompression) is its own condition — 413 with the
+// stable code body_too_large — an unimplemented Content-Encoding is 415, and
 // everything else is a 400 invalid_request.
 func writeDecodeError(w http.ResponseWriter, err error) {
 	var tooLarge *http.MaxBytesError
 	if errors.As(err, &tooLarge) {
 		writeError(w, http.StatusRequestEntityTooLarge, "body_too_large",
 			fmt.Sprintf("body exceeds %d bytes", tooLarge.Limit))
+		return
+	}
+	var badEnc *unsupportedEncodingError
+	if errors.As(err, &badEnc) {
+		writeError(w, http.StatusUnsupportedMediaType, "unsupported_encoding", badEnc.Error())
 		return
 	}
 	writeError(w, http.StatusBadRequest, "invalid_request", err.Error())
@@ -59,7 +65,11 @@ func writeDecodeError(w http.ResponseWriter, err error) {
 // path for small fixed-shape requests (generate). Environment-carrying
 // bodies go through readEnvPayload instead.
 func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
-	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	body, cleanup, err := s.requestBody(w, r)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
 	dec := json.NewDecoder(body)
 	if err := dec.Decode(v); err != nil {
 		return err
@@ -73,11 +83,16 @@ func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) error
 }
 
 // readBody drains the request body into a pooled buffer under the configured
-// byte cap. An exceeded cap surfaces as *http.MaxBytesError for
+// byte cap, inflating a gzip-encoded body transparently (the cap measures
+// decompressed bytes). An exceeded cap surfaces as *http.MaxBytesError for
 // writeDecodeError to map to 413. putBody recycles the buffer; the caller
 // must not retain the slice past it.
 func (s *Server) readBody(w http.ResponseWriter, r *http.Request) (body []byte, putBody func(), err error) {
-	rc := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	rc, cleanup, err := s.requestBody(w, r)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer cleanup()
 	bp := bodyPool.Get().(*[]byte)
 	buf := (*bp)[:0]
 	for {
@@ -274,8 +289,11 @@ func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
 	sp = obs.StartSpan(r.Context(), "cache_lookup")
 	key := payload.key
 	p, hit := s.cache.Get(key)
+	// In cluster mode a non-owned key routes to its owner instead of being
+	// materialized and computed here; see the forward block below.
+	forward := !hit && s.shouldForward(r, key)
 	var env *etcmat.Env
-	if !hit {
+	if !hit && !forward {
 		env, err = payload.env()
 	}
 	sp.End()
@@ -286,6 +304,23 @@ func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
 	if hit {
 		s.writeProfile(w, r, p, true)
 		return
+	}
+	if forward {
+		// The forward is IO-bound: it holds no compute slot and skips env
+		// materialization entirely. A failed forward (owner down, no live
+		// replica) falls through to the local path — availability over
+		// placement — with ordinary miss accounting.
+		sp = obs.StartSpan(r.Context(), "forward")
+		fp, peerCached := s.forwardProfile(r, key, payload, requestIDOf(r))
+		sp.End()
+		if fp != nil {
+			s.writeProfile(w, r, fp, peerCached)
+			return
+		}
+		if env, err = payload.env(); err != nil {
+			writeError(w, http.StatusBadRequest, "invalid_request", err.Error())
+			return
+		}
 	}
 	sp = obs.StartSpan(r.Context(), "queue_wait")
 	release2, ok := s.admit(w, r)
@@ -580,7 +615,7 @@ func (s *Server) handleWhatif(w http.ResponseWriter, r *http.Request) {
 
 // handleHealthz serves GET /healthz.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	s.writeJSON(w, http.StatusOK, map[string]any{
+	resp := map[string]any{
 		"status":        "ok",
 		"uptimeSeconds": time.Since(s.start).Seconds(),
 		"inflight":      s.adm.Active(),
@@ -588,12 +623,28 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"cacheEntries":  s.cache.Len(),
 		"workers":       s.cfg.Workers,
 		"goVersion":     runtime.Version(),
-	})
+	}
+	if s.router != nil {
+		resp["cluster"] = map[string]any{
+			"self":       s.router.Self(),
+			"peersAlive": s.router.AliveCount(),
+			"ringNodes":  s.router.Ring().Len(),
+		}
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
-// handleMetrics serves GET /metrics in the Prometheus text format.
+// handleMetrics serves GET /metrics in the Prometheus text format. In
+// cluster mode, ?cluster=1 answers with the cluster-wide view instead: the
+// local exposition merged with every alive peer's, samples summed by series.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if s.router != nil && r.URL.Query().Get("cluster") == "1" {
+		if err := s.clusterMetrics(r.Context(), w); err != nil {
+			s.log.Error("writing cluster metrics", "err", err)
+		}
+		return
+	}
 	if _, err := s.metrics.WriteTo(w); err != nil {
 		s.log.Error("writing metrics", "err", err)
 	}

@@ -65,7 +65,13 @@ func (s *Server) withRecovery(next http.Handler) http.Handler {
 // summary is logged at debug level.
 func (s *Server) withObservability(endpoint string, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		reqID := s.reqIDs.next()
+		// A sane client-supplied X-Request-ID is adopted rather than replaced,
+		// so one request keeps one ID across a peer forward (and any proxy
+		// that stamped it earlier); anything long or unprintable is discarded.
+		reqID := sanitizeRequestID(r.Header.Get("X-Request-ID"))
+		if reqID == "" {
+			reqID = s.reqIDs.next()
+		}
 		tr := obs.New(reqID, endpoint)
 		r = r.WithContext(obs.NewContext(r.Context(), tr))
 		w.Header().Set("X-Request-ID", reqID)

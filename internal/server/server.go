@@ -10,6 +10,8 @@ import (
 	"runtime"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/cluster"
 )
 
 // Config shapes a serving instance. The zero value is usable: every field
@@ -43,6 +45,12 @@ type Config struct {
 	// Off by default: the profiling endpoints expose internals (heap
 	// contents, command line) that do not belong on an open service port.
 	EnablePprof bool
+	// Cluster, when non-nil, runs this instance as a node of a consistent-hash
+	// cluster (see internal/cluster and DESIGN.md §15): non-owned keys forward
+	// to their owner over the binary wire format, the membership endpoints are
+	// mounted under /v1/cluster/, and Run starts the gossip loop. Nil keeps
+	// the classic single-node behavior with zero overhead.
+	Cluster *cluster.Config
 	// Logger receives structured request/lifecycle logs (default
 	// slog.Default()).
 	Logger *slog.Logger
@@ -97,10 +105,15 @@ type Server struct {
 
 	boundAddr atomic.Value // string; set once Run's listener is up
 
+	// router is non-nil in cluster mode; see forwardProfile in cluster.go.
+	router *cluster.Router
+
 	panics    *counter
 	computed  *counter
 	misses    *counter
 	coalesced *counter
+	forwarded *counter
+	peerFills *counter
 }
 
 // BoundAddr returns the address Run's listener is bound to ("" before Run).
@@ -144,6 +157,10 @@ func New(cfg Config) *Server {
 	m.Gauge("hcserved_uptime_seconds", "Seconds since the server started.",
 		func() float64 { return time.Since(s.start).Seconds() })
 
+	if cfg.Cluster != nil {
+		s.initCluster(*cfg.Cluster)
+	}
+
 	s.mux = http.NewServeMux()
 	s.route("POST /v1/characterize", "characterize", http.HandlerFunc(s.handleCharacterize))
 	s.route("POST /v1/characterize/batch", "batch", http.HandlerFunc(s.handleBatch))
@@ -151,6 +168,13 @@ func New(cfg Config) *Server {
 	s.route("POST /v1/whatif", "whatif", http.HandlerFunc(s.handleWhatif))
 	s.route("GET /healthz", "healthz", http.HandlerFunc(s.handleHealthz))
 	s.route("GET /metrics", "metrics", http.HandlerFunc(s.handleMetrics))
+	if s.router != nil {
+		// Recovery only: the gossip loop hits these at 2 Hz per peer, which
+		// would drown the request log and skew the latency histograms if they
+		// went through the full observability stack.
+		s.mux.Handle("POST /v1/cluster/join", s.withRecovery(http.HandlerFunc(s.handleClusterJoin)))
+		s.mux.Handle("GET /v1/cluster/peers", s.withRecovery(http.HandlerFunc(s.handleClusterPeers)))
+	}
 	if cfg.EnablePprof {
 		// Mounted raw (no admission, no timeout): a CPU profile legitimately
 		// runs for 30s, and the recovery/observability stack would only skew
@@ -167,9 +191,10 @@ func New(cfg Config) *Server {
 
 // route mounts a handler with the full middleware stack: recovery outermost
 // (it must catch panics from the observability layer too), then logging and
-// metrics, then the per-request timeout.
+// metrics, then response compression (inside observability so the logged
+// byte count is wire bytes), then the per-request timeout.
 func (s *Server) route(pattern, endpoint string, h http.Handler) {
-	s.mux.Handle(pattern, s.withRecovery(s.withObservability(endpoint, s.withTimeout(h))))
+	s.mux.Handle(pattern, s.withRecovery(s.withObservability(endpoint, s.withCompression(s.withTimeout(h)))))
 }
 
 // Handler returns the fully middleware-wrapped root handler.
@@ -188,6 +213,14 @@ func (s *Server) Run(ctx context.Context) error {
 		return err
 	}
 	s.boundAddr.Store(ln.Addr().String())
+	if s.router != nil {
+		// A ":0" config only knows its advertised address now; fix it before
+		// the membership loop announces this node to the seed peers.
+		if s.router.Self() == "" {
+			s.router.SetSelf(ln.Addr().String())
+		}
+		s.router.Start(ctx)
+	}
 	srv := &http.Server{
 		Handler:           s.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,

@@ -119,13 +119,21 @@ func (p *envPayload) parseBinaryEnv(body []byte) error {
 	return p.finalize()
 }
 
-// parseBinaryFrame decodes one matrix frame with ETC semantics (+Inf entry =
-// impossible pairing = ECS 0), hashing each cell as it streams, and returns
-// the bytes consumed so concatenated batch frames compose.
+// parseBinaryFrame decodes one environment frame, hashing each cell as it
+// streams, and returns the bytes consumed so concatenated batch frames
+// compose. Two kinds carry environments: a matrix frame with ETC semantics
+// (+Inf entry = impossible pairing = ECS 0, each cell reciprocated), and an
+// env frame carrying raw ECS cells plus both weight vectors — the form peer
+// forwards use, because it round-trips bit-exactly and therefore reproduces
+// the requester's content key (reciprocating ETC cells would not: 1/(1/x)
+// is not bit-stable).
 func (p *envPayload) parseBinaryFrame(data []byte) (int, error) {
 	h, err := wire.ParseHeader(data)
 	if err != nil {
 		return 0, err
+	}
+	if h.Kind == wire.KindEnv {
+		return p.parseEnvFrame(data)
 	}
 	if h.Kind != wire.KindMatrix {
 		return 0, fmt.Errorf("frame kind %d is not a matrix", h.Kind)
@@ -157,6 +165,30 @@ func (p *envPayload) parseBinaryFrame(data []byte) (int, error) {
 		}
 	}
 	return h.Size, nil
+}
+
+// parseEnvFrame decodes one KindEnv frame: ECS cells verbatim into the
+// hasher and cell buffer, weight vectors attached explicitly. The encoder
+// writes defaulted weights as literal 1s, which hash identically to the
+// WriteOnes canonicalization of an absent vector, so the key computed here
+// matches the one the forwarding node computed from the original request.
+func (p *envPayload) parseEnvFrame(data []byte) (int, error) {
+	f, n, err := wire.DecodeEnv(data)
+	if err != nil {
+		return 0, err
+	}
+	p.rows, p.cols = f.Rows, f.Cols
+	p.ecsSet = true
+	if cap(p.cells) < len(f.ECS) {
+		p.cells = make([]float64, 0, len(f.ECS))
+	}
+	for _, v := range f.ECS {
+		p.hasher.WriteValue(v)
+		p.cells = append(p.cells, v)
+	}
+	p.taskWeights = f.TaskWeights
+	p.machineWeights = f.MachineWeights
+	return n, nil
 }
 
 // finalize validates the scanned structure and fixes the content key. It must

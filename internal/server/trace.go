@@ -53,6 +53,35 @@ func formatSeq(n uint64) string {
 	}
 }
 
+// sanitizeRequestID vets a client-supplied request ID for adoption: at most
+// 64 bytes of letters, digits, '.', '_' and '-'. Anything else returns ""
+// and the server issues its own — the ID lands verbatim in structured logs
+// and response headers, so the charset is the log-injection guard.
+func sanitizeRequestID(id string) string {
+	if id == "" || len(id) > 64 {
+		return ""
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return ""
+		}
+	}
+	return id
+}
+
+// requestIDOf returns the request's assigned ID (from its trace), "" when
+// the observability middleware did not run (plain handler tests).
+func requestIDOf(r *http.Request) string {
+	if tr := obs.FromContext(r.Context()); tr != nil {
+		return tr.ID()
+	}
+	return ""
+}
+
 // traceRequested reports whether the client asked for the timings echo with
 // ?trace=1 (or ?trace=true).
 func traceRequested(r *http.Request) bool {

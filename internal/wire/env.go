@@ -1,0 +1,118 @@
+package wire
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// EnvFrame is the wire-neutral form of a full environment: the ECS entries
+// plus both weight vectors. It exists for peer-to-peer request forwarding in
+// the serving cluster, where the frame must reproduce the requester's content
+// key bit-exactly on the receiving node. A matrix frame cannot do that: it
+// carries ETC entries, and the ETC→ECS reciprocal is not a bit-stable
+// round-trip (1/(1/3) != 3 in float64), so a forwarded matrix frame would
+// hash to a different key than the original request and split the cluster's
+// cache key space. The env frame carries the ECS values the content hasher
+// actually consumes, so requester and owner agree on the key by construction.
+//
+// An ECS entry of 0 is the "impossible pairing" (ETC +Inf); entries must
+// otherwise be positive and finite. Weight vectors are always present on the
+// wire — a defaulted weight vector is encoded as explicit 1s, which is
+// exactly how the content hasher canonicalizes it.
+type EnvFrame struct {
+	Rows, Cols     int
+	ECS            []float64 // rows·cols, row-major
+	TaskWeights    []float64 // length Rows; nil encodes as all-1s
+	MachineWeights []float64 // length Cols; nil encodes as all-1s
+}
+
+// EncodedEnvSize returns the frame size of an r×c environment.
+func EncodedEnvSize(r, c int) int { return HeaderSize + (r*c+r+c)*8 }
+
+// AppendEnv appends the binary env frame of f to dst. The payload after the
+// header is rows·cols ECS float64s (row-major), then rows task weights, then
+// cols machine weights, all little-endian. ECS entries must be finite and
+// >= 0 (0 = impossible pairing); NaN, Inf and negatives have no wire form.
+func AppendEnv(dst []byte, f *EnvFrame) ([]byte, error) {
+	r, c := f.Rows, f.Cols
+	if r <= 0 || c <= 0 {
+		return nil, malformedf("cannot encode an empty %dx%d env frame", r, c)
+	}
+	if len(f.ECS) != r*c {
+		return nil, malformedf("env frame carries %d cells for %dx%d", len(f.ECS), r, c)
+	}
+	if f.TaskWeights != nil && len(f.TaskWeights) != r {
+		return nil, malformedf("env frame carries %d task weights for %d tasks", len(f.TaskWeights), r)
+	}
+	if f.MachineWeights != nil && len(f.MachineWeights) != c {
+		return nil, malformedf("env frame carries %d machine weights for %d machines", len(f.MachineWeights), c)
+	}
+	base := len(dst)
+	dst = append(dst, make([]byte, EncodedEnvSize(r, c))...)
+	putHeader(dst[base:], KindEnv, r, c)
+	off := base + HeaderSize
+	for k, v := range f.ECS {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return nil, malformedf("ECS cell (%d,%d) = %g has no wire form", k/c, k%c, v)
+		}
+		binary.LittleEndian.PutUint64(dst[off:], math.Float64bits(v))
+		off += 8
+	}
+	off = appendWeights(dst, off, f.TaskWeights, r)
+	appendWeights(dst, off, f.MachineWeights, c)
+	return dst, nil
+}
+
+// appendWeights writes an explicit weight vector, or n unit weights when w is
+// nil, returning the advanced offset.
+func appendWeights(dst []byte, off int, w []float64, n int) int {
+	for i := 0; i < n; i++ {
+		v := 1.0
+		if w != nil {
+			v = w[i]
+		}
+		binary.LittleEndian.PutUint64(dst[off:], math.Float64bits(v))
+		off += 8
+	}
+	return off
+}
+
+// DecodeEnv decodes one env frame from the front of data, returning it and
+// the number of bytes consumed. Weight vectors come back explicit (never
+// nil). Weight values are not validated here — the environment constructor
+// owns weight semantics — but ECS cells are policed exactly as AppendEnv
+// writes them.
+func DecodeEnv(data []byte) (*EnvFrame, int, error) {
+	h, err := ParseHeader(data)
+	if err != nil {
+		return nil, 0, err
+	}
+	if h.Kind != KindEnv {
+		return nil, 0, malformedf("frame kind %d is not an env", h.Kind)
+	}
+	f := &EnvFrame{
+		Rows:           h.Rows,
+		Cols:           h.Cols,
+		ECS:            make([]float64, h.Rows*h.Cols),
+		TaskWeights:    make([]float64, h.Rows),
+		MachineWeights: make([]float64, h.Cols),
+	}
+	off := 0
+	for k := range f.ECS {
+		v := Cell(h.Payload, k)
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return nil, 0, malformedf("ECS cell (%d,%d) = %g has no wire form", k/h.Cols, k%h.Cols, v)
+		}
+		f.ECS[k] = v
+		off++
+	}
+	for i := range f.TaskWeights {
+		f.TaskWeights[i] = Cell(h.Payload, off)
+		off++
+	}
+	for i := range f.MachineWeights {
+		f.MachineWeights[i] = Cell(h.Payload, off)
+		off++
+	}
+	return f, h.Size, nil
+}

@@ -1,0 +1,131 @@
+package wire
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestEnvFrameRoundTrip(t *testing.T) {
+	f := &EnvFrame{
+		Rows: 2, Cols: 3,
+		ECS:            []float64{0.5, 0, 1.0 / 3.0, 2, 0.125, 7},
+		TaskWeights:    []float64{2, 3},
+		MachineWeights: []float64{1, 0.5, 4},
+	}
+	buf, err := AppendEnv(nil, f)
+	if err != nil {
+		t.Fatalf("AppendEnv: %v", err)
+	}
+	if len(buf) != EncodedEnvSize(2, 3) {
+		t.Fatalf("frame size %d, want %d", len(buf), EncodedEnvSize(2, 3))
+	}
+	got, n, err := DecodeEnv(buf)
+	if err != nil {
+		t.Fatalf("DecodeEnv: %v", err)
+	}
+	if n != len(buf) {
+		t.Fatalf("consumed %d of %d bytes", n, len(buf))
+	}
+	if got.Rows != 2 || got.Cols != 3 {
+		t.Fatalf("dims %dx%d", got.Rows, got.Cols)
+	}
+	for k, v := range f.ECS {
+		if got.ECS[k] != v {
+			t.Errorf("ECS[%d] = %g, want %g (must be bit-exact)", k, got.ECS[k], v)
+		}
+	}
+	for i, v := range f.TaskWeights {
+		if got.TaskWeights[i] != v {
+			t.Errorf("taskWeights[%d] = %g, want %g", i, got.TaskWeights[i], v)
+		}
+	}
+	for j, v := range f.MachineWeights {
+		if got.MachineWeights[j] != v {
+			t.Errorf("machineWeights[%d] = %g, want %g", j, got.MachineWeights[j], v)
+		}
+	}
+}
+
+func TestEnvFrameDefaultedWeightsEncodeAsOnes(t *testing.T) {
+	f := &EnvFrame{Rows: 1, Cols: 2, ECS: []float64{1, 2}}
+	buf, err := AppendEnv(nil, f)
+	if err != nil {
+		t.Fatalf("AppendEnv: %v", err)
+	}
+	got, _, err := DecodeEnv(buf)
+	if err != nil {
+		t.Fatalf("DecodeEnv: %v", err)
+	}
+	for i, v := range got.TaskWeights {
+		if v != 1 {
+			t.Errorf("taskWeights[%d] = %g, want 1", i, v)
+		}
+	}
+	for j, v := range got.MachineWeights {
+		if v != 1 {
+			t.Errorf("machineWeights[%d] = %g, want 1", j, v)
+		}
+	}
+}
+
+func TestEnvFrameRejectsBadCells(t *testing.T) {
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), -0.5} {
+		f := &EnvFrame{Rows: 1, Cols: 1, ECS: []float64{bad}}
+		if _, err := AppendEnv(nil, f); !errors.Is(err, ErrMalformed) {
+			t.Errorf("AppendEnv(%g) err = %v, want ErrMalformed", bad, err)
+		}
+	}
+	// Same policing on decode: hand-craft a frame with a NaN cell.
+	good := &EnvFrame{Rows: 1, Cols: 1, ECS: []float64{1}}
+	buf, err := AppendEnv(nil, good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := HeaderSize; i < HeaderSize+8; i++ {
+		buf[i] = 0xff // NaN bits
+	}
+	if _, _, err := DecodeEnv(buf); !errors.Is(err, ErrMalformed) {
+		t.Errorf("DecodeEnv(NaN cell) err = %v, want ErrMalformed", err)
+	}
+}
+
+func TestEnvFrameShapeErrors(t *testing.T) {
+	cases := []*EnvFrame{
+		{Rows: 0, Cols: 1, ECS: nil},
+		{Rows: 1, Cols: 2, ECS: []float64{1}},                               // short cells
+		{Rows: 1, Cols: 1, ECS: []float64{1}, TaskWeights: []float64{1, 2}}, // wrong task weights
+		{Rows: 1, Cols: 1, ECS: []float64{1}, MachineWeights: []float64{}},  // wrong machine weights
+	}
+	for i, f := range cases {
+		if _, err := AppendEnv(nil, f); !errors.Is(err, ErrMalformed) {
+			t.Errorf("case %d: err = %v, want ErrMalformed", i, err)
+		}
+	}
+}
+
+func TestEnvFrameSelfDelimiting(t *testing.T) {
+	a := &EnvFrame{Rows: 1, Cols: 2, ECS: []float64{1, 2}}
+	b := &EnvFrame{Rows: 2, Cols: 1, ECS: []float64{3, 4}}
+	buf, err := AppendEnv(nil, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf, err = AppendEnv(buf, b); err != nil {
+		t.Fatal(err)
+	}
+	f1, n1, err := DecodeEnv(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, n2, err := DecodeEnv(buf[n1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n1+n2 != len(buf) {
+		t.Fatalf("consumed %d+%d of %d", n1, n2, len(buf))
+	}
+	if f1.ECS[1] != 2 || f2.ECS[0] != 3 {
+		t.Fatalf("frames decoded out of order: %v %v", f1.ECS, f2.ECS)
+	}
+}

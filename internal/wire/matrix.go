@@ -40,7 +40,7 @@ func ParseHeader(data []byte) (Header, error) {
 		return Header{}, malformedf("unsupported version %d, want %d", data[4], Version)
 	}
 	kind := data[5]
-	if kind != KindMatrix && kind != KindProfile {
+	if kind != KindMatrix && kind != KindProfile && kind != KindEnv {
 		return Header{}, malformedf("unknown frame kind %d", kind)
 	}
 	rows := int(binary.LittleEndian.Uint32(data[6:]))
@@ -57,6 +57,8 @@ func ParseHeader(data []byte) (Header, error) {
 		payloadLen = uint64(rows) * uint64(cols) * 8
 	case KindProfile:
 		payloadLen = profileFixedSize + uint64(rows+cols)*8
+	case KindEnv:
+		payloadLen = (uint64(rows)*uint64(cols) + uint64(rows) + uint64(cols)) * 8
 	}
 	if uint64(len(data)-HeaderSize) < payloadLen {
 		return Header{}, malformedf("truncated payload: %dx%d frame needs %d bytes, have %d",

@@ -46,6 +46,7 @@ const Version = 1
 const (
 	KindMatrix  = 1 // ETC matrix, float64 LE row-major payload
 	KindProfile = 2 // measure profile, fixed block + vectors
+	KindEnv     = 3 // full environment: ECS cells + both weight vectors
 )
 
 // HeaderSize is the length of the fixed frame header in bytes.

@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Regenerate the serving benchmark report end to end (see API.md "Load
+# testing"):
+#
+#   1. classic single-node suite against a standalone hcserved
+#      (same settings as the committed baseline: -queue 8, -c 4 -n 300,
+#      150x80 matrices, 96-way surge),
+#   2. decode micro-benchmarks merged in via hcbench -wirebench,
+#   3. the 3-node cluster suite with a mid-run SIGTERM of node 2, its
+#      phases and `cluster` section grafted onto the same report via
+#      hcload -merge.
+#
+# Everything runs on loopback ports 18080-18083; all servers are torn down
+# on exit. Output path: $1 or $LOAD_OUT or BENCH_serve.json.
+#
+#   make clusterload                 # refresh BENCH_serve.json in place
+#   scripts/clusterload.sh new.json  # write elsewhere, e.g. for benchdiff
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+OUT=${1:-${LOAD_OUT:-BENCH_serve.json}}
+BIN=$(mktemp -d)
+PIDS=()
+
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do
+    kill "$pid" 2>/dev/null || true
+  done
+  wait 2>/dev/null || true
+  rm -rf "$BIN"
+}
+trap cleanup EXIT
+
+echo "clusterload: building binaries"
+go build -o "$BIN/hcserved" ./cmd/hcserved
+go build -o "$BIN/hcload" ./cmd/hcload
+go build -o "$BIN/hcbench" ./cmd/hcbench
+
+# --- 1. classic single-node suite -----------------------------------------
+echo "clusterload: single-node suite -> $OUT"
+"$BIN/hcserved" -addr 127.0.0.1:18080 -queue 8 &
+PIDS+=($!)
+"$BIN/hcload" -url http://127.0.0.1:18080 -c 4 -n 300 -tasks 150 -machines 80 \
+  -seed 1 -surge 96 -out "$OUT"
+kill "${PIDS[0]}" 2>/dev/null || true
+wait "${PIDS[0]}" 2>/dev/null || true
+
+# --- 2. decode micro-benchmarks -------------------------------------------
+echo "clusterload: decode micro-benchmarks"
+"$BIN/hcbench" -wirebench "$OUT"
+
+# --- 3. cluster suite ------------------------------------------------------
+# Three nodes, cross-seeded so any node bootstraps the membership; fast
+# failure-detector timings so the SIGTERMed node leaves the ring within the
+# cluster_kill phase rather than minutes later.
+CLUSTER_FLAGS=(-replicas 2 -suspect-after 500ms -dead-after 1500ms -gossip 100ms)
+N1=127.0.0.1:18081 N2=127.0.0.1:18082 N3=127.0.0.1:18083
+echo "clusterload: starting 3-node cluster on $N1 $N2 $N3"
+"$BIN/hcserved" -addr "$N1" -peers "$N2,$N3" "${CLUSTER_FLAGS[@]}" &
+PIDS+=($!)
+"$BIN/hcserved" -addr "$N2" -peers "$N1,$N3" "${CLUSTER_FLAGS[@]}" &
+PIDS+=($!)
+"$BIN/hcserved" -addr "$N3" -peers "$N1,$N2" "${CLUSTER_FLAGS[@]}" &
+PIDS+=($!)
+KILL_PID=${PIDS[3]}
+
+echo "clusterload: cluster suite (SIGTERM node 2 mid-run) -> $OUT"
+"$BIN/hcload" -cluster "http://$N1,http://$N2,http://$N3" \
+  -c 4 -n 200 -tasks 150 -machines 80 -seed 1 \
+  -kill-pid "$KILL_PID" -kill-node 2 -merge "$OUT" -out "$OUT"
+
+echo "clusterload: done -> $OUT"
