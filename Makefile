@@ -22,7 +22,7 @@ GATEP99 ?=
 BENCH_P99_THRESHOLD ?= 3.0
 P99_FLAGS = $(if $(GATEP99),-gatep99 -p99threshold $(BENCH_P99_THRESHOLD),)
 
-.PHONY: build test vet race lint bench bench-json benchdiff scalebench verify clean serve loadtest wirebench clusterload fuzz-smoke
+.PHONY: build test vet race lint bench bench-json benchdiff scalebench verify clean serve loadtest wirebench clusterload streamload fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -120,6 +120,12 @@ wirebench:
 # by the script; nothing needs to be running beforehand.
 clusterload:
 	scripts/clusterload.sh $(LOAD_OUT)
+
+# Quick streaming-suite check: standalone server, stream phases only, prints
+# the stream scorecard (p50 speedup + accounting). Pass a path to keep the
+# full report: scripts/streamload.sh out.json
+streamload:
+	scripts/streamload.sh
 
 # Short fuzz run of the binary frame decoder (the CI smoke step).
 fuzz-smoke:

@@ -125,7 +125,21 @@ type serveReport struct {
 		Forwarded   uint64 `json:"forwarded"`
 		InvariantOK bool   `json:"invariant_ok"`
 	} `json:"cluster"`
+	// Stream is the incremental-session scorecard: the gate requires the
+	// per-mutation p50 to beat the cold one-shot baseline at least 2x and
+	// the server's stream accounting to balance.
+	Stream *struct {
+		Mutations          int     `json:"mutations"`
+		IncrementalTotal   int     `json:"incremental_total"`
+		P50Speedup         float64 `json:"p50_speedup"`
+		AccountingBalanced bool    `json:"accounting_balanced"`
+	} `json:"stream"`
 }
+
+// streamSpeedupGate is the minimum stream-over-oneshot p50 speedup a serving
+// report must demonstrate: the incremental solver has to at least halve the
+// per-update latency to justify holding a session open.
+const streamSpeedupGate = 2.0
 
 // reportKind sniffs a report file: scale reports self-identify with
 // "kind": "scale", serving reports carry a "phases" array, and everything
@@ -217,10 +231,11 @@ func readScaleReport(path string) (*scaleReport, error) {
 }
 
 // runServeDiff gates a fresh serving report against the committed baseline:
-// the warm-phase p50 must not grow past threshold, and the zipf phase must
-// uphold the coalescing invariant (unique computes only). With p99Threshold
-// > 0 the warm-phase p99 gates too (opt-in, generous). Other phases are
-// printed for context without gating.
+// the warm-phase p50 must not grow past threshold, the zipf phase must
+// uphold the coalescing invariant (unique computes only), and a stream
+// section must clear the 2x incremental speedup gate with balanced
+// accounting. With p99Threshold > 0 the warm-phase p99 gates too (opt-in,
+// generous). Other phases are printed for context without gating.
 func runServeDiff(out io.Writer, oldPath, newPath string, threshold, p99Threshold float64) (bool, error) {
 	oldRep, err := readServeReport(oldPath)
 	if err != nil {
@@ -276,6 +291,16 @@ func runServeDiff(out io.Writer, oldPath, newPath string, threshold, p99Threshol
 				c.Retried, c.Forwarded, killed)
 		} else {
 			fmt.Fprintf(out, "  FAIL  cluster: %d lost, invariant_ok=%v%s\n", c.Lost, c.InvariantOK, killed)
+			ok = false
+		}
+	}
+	if s := newRep.Stream; s != nil {
+		if s.P50Speedup >= streamSpeedupGate && s.AccountingBalanced {
+			fmt.Fprintf(out, "  ok    stream: %.1fx p50 speedup over one-shot (%d mutations, %d incremental), accounting balanced\n",
+				s.P50Speedup, s.Mutations, s.IncrementalTotal)
+		} else {
+			fmt.Fprintf(out, "  FAIL  stream: %.1fx p50 speedup (gate %.0fx), accounting_balanced=%v\n",
+				s.P50Speedup, streamSpeedupGate, s.AccountingBalanced)
 			ok = false
 		}
 	}

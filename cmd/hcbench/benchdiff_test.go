@@ -208,6 +208,51 @@ func TestServeDiffGatesCoalescingInvariant(t *testing.T) {
 	}
 }
 
+func TestServeDiffGatesStreamSpeedup(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeServeReport(t, dir, "old.json",
+		`{"phases":[{"name":"warm","p50_ms":10}]}`)
+
+	// A healthy stream section passes.
+	okP := writeServeReport(t, dir, "ok.json",
+		`{"phases":[{"name":"warm","p50_ms":10}],
+		  "stream":{"mutations":500,"incremental_total":480,"p50_speedup":4.2,"accounting_balanced":true}}`)
+	var buf strings.Builder
+	ok, err := runBenchDiff(&buf, oldP, okP, 0.20, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Errorf("4.2x stream speedup failed:\n%s", buf.String())
+	}
+
+	// Speedup below the 2x gate fails.
+	slowP := writeServeReport(t, dir, "slow.json",
+		`{"phases":[{"name":"warm","p50_ms":10}],
+		  "stream":{"mutations":500,"incremental_total":480,"p50_speedup":1.4,"accounting_balanced":true}}`)
+	buf.Reset()
+	ok, err = runBenchDiff(&buf, oldP, slowP, 0.20, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Errorf("1.4x stream speedup passed the 2x gate:\n%s", buf.String())
+	}
+
+	// Unbalanced accounting fails regardless of speedup.
+	unbalP := writeServeReport(t, dir, "unbal.json",
+		`{"phases":[{"name":"warm","p50_ms":10}],
+		  "stream":{"mutations":500,"incremental_total":480,"p50_speedup":5.0,"accounting_balanced":false}}`)
+	buf.Reset()
+	ok, err = runBenchDiff(&buf, oldP, unbalP, 0.20, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Errorf("unbalanced stream accounting passed:\n%s", buf.String())
+	}
+}
+
 func writeScaleReport(t *testing.T, dir, name string, results []scaleResult) string {
 	t.Helper()
 	path := filepath.Join(dir, name)

@@ -21,7 +21,7 @@
 // invariant. -merge grafts that section onto an existing single-node report
 // so one BENCH_serve.json carries both.
 //
-// The single-node run has five measured phases:
+// The single-node run has seven measured phases:
 //
 //	cold     — n distinct JSON environments, every request runs the full
 //	           Sinkhorn+SVD pipeline;
@@ -37,7 +37,14 @@
 //	           produces. The report's zipf section checks the coalescing
 //	           invariant: characterizations grow by exactly the number of
 //	           distinct keys, with every concurrent duplicate absorbed by
-//	           the cache or the singleflight layer.
+//	           the cache or the singleflight layer;
+//	stream   — one long-lived /v1/stream session applying n set_cell
+//	           mutations, each answered with an incrementally updated
+//	           profile; the per-mutation round trip is the sample;
+//	stream_oneshot — the identical n post-mutation environment states sent
+//	           cold as serial one-shot requests: the baseline the stream
+//	           section's p50_speedup (gated at 2x by cmd/hcbench) divides
+//	           against.
 //
 // The report carries per-phase latency quantiles and throughput, the
 // server's cache hit rate scraped from /metrics, and the cold/warm p50
@@ -178,9 +185,11 @@ type report struct {
 	Phases           []phaseReport `json:"phases"`
 	Cache            *cacheReport  `json:"cache,omitempty"`
 	// Zipf carries the coalescing accounting of the skewed-duplicate phase;
-	// Whatif the warm-start iteration counts of the what-if probe.
+	// Whatif the warm-start iteration counts of the what-if probe; Stream
+	// the incremental-session scorecard (see stream.go).
 	Zipf   *zipfReport   `json:"zipf,omitempty"`
 	Whatif *whatifReport `json:"whatif,omitempty"`
+	Stream *streamReport `json:"stream,omitempty"`
 	// ColdWarmP50Ratio is cold-phase p50 over warm-phase p50: how much
 	// latency the result cache removes for a repeated environment.
 	ColdWarmP50Ratio float64 `json:"cold_warm_p50_ratio"`
@@ -342,6 +351,17 @@ func main() {
 			CacheHits:          pr.Metrics.CacheHits,
 			UniqueComputesOnly: pr.Metrics.Characterizations == uint64(distinct),
 		}
+	}
+	// Stream suite: one /v1/stream session mutating an environment n times
+	// against the same n states characterized cold, measuring the
+	// incremental-solve speedup the streaming API exists for.
+	{
+		phases, sr, err := runStreamSuite(client, base, *n, *tasks, *machines, *seed+7_000_000)
+		if err != nil {
+			fatal("stream suite: %v", err)
+		}
+		rep.Phases = append(rep.Phases, phases...)
+		rep.Stream = sr
 	}
 	if *surge > 0 {
 		// Several rounds with fresh (uncacheable) bodies: a single burst can

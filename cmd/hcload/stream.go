@@ -1,0 +1,144 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/server"
+)
+
+// streamReport is the scorecard of the stream suite: one long-lived
+// /v1/stream session applying n set_cell mutations, against the same n
+// environment states characterized cold as one-shot requests. The p50
+// speedup is the direct measurement of what the incremental solver buys a
+// client that watches an evolving environment; the accounting flag pins the
+// server-side invariant stream_profiles == stream_sessions +
+// stream_incremental + stream_recomputed across the phase.
+type streamReport struct {
+	Mutations        int `json:"mutations"`
+	IncrementalTotal int `json:"incremental_total"`
+	RecomputedTotal  int `json:"recomputed_total"`
+	// StreamP50Ms is the per-mutation round-trip median inside the session;
+	// OneShotP50Ms the median of the cold one-shot baseline over the
+	// identical environment states.
+	StreamP50Ms  float64 `json:"stream_p50_ms"`
+	OneShotP50Ms float64 `json:"oneshot_p50_ms"`
+	// P50Speedup is OneShotP50Ms over StreamP50Ms — the serving-tier gate
+	// requires at least 2x (see cmd/hcbench benchdiff).
+	P50Speedup float64 `json:"p50_speedup"`
+	// AccountingBalanced reports the /metrics invariant over the phase's
+	// counter deltas.
+	AccountingBalanced bool `json:"accounting_balanced"`
+}
+
+// runStreamSuite runs the two stream phases and distills the scorecard.
+// The mutation sequence multiplies one ECS cell by 1.02 per step, walking
+// the matrix — percent-level edits, the regime the warm-started incremental
+// solver is built for. Each post-mutation state is mirrored locally so the
+// one-shot baseline characterizes byte-identical environments (all distinct,
+// so the result cache cannot serve them).
+func runStreamSuite(client *http.Client, base string, n, tasks, machines int, seed int64) ([]phaseReport, *streamReport, error) {
+	rng := rand.New(rand.NewSource(seed))
+	env, err := gen.RangeBased(tasks, machines, 100, 10, rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	ecs := make([][]float64, tasks)
+	for i := 0; i < tasks; i++ {
+		ecs[i] = make([]float64, machines)
+		for j := 0; j < machines; j++ {
+			ecs[i][j] = env.ECSAt(i, j)
+		}
+	}
+
+	// Pre-render the mutation walk and the one-shot snapshot bodies.
+	type cellMut struct {
+		task, machine int
+		value         float64
+	}
+	muts := make([]cellMut, n)
+	snapshots := make([][]byte, n)
+	for k := 0; k < n; k++ {
+		i, j := k%tasks, (k*31+k/tasks)%machines
+		ecs[i][j] *= 1.02
+		muts[k] = cellMut{i, j, ecs[i][j]}
+		snap := make([][]float64, tasks)
+		for r := 0; r < tasks; r++ {
+			snap[r] = append([]float64(nil), ecs[r]...)
+		}
+		b, err := json.Marshal(&server.EnvDTO{ECS: snap})
+		if err != nil {
+			return nil, nil, err
+		}
+		snapshots[k] = b
+	}
+
+	// The session outlives any sane per-request budget, so it gets its own
+	// client without the overall timeout (http.Client.Timeout covers the
+	// whole exchange, which for a stream is the session's lifetime).
+	streamClient := &http.Client{Transport: client.Transport}
+
+	before, beforeErr := scrapeCounters(client, base)
+	sess, _, err := server.OpenStreamSession(context.Background(), streamClient, base,
+		server.EnvToDTO(env), 0)
+	if err != nil {
+		return nil, nil, fmt.Errorf("opening stream session: %w", err)
+	}
+	latencies := make([]time.Duration, 0, n)
+	errs := 0
+	start := time.Now()
+	for _, m := range muts {
+		t0 := time.Now()
+		u, err := sess.SetCell(m.task, m.machine, m.value)
+		if err != nil {
+			sess.Close()
+			return nil, nil, fmt.Errorf("stream mutation: %w", err)
+		}
+		if u.Error != nil {
+			errs++
+			continue
+		}
+		latencies = append(latencies, time.Since(t0))
+	}
+	elapsed := time.Since(start)
+	summary, err := sess.Close()
+	if err != nil {
+		return nil, nil, fmt.Errorf("closing stream session: %w", err)
+	}
+	if len(latencies) == 0 {
+		return nil, nil, fmt.Errorf("stream phase: no accepted mutations (%d rejected)", errs)
+	}
+	streamPhase := phaseReport{Name: "stream", Requests: n, Errors: errs}
+	summarizeLatencies(&streamPhase, latencies, elapsed)
+	if after, err := scrapeCounters(client, base); err == nil && beforeErr == nil {
+		streamPhase.Metrics = countersDelta(before, after)
+		d := func(name string) uint64 { return after[name] - before[name] }
+		sr := &streamReport{
+			Mutations:        len(latencies),
+			IncrementalTotal: summary.IncrementalTotal,
+			RecomputedTotal:  summary.RecomputedTotal,
+			StreamP50Ms:      streamPhase.P50Ms,
+			AccountingBalanced: d("hcserved_stream_profiles_total") ==
+				d("hcserved_stream_sessions_total")+
+					d("hcserved_stream_incremental_total")+
+					d("hcserved_stream_recomputed_total"),
+		}
+		// One-shot baseline: the identical states, cold, serially — the
+		// session is serial too, so the p50s compare like for like.
+		oneShot, err := sampledPhase(client, base, "stream_oneshot", snapshots, 1, "application/json")
+		if err != nil {
+			return nil, nil, fmt.Errorf("phase stream_oneshot: %v", err)
+		}
+		sr.OneShotP50Ms = oneShot.P50Ms
+		if sr.StreamP50Ms > 0 {
+			sr.P50Speedup = sr.OneShotP50Ms / sr.StreamP50Ms
+		}
+		return []phaseReport{streamPhase, oneShot}, sr, nil
+	}
+	return nil, nil, fmt.Errorf("scraping /metrics around the stream phase failed")
+}

@@ -74,6 +74,8 @@ func run() (code int) {
 	suspectAfter := flag.Duration("suspect-after", 2*time.Second, "silence before a peer turns suspect")
 	deadAfter := flag.Duration("dead-after", 6*time.Second, "silence before a peer leaves the ring")
 	gossip := flag.Duration("gossip", 500*time.Millisecond, "membership gossip interval")
+	maxStreams := flag.Int("max-streams", 64, "concurrently live /v1/stream sessions before 503 session_limit (negative disables the endpoint)")
+	streamIdle := flag.Duration("stream-idle", 2*time.Minute, "stream-session idle eviction timeout (negative disables eviction)")
 	flag.Parse()
 
 	var handler slog.Handler
@@ -107,14 +109,16 @@ func run() (code int) {
 	}()
 
 	cfg := server.Config{
-		Addr:           *addr,
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		CacheSize:      *cache,
-		RequestTimeout: *timeout,
-		DrainTimeout:   *drain,
-		Logger:         log,
-		EnablePprof:    *enablePprof,
+		Addr:              *addr,
+		Workers:           *workers,
+		QueueDepth:        *queue,
+		CacheSize:         *cache,
+		RequestTimeout:    *timeout,
+		DrainTimeout:      *drain,
+		Logger:            log,
+		EnablePprof:       *enablePprof,
+		MaxStreamSessions: *maxStreams,
+		StreamIdleTimeout: *streamIdle,
 	}
 	if *peers != "" {
 		var seedList []string

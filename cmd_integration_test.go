@@ -258,11 +258,17 @@ func TestCLIPipeline(t *testing.T) {
 				BaselineIterations int `json:"baseline_iterations"`
 				Deltas             int `json:"deltas"`
 			} `json:"whatif"`
+			Stream *struct {
+				Mutations          int  `json:"mutations"`
+				IncrementalTotal   int  `json:"incremental_total"`
+				RecomputedTotal    int  `json:"recomputed_total"`
+				AccountingBalanced bool `json:"accounting_balanced"`
+			} `json:"stream"`
 		}
 		if err := json.Unmarshal(data, &rep); err != nil {
 			t.Fatalf("report is not JSON: %v\n%s", err, data)
 		}
-		wantPhases := []string{"cold", "warm", "cold_bin", "warm_bin", "zipf"}
+		wantPhases := []string{"cold", "warm", "cold_bin", "warm_bin", "zipf", "stream", "stream_oneshot"}
 		if len(rep.Phases) != len(wantPhases) {
 			t.Fatalf("unexpected phases: %s", data)
 		}
@@ -284,6 +290,11 @@ func TestCLIPipeline(t *testing.T) {
 		}
 		if rep.Whatif == nil || rep.Whatif.BaselineIterations <= 0 || rep.Whatif.Deltas != 12+8 {
 			t.Errorf("whatif probe missing or malformed: %s", data)
+		}
+		if rep.Stream == nil || rep.Stream.Mutations != 20 ||
+			rep.Stream.IncrementalTotal+rep.Stream.RecomputedTotal != 20 ||
+			!rep.Stream.AccountingBalanced {
+			t.Errorf("stream scorecard missing or unbalanced: %s", data)
 		}
 
 		// Graceful shutdown: SIGTERM must drain and exit 0.

@@ -56,12 +56,6 @@ func TestFacadeSurface(t *testing.T) {
 		}
 	})
 
-	t.Run("legacy TMA", func(t *testing.T) {
-		if v := hetero.TMALegacyColumnOnly(env); v <= 0 || v >= 1 {
-			t.Errorf("legacy TMA = %g", v)
-		}
-	})
-
 	t.Run("consistency", func(t *testing.T) {
 		cons, err := hetero.WithConsistency(env, hetero.Consistent)
 		if err != nil {

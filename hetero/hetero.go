@@ -211,11 +211,6 @@ func Sensitivities(env *Env, h float64) (*Sensitivity, error) { return core.Sens
 // TaskDifficulties returns the weighted ECS row sums (paper Eq. 6).
 func TaskDifficulties(env *Env) []float64 { return core.TaskDifficulties(env) }
 
-// TMALegacyColumnOnly computes affinity the way the paper's prior work (its
-// ref [2]) did, normalizing columns only. Kept for comparison studies: it is
-// entangled with TDH, which is exactly what the standard-form TMA fixes.
-func TMALegacyColumnOnly(env *Env) float64 { return core.TMALegacyColumnOnly(env) }
-
 // Standardize puts a nonnegative matrix in the paper's standard form (rows
 // summing to √(M/T), columns to √(T/M), largest singular value 1).
 func Standardize(a *Matrix) (*sinkhorn.Result, error) { return sinkhorn.Standardize(a) }
@@ -298,32 +293,6 @@ func TargetedTarget(tasks, machines int, mph, tdh, tma, tol float64) GenerateTar
 // regardless of method. Generated.Mix is meaningful only for targeted specs.
 func Generate(target GenerateTarget, rng *rand.Rand) (*gen.Generated, error) {
 	return gen.Generate(target, rng)
-}
-
-// GenerateRangeBased produces an ETC environment with the classic
-// range-based method of Ali et al.: ETC(i,j) = U[1,rTask] · U[1,rMach].
-//
-// Deprecated: use Generate(RangeTarget(tasks, machines, rTask, rMach), rng),
-// which also reports the achieved heterogeneity profile.
-func GenerateRangeBased(tasks, machines int, rTask, rMach float64, rng *rand.Rand) (*Env, error) {
-	g, err := gen.Generate(gen.RangeSpec(tasks, machines, rTask, rMach), rng)
-	if err != nil {
-		return nil, err
-	}
-	return g.Env, nil
-}
-
-// GenerateCVB produces an ETC environment with the coefficient-of-variation
-// method of Ali et al. (gamma-distributed task baselines and speeds).
-//
-// Deprecated: use Generate(CVBTarget(tasks, machines, vTask, vMach, muTask),
-// rng), which also reports the achieved heterogeneity profile.
-func GenerateCVB(tasks, machines int, vTask, vMach, muTask float64, rng *rand.Rand) (*Env, error) {
-	g, err := gen.Generate(gen.CVBSpec(tasks, machines, vTask, vMach, muTask), rng)
-	if err != nil {
-		return nil, err
-	}
-	return g.Env, nil
 }
 
 // Consistency is the Braun et al. ETC taxonomy (consistent, semi-consistent,

@@ -89,11 +89,15 @@ func TestGenerateFacade(t *testing.T) {
 
 func TestGeneratorFacades(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
-	if _, err := hetero.GenerateRangeBased(5, 3, 10, 10, rng); err != nil {
+	if g, err := hetero.Generate(hetero.RangeTarget(5, 3, 10, 10), rng); err != nil {
 		t.Error(err)
+	} else if g.Env.Tasks() != 5 || g.Env.Machines() != 3 {
+		t.Errorf("range-based shape %dx%d", g.Env.Tasks(), g.Env.Machines())
 	}
-	if _, err := hetero.GenerateCVB(5, 3, 0.5, 0.5, 100, rng); err != nil {
+	if g, err := hetero.Generate(hetero.CVBTarget(5, 3, 0.5, 0.5, 100), rng); err != nil {
 		t.Error(err)
+	} else if g.Env.Tasks() != 5 || g.Env.Machines() != 3 {
+		t.Errorf("CVB shape %dx%d", g.Env.Tasks(), g.Env.Machines())
 	}
 }
 
@@ -178,11 +182,11 @@ func TestCharacterizeMany(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	var envs []*hetero.Env
 	for i := 0; i < 12; i++ {
-		env, err := hetero.GenerateRangeBased(8, 4, 50, 10, rng)
+		g, err := hetero.Generate(hetero.RangeTarget(8, 4, 50, 10), rng)
 		if err != nil {
 			t.Fatal(err)
 		}
-		envs = append(envs, env)
+		envs = append(envs, g.Env)
 	}
 	envs = append(envs, nil)
 	seq := hetero.CharacterizeMany(envs, 1)
@@ -214,11 +218,11 @@ func TestCharacterizeManyCtx(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
 	var envs []*hetero.Env
 	for i := 0; i < 6; i++ {
-		env, err := hetero.GenerateRangeBased(6, 3, 50, 10, rng)
+		g, err := hetero.Generate(hetero.RangeTarget(6, 3, 50, 10), rng)
 		if err != nil {
 			t.Fatal(err)
 		}
-		envs = append(envs, env)
+		envs = append(envs, g.Env)
 	}
 
 	t.Run("matches CharacterizeMany", func(t *testing.T) {

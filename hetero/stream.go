@@ -1,0 +1,35 @@
+package hetero
+
+import (
+	"context"
+	"net/http"
+
+	"repro/internal/server"
+)
+
+// StreamSession is a live streaming characterization session against an
+// hcserved instance (POST /v1/stream, API v1.2): the environment lives
+// server-side in a mutable incremental solver, each mutation method sends one
+// NDJSON op line and returns the updated profile, and most small edits are
+// answered from a warm-started solve instead of a cold characterization. A
+// session is an ordered conversation — drive it from one goroutine and Close
+// it when done so the server can release the slot.
+type StreamSession = server.StreamClient
+
+// StreamUpdate is one response of a stream session: the profile after an open
+// or mutation (with its incremental flag), an in-stream error, or the close
+// summary with the session's incremental/recomputed totals.
+type StreamUpdate = server.StreamUpdate
+
+// OpenStream opens a streaming characterization session for env against an
+// hcserved base URL (e.g. "http://host:port") and returns the session
+// together with the opening cold profile. httpClient may be nil for
+// http.DefaultClient; driftTol <= 0 selects the server's default re-anchoring
+// drift tolerance. The returned session's AddTask, AddMachine, DropTask,
+// DropMachine, SetCell and SetWeights methods mutate the server-side
+// environment and return the re-characterized profile; see API.md
+// §Streaming sessions for the wire protocol.
+func OpenStream(ctx context.Context, httpClient *http.Client, baseURL string,
+	env *Env, driftTol float64) (*StreamSession, *StreamUpdate, error) {
+	return server.OpenStreamSession(ctx, httpClient, baseURL, server.EnvToDTO(env), driftTol)
+}

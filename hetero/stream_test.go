@@ -1,0 +1,88 @@
+package hetero_test
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"math"
+	"net/http/httptest"
+	"testing"
+
+	"repro/hetero"
+	"repro/internal/server"
+)
+
+// TestOpenStreamFacade drives a full session through the public facade
+// against a live server: open, three mutations, close — and checks the final
+// streamed profile matches a cold characterization of the same environment.
+func TestOpenStreamFacade(t *testing.T) {
+	srv := server.New(server.Config{
+		Logger: slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	env, err := hetero.FromETC([][]float64{
+		{10, 20, 40},
+		{15, 12, 30},
+		{25, 50, 9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, open, err := hetero.OpenStream(context.Background(), nil, ts.URL, env, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if open.Profile == nil || open.Seq != 0 {
+		t.Fatalf("open update: profile=%v seq=%d", open.Profile, open.Seq)
+	}
+	if _, err := sess.AddTask("extra", []float64{0.05, 0.02, 0.01}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.SetCell(0, 1, 0.08); err != nil {
+		t.Fatal(err)
+	}
+	last, err := sess.SetWeights([]float64{1, 2, 1, 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last.Error != nil {
+		t.Fatalf("weights rejected: %s", last.Error.Message)
+	}
+	summary, err := sess.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !summary.Closed || summary.IncrementalTotal+summary.RecomputedTotal != 3 {
+		t.Fatalf("close summary: %+v", summary)
+	}
+
+	// Rebuild the mutated environment cold and compare headline measures.
+	cold, err := hetero.FromECS([][]float64{
+		{1.0 / 10, 0.08, 1.0 / 40},
+		{1.0 / 15, 1.0 / 12, 1.0 / 30},
+		{1.0 / 25, 1.0 / 50, 1.0 / 9},
+		{0.05, 0.02, 0.01},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err = cold.WithWeights([]float64{1, 2, 1, 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := hetero.Characterize(cold)
+	if last.Profile == nil {
+		t.Fatal("final update carries no profile")
+	}
+	if math.Abs(last.Profile.MPH-p.MPH) > 1e-12 || math.Abs(last.Profile.TDH-p.TDH) > 1e-12 {
+		t.Errorf("streamed MPH/TDH (%g, %g) diverge from cold (%g, %g)",
+			last.Profile.MPH, last.Profile.TDH, p.MPH, p.TDH)
+	}
+	if last.Profile.TMA != nil && !math.IsNaN(p.TMA) {
+		if math.Abs(*last.Profile.TMA-p.TMA) > 1e-9 {
+			t.Errorf("streamed TMA %g, cold %g", *last.Profile.TMA, p.TMA)
+		}
+	}
+}

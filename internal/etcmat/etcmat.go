@@ -51,6 +51,12 @@ type Env struct {
 	// sense (a Sinkhorn run converges to the same unique standard form from
 	// any positive seed), so clone keeps it across name/weight edits.
 	stdSeed *sinkhorn.WarmStart
+
+	// stdTol optionally overrides the standard-form convergence tolerance
+	// (see SetStandardFormTol); zero selects sinkhorn.DefaultTol. Like
+	// stdSeed it only changes where the iteration stops, never what it
+	// converges to, so clone carries it across edits.
+	stdTol float64
 }
 
 // envMemo holds the lazily computed derived state of an Env: the weighted
@@ -77,36 +83,60 @@ var ErrInvalid = errors.New("etcmat: invalid environment")
 // be nonnegative and finite; every row and every column must contain at
 // least one positive entry. The matrix is cloned.
 func NewFromECS(ecs *matrix.Dense) (*Env, error) {
+	if err := validateECS(ecs); err != nil {
+		return nil, err
+	}
+	return adoptECS(matrix.ClonePooled(ecs)), nil
+}
+
+// NewFromECSOwned is NewFromECS taking ownership of ecs instead of cloning
+// it: the environment uses the matrix directly and ReleaseBuffers recycles
+// it. The caller must not touch ecs afterwards. This is the ingestion fast
+// path — a decoder that already materialized a pooled matrix (see
+// matrix.FromDataPooled) hands it over without a second copy.
+func NewFromECSOwned(ecs *matrix.Dense) (*Env, error) {
+	if err := validateECS(ecs); err != nil {
+		return nil, err
+	}
+	return adoptECS(ecs), nil
+}
+
+func validateECS(ecs *matrix.Dense) error {
 	t, m := ecs.Dims()
 	if t == 0 || m == 0 {
-		return nil, fmt.Errorf("%w: empty matrix", ErrInvalid)
+		return fmt.Errorf("%w: empty matrix", ErrInvalid)
 	}
 	for i := 0; i < t; i++ {
 		for j := 0; j < m; j++ {
 			v := ecs.At(i, j)
 			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
-				return nil, fmt.Errorf("%w: ECS(%d,%d) = %g must be finite and nonnegative", ErrInvalid, i, j, v)
+				return fmt.Errorf("%w: ECS(%d,%d) = %g must be finite and nonnegative", ErrInvalid, i, j, v)
 			}
 		}
 	}
 	for i := 0; i < t; i++ {
 		if ecs.RowSum(i) == 0 {
-			return nil, fmt.Errorf("%w: task type %d cannot run on any machine (all-zero ECS row)", ErrInvalid, i)
+			return fmt.Errorf("%w: task type %d cannot run on any machine (all-zero ECS row)", ErrInvalid, i)
 		}
 	}
 	for j := 0; j < m; j++ {
 		if ecs.ColSum(j) == 0 {
-			return nil, fmt.Errorf("%w: machine %d cannot run any task type (all-zero ECS column)", ErrInvalid, j)
+			return fmt.Errorf("%w: machine %d cannot run any task type (all-zero ECS column)", ErrInvalid, j)
 		}
 	}
+	return nil
+}
+
+func adoptECS(ecs *matrix.Dense) *Env {
+	t, m := ecs.Dims()
 	return &Env{
-		ecs:            matrix.ClonePooled(ecs),
+		ecs:            ecs,
 		taskNames:      defaultNames("t", t),
 		machineNames:   defaultNames("m", m),
 		taskWeights:    onesVec(t),
 		machineWeights: onesVec(m),
 		memo:           &envMemo{},
-	}, nil
+	}
 }
 
 // NewFromETC builds an environment from an ETC (time) matrix. Entries must be
@@ -238,7 +268,7 @@ func (e *Env) StandardFormCtx(ctx context.Context) (*sinkhorn.Result, []float64,
 		if !seed.Matches(e.Tasks(), e.Machines()) {
 			seed = nil // shape hints that no longer apply are dropped, not errors
 		}
-		mm.std, mm.stdErr = sinkhorn.StandardizeWarmCtx(ctx, w, seed, nil)
+		mm.std, mm.stdErr = sinkhorn.StandardizeWarmTolCtx(ctx, w, seed, nil, e.stdTol)
 		if mm.stdErr == nil {
 			mm.stdSV = linalg.SingularValuesCtx(ctx, mm.std.Scaled, nil)
 		}
@@ -281,12 +311,38 @@ func (e *Env) StandardFormSeed() *sinkhorn.WarmStart {
 // seed each edited environment from its baseline's StandardFormSeed.
 func (e *Env) WithStandardFormSeed(seed *sinkhorn.WarmStart) *Env {
 	out := e.clone()
-	if seed.Matches(e.Tasks(), e.Machines()) {
-		out.stdSeed = seed
-	} else {
-		out.stdSeed = nil
-	}
+	out.SetStandardFormSeed(seed)
 	return out
+}
+
+// SetStandardFormSeed installs (or, with nil, clears) the warm-start hint in
+// place, skipping WithStandardFormSeed's defensive clone. It is for exclusive
+// owners — the streaming session's incremental characterizer derives a fresh
+// Env per mutation and seeds it before anything is computed or shared; every
+// other caller should use WithStandardFormSeed. Like there, a
+// shape-mismatched seed clears the hint rather than erroring, and the
+// computed standard form is independent of the seed (Theorem 1 uniqueness).
+func (e *Env) SetStandardFormSeed(seed *sinkhorn.WarmStart) {
+	if seed.Matches(e.Tasks(), e.Machines()) {
+		e.stdSeed = seed
+	} else {
+		e.stdSeed = nil
+	}
+}
+
+// SetStandardFormTol overrides the convergence tolerance of the standard-form
+// Sinkhorn solve in place (non-positive restores sinkhorn.DefaultTol). Like
+// SetStandardFormSeed it is for exclusive owners, before anything is computed
+// or shared. Tightening the tolerance does not change what the iteration
+// converges to (Theorem 1 uniqueness), only how close it stops to the unique
+// standard form: the streaming incremental characterizer solves at 1e-10 so
+// that chained warm-started profiles and cold re-anchors of the same
+// environment agree to well below the paper's measure precision.
+func (e *Env) SetStandardFormTol(tol float64) {
+	if tol <= 0 {
+		tol = 0
+	}
+	e.stdTol = tol
 }
 
 // ReleaseBuffers hands the environment's matrix storage — the ECS clone and
@@ -500,6 +556,35 @@ func (e *Env) AddMachine(name string, speeds []float64) (*Env, error) {
 	return out, nil
 }
 
+// WithECSCell returns e with ECS cell (i, j) set to v — the streaming
+// set-cell mutation. v follows the ECS convention (finite, nonnegative, 0 =
+// impossible pairing); setting the last positive entry of a row or column to
+// zero is rejected, since the resulting environment would be invalid. The
+// standard-form seed hint survives (a single-cell edit is exactly the
+// perturbation warm starts were built for).
+func (e *Env) WithECSCell(i, j int, v float64) (*Env, error) {
+	if i < 0 || i >= e.Tasks() {
+		return nil, fmt.Errorf("%w: task index %d out of range [0,%d)", ErrInvalid, i, e.Tasks())
+	}
+	if j < 0 || j >= e.Machines() {
+		return nil, fmt.Errorf("%w: machine index %d out of range [0,%d)", ErrInvalid, j, e.Machines())
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+		return nil, fmt.Errorf("%w: ECS(%d,%d) = %g must be finite and nonnegative", ErrInvalid, i, j, v)
+	}
+	if v == 0 {
+		if e.ecs.RowSum(i)-e.ecs.At(i, j) == 0 {
+			return nil, fmt.Errorf("%w: zeroing ECS(%d,%d) leaves task type %d unable to run anywhere", ErrInvalid, i, j, i)
+		}
+		if e.ecs.ColSum(j)-e.ecs.At(i, j) == 0 {
+			return nil, fmt.Errorf("%w: zeroing ECS(%d,%d) leaves machine %d unable to run anything", ErrInvalid, i, j, j)
+		}
+	}
+	out := e.clone()
+	out.ecs.Set(i, j, v)
+	return out, nil
+}
+
 func (e *Env) clone() *Env {
 	return &Env{
 		ecs:            matrix.ClonePooled(e.ecs),
@@ -509,6 +594,7 @@ func (e *Env) clone() *Env {
 		machineWeights: matrix.VecClone(e.machineWeights),
 		memo:           &envMemo{}, // derived state is never shared across Envs
 		stdSeed:        e.stdSeed,  // a hint, not derived state: safe to share
+		stdTol:         e.stdTol,
 	}
 }
 

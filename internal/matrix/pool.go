@@ -1,6 +1,7 @@
 package matrix
 
 import (
+	"fmt"
 	"math/bits"
 	"sync"
 )
@@ -85,6 +86,22 @@ func NewPooled(r, c int) *Dense {
 		m.data[i] = 0
 	}
 	m.rows, m.cols = r, c
+	return m
+}
+
+// FromDataPooled returns an r×c matrix backed by pool storage holding a copy
+// of data (row-major, length r*c). It is the ingestion-side counterpart of
+// ClonePooled: a decoder that accumulates cells in a reusable scratch buffer
+// can materialize a recyclable matrix directly, without an intermediate
+// unpooled Dense that the clone would immediately orphan.
+func FromDataPooled(r, c int, data []float64) *Dense {
+	checkDims(r, c)
+	if len(data) != r*c {
+		panic(fmt.Sprintf("matrix: FromDataPooled %dx%d requires %d values, got %d", r, c, r*c, len(data)))
+	}
+	m := pooledRaw(r * c)
+	m.rows, m.cols = r, c
+	copy(m.data, data)
 	return m
 }
 

@@ -19,11 +19,13 @@ import (
 )
 
 // APIVersion is the wire-contract version stamped into the api_version field
-// of every top-level /v1/* response envelope (success and error alike). 1.1
-// added the version field itself, the request-ID header and the optional
-// ?trace=1 timings echo; 1.0 responses are a strict subset, so 1.0 clients
-// keep working unchanged.
-const APIVersion = "1.1"
+// of every top-level /v1/* response envelope (success and error alike). 1.2
+// added the /v1/stream session endpoint, unified batch item errors onto the
+// structured {code, message} envelope every other error already used, and
+// fixed the error-code registry (codes.go); see API.md §Versioning for the
+// migration notes. 1.1 added the version field itself, the request-ID header
+// and the optional ?trace=1 timings echo.
+const APIVersion = "1.2"
 
 // ETCValue is a float64 whose JSON form can express the +Inf entries that
 // mark impossible task-machine pairings: it marshals +Inf as the string
@@ -256,10 +258,12 @@ type batchRequest struct {
 }
 
 // batchItem is one result of a batch characterization; exactly one of
-// Profile or Error is set.
+// Profile or Error is set. Since v1.2 the error is the same structured
+// {code, message} body the top-level error envelope carries, not a bare
+// string, so batch clients dispatch on the one code registry.
 type batchItem struct {
-	Profile *ProfileDTO `json:"profile,omitempty"`
-	Error   string      `json:"error,omitempty"`
+	Profile *ProfileDTO   `json:"profile,omitempty"`
+	Error   *apiErrorBody `json:"error,omitempty"`
 }
 
 type batchResponse struct {

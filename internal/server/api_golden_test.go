@@ -158,12 +158,15 @@ func TestProfileDTOGolden(t *testing.T) {
 	}
 }
 
-// TestEnvelopeGolden pins the v1.1 envelope additions: the version constant
+// TestEnvelopeGolden pins the envelope contract: the version constant
 // itself, its presence on every top-level response shape, and the wire form
 // of the optional timings echo. Nested profiles must NOT repeat the envelope
 // fields (omitempty keeps the 1.0 shape inside batch items).
+//
+// Deliberately updated 1.1 -> 1.2: the stream endpoint, structured batch
+// item errors and the fixed error-code registry (see APIVersion).
 func TestEnvelopeGolden(t *testing.T) {
-	if APIVersion != "1.1" {
+	if APIVersion != "1.2" {
 		t.Fatalf("APIVersion = %q; bumping it is a wire-contract change — update API.md and this test deliberately", APIVersion)
 	}
 	// A bare ProfileToDTO (as nested in batch/generate responses) carries no
@@ -204,7 +207,7 @@ func TestEnvelopeGolden(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if !strings.Contains(string(b), `"api_version":"1.1"`) {
+		if !strings.Contains(string(b), `"api_version":"1.2"`) {
 			t.Errorf("%s envelope missing api_version: %s", name, b)
 		}
 	}

@@ -156,8 +156,8 @@ func TestBinaryBatch(t *testing.T) {
 		t.Fatalf("%d profiles, want 3", len(br.Profiles))
 	}
 	for i, item := range br.Profiles {
-		if item.Error != "" {
-			t.Errorf("item %d failed: %s", i, item.Error)
+		if item.Error != nil {
+			t.Errorf("item %d failed: %s", i, item.Error.Message)
 		}
 	}
 	if br.Profiles[0].Profile.MPH != br.Profiles[2].Profile.MPH {
@@ -187,7 +187,7 @@ func TestBinaryBatch(t *testing.T) {
 	if err := json.Unmarshal(out3, &br3); err != nil {
 		t.Fatal(err)
 	}
-	if len(br3.Profiles) != 2 || br3.Profiles[0].Error != "" || br3.Profiles[1].Error == "" {
+	if len(br3.Profiles) != 2 || br3.Profiles[0].Error != nil || br3.Profiles[1].Error == nil {
 		t.Errorf("mixed batch = %+v, want item 0 ok and item 1 failed", br3.Profiles)
 	}
 }

@@ -126,7 +126,7 @@ func (s *Server) handleClusterJoin(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.Addr == "" {
-		writeError(w, http.StatusBadRequest, "invalid_request", "addr must be non-empty")
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, "addr must be non-empty")
 		return
 	}
 	s.writeJSON(w, http.StatusOK, map[string]any{

@@ -1,0 +1,45 @@
+package server
+
+// This file is the registry of machine-readable error codes. Every non-2xx
+// JSON response carries exactly one of these in its error envelope
+// ({"api_version": ..., "error": {"code": ..., "message": ...}}), and the
+// constants below are the only values the code field may take — handlers
+// never write ad-hoc strings, so clients can switch on the code without
+// chasing the prose. The registry is part of the wire contract (API.md
+// §Errors): codes are append-only and never renamed or reused.
+const (
+	// codeInvalidRequest (400): the body failed to decode or validate —
+	// malformed JSON, a ragged or empty matrix, a non-positive ETC entry, a
+	// wrong-length name or weight vector, an unknown generator kind.
+	codeInvalidRequest = "invalid_request"
+	// codeBodyTooLarge (413): the body exceeds Config.MaxBodyBytes, measured
+	// after any Content-Encoding is undone.
+	codeBodyTooLarge = "body_too_large"
+	// codeUnsupportedEncoding (415): the Content-Encoding is not identity or
+	// gzip.
+	codeUnsupportedEncoding = "unsupported_encoding"
+	// codeOverloaded (429): the compute queue is full; Retry-After carries the
+	// suggested backoff in seconds.
+	codeOverloaded = "overloaded"
+	// codeTimeout (504): the per-request deadline expired, queued or
+	// mid-computation.
+	codeTimeout = "timeout"
+	// codeCanceled (503): the client went away while the request was queued.
+	codeCanceled = "canceled"
+	// codeInternal (500): a handler panic or an encoding failure; the details
+	// are in the server log, keyed by the X-Request-ID echoed on the response.
+	codeInternal = "internal"
+
+	// Stream-session codes (v1.2, POST /v1/stream).
+
+	// codeSessionLimit (503): the server is already holding
+	// Config.MaxStreamSessions live stream sessions; retry after one closes.
+	codeSessionLimit = "session_limit"
+	// codeInvalidMutation (in-stream): a mutation was rejected — bad index,
+	// wrong-length vector, non-finite value, or an op the session cannot
+	// apply. The session state is untouched and the stream stays open.
+	codeInvalidMutation = "invalid_mutation"
+	// codeSessionIdle (in-stream): no mutation arrived within
+	// Config.StreamIdleTimeout; the server evicted the session. Terminal.
+	codeSessionIdle = "session_idle"
+)

@@ -49,16 +49,16 @@ func writeError(w http.ResponseWriter, status int, code, message string) {
 func writeDecodeError(w http.ResponseWriter, err error) {
 	var tooLarge *http.MaxBytesError
 	if errors.As(err, &tooLarge) {
-		writeError(w, http.StatusRequestEntityTooLarge, "body_too_large",
+		writeError(w, http.StatusRequestEntityTooLarge, codeBodyTooLarge,
 			fmt.Sprintf("body exceeds %d bytes", tooLarge.Limit))
 		return
 	}
 	var badEnc *unsupportedEncodingError
 	if errors.As(err, &badEnc) {
-		writeError(w, http.StatusUnsupportedMediaType, "unsupported_encoding", badEnc.Error())
+		writeError(w, http.StatusUnsupportedMediaType, codeUnsupportedEncoding, badEnc.Error())
 		return
 	}
-	writeError(w, http.StatusBadRequest, "invalid_request", err.Error())
+	writeError(w, http.StatusBadRequest, codeInvalidRequest, err.Error())
 }
 
 // decodeJSON reads a size-capped JSON body into v via encoding/json — the
@@ -182,13 +182,13 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request) (release func(), 
 	case errors.Is(err, ErrOverloaded):
 		retry := s.adm.RetryAfter(100 * time.Millisecond)
 		w.Header().Set("Retry-After", strconv.Itoa(int(retry.Round(time.Second)/time.Second)))
-		writeError(w, http.StatusTooManyRequests, "overloaded",
+		writeError(w, http.StatusTooManyRequests, codeOverloaded,
 			"server at capacity; retry after the indicated delay")
 	case errors.Is(err, context.DeadlineExceeded):
-		writeError(w, http.StatusGatewayTimeout, "timeout",
+		writeError(w, http.StatusGatewayTimeout, codeTimeout,
 			"request deadline expired while queued for a compute slot")
 	default: // context.Canceled — client went away; the write is moot.
-		writeError(w, http.StatusServiceUnavailable, "canceled", "request canceled")
+		writeError(w, http.StatusServiceUnavailable, codeCanceled, "request canceled")
 	}
 	return nil, false
 }
@@ -258,7 +258,7 @@ func (s *Server) writeProfile(w http.ResponseWriter, r *http.Request, p *core.Pr
 	if acceptsBinary(r, wire.ContentTypeProfile) {
 		buf, err := wire.AppendProfile(nil, profileToWire(p, cached))
 		if err != nil {
-			writeError(w, http.StatusInternalServerError, "internal", err.Error())
+			writeError(w, http.StatusInternalServerError, codeInternal, err.Error())
 			return
 		}
 		s.writeBinary(w, wire.ContentTypeProfile, buf)
@@ -298,7 +298,7 @@ func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
 	}
 	sp.End()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "invalid_request", err.Error())
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, err.Error())
 		return
 	}
 	if hit {
@@ -318,7 +318,7 @@ func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		if env, err = payload.env(); err != nil {
-			writeError(w, http.StatusBadRequest, "invalid_request", err.Error())
+			writeError(w, http.StatusBadRequest, codeInvalidRequest, err.Error())
 			return
 		}
 	}
@@ -330,7 +330,7 @@ func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release2()
 	if err := r.Context().Err(); err != nil {
-		writeError(w, http.StatusGatewayTimeout, "timeout", "request deadline expired")
+		writeError(w, http.StatusGatewayTimeout, codeTimeout, "request deadline expired")
 		return
 	}
 	// The coalescing layer re-checks the cache (another request may have
@@ -345,9 +345,9 @@ func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
 	releaseEnv(env)
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
-			writeError(w, http.StatusGatewayTimeout, "timeout", "request deadline expired")
+			writeError(w, http.StatusGatewayTimeout, codeTimeout, "request deadline expired")
 		} else {
-			writeError(w, http.StatusInternalServerError, "internal", err.Error())
+			writeError(w, http.StatusInternalServerError, codeInternal, err.Error())
 		}
 		return
 	}
@@ -391,7 +391,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			env, itemErr = payload.env()
 		}
 		if itemErr != nil {
-			item.Error = itemErr.Error()
+			item.Error = &apiErrorBody{Code: codeInvalidRequest, Message: itemErr.Error()}
 		}
 		items = append(items, item)
 		keys = append(keys, key)
@@ -408,11 +408,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if total == 0 {
-		writeError(w, http.StatusBadRequest, "invalid_request", "envs must be non-empty")
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, "envs must be non-empty")
 		return
 	}
 	if total > s.cfg.MaxBatchEnvs {
-		writeError(w, http.StatusBadRequest, "invalid_request",
+		writeError(w, http.StatusBadRequest, codeInvalidRequest,
 			fmt.Sprintf("batch of %d exceeds the %d-environment limit", total, s.cfg.MaxBatchEnvs))
 		return
 	}
@@ -427,7 +427,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	var uniq []int                    // first indices, in order
 	for i := range items {
 		dupOf[i] = -1
-		if items[i].Error != "" {
+		if items[i].Error != nil {
 			continue
 		}
 		if p, ok := s.cache.Get(keys[i]); ok {
@@ -469,7 +469,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		})
 	sp.End()
 	if err != nil {
-		writeError(w, http.StatusGatewayTimeout, "timeout",
+		writeError(w, http.StatusGatewayTimeout, codeTimeout,
 			"request deadline expired mid-batch: "+err.Error())
 		return
 	}
@@ -514,7 +514,7 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 			MPH: req.MPH, TDH: req.TDH, TMA: req.TMA, Tol: req.Tol,
 		})
 	default:
-		writeError(w, http.StatusBadRequest, "invalid_request",
+		writeError(w, http.StatusBadRequest, codeInvalidRequest,
 			fmt.Sprintf("kind must be %q, %q or %q, got %q",
 				gen.KindRange, gen.KindCVB, gen.KindTargeted, req.Kind))
 		return
@@ -530,7 +530,7 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	g, err := gen.Generate(spec, rand.New(rand.NewSource(req.Seed)))
 	if err != nil {
 		sp.End()
-		writeError(w, http.StatusBadRequest, "invalid_request", err.Error())
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, err.Error())
 		return
 	}
 	// Seed the result cache: a generate-then-characterize flow (common in
@@ -548,7 +548,7 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 			buf, err = wire.AppendProfile(buf, profileToWire(p, cached))
 		}
 		if err != nil {
-			writeError(w, http.StatusInternalServerError, "internal", err.Error())
+			writeError(w, http.StatusInternalServerError, codeInternal, err.Error())
 			return
 		}
 		if spec.Kind() == gen.KindTargeted {
@@ -583,7 +583,7 @@ func (s *Server) handleWhatif(w http.ResponseWriter, r *http.Request) {
 	env, err := payload.env()
 	release()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "invalid_request", err.Error())
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, err.Error())
 		return
 	}
 	sp = obs.StartSpan(r.Context(), "queue_wait")
@@ -594,7 +594,7 @@ func (s *Server) handleWhatif(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release2()
 	if err := r.Context().Err(); err != nil {
-		writeError(w, http.StatusGatewayTimeout, "timeout", "request deadline expired")
+		writeError(w, http.StatusGatewayTimeout, codeTimeout, "request deadline expired")
 		return
 	}
 	// LeaveOneOutCtx warm-starts every removal solve from the baseline's

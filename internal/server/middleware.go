@@ -35,6 +35,12 @@ func (r *statusRecorder) Write(p []byte) (int, error) {
 	return n, err
 }
 
+// Unwrap lets http.ResponseController reach the underlying connection for
+// Flush, SetReadDeadline and EnableFullDuplex — the stream endpoint needs
+// all three through this wrapper. Writes still pass through the recorder, so
+// the byte accounting is unaffected.
+func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
+
 // withRecovery converts a handler panic into a 500 with the standard error
 // envelope instead of killing the connection (and, under http.Server's
 // default behavior, spamming the log with a stack dump per request). The
@@ -50,7 +56,7 @@ func (s *Server) withRecovery(next http.Handler) http.Handler {
 					"stack", string(debug.Stack()))
 				s.panics.Inc()
 				// The header may already be gone; best effort.
-				writeError(w, http.StatusInternalServerError, "internal", "internal server error")
+				writeError(w, http.StatusInternalServerError, codeInternal, "internal server error")
 			}
 		}()
 		next.ServeHTTP(w, r)

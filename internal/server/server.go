@@ -41,6 +41,16 @@ type Config struct {
 	// MaxBatchEnvs bounds the environments in one batch request
 	// (default 256).
 	MaxBatchEnvs int
+	// MaxStreamSessions bounds concurrently live /v1/stream sessions
+	// (default 64; negative disables the endpoint's admission entirely,
+	// answering every open with 503 session_limit). Sessions hold no compute
+	// slot while idle, so this bounds connection state, not workers.
+	MaxStreamSessions int
+	// StreamIdleTimeout evicts a /v1/stream session that sends no mutation
+	// for this long (default 2m; negative disables eviction). It replaces
+	// RequestTimeout for the session as a whole — individual solves inside a
+	// session still run under RequestTimeout.
+	StreamIdleTimeout time.Duration
 	// EnablePprof mounts the net/http/pprof handlers under /debug/pprof/.
 	// Off by default: the profiling endpoints expose internals (heap
 	// contents, command line) that do not belong on an open service port.
@@ -84,6 +94,18 @@ func (c Config) withDefaults() Config {
 	if c.MaxBatchEnvs <= 0 {
 		c.MaxBatchEnvs = 256
 	}
+	if c.MaxStreamSessions == 0 {
+		c.MaxStreamSessions = 64
+	}
+	if c.MaxStreamSessions < 0 {
+		c.MaxStreamSessions = 0
+	}
+	if c.StreamIdleTimeout == 0 {
+		c.StreamIdleTimeout = 2 * time.Minute
+	}
+	if c.StreamIdleTimeout < 0 {
+		c.StreamIdleTimeout = 0
+	}
 	if c.Logger == nil {
 		c.Logger = slog.Default()
 	}
@@ -114,6 +136,18 @@ type Server struct {
 	coalesced *counter
 	forwarded *counter
 	peerFills *counter
+
+	// Stream-session state (see streamsrv.go). The accounting invariant,
+	// checked by tests and the load generator: stream_profiles_total ==
+	// stream_sessions_total + stream_incremental_total +
+	// stream_recomputed_total (every session contributes one cold open
+	// profile plus one profile per accepted mutation).
+	streams           sessionRegistry
+	streamSessions    *counter
+	streamProfiles    *counter
+	streamIncremental *counter
+	streamRecomputed  *counter
+	streamRejected    *counter
 }
 
 // BoundAddr returns the address Run's listener is bound to ("" before Run).
@@ -142,7 +176,18 @@ func New(cfg Config) *Server {
 			"Profile cache misses that ran a unique computation; concurrent duplicates count under hcserved_coalesced_total instead.", ""),
 		coalesced: m.Counter("hcserved_coalesced_total",
 			"Requests served by joining another request's in-flight computation.", ""),
+		streamSessions: m.Counter("hcserved_stream_sessions_total",
+			"Stream sessions successfully opened.", ""),
+		streamProfiles: m.Counter("hcserved_stream_profiles_total",
+			"Profiles delivered on stream sessions (opens plus accepted mutations).", ""),
+		streamIncremental: m.Counter("hcserved_stream_incremental_total",
+			"Stream profiles solved incrementally from the previous solve's seed.", ""),
+		streamRecomputed: m.Counter("hcserved_stream_recomputed_total",
+			"Stream profiles that fell back to a cold re-characterization (drift re-anchor).", ""),
+		streamRejected: m.Counter("hcserved_stream_rejected_total",
+			"Stream mutations rejected as invalid (session state untouched).", ""),
 	}
+	s.streams.max = int64(cfg.MaxStreamSessions)
 	s.cache = newProfileCache(cfg.CacheSize,
 		m.Counter("hcserved_cache_hits_total", "Profile cache hits.", ""))
 	s.flight = newFlightGroup()
@@ -156,6 +201,8 @@ func New(cfg Config) *Server {
 		func() float64 { return float64(s.cache.Len()) })
 	m.Gauge("hcserved_uptime_seconds", "Seconds since the server started.",
 		func() float64 { return time.Since(s.start).Seconds() })
+	m.Gauge("hcserved_stream_sessions", "Stream sessions currently live.",
+		func() float64 { return float64(s.streams.active.Load()) })
 
 	if cfg.Cluster != nil {
 		s.initCluster(*cfg.Cluster)
@@ -166,6 +213,11 @@ func New(cfg Config) *Server {
 	s.route("POST /v1/characterize/batch", "batch", http.HandlerFunc(s.handleBatch))
 	s.route("POST /v1/generate", "generate", http.HandlerFunc(s.handleGenerate))
 	s.route("POST /v1/whatif", "whatif", http.HandlerFunc(s.handleWhatif))
+	// The stream endpoint skips the timeout (sessions are long-lived by
+	// design; each solve inside one is individually bounded) and compression
+	// (a gzip writer buffers across flush boundaries, holding profile lines
+	// back from the client).
+	s.mux.Handle("POST /v1/stream", s.withRecovery(s.withObservability("stream", http.HandlerFunc(s.handleStream))))
 	s.route("GET /healthz", "healthz", http.HandlerFunc(s.handleHealthz))
 	s.route("GET /metrics", "metrics", http.HandlerFunc(s.handleMetrics))
 	if s.router != nil {

@@ -203,11 +203,11 @@ func TestBatchEndpoint(t *testing.T) {
 	if len(out.Profiles) != 4 {
 		t.Fatalf("%d items, want 4", len(out.Profiles))
 	}
-	if out.Profiles[0].Profile == nil || out.Profiles[0].Error != "" {
+	if out.Profiles[0].Profile == nil || out.Profiles[0].Error != nil {
 		t.Errorf("item 0 = %+v, want a profile", out.Profiles[0])
 	}
-	if out.Profiles[1].Profile != nil || out.Profiles[1].Error == "" {
-		t.Errorf("item 1 = %+v, want an error", out.Profiles[1])
+	if out.Profiles[1].Profile != nil || out.Profiles[1].Error == nil || out.Profiles[1].Error.Code != codeInvalidRequest {
+		t.Errorf("item 1 = %+v, want an invalid_request error", out.Profiles[1])
 	}
 	if out.Profiles[3].Profile == nil {
 		t.Errorf("item 3 (csv) = %+v, want a profile", out.Profiles[3])

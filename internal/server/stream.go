@@ -252,18 +252,33 @@ func (p *envPayload) finalize() error {
 	return nil
 }
 
-// env materializes the finalized payload. NewFromECS clones the cell buffer,
-// so the payload (and its pooled storage) is free to release as soon as this
-// returns.
+// env materializes the finalized payload. The cell buffer is copied once
+// into a pool-backed matrix that the environment adopts outright
+// (NewFromECSOwned), so the payload (and its pooled storage) is free to
+// release as soon as this returns and the environment's own storage recycles
+// through ReleaseBuffers instead of burdening the GC — the serving tier's
+// requests at fleet scale carry multi-megabyte matrices.
 func (p *envPayload) env() (*etcmat.Env, error) {
 	if p.csvEnv != nil {
 		return p.csvEnv, nil
 	}
-	env, err := etcmat.NewFromECS(matrix.NewFromData(p.rows, p.cols, p.cells))
+	cells := matrix.FromDataPooled(p.rows, p.cols, p.cells)
+	env, err := etcmat.NewFromECSOwned(cells)
 	if err != nil {
+		matrix.Recycle(cells)
 		return nil, err
 	}
-	return applyNamesWeights(env, p.taskNames, p.machineNames, p.taskWeights, p.machineWeights)
+	out, err := applyNamesWeights(env, p.taskNames, p.machineNames, p.taskWeights, p.machineWeights)
+	if err != nil {
+		env.ReleaseBuffers()
+		return nil, err
+	}
+	if out != env {
+		// applyNamesWeights clones on edit; the intermediate goes back to the
+		// pool rather than waiting for the GC.
+		env.ReleaseBuffers()
+	}
+	return out, nil
 }
 
 // applyNamesWeights mirrors the tail of EnvDTO.Env — same order, same errors.

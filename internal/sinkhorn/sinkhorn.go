@@ -219,6 +219,41 @@ func (w *WarmStart) DropCol(j int) *WarmStart {
 	return &WarmStart{D1: matrix.VecClone(w.D1), D2: d2, Sigma2: w.Sigma2}
 }
 
+// AppendRow returns a copy of the seed extended with a scaling factor for a
+// new last row — the seed for a solve on a matrix that grew by one row (the
+// streaming add-task mutation). The caller supplies d, typically the factor
+// that puts the new row on its target sum under the current column scalings
+// (rowTarget / Σⱼ row[j]·D2[j]); any non-positive or non-finite d falls back
+// to the neutral 1, which the first normalization round corrects. Sigma2 is
+// carried over — see DropRow for why a stale value is acceptable.
+func (w *WarmStart) AppendRow(d float64) *WarmStart {
+	if w == nil {
+		return nil
+	}
+	if !(d > 0) || math.IsInf(d, 0) {
+		d = 1
+	}
+	d1 := make([]float64, 0, len(w.D1)+1)
+	d1 = append(d1, w.D1...)
+	d1 = append(d1, d)
+	return &WarmStart{D1: d1, D2: matrix.VecClone(w.D2), Sigma2: w.Sigma2}
+}
+
+// AppendCol returns a copy of the seed extended with a scaling factor for a
+// new last column (the streaming add-machine mutation); see AppendRow.
+func (w *WarmStart) AppendCol(d float64) *WarmStart {
+	if w == nil {
+		return nil
+	}
+	if !(d > 0) || math.IsInf(d, 0) {
+		d = 1
+	}
+	d2 := make([]float64, 0, len(w.D2)+1)
+	d2 = append(d2, w.D2...)
+	d2 = append(d2, d)
+	return &WarmStart{D1: matrix.VecClone(w.D1), D2: d2, Sigma2: w.Sigma2}
+}
+
 // omega returns the over-relaxation factor for the seeded run. The
 // alternating normalization is Gauss-Seidel on the bipartite (rows, columns)
 // log-scaling system, a consistently ordered 2-cyclic structure with Jacobi
@@ -570,8 +605,21 @@ func StandardizeWS(a *matrix.Dense, ws *Workspace) (*Result, error) {
 // one column or a percent-level perturbation, converge in a fraction of the
 // cold iterations while reaching the identical standard form.
 func StandardizeWarmWS(a *matrix.Dense, warm *WarmStart, ws *Workspace) (*Result, error) {
+	return StandardizeWarmTolWS(a, warm, ws, DefaultTol)
+}
+
+// StandardizeWarmTolWS is StandardizeWarmWS with an explicit convergence
+// tolerance (non-positive selects DefaultTol). The streaming incremental
+// characterizer solves at a tighter tolerance than the paper's default so
+// that chained warm results stay within 1e-10 of a cold solve of the same
+// tightness — at DefaultTol both iterates stop inside a 1e-8 ball whose TMA
+// spread is a few 1e-10.
+func StandardizeWarmTolWS(a *matrix.Dense, warm *WarmStart, ws *Workspace, tol float64) (*Result, error) {
+	if tol <= 0 {
+		tol = DefaultTol
+	}
 	rt, ct := StandardTargets(a.Rows(), a.Cols())
-	return BalanceWarmWS(a, Options{RowTarget: rt, ColTarget: ct, Tol: DefaultTol, TrimUnsupported: true}, warm, ws)
+	return BalanceWarmWS(a, Options{RowTarget: rt, ColTarget: ct, Tol: tol, TrimUnsupported: true}, warm, ws)
 }
 
 // StandardizeWarmCtx is StandardizeWarmWS with stage tracing: when ctx
@@ -579,9 +627,15 @@ func StandardizeWarmWS(a *matrix.Dense, warm *WarmStart, ws *Workspace) (*Result
 // span, matching StandardizeCtx so traced cold and warm solves are
 // comparable stage by stage.
 func StandardizeWarmCtx(ctx context.Context, a *matrix.Dense, warm *WarmStart, ws *Workspace) (*Result, error) {
+	return StandardizeWarmTolCtx(ctx, a, warm, ws, DefaultTol)
+}
+
+// StandardizeWarmTolCtx is StandardizeWarmCtx with an explicit convergence
+// tolerance; see StandardizeWarmTolWS.
+func StandardizeWarmTolCtx(ctx context.Context, a *matrix.Dense, warm *WarmStart, ws *Workspace, tol float64) (*Result, error) {
 	sp := obs.StartSpan(ctx, "standardize")
 	defer sp.End()
-	return StandardizeWarmWS(a, warm, ws)
+	return StandardizeWarmTolWS(a, warm, ws, tol)
 }
 
 // DoublyStochastic balances a square matrix to row and column sums of 1.

@@ -26,30 +26,35 @@ type Header struct {
 // Cells returns Rows·Cols.
 func (h Header) Cells() int { return h.Rows * h.Cols }
 
-// ParseHeader validates the fixed header at the start of data and returns
-// it with the payload sliced out. It checks magic, version, kind, dimension
-// sanity and that data holds the full payload the header promises.
-func ParseHeader(data []byte) (Header, error) {
+// PeekFrameSize computes the total encoded size (header + payload) of the
+// frame whose fixed header begins data, validating everything the header
+// alone can prove — magic, version, kind, dimension sanity — without
+// requiring any payload bytes to be present. Streaming readers (the /v1/
+// stream binary session) use it to size the read for the rest of the frame.
+func PeekFrameSize(data []byte) (int, error) {
 	if len(data) < HeaderSize {
-		return Header{}, malformedf("truncated header: %d bytes, need %d", len(data), HeaderSize)
+		return 0, malformedf("truncated header: %d bytes, need %d", len(data), HeaderSize)
 	}
 	if string(data[:4]) != Magic {
-		return Header{}, malformedf("bad magic %q, want %q", data[:4], Magic)
+		return 0, malformedf("bad magic %q, want %q", data[:4], Magic)
 	}
 	if data[4] != Version {
-		return Header{}, malformedf("unsupported version %d, want %d", data[4], Version)
+		return 0, malformedf("unsupported version %d, want %d", data[4], Version)
 	}
 	kind := data[5]
-	if kind != KindMatrix && kind != KindProfile && kind != KindEnv {
-		return Header{}, malformedf("unknown frame kind %d", kind)
+	if kind != KindMatrix && kind != KindProfile && kind != KindEnv && kind != KindMutation {
+		return 0, malformedf("unknown frame kind %d", kind)
 	}
 	rows := int(binary.LittleEndian.Uint32(data[6:]))
 	cols := int(binary.LittleEndian.Uint32(data[10:]))
-	if rows == 0 || cols == 0 {
-		return Header{}, malformedf("empty %dx%d frame", rows, cols)
+	// A mutation frame reuses rows as the op code and cols as the value
+	// count; a value-free op (drop_task, drop_machine) legitimately has
+	// cols == 0, so only the op byte is required to be non-zero here.
+	if rows == 0 || (cols == 0 && kind != KindMutation) {
+		return 0, malformedf("empty %dx%d frame", rows, cols)
 	}
 	if rows > MaxDim || cols > MaxDim {
-		return Header{}, malformedf("dimensions %dx%d exceed the %d limit", rows, cols, MaxDim)
+		return 0, malformedf("dimensions %dx%d exceed the %d limit", rows, cols, MaxDim)
 	}
 	var payloadLen uint64
 	switch kind {
@@ -59,17 +64,31 @@ func ParseHeader(data []byte) (Header, error) {
 		payloadLen = profileFixedSize + uint64(rows+cols)*8
 	case KindEnv:
 		payloadLen = (uint64(rows)*uint64(cols) + uint64(rows) + uint64(cols)) * 8
+	case KindMutation:
+		payloadLen = 8 + uint64(cols)*8 // index word + values
 	}
-	if uint64(len(data)-HeaderSize) < payloadLen {
+	return HeaderSize + int(payloadLen), nil
+}
+
+// ParseHeader validates the fixed header at the start of data and returns
+// it with the payload sliced out. It checks magic, version, kind, dimension
+// sanity and that data holds the full payload the header promises.
+func ParseHeader(data []byte) (Header, error) {
+	size, err := PeekFrameSize(data)
+	if err != nil {
+		return Header{}, err
+	}
+	if len(data) < size {
 		return Header{}, malformedf("truncated payload: %dx%d frame needs %d bytes, have %d",
-			rows, cols, payloadLen, len(data)-HeaderSize)
+			binary.LittleEndian.Uint32(data[6:]), binary.LittleEndian.Uint32(data[10:]),
+			size-HeaderSize, len(data)-HeaderSize)
 	}
 	return Header{
-		Kind:    kind,
-		Rows:    rows,
-		Cols:    cols,
-		Payload: data[HeaderSize : HeaderSize+int(payloadLen)],
-		Size:    HeaderSize + int(payloadLen),
+		Kind:    data[5],
+		Rows:    int(binary.LittleEndian.Uint32(data[6:])),
+		Cols:    int(binary.LittleEndian.Uint32(data[10:])),
+		Payload: data[HeaderSize:size],
+		Size:    size,
 	}, nil
 }
 

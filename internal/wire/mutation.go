@@ -1,0 +1,162 @@
+package wire
+
+// Mutation frames (KindMutation) carry one stream-session edit so binary
+// clients of /v1/stream never pay JSON framing per mutation. The header
+// reuses the rows field as the op code and the cols field as the value
+// count; the payload is a fixed 8-byte little-endian index word followed by
+// cols float64 values:
+//
+//	op               index word            values
+//	add_task         0                     new ECS row (machines entries)
+//	add_machine      0                     new ECS column (tasks entries)
+//	drop_task        task index            none
+//	drop_machine     machine index         none
+//	set_cell         task<<32 | machine    the new ECS cell
+//	task_weights     0                     full task weight vector
+//	machine_weights  0                     full machine weight vector
+//
+// Like env frames, values are ECS-convention: finite and non-negative, with
+// 0 marking an impossible pairing. Vector lengths against the live session
+// dimensions (and weight positivity) are the session's to enforce — the wire
+// layer polices only what has no valid encoding at all, so a decoded frame
+// always re-encodes to the exact bytes consumed.
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Mutation is one decoded stream-session edit. Task and Machine are -1 when
+// the op does not address that axis.
+type Mutation struct {
+	Op      byte
+	Task    int
+	Machine int
+	Values  []float64
+}
+
+// OpName returns the stable metrics/log name of the mutation's op.
+func (m Mutation) OpName() string { return MutOpName(m.Op) }
+
+// EncodedMutationSize returns the frame size of a mutation carrying nvals
+// values.
+func EncodedMutationSize(nvals int) int { return HeaderSize + 8 + nvals*8 }
+
+// indexWord computes the canonical index word for m, validating the fields
+// the op uses and requiring the unused ones to be absent (-1 or empty).
+func (m Mutation) indexWord() (uint64, error) {
+	checkIdx := func(name string, v int) error {
+		if v < 0 || v >= MaxDim {
+			return malformedf("%s %s index %d out of range", m.OpName(), name, v)
+		}
+		return nil
+	}
+	switch m.Op {
+	case MutAddTask, MutAddMachine, MutTaskWeights, MutMachineWeights:
+		if len(m.Values) == 0 {
+			return 0, malformedf("%s mutation needs values", m.OpName())
+		}
+		return 0, nil
+	case MutDropTask:
+		if len(m.Values) != 0 {
+			return 0, malformedf("drop_task mutation carries no values")
+		}
+		if err := checkIdx("task", m.Task); err != nil {
+			return 0, err
+		}
+		return uint64(m.Task), nil
+	case MutDropMachine:
+		if len(m.Values) != 0 {
+			return 0, malformedf("drop_machine mutation carries no values")
+		}
+		if err := checkIdx("machine", m.Machine); err != nil {
+			return 0, err
+		}
+		return uint64(m.Machine), nil
+	case MutSetCell:
+		if len(m.Values) != 1 {
+			return 0, malformedf("set_cell mutation needs exactly one value, got %d", len(m.Values))
+		}
+		if err := checkIdx("task", m.Task); err != nil {
+			return 0, err
+		}
+		if err := checkIdx("machine", m.Machine); err != nil {
+			return 0, err
+		}
+		return uint64(m.Task)<<32 | uint64(m.Machine), nil
+	}
+	return 0, malformedf("unknown mutation op %d", m.Op)
+}
+
+// AppendMutation appends the binary frame of m to dst and returns the
+// extended slice. Values must be finite and non-negative (the ECS
+// convention); NaN and ±Inf have no wire form.
+func AppendMutation(dst []byte, m Mutation) ([]byte, error) {
+	idx, err := m.indexWord()
+	if err != nil {
+		return nil, err
+	}
+	for k, v := range m.Values {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return nil, malformedf("%s value %d = %g has no wire form", m.OpName(), k, v)
+		}
+	}
+	base := len(dst)
+	dst = append(dst, make([]byte, EncodedMutationSize(len(m.Values)))...)
+	putHeader(dst[base:], KindMutation, int(m.Op), len(m.Values))
+	off := base + HeaderSize
+	binary.LittleEndian.PutUint64(dst[off:], idx)
+	off += 8
+	for _, v := range m.Values {
+		binary.LittleEndian.PutUint64(dst[off:], math.Float64bits(v))
+		off += 8
+	}
+	return dst, nil
+}
+
+// DecodeMutation decodes one mutation frame from the front of data,
+// returning it and the number of bytes consumed (trailing data is the
+// caller's: concatenated frames compose). The decoder is strict about
+// canonical form — index bits an op does not use must be zero — so any
+// accepted frame re-encodes to exactly the bytes consumed.
+func DecodeMutation(data []byte) (Mutation, int, error) {
+	h, err := ParseHeader(data)
+	if err != nil {
+		return Mutation{}, 0, err
+	}
+	if h.Kind != KindMutation {
+		return Mutation{}, 0, malformedf("frame kind %d is not a mutation", h.Kind)
+	}
+	if h.Rows > 0xff {
+		return Mutation{}, 0, malformedf("mutation op %d out of range", h.Rows)
+	}
+	m := Mutation{Op: byte(h.Rows), Task: -1, Machine: -1}
+	idx := binary.LittleEndian.Uint64(h.Payload)
+	switch m.Op {
+	case MutDropTask:
+		m.Task = int(idx)
+	case MutDropMachine:
+		m.Machine = int(idx)
+	case MutSetCell:
+		m.Task = int(idx >> 32)
+		m.Machine = int(idx & 0xffffffff)
+	}
+	if h.Cols > 0 {
+		m.Values = make([]float64, h.Cols)
+		for k := range m.Values {
+			v := Cell(h.Payload[8:], k)
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				return Mutation{}, 0, malformedf("%s value %d = %g has no wire form", m.OpName(), k, v)
+			}
+			m.Values[k] = v
+		}
+	}
+	canonical, err := m.indexWord()
+	if err != nil {
+		return Mutation{}, 0, err
+	}
+	if canonical != idx {
+		return Mutation{}, 0, malformedf("%s mutation has non-canonical index word %#x", m.OpName(), idx)
+	}
+	return m, h.Size, nil
+}

@@ -1,0 +1,143 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestMutationRoundTrip(t *testing.T) {
+	for _, m := range []Mutation{
+		{Op: MutAddTask, Task: -1, Machine: -1, Values: []float64{1, 0, 2.5}},
+		{Op: MutAddMachine, Task: -1, Machine: -1, Values: []float64{4e-300, 7}},
+		{Op: MutDropTask, Task: 3, Machine: -1},
+		{Op: MutDropMachine, Task: -1, Machine: 0},
+		{Op: MutSetCell, Task: 12, Machine: 7, Values: []float64{9.000000000000002}},
+		{Op: MutTaskWeights, Task: -1, Machine: -1, Values: []float64{1, 2, 3}},
+		{Op: MutMachineWeights, Task: -1, Machine: -1, Values: []float64{0.5, 0.5}},
+	} {
+		t.Run(m.OpName(), func(t *testing.T) {
+			buf, err := AppendMutation(nil, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(buf) != EncodedMutationSize(len(m.Values)) {
+				t.Fatalf("frame is %d bytes, want %d", len(buf), EncodedMutationSize(len(m.Values)))
+			}
+			got, n, err := DecodeMutation(buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n != len(buf) {
+				t.Errorf("consumed %d of %d bytes", n, len(buf))
+			}
+			if got.Op != m.Op || got.Task != m.Task || got.Machine != m.Machine {
+				t.Errorf("decoded %+v, want %+v", got, m)
+			}
+			if len(got.Values) != len(m.Values) {
+				t.Fatalf("decoded %d values, want %d", len(got.Values), len(m.Values))
+			}
+			for k := range m.Values {
+				if math.Float64bits(got.Values[k]) != math.Float64bits(m.Values[k]) {
+					t.Errorf("value %d = %g, want %g", k, got.Values[k], m.Values[k])
+				}
+			}
+			re, err := AppendMutation(nil, got)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(re, buf) {
+				t.Errorf("re-encode mismatch:\n got  % x\n want % x", re, buf)
+			}
+		})
+	}
+}
+
+func TestMutationGoldenBytes(t *testing.T) {
+	buf, err := AppendMutation(nil, Mutation{Op: MutSetCell, Task: 1, Machine: 2, Values: []float64{1.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{
+		'H', 'C', 'M', 'X', // magic
+		1, // version
+		KindMutation,
+		5, 0, 0, 0, // rows = op set_cell
+		1, 0, 0, 0, // cols = one value
+		2, 0, 0, 0, 1, 0, 0, 0, // index word 1<<32|2 LE
+		0, 0, 0, 0, 0, 0, 0xf8, 0x3f, // 1.5
+	}
+	if !bytes.Equal(buf, want) {
+		t.Errorf("golden bytes drifted:\n got  % x\n want % x", buf, want)
+	}
+}
+
+func TestMutationEncodeRejects(t *testing.T) {
+	for name, m := range map[string]Mutation{
+		"unknown op":          {Op: 0},
+		"op out of range":     {Op: 99, Values: []float64{1}},
+		"add without values":  {Op: MutAddTask},
+		"drop with values":    {Op: MutDropTask, Task: 1, Machine: -1, Values: []float64{1}},
+		"drop bad index":      {Op: MutDropTask, Task: -1, Machine: -1},
+		"set_cell two values": {Op: MutSetCell, Task: 0, Machine: 0, Values: []float64{1, 2}},
+		"set_cell bad index":  {Op: MutSetCell, Task: 0, Machine: MaxDim, Values: []float64{1}},
+		"NaN value":           {Op: MutTaskWeights, Task: -1, Machine: -1, Values: []float64{math.NaN()}},
+		"Inf value":           {Op: MutAddMachine, Task: -1, Machine: -1, Values: []float64{math.Inf(1)}},
+		"negative value":      {Op: MutAddTask, Task: -1, Machine: -1, Values: []float64{-1}},
+	} {
+		if _, err := AppendMutation(nil, m); !errors.Is(err, ErrMalformed) {
+			t.Errorf("%s: err = %v, want ErrMalformed", name, err)
+		}
+	}
+}
+
+func TestMutationDecodeRejectsNonCanonical(t *testing.T) {
+	// A weights op must carry a zero index word: flip a bit and the decoder
+	// must refuse rather than silently drop information the re-encode would
+	// not reproduce.
+	buf, err := AppendMutation(nil, Mutation{Op: MutTaskWeights, Task: -1, Machine: -1, Values: []float64{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[HeaderSize] = 1
+	if _, _, err := DecodeMutation(buf); !errors.Is(err, ErrMalformed) {
+		t.Errorf("non-canonical index word decoded: %v", err)
+	}
+
+	// Op codes ride in a 32-bit field but only 1..7 are assigned.
+	buf2, _ := AppendMutation(nil, Mutation{Op: MutDropTask, Task: 0, Machine: -1})
+	binary.LittleEndian.PutUint32(buf2[6:], 300)
+	if _, _, err := DecodeMutation(buf2); !errors.Is(err, ErrMalformed) {
+		t.Errorf("out-of-range op decoded: %v", err)
+	}
+}
+
+func TestMutationSelfDelimiting(t *testing.T) {
+	buf, err := AppendMutation(nil, Mutation{Op: MutDropMachine, Task: -1, Machine: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err = AppendMutation(buf, Mutation{Op: MutSetCell, Task: 0, Machine: 1, Values: []float64{2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, n, err := DecodeMutation(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Op != MutDropMachine || first.Machine != 4 {
+		t.Errorf("first frame decoded as %+v", first)
+	}
+	second, n2, err := DecodeMutation(buf[n:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Op != MutSetCell || second.Task != 0 || second.Machine != 1 {
+		t.Errorf("second frame decoded as %+v", second)
+	}
+	if n+n2 != len(buf) {
+		t.Errorf("consumed %d+%d of %d bytes", n, n2, len(buf))
+	}
+}

@@ -14,9 +14,10 @@
 //	offset  size  field
 //	0       4     magic "HCMX"
 //	4       1     version (currently 1)
-//	5       1     kind (1 = ETC matrix, 2 = profile)
-//	6       4     rows  (uint32 LE; tasks for profile frames)
-//	10      4     cols  (uint32 LE; machines for profile frames)
+//	5       1     kind (1 = ETC matrix, 2 = profile, 3 = env, 4 = mutation)
+//	6       4     rows  (uint32 LE; tasks for profile frames, op for mutations)
+//	10      4     cols  (uint32 LE; machines for profile frames, value count
+//	              for mutations)
 //
 // A matrix frame's payload is rows·cols float64s, little-endian, row-major.
 // Entries follow the ETC convention of the JSON API: +Inf marks an
@@ -44,10 +45,48 @@ const Version = 1
 
 // Frame kinds.
 const (
-	KindMatrix  = 1 // ETC matrix, float64 LE row-major payload
-	KindProfile = 2 // measure profile, fixed block + vectors
-	KindEnv     = 3 // full environment: ECS cells + both weight vectors
+	KindMatrix   = 1 // ETC matrix, float64 LE row-major payload
+	KindProfile  = 2 // measure profile, fixed block + vectors
+	KindEnv      = 3 // full environment: ECS cells + both weight vectors
+	KindMutation = 4 // stream session mutation: op + index word + values
 )
+
+// Mutation op codes, carried in the rows field of a KindMutation header (the
+// cols field carries the value count). See AppendMutation for the payload
+// layout and per-op semantics.
+const (
+	MutAddTask        byte = 1 // values = new ECS row (one entry per machine)
+	MutAddMachine     byte = 2 // values = new ECS column (one entry per task)
+	MutDropTask       byte = 3 // index word = task index, no values
+	MutDropMachine    byte = 4 // index word = machine index, no values
+	MutSetCell        byte = 5 // index word = task<<32 | machine, one ECS value
+	MutTaskWeights    byte = 6 // values = full task weight vector
+	MutMachineWeights byte = 7 // values = full machine weight vector
+)
+
+// MutOpName returns the stable string name of a mutation op ("add_task",
+// "drop_machine", ...) used as the {kind} label of
+// hcserved_stream_mutations_total and in stream error messages. Unknown ops
+// return "unknown".
+func MutOpName(op byte) string {
+	switch op {
+	case MutAddTask:
+		return "add_task"
+	case MutAddMachine:
+		return "add_machine"
+	case MutDropTask:
+		return "drop_task"
+	case MutDropMachine:
+		return "drop_machine"
+	case MutSetCell:
+		return "set_cell"
+	case MutTaskWeights:
+		return "task_weights"
+	case MutMachineWeights:
+		return "machine_weights"
+	}
+	return "unknown"
+}
 
 // HeaderSize is the length of the fixed frame header in bytes.
 const HeaderSize = 14

@@ -257,9 +257,9 @@ func TestProfileVectorLengthMismatch(t *testing.T) {
 	}
 }
 
-// FuzzWireDecode feeds arbitrary bytes to the matrix decoder. The invariants:
-// never panic, and any accepted frame re-encodes to exactly the bytes
-// consumed (the format has one representation per matrix).
+// FuzzWireDecode feeds arbitrary bytes to the matrix and mutation decoders.
+// The invariants: never panic, and any accepted frame re-encodes to exactly
+// the bytes consumed (the format has one representation per frame).
 func FuzzWireDecode(f *testing.F) {
 	seed, _ := AppendMatrix(nil, matrix.FromRows([][]float64{{1, math.Inf(1)}, {3, 4}}))
 	f.Add(seed)
@@ -268,23 +268,50 @@ func FuzzWireDecode(f *testing.F) {
 	huge := append([]byte(nil), seed...)
 	binary.LittleEndian.PutUint32(huge[6:], 0x7fffffff)
 	f.Add(huge)
+	for _, m := range []Mutation{
+		{Op: MutAddTask, Task: -1, Machine: -1, Values: []float64{1, 2}},
+		{Op: MutDropTask, Task: 3, Machine: -1},
+		{Op: MutSetCell, Task: 1, Machine: 2, Values: []float64{1.5}},
+		{Op: MutMachineWeights, Task: -1, Machine: -1, Values: []float64{1}},
+	} {
+		ms, _ := AppendMutation(nil, m)
+		f.Add(ms)
+		f.Add(ms[:len(ms)-1])
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, n, err := DecodeMatrix(data)
 		if err != nil {
 			if !errors.Is(err, ErrMalformed) {
 				t.Fatalf("decode error %v does not wrap ErrMalformed", err)
 			}
+		} else {
+			if n < HeaderSize || n > len(data) {
+				t.Fatalf("consumed %d bytes of %d", n, len(data))
+			}
+			re, err := AppendMatrix(nil, m)
+			if err != nil {
+				t.Fatalf("re-encoding an accepted frame failed: %v", err)
+			}
+			if !bytes.Equal(re, data[:n]) {
+				t.Fatalf("re-encode mismatch:\n got  % x\n want % x", re, data[:n])
+			}
+		}
+		mut, n, err := DecodeMutation(data)
+		if err != nil {
+			if !errors.Is(err, ErrMalformed) {
+				t.Fatalf("mutation decode error %v does not wrap ErrMalformed", err)
+			}
 			return
 		}
 		if n < HeaderSize || n > len(data) {
-			t.Fatalf("consumed %d bytes of %d", n, len(data))
+			t.Fatalf("mutation consumed %d bytes of %d", n, len(data))
 		}
-		re, err := AppendMatrix(nil, m)
+		re, err := AppendMutation(nil, mut)
 		if err != nil {
-			t.Fatalf("re-encoding an accepted frame failed: %v", err)
+			t.Fatalf("re-encoding an accepted mutation failed: %v", err)
 		}
 		if !bytes.Equal(re, data[:n]) {
-			t.Fatalf("re-encode mismatch:\n got  % x\n want % x", re, data[:n])
+			t.Fatalf("mutation re-encode mismatch:\n got  % x\n want % x", re, data[:n])
 		}
 	})
 }

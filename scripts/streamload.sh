@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Quick streaming-suite check: start a standalone hcserved, run only the
+# hcload stream phases (a smaller -n than the full suite — the stream suite
+# is serial by design, so it dominates wall time at the full 300), and print
+# the stream section of the resulting report. The full committed
+# BENCH_serve.json comes from scripts/clusterload.sh; this script exists to
+# iterate on the streaming path without paying for the whole regen.
+#
+#   make streamload                  # print the stream scorecard
+#   scripts/streamload.sh out.json   # keep the full report
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+OUT=${1:-$(mktemp)}
+KEEP=${1:-}
+BIN=$(mktemp -d)
+PID=
+
+cleanup() {
+  [ -n "$PID" ] && kill "$PID" 2>/dev/null || true
+  wait 2>/dev/null || true
+  rm -rf "$BIN"
+  [ -z "$KEEP" ] && rm -f "$OUT"
+}
+trap cleanup EXIT
+
+echo "streamload: building binaries"
+go build -o "$BIN/hcserved" ./cmd/hcserved
+go build -o "$BIN/hcload" ./cmd/hcload
+
+"$BIN/hcserved" -addr 127.0.0.1:18090 -queue 8 &
+PID=$!
+
+echo "streamload: stream suite -> $OUT"
+"$BIN/hcload" -url http://127.0.0.1:18090 -c 4 -n 120 -tasks 150 -machines 80 \
+  -seed 1 -out "$OUT"
+
+echo "streamload: stream section"
+sed -n '/"stream": {/,/}/p' "$OUT"
