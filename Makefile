@@ -22,7 +22,7 @@ GATEP99 ?=
 BENCH_P99_THRESHOLD ?= 3.0
 P99_FLAGS = $(if $(GATEP99),-gatep99 -p99threshold $(BENCH_P99_THRESHOLD),)
 
-.PHONY: build test vet race lint bench bench-json benchdiff scalebench verify clean serve loadtest wirebench clusterload streamload fuzz-smoke
+.PHONY: build test vet race lint bench bench-json benchdiff scalebench verify clean serve loadtest wirebench clusterload streamload churnload fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -115,11 +115,19 @@ wirebench:
 	$(GO) run ./cmd/hcbench -wirebench $(LOAD_OUT)
 
 # Full serving-report regen: classic single-node suite + decode
-# micro-benchmarks + the 3-node cluster suite (mid-run SIGTERM, accounting
+# micro-benchmarks + the 3-node cluster suite (replica-read phases, the
+# join/leave churn cycle against a 4th node, mid-run SIGTERM, accounting
 # invariant), all merged into $(LOAD_OUT). Servers are started and torn down
 # by the script; nothing needs to be running beforehand.
 clusterload:
 	scripts/clusterload.sh $(LOAD_OUT)
+
+# Quick churn/replica check: 3-node cluster + standalone joiner, runs the
+# replica and churn phases and prints both scorecards (handoff reconcile,
+# warm hit rate, zero-lost leave, single-vs-p2c tails). Pass a path to keep
+# the full report: scripts/churnload.sh out.json
+churnload:
+	scripts/churnload.sh
 
 # Quick streaming-suite check: standalone server, stream phases only, prints
 # the stream scorecard (p50 speedup + accounting). Pass a path to keep the

@@ -134,7 +134,34 @@ type serveReport struct {
 		P50Speedup         float64 `json:"p50_speedup"`
 		AccountingBalanced bool    `json:"accounting_balanced"`
 	} `json:"stream"`
+	// Replica compares strict-primary forwarding against the p2c replica-read
+	// policy: the gate requires the p2c tail to be no worse than single-owner
+	// targeting (that inequality is the policy's reason to exist).
+	Replica *struct {
+		Requests     int     `json:"requests"`
+		SingleP99Ms  float64 `json:"single_p99_ms"`
+		P2CP99Ms     float64 `json:"p2c_p99_ms"`
+		ReplicaReads uint64  `json:"replica_reads"`
+		OK           bool    `json:"ok"`
+	} `json:"replica"`
+	// Churn is the join/leave scorecard: handoff counters must reconcile
+	// across nodes, the post-handoff warm hit rate on moved keys must clear
+	// churnWarmHitGate, and no request may be lost across the leave.
+	Churn *struct {
+		MovedKeys       int     `json:"moved_keys"`
+		WarmHitRate     float64 `json:"warm_hit_rate"`
+		HandoffSent     uint64  `json:"handoff_sent"`
+		HandoffReceived uint64  `json:"handoff_received"`
+		Reconciled      bool    `json:"reconciled"`
+		Lost            int     `json:"lost"`
+		OK              bool    `json:"ok"`
+	} `json:"churn"`
 }
+
+// churnWarmHitGate is the minimum post-handoff warm hit rate on moved keys a
+// churn section must demonstrate: a join that forces the new owner to
+// recompute more than 30% of its inherited working set defeats the handoff.
+const churnWarmHitGate = 0.7
 
 // streamSpeedupGate is the minimum stream-over-oneshot p50 speedup a serving
 // report must demonstrate: the incremental solver has to at least halve the
@@ -291,6 +318,26 @@ func runServeDiff(out io.Writer, oldPath, newPath string, threshold, p99Threshol
 				c.Retried, c.Forwarded, killed)
 		} else {
 			fmt.Fprintf(out, "  FAIL  cluster: %d lost, invariant_ok=%v%s\n", c.Lost, c.InvariantOK, killed)
+			ok = false
+		}
+	}
+	if r := newRep.Replica; r != nil {
+		if r.OK && r.P2CP99Ms > 0 && r.P2CP99Ms <= r.SingleP99Ms {
+			fmt.Fprintf(out, "  ok    replica: p2c p99 %.3f ms <= single-owner p99 %.3f ms (%d replica reads over %d forwards)\n",
+				r.P2CP99Ms, r.SingleP99Ms, r.ReplicaReads, r.Requests)
+		} else {
+			fmt.Fprintf(out, "  FAIL  replica: p2c p99 %.3f ms vs single-owner p99 %.3f ms (ok=%v)\n",
+				r.P2CP99Ms, r.SingleP99Ms, r.OK)
+			ok = false
+		}
+	}
+	if c := newRep.Churn; c != nil {
+		if c.OK && c.Reconciled && c.Lost == 0 && c.WarmHitRate >= churnWarmHitGate {
+			fmt.Fprintf(out, "  ok    churn: handoff %d sent == %d received, warm hit rate %.2f on %d moved keys, 0 lost\n",
+				c.HandoffSent, c.HandoffReceived, c.WarmHitRate, c.MovedKeys)
+		} else {
+			fmt.Fprintf(out, "  FAIL  churn: reconciled=%v (sent=%d received=%d), warm_hit_rate=%.2f (gate %.2f), lost=%d\n",
+				c.Reconciled, c.HandoffSent, c.HandoffReceived, c.WarmHitRate, churnWarmHitGate, c.Lost)
 			ok = false
 		}
 	}

@@ -24,9 +24,11 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
 	"strings"
@@ -34,6 +36,11 @@ import (
 	"sync/atomic"
 	"syscall"
 	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/etcmat"
+	"repro/internal/gen"
+	"repro/internal/server"
 )
 
 type clusterConfig struct {
@@ -45,6 +52,14 @@ type clusterConfig struct {
 	seed     int64
 	killPid  int
 	killNode int
+	// replicas/vnodes mirror the servers' ring parameters so the client can
+	// rebuild ownership (vnode placement is purely name-derived).
+	replicas int
+	vnodes   int
+	// churnNode/churnPid identify a standalone cluster-mode node the suite
+	// joins into the ring and later SIGTERMs, for the churn phases.
+	churnNode string
+	churnPid  int
 }
 
 // nodeInvariant is one node's serving-accounting check across the whole
@@ -78,6 +93,42 @@ type clusterReport struct {
 	// check in NodeInvariants.
 	InvariantOK    bool            `json:"invariant_ok"`
 	NodeInvariants []nodeInvariant `json:"node_invariants"`
+}
+
+// replicaReport compares strict primary targeting against the p2c replica
+// read policy on the same warm bodies, each request sent to a non-owner so it
+// must forward. benchdiff gates p2c_p99_ms against single_p99_ms.
+type replicaReport struct {
+	Requests int `json:"requests"`
+	// HotNode is the node the antagonist load saturated during both measured
+	// phases; every measured key has it as ring-order primary.
+	HotNode     string  `json:"hot_node"`
+	SingleP50Ms float64 `json:"single_p50_ms"`
+	SingleP99Ms float64 `json:"single_p99_ms"`
+	P2CP50Ms    float64 `json:"p2c_p50_ms"`
+	P2CP99Ms    float64 `json:"p2c_p99_ms"`
+	// ReplicaReads is the cluster-wide hcserved_replica_reads_total delta
+	// across the p2c phase: forwards answered by a non-primary owner.
+	ReplicaReads uint64 `json:"replica_reads"`
+	// OK records p2c_p99 <= single_p99 as measured in this run.
+	OK bool `json:"ok"`
+}
+
+// churnReport is the join/leave scorecard benchdiff gates on: the losers'
+// handoff_sent must reconcile exactly against the joiner's handoff_received,
+// the first requests for moved keys must hit the joiner's cache warm, and
+// draining the joiner must lose nothing.
+type churnReport struct {
+	Node            string  `json:"node"`
+	MovedKeys       int     `json:"moved_keys"`
+	WarmHits        uint64  `json:"warm_hits"`
+	WarmHitRate     float64 `json:"warm_hit_rate"`
+	HandoffSent     uint64  `json:"handoff_sent"`
+	HandoffReceived uint64  `json:"handoff_received"`
+	Reconciled      bool    `json:"reconciled"`
+	Lost            int     `json:"lost"`
+	Retried         int     `json:"retried"`
+	OK              bool    `json:"ok"`
 }
 
 const servedKey = `hcserved_requests_total{endpoint="characterize",code="200"}`
@@ -148,7 +199,7 @@ func runClusterSuite(client *http.Client, rep *report, cfg clusterConfig) {
 		}
 	}
 	rep.URL = strings.Join(cfg.nodes, ",")
-	bodies, err := makeBodies(cfg.n, cfg.tasks, cfg.machines, cfg.seed+7_000_000)
+	bodies, keys, err := makeBodiesKeys(cfg.n, cfg.tasks, cfg.machines, cfg.seed+7_000_000)
 	if err != nil {
 		fatal("generating cluster bodies: %v", err)
 	}
@@ -160,22 +211,9 @@ func runClusterSuite(client *http.Client, rep *report, cfg clusterConfig) {
 	// Each phase rotates the body->node mapping by one, so a body warmed on
 	// node k is asked of node k+1 next time: the warm and kill phases land
 	// on non-owners by construction and must forward (or hedge) to answer.
-	phases := []struct {
-		name   string
-		offset int
-		kill   *killTrigger
-	}{
-		{"cluster_cold", 0, nil},
-		{"cluster_warm", 1, nil},
-		{"cluster_kill", 2, nil},
-	}
-	if cfg.killPid != 0 {
-		phases[2].kill = &killTrigger{pid: cfg.killPid, at: len(bodies) / 5}
-		cr.KilledNode = cfg.nodes[cfg.killNode]
-	}
-	for _, ph := range phases {
+	runOne := func(name string, offset int, kill *killTrigger) {
 		before := scrapeAllNodes(client, cfg.nodes)
-		pr, lost, retried := runClusterPhase(client, rot, ph.name, ph.offset, bodies, cfg.conc, ph.kill)
+		pr, lost, retried := runClusterPhase(client, rot, name, offset, bodies, cfg.conc, kill)
 		cr.Lost += lost
 		cr.Retried += retried
 		settle()
@@ -183,9 +221,25 @@ func runClusterSuite(client *http.Client, rep *report, cfg clusterConfig) {
 		pr.Metrics = deltaAcrossNodes(before, after)
 		rep.Phases = append(rep.Phases, pr)
 	}
+	runOne("cluster_cold", 0, nil)
+	runOne("cluster_warm", 1, nil)
 	if len(rep.Phases) >= 2 && rep.Phases[1].P50Ms > 0 {
 		rep.ColdWarmP50Ratio = rep.Phases[0].P50Ms / rep.Phases[1].P50Ms
 	}
+
+	// Replica-read comparison and churn both need the whole cluster intact,
+	// so they run before the kill phase.
+	rep.Replica = runReplicaPhases(client, rep, cfg)
+	if cfg.churnNode != "" {
+		rep.Churn = runChurnPhases(client, rep, cfg, rot, bodies, keys)
+	}
+
+	var kill *killTrigger
+	if cfg.killPid != 0 {
+		kill = &killTrigger{pid: cfg.killPid, at: len(bodies) / 5}
+		cr.KilledNode = cfg.nodes[cfg.killNode]
+	}
+	runOne("cluster_kill", 2, kill)
 
 	afterAll := scrapeAllNodes(client, cfg.nodes)
 	cr.InvariantOK = true
@@ -305,6 +359,417 @@ func runClusterPhase(client *http.Client, rot *rotation, name string, offset int
 	return pr, int(lost.Load()), int(retried.Load())
 }
 
+// makeBodiesKeys pre-renders n distinct characterize bodies along with their
+// content keys, so cluster phases can rebuild ring ownership client-side and
+// steer bodies at owners or non-owners deliberately.
+func makeBodiesKeys(n, tasks, machines int, seed int64) ([][]byte, []etcmat.ContentKey, error) {
+	bodies := make([][]byte, n)
+	keys := make([]etcmat.ContentKey, n)
+	for i := 0; i < n; i++ {
+		rng := rand.New(rand.NewSource(seed + int64(i)))
+		env, err := gen.RangeBased(tasks, machines, 100, 10, rng)
+		if err != nil {
+			return nil, nil, err
+		}
+		b, err := json.Marshal(server.EnvToDTO(env))
+		if err != nil {
+			return nil, nil, err
+		}
+		bodies[i] = b
+		keys[i] = env.ContentKey()
+	}
+	return bodies, keys, nil
+}
+
+// nodeAddr strips the URL scheme off a node base URL, yielding the host:port
+// the node advertises on the ring.
+func nodeAddr(url string) string {
+	return strings.TrimPrefix(strings.TrimPrefix(url, "https://"), "http://")
+}
+
+// ringOfNodes rebuilds the cluster's ring client-side — vnode placement is
+// purely name-derived, so the node list fully determines ownership.
+func ringOfNodes(nodes []string, extra string, replicas, vnodes int) *cluster.Ring {
+	r := cluster.NewRing(replicas, vnodes)
+	for _, n := range nodes {
+		r.Add(nodeAddr(n))
+	}
+	if extra != "" {
+		r.Add(extra)
+	}
+	return r
+}
+
+func containsStr(s []string, v string) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// targetedRequest is one body pinned to one node, for phases that steer
+// traffic by ownership instead of round-robining.
+type targetedRequest struct {
+	node string
+	body []byte
+}
+
+// runTargetedPhase sends each request to its pinned node over conc workers.
+// No retries: these phases run against a healthy cluster, so any failure is a
+// real error, not churn to ride out.
+func runTargetedPhase(client *http.Client, name string, reqs []targetedRequest, conc int, header map[string]string) phaseReport {
+	var (
+		next      atomic.Int64
+		errs      atomic.Int64
+		mu        sync.Mutex
+		latencies []time.Duration
+		wg        sync.WaitGroup
+	)
+	start := time.Now()
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]time.Duration, 0, len(reqs)/conc+1)
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= len(reqs) {
+					break
+				}
+				req, err := http.NewRequest(http.MethodPost, reqs[i].node+"/v1/characterize", bytes.NewReader(reqs[i].body))
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				req.Header.Set("Content-Type", "application/json")
+				for k, v := range header {
+					req.Header.Set(k, v)
+				}
+				t0 := time.Now()
+				resp, err := client.Do(req)
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs.Add(1)
+					continue
+				}
+				local = append(local, time.Since(t0))
+			}
+			mu.Lock()
+			latencies = append(latencies, local...)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	pr := phaseReport{Name: name, Requests: len(reqs), Errors: int(errs.Load())}
+	if len(latencies) > 0 {
+		summarizeLatencies(&pr, latencies, time.Since(start))
+	}
+	return pr
+}
+
+// runReplicaPhases measures the replica-read policy under a hot primary —
+// the regime the p2c spread exists for. Node 0 is designated hot: an
+// antagonist floods it with distinct cold compute for the duration of each
+// measured phase, and the measured keys are exactly those whose ring-order
+// primary is the hot node. Two statistically identical fresh body sets are
+// each pre-warmed on every owner (unmeasured direct posts), then sent to a
+// NON-owner so every measured request must forward. The single phase pins
+// forwards to strict ring order with the X-HC-Route: primary hint — every
+// request queues behind the antagonist; the p2c phase uses the default
+// p99-aware power-of-two-choices, which routes around the inflated replica.
+// Distinct body sets keep the comparison honest: a forward back-fills the
+// requester's cache, so reusing one set would turn the second phase into
+// local hits.
+func runReplicaPhases(client *http.Client, rep *report, cfg clusterConfig) *replicaReport {
+	ring := ringOfNodes(cfg.nodes, "", cfg.replicas, cfg.vnodes)
+	hot := cfg.nodes[0]
+	hotAddr := nodeAddr(hot)
+	urlByAddr := make(map[string]string, len(cfg.nodes))
+	for _, n := range cfg.nodes {
+		urlByAddr[nodeAddr(n)] = n
+	}
+	prepare := func(seed int64) ([]targetedRequest, error) {
+		// Oversample: only ~1/len(nodes) of random keys land their primary on
+		// the hot node, and the phases want cfg.n measured requests each.
+		bodies, keys, err := makeBodiesKeys(len(cfg.nodes)*cfg.n, cfg.tasks, cfg.machines, seed)
+		if err != nil {
+			return nil, err
+		}
+		var warm, measured []targetedRequest
+		for i, k := range keys {
+			owners := ring.Owners(k)
+			if len(measured) >= cfg.n || owners[0] != hotAddr {
+				continue
+			}
+			picked := false
+			for _, n := range cfg.nodes {
+				if !containsStr(owners, nodeAddr(n)) {
+					measured = append(measured, targetedRequest{node: n, body: bodies[i]})
+					picked = true
+					break
+				}
+			}
+			if !picked {
+				continue // every node owns the key: nothing forwards
+			}
+			for _, o := range owners {
+				if u, ok := urlByAddr[o]; ok {
+					warm = append(warm, targetedRequest{node: u, body: bodies[i]})
+				}
+			}
+		}
+		// Warm every replica so the measured forwards compare cache-hit serving
+		// on either owner, not a first-touch compute on one of them.
+		runTargetedPhase(client, "replica_warmup", warm, cfg.conc, nil)
+		return measured, nil
+	}
+	single, err := prepare(cfg.seed + 8_000_000)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hcload: replica bodies: %v\n", err)
+		return nil
+	}
+	p2c, err := prepare(cfg.seed + 9_000_000)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hcload: replica bodies: %v\n", err)
+		return nil
+	}
+	if len(single) == 0 || len(p2c) == 0 {
+		fmt.Fprintf(os.Stderr, "hcload: replica phases skipped: every node owns every key (R >= node count)\n")
+		return nil
+	}
+	settle()
+
+	bs := scrapeAllNodes(client, cfg.nodes)
+	stopHot := startAntagonist(client, hot, cfg.tasks, cfg.machines, antagonistConc, cfg.seed+12_000_000)
+	singlePR := runTargetedPhase(client, "replica_single", single, cfg.conc,
+		map[string]string{cluster.RouteHintHeader: cluster.RoutePrimary})
+	stopHot()
+	settle()
+	mid := scrapeAllNodes(client, cfg.nodes)
+	singlePR.Metrics = deltaAcrossNodes(bs, mid)
+	stopHot = startAntagonist(client, hot, cfg.tasks, cfg.machines, antagonistConc, cfg.seed+13_000_000)
+	p2cPR := runTargetedPhase(client, "replica_p2c", p2c, cfg.conc, nil)
+	stopHot()
+	settle()
+	after := scrapeAllNodes(client, cfg.nodes)
+	p2cPR.Metrics = deltaAcrossNodes(mid, after)
+	rep.Phases = append(rep.Phases, singlePR, p2cPR)
+
+	rr := &replicaReport{
+		Requests:     len(p2c),
+		HotNode:      hotAddr,
+		SingleP50Ms:  singlePR.P50Ms,
+		SingleP99Ms:  singlePR.P99Ms,
+		P2CP50Ms:     p2cPR.P50Ms,
+		P2CP99Ms:     p2cPR.P99Ms,
+		ReplicaReads: sumCounterDelta(mid, after, "hcserved_replica_reads_total"),
+	}
+	rr.OK = rr.P2CP99Ms > 0 && rr.P2CP99Ms <= rr.SingleP99Ms
+	return rr
+}
+
+// antagonistConc is the hot-node flood concurrency. It is deliberately below
+// hcserved's default admission queue depth: the point is a persistently
+// non-empty compute queue (tens of ms of head-of-line delay for anything
+// routed there), not a 429 storm — repeated shed forwards would mark the hot
+// peer suspect and both routing policies would skip it equally.
+const antagonistConc = 4
+
+// startAntagonist floods nodeURL with distinct cold characterize bodies from
+// conc workers until the returned stop function is called. Every body is a
+// fresh seed, so each request is a genuine cache-miss compute that occupies
+// the node's workers and queue.
+func startAntagonist(client *http.Client, nodeURL string, tasks, machines, conc int, seed int64) (stop func()) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	var next atomic.Int64
+	next.Store(seed)
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				bodies, _, err := makeBodiesKeys(1, tasks, machines, next.Add(1))
+				if err != nil {
+					return
+				}
+				req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+					nodeURL+"/v1/characterize", bytes.NewReader(bodies[0]))
+				if err != nil {
+					return
+				}
+				req.Header.Set("Content-Type", "application/json")
+				resp, err := client.Do(req)
+				if err != nil {
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}()
+	}
+	return func() {
+		cancel()
+		wg.Wait()
+	}
+}
+
+// runChurnPhases drives a full join/leave cycle against a standalone
+// cluster-mode node: join it into the ring, wait for the losers' handoff to
+// reconcile against its handoff_received, probe every moved key directly at
+// the joiner (warm hits prove the handoff carried the cache), then SIGTERM it
+// and re-send every body across the survivors, which must lose nothing.
+func runChurnPhases(client *http.Client, rep *report, cfg clusterConfig, rot *rotation, bodies [][]byte, keys []etcmat.ContentKey) *churnReport {
+	joinURL := cfg.churnNode
+	joinAddr := nodeAddr(joinURL)
+	ch := &churnReport{Node: joinAddr}
+	if err := waitHealthy(client, joinURL, 10*time.Second); err != nil {
+		fmt.Fprintf(os.Stderr, "hcload: churn: %v\n", err)
+		return ch
+	}
+	all := append(append([]string{}, cfg.nodes...), joinURL)
+	before := scrapeAllNodes(client, all)
+
+	// Join both directions so neither side waits out a gossip round to learn
+	// of the other; gossip then spreads the joiner to the rest.
+	if err := postJoin(client, cfg.nodes[0], joinAddr); err != nil {
+		fmt.Fprintf(os.Stderr, "hcload: churn join: %v\n", err)
+		return ch
+	}
+	if err := postJoin(client, joinURL, nodeAddr(cfg.nodes[0])); err != nil {
+		fmt.Fprintf(os.Stderr, "hcload: churn join: %v\n", err)
+		return ch
+	}
+	if !waitRingNodes(client, all, len(cfg.nodes)+1, 15*time.Second) {
+		fmt.Fprintf(os.Stderr, "hcload: churn: ring never converged to %d nodes\n", len(cfg.nodes)+1)
+		return ch
+	}
+
+	// Handoff reconciliation: every entry any node reports sent was imported
+	// somewhere. The joiner is not the only receiver — inserting a node
+	// ripples replica slots between the incumbents too, so both sums run over
+	// the whole cluster (sends that fail are not counted as sent).
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		after := scrapeAllNodes(client, all)
+		ch.HandoffSent = sumCounterDelta(before, after, "hcserved_handoff_sent_total")
+		ch.HandoffReceived = sumCounterDelta(before, after, "hcserved_handoff_received_total")
+		if ch.HandoffSent > 0 && ch.HandoffSent == ch.HandoffReceived {
+			ch.Reconciled = true
+			break
+		}
+		if time.Now().After(deadline) {
+			fmt.Fprintf(os.Stderr, "hcload: churn: handoff did not reconcile (sent=%d received=%d)\n",
+				ch.HandoffSent, ch.HandoffReceived)
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	// Probe every moved key directly at the joiner: it owns them now, so each
+	// request serves locally — warm off the handed-off entry, or a recompute
+	// miss that counts against the warm hit rate.
+	ringAfter := ringOfNodes(cfg.nodes, joinAddr, cfg.replicas, cfg.vnodes)
+	var probes []targetedRequest
+	for i, k := range keys {
+		if containsStr(ringAfter.Owners(k), joinAddr) {
+			probes = append(probes, targetedRequest{node: joinURL, body: bodies[i]})
+		}
+	}
+	ch.MovedKeys = len(probes)
+	bj := scrapeAllNodes(client, []string{joinURL})
+	pr := runTargetedPhase(client, "churn_join", probes, cfg.conc, nil)
+	settle()
+	aj := scrapeAllNodes(client, []string{joinURL})
+	pr.Metrics = deltaAcrossNodes(bj, aj)
+	rep.Phases = append(rep.Phases, pr)
+	ch.WarmHits = sumCounterDelta(bj, aj, "hcserved_cache_hits_total")
+	if ch.MovedKeys > 0 {
+		ch.WarmHitRate = float64(ch.WarmHits) / float64(ch.MovedKeys)
+	}
+
+	// Leave: kill the joiner, wait for the survivors to expel it from the
+	// ring, then re-send every body across them. The survivors hand the
+	// promoted ranges among themselves; the client must lose nothing.
+	if err := syscall.Kill(cfg.churnPid, syscall.SIGTERM); err != nil {
+		fmt.Fprintf(os.Stderr, "hcload: churn: kill -TERM %d: %v\n", cfg.churnPid, err)
+		return ch
+	}
+	if !waitRingNodes(client, cfg.nodes, len(cfg.nodes), 30*time.Second) {
+		fmt.Fprintf(os.Stderr, "hcload: churn: survivors never expelled the dead joiner\n")
+		return ch
+	}
+	blv := scrapeAllNodes(client, cfg.nodes)
+	lpr, lost, retried := runClusterPhase(client, rot, "churn_leave", 0, bodies, cfg.conc, nil)
+	settle()
+	alv := scrapeAllNodes(client, cfg.nodes)
+	lpr.Metrics = deltaAcrossNodes(blv, alv)
+	rep.Phases = append(rep.Phases, lpr)
+	ch.Lost, ch.Retried = lost, retried
+	ch.OK = ch.Reconciled && ch.MovedKeys > 0 && ch.WarmHitRate >= 0.7 && ch.Lost == 0
+	return ch
+}
+
+// postJoin announces addr to the cluster node at baseURL.
+func postJoin(client *http.Client, baseURL, addr string) error {
+	b, err := json.Marshal(map[string]string{"addr": addr})
+	if err != nil {
+		return err
+	}
+	resp, err := client.Post(baseURL+"/v1/cluster/join", "application/json", bytes.NewReader(b))
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("join on %s: status %d", baseURL, resp.StatusCode)
+	}
+	return nil
+}
+
+// waitRingNodes polls every node's hcserved_cluster_ring_nodes gauge until
+// all report want members (or the budget runs out).
+func waitRingNodes(client *http.Client, nodes []string, want int, budget time.Duration) bool {
+	deadline := time.Now().Add(budget)
+	for {
+		ok := true
+		for _, n := range nodes {
+			c, err := scrapeCounters(client, n)
+			if err != nil || c["hcserved_cluster_ring_nodes"] != uint64(want) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// sumCounterDelta sums one counter's delta across the nodes present in both
+// scrapes.
+func sumCounterDelta(before, after map[string]map[string]uint64, name string) uint64 {
+	var sum uint64
+	for node, a := range after {
+		if b, ok := before[node]; ok && a != nil && b != nil {
+			sum += a[name] - b[name]
+		}
+	}
+	return sum
+}
+
 // mergeClusterReport grafts this run's cluster phases and cluster section
 // onto an existing serving report (the cmd/hcbench -wirebench merge idiom):
 // the committed BENCH_serve.json keeps its single-node sections and gains
@@ -336,6 +801,16 @@ func mergeClusterReport(mergePath, outPath string, rep *report) error {
 	}
 	if doc["cluster"], err = json.Marshal(rep.Cluster); err != nil {
 		return err
+	}
+	if rep.Replica != nil {
+		if doc["replica"], err = json.Marshal(rep.Replica); err != nil {
+			return err
+		}
+	}
+	if rep.Churn != nil {
+		if doc["churn"], err = json.Marshal(rep.Churn); err != nil {
+			return err
+		}
 	}
 	out, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {

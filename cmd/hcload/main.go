@@ -205,6 +205,13 @@ type report struct {
 	// Cluster is the -cluster suite's scorecard: retry/lost accounting from
 	// the client side and the per-node serving invariant from /metrics.
 	Cluster *clusterReport `json:"cluster,omitempty"`
+	// Replica compares strict ring-order owner targeting against the p2c
+	// replica-read policy on the same warm bodies (cluster mode only).
+	Replica *replicaReport `json:"replica,omitempty"`
+	// Churn is the join/leave scorecard: handoff reconciliation, post-join
+	// warm hit rate on moved keys, and zero-loss draining of the leave
+	// (cluster mode with -churn-node/-churn-pid only).
+	Churn *churnReport `json:"churn,omitempty"`
 	// TraceCold and TraceWarm are the server-side stage breakdowns of one
 	// traced probe request: a fresh body paying the full pipeline, then the
 	// same body answered from the result cache. They come from the API's
@@ -242,6 +249,10 @@ func main() {
 	clusterNodes := flag.String("cluster", "", "comma-separated node base URLs; runs the cluster suite instead of the single-node phases")
 	killPid := flag.Int("kill-pid", 0, "process to SIGTERM partway through the cluster_kill phase (0 = no kill)")
 	killNode := flag.Int("kill-node", -1, "index into -cluster of the node -kill-pid runs (dropped from rotation at kill time)")
+	replicas := flag.Int("replicas", 2, "the cluster's replication factor R (must match the servers' -replicas; used to rebuild the ring client-side)")
+	vnodes := flag.Int("vnodes", 64, "the cluster's virtual nodes per member (must match the servers' -vnodes)")
+	churnNode := flag.String("churn-node", "", "base URL of a standalone cluster-mode node to join and then kill for the churn phases")
+	churnPid := flag.Int("churn-pid", 0, "process id of the -churn-node server (SIGTERMed for the leave half)")
 	mergePath := flag.String("merge", "", "existing report to graft the cluster phases and section onto (cluster mode only)")
 	flag.Parse()
 
@@ -270,15 +281,22 @@ func main() {
 		if *killPid != 0 && (*killNode < 0 || *killNode >= len(nodes)) {
 			fatal("-kill-pid needs -kill-node in [0,%d)", len(nodes))
 		}
+		if (*churnNode == "") != (*churnPid == 0) {
+			fatal("-churn-node and -churn-pid must be given together")
+		}
 		runClusterSuite(client, &rep, clusterConfig{
-			nodes:    nodes,
-			conc:     *conc,
-			n:        *n,
-			tasks:    *tasks,
-			machines: *machines,
-			seed:     *seed,
-			killPid:  *killPid,
-			killNode: *killNode,
+			nodes:     nodes,
+			conc:      *conc,
+			n:         *n,
+			tasks:     *tasks,
+			machines:  *machines,
+			seed:      *seed,
+			killPid:   *killPid,
+			killNode:  *killNode,
+			replicas:  *replicas,
+			vnodes:    *vnodes,
+			churnNode: strings.TrimSuffix(strings.TrimSpace(*churnNode), "/"),
+			churnPid:  *churnPid,
 		})
 		if *mergePath != "" {
 			if err := mergeClusterReport(*mergePath, *out, &rep); err != nil {

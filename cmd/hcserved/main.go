@@ -11,6 +11,7 @@
 //	         [-peers host:port,...] [-node host:port] [-replicas R]
 //	         [-vnodes N] [-hedge-min 2ms] [-hedge-max 250ms]
 //	         [-suspect-after 2s] [-dead-after 6s] [-gossip 500ms]
+//	         [-peer-inflight N] [-peer-queue N] [-handoff-budget N]
 //
 // SIGINT/SIGTERM starts a graceful shutdown: the listener closes, in-flight
 // requests drain (up to -drain), then the process exits 0.
@@ -74,6 +75,9 @@ func run() (code int) {
 	suspectAfter := flag.Duration("suspect-after", 2*time.Second, "silence before a peer turns suspect")
 	deadAfter := flag.Duration("dead-after", 6*time.Second, "silence before a peer leaves the ring")
 	gossip := flag.Duration("gossip", 500*time.Millisecond, "membership gossip interval")
+	peerInflight := flag.Int("peer-inflight", 0, "max in-flight forwards per peer (0 = default)")
+	peerQueue := flag.Int("peer-queue", 0, "max forwards queued per peer before shedding to local compute (0 = default)")
+	handoffBudget := flag.Int("handoff-budget", 0, "hottest cache entries streamed to new owners on a ring change (0 = default, negative disables)")
 	maxStreams := flag.Int("max-streams", 64, "concurrently live /v1/stream sessions before 503 session_limit (negative disables the endpoint)")
 	streamIdle := flag.Duration("stream-idle", 2*time.Minute, "stream-session idle eviction timeout (negative disables eviction)")
 	flag.Parse()
@@ -128,16 +132,19 @@ func run() (code int) {
 			}
 		}
 		cfg.Cluster = &cluster.Config{
-			Self:           *node,
-			Peers:          seedList,
-			Replicas:       *replicas,
-			VirtualNodes:   *vnodes,
-			HedgeDelayMin:  *hedgeMin,
-			HedgeDelayMax:  *hedgeMax,
-			SuspectAfter:   *suspectAfter,
-			DeadAfter:      *deadAfter,
-			GossipInterval: *gossip,
-			Logger:         log,
+			Self:            *node,
+			Peers:           seedList,
+			Replicas:        *replicas,
+			VirtualNodes:    *vnodes,
+			HedgeDelayMin:   *hedgeMin,
+			HedgeDelayMax:   *hedgeMax,
+			SuspectAfter:    *suspectAfter,
+			DeadAfter:       *deadAfter,
+			GossipInterval:  *gossip,
+			MaxPeerInflight: *peerInflight,
+			MaxPeerQueue:    *peerQueue,
+			HandoffBudget:   *handoffBudget,
+			Logger:          log,
 		}
 	}
 	srv := server.New(cfg)

@@ -173,4 +173,37 @@ func TestFacadeSurface(t *testing.T) {
 			t.Errorf("primary moved from %q to %q on unrelated removal", before, got)
 		}
 	})
+
+	t.Run("cluster churn", func(t *testing.T) {
+		mkRing := func(nodes ...string) *hetero.Ring {
+			r := hetero.NewRing(2, 0)
+			for _, n := range nodes {
+				r.Add(n)
+			}
+			return r
+		}
+		beforeRing := mkRing("a:1", "b:1", "c:1")
+		afterRing := mkRing("a:1", "b:1", "c:1", "d:1")
+		fresh := hetero.EnvNewOwners(beforeRing, afterRing, env)
+		owners := hetero.EnvOwners(afterRing, env)
+		for _, f := range fresh {
+			found := false
+			for _, o := range owners {
+				if o == f {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("fresh owner %q is not an owner on the after ring", f)
+			}
+			for _, o := range hetero.EnvOwners(beforeRing, env) {
+				if o == f {
+					t.Errorf("fresh owner %q already owned env before the change", f)
+				}
+			}
+		}
+		if got := hetero.EnvNewOwners(beforeRing, beforeRing, env); got != nil {
+			t.Errorf("unchanged ring reported fresh owners %v", got)
+		}
+	})
 }

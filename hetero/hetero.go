@@ -140,6 +140,15 @@ func NewRing(replicas, virtualNodes int) *Ring { return cluster.NewRing(replicas
 // until the ring has members.
 func EnvOwners(ring *Ring, env *Env) []string { return ring.Owners(env.ContentKey()) }
 
+// EnvNewOwners returns the nodes that newly own env when the placement moves
+// from the before ring to the after ring — the replicas a topology change
+// leaves cold unless the cluster's cache handoff (DESIGN.md §17) warms them.
+// Clients planning a resize can pre-warm exactly these nodes and nothing
+// else; an unchanged owner set returns nil.
+func EnvNewOwners(before, after *Ring, env *Env) []string {
+	return cluster.NewOwners(before, after, env.ContentKey())
+}
+
 // Characterize computes the environment's full heterogeneity profile. It
 // never fails: a non-standardizable environment (paper Sec. VI) yields
 // TMA = NaN with the reason in Profile.TMAErr, and every other field stays

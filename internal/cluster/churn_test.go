@@ -1,0 +1,325 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// ringNodes builds a ring over the named nodes with the default vnode count.
+func ringNodes(replicas int, nodes ...string) *Ring {
+	r := NewRing(replicas, DefaultVirtualNodes)
+	for _, n := range nodes {
+		r.Add(n)
+	}
+	return r
+}
+
+// ownersEqual compares two ownership lists positionally (order is part of the
+// placement contract — it is the forward preference order).
+func ownersEqual(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestRingChurnMovesBoundedFraction is the consistent-hashing stability
+// property: adding or removing one node moves only ~R/N of the key space's
+// owner sets, and every unmoved key keeps its exact owner list. A modulo-
+// style placement would move nearly everything; a broken vnode hash would
+// move nothing.
+func TestRingChurnMovesBoundedFraction(t *testing.T) {
+	const nKeys = 2000
+	base := []string{"n0:1", "n1:1", "n2:1", "n3:1", "n4:1"}
+	before := ringNodes(2, base...)
+
+	for _, tc := range []struct {
+		name     string
+		after    *Ring
+		newNodes int // ring size after the change
+		joined   string
+	}{
+		{"add", ringNodes(2, append(append([]string{}, base...), "n5:1")...), 6, "n5:1"},
+		{"remove", ringNodes(2, base[1:]...), 4, ""},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			moved := 0
+			for i := 0; i < nKeys; i++ {
+				k := testKey(i)
+				ob, oa := before.Owners(k), tc.after.Owners(k)
+				if ownersEqual(ob, oa) {
+					continue
+				}
+				moved++
+				if tc.joined != "" && !contains(oa, tc.joined) && ownersEqual(ob, oa) {
+					t.Fatalf("key %d changed owners without involving the joined node: %v -> %v", i, ob, oa)
+				}
+			}
+			frac := float64(moved) / nKeys
+			// Expected fraction: a key's owner set changes iff the churned
+			// node appears in (or leaves) its R-owner list, ~R/ringSize of
+			// keys. Allow generous slack for vnode placement variance, but
+			// fail the order-of-magnitude regressions this test exists for.
+			expect := 2.0 / float64(tc.newNodes)
+			if tc.name == "remove" {
+				expect = 2.0 / float64(len(base))
+			}
+			if frac > 1.8*expect {
+				t.Errorf("churn moved %.1f%% of keys, expected ~%.1f%% (consistent hashing broken?)",
+					100*frac, 100*expect)
+			}
+			if frac < 0.3*expect {
+				t.Errorf("churn moved only %.1f%% of keys, expected ~%.1f%% (ring not rebalancing?)",
+					100*frac, 100*expect)
+			}
+		})
+	}
+}
+
+// TestHandoffSelectsExactlyMovedRanges cross-checks the handoff send rule
+// against brute force: across all old owners, the keys offered for handoff
+// are exactly the keys whose owner set gained a node, each offered precisely
+// to its new owners and nothing else.
+func TestHandoffSelectsExactlyMovedRanges(t *testing.T) {
+	const nKeys = 1500
+	base := []string{"n0:1", "n1:1", "n2:1", "n3:1", "n4:1"}
+	withNew := append(append([]string{}, base...), "n5:1")
+
+	for _, tc := range []struct {
+		name    string
+		before  *Ring
+		after   *Ring
+		senders []string // nodes still alive to run the handoff
+	}{
+		{"join", ringNodes(2, base...), ringNodes(2, withNew...), base},
+		{"leave", ringNodes(2, withNew...), ringNodes(2, base...), base},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			offered := 0
+			for i := 0; i < nKeys; i++ {
+				k := testKey(i)
+				ob, oa := tc.before.Owners(k), tc.after.Owners(k)
+				// Brute-force ground truth: the new owners of this key.
+				var fresh []string
+				for _, d := range oa {
+					if !contains(ob, d) {
+						fresh = append(fresh, d)
+					}
+				}
+				got := map[string]int{}
+				for _, self := range tc.senders {
+					for _, d := range handoffDests(tc.before, tc.after, self, k) {
+						if !contains(ob, self) {
+							t.Fatalf("key %d: %s offered a key it never owned", i, self)
+						}
+						if d == self || contains(ob, d) {
+							t.Fatalf("key %d: handoff to %s, which is not a fresh owner", i, d)
+						}
+						got[d]++
+					}
+				}
+				for _, d := range fresh {
+					// Every fresh owner must be offered the key by each
+					// surviving old owner (the cache could live on any of
+					// them; only the holder will actually send).
+					holders := 0
+					for _, self := range tc.senders {
+						if contains(ob, self) {
+							holders++
+						}
+					}
+					if got[d] != holders {
+						t.Fatalf("key %d: fresh owner %s offered by %d of %d old owners", i, d, got[d], holders)
+					}
+					offered++
+				}
+				if len(fresh) == 0 && len(got) != 0 {
+					t.Fatalf("key %d: unmoved key offered for handoff to %v", i, got)
+				}
+			}
+			if offered == 0 {
+				t.Fatal("no key moved at all; the scenario tests nothing")
+			}
+		})
+	}
+}
+
+// TestMembershipRingChangeCallback pins the handoff trigger contract: the
+// callback fires exactly on real ring transitions — join, death, recovery —
+// and not on repeated observations.
+func TestMembershipRingChangeCallback(t *testing.T) {
+	ring := NewRing(2, 8)
+	m := newMembership("self:1", ring, 50*time.Millisecond, 100*time.Millisecond)
+	var events []string
+	m.onRingChange = func(added, removed string) {
+		events = append(events, fmt.Sprintf("+%s-%s", added, removed))
+	}
+
+	m.add("peer:1")
+	m.add("peer:1") // idempotent: no second event
+	m.observeSuccess("peer:1")
+
+	now := time.Now()
+	m.now = func() time.Time { return now.Add(200 * time.Millisecond) }
+	m.observeFailure("peer:1") // past deadAfter: off the ring
+	m.observeFailure("peer:1") // already dead: no second event
+	m.observeSuccess("peer:1") // recovery: back on the ring
+
+	want := []string{"+peer:1-", "+-peer:1", "+peer:1-"}
+	if len(events) != len(want) {
+		t.Fatalf("ring-change events %v, want %v", events, want)
+	}
+	for i := range want {
+		if events[i] != want[i] {
+			t.Fatalf("event %d = %q, want %q (all: %v)", i, events[i], want[i], events)
+		}
+	}
+}
+
+// TestPeerGateBackpressure pins the bounded-transport contract: maxInflight
+// slots, then maxQueue waiters, then ErrPeerBusy — and a release wakes the
+// queue head.
+func TestPeerGateBackpressure(t *testing.T) {
+	g := newPeerGate(2, 1)
+	never := make(chan struct{})
+
+	rel1, err := g.acquire(never)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel2, err := g.acquire(never)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.inflight(); got != 2 {
+		t.Fatalf("inflight = %d, want 2", got)
+	}
+
+	// Third acquire queues; park it in a goroutine.
+	acquired := make(chan func(), 1)
+	go func() {
+		rel, err := g.acquire(never)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		acquired <- rel
+	}()
+	// Wait until it is actually queued, then the fourth acquire must shed.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		g.mu.Lock()
+		waiting := g.waiting
+		g.mu.Unlock()
+		if waiting == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("queued acquire never registered as waiting")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := g.acquire(never); err != ErrPeerBusy {
+		t.Fatalf("over-queue acquire returned %v, want ErrPeerBusy", err)
+	}
+
+	rel1() // frees a slot; the queued waiter takes it
+	select {
+	case rel3 := <-acquired:
+		rel3()
+	case <-time.After(2 * time.Second):
+		t.Fatal("queued acquire never got the released slot")
+	}
+	rel2()
+	if got := g.inflight(); got != 0 {
+		t.Fatalf("inflight after releases = %d, want 0", got)
+	}
+
+	// A canceled context unblocks a queued acquire with an error.
+	rel4, err := g.acquire(never)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel5, err := g.acquire(never)
+	if err != nil {
+		t.Fatal(err)
+	}
+	canceled := make(chan struct{})
+	close(canceled)
+	done := make(chan error, 1)
+	go func() {
+		_, err := g.acquire(canceled)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil || err == ErrPeerBusy {
+			t.Fatalf("canceled queued acquire returned %v, want a cancellation error", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("canceled acquire never returned")
+	}
+	rel4()
+	rel5()
+}
+
+// TestP2CPrefersLowerLatencyReplica: with exactly two live replicas the p2c
+// sample always covers both, so the ordering is deterministic — the peer with
+// the better EWMA/p99 score leads.
+func TestP2CPrefersLowerLatencyReplica(t *testing.T) {
+	rt := NewRouter(Config{
+		Self:         "self:1",
+		Peers:        []string{"fast:1", "slow:1"},
+		Replicas:     3, // both peers own every key alongside self
+		VirtualNodes: 8,
+	})
+	for i := 0; i < 32; i++ {
+		rt.peers.latency("fast:1").record(1 * time.Millisecond)
+		rt.peers.latency("slow:1").record(80 * time.Millisecond)
+	}
+	key := testKey(7)
+	for i := 0; i < 20; i++ {
+		targets := rt.forwardTargets(key, false)
+		if len(targets) != 2 {
+			t.Fatalf("targets = %v, want both peers", targets)
+		}
+		if targets[0] != "fast:1" {
+			t.Fatalf("iteration %d: p2c led with %q, want the low-latency peer", i, targets[0])
+		}
+	}
+	// PrimaryOnly bypasses p2c: strict ring order, whatever the scores say.
+	ringOrder := rt.forwardTargets(key, true)
+	var want []string
+	for _, o := range rt.Ring().Owners(key) {
+		if o != "self:1" {
+			want = append(want, o)
+		}
+	}
+	if !ownersEqual(ringOrder, want) {
+		t.Fatalf("primary-only targets %v, want ring order %v", ringOrder, want)
+	}
+}
+
+// TestParseHops pins the header compatibility contract.
+func TestParseHops(t *testing.T) {
+	cases := map[string]int{
+		"":    0,
+		"1":   1,
+		"2":   2,
+		"9":   9,
+		"yes": 1, // legacy boolean form counts as one hop
+		"-3":  1,
+		"0":   1, // a present header is at least one hop
+	}
+	for in, want := range cases {
+		if got := ParseHops(in); got != want {
+			t.Errorf("ParseHops(%q) = %d, want %d", in, got, want)
+		}
+	}
+}

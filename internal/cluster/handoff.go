@@ -1,0 +1,231 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+
+	"repro/internal/etcmat"
+	"repro/internal/wire"
+)
+
+// Active cache handoff: when membership changes the ring, ownership of some
+// key ranges moves — without help the new owner recomputes every profile the
+// old owner already holds. The handoff manager watches ring changes and
+// streams the hottest cached entries for exactly the moved ranges to their
+// new owners over handoff records (wire.ContentTypeHandoff), bounded by
+// Config.HandoffBudget per event, so ownership moves warm.
+//
+// The manager is deliberately best-effort: a failed handoff costs recomputes,
+// never correctness, so sends are fire-and-forget with one attempt and errors
+// only logged.
+
+// DefaultHandoffBudget caps the cache entries considered per ring change.
+const DefaultHandoffBudget = 256
+
+// HandoffEntry is one warm cache entry offered for handoff: the content key
+// and the profile in wire form (which the receiver caches as served-from-
+// cache, exactly like a peer fill).
+type HandoffEntry struct {
+	Key     etcmat.ContentKey
+	Profile *wire.Profile
+}
+
+// HandoffSource exports a node's hottest cache entries, most recently used
+// first, at most max of them. The server's profile cache implements it.
+type HandoffSource interface {
+	HotEntries(max int) []HandoffEntry
+}
+
+// handoffManager debounces ring-change notifications into a single worker
+// that diffs ownership and ships moved entries. Membership fires ringChanged
+// on every actual ring add/remove; the worker recomputes the node-set diff
+// itself, so coalesced or redundant events degrade to no-ops.
+type handoffManager struct {
+	rt      *Router
+	src     atomic.Value // of sourceBox
+	events  chan struct{}
+	running atomic.Bool
+	prev    []string // node set at the previous event (worker-only)
+}
+
+// sourceBox wraps the interface so atomic.Value tolerates differing concrete
+// types (and a nil source).
+type sourceBox struct{ src HandoffSource }
+
+func newHandoffManager(rt *Router) *handoffManager {
+	return &handoffManager{rt: rt, events: make(chan struct{}, 1)}
+}
+
+func (h *handoffManager) setSource(src HandoffSource) { h.src.Store(sourceBox{src}) }
+
+func (h *handoffManager) source() HandoffSource {
+	if b, ok := h.src.Load().(sourceBox); ok {
+		return b.src
+	}
+	return nil
+}
+
+// ringChanged is the membership callback. It is a level trigger, not an
+// edge record: the single-slot channel coalesces bursts and the worker
+// re-reads the live node set each time.
+func (h *handoffManager) ringChanged(added, removed string) {
+	if !h.running.Load() {
+		return // pre-Start churn (seed registration); the cache is empty anyway
+	}
+	select {
+	case h.events <- struct{}{}:
+	default:
+	}
+}
+
+// start snapshots the current node set as the baseline and launches the
+// worker. Events arriving before start are dropped by ringChanged.
+func (h *handoffManager) start(ctx context.Context) {
+	if h.rt.cfg.HandoffBudget < 0 {
+		return
+	}
+	h.prev = h.rt.ring.Nodes()
+	h.running.Store(true)
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				h.running.Store(false)
+				return
+			case <-h.events:
+				h.runEvent(ctx)
+			}
+		}
+	}()
+}
+
+// runEvent diffs the node set against the previous baseline and streams the
+// moved hot entries to their new owners.
+func (h *handoffManager) runEvent(ctx context.Context) {
+	after := h.rt.ring.Nodes()
+	before := h.prev
+	h.prev = after
+	if sameStrings(before, after) {
+		return
+	}
+	src := h.source()
+	if src == nil {
+		return
+	}
+	entries := src.HotEntries(h.rt.cfg.HandoffBudget)
+	if len(entries) == 0 {
+		return
+	}
+	// Reconstruct both ring generations from the node lists: vnode placement
+	// is purely name-derived, so these match what each side computes.
+	beforeRing := ringOf(h.rt.cfg.Replicas, h.rt.cfg.VirtualNodes, before)
+	afterRing := ringOf(h.rt.cfg.Replicas, h.rt.cfg.VirtualNodes, after)
+	self := h.rt.Self()
+	batches := make(map[string][]byte)
+	counts := make(map[string]int)
+	for _, e := range entries {
+		for _, dest := range handoffDests(beforeRing, afterRing, self, e.Key) {
+			b, err := wire.AppendHandoffEntry(batches[dest], e.Key, e.Profile)
+			if err != nil {
+				h.rt.log.Warn("handoff encode failed", "dest", dest, "err", err)
+				continue
+			}
+			batches[dest] = b
+			counts[dest]++
+		}
+	}
+	for dest, body := range batches {
+		if err := h.send(ctx, dest, body); err != nil {
+			h.rt.log.Warn("handoff send failed", "dest", dest, "entries", counts[dest], "err", err)
+			continue
+		}
+		h.rt.log.Info("handoff sent", "dest", dest, "entries", counts[dest])
+		for i := 0; i < counts[dest]; i++ {
+			h.rt.stats.HandoffSent.Inc()
+		}
+	}
+}
+
+// NewOwners returns the owners a key gains when the ring moves from before
+// to after — the nodes a topology change leaves cold unless something warms
+// them. It is the receiving side of the handoff send rule: across all old
+// owners, handoffDests offers the key to exactly these nodes.
+func NewOwners(before, after *Ring, key etcmat.ContentKey) []string {
+	ownersBefore := before.Owners(key)
+	var fresh []string
+	for _, d := range after.Owners(key) {
+		if !contains(ownersBefore, d) {
+			fresh = append(fresh, d)
+		}
+	}
+	return fresh
+}
+
+// handoffDests returns the nodes that must receive this key from self when
+// the ring moves from before to after: self must have owned the key, and the
+// destination must be a new owner that did not. This covers both directions
+// of churn — on a join the new node is the (sole) fresh owner of everything
+// it absorbed; on a leave the surviving replicas promote a fresh owner for
+// the departed node's ranges.
+func handoffDests(before, after *Ring, self string, key etcmat.ContentKey) []string {
+	ownersBefore := before.Owners(key)
+	if !contains(ownersBefore, self) {
+		return nil
+	}
+	var dests []string
+	for _, d := range after.Owners(key) {
+		if d != self && !contains(ownersBefore, d) {
+			dests = append(dests, d)
+		}
+	}
+	return dests
+}
+
+// send posts one handoff batch. One attempt, bounded by the probe timeout
+// scaled up for the larger body — handoff is an optimization, not a
+// consistency protocol.
+func (h *handoffManager) send(ctx context.Context, dest string, body []byte) error {
+	sctx, cancel := context.WithTimeout(ctx, 5*h.rt.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(sctx, http.MethodPost,
+		"http://"+dest+"/v1/cluster/handoff", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", wire.ContentTypeHandoff)
+	resp, err := h.rt.cfg.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+func ringOf(replicas, vnodes int, nodes []string) *Ring {
+	r := NewRing(replicas, vnodes)
+	for _, n := range nodes {
+		r.Add(n)
+	}
+	return r
+}
+
+// sameStrings reports element equality of two sorted string slices.
+func sameStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -33,6 +33,12 @@ type membership struct {
 	suspectAfter time.Duration
 	deadAfter    time.Duration
 	now          func() time.Time
+
+	// onRingChange, when set, is invoked after a peer actually joins or
+	// leaves the ring (added / removed is the peer address, the other
+	// argument empty). It runs outside the membership mutex — the handoff
+	// manager behind it re-enters the ring.
+	onRingChange func(added, removed string)
 }
 
 type peerState struct {
@@ -60,12 +66,17 @@ func (m *membership) add(addr string) {
 		return
 	}
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	if _, ok := m.peers[addr]; ok {
+		m.mu.Unlock()
 		return
 	}
 	m.peers[addr] = &peerState{addr: addr, state: StateAlive, lastSeen: m.now()}
 	m.ring.Add(addr)
+	cb := m.onRingChange
+	m.mu.Unlock()
+	if cb != nil {
+		cb(addr, "")
+	}
 }
 
 // merge folds a gossiped peer list into the local view: unknown addresses are
@@ -83,16 +94,22 @@ func (m *membership) observeSuccess(addr string) {
 		return
 	}
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	p, ok := m.peers[addr]
 	if !ok {
 		p = &peerState{addr: addr}
 		m.peers[addr] = p
 	}
 	p.lastSeen = m.now()
+	rejoined := false
 	if p.state != StateAlive {
 		p.state = StateAlive
 		m.ring.Add(addr)
+		rejoined = true
+	}
+	cb := m.onRingChange
+	m.mu.Unlock()
+	if rejoined && cb != nil {
+		cb(addr, "")
 	}
 }
 
@@ -106,22 +123,29 @@ func (m *membership) observeFailure(addr string) {
 		return
 	}
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	p, ok := m.peers[addr]
 	if !ok {
+		m.mu.Unlock()
 		return
 	}
+	died := false
 	silent := m.now().Sub(p.lastSeen)
 	switch {
 	case silent >= m.deadAfter:
 		if p.state != StateDead {
 			p.state = StateDead
 			m.ring.Remove(addr)
+			died = true
 		}
 	case silent >= m.suspectAfter:
 		if p.state == StateAlive {
 			p.state = StateSuspect
 		}
+	}
+	cb := m.onRingChange
+	m.mu.Unlock()
+	if died && cb != nil {
+		cb("", addr)
 	}
 }
 

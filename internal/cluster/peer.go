@@ -1,0 +1,197 @@
+package cluster
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+)
+
+// This file is the per-peer half of the router: latency accounting for the
+// p99-aware replica choice and the bounded transport gates that replace
+// unbounded http.Transport fan-in. Both are keyed by peer address and created
+// lazily on first contact, so membership changes need no bookkeeping here —
+// an entry for a departed peer just goes cold.
+
+// ErrPeerBusy reports that a peer's send queue is full: every connection slot
+// is taken and the bounded wait queue is at capacity. The caller sheds the
+// request to local compute instead of queueing unboundedly against a peer
+// that is already behind.
+var ErrPeerBusy = errors.New("cluster: peer send queue full")
+
+// peerLatency tracks one peer's forward round-trip times two ways: an EWMA
+// for the common-case level and a small sample ring for the p99 tail. The
+// replica chooser scores a peer by whichever is worse — a peer whose median
+// is fine but whose tail has collapsed should lose a power-of-two-choices
+// coin flip against a steady one.
+type peerLatency struct {
+	mu      sync.Mutex
+	ewma    time.Duration
+	samples [128]time.Duration
+	n       int
+	idx     int
+}
+
+// ewmaAlpha is the smoothing factor of the per-peer EWMA. 0.2 means ~10
+// samples to converge after a level shift: fast enough to track a peer
+// warming up or degrading, slow enough not to chase single outliers.
+const ewmaAlpha = 0.2
+
+func (l *peerLatency) record(d time.Duration) {
+	l.mu.Lock()
+	if l.ewma == 0 {
+		l.ewma = d
+	} else {
+		l.ewma += time.Duration(ewmaAlpha * float64(d-l.ewma))
+	}
+	l.samples[l.idx] = d
+	l.idx = (l.idx + 1) % len(l.samples)
+	if l.n < len(l.samples) {
+		l.n++
+	}
+	l.mu.Unlock()
+}
+
+// score is the routing cost of this peer: max(EWMA, p99). A peer with no
+// samples scores zero, so fresh peers are probed eagerly rather than starved
+// behind peers with established (and therefore nonzero) numbers.
+func (l *peerLatency) score() time.Duration {
+	l.mu.Lock()
+	if l.n == 0 {
+		l.mu.Unlock()
+		return 0
+	}
+	buf := make([]time.Duration, l.n)
+	copy(buf, l.samples[:l.n])
+	e := l.ewma
+	l.mu.Unlock()
+	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	p99 := buf[(len(buf)-1)*99/100]
+	if p99 > e {
+		return p99
+	}
+	return e
+}
+
+// peerGate bounds one peer's transport: at most maxInflight requests on the
+// wire plus at most maxQueue callers waiting for a slot. Past that the gate
+// answers ErrPeerBusy immediately — backpressure surfaces to the caller
+// instead of piling goroutines onto a peer that is already behind.
+type peerGate struct {
+	slots   chan struct{}
+	mu      sync.Mutex
+	waiting int
+	maxQ    int
+}
+
+func newPeerGate(maxInflight, maxQueue int) *peerGate {
+	return &peerGate{slots: make(chan struct{}, maxInflight), maxQ: maxQueue}
+}
+
+// acquire claims a slot, waiting in the bounded queue when none is free.
+// The returned release must be called exactly once. done is the request
+// context's cancellation channel.
+func (g *peerGate) acquire(done <-chan struct{}) (release func(), err error) {
+	select {
+	case g.slots <- struct{}{}:
+		return func() { <-g.slots }, nil
+	default:
+	}
+	g.mu.Lock()
+	if g.waiting >= g.maxQ {
+		g.mu.Unlock()
+		return nil, ErrPeerBusy
+	}
+	g.waiting++
+	g.mu.Unlock()
+	defer func() {
+		g.mu.Lock()
+		g.waiting--
+		g.mu.Unlock()
+	}()
+	select {
+	case g.slots <- struct{}{}:
+		return func() { <-g.slots }, nil
+	case <-done:
+		return nil, errors.New("cluster: canceled while queued for a peer slot")
+	}
+}
+
+// inflight reports the slots currently held.
+func (g *peerGate) inflight() int { return len(g.slots) }
+
+// peerTable is the lazily populated per-peer state: latency trackers and
+// transport gates, shared by every Forward.
+type peerTable struct {
+	mu          sync.Mutex
+	lat         map[string]*peerLatency
+	gates       map[string]*peerGate
+	maxInflight int
+	maxQueue    int
+	rng         *rand.Rand
+}
+
+func newPeerTable(maxInflight, maxQueue int) *peerTable {
+	return &peerTable{
+		lat:         make(map[string]*peerLatency),
+		gates:       make(map[string]*peerGate),
+		maxInflight: maxInflight,
+		maxQueue:    maxQueue,
+		// Seeded off the clock once at startup: the p2c coin flips must
+		// differ across nodes, not be reproducible.
+		rng: rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+}
+
+func (t *peerTable) latency(addr string) *peerLatency {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	l, ok := t.lat[addr]
+	if !ok {
+		l = &peerLatency{}
+		t.lat[addr] = l
+	}
+	return l
+}
+
+func (t *peerTable) gate(addr string) *peerGate {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	g, ok := t.gates[addr]
+	if !ok {
+		g = newPeerGate(t.maxInflight, t.maxQueue)
+		t.gates[addr] = g
+	}
+	return g
+}
+
+// inflightTotal sums held slots across all peers (the peer_inflight gauge).
+func (t *peerTable) inflightTotal() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for _, g := range t.gates {
+		n += g.inflight()
+	}
+	return n
+}
+
+// coin flips one fair bit for power-of-two-choices.
+func (t *peerTable) coin() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.rng.Intn(2) == 0
+}
+
+// pick2 returns two distinct random indices < n (n must be >= 2).
+func (t *peerTable) pick2(n int) (int, int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	i := t.rng.Intn(n)
+	j := t.rng.Intn(n - 1)
+	if j >= i {
+		j++
+	}
+	return i, j
+}

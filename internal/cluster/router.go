@@ -11,6 +11,7 @@ import (
 	"math"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -19,11 +20,42 @@ import (
 	"repro/internal/wire"
 )
 
-// ForwardedHeader marks a peer-forwarded request. A node answering a request
-// that carries it always serves locally — whatever its ring view says — so a
-// transiently divergent membership can cost an extra computation but never a
-// forwarding loop.
+// ForwardedHeader carries the forward hop count of a peer-forwarded request.
+// A client-origin request has no header (hop 0); each forward sets it to the
+// incoming count plus one. A node holding a request at MaxForwardHops always
+// serves locally — whatever its ring view says — so a replica read may legally
+// take one extra hop under a stale membership view, but divergent views can
+// never form a forwarding cycle. The first hop's value "1" keeps the header
+// compatible with the boolean form older nodes set.
 const ForwardedHeader = "X-HC-Forwarded"
+
+// MaxForwardHops caps the forward chain length. Two hops cover the worst
+// legal case: a non-owner forwards to a replica whose own (staler) view names
+// a third node; that node serves locally no matter what it believes.
+const MaxForwardHops = 2
+
+// RouteHintHeader opts a request out of replica spreading: the value
+// RoutePrimary makes Forward target the key's owners strictly in ring
+// preference order (hedging and failover still apply). The load generator
+// uses it to measure single-owner routing against the p2c default.
+const RouteHintHeader = "X-HC-Route"
+
+// RoutePrimary is the RouteHintHeader value selecting strict ring order.
+const RoutePrimary = "primary"
+
+// ParseHops reads a ForwardedHeader value: empty means hop 0, a decimal is
+// taken as-is, and any other non-empty value (the legacy boolean "1" form
+// predates the count, but be liberal) counts as one hop.
+func ParseHops(v string) int {
+	if v == "" {
+		return 0
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 1 {
+		return 1
+	}
+	return n
+}
 
 // Config shapes a cluster node. Zero values select the documented defaults.
 type Config struct {
@@ -53,6 +85,16 @@ type Config struct {
 	GossipInterval time.Duration
 	// ProbeTimeout bounds one gossip probe (default 1s).
 	ProbeTimeout time.Duration
+	// MaxPeerInflight bounds concurrent forwards per peer (default 32); at
+	// the limit further forwards wait in a queue of at most MaxPeerQueue
+	// (default 64) before the router answers ErrPeerBusy and the server
+	// sheds the request to local compute.
+	MaxPeerInflight int
+	MaxPeerQueue    int
+	// HandoffBudget caps the cache entries streamed to a peer on one ring
+	// change (default 256). Zero keeps the default; negative disables
+	// handoff entirely.
+	HandoffBudget int
 	// Client issues peer requests (default: a dedicated transport with a
 	// deep idle pool, since forwards reuse a small set of hosts heavily).
 	Client *http.Client
@@ -85,9 +127,21 @@ func (c Config) withDefaults() Config {
 	if c.ProbeTimeout <= 0 {
 		c.ProbeTimeout = time.Second
 	}
+	if c.MaxPeerInflight <= 0 {
+		c.MaxPeerInflight = 32
+	}
+	if c.MaxPeerQueue <= 0 {
+		c.MaxPeerQueue = 64
+	}
+	if c.HandoffBudget == 0 {
+		c.HandoffBudget = DefaultHandoffBudget
+	}
 	if c.Client == nil {
 		tr := http.DefaultTransport.(*http.Transport).Clone()
 		tr.MaxIdleConnsPerHost = 64
+		// The gates above are the real bound; this is the belt-and-braces
+		// floor so a bug in gate accounting cannot open unbounded fan-in.
+		tr.MaxConnsPerHost = c.MaxPeerInflight + 4
 		c.Client = &http.Client{Transport: tr}
 	}
 	if c.Logger == nil {
@@ -112,6 +166,9 @@ type Stats struct {
 	ForwardErrors Counter // failed forward attempts (per attempt, not per request)
 	Hedges        Counter // hedge requests fired after the delay elapsed
 	HedgeWins     Counter // hedged requests that beat the primary
+	ReplicaReads  Counter // forwards answered by a replica other than the ring-order primary
+	PeerQueueFull Counter // forward attempts shed because a peer's send queue was full
+	HandoffSent   Counter // cache entries streamed out on ring changes
 }
 
 func (s Stats) withDefaults() Stats {
@@ -123,6 +180,15 @@ func (s Stats) withDefaults() Stats {
 	}
 	if s.HedgeWins == nil {
 		s.HedgeWins = noopCounter{}
+	}
+	if s.ReplicaReads == nil {
+		s.ReplicaReads = noopCounter{}
+	}
+	if s.PeerQueueFull == nil {
+		s.PeerQueueFull = noopCounter{}
+	}
+	if s.HandoffSent == nil {
+		s.HandoffSent = noopCounter{}
 	}
 	return s
 }
@@ -139,6 +205,8 @@ type Router struct {
 	ring    *Ring
 	members *membership
 	lat     *latencyTracker
+	peers   *peerTable
+	handoff *handoffManager
 	stats   Stats
 	log     *slog.Logger
 
@@ -154,9 +222,11 @@ func NewRouter(cfg Config) *Router {
 		cfg:   cfg,
 		ring:  NewRing(cfg.Replicas, cfg.VirtualNodes),
 		lat:   newLatencyTracker(),
+		peers: newPeerTable(cfg.MaxPeerInflight, cfg.MaxPeerQueue),
 		stats: Stats{}.withDefaults(),
 		log:   cfg.Logger,
 	}
+	rt.handoff = newHandoffManager(rt)
 	if cfg.Self != "" {
 		rt.SetSelf(cfg.Self)
 	}
@@ -165,6 +235,14 @@ func NewRouter(cfg Config) *Router {
 
 // SetStats installs the metric hooks (call before Start).
 func (rt *Router) SetStats(s Stats) { rt.stats = s.withDefaults() }
+
+// SetHandoffSource installs the cache exporter the handoff manager drains
+// when the ring changes (call before Start; nil disables handoff).
+func (rt *Router) SetHandoffSource(src HandoffSource) { rt.handoff.setSource(src) }
+
+// PeerInflight reports forwards currently on the wire across all peers — the
+// peer_inflight gauge.
+func (rt *Router) PeerInflight() int { return rt.peers.inflightTotal() }
 
 // SetSelf fixes this node's advertised address — needed when the server
 // binds ":0" and only learns its address at listen time. It must run before
@@ -180,6 +258,7 @@ func (rt *Router) SetSelf(addr string) {
 	}
 	rt.self = addr
 	rt.members = newMembership(addr, rt.ring, rt.cfg.SuspectAfter, rt.cfg.DeadAfter)
+	rt.members.onRingChange = rt.handoff.ringChanged
 	for _, p := range rt.cfg.Peers {
 		rt.members.add(p)
 	}
@@ -235,9 +314,11 @@ func (rt *Router) LocallyOwned(key etcmat.ContentKey) bool {
 // Owners returns the key's replica set in preference order.
 func (rt *Router) Owners(key etcmat.ContentKey) []string { return rt.ring.Owners(key) }
 
-// Start launches the membership loop: an initial join against the seed
-// peers, then a gossip pull every GossipInterval until ctx is canceled.
+// Start launches the membership loop — an initial join against the seed
+// peers, then a gossip pull every GossipInterval until ctx is canceled — and
+// the handoff worker that streams hot cache entries when the ring changes.
 func (rt *Router) Start(ctx context.Context) {
+	rt.handoff.start(ctx)
 	go rt.run(ctx)
 }
 
@@ -340,7 +421,11 @@ func (rt *Router) doPeersRequest(req *http.Request) ([]PeerInfo, error) {
 
 // forwardTargets is the ordered peer list for a key: its owners, self
 // excluded, alive before suspect (dead nodes are already off the ring).
-func (rt *Router) forwardTargets(key etcmat.ContentKey) []string {
+// primaryOnly keeps strict ring preference order; otherwise the alive prefix
+// is reordered by power-of-two-choices over per-peer latency scores, so reads
+// spread across the replica set and a peer with an inflated tail loses the
+// coin flip instead of gating every request for its key range.
+func (rt *Router) forwardTargets(key etcmat.ContentKey, primaryOnly bool) []string {
 	owners := rt.ring.Owners(key)
 	self := rt.Self()
 	targets := make([]string, 0, len(owners))
@@ -352,6 +437,25 @@ func (rt *Router) forwardTargets(key etcmat.ContentKey) []string {
 	sort.SliceStable(targets, func(i, j int) bool {
 		return rt.members.state(targets[i]) == StateAlive && rt.members.state(targets[j]) != StateAlive
 	})
+	if primaryOnly {
+		return targets
+	}
+	alive := 0
+	for alive < len(targets) && rt.members.state(targets[alive]) == StateAlive {
+		alive++
+	}
+	if alive >= 2 {
+		// p2c: sample two live replicas, lead with the lower-scored one.
+		// Ties (both unsampled) fall to a fair coin so fresh peers share
+		// the probing load.
+		i, j := rt.peers.pick2(alive)
+		si, sj := rt.peers.latency(targets[i]).score(), rt.peers.latency(targets[j]).score()
+		lead := i
+		if sj < si || (sj == si && rt.peers.coin()) {
+			lead = j
+		}
+		targets[0], targets[lead] = targets[lead], targets[0]
+	}
 	return targets
 }
 
@@ -372,17 +476,32 @@ func (rt *Router) HedgeDelay() time.Duration {
 	return d
 }
 
-// Forward sends the env-frame body to the key's owner and returns the
-// decoded profile. After the hedge delay it duplicates the request to the
-// next replica and takes whichever answers first, canceling the loser; a
-// failed attempt fails over to the next target immediately. The second
-// return reports whether the winning peer served from its cache. ErrNoPeers
-// means the key has no live replica beyond this node.
-func (rt *Router) Forward(ctx context.Context, key etcmat.ContentKey, body []byte, requestID string) (*core.Profile, bool, error) {
-	targets := rt.forwardTargets(key)
+// ForwardOpts tune one Forward call.
+type ForwardOpts struct {
+	// Hops is the incoming request's forward hop count (0 for client-origin
+	// requests); the outgoing header carries Hops+1.
+	Hops int
+	// PrimaryOnly disables the p2c replica spread and targets the owners in
+	// strict ring preference order.
+	PrimaryOnly bool
+}
+
+// Forward sends the env-frame body to one of the key's live owners — chosen
+// by power-of-two-choices over per-peer latency unless opts.PrimaryOnly —
+// and returns the decoded profile. After the hedge delay it duplicates the
+// request to the next replica and takes whichever answers first, canceling
+// the loser; a failed attempt fails over to the next target immediately. A
+// peer whose bounded send queue is full is skipped without a health penalty;
+// when every target is saturated the error wraps ErrPeerBusy and the caller
+// sheds to local compute. The second return reports whether the winning peer
+// served from its cache. ErrNoPeers means the key has no live replica beyond
+// this node.
+func (rt *Router) Forward(ctx context.Context, key etcmat.ContentKey, body []byte, requestID string, opts ForwardOpts) (*core.Profile, bool, error) {
+	targets := rt.forwardTargets(key, opts.PrimaryOnly)
 	if len(targets) == 0 {
 		return nil, false, ErrNoPeers
 	}
+	primary := rt.ringPrimary(key)
 	cctx, cancel := context.WithCancel(ctx)
 	defer cancel() // cancels the losing attempt the moment a winner returns
 	type result struct {
@@ -399,7 +518,7 @@ func (rt *Router) Forward(ctx context.Context, key etcmat.ContentKey, body []byt
 		next++
 		outstanding++
 		go func() {
-			p, cached, err := rt.forwardOne(cctx, peer, body, requestID)
+			p, cached, err := rt.forwardOne(cctx, peer, body, requestID, opts.Hops+1)
 			ch <- result{p, cached, peer, hedged, err}
 		}()
 	}
@@ -416,10 +535,19 @@ func (rt *Router) Forward(ctx context.Context, key etcmat.ContentKey, body []byt
 				if r.hedged {
 					rt.stats.HedgeWins.Inc()
 				}
+				if r.peer != primary {
+					rt.stats.ReplicaReads.Inc()
+				}
 				return r.p, r.cached, nil
 			}
-			rt.stats.ForwardErrors.Inc()
-			rt.members.observeFailure(r.peer)
+			if errors.Is(r.err, ErrPeerBusy) {
+				// Local-side shed, not a peer fault: no health penalty,
+				// no forward-error count (peer_queue_full_total already
+				// ticked at the gate).
+			} else {
+				rt.stats.ForwardErrors.Inc()
+				rt.members.observeFailure(r.peer)
+			}
 			if firstErr == nil {
 				firstErr = r.err
 			}
@@ -440,10 +568,34 @@ func (rt *Router) Forward(ctx context.Context, key etcmat.ContentKey, body []byt
 	}
 }
 
+// ringPrimary is the key's first owner other than self in ring preference
+// order — the node every forward would target without replica spreading.
+func (rt *Router) ringPrimary(key etcmat.ContentKey) string {
+	self := rt.Self()
+	for _, o := range rt.ring.Owners(key) {
+		if o != self {
+			return o
+		}
+	}
+	return ""
+}
+
 // forwardOne sends one peer request: the env frame as a characterize body,
-// asking for the binary profile frame back, marked forwarded so the peer
-// serves locally. Successful round trips feed the hedge-delay tracker.
-func (rt *Router) forwardOne(ctx context.Context, peer string, body []byte, requestID string) (*core.Profile, bool, error) {
+// asking for the binary profile frame back, carrying the hop count so the
+// peer knows how much forwarding budget remains. The attempt first claims a
+// slot in the peer's bounded gate — ErrPeerBusy when both the slots and the
+// wait queue are full. Successful round trips feed the global hedge-delay
+// tracker and the peer's own replica-choice score.
+func (rt *Router) forwardOne(ctx context.Context, peer string, body []byte, requestID string, hops int) (*core.Profile, bool, error) {
+	release, err := rt.peers.gate(peer).acquire(ctx.Done())
+	if err != nil {
+		if errors.Is(err, ErrPeerBusy) {
+			rt.stats.PeerQueueFull.Inc()
+			return nil, false, fmt.Errorf("peer %s: %w", peer, ErrPeerBusy)
+		}
+		return nil, false, err
+	}
+	defer release()
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
 		"http://"+peer+"/v1/characterize", bytes.NewReader(body))
 	if err != nil {
@@ -451,7 +603,7 @@ func (rt *Router) forwardOne(ctx context.Context, peer string, body []byte, requ
 	}
 	req.Header.Set("Content-Type", wire.ContentTypeMatrix)
 	req.Header.Set("Accept", wire.ContentTypeProfile)
-	req.Header.Set(ForwardedHeader, "1")
+	req.Header.Set(ForwardedHeader, strconv.Itoa(hops))
 	if requestID != "" {
 		req.Header.Set("X-Request-ID", requestID)
 	}
@@ -477,16 +629,19 @@ func (rt *Router) forwardOne(ctx context.Context, peer string, body []byte, requ
 	if err != nil {
 		return nil, false, fmt.Errorf("peer %s: %w", peer, err)
 	}
-	rt.lat.record(time.Since(t0))
-	return wireToCore(wp), wp.Cached, nil
+	rtt := time.Since(t0)
+	rt.lat.record(rtt)
+	rt.peers.latency(peer).record(rtt)
+	return ProfileFromWire(wp), wp.Cached, nil
 }
 
 // errPeerTMA stands in for the origin's TMA error, whose message does not
 // cross the profile frame (the frame carries only a validity bit).
 var errPeerTMA = errors.New("environment does not standardize (reported by forwarding peer)")
 
-// wireToCore rebuilds a core.Profile from its wire form.
-func wireToCore(wp *wire.Profile) *core.Profile {
+// ProfileFromWire rebuilds a core.Profile from its wire form — shared by the
+// forward response path and the handoff import path in the server.
+func ProfileFromWire(wp *wire.Profile) *core.Profile {
 	p := &core.Profile{
 		Tasks:              wp.Tasks,
 		Machines:           wp.Machines,

@@ -110,7 +110,7 @@ func TestForwardSuccess(t *testing.T) {
 	rt, _, _, _ := newTestRouter(t, peer)
 	key := testKey(1)
 
-	p, cached, err := rt.Forward(context.Background(), key, envBody(t), "req-123")
+	p, cached, err := rt.Forward(context.Background(), key, envBody(t), "req-123", ForwardOpts{PrimaryOnly: true})
 	if err != nil {
 		t.Fatalf("Forward: %v", err)
 	}
@@ -142,13 +142,13 @@ func TestForwardFailoverOnError(t *testing.T) {
 	a, b := newFakePeer(t), newFakePeer(t)
 	rt, fe, _, _ := newTestRouter(t, a, b)
 	key := testKey(2)
-	targets := rt.forwardTargets(key)
+	targets := rt.forwardTargets(key, true)
 	if len(targets) != 2 {
 		t.Fatalf("targets = %v, want both peers", targets)
 	}
 	peerByAddr(targets[0], a, b).fail.Store(true)
 
-	p, _, err := rt.Forward(context.Background(), key, envBody(t), "")
+	p, _, err := rt.Forward(context.Background(), key, envBody(t), "", ForwardOpts{PrimaryOnly: true})
 	if err != nil {
 		t.Fatalf("Forward should fail over, got %v", err)
 	}
@@ -164,12 +164,12 @@ func TestForwardHedgeWinsOnSlowPrimary(t *testing.T) {
 	a, b := newFakePeer(t), newFakePeer(t)
 	rt, _, hedges, wins := newTestRouter(t, a, b)
 	key := testKey(3)
-	targets := rt.forwardTargets(key)
+	targets := rt.forwardTargets(key, true)
 	primary := peerByAddr(targets[0], a, b)
 	primary.delayNS.Store(int64(2 * time.Second))
 
 	start := time.Now()
-	p, _, err := rt.Forward(context.Background(), key, envBody(t), "")
+	p, _, err := rt.Forward(context.Background(), key, envBody(t), "", ForwardOpts{PrimaryOnly: true})
 	if err != nil {
 		t.Fatalf("Forward: %v", err)
 	}
@@ -193,7 +193,7 @@ func TestForwardAllPeersFail(t *testing.T) {
 	b.fail.Store(true)
 	rt, fe, _, _ := newTestRouter(t, a, b)
 
-	_, _, err := rt.Forward(context.Background(), testKey(4), envBody(t), "")
+	_, _, err := rt.Forward(context.Background(), testKey(4), envBody(t), "", ForwardOpts{PrimaryOnly: true})
 	if err == nil {
 		t.Fatal("Forward succeeded with every peer failing")
 	}
@@ -204,7 +204,7 @@ func TestForwardAllPeersFail(t *testing.T) {
 
 func TestForwardNoPeers(t *testing.T) {
 	rt := NewRouter(Config{Self: "self.invalid:1", Replicas: 2, VirtualNodes: 8})
-	_, _, err := rt.Forward(context.Background(), testKey(5), envBody(t), "")
+	_, _, err := rt.Forward(context.Background(), testKey(5), envBody(t), "", ForwardOpts{PrimaryOnly: true})
 	if !errors.Is(err, ErrNoPeers) {
 		t.Fatalf("err = %v, want ErrNoPeers", err)
 	}

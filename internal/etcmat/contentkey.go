@@ -55,6 +55,11 @@ type ContentHasher struct {
 	h   hash.Hash
 	buf [64 * 8]byte
 	n   int
+	// sum is the retained digest output buffer. Passing a local array through
+	// the hash.Hash interface forces it to escape — one heap allocation per
+	// Sum, which is one per request on the pooled decode path; appending into
+	// a field the hasher owns keeps the warm path allocation-free.
+	sum []byte
 }
 
 // NewContentHasher returns an empty hasher.
@@ -108,7 +113,8 @@ func (c *ContentHasher) Sum(tasks, machines int) ContentKey {
 	c.writeU64(uint64(machines))
 	c.h.Write(c.buf[:c.n])
 	c.n = 0
+	c.sum = c.h.Sum(c.sum[:0])
 	var k ContentKey
-	c.h.Sum(k[:0])
+	copy(k[:], c.sum)
 	return k
 }

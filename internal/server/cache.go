@@ -131,6 +131,56 @@ func (c *profileCache) Put(k cacheKey, p *core.Profile) {
 	}
 }
 
+// HotEntries returns up to max cached profiles, hottest first, for ring
+// handoff. It walks the shards round-robin from each shard's MRU front, so
+// the selection approximates global recency order to within the shard
+// imbalance without a cross-shard sort. The returned profiles are the cached
+// pointers (immutable by contract), paired with their keys.
+func (c *profileCache) HotEntries(max int) []hotEntry {
+	if max <= 0 {
+		return nil
+	}
+	out := make([]hotEntry, 0, max)
+	// Per-shard cursors advance front-to-back; a round with no progress on
+	// any shard means the cache is exhausted.
+	cursors := make([]*list.Element, len(c.shards))
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		cursors[i] = s.order.Front()
+		s.mu.Unlock()
+	}
+	for len(out) < max {
+		progress := false
+		for i := range c.shards {
+			if len(out) >= max {
+				break
+			}
+			el := cursors[i]
+			if el == nil {
+				continue
+			}
+			s := &c.shards[i]
+			s.mu.Lock()
+			e := el.Value.(*cacheEntry)
+			cursors[i] = el.Next()
+			s.mu.Unlock()
+			out = append(out, hotEntry{key: e.key, profile: e.profile})
+			progress = true
+		}
+		if !progress {
+			break
+		}
+	}
+	return out
+}
+
+// hotEntry is one HotEntries result: a cached profile and its content key.
+type hotEntry struct {
+	key     cacheKey
+	profile *core.Profile
+}
+
 // Len reports the current entry count across all shards (the cache size
 // gauge).
 func (c *profileCache) Len() int {

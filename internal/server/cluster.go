@@ -36,6 +36,8 @@ func (s *Server) initCluster(cfg cluster.Config) {
 		"Requests answered by forwarding to the key's owner node.", "")
 	s.peerFills = m.Counter("hcserved_peer_fills_total",
 		"Local cache entries back-filled from a peer's forward response.", "")
+	s.handoffReceived = m.Counter("hcserved_handoff_received_total",
+		"Warm cache entries imported from a peer's ring-change handoff.", "")
 	s.router.SetStats(cluster.Stats{
 		ForwardErrors: m.Counter("hcserved_forward_errors_total",
 			"Failed forward attempts (per attempt; a request may retry on the next replica).", ""),
@@ -43,20 +45,44 @@ func (s *Server) initCluster(cfg cluster.Config) {
 			"Hedge requests fired to the next replica after the hedge delay.", ""),
 		HedgeWins: m.Counter("hcserved_hedge_wins_total",
 			"Hedged requests that beat the primary replica.", ""),
+		ReplicaReads: m.Counter("hcserved_replica_reads_total",
+			"Forwards answered by a replica other than the ring-order primary.", ""),
+		PeerQueueFull: m.Counter("hcserved_peer_queue_full_total",
+			"Forward attempts shed because a peer's bounded send queue was full.", ""),
+		HandoffSent: m.Counter("hcserved_handoff_sent_total",
+			"Warm cache entries streamed to new owners on ring changes.", ""),
 	})
+	s.router.SetHandoffSource(handoffExporter{s})
 	m.Gauge("hcserved_cluster_peers_alive", "Peers currently observed alive (self excluded).",
 		func() float64 { return float64(s.router.AliveCount()) })
 	m.Gauge("hcserved_cluster_ring_nodes", "Nodes on the consistent-hash ring (self included).",
 		func() float64 { return float64(s.router.Ring().Len()) })
+	m.Gauge("hcserved_peer_inflight", "Forward requests currently on the wire across all peers.",
+		func() float64 { return float64(s.router.PeerInflight()) })
+}
+
+// handoffExporter adapts the profile cache to the router's HandoffSource:
+// hot entries leave in wire form, marked cached (they are, by definition).
+type handoffExporter struct{ s *Server }
+
+func (h handoffExporter) HotEntries(max int) []cluster.HandoffEntry {
+	hot := h.s.cache.HotEntries(max)
+	out := make([]cluster.HandoffEntry, 0, len(hot))
+	for _, e := range hot {
+		out = append(out, cluster.HandoffEntry{Key: e.key, Profile: profileToWire(e.profile, true)})
+	}
+	return out
 }
 
 // shouldForward reports whether a characterize miss should be routed to a
-// peer: cluster mode is on, the key is owned elsewhere, and the request did
-// not itself arrive by forwarding (the loop guard — a node answering a
-// forwarded request always serves locally, whatever its ring view says).
+// peer: cluster mode is on, the key is owned elsewhere, and the request still
+// has forwarding budget. The hop count on X-HC-Forwarded is the loop guard —
+// a replica read may legally take one extra hop when membership views
+// diverge, but a request at MaxForwardHops serves locally no matter what
+// this node's ring says, so divergent views can never cycle.
 func (s *Server) shouldForward(r *http.Request, key cacheKey) bool {
 	return s.router != nil &&
-		r.Header.Get(cluster.ForwardedHeader) == "" &&
+		cluster.ParseHops(r.Header.Get(cluster.ForwardedHeader)) < cluster.MaxForwardHops &&
 		!s.router.LocallyOwned(key)
 }
 
@@ -102,7 +128,11 @@ func (s *Server) forwardProfile(r *http.Request, key cacheKey, payload *envPaylo
 		s.log.Error("encoding forward body", "err", err)
 		return nil, false
 	}
-	p, peerCached, err := s.router.Forward(r.Context(), key, body, reqID)
+	opts := cluster.ForwardOpts{
+		Hops:        cluster.ParseHops(r.Header.Get(cluster.ForwardedHeader)),
+		PrimaryOnly: r.Header.Get(cluster.RouteHintHeader) == cluster.RoutePrimary,
+	}
+	p, peerCached, err := s.router.Forward(r.Context(), key, body, reqID, opts)
 	if err != nil {
 		if err != cluster.ErrNoPeers {
 			s.log.Warn("forward failed; computing locally", "err", err)
@@ -132,6 +162,47 @@ func (s *Server) handleClusterJoin(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, map[string]any{
 		"version": APIVersion,
 		"peers":   s.router.Join(req.Addr),
+	})
+}
+
+// handleClusterHandoff serves POST /v1/cluster/handoff: a peer losing ring
+// ownership streams its warm entries for the moved key ranges here. Each
+// record is a content key plus a profile frame; imported entries land in the
+// cache exactly like peer fills, so the first post-churn request for a moved
+// key is a local hit instead of a recompute. A malformed record rejects the
+// whole batch — entries already imported stay cached (handoff is idempotent:
+// re-sending overwrites with identical values).
+func (s *Server) handleClusterHandoff(w http.ResponseWriter, r *http.Request) {
+	if ct := mediaType(r); ct != wire.ContentTypeHandoff {
+		writeError(w, http.StatusBadRequest, codeInvalidRequest,
+			fmt.Sprintf("handoff requires Content-Type %s, got %q", wire.ContentTypeHandoff, ct))
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, s.cfg.MaxBodyBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, "reading handoff body: "+err.Error())
+		return
+	}
+	if int64(len(body)) > s.cfg.MaxBodyBytes {
+		writeError(w, http.StatusRequestEntityTooLarge, codeBodyTooLarge,
+			fmt.Sprintf("handoff body exceeds %d bytes", s.cfg.MaxBodyBytes))
+		return
+	}
+	imported := 0
+	for len(body) > 0 {
+		key, wp, n, err := wire.DecodeHandoffEntry(body)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, codeInvalidRequest, "handoff record: "+err.Error())
+			return
+		}
+		body = body[n:]
+		s.cache.Put(key, cluster.ProfileFromWire(wp))
+		s.handoffReceived.Inc()
+		imported++
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"version":  APIVersion,
+		"imported": imported,
 	})
 }
 

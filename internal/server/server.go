@@ -130,12 +130,13 @@ type Server struct {
 	// router is non-nil in cluster mode; see forwardProfile in cluster.go.
 	router *cluster.Router
 
-	panics    *counter
-	computed  *counter
-	misses    *counter
-	coalesced *counter
-	forwarded *counter
-	peerFills *counter
+	panics          *counter
+	computed        *counter
+	misses          *counter
+	coalesced       *counter
+	forwarded       *counter
+	peerFills       *counter
+	handoffReceived *counter
 
 	// Stream-session state (see streamsrv.go). The accounting invariant,
 	// checked by tests and the load generator: stream_profiles_total ==
@@ -226,6 +227,7 @@ func New(cfg Config) *Server {
 		// went through the full observability stack.
 		s.mux.Handle("POST /v1/cluster/join", s.withRecovery(http.HandlerFunc(s.handleClusterJoin)))
 		s.mux.Handle("GET /v1/cluster/peers", s.withRecovery(http.HandlerFunc(s.handleClusterPeers)))
+		s.mux.Handle("POST /v1/cluster/handoff", s.withRecovery(http.HandlerFunc(s.handleClusterHandoff)))
 	}
 	if cfg.EnablePprof {
 		// Mounted raw (no admission, no timeout): a CPU profile legitimately

@@ -55,6 +55,13 @@ type envPayload struct {
 	taskWeights            []float64
 	machineWeights         []float64
 
+	// twBuf/mwBuf back taskWeights/machineWeights on the binary env-frame
+	// path (the hot cluster-forward decode): capacity pools across requests
+	// like cells. Safe to reuse because every consumer of the weight slices
+	// copies — etcmat.WithWeights clones its inputs and envFrameBody only
+	// reads. The JSON path still allocates its vectors (readFloatArray).
+	twBuf, mwBuf []float64
+
 	// semErr is the first semantic error (value constraint, ragged row) hit
 	// during the scan. It does not stop tokenization — batch items must stay
 	// in sync — but finalize surfaces it and the payload is never used.
@@ -172,23 +179,52 @@ func (p *envPayload) parseBinaryFrame(data []byte) (int, error) {
 // writes defaulted weights as literal 1s, which hash identically to the
 // WriteOnes canonicalization of an absent vector, so the key computed here
 // matches the one the forwarding node computed from the original request.
+// The decode is in place — cells and weights land in the payload's pooled
+// buffers, so the warm forwarded-request path allocates nothing (this is the
+// hot decode of every cluster forward; wire.DecodeEnv would allocate three
+// fresh slices per request).
 func (p *envPayload) parseEnvFrame(data []byte) (int, error) {
-	f, n, err := wire.DecodeEnv(data)
+	h, err := wire.ParseHeader(data)
 	if err != nil {
 		return 0, err
 	}
-	p.rows, p.cols = f.Rows, f.Cols
-	p.ecsSet = true
-	if cap(p.cells) < len(f.ECS) {
-		p.cells = make([]float64, 0, len(f.ECS))
+	if h.Kind != wire.KindEnv {
+		return 0, fmt.Errorf("frame kind %d is not an env", h.Kind)
 	}
-	for _, v := range f.ECS {
+	p.rows, p.cols = h.Rows, h.Cols
+	p.ecsSet = true
+	cells := h.Cells()
+	if cap(p.cells) < cells {
+		p.cells = make([]float64, 0, cells)
+	}
+	for k := 0; k < cells; k++ {
+		v := wire.Cell(h.Payload, k)
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return 0, fmt.Errorf("%w: ECS cell (%d,%d) = %g has no wire form",
+				wire.ErrMalformed, k/p.cols, k%p.cols, v)
+		}
 		p.hasher.WriteValue(v)
 		p.cells = append(p.cells, v)
 	}
-	p.taskWeights = f.TaskWeights
-	p.machineWeights = f.MachineWeights
-	return n, nil
+	p.twBuf = growFloats(p.twBuf, p.rows)
+	for i := 0; i < p.rows; i++ {
+		p.twBuf[i] = wire.Cell(h.Payload, cells+i)
+	}
+	p.mwBuf = growFloats(p.mwBuf, p.cols)
+	for j := 0; j < p.cols; j++ {
+		p.mwBuf[j] = wire.Cell(h.Payload, cells+p.rows+j)
+	}
+	p.taskWeights = p.twBuf
+	p.machineWeights = p.mwBuf
+	return h.Size, nil
+}
+
+// growFloats returns buf resized to n, reusing its capacity when possible.
+func growFloats(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
 }
 
 // finalize validates the scanned structure and fixes the content key. It must

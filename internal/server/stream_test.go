@@ -298,3 +298,99 @@ func TestContentHasherMatchesEnv(t *testing.T) {
 		t.Error("incremental hash diverges from Env.ContentKey")
 	}
 }
+
+// envFrame60x40 builds a KindEnv frame (the cluster-forward body form) with
+// explicit non-unit weights, large enough that an allocation proportional to
+// the matrix would be unmistakable in the alloc counters.
+func envFrame60x40(t testing.TB) []byte {
+	t.Helper()
+	const r, c = 60, 40
+	f := &wire.EnvFrame{Rows: r, Cols: c}
+	f.ECS = make([]float64, r*c)
+	for k := range f.ECS {
+		f.ECS[k] = float64(k%97) + 0.5
+	}
+	f.TaskWeights = make([]float64, r)
+	for i := range f.TaskWeights {
+		f.TaskWeights[i] = float64(i%5) + 1
+	}
+	f.MachineWeights = make([]float64, c)
+	for j := range f.MachineWeights {
+		f.MachineWeights[j] = float64(j%3) + 1
+	}
+	frame, err := wire.AppendEnv(nil, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return frame
+}
+
+// TestEnvFrameKeyEquivalence: the in-place env-frame decode must land on the
+// same content key as the reference wire.DecodeEnv + Env materialization, or
+// forwarded requests would split the cluster's key space.
+func TestEnvFrameKeyEquivalence(t *testing.T) {
+	frame := envFrame60x40(t)
+	p := acquirePayload()
+	defer releasePayload(p)
+	if err := p.parseBinaryEnv(frame); err != nil {
+		t.Fatalf("env frame decode: %v", err)
+	}
+	env, err := p.env()
+	if err != nil {
+		t.Fatalf("env frame env(): %v", err)
+	}
+	if p.key != keyOf(env) {
+		t.Error("scanned env-frame key diverges from materialized key")
+	}
+	f, _, err := wire.DecodeEnv(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := f.Rows, env.Tasks(); got != want {
+		t.Errorf("rows %d, want %d", got, want)
+	}
+	for i, w := range f.TaskWeights {
+		if env.TaskWeights()[i] != w {
+			t.Fatalf("task weight %d diverges", i)
+		}
+	}
+}
+
+// TestEnvFrameDecodeZeroAlloc pins the PR 6 follow-up: the warm forwarded-
+// request decode — a KindEnv frame scanned into a pooled payload — must not
+// allocate. One cold decode sizes the pooled cell and weight buffers; every
+// decode after that reuses them.
+func TestEnvFrameDecodeZeroAlloc(t *testing.T) {
+	frame := envFrame60x40(t)
+	p := acquirePayload()
+	defer releasePayload(p)
+	if err := p.parseBinaryEnv(frame); err != nil {
+		t.Fatalf("warmup decode: %v", err)
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		p.reset()
+		if err := p.parseBinaryEnv(frame); err != nil {
+			t.Fatalf("warm decode: %v", err)
+		}
+	})
+	if avg != 0 {
+		t.Errorf("warm env-frame decode allocates %.1f objects per run, want 0", avg)
+	}
+}
+
+// BenchmarkEnvFrameDecode measures the hot cluster-forward decode: bytes to
+// content key on a pooled payload.
+func BenchmarkEnvFrameDecode(b *testing.B) {
+	frame := envFrame60x40(b)
+	p := acquirePayload()
+	defer releasePayload(p)
+	b.SetBytes(int64(len(frame)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.reset()
+		if err := p.parseBinaryEnv(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,35 @@
+package wire
+
+// Handoff records carry warm cache entries between cluster nodes when ring
+// ownership moves. A handoff body is a plain concatenation of records, each
+// the entry's 32-byte content key followed by its profile frame (KindProfile,
+// self-delimiting). There is no outer envelope: the receiver decodes records
+// until the body is exhausted, and a truncated tail fails the whole request
+// rather than silently importing a partial entry.
+
+// ContentTypeHandoff is the media type of a handoff body.
+const ContentTypeHandoff = "application/x-hc-handoff"
+
+// HandoffKeySize is the content-key prefix length of one handoff record.
+const HandoffKeySize = 32
+
+// AppendHandoffEntry appends one handoff record — key then profile frame —
+// to dst and returns the extended slice.
+func AppendHandoffEntry(dst []byte, key [HandoffKeySize]byte, p *Profile) ([]byte, error) {
+	dst = append(dst, key[:]...)
+	return AppendProfile(dst, p)
+}
+
+// DecodeHandoffEntry decodes the record at the head of data, returning the
+// key, the profile and the bytes consumed.
+func DecodeHandoffEntry(data []byte) (key [HandoffKeySize]byte, p *Profile, consumed int, err error) {
+	if len(data) < HandoffKeySize {
+		return key, nil, 0, malformedf("handoff record truncated: %d bytes before the key ends", len(data))
+	}
+	copy(key[:], data[:HandoffKeySize])
+	p, n, err := DecodeProfile(data[HandoffKeySize:])
+	if err != nil {
+		return key, nil, 0, err
+	}
+	return key, p, HandoffKeySize + n, nil
+}

@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Quick churn/replica check: start a 3-node cluster plus a standalone
+# cluster-mode joiner, run the hcload cluster suite with the replica phases
+# (hot-primary antagonist, single-owner vs p2c tails) and the churn phases
+# (join -> handoff reconcile -> warm-probe -> SIGTERM leave), and print the
+# replica and churn scorecards. The full committed BENCH_serve.json comes
+# from scripts/clusterload.sh; this script exists to iterate on the churn
+# path without paying for the whole regen.
+#
+#   make churnload                  # print the replica + churn scorecards
+#   scripts/churnload.sh out.json   # keep the full report
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+OUT=${1:-$(mktemp)}
+KEEP=${1:-}
+BIN=$(mktemp -d)
+PIDS=()
+
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do
+    kill "$pid" 2>/dev/null || true
+  done
+  wait 2>/dev/null || true
+  rm -rf "$BIN"
+  [ -z "$KEEP" ] && rm -f "$OUT"
+}
+trap cleanup EXIT
+
+echo "churnload: building binaries"
+go build -o "$BIN/hcserved" ./cmd/hcserved
+go build -o "$BIN/hcload" ./cmd/hcload
+
+# Fast failure-detector timings so the join spreads and the SIGTERMed joiner
+# leaves the ring within the churn phases; a roomy cache and handoff budget
+# so the warm-probe measures handoff coverage, not LRU eviction.
+FLAGS=(-replicas 2 -suspect-after 500ms -dead-after 1500ms -gossip 100ms
+  -cache 4096 -handoff-budget 2048)
+N1=127.0.0.1:18091 N2=127.0.0.1:18092 N3=127.0.0.1:18093 NJ=127.0.0.1:18094
+echo "churnload: starting 3-node cluster on $N1 $N2 $N3 (joiner $NJ)"
+"$BIN/hcserved" -addr "$N1" -peers "$N2,$N3" "${FLAGS[@]}" &
+PIDS+=($!)
+"$BIN/hcserved" -addr "$N2" -peers "$N1,$N3" "${FLAGS[@]}" &
+PIDS+=($!)
+"$BIN/hcserved" -addr "$N3" -peers "$N1,$N2" "${FLAGS[@]}" &
+PIDS+=($!)
+# The joiner self-seeds: cluster mode mounts (membership ignores a self
+# peer), the ring stays solo until hcload announces it via /v1/cluster/join.
+"$BIN/hcserved" -addr "$NJ" -peers "$NJ" "${FLAGS[@]}" &
+PIDS+=($!)
+CHURN_PID=${PIDS[3]}
+
+echo "churnload: cluster suite with churn -> $OUT"
+"$BIN/hcload" -cluster "http://$N1,http://$N2,http://$N3" \
+  -c 4 -n 120 -tasks 150 -machines 80 -seed 1 \
+  -replicas 2 -vnodes 64 \
+  -churn-node "http://$NJ" -churn-pid "$CHURN_PID" -out "$OUT"
+
+echo "churnload: replica section"
+sed -n '/"replica": {/,/}/p' "$OUT"
+echo "churnload: churn section"
+sed -n '/"churn": {/,/}/p' "$OUT"

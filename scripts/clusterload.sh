@@ -6,11 +6,14 @@
 #      (same settings as the committed baseline: -queue 8, -c 4 -n 300,
 #      150x80 matrices, 96-way surge),
 #   2. decode micro-benchmarks merged in via hcbench -wirebench,
-#   3. the 3-node cluster suite with a mid-run SIGTERM of node 2, its
-#      phases and `cluster` section grafted onto the same report via
+#   3. the 3-node cluster suite — cold/warm phases, the replica-read phases
+#      (hot-primary antagonist, single-owner vs p2c tails), the churn phases
+#      (a 4th node joins, handoff reconciles, warm-probe, SIGTERM leave),
+#      then the mid-run SIGTERM of node 2 — its phases and the `cluster`,
+#      `replica` and `churn` sections grafted onto the same report via
 #      hcload -merge.
 #
-# Everything runs on loopback ports 18080-18083; all servers are torn down
+# Everything runs on loopback ports 18080-18084; all servers are torn down
 # on exit. Output path: $1 or $LOAD_OUT or BENCH_serve.json.
 #
 #   make clusterload                 # refresh BENCH_serve.json in place
@@ -51,12 +54,17 @@ echo "clusterload: decode micro-benchmarks"
 "$BIN/hcbench" -wirebench "$OUT"
 
 # --- 3. cluster suite ------------------------------------------------------
-# Three nodes, cross-seeded so any node bootstraps the membership; fast
-# failure-detector timings so the SIGTERMed node leaves the ring within the
-# cluster_kill phase rather than minutes later.
-CLUSTER_FLAGS=(-replicas 2 -suspect-after 500ms -dead-after 1500ms -gossip 100ms)
-N1=127.0.0.1:18081 N2=127.0.0.1:18082 N3=127.0.0.1:18083
-echo "clusterload: starting 3-node cluster on $N1 $N2 $N3"
+# Three nodes, cross-seeded so any node bootstraps the membership, plus a
+# 4th standalone joiner for the churn phases (it self-seeds: cluster mode
+# mounts, the ring stays solo until hcload announces it). Fast
+# failure-detector timings so the SIGTERMed nodes leave the ring within
+# their phases rather than minutes later; a roomy cache and handoff budget
+# so the churn warm-probe measures handoff coverage, not LRU eviction under
+# the replica phases' antagonist traffic.
+CLUSTER_FLAGS=(-replicas 2 -suspect-after 500ms -dead-after 1500ms -gossip 100ms
+  -cache 4096 -handoff-budget 2048)
+N1=127.0.0.1:18081 N2=127.0.0.1:18082 N3=127.0.0.1:18083 N4=127.0.0.1:18084
+echo "clusterload: starting 3-node cluster on $N1 $N2 $N3 (joiner $N4)"
 "$BIN/hcserved" -addr "$N1" -peers "$N2,$N3" "${CLUSTER_FLAGS[@]}" &
 PIDS+=($!)
 "$BIN/hcserved" -addr "$N2" -peers "$N1,$N3" "${CLUSTER_FLAGS[@]}" &
@@ -64,10 +72,15 @@ PIDS+=($!)
 "$BIN/hcserved" -addr "$N3" -peers "$N1,$N2" "${CLUSTER_FLAGS[@]}" &
 PIDS+=($!)
 KILL_PID=${PIDS[3]}
+"$BIN/hcserved" -addr "$N4" -peers "$N4" "${CLUSTER_FLAGS[@]}" &
+PIDS+=($!)
+CHURN_PID=${PIDS[4]}
 
-echo "clusterload: cluster suite (SIGTERM node 2 mid-run) -> $OUT"
+echo "clusterload: cluster suite (join/leave churn, SIGTERM node 2 mid-run) -> $OUT"
 "$BIN/hcload" -cluster "http://$N1,http://$N2,http://$N3" \
   -c 4 -n 200 -tasks 150 -machines 80 -seed 1 \
+  -replicas 2 -vnodes 64 \
+  -churn-node "http://$N4" -churn-pid "$CHURN_PID" \
   -kill-pid "$KILL_PID" -kill-node 2 -merge "$OUT" -out "$OUT"
 
 echo "clusterload: done -> $OUT"
